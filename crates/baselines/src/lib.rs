@@ -1,0 +1,28 @@
+//! # ttw-baselines — the designs TTW is compared against
+//!
+//! The paper's evaluation (Sec. V and VI) compares TTW against two
+//! abstractions of the state of the art:
+//!
+//! * a **no-rounds** design in which every message transmission is preceded by
+//!   its own beacon (Eq. 20) — the comparison point for the energy results of
+//!   Fig. 7;
+//! * a **loosely-coupled** design in the spirit of the DRP protocol
+//!   (reference \[16\] of the paper), which decouples task and message
+//!   schedules and therefore can only guarantee about `2·T_r` per message —
+//!   the comparison point for the "2× lower latency" headline.
+//!
+//! Both baselines are implemented analytically, exactly as the paper uses
+//! them, on top of the shared [`ttw_timing`] model and the [`ttw_core`]
+//! system model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loosely_coupled;
+pub mod no_rounds;
+
+pub use loosely_coupled::{
+    latency_improvement_factor, loose_chain_latency_bound, loose_message_latency,
+    loose_min_latency_bound,
+};
+pub use no_rounds::NoRoundsDesign;

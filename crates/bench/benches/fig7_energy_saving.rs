@@ -1,0 +1,41 @@
+//! Fig. 7 — relative radio-on-time saving of rounds versus per-message
+//! beacons (H = 4, N = 2), as a function of the slots per round `B` and the
+//! payload size.
+//!
+//! The paper's headline is a 33–40 % saving for 5-slot rounds with small
+//! payloads; the bench prints the full grid and measures the model evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ttw_baselines::NoRoundsDesign;
+use ttw_timing::{sweep, GlossyConstants};
+
+fn bench_fig7(c: &mut Criterion) {
+    eprintln!("\n=== Fig. 7: relative radio-on-time saving, H = 4, N = 2 ===");
+    for row in ttw_bench::fig7_rows() {
+        eprintln!("{row}");
+    }
+    let design = NoRoundsDesign::paper_setting();
+    eprintln!(
+        "paper anchor: B=5, l=10 B -> saving = {:.1}% (paper reports 33%); asymptote = {:.1}% (paper band 33-40%)\n",
+        design.ttw_saving(5, 10) * 100.0,
+        design.ttw_saving(10_000, 10) * 100.0
+    );
+
+    let constants = GlossyConstants::table1();
+    let mut group = c.benchmark_group("fig7_energy_saving");
+    group.bench_function("paper_grid_10x5", |b| {
+        b.iter(|| black_box(sweep::fig7_paper_grid(&constants)))
+    });
+    for payload in [8usize, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("saving_b5", payload),
+            &payload,
+            |b, &payload| b.iter(|| black_box(design.ttw_saving(5, payload))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! MILP solver substrate — solve-time of the simplex / branch-and-bound
+//! engine that replaces Gurobi in this reproduction.
+//!
+//! This is an ablation/engineering bench (not a paper figure): it tracks the
+//! cost of the LP relaxation and of full MILP solves on representative
+//! instances so regressions in the substrate are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ttw_milp::{Model, Sense};
+
+/// A small knapsack-style MILP with `n` binary variables.
+fn knapsack(n: usize) -> Model {
+    let mut model = Model::new(format!("knapsack{n}"));
+    let vars: Vec<_> = (0..n).map(|i| model.add_binary(format!("x{i}"))).collect();
+    let values: Vec<f64> = (0..n).map(|i| 3.0 + (i % 7) as f64).collect();
+    let weights: Vec<f64> = (0..n).map(|i| 2.0 + (i % 5) as f64).collect();
+    let objective: Vec<_> = vars.iter().copied().zip(values.iter().copied()).collect();
+    model.set_objective(Sense::Maximize, &objective);
+    let constraint: Vec<_> = vars.iter().copied().zip(weights.iter().copied()).collect();
+    let capacity: f64 = weights.iter().sum::<f64>() * 0.4;
+    model.add_le(&constraint, capacity);
+    model
+}
+
+/// The TTW scheduling ILP for the Fig. 3 application with 2 rounds.
+fn fig3_ilp() -> ttw_core::ilp::IlpInstance {
+    let (sys, mode) = ttw_core::fixtures::fig3_system();
+    let config = ttw_core::SchedulerConfig::new(ttw_core::time::millis(10), 5);
+    ttw_core::ilp::build_ilp(&sys, mode, &config, 2).expect("valid instance")
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let instance = fig3_ilp();
+    eprintln!(
+        "\n=== MILP substrate === Fig. 3 scheduling ILP: {} variables, {} constraints\n",
+        instance.model.num_vars(),
+        instance.model.num_constraints()
+    );
+
+    let mut group = c.benchmark_group("milp_solver");
+    group.sample_size(10);
+    for n in [10usize, 30] {
+        let model = knapsack(n);
+        group.bench_with_input(BenchmarkId::new("knapsack", n), &n, |b, _| {
+            b.iter(|| black_box(model.solve().unwrap()))
+        });
+    }
+    group.bench_function("fig3_relaxation", |b| {
+        b.iter(|| black_box(instance.model.solve_relaxation().unwrap()))
+    });
+    group.bench_function("fig3_full_milp", |b| {
+        b.iter(|| black_box(instance.model.solve().unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_milp);
+criterion_main!(benches);

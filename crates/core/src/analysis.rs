@@ -1,0 +1,91 @@
+//! Analytical latency bounds (Eq. 13 of the paper).
+
+use crate::chains::Chain;
+use crate::ids::AppId;
+use crate::system::System;
+use crate::time::Micros;
+
+/// Minimum achievable end-to-end latency of a single chain (the inner term of
+/// Eq. 13): the sum of the task WCETs plus one round length per message.
+///
+/// In TTW a message can be served by the first round starting after its
+/// release, so each message contributes at least `T_r` to the chain latency.
+pub fn chain_latency_bound(system: &System, chain: &Chain, round_duration: Micros) -> Micros {
+    let exec: Micros = chain.tasks().map(|t| system.task(t).wcet).sum();
+    let comm: Micros = chain.messages().count() as Micros * round_duration;
+    exec + comm
+}
+
+/// Minimum achievable end-to-end latency of an application (Eq. 13):
+/// the maximum of [`chain_latency_bound`] over all chains of the application.
+pub fn min_latency_bound(system: &System, app: AppId, round_duration: Micros) -> Micros {
+    system
+        .chains(app)
+        .iter()
+        .map(|c| chain_latency_bound(system, c, round_duration))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Length (number of messages) of the longest chain of an application.
+///
+/// This is the factor multiplying `T_r` in Eq. 13 and the quantity the
+/// latency-comparison benchmark sweeps.
+pub fn longest_chain_messages(system: &System, app: AppId) -> usize {
+    system
+        .chains(app)
+        .iter()
+        .map(|c| c.messages().count())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Checks whether an application can possibly meet its deadline with the given
+/// round length: `min_latency_bound ≤ a.d`.
+///
+/// A `false` result means *no* schedule (with any number of rounds) meets the
+/// end-to-end deadline; Algorithm 1 would enumerate every `R_M` and fail.
+pub fn is_deadline_attainable(system: &System, app: AppId, round_duration: Micros) -> bool {
+    min_latency_bound(system, app, round_duration) <= system.application(app).deadline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::time::millis;
+
+    #[test]
+    fn fig3_bound_matches_hand_computation() {
+        let (sys, app) = fixtures::fig3_system_single_app();
+        // Longest chain: sensing (2 ms) + m1 + control (5 ms) + m3 + actuation (1 ms)
+        // = 8 ms execution + 2 rounds.
+        let tr = millis(10);
+        assert_eq!(min_latency_bound(&sys, app, tr), millis(8) + 2 * tr);
+        assert_eq!(longest_chain_messages(&sys, app), 2);
+    }
+
+    #[test]
+    fn bound_scales_linearly_with_round_length() {
+        let (sys, app) = fixtures::fig3_system_single_app();
+        let base = min_latency_bound(&sys, app, millis(10));
+        let double = min_latency_bound(&sys, app, millis(20));
+        assert_eq!(double - base, 2 * millis(10));
+    }
+
+    #[test]
+    fn attainability_flips_when_rounds_too_long() {
+        let (sys, app) = fixtures::fig3_system_single_app();
+        assert!(is_deadline_attainable(&sys, app, millis(10)));
+        // Two 60 ms rounds plus 8 ms execution exceed the 100 ms deadline.
+        assert!(!is_deadline_attainable(&sys, app, millis(60)));
+    }
+
+    #[test]
+    fn app_without_messages_has_pure_execution_bound() {
+        let (sys, mode) = fixtures::synthetic_mode(1, 1, 1, millis(50));
+        let app = sys.mode(mode).applications[0];
+        assert_eq!(min_latency_bound(&sys, app, millis(10)), millis(1));
+        assert_eq!(longest_chain_messages(&sys, app), 0);
+    }
+}

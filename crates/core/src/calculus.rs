@@ -1,0 +1,188 @@
+//! Network-calculus style counting functions (Eq. 2, 3 and 10 of the paper).
+//!
+//! For a message with offset `o`, relative deadline `d` and period `p`, the
+//! *arrival function* `af(t)` counts how many instances have been released by
+//! time `t`, the *demand function* `df(t)` counts how many instances have
+//! reached their absolute deadline by time `t`, and the *service function*
+//! `sf(t)` counts how many instances have been served (allocated a slot in a
+//! round that completed). A schedule is valid iff `df(t) ≤ sf(t) ≤ af(t)` for
+//! all `t` (Eq. 1).
+
+/// Arrival function `af(t) = ⌊(t − o)/p⌋ + 1` (Eq. 2).
+///
+/// Counts the message instances released in `[0, t]` given the first release
+/// at offset `o` and period `p`. The result may be negative for `t < o`
+/// (no instance released yet ⇒ values ≤ 0 are all equivalent to "none").
+pub fn arrival(t: f64, offset: f64, period: f64) -> i64 {
+    debug_assert!(period > 0.0);
+    ((t - offset) / period).floor() as i64 + 1
+}
+
+/// Demand function `df(t) = ⌈(t − o − d)/p⌉` (Eq. 3).
+///
+/// Counts the message instances whose absolute deadline `o + d + k·p` has
+/// passed by time `t`. As discussed in the paper, `df(0)` may be `−1` when
+/// `o + d > p` (a "leftover" instance whose deadline falls in the next
+/// hyperperiod).
+pub fn demand(t: f64, offset: f64, deadline: f64, period: f64) -> i64 {
+    debug_assert!(period > 0.0);
+    ((t - offset - deadline) / period).ceil() as i64
+}
+
+/// Number of "leftover" instances at the start of a hyperperiod
+/// (`r0.B_i ∈ {0, 1}` in the paper): `1` if `o + d > p`, else `0`.
+pub fn leftover_instances(offset: f64, deadline: f64, period: f64) -> i64 {
+    if offset + deadline > period {
+        1
+    } else {
+        0
+    }
+}
+
+/// A step-wise service curve: the completion times of the rounds in which a
+/// message is allocated a slot, over one hyperperiod.
+///
+/// `sf(t)` is the number of recorded completions strictly before `t`, minus
+/// the leftover correction (Eq. 10).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceCurve {
+    completions: Vec<f64>,
+    leftover: i64,
+}
+
+impl ServiceCurve {
+    /// Creates an empty service curve with the given leftover correction.
+    pub fn new(leftover: i64) -> Self {
+        ServiceCurve {
+            completions: Vec::new(),
+            leftover,
+        }
+    }
+
+    /// Records that a round serving the message completes at time `t`.
+    pub fn record_completion(&mut self, t: f64) {
+        self.completions.push(t);
+        self.completions.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    }
+
+    /// Service function `sf(t)`: completions at or before `t`, minus the
+    /// leftover correction (Eq. 10).
+    pub fn value(&self, t: f64) -> i64 {
+        let served = self
+            .completions
+            .iter()
+            .filter(|&&c| c <= t)
+            .count() as i64;
+        served - self.leftover
+    }
+
+    /// Number of recorded completions over the hyperperiod.
+    pub fn total_completions(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Checks Eq. 1 (`df(t) ≤ sf(t) ≤ af(t)`) at time `t` for a message with
+    /// the given offset, deadline and period.
+    pub fn satisfies_bounds(&self, t: f64, offset: f64, deadline: f64, period: f64) -> bool {
+        let af = arrival(t, offset, period);
+        let df = demand(t, offset, deadline, period);
+        let sf = self.value(t);
+        df <= sf && sf <= af
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arrival_steps_at_releases() {
+        // o = 10, p = 100: releases at 10, 110, 210, ...
+        assert_eq!(arrival(0.0, 10.0, 100.0), 0);
+        assert_eq!(arrival(10.0, 10.0, 100.0), 1);
+        assert_eq!(arrival(109.9, 10.0, 100.0), 1);
+        assert_eq!(arrival(110.0, 10.0, 100.0), 2);
+    }
+
+    #[test]
+    fn demand_steps_at_deadlines() {
+        // o = 10, d = 30, p = 100: deadlines at 40, 140, ... The demand counts
+        // deadlines that have *passed*, so the step happens just after the
+        // deadline instant (df(40) is still 0, consistent with Eq. 3).
+        assert_eq!(demand(39.9, 10.0, 30.0, 100.0), 0);
+        assert_eq!(demand(40.0, 10.0, 30.0, 100.0), 0);
+        assert_eq!(demand(40.1, 10.0, 30.0, 100.0), 1);
+        assert_eq!(demand(139.9, 10.0, 30.0, 100.0), 1);
+        assert_eq!(demand(140.1, 10.0, 30.0, 100.0), 2);
+    }
+
+    #[test]
+    fn demand_is_minus_one_for_leftover_messages() {
+        // o + d > p ⇒ df(0) = -1, exactly the case discussed below Eq. 9.
+        assert_eq!(demand(0.0, 80.0, 50.0, 100.0), -1);
+        assert_eq!(leftover_instances(80.0, 50.0, 100.0), 1);
+        assert_eq!(leftover_instances(20.0, 50.0, 100.0), 0);
+    }
+
+    #[test]
+    fn service_curve_counts_completions() {
+        let mut sf = ServiceCurve::new(0);
+        sf.record_completion(30.0);
+        sf.record_completion(70.0);
+        assert_eq!(sf.value(10.0), 0);
+        assert_eq!(sf.value(30.0), 1);
+        assert_eq!(sf.value(69.9), 1);
+        assert_eq!(sf.value(100.0), 2);
+        assert_eq!(sf.total_completions(), 2);
+    }
+
+    #[test]
+    fn service_curve_applies_leftover_correction() {
+        let mut sf = ServiceCurve::new(1);
+        sf.record_completion(20.0);
+        assert_eq!(sf.value(25.0), 0, "first completion pays the leftover debt");
+    }
+
+    #[test]
+    fn bounds_check_mirrors_eq1() {
+        // A message released at 0 with deadline 50 and period 100, served by a
+        // round completing at 40, satisfies the bounds everywhere in [0, 100).
+        let mut sf = ServiceCurve::new(0);
+        sf.record_completion(40.0);
+        for t in [0.0, 10.0, 39.0, 40.0, 50.0, 99.0] {
+            assert!(sf.satisfies_bounds(t, 0.0, 50.0, 100.0), "t = {t}");
+        }
+        // Served too late (completion at 60 > deadline 50) violates just after
+        // the deadline has passed.
+        let mut late = ServiceCurve::new(0);
+        late.record_completion(60.0);
+        assert!(!late.satisfies_bounds(50.5, 0.0, 50.0, 100.0));
+    }
+
+    proptest! {
+        /// `af` is non-decreasing in `t` and gains about one instance per period
+        /// (exactly one up to floating-point boundary effects).
+        #[test]
+        fn arrival_monotone_and_periodic(
+            offset in 0.0f64..1000.0,
+            period in 1.0f64..1000.0,
+            t in -1000.0f64..10_000.0,
+        ) {
+            prop_assert!(arrival(t, offset, period) <= arrival(t + 0.5, offset, period));
+            let gained = arrival(t + period, offset, period) - arrival(t, offset, period);
+            prop_assert!((0..=2).contains(&gained));
+        }
+
+        /// `df(t) ≤ af(t)` always holds (a deadline can only follow a release).
+        #[test]
+        fn demand_never_exceeds_arrival(
+            offset in 0.0f64..1000.0,
+            deadline in 0.0f64..1000.0,
+            period in 1.0f64..1000.0,
+            t in -1000.0f64..10_000.0,
+        ) {
+            prop_assert!(demand(t, offset, deadline, period) <= arrival(t, offset, period));
+        }
+    }
+}

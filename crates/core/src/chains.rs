@@ -1,0 +1,221 @@
+//! Chains of an application precedence graph.
+//!
+//! A chain (`a.c` in the paper) is a path of the precedence graph starting at
+//! a task with no predecessor and ending at a task with no successor,
+//! alternating between tasks and the messages connecting them. Chains drive
+//! the end-to-end deadline constraint (C1.2), the latency objective (Eq. 47–49)
+//! and the latency lower bound of Eq. 13.
+
+use crate::ids::{AppId, MessageId, TaskId};
+use crate::system::System;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One element of a chain: either a task or a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChainElement {
+    /// A task vertex of the precedence graph.
+    Task(TaskId),
+    /// A message edge of the precedence graph.
+    Message(MessageId),
+}
+
+/// A maximal path of an application's precedence graph.
+///
+/// Elements alternate between tasks and messages and the chain always starts
+/// and ends with a task.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Chain {
+    elements: Vec<ChainElement>,
+}
+
+impl Chain {
+    /// The elements of the chain in execution order.
+    pub fn elements(&self) -> &[ChainElement] {
+        &self.elements
+    }
+
+    /// The first task of the chain (`a.c(first)`).
+    pub fn first_task(&self) -> TaskId {
+        match self.elements.first() {
+            Some(ChainElement::Task(t)) => *t,
+            _ => unreachable!("chains always start with a task"),
+        }
+    }
+
+    /// The last task of the chain (`a.c(last)`).
+    pub fn last_task(&self) -> TaskId {
+        match self.elements.last() {
+            Some(ChainElement::Task(t)) => *t,
+            _ => unreachable!("chains always end with a task"),
+        }
+    }
+
+    /// Iterates over the tasks of the chain in order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.elements.iter().filter_map(|e| match e {
+            ChainElement::Task(t) => Some(*t),
+            ChainElement::Message(_) => None,
+        })
+    }
+
+    /// Iterates over the messages of the chain in order.
+    pub fn messages(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.elements.iter().filter_map(|e| match e {
+            ChainElement::Message(m) => Some(*m),
+            ChainElement::Task(_) => None,
+        })
+    }
+
+    /// Consecutive element pairs of the chain (the precedence edges it uses).
+    pub fn hops(&self) -> impl Iterator<Item = (ChainElement, ChainElement)> + '_ {
+        self.elements.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Number of elements in the chain.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Returns `true` for a chain with no element (never produced by
+    /// [`System::chains`], but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+}
+
+impl fmt::Display for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for e in &self.elements {
+            if !first {
+                write!(f, " -> ")?;
+            }
+            first = false;
+            match e {
+                ChainElement::Task(t) => write!(f, "{t}")?,
+                ChainElement::Message(m) => write!(f, "{m}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl System {
+    /// Enumerates every chain of an application.
+    ///
+    /// The result is deterministic (depth-first order over the graph as it was
+    /// declared). For the Fig. 3 control application this returns the four
+    /// chains `τ1→m1→τ3→m3→τ5`, `τ1→m1→τ3→m3→τ6`, `τ2→m2→τ3→m3→τ5` and
+    /// `τ2→m2→τ3→m3→τ6`.
+    pub fn chains(&self, app: AppId) -> Vec<Chain> {
+        let mut chains = Vec::new();
+        for source in self.source_tasks(app) {
+            let mut prefix = vec![ChainElement::Task(source)];
+            self.extend_chain(app, source, &mut prefix, &mut chains);
+        }
+        chains
+    }
+
+    /// Messages of `app` produced by `task` (edges `task → message`).
+    pub fn messages_produced_by(&self, app: AppId, task: TaskId) -> Vec<MessageId> {
+        self.application(app)
+            .messages
+            .iter()
+            .copied()
+            .filter(|&m| self.message(m).preceding_tasks.contains(&task))
+            .collect()
+    }
+
+    fn extend_chain(
+        &self,
+        app: AppId,
+        task: TaskId,
+        prefix: &mut Vec<ChainElement>,
+        out: &mut Vec<Chain>,
+    ) {
+        let produced = self.messages_produced_by(app, task);
+        if produced.is_empty() {
+            out.push(Chain {
+                elements: prefix.clone(),
+            });
+            return;
+        }
+        for m in produced {
+            prefix.push(ChainElement::Message(m));
+            let successors = &self.message(m).successor_tasks;
+            if successors.is_empty() {
+                // A message with no successor still terminates a chain; the
+                // model requires messages to have successors in practice, but
+                // the enumeration stays robust if they do not.
+                out.push(Chain {
+                    elements: prefix.clone(),
+                });
+            } else {
+                for &succ in successors {
+                    prefix.push(ChainElement::Task(succ));
+                    self.extend_chain(app, succ, prefix, out);
+                    prefix.pop();
+                }
+            }
+            prefix.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn fig3_application_has_four_chains() {
+        let (sys, app) = fixtures::fig3_system_single_app();
+        let chains = sys.chains(app);
+        assert_eq!(chains.len(), 4);
+        for c in &chains {
+            assert_eq!(c.len(), 5, "each Fig. 3 chain has 3 tasks and 2 messages");
+            assert_eq!(c.tasks().count(), 3);
+            assert_eq!(c.messages().count(), 2);
+        }
+    }
+
+    #[test]
+    fn chains_start_and_end_with_tasks() {
+        let (sys, app) = fixtures::fig3_system_single_app();
+        for c in sys.chains(app) {
+            assert!(matches!(c.elements()[0], ChainElement::Task(_)));
+            assert!(matches!(
+                c.elements()[c.len() - 1],
+                ChainElement::Task(_)
+            ));
+            // Alternation.
+            for (a, b) in c.hops() {
+                let ok = matches!(
+                    (a, b),
+                    (ChainElement::Task(_), ChainElement::Message(_))
+                        | (ChainElement::Message(_), ChainElement::Task(_))
+                );
+                assert!(ok, "chain elements must alternate");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_display_is_readable() {
+        let (sys, app) = fixtures::fig3_system_single_app();
+        let chains = sys.chains(app);
+        let text = chains[0].to_string();
+        assert!(text.contains("->"));
+        assert!(text.starts_with("tau"));
+    }
+
+    #[test]
+    fn first_and_last_task_accessors() {
+        let (sys, app) = fixtures::fig3_system_single_app();
+        for c in sys.chains(app) {
+            assert_eq!(Some(c.first_task()), c.tasks().next());
+            assert_eq!(Some(c.last_task()), c.tasks().last());
+        }
+    }
+}

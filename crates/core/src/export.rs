@@ -1,0 +1,192 @@
+//! Schedule export and rendering.
+//!
+//! Synthesized schedules are plain data (`serde`-serializable), but two extra
+//! representations are convenient in practice: a JSON document that can be
+//! shipped to the nodes at deployment time (Sec. II.B: "the node's task and
+//! communication schedule is loaded into its memory"), and a human-readable
+//! text timeline for inspecting what the optimizer produced.
+
+use crate::ids::ModeId;
+use crate::schedule::ModeSchedule;
+use crate::system::System;
+use std::fmt::Write as _;
+
+/// Serializes a schedule to pretty-printed JSON.
+///
+/// The output contains everything a node needs at deployment time: round start
+/// times, slot allocations, task offsets and message offsets/deadlines.
+///
+/// # Errors
+///
+/// Returns a [`serde_json::Error`] if serialization fails (this only happens
+/// if the schedule contains non-finite floats, which synthesis never produces).
+pub fn schedule_to_json(schedule: &ModeSchedule) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(schedule)
+}
+
+/// Parses a schedule back from its JSON form.
+///
+/// # Errors
+///
+/// Returns a [`serde_json::Error`] if the document is not a valid schedule.
+pub fn schedule_from_json(json: &str) -> Result<ModeSchedule, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Renders a schedule as a human-readable text report: one line per round with
+/// its slot allocation, then one line per task and per message with its timing.
+///
+/// Entity ids are resolved to their names through `system`.
+pub fn render_schedule(system: &System, mode: ModeId, schedule: &ModeSchedule) -> String {
+    let mut out = String::new();
+    let mode_name = &system.mode(mode).name;
+    let _ = writeln!(
+        out,
+        "mode `{mode_name}`: hyperperiod {:.1} ms, {} rounds of {:.1} ms ({} slots max), duty cycle {:.1}%",
+        schedule.hyperperiod as f64 / 1e3,
+        schedule.num_rounds(),
+        schedule.round_duration as f64 / 1e3,
+        schedule.slots_per_round,
+        schedule.communication_duty_cycle() * 100.0,
+    );
+
+    let _ = writeln!(out, "rounds:");
+    for (i, round) in schedule.rounds.iter().enumerate() {
+        let slots: Vec<&str> = round
+            .slots
+            .iter()
+            .map(|&m| system.message(m).name.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  r{i}: [{:>8.1} ms, {:>8.1} ms)  slots: {}",
+            round.start / 1e3,
+            (round.start + schedule.round_duration as f64) / 1e3,
+            if slots.is_empty() {
+                "(empty)".to_string()
+            } else {
+                slots.join(", ")
+            }
+        );
+    }
+
+    let _ = writeln!(out, "tasks:");
+    for (&task, &offset) in &schedule.task_offsets {
+        let t = system.task(task);
+        let _ = writeln!(
+            out,
+            "  {:<24} on {:<12} offset {:>8.1} ms, wcet {:>6.1} ms",
+            t.name,
+            system.node(t.node).name,
+            offset / 1e3,
+            t.wcet as f64 / 1e3
+        );
+    }
+
+    let _ = writeln!(out, "messages:");
+    for (&message, &offset) in &schedule.message_offsets {
+        let m = system.message(message);
+        let deadline = schedule
+            .message_deadline(message)
+            .unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "  {:<24} from {:<12} offset {:>8.1} ms, deadline {:>6.1} ms, rounds {:?}",
+            m.name,
+            system.node(m.source_node).name,
+            offset / 1e3,
+            deadline / 1e3,
+            schedule.rounds_carrying(message)
+        );
+    }
+
+    let _ = writeln!(out, "application latencies:");
+    for (&app, &latency) in &schedule.app_latencies {
+        let a = system.application(app);
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8.1} ms (deadline {:>8.1} ms)",
+            a.name,
+            latency / 1e3,
+            a.deadline as f64 / 1e3
+        );
+    }
+    out
+}
+
+/// Renders an ASCII timeline of the rounds over one hyperperiod, one character
+/// per `resolution` microseconds (`#` inside a round, `.` outside).
+///
+/// Useful to eyeball how communication is spread over the hyperperiod.
+pub fn render_round_timeline(schedule: &ModeSchedule, resolution: u64) -> String {
+    let resolution = resolution.max(1);
+    let width = (schedule.hyperperiod / resolution) as usize;
+    let mut line = vec!['.'; width.max(1)];
+    for round in &schedule.rounds {
+        let start = (round.start as u64 / resolution) as usize;
+        let end = (((round.start + schedule.round_duration as f64) as u64) / resolution) as usize;
+        for cell in line.iter_mut().take(end.min(width)).skip(start.min(width)) {
+            *cell = '#';
+        }
+    }
+    line.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerConfig;
+    use crate::fixtures;
+    use crate::synthesis::synthesize_mode;
+    use crate::time::millis;
+
+    fn fig3_schedule() -> (System, ModeId, ModeSchedule) {
+        let (sys, mode) = fixtures::fig3_system();
+        let schedule =
+            synthesize_mode(&sys, mode, &SchedulerConfig::new(millis(10), 5)).expect("feasible");
+        (sys, mode, schedule)
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let (_, _, schedule) = fig3_schedule();
+        let json = schedule_to_json(&schedule).expect("serializes");
+        let back = schedule_from_json(&json).expect("parses");
+        assert_eq!(schedule, back);
+    }
+
+    #[test]
+    fn invalid_json_is_an_error() {
+        assert!(schedule_from_json("{not json").is_err());
+        assert!(schedule_from_json("{}").is_err());
+    }
+
+    #[test]
+    fn report_mentions_every_entity() {
+        let (sys, mode, schedule) = fig3_schedule();
+        let report = render_schedule(&sys, mode, &schedule);
+        for name in ["ctrl.tau1", "ctrl.tau3", "ctrl.m1", "ctrl.m3", "normal"] {
+            assert!(report.contains(name), "report missing `{name}`:\n{report}");
+        }
+        assert!(report.contains("rounds:"));
+        assert!(report.contains("application latencies:"));
+    }
+
+    #[test]
+    fn timeline_marks_rounds() {
+        let (_, _, schedule) = fig3_schedule();
+        let timeline = render_round_timeline(&schedule, millis(1));
+        assert_eq!(timeline.len(), 100);
+        let busy = timeline.chars().filter(|&c| c == '#').count();
+        // Two 10 ms rounds over a 100 ms hyperperiod.
+        assert!((19..=21).contains(&busy), "busy cells: {busy}");
+        assert!(timeline.contains('.'));
+    }
+
+    #[test]
+    fn timeline_handles_coarse_resolution() {
+        let (_, _, schedule) = fig3_schedule();
+        let coarse = render_round_timeline(&schedule, schedule.hyperperiod);
+        assert_eq!(coarse.len(), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Greedy heuristic co-scheduler (ablation baseline for the ILP).
+//!
+//! The ILP of [`crate::synthesis`] is optimal but its solve time grows quickly
+//! with the instance size. This module provides a simple forward
+//! list-scheduling heuristic used as an ablation in the benchmarks: tasks are
+//! scheduled as soon as their predecessors finish (respecting the one-task-
+//! per-node rule), and released messages are packed into the earliest round
+//! with a free slot, opening a new round when none fits. The result is a valid
+//! schedule whenever the heuristic succeeds, but it is generally *not* optimal
+//! in the number of rounds or in latency.
+//!
+//! The heuristic currently supports modes in which every application period
+//! equals the mode hyperperiod (single instance per hyperperiod), which covers
+//! the paper's evaluation scenario; other modes are rejected.
+
+use crate::config::SchedulerConfig;
+use crate::error::ScheduleError;
+use crate::ids::{MessageId, ModeId, TaskId};
+use crate::schedule::{ModeSchedule, ScheduledRound, SynthesisStats};
+use crate::system::System;
+use std::collections::{BTreeMap, HashMap};
+
+/// Synthesizes a (possibly sub-optimal) schedule with the greedy heuristic.
+///
+/// # Errors
+///
+/// * [`ScheduleError::InvalidConfig`] if the configuration is malformed or if
+///   an application period differs from the mode hyperperiod.
+/// * [`ScheduleError::Infeasible`] if the greedy packing runs past the
+///   hyperperiod or an application deadline cannot be met.
+pub fn synthesize_mode_heuristic(
+    system: &System,
+    mode: ModeId,
+    config: &SchedulerConfig,
+) -> Result<ModeSchedule, ScheduleError> {
+    config.validate()?;
+    let hyper = system.hyperperiod(mode);
+    for &a in &system.mode(mode).applications {
+        if system.application(a).period != hyper {
+            return Err(ScheduleError::InvalidConfig {
+                reason: format!(
+                    "heuristic scheduler requires application `{}` period to equal the hyperperiod",
+                    system.application(a).name
+                ),
+            });
+        }
+    }
+
+    let tr = config.round_duration as f64;
+    let tasks = system.tasks_in_mode(mode);
+    let messages = system.messages_in_mode(mode);
+
+    // Remaining-predecessor counts drive the readiness of tasks and messages.
+    let mut pending_msgs: HashMap<TaskId, usize> = tasks
+        .iter()
+        .map(|&t| (t, system.task(t).preceding_messages.len()))
+        .collect();
+    let mut pending_tasks: HashMap<MessageId, usize> = messages
+        .iter()
+        .map(|&m| (m, system.message(m).preceding_tasks.len()))
+        .collect();
+
+    let mut task_offsets: BTreeMap<TaskId, f64> = BTreeMap::new();
+    let mut message_offsets: BTreeMap<MessageId, f64> = BTreeMap::new();
+    let mut message_deadlines: BTreeMap<MessageId, f64> = BTreeMap::new();
+    let mut message_served_at: HashMap<MessageId, f64> = HashMap::new();
+    let mut node_available: HashMap<crate::ids::NodeId, f64> = HashMap::new();
+    let mut task_ready_at: HashMap<TaskId, f64> = HashMap::new();
+    let mut rounds: Vec<ScheduledRound> = Vec::new();
+
+    let mut remaining_tasks: Vec<TaskId> = tasks.clone();
+    let mut remaining_msgs: Vec<MessageId> = messages.clone();
+
+    while !remaining_tasks.is_empty() || !remaining_msgs.is_empty() {
+        // Serve every ready message before advancing tasks, so successor tasks
+        // see the freshest service times.
+        let ready_msgs: Vec<MessageId> = remaining_msgs
+            .iter()
+            .copied()
+            .filter(|m| pending_tasks[m] == 0)
+            .collect();
+        for m in &ready_msgs {
+            let release = system.message(*m)
+                .preceding_tasks
+                .iter()
+                .map(|&t| task_offsets[&t] + system.task(t).wcet as f64)
+                .fold(0.0f64, f64::max);
+            let served = allocate_to_round(&mut rounds, release, tr, config.slots_per_round, *m);
+            message_offsets.insert(*m, release);
+            message_deadlines.insert(*m, served - release);
+            message_served_at.insert(*m, served);
+            for &succ in &system.message(*m).successor_tasks {
+                let entry = pending_msgs.get_mut(&succ).expect("successor in mode");
+                *entry -= 1;
+                let at = task_ready_at.entry(succ).or_insert(0.0);
+                *at = at.max(served);
+            }
+        }
+        remaining_msgs.retain(|m| !ready_msgs.contains(m));
+
+        // Pick the ready task that can start earliest and schedule it.
+        let candidate = remaining_tasks
+            .iter()
+            .copied()
+            .filter(|t| pending_msgs[t] == 0)
+            .map(|t| {
+                let ready = task_ready_at.get(&t).copied().unwrap_or(0.0);
+                let node = system.task(t).node;
+                let start = ready.max(node_available.get(&node).copied().unwrap_or(0.0));
+                (t, start)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite start times"));
+
+        match candidate {
+            Some((t, start)) => {
+                task_offsets.insert(t, start);
+                let node = system.task(t).node;
+                node_available.insert(node, start + system.task(t).wcet as f64);
+                for (&m, pending) in pending_tasks.iter_mut() {
+                    if system.message(m).preceding_tasks.contains(&t) {
+                        *pending -= 1;
+                    }
+                }
+                remaining_tasks.retain(|&x| x != t);
+            }
+            None if ready_msgs.is_empty() => {
+                // Neither a task nor a message is ready: the graph has a cycle
+                // or spans another mode — treat as infeasible.
+                return Err(ScheduleError::Infeasible {
+                    mode,
+                    max_rounds_tried: rounds.len(),
+                });
+            }
+            None => {}
+        }
+    }
+
+    // Feasibility: everything must fit into one hyperperiod and meet deadlines.
+    if let Some(last) = rounds.last() {
+        if last.start + tr > hyper as f64 {
+            return Err(ScheduleError::Infeasible {
+                mode,
+                max_rounds_tried: rounds.len(),
+            });
+        }
+    }
+
+    let mut app_latencies: BTreeMap<crate::ids::AppId, f64> = BTreeMap::new();
+    for &a in &system.mode(mode).applications {
+        let mut worst: f64 = 0.0;
+        for chain in system.chains(a) {
+            let first = chain.first_task();
+            let last = chain.last_task();
+            let latency =
+                task_offsets[&last] + system.task(last).wcet as f64 - task_offsets[&first];
+            worst = worst.max(latency);
+        }
+        if worst > system.application(a).deadline as f64 {
+            return Err(ScheduleError::Infeasible {
+                mode,
+                max_rounds_tried: rounds.len(),
+            });
+        }
+        app_latencies.insert(a, worst);
+    }
+    let total_latency = app_latencies.values().sum();
+
+    Ok(ModeSchedule {
+        mode,
+        hyperperiod: hyper,
+        round_duration: config.round_duration,
+        slots_per_round: config.slots_per_round,
+        task_offsets,
+        message_offsets,
+        message_deadlines,
+        rounds,
+        app_latencies,
+        total_latency,
+        stats: SynthesisStats::default(),
+    })
+}
+
+/// Packs `message` into the earliest round that starts at or after `release`
+/// and still has a free slot, creating a new round when necessary.
+/// Returns the service completion time (round end).
+fn allocate_to_round(
+    rounds: &mut Vec<ScheduledRound>,
+    release: f64,
+    tr: f64,
+    slots_per_round: usize,
+    message: MessageId,
+) -> f64 {
+    for round in rounds.iter_mut() {
+        if round.start >= release && round.num_slots() < slots_per_round {
+            round.slots.push(message);
+            return round.start + tr;
+        }
+    }
+    // A new round cannot overlap the previous one.
+    let earliest = rounds.last().map_or(0.0, |r| r.start + tr);
+    let start = release.max(earliest);
+    rounds.push(ScheduledRound {
+        start,
+        slots: vec![message],
+    });
+    start + tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::synthesis::synthesize_mode;
+    use crate::time::millis;
+    use crate::validate::validate_schedule;
+
+    fn config() -> SchedulerConfig {
+        SchedulerConfig::new(millis(10), 5)
+    }
+
+    #[test]
+    fn heuristic_schedule_is_valid_for_fig3() {
+        let (sys, mode) = fixtures::fig3_system();
+        let schedule = synthesize_mode_heuristic(&sys, mode, &config()).expect("feasible");
+        let violations = validate_schedule(&sys, mode, &config(), &schedule);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        assert!(schedule.num_rounds() >= 2);
+    }
+
+    #[test]
+    fn heuristic_never_beats_the_ilp_on_rounds() {
+        let (sys, mode) = fixtures::fig3_system();
+        let optimal = synthesize_mode(&sys, mode, &config()).expect("feasible");
+        let greedy = synthesize_mode_heuristic(&sys, mode, &config()).expect("feasible");
+        assert!(greedy.num_rounds() >= optimal.num_rounds());
+    }
+
+    #[test]
+    fn heuristic_rejects_multi_rate_modes() {
+        let (mut sys, _, _) = {
+            let (s, a, b) = fixtures::two_mode_system();
+            (s, a, b)
+        };
+        // Build a mode with two different periods to trigger the restriction.
+        let fast = sys
+            .add_application(
+                &crate::spec::ApplicationSpec::new("fast", millis(20), millis(20))
+                    .with_task("fast.t", "sensor1", millis(1)),
+            )
+            .expect("valid app");
+        let slow = sys
+            .add_application(
+                &crate::spec::ApplicationSpec::new("slow", millis(40), millis(40))
+                    .with_task("slow.t", "sensor2", millis(1)),
+            )
+            .expect("valid app");
+        let mode = sys.add_mode("mixed", &[fast, slow]).expect("valid mode");
+        let err = synthesize_mode_heuristic(&sys, mode, &config()).unwrap_err();
+        assert!(matches!(err, ScheduleError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn heuristic_handles_task_only_modes() {
+        let (sys, mode) = fixtures::synthetic_mode(3, 1, 2, millis(50));
+        let schedule = synthesize_mode_heuristic(&sys, mode, &config()).expect("feasible");
+        assert_eq!(schedule.num_rounds(), 0);
+        let violations = validate_schedule(&sys, mode, &config(), &schedule);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn heuristic_detects_hyperperiod_overflow() {
+        // One application whose chain needs more rounds than fit in the period.
+        let (sys, mode) = fixtures::synthetic_mode(1, 6, 2, millis(30));
+        // 5 messages in sequence with 10 ms rounds need ≥ 50 ms > 30 ms period.
+        let err = synthesize_mode_heuristic(&sys, mode, &config()).unwrap_err();
+        assert!(matches!(err, ScheduleError::Infeasible { .. }));
+    }
+}

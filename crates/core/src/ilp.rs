@@ -1,0 +1,622 @@
+//! ILP formulation of the co-scheduling problem (Sec. IV and Appendix).
+//!
+//! For a fixed number of communication rounds `R_M`, [`build_ilp`] produces a
+//! mixed-integer linear program whose feasible points are exactly the valid
+//! mode schedules, and whose objective is the sum of application end-to-end
+//! latencies (Eq. 49). The constraint classes follow the paper's appendix:
+//!
+//! * **C1** application constraints — precedence (C1.1) and end-to-end
+//!   deadlines (C1.2);
+//! * **C2** round constraints — non-overlap (C2.1) and bounded inter-round
+//!   gap (C2.2);
+//! * **C3** validity of the task mapping — one task at a time per node,
+//!   linearized with binary `λ` variables and a big-M constant;
+//! * **C4** validity of the message allocation — every message instance is
+//!   served after its release (C4.1) and before its deadline (C4.2), at most
+//!   `B` slots per round (C4.3), and as many slots as instances over one
+//!   hyperperiod (C4.4). C4.1/C4.2 use the arrival/demand/service counting
+//!   argument of the paper (Eq. 8–12), which resolves the non-linear coupling
+//!   between message offsets and round allocations.
+//!
+//! Internally all times are normalized to units of the round length `T_r`
+//! (exactly like Table II, where `T_r = 1` time unit), which keeps the
+//! coefficients of the MILP well-scaled.
+
+use crate::config::SchedulerConfig;
+use crate::error::ScheduleError;
+use crate::ids::{AppId, MessageId, ModeId, TaskId};
+use crate::schedule::{ModeSchedule, ScheduledRound, SynthesisStats};
+use crate::system::{PrecedenceEdge, System};
+use std::collections::BTreeMap;
+use ttw_milp::{LinExpr, Model, Sense, Solution, VarId};
+
+/// Mapping from model entities to MILP decision variables.
+#[derive(Debug, Clone, Default)]
+struct VariableMap {
+    task_offset: BTreeMap<TaskId, VarId>,
+    message_offset: BTreeMap<MessageId, VarId>,
+    message_deadline: BTreeMap<MessageId, VarId>,
+    round_start: Vec<VarId>,
+    /// `alloc[j][m]` is the binary allocation of message `m` to round `j`.
+    alloc: Vec<BTreeMap<MessageId, VarId>>,
+    app_latency: BTreeMap<AppId, VarId>,
+}
+
+/// A fully built ILP instance for one `(mode, R_M)` pair.
+#[derive(Debug, Clone)]
+pub struct IlpInstance {
+    /// The underlying MILP; exposed so callers can inspect it or dump it with
+    /// [`ttw_milp::lp_format::to_lp_string`].
+    pub model: Model,
+    vars: VariableMap,
+    /// Microseconds per internal time unit (= the round length `T_r`).
+    scale: f64,
+    num_rounds: usize,
+}
+
+impl IlpInstance {
+    /// Number of communication rounds this instance schedules.
+    pub fn num_rounds(&self) -> usize {
+        self.num_rounds
+    }
+
+    /// Renders the instance in CPLEX LP format for auditing.
+    pub fn to_lp_string(&self) -> String {
+        ttw_milp::lp_format::to_lp_string(&self.model)
+    }
+}
+
+/// Builds the ILP for scheduling `mode` with exactly `num_rounds` rounds.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::InvalidConfig`] if the configuration fails
+/// validation.
+pub fn build_ilp(
+    system: &System,
+    mode: ModeId,
+    config: &SchedulerConfig,
+    num_rounds: usize,
+) -> Result<IlpInstance, ScheduleError> {
+    config.validate()?;
+
+    let tr = config.round_duration as f64;
+    let hyper_us = system.hyperperiod(mode);
+    let hyper = hyper_us as f64 / tr;
+    let mm = config.epsilon;
+    let big_m = config.big_m_factor * hyper.max(1.0);
+
+    let tasks = system.tasks_in_mode(mode);
+    let messages = system.messages_in_mode(mode);
+    let apps = system.mode(mode).applications.clone();
+
+    let mut model = Model::new(format!(
+        "ttw_{}_{}rounds",
+        system.mode(mode).name, num_rounds
+    ));
+    model.params_mut().clone_from(&config.solver);
+    let mut vars = VariableMap::default();
+
+    // ------------------------------------------------------------------
+    // Decision variables (Table II).
+    // ------------------------------------------------------------------
+    for &t in &tasks {
+        let p = system.task_period(t) as f64 / tr;
+        let v = model.add_continuous(format!("o[{}]", system.task(t).name), 0.0, p);
+        vars.task_offset.insert(t, v);
+    }
+    for &m in &messages {
+        let p = system.message_period(m) as f64 / tr;
+        let name = &system.message(m).name;
+        let o = model.add_continuous(format!("om[{name}]"), 0.0, p);
+        let d = model.add_continuous(format!("dm[{name}]"), 0.0, p);
+        vars.message_offset.insert(m, o);
+        vars.message_deadline.insert(m, d);
+    }
+    for j in 0..num_rounds {
+        let v = model.add_continuous(format!("r[{j}]"), 0.0, (hyper - 1.0).max(0.0));
+        vars.round_start.push(v);
+    }
+    for j in 0..num_rounds {
+        let mut row = BTreeMap::new();
+        for &m in &messages {
+            let v = model.add_binary(format!("y[{j}][{}]", system.message(m).name));
+            row.insert(m, v);
+        }
+        vars.alloc.push(row);
+    }
+    let mut leftover: BTreeMap<MessageId, VarId> = BTreeMap::new();
+    for &m in &messages {
+        let v = model.add_binary(format!("r0[{}]", system.message(m).name));
+        leftover.insert(m, v);
+    }
+    for &a in &apps {
+        let v = model.add_continuous(
+            format!("delta[{}]", system.application(a).name),
+            0.0,
+            hyper,
+        );
+        vars.app_latency.insert(a, v);
+    }
+
+    // One σ binary per precedence edge, shared by every chain using the edge.
+    let mut sigma: BTreeMap<(AppId, PrecedenceEdge), VarId> = BTreeMap::new();
+    for &a in &apps {
+        for edge in system.precedence_edges(a) {
+            let name = match edge {
+                PrecedenceEdge::TaskToMessage { task, message } => format!(
+                    "sigma[{}->{}]",
+                    system.task(task).name,
+                    system.message(message).name
+                ),
+                PrecedenceEdge::MessageToTask { message, task } => format!(
+                    "sigma[{}->{}]",
+                    system.message(message).name,
+                    system.task(task).name
+                ),
+            };
+            let v = model.add_binary(name);
+            sigma.insert((a, edge), v);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Objective: minimize the sum of application latencies (Eq. 49).
+    //
+    // A tiny tie-breaking term on the task offsets and round starts anchors
+    // otherwise translation-equivalent optima at the beginning of the
+    // hyperperiod, which makes the synthesized schedules deterministic and
+    // easier to read. The weight is small enough never to trade latency for
+    // offset (latencies are ≥ 1 round = 1 time unit, the tie-break sums to
+    // far less than 1e-3 time units).
+    // ------------------------------------------------------------------
+    let mut objective = LinExpr::from_terms(vars.app_latency.values().map(|&v| (v, 1.0)));
+    let num_anchor_terms = (vars.task_offset.len() + vars.round_start.len()).max(1) as f64;
+    let tie_break = 1e-4 / (num_anchor_terms * hyper.max(1.0));
+    for &v in vars.task_offset.values().chain(vars.round_start.iter()) {
+        objective.add_term(v, tie_break);
+    }
+    model.set_objective_expr(Sense::Minimize, objective);
+
+    // ------------------------------------------------------------------
+    // C1.1 — precedence constraints (Eq. 21, 22).
+    // ------------------------------------------------------------------
+    for &a in &apps {
+        let p = system.application(a).period as f64 / tr;
+        for edge in system.precedence_edges(a) {
+            let s = sigma[&(a, edge)];
+            match edge {
+                PrecedenceEdge::TaskToMessage { task, message } => {
+                    // o_τ + e_τ ≤ p·σ + o_m
+                    let e = system.task(task).wcet as f64 / tr;
+                    let mut expr = LinExpr::term(vars.task_offset[&task], 1.0);
+                    expr.add_term(vars.message_offset[&message], -1.0);
+                    expr.add_term(s, -p);
+                    model.add_constraint(
+                        format!("prec_tm[{}->{}]", task, message),
+                        expr,
+                        ttw_milp::ConstraintOp::Le,
+                        -e,
+                    );
+                }
+                PrecedenceEdge::MessageToTask { message, task } => {
+                    // o_m + d_m ≤ p·σ + o_τ
+                    let mut expr = LinExpr::term(vars.message_offset[&message], 1.0);
+                    expr.add_term(vars.message_deadline[&message], 1.0);
+                    expr.add_term(vars.task_offset[&task], -1.0);
+                    expr.add_term(s, -p);
+                    model.add_constraint(
+                        format!("prec_mt[{}->{}]", message, task),
+                        expr,
+                        ttw_milp::ConstraintOp::Le,
+                        0.0,
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // C1.2 — end-to-end deadlines (Eq. 23) and latency linearization (Eq. 47–48).
+    // ------------------------------------------------------------------
+    for &a in &apps {
+        let app = system.application(a);
+        let p = app.period as f64 / tr;
+        let d = app.deadline as f64 / tr;
+        for (ci, chain) in system.chains(a).iter().enumerate() {
+            let first = chain.first_task();
+            let last = chain.last_task();
+            let e_last = system.task(last).wcet as f64 / tr;
+
+            let mut expr = LinExpr::term(vars.task_offset[&last], 1.0);
+            expr.add_term(vars.task_offset[&first], -1.0);
+            for (from, to) in chain.hops() {
+                let edge = match (from, to) {
+                    (crate::chains::ChainElement::Task(t), crate::chains::ChainElement::Message(m)) => {
+                        PrecedenceEdge::TaskToMessage { task: t, message: m }
+                    }
+                    (crate::chains::ChainElement::Message(m), crate::chains::ChainElement::Task(t)) => {
+                        PrecedenceEdge::MessageToTask { message: m, task: t }
+                    }
+                    _ => unreachable!("chain elements alternate"),
+                };
+                expr.add_term(sigma[&(a, edge)], p);
+            }
+
+            // Chain latency ≤ application deadline.
+            model.add_constraint(
+                format!("deadline[{}][c{ci}]", app.name),
+                expr.clone(),
+                ttw_milp::ConstraintOp::Le,
+                d - e_last,
+            );
+            // δ_a ≥ chain latency.
+            let mut lat = expr;
+            lat.add_term(vars.app_latency[&a], -1.0);
+            model.add_constraint(
+                format!("latency[{}][c{ci}]", app.name),
+                lat,
+                ttw_milp::ConstraintOp::Le,
+                -e_last,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // C2 — round constraints (Eq. 24, 25).
+    // ------------------------------------------------------------------
+    for j in 0..num_rounds.saturating_sub(1) {
+        let mut expr = LinExpr::term(vars.round_start[j], 1.0);
+        expr.add_term(vars.round_start[j + 1], -1.0);
+        model.add_constraint(
+            format!("round_order[{j}]"),
+            expr,
+            ttw_milp::ConstraintOp::Le,
+            -1.0,
+        );
+        if let Some(gap) = config.max_inter_round_gap {
+            let mut expr = LinExpr::term(vars.round_start[j + 1], 1.0);
+            expr.add_term(vars.round_start[j], -1.0);
+            model.add_constraint(
+                format!("round_gap[{j}]"),
+                expr,
+                ttw_milp::ConstraintOp::Le,
+                gap as f64 / tr,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // C3 — at most one task at a time per node (Eq. 28, 29).
+    // ------------------------------------------------------------------
+    for (i_idx, &ti) in tasks.iter().enumerate() {
+        for &tj in tasks.iter().skip(i_idx + 1) {
+            if system.task(ti).node != system.task(tj).node {
+                continue;
+            }
+            let p_i = system.task_period(ti) as f64 / tr;
+            let p_j = system.task_period(tj) as f64 / tr;
+            let e_i = system.task(ti).wcet as f64 / tr;
+            let e_j = system.task(tj).wcet as f64 / tr;
+            let n_i = (hyper_us / system.task_period(ti)) as usize;
+            let n_j = (hyper_us / system.task_period(tj)) as usize;
+            for ki in 0..n_i {
+                for kj in 0..n_j {
+                    let lambda = model.add_binary(format!(
+                        "lambda[{}][{}][{ki}][{kj}]",
+                        system.task(ti).name,
+                        system.task(tj).name
+                    ));
+                    // o_i + e_i + p_i·k_i ≤ o_j + p_j·k_j + M(1 − λ)
+                    let mut first = LinExpr::term(vars.task_offset[&ti], 1.0);
+                    first.add_term(vars.task_offset[&tj], -1.0);
+                    first.add_term(lambda, big_m);
+                    model.add_constraint(
+                        format!("noexec1[{ti}][{tj}][{ki}][{kj}]"),
+                        first,
+                        ttw_milp::ConstraintOp::Le,
+                        -e_i - p_i * ki as f64 + p_j * kj as f64 + big_m,
+                    );
+                    // o_j + e_j + p_j·k_j ≤ o_i + p_i·k_i + M·λ
+                    let mut second = LinExpr::term(vars.task_offset[&tj], 1.0);
+                    second.add_term(vars.task_offset[&ti], -1.0);
+                    second.add_term(lambda, -big_m);
+                    model.add_constraint(
+                        format!("noexec2[{ti}][{tj}][{ki}][{kj}]"),
+                        second,
+                        ttw_milp::ConstraintOp::Le,
+                        -e_j - p_j * kj as f64 + p_i * ki as f64,
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // C4 — validity of the message allocation.
+    // ------------------------------------------------------------------
+    for &m in &messages {
+        let p = system.message_period(m) as f64 / tr;
+        let n_inst = (hyper_us / system.message_period(m)) as f64;
+        let o = vars.message_offset[&m];
+        let d = vars.message_deadline[&m];
+        let r0 = leftover[&m];
+        let name = system.message(m).name.clone();
+
+        // Leftover linking: r0 = 1 ⇔ o + d > p.
+        // o + d ≥ r0·(p + mm)
+        let mut lower = LinExpr::term(o, -1.0);
+        lower.add_term(d, -1.0);
+        lower.add_term(r0, p + mm);
+        model.add_constraint(
+            format!("leftover_lb[{name}]"),
+            lower,
+            ttw_milp::ConstraintOp::Le,
+            0.0,
+        );
+        // o + d ≤ p + p·r0
+        let mut upper = LinExpr::term(o, 1.0);
+        upper.add_term(d, 1.0);
+        upper.add_term(r0, -p);
+        model.add_constraint(
+            format!("leftover_ub[{name}]"),
+            upper,
+            ttw_milp::ConstraintOp::Le,
+            p,
+        );
+
+        for j in 0..num_rounds {
+            let r_j = vars.round_start[j];
+            let ka = model.add_integer(format!("ka[{name}][{j}]"), 0.0, n_inst);
+            let kd = model.add_integer(format!("kd[{name}][{j}]"), -1.0, n_inst);
+
+            // (Eq. 42) 0 ≤ r_j − o − (ka − 1)p ≤ p − mm  ⇔  ka = af(r_j)
+            let mut af_lb = LinExpr::term(r_j, -1.0);
+            af_lb.add_term(o, 1.0);
+            af_lb.add_term(ka, p);
+            model.add_constraint(
+                format!("af_lb[{name}][{j}]"),
+                af_lb,
+                ttw_milp::ConstraintOp::Le,
+                p,
+            );
+            let mut af_ub = LinExpr::term(r_j, 1.0);
+            af_ub.add_term(o, -1.0);
+            af_ub.add_term(ka, -p);
+            model.add_constraint(
+                format!("af_ub[{name}][{j}]"),
+                af_ub,
+                ttw_milp::ConstraintOp::Le,
+                -mm,
+            );
+
+            // (Eq. 44) mm ≤ r_j + T_r − o − d − (kd − 1)p ≤ p  ⇔  kd = df(r_j + T_r)
+            let mut df_lb = LinExpr::term(r_j, -1.0);
+            df_lb.add_term(o, 1.0);
+            df_lb.add_term(d, 1.0);
+            df_lb.add_term(kd, p);
+            model.add_constraint(
+                format!("df_lb[{name}][{j}]"),
+                df_lb,
+                ttw_milp::ConstraintOp::Le,
+                1.0 + p - mm,
+            );
+            let mut df_ub = LinExpr::term(r_j, 1.0);
+            df_ub.add_term(o, -1.0);
+            df_ub.add_term(d, -1.0);
+            df_ub.add_term(kd, -p);
+            model.add_constraint(
+                format!("df_ub[{name}][{j}]"),
+                df_ub,
+                ttw_milp::ConstraintOp::Le,
+                -1.0,
+            );
+
+            // (Eq. 11 / C4.1) service by the end of round j never exceeds arrivals.
+            let mut service_le_arrival = LinExpr::new();
+            for (k, alloc_row) in vars.alloc.iter().enumerate().take(j + 1) {
+                let _ = k;
+                service_le_arrival.add_term(alloc_row[&m], 1.0);
+            }
+            service_le_arrival.add_term(r0, -1.0);
+            service_le_arrival.add_term(ka, -1.0);
+            model.add_constraint(
+                format!("c41[{name}][{j}]"),
+                service_le_arrival,
+                ttw_milp::ConstraintOp::Le,
+                0.0,
+            );
+
+            // (Eq. 12 / C4.2) service before round j covers every expired deadline.
+            let mut service_ge_demand = LinExpr::new();
+            for alloc_row in vars.alloc.iter().take(j) {
+                service_ge_demand.add_term(alloc_row[&m], -1.0);
+            }
+            service_ge_demand.add_term(r0, 1.0);
+            service_ge_demand.add_term(kd, 1.0);
+            model.add_constraint(
+                format!("c42[{name}][{j}]"),
+                service_ge_demand,
+                ttw_milp::ConstraintOp::Le,
+                0.0,
+            );
+        }
+
+        // (C4.4) as many slots as instances over one hyperperiod (Eq. 46).
+        let total = LinExpr::from_terms(vars.alloc.iter().map(|row| (row[&m], 1.0)));
+        model.add_constraint(
+            format!("c44[{name}]"),
+            total,
+            ttw_milp::ConstraintOp::Eq,
+            n_inst,
+        );
+    }
+
+    // (C4.3) at most B slots per round.
+    for (j, row) in vars.alloc.iter().enumerate() {
+        let expr = LinExpr::from_terms(row.values().map(|&v| (v, 1.0)));
+        model.add_constraint(
+            format!("c43[{j}]"),
+            expr,
+            ttw_milp::ConstraintOp::Le,
+            config.slots_per_round as f64,
+        );
+    }
+
+    Ok(IlpInstance {
+        model,
+        vars,
+        scale: tr,
+        num_rounds,
+    })
+}
+
+/// Converts an optimal MILP solution back into a [`ModeSchedule`].
+///
+/// # Panics
+///
+/// Panics if `solution` is not optimal (it carries no variable values).
+pub fn extract_schedule(
+    system: &System,
+    mode: ModeId,
+    config: &SchedulerConfig,
+    instance: &IlpInstance,
+    solution: &Solution,
+    stats: SynthesisStats,
+) -> ModeSchedule {
+    assert!(
+        solution.is_optimal(),
+        "extract_schedule requires an optimal solution"
+    );
+    let tr = instance.scale;
+    let vars = &instance.vars;
+
+    let task_offsets = vars
+        .task_offset
+        .iter()
+        .map(|(&t, &v)| (t, solution.value(v) * tr))
+        .collect();
+    let message_offsets = vars
+        .message_offset
+        .iter()
+        .map(|(&m, &v)| (m, solution.value(v) * tr))
+        .collect();
+    let message_deadlines = vars
+        .message_deadline
+        .iter()
+        .map(|(&m, &v)| (m, solution.value(v) * tr))
+        .collect();
+    let app_latencies: BTreeMap<_, _> = vars
+        .app_latency
+        .iter()
+        .map(|(&a, &v)| (a, solution.value(v) * tr))
+        .collect();
+
+    let mut rounds: Vec<ScheduledRound> = (0..instance.num_rounds)
+        .map(|j| {
+            let start = solution.value(vars.round_start[j]) * tr;
+            let slots: Vec<MessageId> = vars.alloc[j]
+                .iter()
+                .filter(|(_, &v)| solution.int_value(v) == 1)
+                .map(|(&m, _)| m)
+                .collect();
+            ScheduledRound { start, slots }
+        })
+        .collect();
+    rounds.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite round starts"));
+
+    let total_latency = app_latencies.values().sum();
+
+    ModeSchedule {
+        mode,
+        hyperperiod: system.hyperperiod(mode),
+        round_duration: config.round_duration,
+        slots_per_round: config.slots_per_round,
+        task_offsets,
+        message_offsets,
+        message_deadlines,
+        rounds,
+        app_latencies,
+        total_latency,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerConfig;
+    use crate::fixtures;
+    use crate::time::millis;
+
+    fn fig3_config() -> SchedulerConfig {
+        // 10 ms rounds with 5 slots keep the fixture instance small and fast.
+        SchedulerConfig::new(millis(10), 5)
+    }
+
+    #[test]
+    fn build_produces_expected_variable_classes() {
+        let (sys, mode) = fixtures::fig3_system();
+        let instance = build_ilp(&sys, mode, &fig3_config(), 2).expect("valid instance");
+        // Offsets, allocations, sigma, ka/kd and latency variables all appear.
+        let names: Vec<String> = instance
+            .model
+            .variables()
+            .map(|(_, v)| v.name.clone())
+            .collect();
+        for marker in ["o[", "om[", "dm[", "r[0]", "y[0][", "sigma[", "ka[", "kd[", "delta["] {
+            assert!(
+                names.iter().any(|n| n.starts_with(marker) || n.contains(marker)),
+                "model missing a `{marker}` variable"
+            );
+        }
+        assert_eq!(instance.num_rounds(), 2);
+        assert!(instance.model.num_constraints() > 20);
+        // The LP dump renders without panicking and mentions the objective.
+        assert!(instance.to_lp_string().contains("Minimize"));
+    }
+
+    #[test]
+    fn zero_round_instance_with_messages_is_infeasible() {
+        let (sys, mode) = fixtures::fig3_system();
+        let instance = build_ilp(&sys, mode, &fig3_config(), 0).expect("valid instance");
+        let solution = instance.model.solve().expect("solver runs");
+        assert!(!solution.is_optimal());
+    }
+
+    #[test]
+    fn one_round_is_infeasible_for_fig3() {
+        // m1/m2 must be served before τ3 which produces m3, so a single round
+        // cannot carry all three messages.
+        let (sys, mode) = fixtures::fig3_system();
+        let instance = build_ilp(&sys, mode, &fig3_config(), 1).expect("valid instance");
+        let solution = instance.model.solve().expect("solver runs");
+        assert!(!solution.is_optimal());
+    }
+
+    #[test]
+    fn two_rounds_are_feasible_for_fig3() {
+        let (sys, mode) = fixtures::fig3_system();
+        let instance = build_ilp(&sys, mode, &fig3_config(), 2).expect("valid instance");
+        let solution = instance.model.solve().expect("solver runs");
+        assert!(solution.is_optimal(), "Fig. 3 schedules with 2 rounds");
+        let schedule = extract_schedule(
+            &sys,
+            mode,
+            &fig3_config(),
+            &instance,
+            &solution,
+            SynthesisStats::default(),
+        );
+        assert_eq!(schedule.num_rounds(), 2);
+        assert_eq!(schedule.total_slots_used(), 3);
+        assert!(schedule.total_latency > 0.0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let (sys, mode) = fixtures::fig3_system();
+        let bad = SchedulerConfig::new(0, 5);
+        assert!(build_ilp(&sys, mode, &bad, 1).is_err());
+    }
+}

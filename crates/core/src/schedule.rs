@@ -1,0 +1,195 @@
+//! The synthesized mode schedule `Sched(M)`.
+
+use crate::ids::{AppId, MessageId, ModeId, TaskId};
+use crate::time::Micros;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One communication round of a mode schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledRound {
+    /// Start time of the round relative to the beginning of the hyperperiod, µs.
+    pub start: f64,
+    /// Messages allocated to the round's data slots, in slot order
+    /// (the paper's allocation vector `r.[B]`, restricted to allocated slots).
+    pub slots: Vec<MessageId>,
+}
+
+impl ScheduledRound {
+    /// Number of allocated data slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the round carries `message` in one of its slots.
+    pub fn carries(&self, message: MessageId) -> bool {
+        self.slots.contains(&message)
+    }
+}
+
+/// Counters describing how a schedule was synthesized.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthesisStats {
+    /// Round counts attempted by Algorithm 1 (in order, last one succeeded).
+    pub rounds_attempted: Vec<usize>,
+    /// Total branch-and-bound nodes explored over all attempts.
+    pub milp_nodes: usize,
+    /// Total simplex pivots over all attempts.
+    pub simplex_iterations: usize,
+    /// Number of decision variables of the final (successful) ILP.
+    pub variables: usize,
+    /// Number of constraints of the final (successful) ILP.
+    pub constraints: usize,
+}
+
+/// The complete static schedule of one operation mode: task offsets, message
+/// offsets and deadlines, and the communication rounds with their slot
+/// allocations (`Sched(M)` in the paper).
+///
+/// All offsets are relative to the beginning of the mode hyperperiod and are
+/// expressed in microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeSchedule {
+    /// The mode this schedule belongs to.
+    pub mode: ModeId,
+    /// Mode hyperperiod in µs (LCM of the application periods).
+    pub hyperperiod: Micros,
+    /// Round length `T_r` used during synthesis, µs.
+    pub round_duration: Micros,
+    /// Maximum number of data slots per round (`B`).
+    pub slots_per_round: usize,
+    /// Task offsets `τ.o` (µs, relative to the application release).
+    pub task_offsets: BTreeMap<TaskId, f64>,
+    /// Message offsets `m.o` (µs, earliest time the message can be served).
+    pub message_offsets: BTreeMap<MessageId, f64>,
+    /// Message deadlines `m.d` (µs, relative to the message offset).
+    pub message_deadlines: BTreeMap<MessageId, f64>,
+    /// Communication rounds ordered by start time.
+    pub rounds: Vec<ScheduledRound>,
+    /// End-to-end latency achieved by each application (µs).
+    pub app_latencies: BTreeMap<AppId, f64>,
+    /// Sum of all application latencies (the ILP objective, Eq. 49), µs.
+    pub total_latency: f64,
+    /// Synthesis statistics.
+    pub stats: SynthesisStats,
+}
+
+impl ModeSchedule {
+    /// Number of communication rounds per hyperperiod (`R_M`).
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// End time (µs) of round `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn round_end(&self, index: usize) -> f64 {
+        self.rounds[index].start + self.round_duration as f64
+    }
+
+    /// Offset of a task, if it is part of this mode.
+    pub fn task_offset(&self, task: TaskId) -> Option<f64> {
+        self.task_offsets.get(&task).copied()
+    }
+
+    /// Offset of a message, if it is part of this mode.
+    pub fn message_offset(&self, message: MessageId) -> Option<f64> {
+        self.message_offsets.get(&message).copied()
+    }
+
+    /// Relative deadline of a message, if it is part of this mode.
+    pub fn message_deadline(&self, message: MessageId) -> Option<f64> {
+        self.message_deadlines.get(&message).copied()
+    }
+
+    /// Indices of the rounds that carry `message`, in time order.
+    pub fn rounds_carrying(&self, message: MessageId) -> Vec<usize> {
+        self.rounds
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.carries(message))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total number of allocated data slots over the hyperperiod.
+    pub fn total_slots_used(&self) -> usize {
+        self.rounds.iter().map(ScheduledRound::num_slots).sum()
+    }
+
+    /// Fraction of the hyperperiod spent inside communication rounds.
+    ///
+    /// This is the airtime the communication schedule claims; the rest is
+    /// available for the radio to stay off.
+    pub fn communication_duty_cycle(&self) -> f64 {
+        if self.hyperperiod == 0 {
+            return 0.0;
+        }
+        self.num_rounds() as f64 * self.round_duration as f64 / self.hyperperiod as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{MessageId, ModeId};
+
+    fn sample_schedule() -> ModeSchedule {
+        ModeSchedule {
+            mode: ModeId::from_index(0),
+            hyperperiod: 100_000,
+            round_duration: 10_000,
+            slots_per_round: 5,
+            task_offsets: BTreeMap::new(),
+            message_offsets: BTreeMap::new(),
+            message_deadlines: BTreeMap::new(),
+            rounds: vec![
+                ScheduledRound {
+                    start: 0.0,
+                    slots: vec![MessageId::from_index(0), MessageId::from_index(1)],
+                },
+                ScheduledRound {
+                    start: 40_000.0,
+                    slots: vec![MessageId::from_index(0)],
+                },
+            ],
+            app_latencies: BTreeMap::new(),
+            total_latency: 0.0,
+            stats: SynthesisStats::default(),
+        }
+    }
+
+    #[test]
+    fn round_accessors() {
+        let s = sample_schedule();
+        assert_eq!(s.num_rounds(), 2);
+        assert_eq!(s.round_end(0), 10_000.0);
+        assert_eq!(s.total_slots_used(), 3);
+        assert!(s.rounds[0].carries(MessageId::from_index(1)));
+        assert!(!s.rounds[1].carries(MessageId::from_index(1)));
+    }
+
+    #[test]
+    fn rounds_carrying_lists_indices_in_order() {
+        let s = sample_schedule();
+        assert_eq!(s.rounds_carrying(MessageId::from_index(0)), vec![0, 1]);
+        assert_eq!(s.rounds_carrying(MessageId::from_index(1)), vec![0]);
+        assert!(s.rounds_carrying(MessageId::from_index(9)).is_empty());
+    }
+
+    #[test]
+    fn duty_cycle_is_rounds_over_hyperperiod() {
+        let s = sample_schedule();
+        assert!((s.communication_duty_cycle() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_serializes_round_trip() {
+        let s = sample_schedule();
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: ModeSchedule = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(s, back);
+    }
+}

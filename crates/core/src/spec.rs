@@ -1,0 +1,153 @@
+//! Declarative specifications used to populate a [`crate::System`].
+//!
+//! Applications are described by name before being added to a system: tasks
+//! reference the node they are mapped to by name, and messages reference their
+//! sender and receiver tasks by name. [`crate::System::add_application`]
+//! resolves the names, checks the model rules of Sec. III and creates the
+//! corresponding entities.
+
+use crate::time::Micros;
+use serde::{Deserialize, Serialize};
+
+/// Specification of a task (`τ`): its node mapping and worst-case execution time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task name, unique within the system.
+    pub name: String,
+    /// Name of the node the task is mapped to (`τ.map`).
+    pub node: String,
+    /// Worst-case execution time in microseconds (`τ.e`).
+    pub wcet: Micros,
+}
+
+/// Specification of a message (`m`): which tasks produce it and which tasks
+/// wait for it.
+///
+/// A message with several destinations models the multicast/broadcast case of
+/// the paper (several edges of the precedence graph labelled with the same
+/// message).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageSpec {
+    /// Message name, unique within the system.
+    pub name: String,
+    /// Names of the tasks that must finish before the message can be sent
+    /// (`m.prec`); all must be mapped to the same node.
+    pub sources: Vec<String>,
+    /// Names of the tasks that wait for the message before starting.
+    pub destinations: Vec<String>,
+}
+
+/// Specification of a distributed application (`a`): period, end-to-end
+/// deadline and precedence graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplicationSpec {
+    /// Application name, unique within the system.
+    pub name: String,
+    /// Period `a.p` in microseconds.
+    pub period: Micros,
+    /// Relative end-to-end deadline `a.d` in microseconds (`a.d ≤ a.p`).
+    pub deadline: Micros,
+    /// Tasks of the application.
+    pub tasks: Vec<TaskSpec>,
+    /// Messages of the application.
+    pub messages: Vec<MessageSpec>,
+}
+
+impl ApplicationSpec {
+    /// Creates an empty application specification.
+    ///
+    /// ```
+    /// use ttw_core::spec::ApplicationSpec;
+    /// use ttw_core::time::millis;
+    ///
+    /// let app = ApplicationSpec::new("control", millis(100), millis(100))
+    ///     .with_task("sense", "sensor", millis(2))
+    ///     .with_task("act", "actuator", millis(1))
+    ///     .with_message("measurement", ["sense"], ["act"]);
+    /// assert_eq!(app.tasks.len(), 2);
+    /// assert_eq!(app.messages.len(), 1);
+    /// ```
+    pub fn new(name: impl Into<String>, period: Micros, deadline: Micros) -> Self {
+        ApplicationSpec {
+            name: name.into(),
+            period,
+            deadline,
+            tasks: Vec::new(),
+            messages: Vec::new(),
+        }
+    }
+
+    /// Adds a task mapped to `node` with the given worst-case execution time.
+    pub fn with_task(
+        mut self,
+        name: impl Into<String>,
+        node: impl Into<String>,
+        wcet: Micros,
+    ) -> Self {
+        self.tasks.push(TaskSpec {
+            name: name.into(),
+            node: node.into(),
+            wcet,
+        });
+        self
+    }
+
+    /// Adds a message sent after `sources` finish and awaited by `destinations`.
+    pub fn with_message<S, D>(
+        mut self,
+        name: impl Into<String>,
+        sources: S,
+        destinations: D,
+    ) -> Self
+    where
+        S: IntoIterator,
+        S::Item: Into<String>,
+        D: IntoIterator,
+        D::Item: Into<String>,
+    {
+        self.messages.push(MessageSpec {
+            name: name.into(),
+            sources: sources.into_iter().map(Into::into).collect(),
+            destinations: destinations.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::millis;
+
+    #[test]
+    fn builder_accumulates_tasks_and_messages() {
+        let app = ApplicationSpec::new("a", millis(50), millis(40))
+            .with_task("t1", "n1", 500)
+            .with_task("t2", "n2", 700)
+            .with_message("m1", ["t1"], ["t2"]);
+        assert_eq!(app.name, "a");
+        assert_eq!(app.period, 50_000);
+        assert_eq!(app.deadline, 40_000);
+        assert_eq!(app.tasks[1].node, "n2");
+        assert_eq!(app.messages[0].sources, vec!["t1"]);
+        assert_eq!(app.messages[0].destinations, vec!["t2"]);
+    }
+
+    #[test]
+    fn multicast_message_has_several_destinations() {
+        let app = ApplicationSpec::new("a", 10, 10).with_message(
+            "cmd",
+            ["controller"],
+            ["act1", "act2"],
+        );
+        assert_eq!(app.messages[0].destinations.len(), 2);
+    }
+
+    #[test]
+    fn specs_serialize_round_trip() {
+        let app = ApplicationSpec::new("a", 10, 10).with_task("t", "n", 1);
+        let json = serde_json::to_string(&app).expect("serialize");
+        let back: ApplicationSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(app, back);
+    }
+}

@@ -1,0 +1,162 @@
+//! Schedule synthesis driver — Algorithm 1 of the paper.
+//!
+//! The number of communication rounds `R_M` is not known in advance: the
+//! driver formulates the ILP for `R_M = 0, 1, 2, …` and returns the first
+//! feasible schedule, which is therefore optimal in the number of rounds.
+//! The latency objective of each ILP then makes that schedule latency-optimal
+//! among all schedules using `R_M` rounds.
+
+use crate::config::SchedulerConfig;
+use crate::error::ScheduleError;
+use crate::ids::ModeId;
+use crate::ilp;
+use crate::schedule::{ModeSchedule, SynthesisStats};
+use crate::system::System;
+
+/// Synthesizes the schedule of one mode (Algorithm 1).
+///
+/// Tries `R_M = 0, 1, …, R_max` rounds, where
+/// `R_max = ⌊LCM / T_r⌋` (or the explicit cap from the configuration), and
+/// returns the first feasible — hence round-minimal — schedule.
+///
+/// # Errors
+///
+/// * [`ScheduleError::Infeasible`] if no round count up to `R_max` admits a
+///   feasible schedule.
+/// * [`ScheduleError::InvalidConfig`] if the configuration is malformed.
+/// * [`ScheduleError::Solver`] if the MILP solver exhausts its budgets.
+pub fn synthesize_mode(
+    system: &System,
+    mode: ModeId,
+    config: &SchedulerConfig,
+) -> Result<ModeSchedule, ScheduleError> {
+    config.validate()?;
+
+    let hyperperiod = system.hyperperiod(mode);
+    let fit = (hyperperiod / config.round_duration) as usize;
+    let r_max = config.max_rounds.map_or(fit, |cap| cap.min(fit));
+
+    let mut stats = SynthesisStats::default();
+    let messages = system.messages_in_mode(mode);
+
+    // Lower bound on the number of rounds: enough slots must exist for every
+    // message instance of the hyperperiod. Starting there skips ILPs that are
+    // trivially infeasible, without affecting optimality.
+    let total_instances: usize = messages
+        .iter()
+        .map(|&m| (hyperperiod / system.message_period(m)) as usize)
+        .sum();
+    let min_rounds = total_instances.div_ceil(config.slots_per_round.max(1));
+
+    for num_rounds in min_rounds..=r_max {
+        let instance = ilp::build_ilp(system, mode, config, num_rounds)?;
+        stats.rounds_attempted.push(num_rounds);
+        stats.variables = instance.model.num_vars();
+        stats.constraints = instance.model.num_constraints();
+        let solution = instance.model.solve()?;
+        stats.milp_nodes += solution.nodes_explored;
+        stats.simplex_iterations += solution.simplex_iterations;
+        if solution.is_optimal() {
+            return Ok(ilp::extract_schedule(
+                system, mode, config, &instance, &solution, stats,
+            ));
+        }
+    }
+
+    Err(ScheduleError::Infeasible {
+        mode,
+        max_rounds_tried: r_max,
+    })
+}
+
+/// Synthesizes the schedules of every mode of the system with the same
+/// configuration, in mode-id order.
+///
+/// # Errors
+///
+/// Fails on the first mode that cannot be scheduled (see
+/// [`synthesize_mode`]); schedules of earlier modes are discarded.
+pub fn synthesize_all_modes(
+    system: &System,
+    config: &SchedulerConfig,
+) -> Result<Vec<ModeSchedule>, ScheduleError> {
+    system
+        .modes()
+        .map(|(mode, _)| synthesize_mode(system, mode, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::time::millis;
+    use crate::validate::validate_schedule;
+
+    fn config() -> SchedulerConfig {
+        SchedulerConfig::new(millis(10), 5)
+    }
+
+    #[test]
+    fn fig3_needs_exactly_two_rounds() {
+        let (sys, mode) = fixtures::fig3_system();
+        let schedule = synthesize_mode(&sys, mode, &config()).expect("feasible");
+        assert_eq!(schedule.num_rounds(), 2, "Fig. 3 needs two rounds (m1, m2 | m3)");
+        assert!(schedule.stats.rounds_attempted.contains(&2));
+        let violations = validate_schedule(&sys, mode, &config(), &schedule);
+        assert!(violations.is_empty(), "validator found: {violations:?}");
+    }
+
+    #[test]
+    fn fig3_latency_respects_lower_bound() {
+        // Eq. 13: latency ≥ Σ WCET + (#messages)·T_r along the longest chain.
+        let (sys, mode) = fixtures::fig3_system();
+        let schedule = synthesize_mode(&sys, mode, &config()).expect("feasible");
+        let app = sys.application_id("ctrl").expect("app exists");
+        let achieved = schedule.app_latencies[&app];
+        let bound = crate::analysis::min_latency_bound(&sys, app, millis(10)) as f64;
+        assert!(
+            achieved + 1e-6 >= bound,
+            "achieved {achieved} must respect the Eq. 13 bound {bound}"
+        );
+        // The optimizer should get reasonably close to the bound for this
+        // small instance (within one round length).
+        assert!(achieved <= bound + millis(10) as f64 + 1e-6);
+    }
+
+    #[test]
+    fn tasks_only_mode_needs_zero_rounds() {
+        let (sys, mode) = fixtures::synthetic_mode(2, 1, 2, millis(50));
+        let schedule = synthesize_mode(&sys, mode, &config()).expect("feasible");
+        assert_eq!(schedule.num_rounds(), 0);
+        assert_eq!(schedule.total_slots_used(), 0);
+    }
+
+    #[test]
+    fn infeasible_when_rounds_do_not_fit() {
+        // Period 5 ms with 10 ms rounds: R_max = 0 but messages exist.
+        let (sys, mode) = fixtures::synthetic_mode(1, 2, 2, millis(5));
+        let err = synthesize_mode(&sys, mode, &config()).unwrap_err();
+        assert!(matches!(err, ScheduleError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn pipeline_mode_schedules_and_validates() {
+        let (sys, mode) = fixtures::synthetic_mode(2, 3, 3, millis(100));
+        let schedule = synthesize_mode(&sys, mode, &config()).expect("feasible");
+        assert!(schedule.num_rounds() >= 1);
+        let violations = validate_schedule(&sys, mode, &config(), &schedule);
+        assert!(violations.is_empty(), "validator found: {violations:?}");
+    }
+
+    #[test]
+    fn synthesize_all_modes_covers_every_mode() {
+        let (sys, normal, emergency) = fixtures::two_mode_system();
+        let schedules = synthesize_all_modes(&sys, &config()).expect("both modes feasible");
+        assert_eq!(schedules.len(), 2);
+        assert_eq!(schedules[0].mode, normal);
+        assert_eq!(schedules[1].mode, emergency);
+        assert_eq!(schedules[0].hyperperiod, millis(100));
+        assert_eq!(schedules[1].hyperperiod, millis(50));
+    }
+}

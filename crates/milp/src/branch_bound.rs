@@ -1,0 +1,346 @@
+//! Best-first branch-and-bound over the LP relaxation.
+
+use crate::error::SolveError;
+use crate::model::Model;
+use crate::simplex::{self, LpStatus};
+use crate::solution::{Solution, Status};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A subproblem: the variable bounds of the node and the LP bound of its parent.
+#[derive(Debug, Clone)]
+struct Node {
+    bounds: Vec<(f64, f64)>,
+    /// Lower bound on the node's optimal value (its parent's LP objective).
+    bound: f64,
+    depth: usize,
+}
+
+/// Orders nodes so the [`BinaryHeap`] pops the smallest LP bound first
+/// (best-first search for minimization).
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest bound first.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.depth.cmp(&self.depth))
+    }
+}
+
+/// Solves the mixed-integer program by branch-and-bound.
+///
+/// The returned objective is expressed in the user's optimization sense.
+pub(crate) fn solve(model: &Model) -> Result<Solution, SolveError> {
+    let params = model.params().clone();
+    let int_tol = params.integrality_tolerance;
+
+    let integer_vars: Vec<usize> = model
+        .variables()
+        .filter(|(_, v)| v.kind.is_integral())
+        .map(|(id, _)| id.index())
+        .collect();
+
+    let root_bounds: Vec<(f64, f64)> = model
+        .variables()
+        .map(|(_, v)| match v.kind {
+            // Tighten integral bounds to the enclosing integer lattice.
+            k if k.is_integral() => (v.lower.ceil(), v.upper.floor()),
+            _ => (v.lower, v.upper),
+        })
+        .collect();
+
+    let mut nodes_explored = 0usize;
+    let mut simplex_iterations = 0usize;
+
+    // Pure LPs never need branching.
+    if integer_vars.is_empty() {
+        let lp = simplex::solve_lp(model, &root_bounds)?;
+        simplex_iterations += lp.iterations;
+        return Ok(match lp.status {
+            LpStatus::Optimal => Solution::new(
+                Status::Optimal,
+                model.signed_objective(lp.objective),
+                lp.values,
+                0,
+                simplex_iterations,
+            ),
+            LpStatus::Infeasible => Solution::infeasible(0, simplex_iterations),
+            LpStatus::Unbounded => Solution::unbounded(0, simplex_iterations),
+        });
+    }
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        bounds: root_bounds,
+        bound: f64::NEG_INFINITY,
+        depth: 0,
+    });
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut saw_unbounded_root = false;
+
+    while let Some(node) = heap.pop() {
+        // A node whose bound cannot improve on the incumbent is pruned; with
+        // best-first ordering this also proves optimality of the incumbent.
+        if let Some((best, _)) = &incumbent {
+            if node.bound >= *best - params.relative_gap * best.abs().max(1.0) {
+                break;
+            }
+        }
+        if nodes_explored >= params.max_nodes {
+            return Err(SolveError::NodeLimitReached {
+                explored: nodes_explored,
+            });
+        }
+        nodes_explored += 1;
+
+        let lp = simplex::solve_lp(model, &node.bounds)?;
+        simplex_iterations += lp.iterations;
+        match lp.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                if node.depth == 0 {
+                    saw_unbounded_root = true;
+                }
+                // An unbounded relaxation cannot be branched meaningfully.
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+
+        // Prune by bound against the incumbent.
+        if let Some((best, _)) = &incumbent {
+            if lp.objective >= *best - params.relative_gap * best.abs().max(1.0) {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<(usize, f64, f64)> = None; // (var, value, fractionality)
+        for &vi in &integer_vars {
+            let val = lp.values[vi];
+            let frac = (val - val.round()).abs();
+            if frac > int_tol {
+                let dist_to_half = (val.fract().abs() - 0.5).abs();
+                match branch_var {
+                    None => branch_var = Some((vi, val, dist_to_half)),
+                    Some((_, _, best_dist)) if dist_to_half < best_dist => {
+                        branch_var = Some((vi, val, dist_to_half))
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integral solution: new incumbent if it improves.
+                let better = incumbent
+                    .as_ref()
+                    .map(|(best, _)| lp.objective < *best)
+                    .unwrap_or(true);
+                if better {
+                    incumbent = Some((lp.objective, lp.values));
+                }
+            }
+            Some((vi, val, _)) => {
+                let floor = val.floor();
+                let ceil = val.ceil();
+                let (lo, hi) = node.bounds[vi];
+
+                if floor >= lo {
+                    let mut b = node.bounds.clone();
+                    b[vi].1 = floor;
+                    heap.push(Node {
+                        bounds: b,
+                        bound: lp.objective,
+                        depth: node.depth + 1,
+                    });
+                }
+                if ceil <= hi {
+                    let mut b = node.bounds.clone();
+                    b[vi].0 = ceil;
+                    heap.push(Node {
+                        bounds: b,
+                        bound: lp.objective,
+                        depth: node.depth + 1,
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(match incumbent {
+        Some((objective, mut values)) => {
+            // Snap integer variables onto the lattice to remove solver noise.
+            for &vi in &integer_vars {
+                values[vi] = values[vi].round();
+            }
+            Solution::new(
+                Status::Optimal,
+                model.signed_objective(objective),
+                values,
+                nodes_explored,
+                simplex_iterations,
+            )
+        }
+        None if saw_unbounded_root => Solution::unbounded(nodes_explored, simplex_iterations),
+        None => Solution::infeasible(nodes_explored, simplex_iterations),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Model, Sense, VarKind};
+    use crate::solution::Status;
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c with 3a + 4b + 2c <= 6, binaries → a=0? Let's check:
+        // best is a + c (weight 5, value 17) vs b + c (weight 6, value 20) → 20.
+        let mut m = Model::new("knapsack");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.set_objective(Sense::Maximize, &[(a, 10.0), (b, 13.0), (c, 7.0)]);
+        m.add_le(&[(a, 3.0), (b, 4.0), (c, 2.0)], 6.0);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 20.0).abs() < 1e-6);
+        assert_eq!(s.int_value(b), 1);
+        assert_eq!(s.int_value(c), 1);
+        assert_eq!(s.int_value(a), 0);
+    }
+
+    #[test]
+    fn integer_rounding_differs_from_lp() {
+        // max x + y s.t. 2x + 2y <= 3, integers → LP gives 1.5, MILP gives 1.
+        let mut m = Model::new("gap");
+        let x = m.add_integer("x", 0.0, 10.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.set_objective(Sense::Maximize, &[(x, 1.0), (y, 1.0)]);
+        m.add_le(&[(x, 2.0), (y, 2.0)], 3.0);
+        let lp = m.solve_relaxation().unwrap();
+        assert!((lp.objective - 1.5).abs() < 1e-6);
+        let s = m.solve().unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // 0.4 <= x <= 0.6 with x integer has no solution.
+        let mut m = Model::new("infeasible");
+        let x = m.add_var("x", VarKind::Integer, 0.0, 1.0);
+        m.add_ge(&[(x, 1.0)], 0.4);
+        m.add_le(&[(x, 1.0)], 0.6);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn equality_constrained_integers() {
+        // x + y = 7, x - y = 1 → x=4, y=3.
+        let mut m = Model::new("eq");
+        let x = m.add_integer("x", 0.0, 100.0);
+        let y = m.add_integer("y", 0.0, 100.0);
+        m.add_eq(&[(x, 1.0), (y, 1.0)], 7.0);
+        m.add_eq(&[(x, 1.0), (y, -1.0)], 1.0);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.int_value(x), 4);
+        assert_eq!(s.int_value(y), 3);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min 2x + 3y, x integer, y continuous, x + y >= 4.3, x <= 3 → x=3, y=1.3.
+        let mut m = Model::new("mixed");
+        let x = m.add_integer("x", 0.0, 3.0);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective(Sense::Minimize, &[(x, 2.0), (y, 3.0)]);
+        m.add_ge(&[(x, 1.0), (y, 1.0)], 4.3);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert_eq!(s.int_value(x), 3);
+        assert!((s.value(y) - 1.3).abs() < 1e-6);
+        assert!((s.objective - (6.0 + 3.9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn big_m_disjunction() {
+        // Either x >= 5 or y >= 5, minimize x + y with both in [0,10].
+        // Using binary z and big-M 10: x >= 5 - 10(1-z), y >= 5 - 10z.
+        let mut m = Model::new("disjunction");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        let z = m.add_binary("z");
+        m.set_objective(Sense::Minimize, &[(x, 1.0), (y, 1.0)]);
+        m.add_ge(&[(x, 1.0), (z, -10.0)], -5.0); // x - 10z >= -5  ⇔ x >= 10z - 5... careful
+        m.add_ge(&[(y, 1.0), (z, 10.0)], 5.0); // y + 10z >= 5 ⇔ y >= 5 - 10z
+        // With z=1: x >= 5, y >= -5 (inactive) → x=5,y=0. With z=0: x >= -5, y >= 5 → 5.
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 5.0).abs() < 1e-6, "obj={}", s.objective);
+    }
+
+    #[test]
+    fn node_and_iteration_counters_populated() {
+        let mut m = Model::new("counters");
+        let x = m.add_integer("x", 0.0, 50.0);
+        let y = m.add_integer("y", 0.0, 50.0);
+        m.set_objective(Sense::Maximize, &[(x, 3.0), (y, 4.0)]);
+        m.add_le(&[(x, 5.0), (y, 7.0)], 61.0);
+        m.add_le(&[(x, 4.0), (y, 3.0)], 37.0);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!(s.nodes_explored >= 1);
+        assert!(s.simplex_iterations >= 1);
+    }
+
+    #[test]
+    fn binary_assignment_problem() {
+        // 3 jobs to 3 machines, cost matrix; classic assignment has an integral
+        // LP optimum but still exercises the equality handling with binaries.
+        let cost = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
+        let mut m = Model::new("assignment");
+        let mut x = Vec::new();
+        for i in 0..3 {
+            let mut row = Vec::new();
+            for j in 0..3 {
+                row.push(m.add_binary(format!("x{i}{j}")));
+            }
+            x.push(row);
+        }
+        let mut obj = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                obj.push((x[i][j], cost[i][j]));
+            }
+        }
+        m.set_objective(Sense::Minimize, &obj);
+        for i in 0..3 {
+            let row: Vec<_> = (0..3).map(|j| (x[i][j], 1.0)).collect();
+            m.add_eq(&row, 1.0);
+            let col: Vec<_> = (0..3).map(|j| (x[j][i], 1.0)).collect();
+            m.add_eq(&col, 1.0);
+        }
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        // Optimal assignment: job0→m1 (2), job1→m2? costs: choose 2 + 7 + 3 = 12
+        // alternatives: 4+3+6=13, 8+4+1=13, 2+4+6=12? (j0→m1=2, j1→m0=4, j2→m2=6)=12.
+        assert!((s.objective - 12.0).abs() < 1e-6, "obj={}", s.objective);
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types returned by the solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving a model.
+///
+/// The infeasible / unbounded outcomes of a *successful* solve are reported
+/// through [`crate::Status`], not through this type; `SolveError` covers
+/// malformed models and resource-budget exhaustion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// A variable id used in an expression does not belong to the model.
+    UnknownVariable {
+        /// Index of the offending variable.
+        index: usize,
+        /// Number of variables the model actually has.
+        model_len: usize,
+    },
+    /// A variable was declared with a lower bound above its upper bound.
+    InvalidBounds {
+        /// Name of the offending variable.
+        name: String,
+        /// Declared lower bound.
+        lower: f64,
+        /// Declared upper bound.
+        upper: f64,
+    },
+    /// A coefficient or bound is NaN or infinite where a finite value is required.
+    NonFiniteCoefficient {
+        /// Human-readable location of the offending value.
+        context: String,
+    },
+    /// The branch-and-bound search exhausted its node budget before proving
+    /// optimality or infeasibility.
+    NodeLimitReached {
+        /// Number of nodes explored before giving up.
+        explored: usize,
+    },
+    /// The simplex iteration limit was reached; the model is likely degenerate
+    /// beyond what the pivoting safeguards can handle.
+    IterationLimitReached {
+        /// Number of pivots performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::UnknownVariable { index, model_len } => write!(
+                f,
+                "unknown variable index {index} (model has {model_len} variables)"
+            ),
+            SolveError::InvalidBounds { name, lower, upper } => write!(
+                f,
+                "invalid bounds for variable `{name}`: lower {lower} > upper {upper}"
+            ),
+            SolveError::NonFiniteCoefficient { context } => {
+                write!(f, "non-finite coefficient in {context}")
+            }
+            SolveError::NodeLimitReached { explored } => write!(
+                f,
+                "branch-and-bound node limit reached after exploring {explored} nodes"
+            ),
+            SolveError::IterationLimitReached { iterations } => write!(
+                f,
+                "simplex iteration limit reached after {iterations} pivots"
+            ),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_variable() {
+        let e = SolveError::UnknownVariable {
+            index: 7,
+            model_len: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "unknown variable index 7 (model has 3 variables)"
+        );
+    }
+
+    #[test]
+    fn display_invalid_bounds() {
+        let e = SolveError::InvalidBounds {
+            name: "x".into(),
+            lower: 2.0,
+            upper: 1.0,
+        };
+        assert!(e.to_string().contains("invalid bounds"));
+        assert!(e.to_string().contains('x'));
+    }
+
+    #[test]
+    fn display_budget_errors() {
+        assert!(SolveError::NodeLimitReached { explored: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(SolveError::IterationLimitReached { iterations: 99 }
+            .to_string()
+            .contains("99"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SolveError>();
+    }
+}

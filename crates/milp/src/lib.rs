@@ -1,0 +1,53 @@
+//! # ttw-milp — a small mixed-integer linear programming solver
+//!
+//! The TTW schedule synthesis ([Sec. IV of the paper]) formulates the joint
+//! co-scheduling of tasks, messages and communication rounds as an integer
+//! linear program. The original work solves it with Gurobi; this crate is the
+//! self-contained substitute used by the reproduction: a dense two-phase
+//! primal [simplex] LP solver combined with a best-first [branch-and-bound]
+//! search over the integer variables.
+//!
+//! The modelling API follows the shape of common solver front-ends:
+//!
+//! ```
+//! use ttw_milp::{Model, Sense, VarKind};
+//!
+//! # fn main() -> Result<(), ttw_milp::SolveError> {
+//! let mut model = Model::new("knapsack");
+//! let x = model.add_var("x", VarKind::Integer, 0.0, 10.0);
+//! let y = model.add_var("y", VarKind::Integer, 0.0, 10.0);
+//! // maximize 3x + 5y  s.t.  2x + 4y <= 17,  x + y <= 6
+//! model.set_objective(Sense::Maximize, &[(x, 3.0), (y, 5.0)]);
+//! model.add_le(&[(x, 2.0), (y, 4.0)], 17.0);
+//! model.add_le(&[(x, 1.0), (y, 1.0)], 6.0);
+//! let solution = model.solve()?;
+//! assert!((solution.objective - 22.0).abs() < 1e-6);
+//! assert_eq!(solution.value(x).round() as i64, 4);
+//! assert_eq!(solution.value(y).round() as i64, 2);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The solver is exact for the instance sizes produced by the TTW scheduler
+//! (tens to a few hundred variables); it is not intended to compete with
+//! industrial solvers on large instances.
+//!
+//! [simplex]: crate::simplex
+//! [branch-and-bound]: crate::branch_bound
+//! [Sec. IV of the paper]: https://arxiv.org/abs/1711.05581
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod error;
+pub mod expr;
+pub mod lp_format;
+pub mod model;
+pub mod simplex;
+pub mod solution;
+
+pub use error::SolveError;
+pub use expr::{LinExpr, Term, VarId};
+pub use model::{ConstraintOp, Model, Sense, SolveParams, VarKind};
+pub use solution::{Solution, Status};

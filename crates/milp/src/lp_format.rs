@@ -1,0 +1,166 @@
+//! Writer for the CPLEX LP text format.
+//!
+//! The TTW scheduler can dump every ILP instance it builds to the widely
+//! supported LP format, which makes the formulation auditable and lets the
+//! instances be cross-checked against an external solver when one is
+//! available. Only the subset of the format needed by this crate is emitted
+//! (objective, constraints, bounds, `General`/`Binary` sections).
+
+use crate::model::{ConstraintOp, Model, Sense, VarKind};
+use std::fmt::Write as _;
+
+/// Renders `model` in CPLEX LP format.
+///
+/// The output is deterministic: variables keep their insertion (column) order
+/// and constraints their insertion order.
+pub fn to_lp_string(model: &Model) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\\ Problem: {}", model.name());
+
+    let (objective, sense) = model.objective();
+    let header = match sense {
+        Sense::Minimize => "Minimize",
+        Sense::Maximize => "Maximize",
+    };
+    let _ = writeln!(out, "{header}");
+    let mut obj_line = String::from(" obj:");
+    if objective.is_empty() {
+        obj_line.push_str(" 0");
+    } else {
+        for (var, coeff) in objective.iter() {
+            let name = &model.var(var).name;
+            append_term(&mut obj_line, coeff, name);
+        }
+    }
+    let _ = writeln!(out, "{obj_line}");
+
+    let _ = writeln!(out, "Subject To");
+    for c in model.constraints() {
+        let mut line = format!(" {}:", sanitize(&c.name));
+        if c.expr.is_empty() {
+            line.push_str(" 0");
+        } else {
+            for (var, coeff) in c.expr.iter() {
+                let name = &model.var(var).name;
+                append_term(&mut line, coeff, name);
+            }
+        }
+        let op = match c.op {
+            ConstraintOp::Le => "<=",
+            ConstraintOp::Ge => ">=",
+            ConstraintOp::Eq => "=",
+        };
+        let _ = writeln!(out, "{line} {op} {}", c.rhs);
+    }
+
+    let _ = writeln!(out, "Bounds");
+    for (_, v) in model.variables() {
+        let name = sanitize(&v.name);
+        match (v.lower.is_finite(), v.upper.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(out, " {} <= {} <= {}", v.lower, name, v.upper);
+            }
+            (true, false) => {
+                let _ = writeln!(out, " {} >= {}", name, v.lower);
+            }
+            (false, true) => {
+                let _ = writeln!(out, " {} <= {}", name, v.upper);
+            }
+            (false, false) => {
+                let _ = writeln!(out, " {} free", name);
+            }
+        }
+    }
+
+    let generals: Vec<String> = model
+        .variables()
+        .filter(|(_, v)| v.kind == VarKind::Integer)
+        .map(|(_, v)| sanitize(&v.name))
+        .collect();
+    if !generals.is_empty() {
+        let _ = writeln!(out, "General");
+        let _ = writeln!(out, " {}", generals.join(" "));
+    }
+    let binaries: Vec<String> = model
+        .variables()
+        .filter(|(_, v)| v.kind == VarKind::Binary)
+        .map(|(_, v)| sanitize(&v.name))
+        .collect();
+    if !binaries.is_empty() {
+        let _ = writeln!(out, "Binary");
+        let _ = writeln!(out, " {}", binaries.join(" "));
+    }
+
+    let _ = writeln!(out, "End");
+    out
+}
+
+/// Appends `+ c name` / `- c name` to a line.
+fn append_term(line: &mut String, coeff: f64, name: &str) {
+    if coeff >= 0.0 {
+        let _ = write!(line, " + {} {}", coeff, sanitize(name));
+    } else {
+        let _ = write!(line, " - {} {}", -coeff, sanitize(name));
+    }
+}
+
+/// Replaces characters the LP format does not allow in identifiers.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn renders_all_sections() {
+        let mut m = Model::new("demo");
+        let x = m.add_integer("x", 0.0, 10.0);
+        let y = m.add_binary("y[1,2]");
+        let z = m.add_continuous("z", f64::NEG_INFINITY, f64::INFINITY);
+        m.set_objective(Sense::Maximize, &[(x, 3.0), (y, -5.0)]);
+        m.add_le(&[(x, 1.0), (y, 2.0)], 8.0);
+        m.add_eq(&[(z, 1.0), (x, -1.0)], 0.0);
+        let text = to_lp_string(&m);
+        assert!(text.contains("Maximize"));
+        assert!(text.contains("Subject To"));
+        assert!(text.contains("Bounds"));
+        assert!(text.contains("General"));
+        assert!(text.contains("Binary"));
+        assert!(text.contains("y_1_2_"), "identifiers are sanitized: {text}");
+        assert!(text.contains("z free"));
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn empty_objective_prints_zero() {
+        let mut m = Model::new("feas");
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_ge(&[(x, 1.0)], 0.5);
+        let text = to_lp_string(&m);
+        assert!(text.contains("obj: 0"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let build = || {
+            let mut m = Model::new("det");
+            let a = m.add_continuous("a", 0.0, 1.0);
+            let b = m.add_continuous("b", 0.0, 1.0);
+            m.set_objective(Sense::Minimize, &[(a, 1.0), (b, 2.0)]);
+            m.add_le(&[(a, 1.0), (b, 1.0)], 1.0);
+            to_lp_string(&m)
+        };
+        assert_eq!(build(), build());
+    }
+}

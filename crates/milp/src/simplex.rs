@@ -1,0 +1,626 @@
+//! Dense two-phase primal simplex for linear programs.
+//!
+//! The solver works on an explicit tableau. Models are converted to standard
+//! form (all structural variables non-negative, all rows equalities with a
+//! non-negative right-hand side) by shifting/negating/splitting variables
+//! according to their bounds and by adding slack, surplus and artificial
+//! columns. Phase 1 minimizes the sum of artificial variables; phase 2
+//! minimizes the user objective with artificial columns barred from entering
+//! the basis. Dantzig pricing is used by default with a fall-back to Bland's
+//! rule when the objective stalls, which guarantees termination.
+
+use crate::error::SolveError;
+use crate::model::{ConstraintOp, Model};
+
+/// Numerical tolerance used for pivoting and feasibility decisions.
+const EPS: f64 = 1e-9;
+/// Number of non-improving iterations after which Bland's rule is enabled.
+const STALL_LIMIT: usize = 200;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// Optimal solution found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below (for the internal minimization form).
+    Unbounded,
+}
+
+/// Result of an LP solve, expressed in the *original* model variables.
+#[derive(Debug, Clone)]
+pub struct LpResult {
+    /// Solve outcome.
+    pub status: LpStatus,
+    /// Minimized objective value (internal minimization sense; the caller
+    /// flips the sign for maximization models).
+    pub objective: f64,
+    /// Values of the original model variables (empty unless optimal).
+    pub values: Vec<f64>,
+    /// Number of simplex pivots performed.
+    pub iterations: usize,
+}
+
+/// How an original model variable maps onto standard-form columns.
+#[derive(Debug, Clone, Copy)]
+enum ColMap {
+    /// `x = lower + y`, `y ≥ 0` stored in column `col`.
+    Shifted { col: usize, lower: f64 },
+    /// `x = upper − y`, `y ≥ 0` stored in column `col` (lower bound is −∞).
+    Negated { col: usize, upper: f64 },
+    /// `x = y⁺ − y⁻` for a free variable.
+    Free { pos: usize, neg: usize },
+}
+
+/// A row of the standard-form problem before slack/artificial augmentation.
+#[derive(Debug, Clone)]
+struct StdRow {
+    coeffs: Vec<(usize, f64)>,
+    op: ConstraintOp,
+    rhs: f64,
+}
+
+/// Standard-form representation of an LP.
+#[derive(Debug, Clone)]
+struct StandardForm {
+    mapping: Vec<ColMap>,
+    num_structural: usize,
+    rows: Vec<StdRow>,
+    objective: Vec<f64>,
+    objective_offset: f64,
+}
+
+/// Solves the LP relaxation of `model` with the variable bounds overridden by
+/// `bounds` (one `(lower, upper)` pair per model variable, in column order).
+///
+/// Branch-and-bound uses the bound override to explore subproblems without
+/// mutating the model.
+///
+/// # Errors
+///
+/// Returns [`SolveError::IterationLimitReached`] if the pivot budget from the
+/// model's [`crate::SolveParams`] is exhausted.
+pub(crate) fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> Result<LpResult, SolveError> {
+    debug_assert_eq!(bounds.len(), model.num_vars());
+
+    // A bound pair with lower > upper makes the subproblem trivially infeasible.
+    if bounds.iter().any(|(l, u)| l > u) {
+        return Ok(LpResult {
+            status: LpStatus::Infeasible,
+            objective: f64::INFINITY,
+            values: Vec::new(),
+            iterations: 0,
+        });
+    }
+
+    let std = build_standard_form(model, bounds);
+    let max_iters = model.params().max_simplex_iterations;
+    let mut tableau = Tableau::new(&std);
+    let result = tableau.run_two_phase(&std, max_iters)?;
+    Ok(result)
+}
+
+/// Converts the model plus bound overrides into standard form.
+fn build_standard_form(model: &Model, bounds: &[(f64, f64)]) -> StandardForm {
+    let mut mapping = Vec::with_capacity(model.num_vars());
+    let mut next_col = 0usize;
+    let mut extra_rows: Vec<StdRow> = Vec::new();
+
+    for (_, (lower, upper)) in model.variables().zip(bounds.iter().copied()) {
+        if lower.is_finite() {
+            let col = next_col;
+            next_col += 1;
+            mapping.push(ColMap::Shifted { col, lower });
+            if upper.is_finite() {
+                extra_rows.push(StdRow {
+                    coeffs: vec![(col, 1.0)],
+                    op: ConstraintOp::Le,
+                    rhs: upper - lower,
+                });
+            }
+        } else if upper.is_finite() {
+            let col = next_col;
+            next_col += 1;
+            mapping.push(ColMap::Negated { col, upper });
+        } else {
+            let pos = next_col;
+            let neg = next_col + 1;
+            next_col += 2;
+            mapping.push(ColMap::Free { pos, neg });
+        }
+    }
+
+    let num_structural = next_col;
+
+    // Objective in standard columns.
+    let mut objective = vec![0.0; num_structural];
+    let mut objective_offset = 0.0;
+    let min_obj = model.minimization_objective();
+    for (var, coeff) in min_obj.iter() {
+        match mapping[var.index()] {
+            ColMap::Shifted { col, lower } => {
+                objective[col] += coeff;
+                objective_offset += coeff * lower;
+            }
+            ColMap::Negated { col, upper } => {
+                objective[col] -= coeff;
+                objective_offset += coeff * upper;
+            }
+            ColMap::Free { pos, neg } => {
+                objective[pos] += coeff;
+                objective[neg] -= coeff;
+            }
+        }
+    }
+    objective_offset += min_obj.constant_term();
+
+    // Constraint rows in standard columns.
+    let mut rows = Vec::with_capacity(model.num_constraints() + extra_rows.len());
+    for c in model.constraints() {
+        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(c.expr.len());
+        let mut rhs = c.rhs;
+        let mut dense = vec![0.0; num_structural];
+        for (var, coeff) in c.expr.iter() {
+            match mapping[var.index()] {
+                ColMap::Shifted { col, lower } => {
+                    dense[col] += coeff;
+                    rhs -= coeff * lower;
+                }
+                ColMap::Negated { col, upper } => {
+                    dense[col] -= coeff;
+                    rhs -= coeff * upper;
+                }
+                ColMap::Free { pos, neg } => {
+                    dense[pos] += coeff;
+                    dense[neg] -= coeff;
+                }
+            }
+        }
+        for (j, v) in dense.into_iter().enumerate() {
+            if v.abs() > 0.0 {
+                coeffs.push((j, v));
+            }
+        }
+        rows.push(StdRow {
+            coeffs,
+            op: c.op,
+            rhs,
+        });
+    }
+    rows.extend(extra_rows);
+
+    StandardForm {
+        mapping,
+        num_structural,
+        rows,
+        objective,
+        objective_offset,
+    }
+}
+
+/// Full-tableau simplex state.
+struct Tableau {
+    /// `rows × (num_cols + 1)`; the last column is the right-hand side.
+    rows: Vec<Vec<f64>>,
+    /// Objective row (reduced costs); last entry is `-objective_value`.
+    obj: Vec<f64>,
+    /// Basic column for each row.
+    basis: Vec<usize>,
+    /// Total number of columns (structural + slack/surplus + artificial).
+    num_cols: usize,
+    /// Columns `>= artificial_start` are artificial.
+    artificial_start: usize,
+    /// Number of structural columns.
+    num_structural: usize,
+    /// Pivot counter.
+    iterations: usize,
+}
+
+impl Tableau {
+    fn new(std: &StandardForm) -> Self {
+        let m = std.rows.len();
+
+        // Count slack/surplus and artificial columns.
+        let mut num_slack = 0usize;
+        let mut num_artificial = 0usize;
+        for row in &std.rows {
+            let rhs_negative = row.rhs < 0.0;
+            let op = effective_op(row.op, rhs_negative);
+            match op {
+                ConstraintOp::Le => num_slack += 1,
+                ConstraintOp::Ge => {
+                    num_slack += 1;
+                    num_artificial += 1;
+                }
+                ConstraintOp::Eq => num_artificial += 1,
+            }
+        }
+
+        let slack_start = std.num_structural;
+        let artificial_start = slack_start + num_slack;
+        let num_cols = artificial_start + num_artificial;
+
+        let mut rows = vec![vec![0.0; num_cols + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut next_slack = slack_start;
+        let mut next_artificial = artificial_start;
+
+        for (i, row) in std.rows.iter().enumerate() {
+            let sign = if row.rhs < 0.0 { -1.0 } else { 1.0 };
+            for &(j, v) in &row.coeffs {
+                rows[i][j] = sign * v;
+            }
+            rows[i][num_cols] = sign * row.rhs;
+            let op = effective_op(row.op, row.rhs < 0.0);
+            match op {
+                ConstraintOp::Le => {
+                    rows[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                ConstraintOp::Ge => {
+                    rows[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    rows[i][next_artificial] = 1.0;
+                    basis[i] = next_artificial;
+                    next_artificial += 1;
+                }
+                ConstraintOp::Eq => {
+                    rows[i][next_artificial] = 1.0;
+                    basis[i] = next_artificial;
+                    next_artificial += 1;
+                }
+            }
+        }
+
+        Tableau {
+            rows,
+            obj: vec![0.0; num_cols + 1],
+            basis,
+            num_cols,
+            artificial_start,
+            num_structural: std.num_structural,
+            iterations: 0,
+        }
+    }
+
+    /// Runs phase 1 and phase 2, returning the result in original variables.
+    fn run_two_phase(
+        &mut self,
+        std: &StandardForm,
+        max_iters: usize,
+    ) -> Result<LpResult, SolveError> {
+        // ---- Phase 1: minimize the sum of artificial variables. ----
+        let phase1_costs: Vec<f64> = (0..self.num_cols)
+            .map(|j| if j >= self.artificial_start { 1.0 } else { 0.0 })
+            .collect();
+        self.install_objective(&phase1_costs);
+        let status = self.optimize(max_iters, true)?;
+        debug_assert_ne!(status, LpStatus::Unbounded, "phase 1 is bounded below by 0");
+        let phase1_value = -self.obj[self.num_cols];
+        if phase1_value > 1e-6 {
+            return Ok(LpResult {
+                status: LpStatus::Infeasible,
+                objective: f64::INFINITY,
+                values: Vec::new(),
+                iterations: self.iterations,
+            });
+        }
+        self.drive_out_artificials();
+
+        // ---- Phase 2: minimize the user objective. ----
+        let mut phase2_costs = vec![0.0; self.num_cols];
+        phase2_costs[..std.num_structural].copy_from_slice(&std.objective);
+        self.install_objective(&phase2_costs);
+        let status = self.optimize(max_iters, false)?;
+        if status == LpStatus::Unbounded {
+            return Ok(LpResult {
+                status: LpStatus::Unbounded,
+                objective: f64::NEG_INFINITY,
+                values: Vec::new(),
+                iterations: self.iterations,
+            });
+        }
+
+        // Extract structural values, then map back to original variables.
+        let mut structural = vec![0.0; self.num_structural];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.num_structural {
+                structural[b] = self.rows[i][self.num_cols];
+            }
+        }
+        let values = std
+            .mapping
+            .iter()
+            .map(|map| match *map {
+                ColMap::Shifted { col, lower } => lower + structural[col],
+                ColMap::Negated { col, upper } => upper - structural[col],
+                ColMap::Free { pos, neg } => structural[pos] - structural[neg],
+            })
+            .collect();
+        let objective = -self.obj[self.num_cols] + std.objective_offset;
+
+        Ok(LpResult {
+            status: LpStatus::Optimal,
+            objective,
+            values,
+            iterations: self.iterations,
+        })
+    }
+
+    /// Installs a cost vector and prices out the current basis.
+    fn install_objective(&mut self, costs: &[f64]) {
+        self.obj = vec![0.0; self.num_cols + 1];
+        self.obj[..self.num_cols].copy_from_slice(costs);
+        for i in 0..self.rows.len() {
+            let c_b = costs[self.basis[i]];
+            if c_b != 0.0 {
+                for j in 0..=self.num_cols {
+                    self.obj[j] -= c_b * self.rows[i][j];
+                }
+            }
+        }
+    }
+
+    /// Pivots until optimality, unboundedness or the iteration budget.
+    fn optimize(&mut self, max_iters: usize, phase1: bool) -> Result<LpStatus, SolveError> {
+        let mut stall = 0usize;
+        let mut last_obj = -self.obj[self.num_cols];
+        loop {
+            if self.iterations >= max_iters {
+                return Err(SolveError::IterationLimitReached {
+                    iterations: self.iterations,
+                });
+            }
+            let use_bland = stall > STALL_LIMIT;
+            let entering = self.choose_entering(phase1, use_bland);
+            let Some(entering) = entering else {
+                return Ok(LpStatus::Optimal);
+            };
+            let Some(leaving_row) = self.choose_leaving(entering) else {
+                return Ok(LpStatus::Unbounded);
+            };
+            self.pivot(leaving_row, entering);
+            self.iterations += 1;
+
+            let obj = -self.obj[self.num_cols];
+            if obj < last_obj - EPS {
+                stall = 0;
+                last_obj = obj;
+            } else {
+                stall += 1;
+            }
+        }
+    }
+
+    /// Selects the entering column (negative reduced cost), or `None` if optimal.
+    ///
+    /// In phase 2 (`phase1 == false`) artificial columns never enter the basis.
+    fn choose_entering(&self, phase1: bool, bland: bool) -> Option<usize> {
+        let limit = if phase1 {
+            self.num_cols
+        } else {
+            self.artificial_start
+        };
+        if bland {
+            (0..limit).find(|&j| self.obj[j] < -EPS)
+        } else {
+            let mut best = None;
+            let mut best_val = -EPS;
+            for j in 0..limit {
+                if self.obj[j] < best_val {
+                    best_val = self.obj[j];
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    /// Minimum-ratio test; ties broken by smallest basic column index
+    /// (lexicographic safeguard compatible with Bland's rule).
+    fn choose_leaving(&self, entering: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.rows.len() {
+            let a = self.rows[i][entering];
+            if a > EPS {
+                let ratio = self.rows[i][self.num_cols] / a;
+                match best {
+                    None => best = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        if ratio < br - EPS
+                            || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                        {
+                            best = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Gauss-Jordan pivot on `(row, col)`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.rows[row][col];
+        debug_assert!(pivot_val.abs() > EPS);
+        for v in self.rows[row].iter_mut() {
+            *v /= pivot_val;
+        }
+        for i in 0..self.rows.len() {
+            if i != row {
+                let factor = self.rows[i][col];
+                if factor.abs() > EPS {
+                    for j in 0..=self.num_cols {
+                        self.rows[i][j] -= factor * self.rows[row][j];
+                    }
+                }
+            }
+        }
+        let factor = self.obj[col];
+        if factor.abs() > EPS {
+            for j in 0..=self.num_cols {
+                self.obj[j] -= factor * self.rows[row][j];
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivots basic artificial variables (at value zero) out of
+    /// the basis wherever a non-artificial pivot element exists.
+    fn drive_out_artificials(&mut self) {
+        for i in 0..self.rows.len() {
+            if self.basis[i] >= self.artificial_start {
+                if let Some(col) =
+                    (0..self.artificial_start).find(|&j| self.rows[i][j].abs() > EPS)
+                {
+                    self.pivot(i, col);
+                    self.iterations += 1;
+                }
+                // If no pivot element exists the row is redundant; the
+                // artificial stays basic at value zero, which is harmless
+                // because artificial columns never re-enter in phase 2.
+            }
+        }
+    }
+}
+
+/// Flips the relational operator when a row is multiplied by −1 to make its
+/// right-hand side non-negative.
+fn effective_op(op: ConstraintOp, rhs_negative: bool) -> ConstraintOp {
+    if !rhs_negative {
+        return op;
+    }
+    match op {
+        ConstraintOp::Le => ConstraintOp::Ge,
+        ConstraintOp::Ge => ConstraintOp::Le,
+        ConstraintOp::Eq => ConstraintOp::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    fn solve(model: &Model) -> LpResult {
+        let bounds: Vec<(f64, f64)> = model.variables().map(|(_, v)| (v.lower, v.upper)).collect();
+        solve_lp(model, &bounds).expect("lp solve")
+    }
+
+    #[test]
+    fn maximization_with_upper_bounds() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 → x=4, y=0, obj=12
+        let mut m = Model::new("lp1");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective(Sense::Maximize, &[(x, 3.0), (y, 2.0)]);
+        m.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        m.add_le(&[(x, 1.0), (y, 3.0)], 6.0);
+        let r = solve(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((-r.objective - 12.0).abs() < 1e-6, "obj={}", r.objective);
+        assert!((r.values[0] - 4.0).abs() < 1e-6);
+        assert!(r.values[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y s.t. x + y = 10, x >= 3, y >= 2 → obj = 10
+        let mut m = Model::new("lp2");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.set_objective(Sense::Minimize, &[(x, 1.0), (y, 1.0)]);
+        m.add_eq(&[(x, 1.0), (y, 1.0)], 10.0);
+        m.add_ge(&[(x, 1.0)], 3.0);
+        m.add_ge(&[(y, 1.0)], 2.0);
+        let r = solve(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut m = Model::new("lp3");
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_ge(&[(x, 1.0)], 5.0);
+        let r = solve(&m);
+        assert_eq!(r.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut m = Model::new("lp4");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.set_objective(Sense::Maximize, &[(x, 1.0)]);
+        let r = solve(&m);
+        assert_eq!(r.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_lower_bounds_are_shifted() {
+        // min x s.t. x >= -5 (bound), x + 3 >= 0 → x = -3
+        let mut m = Model::new("lp5");
+        let x = m.add_continuous("x", -5.0, 5.0);
+        m.set_objective(Sense::Minimize, &[(x, 1.0)]);
+        m.add_ge(&[(x, 1.0)], -3.0);
+        let r = solve(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.values[0] + 3.0).abs() < 1e-6, "x={}", r.values[0]);
+    }
+
+    #[test]
+    fn free_variable_is_split() {
+        // min y s.t. y = x - 7, 0 <= x <= 3, y free → y = -7
+        let mut m = Model::new("lp6");
+        let x = m.add_continuous("x", 0.0, 3.0);
+        let y = m.add_continuous("y", f64::NEG_INFINITY, f64::INFINITY);
+        m.set_objective(Sense::Minimize, &[(y, 1.0)]);
+        m.add_eq(&[(y, 1.0), (x, -1.0)], -7.0);
+        let r = solve(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.values[1] + 7.0).abs() < 1e-6, "y={}", r.values[1]);
+    }
+
+    #[test]
+    fn upper_bound_only_variable() {
+        // max x with x <= 9 and lower bound -inf, constraint x >= 2 → 9
+        let mut m = Model::new("lp7");
+        let x = m.add_continuous("x", f64::NEG_INFINITY, 9.0);
+        m.set_objective(Sense::Maximize, &[(x, 1.0)]);
+        m.add_ge(&[(x, 1.0)], 2.0);
+        let r = solve(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.values[0] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degenerate LP; checks the stalling safeguard.
+        let mut m = Model::new("degenerate");
+        let x1 = m.add_continuous("x1", 0.0, f64::INFINITY);
+        let x2 = m.add_continuous("x2", 0.0, f64::INFINITY);
+        let x3 = m.add_continuous("x3", 0.0, f64::INFINITY);
+        m.set_objective(Sense::Maximize, &[(x1, 10.0), (x2, -57.0), (x3, -9.0)]);
+        m.add_le(&[(x1, 0.5), (x2, -5.5), (x3, -2.5)], 0.0);
+        m.add_le(&[(x1, 0.5), (x2, -1.5), (x3, -0.5)], 0.0);
+        m.add_le(&[(x1, 1.0)], 1.0);
+        let r = solve(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((-r.objective - 1.0).abs() < 1e-5, "obj={}", -r.objective);
+    }
+
+    #[test]
+    fn fixed_variable_bounds() {
+        let mut m = Model::new("fixed");
+        let x = m.add_continuous("x", 4.0, 4.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.set_objective(Sense::Minimize, &[(y, 1.0)]);
+        m.add_ge(&[(y, 1.0), (x, -1.0)], 0.0); // y >= x = 4
+        let r = solve(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.values[0] - 4.0).abs() < 1e-6);
+        assert!((r.values[1] - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,136 @@
+//! Solver results.
+
+use crate::expr::VarId;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Status {
+    /// An optimal (within tolerances) solution was found.
+    Optimal,
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+/// Result of solving a [`crate::Model`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Solution {
+    /// Solve outcome.
+    pub status: Status,
+    /// Objective value in the user's optimization sense.
+    ///
+    /// `f64::INFINITY` for infeasible minimization problems (and symmetric
+    /// conventions for the other non-optimal outcomes).
+    pub objective: f64,
+    /// Number of branch-and-bound nodes explored (0 for pure LP solves).
+    pub nodes_explored: usize,
+    /// Total simplex pivots across all LP solves.
+    pub simplex_iterations: usize,
+    values: Vec<f64>,
+}
+
+impl Solution {
+    /// Builds an optimal solution record.
+    pub(crate) fn new(
+        status: Status,
+        objective: f64,
+        values: Vec<f64>,
+        nodes_explored: usize,
+        simplex_iterations: usize,
+    ) -> Self {
+        Solution {
+            status,
+            objective,
+            values,
+            nodes_explored,
+            simplex_iterations,
+        }
+    }
+
+    /// Builds an infeasible-outcome record.
+    pub(crate) fn infeasible(nodes_explored: usize, simplex_iterations: usize) -> Self {
+        Solution {
+            status: Status::Infeasible,
+            objective: f64::INFINITY,
+            values: Vec::new(),
+            nodes_explored,
+            simplex_iterations,
+        }
+    }
+
+    /// Builds an unbounded-outcome record.
+    pub(crate) fn unbounded(nodes_explored: usize, simplex_iterations: usize) -> Self {
+        Solution {
+            status: Status::Unbounded,
+            objective: f64::NEG_INFINITY,
+            values: Vec::new(),
+            nodes_explored,
+            simplex_iterations,
+        }
+    }
+
+    /// Returns `true` if the solve reached an optimal solution.
+    pub fn is_optimal(&self) -> bool {
+        self.status == Status::Optimal
+    }
+
+    /// Returns the value of `var` in the solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution is not optimal (no values are stored) or if the
+    /// variable does not belong to the solved model.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Returns the value of `var` rounded to the nearest integer.
+    ///
+    /// Useful for reading integer/binary variables without accumulating the
+    /// solver's numerical noise.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Solution::value`].
+    pub fn int_value(&self, var: VarId) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+
+    /// Returns the full assignment indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_accessors() {
+        let s = Solution::new(Status::Optimal, 3.5, vec![1.0, 2.49], 4, 17);
+        assert!(s.is_optimal());
+        assert_eq!(s.value(VarId::from_index_for_test(0)), 1.0);
+        assert_eq!(s.int_value(VarId::from_index_for_test(1)), 2);
+        assert_eq!(s.values(), &[1.0, 2.49]);
+        assert_eq!(s.nodes_explored, 4);
+        assert_eq!(s.simplex_iterations, 17);
+    }
+
+    #[test]
+    fn infeasible_has_infinite_objective() {
+        let s = Solution::infeasible(2, 9);
+        assert!(!s.is_optimal());
+        assert!(s.objective.is_infinite() && s.objective > 0.0);
+        assert!(s.values().is_empty());
+    }
+
+    #[test]
+    fn unbounded_has_negative_infinite_objective() {
+        let s = Solution::unbounded(0, 3);
+        assert_eq!(s.status, Status::Unbounded);
+        assert!(s.objective.is_infinite() && s.objective < 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! A minimal discrete-event queue.
+//!
+//! The TTW runtime is round-driven, but mode-change requests, failure
+//! injections and application releases are easiest to express as timed events.
+//! This queue orders arbitrary payloads by a `u64` timestamp (microseconds in
+//! the runtime) with a stable FIFO order for simultaneous events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Time at which the event fires.
+    pub time: u64,
+    /// Monotonic sequence number used to keep FIFO order among equal times.
+    sequence: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we pop the earliest.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event queue ordered by time (earliest first).
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_sequence: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_sequence: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: u64, event: E) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(Scheduled {
+            time,
+            sequence,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `time`.
+    pub fn pop_until(&mut self, time: u64) -> Option<(u64, E)> {
+        if self.peek_time().is_some_and(|t| t <= time) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn pop_until_respects_the_horizon() {
+        let mut q = EventQueue::new();
+        q.push(10, "early");
+        q.push(100, "late");
+        assert_eq!(q.pop_until(50), Some((10, "early")));
+        assert_eq!(q.pop_until(50), None);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # ttw-netsim — discrete-event simulator of a Glossy-based multi-hop network
+//!
+//! TTW executes its static schedules over a low-power wireless multi-hop
+//! network in which every communication is a network-wide [Glossy] flood.
+//! The paper evaluates TTW analytically; this crate provides the simulation
+//! substrate the reproduction uses to *execute* synthesized schedules: packet
+//! loss, missed beacons and mode changes can then be exercised end-to-end by
+//! the `ttw-runtime` crate.
+//!
+//! The crate contains:
+//!
+//! * [`topology`] — connectivity graphs (line, ring, grid, star, random
+//!   geometric) with hop distances and diameter;
+//! * [`link`] — per-link reception models (perfect, uniform loss, distance
+//!   dependent);
+//! * [`flood`] — the Glossy flood engine: slot-by-slot constructive flooding
+//!   with `N` retransmissions per node;
+//! * [`radio`] — per-node radio-on time accounting consistent with the
+//!   `ttw-timing` model;
+//! * [`event`] — a small discrete-event queue used by higher layers.
+//!
+//! [Glossy]: https://doi.org/10.1109/IPSN.2011.5779066
+//!
+//! ```
+//! use ttw_netsim::topology::Topology;
+//! use ttw_netsim::link::LinkModel;
+//! use ttw_netsim::flood::{FloodConfig, simulate_flood};
+//!
+//! let topo = Topology::line(5);
+//! assert_eq!(topo.diameter(), 4);
+//! let mut links = LinkModel::perfect();
+//! let outcome = simulate_flood(&topo, &mut links, 0, &FloodConfig::default());
+//! assert!(outcome.all_received());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod flood;
+pub mod link;
+pub mod radio;
+pub mod topology;
+
+pub use flood::{simulate_flood, FloodConfig, FloodOutcome};
+pub use link::LinkModel;
+pub use topology::Topology;

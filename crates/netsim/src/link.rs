@@ -1,0 +1,119 @@
+//! Per-link packet reception models.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How likely a single transmission over one link is received.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossModel {
+    /// Every transmission is received (an ideal cable-like link).
+    Perfect,
+    /// Every transmission is independently received with probability
+    /// `1 − loss`.
+    Uniform {
+        /// Per-transmission loss probability in `[0, 1]`.
+        loss: f64,
+    },
+}
+
+/// A seeded, reproducible link model used by the flood engine.
+///
+/// The model draws one independent Bernoulli sample per (transmitter,
+/// receiver, transmission) triple, which is the standard abstraction used to
+/// study Glossy-style flooding: with `N = 2` retransmissions and realistic
+/// per-link reception rates, Glossy delivers more than 99.9 % of the floods.
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    loss: LossModel,
+    rng: StdRng,
+}
+
+impl LinkModel {
+    /// A model where every transmission succeeds.
+    pub fn perfect() -> Self {
+        LinkModel {
+            loss: LossModel::Perfect,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// A model with independent per-transmission loss probability `loss`,
+    /// using `seed` for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not within `[0, 1]`.
+    pub fn uniform(loss: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0, 1]");
+        LinkModel {
+            loss: LossModel::Uniform { loss },
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured loss model.
+    pub fn loss_model(&self) -> LossModel {
+        self.loss
+    }
+
+    /// Samples whether one transmission from `tx` to `rx` is received.
+    pub fn sample_reception(&mut self, _tx: usize, _rx: usize) -> bool {
+        match self.loss {
+            LossModel::Perfect => true,
+            LossModel::Uniform { loss } => self.rng.gen::<f64>() >= loss,
+        }
+    }
+
+    /// Expected single-transmission reception probability.
+    pub fn reception_probability(&self) -> f64 {
+        match self.loss {
+            LossModel::Perfect => 1.0,
+            LossModel::Uniform { loss } => 1.0 - loss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_links_always_receive() {
+        let mut m = LinkModel::perfect();
+        assert!((0..100).all(|i| m.sample_reception(0, i)));
+        assert_eq!(m.reception_probability(), 1.0);
+    }
+
+    #[test]
+    fn uniform_loss_is_reproducible() {
+        let draw = |seed| {
+            let mut m = LinkModel::uniform(0.3, seed);
+            (0..50).map(|i| m.sample_reception(0, i)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43), "different seeds give different traces");
+    }
+
+    #[test]
+    fn uniform_loss_rate_is_roughly_respected() {
+        let mut m = LinkModel::uniform(0.25, 7);
+        let received = (0..10_000).filter(|&i| m.sample_reception(0, i)).count();
+        let rate = received as f64 / 10_000.0;
+        assert!((rate - 0.75).abs() < 0.03, "observed rate {rate}");
+    }
+
+    #[test]
+    fn extreme_loss_values() {
+        let mut all = LinkModel::uniform(0.0, 1);
+        assert!((0..100).all(|i| all.sample_reception(0, i)));
+        let mut none = LinkModel::uniform(1.0, 1);
+        assert!((0..100).all(|i| !none.sample_reception(0, i)));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0, 1]")]
+    fn invalid_loss_rejected() {
+        LinkModel::uniform(1.5, 0);
+    }
+}

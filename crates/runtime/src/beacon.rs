@@ -1,0 +1,77 @@
+//! Host beacons.
+//!
+//! Every communication round starts with a beacon flooded by the host. As in
+//! Sec. II.B of the paper, the beacon carries the current round id, the mode
+//! id and the trigger bit `SB` used by the two-phase mode change, and fits the
+//! 3-byte payload (`L_beacon`) assumed by the timing model.
+
+use serde::{Deserialize, Serialize};
+
+/// The content of a host beacon `b = {round id, mode id, trigger bit SB}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Beacon {
+    /// Identifier of the round this beacon opens (unique within the mode's
+    /// cyclic round sequence).
+    pub round_id: u8,
+    /// Identifier of the mode announced by the host. During the first phase of
+    /// a mode change this is already the *new* mode id while the rounds still
+    /// belong to the old mode.
+    pub mode_id: u8,
+    /// Trigger bit `SB`: when set, the announced mode starts right after this
+    /// round.
+    pub trigger: bool,
+}
+
+impl Beacon {
+    /// Serializes the beacon to its 3-byte wire format.
+    pub fn encode(&self) -> [u8; 3] {
+        [self.round_id, self.mode_id, u8::from(self.trigger)]
+    }
+
+    /// Parses a beacon from its 3-byte wire format.
+    ///
+    /// Any non-zero trigger byte is interpreted as `true`, mirroring how a
+    /// robust implementation would treat the flag.
+    pub fn decode(bytes: [u8; 3]) -> Self {
+        Beacon {
+            round_id: bytes[0],
+            mode_id: bytes[1],
+            trigger: bytes[2] != 0,
+        }
+    }
+
+    /// Length of the encoded beacon in bytes (matches `L_beacon` in Table I).
+    pub const WIRE_LENGTH: usize = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let b = Beacon {
+            round_id: 7,
+            mode_id: 2,
+            trigger: true,
+        };
+        assert_eq!(Beacon::decode(b.encode()), b);
+        assert_eq!(b.encode().len(), Beacon::WIRE_LENGTH);
+    }
+
+    #[test]
+    fn nonzero_trigger_bytes_decode_to_true() {
+        assert!(Beacon::decode([0, 0, 1]).trigger);
+        assert!(Beacon::decode([0, 0, 255]).trigger);
+        assert!(!Beacon::decode([0, 0, 0]).trigger);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_for_all_values(round_id: u8, mode_id: u8, trigger: bool) {
+            let b = Beacon { round_id, mode_id, trigger };
+            prop_assert_eq!(Beacon::decode(b.encode()), b);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-node runtime state: beacon tracking and behaviour under beacon loss.
+
+use crate::beacon::Beacon;
+use crate::slot_table::RoundDirectory;
+use serde::{Deserialize, Serialize};
+use ttw_core::NodeId;
+
+/// What a node does in a round whose beacon it did not receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BeaconLossPolicy {
+    /// TTW behaviour (Sec. II.B): the node stays silent for the whole round,
+    /// which guarantees that packet loss never causes message collisions.
+    SkipRound,
+    /// Unsafe baseline: the node keeps following its local round counter and
+    /// transmits in the slots it *believes* are its own. Around mode changes
+    /// this guess can be wrong and produce collisions; the runtime benchmarks
+    /// use this policy to quantify the value of the beacon rule.
+    LegacyTransmit,
+}
+
+/// The belief a node holds about the upcoming round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundBelief {
+    /// Round id the node expects next.
+    pub round_id: u8,
+    /// Mode id the node believes is executing.
+    pub mode_id: u8,
+}
+
+/// Runtime state of one node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeRuntime {
+    /// The node this state belongs to.
+    pub node: NodeId,
+    policy: BeaconLossPolicy,
+    /// Expected next round (None until the first beacon is received when the
+    /// node boots unsynchronized).
+    expectation: Option<RoundBelief>,
+    /// Number of consecutive beacons missed.
+    consecutive_misses: u32,
+}
+
+impl NodeRuntime {
+    /// Creates the runtime state of `node`, initially synchronized to the
+    /// given first round and mode (as loaded at deployment time).
+    pub fn new(node: NodeId, first_round: u8, mode_id: u8, policy: BeaconLossPolicy) -> Self {
+        NodeRuntime {
+            node,
+            policy,
+            expectation: Some(RoundBelief {
+                round_id: first_round,
+                mode_id,
+            }),
+            consecutive_misses: 0,
+        }
+    }
+
+    /// The configured beacon-loss policy.
+    pub fn policy(&self) -> BeaconLossPolicy {
+        self.policy
+    }
+
+    /// Number of consecutive beacons missed so far.
+    pub fn consecutive_misses(&self) -> u32 {
+        self.consecutive_misses
+    }
+
+    /// Called when the node receives the beacon of the current round.
+    ///
+    /// A single beacon is sufficient to retrieve the overall system state
+    /// (paper, Sec. II.B): the node re-synchronizes its expectation to the
+    /// round that follows, taking a pending mode change into account when the
+    /// trigger bit is set.
+    pub fn on_beacon(&mut self, beacon: Beacon, directory: &RoundDirectory) {
+        self.consecutive_misses = 0;
+        let next = if beacon.trigger {
+            directory
+                .first_round_of(beacon.mode_id)
+                .map(|round_id| RoundBelief {
+                    round_id,
+                    mode_id: beacon.mode_id,
+                })
+        } else {
+            directory.next_in_mode(beacon.round_id).map(|round_id| {
+                RoundBelief {
+                    round_id,
+                    // The next round belongs to the mode owning the current
+                    // round (during phase 1 of a change the announced mode is
+                    // not executing yet).
+                    mode_id: directory.mode_of(beacon.round_id).unwrap_or(beacon.mode_id),
+                }
+            })
+        };
+        self.expectation = next;
+    }
+
+    /// Called when the node misses the beacon of the current round.
+    ///
+    /// Returns the round the node would act on (transmit its slots of) under
+    /// the [`BeaconLossPolicy::LegacyTransmit`] policy, or `None` under the
+    /// safe TTW policy. Either way the expectation advances by one round so
+    /// that the node stays (approximately) aligned with the host.
+    pub fn on_beacon_missed(&mut self, directory: &RoundDirectory) -> Option<RoundBelief> {
+        self.consecutive_misses += 1;
+        let acted_on = self.expectation;
+        if let Some(belief) = self.expectation {
+            self.expectation = directory.next_in_mode(belief.round_id).map(|round_id| {
+                RoundBelief {
+                    round_id,
+                    mode_id: belief.mode_id,
+                }
+            });
+        }
+        match self.policy {
+            BeaconLossPolicy::SkipRound => None,
+            BeaconLossPolicy::LegacyTransmit => acted_on,
+        }
+    }
+
+    /// The node's current expectation of the next round, if any.
+    pub fn expectation(&self) -> Option<RoundBelief> {
+        self.expectation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot_table::{ModeTable, RoundEntry};
+    use ttw_core::ModeId;
+
+    fn directory_two_modes() -> RoundDirectory {
+        let table = |mode: usize, mode_id: u8, ids: &[u8]| ModeTable {
+            mode: ModeId::from_index(mode),
+            mode_id,
+            hyperperiod: 100_000,
+            round_duration: 10_000,
+            rounds: ids
+                .iter()
+                .map(|&round_id| RoundEntry {
+                    round_id,
+                    start: 0,
+                    slots: vec![],
+                })
+                .collect(),
+        };
+        RoundDirectory::new(&[table(0, 0, &[0, 1, 2]), table(1, 1, &[3, 4])])
+    }
+
+    #[test]
+    fn beacon_advances_expectation_cyclically() {
+        let dir = directory_two_modes();
+        let mut node = NodeRuntime::new(NodeId::from_index(0), 0, 0, BeaconLossPolicy::SkipRound);
+        node.on_beacon(
+            Beacon {
+                round_id: 2,
+                mode_id: 0,
+                trigger: false,
+            },
+            &dir,
+        );
+        assert_eq!(
+            node.expectation(),
+            Some(RoundBelief {
+                round_id: 0,
+                mode_id: 0
+            })
+        );
+    }
+
+    #[test]
+    fn trigger_bit_points_to_new_mode_first_round() {
+        let dir = directory_two_modes();
+        let mut node = NodeRuntime::new(NodeId::from_index(0), 0, 0, BeaconLossPolicy::SkipRound);
+        node.on_beacon(
+            Beacon {
+                round_id: 2,
+                mode_id: 1,
+                trigger: true,
+            },
+            &dir,
+        );
+        assert_eq!(
+            node.expectation(),
+            Some(RoundBelief {
+                round_id: 3,
+                mode_id: 1
+            })
+        );
+    }
+
+    #[test]
+    fn safe_policy_skips_and_legacy_policy_transmits() {
+        let dir = directory_two_modes();
+        let mut safe = NodeRuntime::new(NodeId::from_index(0), 1, 0, BeaconLossPolicy::SkipRound);
+        assert_eq!(safe.on_beacon_missed(&dir), None);
+        assert_eq!(safe.consecutive_misses(), 1);
+
+        let mut legacy =
+            NodeRuntime::new(NodeId::from_index(0), 1, 0, BeaconLossPolicy::LegacyTransmit);
+        let belief = legacy.on_beacon_missed(&dir).expect("legacy transmits");
+        assert_eq!(belief.round_id, 1);
+        // Its expectation advanced to round 2 for the following round.
+        assert_eq!(legacy.expectation().map(|b| b.round_id), Some(2));
+    }
+
+    #[test]
+    fn receiving_a_beacon_resets_the_miss_counter() {
+        let dir = directory_two_modes();
+        let mut node =
+            NodeRuntime::new(NodeId::from_index(0), 0, 0, BeaconLossPolicy::SkipRound);
+        node.on_beacon_missed(&dir);
+        node.on_beacon_missed(&dir);
+        assert_eq!(node.consecutive_misses(), 2);
+        node.on_beacon(
+            Beacon {
+                round_id: 1,
+                mode_id: 0,
+                trigger: false,
+            },
+            &dir,
+        );
+        assert_eq!(node.consecutive_misses(), 0);
+    }
+}

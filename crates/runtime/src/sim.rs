@@ -1,0 +1,491 @@
+//! End-to-end execution of TTW schedules over the simulated network.
+//!
+//! The [`Simulation`] drives the [`crate::host::Host`] round by round: each
+//! round floods a beacon, then executes its data slots as Glossy floods from
+//! the slot initiators. Nodes that miss the beacon behave according to the
+//! configured [`BeaconLossPolicy`], which lets the benchmarks quantify the
+//! safety property of TTW (no collisions under packet loss and mode changes)
+//! against a legacy design that keeps transmitting on a local counter.
+
+use crate::error::RuntimeError;
+use crate::host::Host;
+use crate::node::{BeaconLossPolicy, NodeRuntime, RoundBelief};
+use crate::slot_table::{build_mode_tables, RoundDirectory};
+use crate::stats::RuntimeStats;
+use serde::{Deserialize, Serialize};
+use ttw_core::{ModeId, ModeSchedule, System};
+use ttw_netsim::flood::{simulate_flood, FloodConfig};
+use ttw_netsim::link::LinkModel;
+use ttw_netsim::radio::RadioAccounting;
+use ttw_netsim::topology::Topology;
+use ttw_timing::{GlossyConstants, NetworkParams};
+
+/// Where the host and the system nodes sit in the simulated topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodePlacement {
+    /// Topology index of the TTW host.
+    pub host: usize,
+    /// Topology index of each system node, indexed by [`ttw_core::NodeId`].
+    pub nodes: Vec<usize>,
+}
+
+/// Configuration of a runtime simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Application payload size in bytes (the paper's evaluation uses 10 B).
+    pub payload: usize,
+    /// Independent per-transmission loss probability of every link.
+    pub link_loss: f64,
+    /// RNG seed (simulations are fully reproducible for a given seed).
+    pub seed: u64,
+    /// Behaviour of nodes that miss a beacon.
+    pub policy: BeaconLossPolicy,
+    /// Glossy retransmission count `N`.
+    pub retransmissions: usize,
+    /// Radio constants used for energy accounting.
+    pub constants: GlossyConstants,
+    /// Failure injection: `(round sequence number, system node index)` pairs
+    /// for which the beacon is forcibly dropped at that node, regardless of
+    /// the channel. Round sequence numbers count executed rounds from 0.
+    ///
+    /// This makes targeted scenarios (e.g. "the actuator misses exactly the
+    /// mode-change trigger beacon") deterministic and reproducible.
+    pub forced_beacon_misses: Vec<(usize, usize)>,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            payload: 10,
+            link_loss: 0.0,
+            seed: 1,
+            policy: BeaconLossPolicy::SkipRound,
+            retransmissions: 2,
+            constants: GlossyConstants::table1(),
+            forced_beacon_misses: Vec::new(),
+        }
+    }
+}
+
+/// A running TTW network: host, nodes, schedules and the simulated channel.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    host: Host,
+    directory: RoundDirectory,
+    node_states: Vec<NodeRuntime>,
+    placement: NodePlacement,
+    topology: Topology,
+    links: LinkModel,
+    radio: RadioAccounting,
+    flood_config: FloodConfig,
+    config: SimulationConfig,
+    stats: RuntimeStats,
+}
+
+impl Simulation {
+    /// Creates a simulation of `system` executing `schedules`, starting in
+    /// `initial_mode`, over an explicit topology and node placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if a schedule is unusable (no rounds, too
+    /// many rounds/modes for the beacon encoding), if the placement does not
+    /// cover every system node, or if `initial_mode` has no schedule.
+    pub fn new(
+        system: &System,
+        schedules: &[ModeSchedule],
+        initial_mode: ModeId,
+        topology: Topology,
+        placement: NodePlacement,
+        config: SimulationConfig,
+    ) -> Result<Self, RuntimeError> {
+        let required = system.num_nodes() + 1;
+        if placement.nodes.len() < system.num_nodes() {
+            return Err(RuntimeError::TopologyTooSmall {
+                required,
+                available: placement.nodes.len() + 1,
+            });
+        }
+        for &idx in placement.nodes.iter().chain(std::iter::once(&placement.host)) {
+            if idx >= topology.num_nodes() {
+                return Err(RuntimeError::InvalidPlacement { index: idx });
+            }
+        }
+
+        let tables = build_mode_tables(system, schedules)?;
+        let directory = RoundDirectory::new(&tables);
+        let initial_table = tables
+            .iter()
+            .find(|t| t.mode == initial_mode)
+            .ok_or(RuntimeError::UnknownMode { mode: initial_mode })?;
+        let first_round = initial_table.rounds[0].round_id;
+        let initial_mode_id = initial_table.mode_id;
+
+        let node_states = system
+            .nodes()
+            .map(|(id, _)| NodeRuntime::new(id, first_round, initial_mode_id, config.policy))
+            .collect();
+
+        let network = NetworkParams::new(topology.diameter().max(1), config.retransmissions);
+        let radio = RadioAccounting::new(system.num_nodes() + 1, config.constants, network);
+        let links = if config.link_loss > 0.0 {
+            LinkModel::uniform(config.link_loss, config.seed)
+        } else {
+            LinkModel::perfect()
+        };
+        let flood_config = FloodConfig {
+            retransmissions: config.retransmissions,
+            max_slots: None,
+        };
+        let host = Host::new(tables, initial_mode)?;
+
+        Ok(Simulation {
+            host,
+            directory,
+            node_states,
+            placement,
+            topology,
+            links,
+            radio,
+            flood_config,
+            config,
+            stats: RuntimeStats::default(),
+        })
+    }
+
+    /// Convenience constructor: builds a clustered multi-hop topology with the
+    /// requested diameter, places the host in the first cluster and spreads
+    /// the system nodes over the remaining positions.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::new`].
+    pub fn with_clustered_topology(
+        system: &System,
+        schedules: &[ModeSchedule],
+        initial_mode: ModeId,
+        diameter: usize,
+        config: SimulationConfig,
+    ) -> Result<Self, RuntimeError> {
+        let required = system.num_nodes() + 1;
+        let clusters = diameter + 1;
+        let cluster_size = required.div_ceil(clusters).max(1);
+        let topology = Topology::clustered_line(diameter, cluster_size);
+        let placement = NodePlacement {
+            host: 0,
+            nodes: (1..=system.num_nodes()).collect(),
+        };
+        Self::new(system, schedules, initial_mode, topology, placement, config)
+    }
+
+    /// The mode currently executed by the host.
+    pub fn current_mode(&self) -> ModeId {
+        self.host.current_mode()
+    }
+
+    /// Requests a mode change (two-phase procedure, Fig. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownMode`] for a mode without a schedule.
+    pub fn request_mode_change(&mut self, target: ModeId) -> Result<(), RuntimeError> {
+        self.host.request_mode_change(target)
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Per-node radio-on accounting (last index is the host).
+    pub fn radio(&self) -> &RadioAccounting {
+        &self.radio
+    }
+
+    /// Number of rounds per hyperperiod of the currently executing mode.
+    pub fn rounds_per_hyperperiod(&self) -> usize {
+        self.host.current_table().rounds.len()
+    }
+
+    /// Executes `count` communication rounds.
+    pub fn run_rounds(&mut self, count: usize) -> &RuntimeStats {
+        for _ in 0..count {
+            self.execute_round();
+        }
+        &self.stats
+    }
+
+    /// Executes `count` hyperperiods of the currently executing mode
+    /// (re-evaluating the round count after each hyperperiod, so mode changes
+    /// are handled transparently).
+    pub fn run_hyperperiods(&mut self, count: usize) -> &RuntimeStats {
+        for _ in 0..count {
+            let rounds = self.rounds_per_hyperperiod();
+            self.run_rounds(rounds);
+        }
+        &self.stats
+    }
+
+    /// Executes one communication round: beacon flood, data slots, accounting.
+    fn execute_round(&mut self) {
+        let sequence = self.stats.rounds_executed;
+        let (host_round, entry) = self.host.next_round();
+        self.stats.rounds_executed += 1;
+        if host_round.switches_after {
+            self.stats.mode_changes += 1;
+        }
+
+        let n = self.node_states.len();
+
+        // --- Beacon flood from the host. ---
+        let beacon_outcome = simulate_flood(
+            &self.topology,
+            &mut self.links,
+            self.placement.host,
+            &self.flood_config,
+        );
+        let mut participates = vec![false; n];
+        let mut ghost_beliefs: Vec<Option<RoundBelief>> = vec![None; n];
+        for i in 0..n {
+            let topo_idx = self.placement.nodes[i];
+            let forced_miss = self
+                .config
+                .forced_beacon_misses
+                .contains(&(sequence, i));
+            if beacon_outcome.received[topo_idx] && !forced_miss {
+                participates[i] = true;
+                self.node_states[i].on_beacon(host_round.beacon, &self.directory);
+            } else {
+                self.stats.beacons_missed += 1;
+                let belief = self.node_states[i].on_beacon_missed(&self.directory);
+                if belief.is_none() {
+                    self.stats.rounds_skipped += 1;
+                }
+                ghost_beliefs[i] = belief;
+            }
+        }
+
+        // --- Data slots. ---
+        for (slot_idx, slot) in entry.slots.iter().enumerate() {
+            let legit = slot.initiator.index();
+            let mut transmitters: Vec<usize> = Vec::new();
+            if participates[legit] {
+                transmitters.push(legit);
+            }
+            for (i, belief) in ghost_beliefs.iter().enumerate() {
+                if let Some(belief) = belief {
+                    if self.node_initiates(i, belief.round_id, slot_idx)
+                        && !transmitters.contains(&i)
+                    {
+                        transmitters.push(i);
+                    }
+                }
+            }
+
+            match transmitters.len() {
+                0 => self.stats.slots_unused += 1,
+                1 if transmitters[0] == legit && participates[legit] => {
+                    self.stats.messages_attempted += 1;
+                    let outcome = simulate_flood(
+                        &self.topology,
+                        &mut self.links,
+                        self.placement.nodes[legit],
+                        &self.flood_config,
+                    );
+                    let delivered = slot.destinations.iter().all(|d| {
+                        let di = d.index();
+                        participates[di] && outcome.received[self.placement.nodes[di]]
+                    });
+                    if delivered {
+                        self.stats.messages_delivered += 1;
+                    }
+                }
+                1 => {
+                    // A lone out-of-sync node transmitted in somebody else's
+                    // slot; the scheduled message was not sent at all.
+                    self.stats.slots_unused += 1;
+                }
+                _ => {
+                    // Two or more concurrent initiators with *different*
+                    // packets: the constructive-interference assumption of
+                    // Glossy breaks and the slot is lost for everyone.
+                    self.stats.collisions += 1;
+                    if participates[legit] {
+                        self.stats.messages_attempted += 1;
+                    }
+                }
+            }
+        }
+
+        // --- Radio accounting. ---
+        // Every node (and the host) listens for the beacon; only nodes that
+        // received it (or erroneously believe they participate) stay on for
+        // the data slots.
+        let mut everyone = vec![true; n + 1];
+        self.radio
+            .record_slot(&everyone, self.config.constants.l_beacon);
+        for i in 0..n {
+            everyone[i] = participates[i] || ghost_beliefs[i].is_some();
+        }
+        for _ in 0..entry.slots.len() {
+            self.radio.record_slot(&everyone, self.config.payload);
+        }
+
+        self.stats.elapsed_micros =
+            host_round.start + self.host.current_table().round_duration;
+    }
+
+    /// Whether system node `node_index` initiates slot `slot_idx` of the round
+    /// with id `round_id` according to its deployed tables.
+    fn node_initiates(&self, node_index: usize, round_id: u8, slot_idx: usize) -> bool {
+        self.host.tables().values().any(|table| {
+            table.rounds.iter().any(|round| {
+                round.round_id == round_id
+                    && round
+                        .slots
+                        .get(slot_idx)
+                        .is_some_and(|slot| slot.initiator.index() == node_index)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttw_core::time::millis;
+    use ttw_core::{fixtures, synthesis, SchedulerConfig};
+
+    fn schedules(
+        system: &System,
+    ) -> (Vec<ModeSchedule>, ModeId, ModeId) {
+        let config = SchedulerConfig::new(millis(10), 5);
+        let modes: Vec<ModeId> = system.modes().map(|(id, _)| id).collect();
+        let schedules = modes
+            .iter()
+            .map(|&m| synthesis::synthesize_mode(system, m, &config).expect("feasible"))
+            .collect();
+        (schedules, modes[0], modes[1])
+    }
+
+    fn two_mode_simulation(config: SimulationConfig) -> (Simulation, ModeId, ModeId) {
+        let (sys, _, _) = fixtures::two_mode_system();
+        let (scheds, normal, emergency) = schedules(&sys);
+        let sim = Simulation::with_clustered_topology(&sys, &scheds, normal, 4, config)
+            .expect("simulation builds");
+        (sim, normal, emergency)
+    }
+
+    #[test]
+    fn perfect_channel_delivers_everything() {
+        let (mut sim, _, _) = two_mode_simulation(SimulationConfig::default());
+        sim.run_hyperperiods(5);
+        let stats = sim.stats();
+        assert_eq!(stats.beacons_missed, 0);
+        assert_eq!(stats.collisions, 0);
+        assert_eq!(stats.slots_unused, 0);
+        assert_eq!(stats.messages_attempted, stats.messages_delivered);
+        assert!(stats.messages_delivered >= 15, "3 messages × 5 hyperperiods");
+        assert!(stats.delivery_ratio() > 0.999);
+        assert!(sim.radio().total_on_time() > 0.0);
+    }
+
+    #[test]
+    fn lossy_channel_never_causes_collisions_with_safe_policy() {
+        // A very lossy channel: with 75 % per-transmission loss even the
+        // Glossy flood redundancy cannot hide the losses, so beacons do get
+        // missed — and TTW must still never collide.
+        let config = SimulationConfig {
+            link_loss: 0.75,
+            seed: 7,
+            ..SimulationConfig::default()
+        };
+        let (mut sim, _, emergency) = two_mode_simulation(config);
+        sim.run_hyperperiods(3);
+        sim.request_mode_change(emergency).expect("known mode");
+        sim.run_hyperperiods(6);
+        let stats = sim.stats();
+        assert!(stats.beacons_missed > 0, "losses should cause missed beacons");
+        assert_eq!(stats.collisions, 0, "TTW safety: no collisions under loss");
+        assert_eq!(stats.mode_changes, 1);
+        assert_eq!(sim.current_mode(), emergency);
+    }
+
+    #[test]
+    fn mode_change_completes_on_perfect_channel() {
+        let (mut sim, normal, emergency) = two_mode_simulation(SimulationConfig::default());
+        assert_eq!(sim.current_mode(), normal);
+        sim.run_rounds(1);
+        sim.request_mode_change(emergency).expect("known mode");
+        sim.run_hyperperiods(2);
+        assert_eq!(sim.current_mode(), emergency);
+        assert_eq!(sim.stats().mode_changes, 1);
+    }
+
+    /// Deterministic reproduction of the safety argument of Sec. II.B: a node
+    /// that misses the mode-change beacons and keeps transmitting on its local
+    /// counter (legacy behaviour) collides with the new mode's slot owner,
+    /// while the TTW rule (skip the round) never collides.
+    #[test]
+    fn legacy_policy_collides_across_mode_change_but_ttw_does_not() {
+        let run = |policy: BeaconLossPolicy| {
+            let (sys, _, _) = fixtures::two_mode_system();
+            let (scheds, normal, emergency) = schedules(&sys);
+            let sensor1 = sys.node_id("sensor1").expect("node").index();
+            // The trigger round is sequence 3 (two rounds per normal
+            // hyperperiod, change requested after the first hyperperiod); the
+            // first emergency round is sequence 4. sensor1 misses both.
+            let config = SimulationConfig {
+                policy,
+                forced_beacon_misses: vec![(3, sensor1), (4, sensor1)],
+                ..SimulationConfig::default()
+            };
+            let mut sim = Simulation::with_clustered_topology(&sys, &scheds, normal, 4, config)
+                .expect("simulation builds");
+            sim.run_hyperperiods(1);
+            sim.request_mode_change(emergency).expect("known mode");
+            sim.run_hyperperiods(4);
+            sim.stats().clone()
+        };
+
+        let safe = run(BeaconLossPolicy::SkipRound);
+        assert_eq!(safe.collisions, 0, "TTW never collides");
+        assert_eq!(safe.mode_changes, 1);
+
+        let legacy = run(BeaconLossPolicy::LegacyTransmit);
+        assert!(
+            legacy.collisions >= 1,
+            "the out-of-sync legacy node must collide with the new mode's initiator"
+        );
+    }
+
+    #[test]
+    fn missing_placement_is_rejected() {
+        let (sys, _, _) = fixtures::two_mode_system();
+        let (scheds, normal, _) = schedules(&sys);
+        let topology = Topology::line(3);
+        let placement = NodePlacement {
+            host: 0,
+            nodes: vec![1, 2],
+        };
+        let err = Simulation::new(
+            &sys,
+            &scheds,
+            normal,
+            topology,
+            placement,
+            SimulationConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::TopologyTooSmall { .. }));
+    }
+
+    #[test]
+    fn elapsed_time_advances_with_rounds() {
+        let (mut sim, _, _) = two_mode_simulation(SimulationConfig::default());
+        sim.run_rounds(1);
+        let first = sim.stats().elapsed_micros;
+        sim.run_hyperperiods(1);
+        assert!(sim.stats().elapsed_micros > first);
+    }
+}

@@ -1,0 +1,83 @@
+//! Counters collected while executing TTW schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics accumulated by a [`crate::sim::Simulation`] run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeStats {
+    /// Number of communication rounds executed by the host.
+    pub rounds_executed: usize,
+    /// Number of (node, round) pairs in which the node missed the beacon.
+    pub beacons_missed: usize,
+    /// Number of (node, round) pairs in which the node skipped the round
+    /// because it missed the beacon (safe policy).
+    pub rounds_skipped: usize,
+    /// Number of message-instance transmissions attempted (scheduled slots
+    /// whose initiator participated).
+    pub messages_attempted: usize,
+    /// Number of message instances delivered to *all* their destinations.
+    pub messages_delivered: usize,
+    /// Number of scheduled slots whose initiator did not transmit (it had
+    /// missed the beacon), so the instance was lost.
+    pub slots_unused: usize,
+    /// Number of slots in which two or more nodes transmitted concurrently
+    /// (only possible with the unsafe legacy policy).
+    pub collisions: usize,
+    /// Number of completed mode changes.
+    pub mode_changes: usize,
+    /// Simulated time in microseconds.
+    pub elapsed_micros: u64,
+}
+
+impl RuntimeStats {
+    /// Fraction of scheduled message instances delivered end-to-end.
+    pub fn delivery_ratio(&self) -> f64 {
+        let scheduled = self.messages_attempted + self.slots_unused;
+        if scheduled == 0 {
+            return 1.0;
+        }
+        self.messages_delivered as f64 / scheduled as f64
+    }
+
+    /// Fraction of (node, round) beacons that were received.
+    pub fn beacon_reception_ratio(&self, nodes: usize) -> f64 {
+        let total = self.rounds_executed * nodes;
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.beacons_missed as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_counts_unused_slots_as_losses() {
+        let stats = RuntimeStats {
+            messages_attempted: 8,
+            messages_delivered: 6,
+            slots_unused: 2,
+            ..RuntimeStats::default()
+        };
+        assert!((stats.delivery_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_perfect_ratios() {
+        let stats = RuntimeStats::default();
+        assert_eq!(stats.delivery_ratio(), 1.0);
+        assert_eq!(stats.beacon_reception_ratio(5), 1.0);
+    }
+
+    #[test]
+    fn beacon_ratio_uses_rounds_times_nodes() {
+        let stats = RuntimeStats {
+            rounds_executed: 10,
+            beacons_missed: 5,
+            ..RuntimeStats::default()
+        };
+        assert!((stats.beacon_reception_ratio(5) - 0.9).abs() < 1e-12);
+    }
+}

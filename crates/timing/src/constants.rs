@@ -1,0 +1,106 @@
+//! Radio and protocol constants (Table I of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Constants of the Glossy implementation used by the paper (Table I), plus
+/// the TTW beacon length from Sec. V.
+///
+/// All durations are in seconds, lengths in bytes, and the bit rate in bits
+/// per second. The [`GlossyConstants::table1`] constructor returns exactly the
+/// values of Table I; [`Default`] is an alias for it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GlossyConstants {
+    /// `T_wakeup`: time for all nodes to wake up before a slot (750 µs).
+    pub t_wakeup: f64,
+    /// `T_start`: radio start-up time (164 µs).
+    pub t_start: f64,
+    /// `T_d`: radio delay per hop transmission (68 µs).
+    pub t_d: f64,
+    /// `L_cal`: length of the clock-calibration message (3 bytes).
+    pub l_cal: usize,
+    /// `L_header`: length of the protocol header (6 bytes).
+    pub l_header: usize,
+    /// `T_gap`: processing gap after a flood (3 ms).
+    pub t_gap: f64,
+    /// `R_bit`: radio bit rate (250 kbps).
+    pub r_bit: f64,
+    /// `L_beacon`: length of the TTW host beacon (3 bytes, Sec. V).
+    pub l_beacon: usize,
+}
+
+impl GlossyConstants {
+    /// Returns the Table I constants of the paper.
+    pub fn table1() -> Self {
+        GlossyConstants {
+            t_wakeup: 750e-6,
+            t_start: 164e-6,
+            t_d: 68e-6,
+            l_cal: 3,
+            l_header: 6,
+            t_gap: 3e-3,
+            r_bit: 250_000.0,
+            l_beacon: 3,
+        }
+    }
+
+    /// Transmission time of `len` bytes at the configured bit rate (Eq. 16).
+    pub fn transmission_time(&self, len: usize) -> f64 {
+        8.0 * len as f64 / self.r_bit
+    }
+
+    /// Checks that every constant is physically meaningful (strictly positive
+    /// durations and bit rate).
+    pub fn is_valid(&self) -> bool {
+        self.t_wakeup > 0.0
+            && self.t_start > 0.0
+            && self.t_d > 0.0
+            && self.t_gap > 0.0
+            && self.r_bit > 0.0
+            && self.l_beacon > 0
+    }
+}
+
+impl Default for GlossyConstants {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        let c = GlossyConstants::table1();
+        assert_eq!(c.t_wakeup, 750e-6);
+        assert_eq!(c.t_start, 164e-6);
+        assert_eq!(c.t_d, 68e-6);
+        assert_eq!(c.l_cal, 3);
+        assert_eq!(c.l_header, 6);
+        assert_eq!(c.t_gap, 3e-3);
+        assert_eq!(c.r_bit, 250_000.0);
+        assert_eq!(c.l_beacon, 3);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn default_is_table1() {
+        assert_eq!(GlossyConstants::default(), GlossyConstants::table1());
+    }
+
+    #[test]
+    fn transmission_time_eq16() {
+        let c = GlossyConstants::table1();
+        // 10 bytes at 250 kbps = 80 bits / 250 000 bps = 320 µs.
+        assert!((c.transmission_time(10) - 320e-6).abs() < 1e-12);
+        assert_eq!(c.transmission_time(0), 0.0);
+    }
+
+    #[test]
+    fn invalid_when_bit_rate_zero() {
+        let mut c = GlossyConstants::table1();
+        c.r_bit = 0.0;
+        assert!(!c.is_valid());
+    }
+}

@@ -1,0 +1,129 @@
+//! Battery-lifetime estimation from radio duty cycle.
+//!
+//! The paper uses radio-on time as its energy metric (Fig. 7). For system
+//! dimensioning it is useful to translate that metric into an average current
+//! draw and an expected battery lifetime, using the standard two-state model
+//! of low-power wireless nodes: a (large) radio-on current while communicating
+//! and a (tiny) sleep current otherwise. The default currents correspond to a
+//! CC2420-class 802.15.4 radio, the platform family Glossy and LWB were
+//! originally implemented on.
+
+use serde::{Deserialize, Serialize};
+
+/// Current-draw model of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// Current while the radio is on (listening or transmitting), in amperes.
+    pub radio_on_current: f64,
+    /// Current while the radio is off (MCU mostly sleeping), in amperes.
+    pub sleep_current: f64,
+}
+
+impl PowerProfile {
+    /// A CC2420-class profile: ≈ 20 mA with the radio on, ≈ 10 µA asleep.
+    pub fn cc2420() -> Self {
+        PowerProfile {
+            radio_on_current: 20e-3,
+            sleep_current: 10e-6,
+        }
+    }
+
+    /// Average current draw for a given radio duty cycle (fraction of time the
+    /// radio is on, in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty_cycle` is outside `[0, 1]`.
+    pub fn average_current(&self, duty_cycle: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&duty_cycle),
+            "duty cycle must be in [0, 1]"
+        );
+        duty_cycle * self.radio_on_current + (1.0 - duty_cycle) * self.sleep_current
+    }
+
+    /// Expected lifetime in seconds on a battery of `capacity_mah`
+    /// milliamp-hours, for the given radio duty cycle.
+    pub fn lifetime_seconds(&self, duty_cycle: f64, capacity_mah: f64) -> f64 {
+        let avg = self.average_current(duty_cycle);
+        if avg <= 0.0 {
+            return f64::INFINITY;
+        }
+        capacity_mah * 1e-3 * 3600.0 / avg
+    }
+
+    /// Expected lifetime in days (convenience wrapper around
+    /// [`PowerProfile::lifetime_seconds`]).
+    pub fn lifetime_days(&self, duty_cycle: f64, capacity_mah: f64) -> f64 {
+        self.lifetime_seconds(duty_cycle, capacity_mah) / 86_400.0
+    }
+}
+
+impl Default for PowerProfile {
+    fn default() -> Self {
+        Self::cc2420()
+    }
+}
+
+/// Radio duty cycle of a TTW node executing `rounds_per_hyperperiod` rounds of
+/// `radio_on_per_round` seconds each, over a hyperperiod of
+/// `hyperperiod_seconds`.
+pub fn duty_cycle(
+    radio_on_per_round: f64,
+    rounds_per_hyperperiod: usize,
+    hyperperiod_seconds: f64,
+) -> f64 {
+    if hyperperiod_seconds <= 0.0 {
+        return 0.0;
+    }
+    (radio_on_per_round * rounds_per_hyperperiod as f64 / hyperperiod_seconds).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round;
+    use crate::{GlossyConstants, NetworkParams};
+
+    #[test]
+    fn average_current_interpolates_between_states() {
+        let p = PowerProfile::cc2420();
+        assert_eq!(p.average_current(0.0), p.sleep_current);
+        assert_eq!(p.average_current(1.0), p.radio_on_current);
+        let mid = p.average_current(0.5);
+        assert!(mid > p.sleep_current && mid < p.radio_on_current);
+    }
+
+    #[test]
+    fn lifetime_decreases_with_duty_cycle() {
+        let p = PowerProfile::cc2420();
+        let idle = p.lifetime_days(0.001, 2600.0);
+        let busy = p.lifetime_days(0.1, 2600.0);
+        assert!(idle > busy);
+        assert!(idle > 365.0, "a ~0.1% duty cycle node lasts years: {idle} days");
+    }
+
+    #[test]
+    fn ttw_paper_setting_reaches_multi_month_lifetime() {
+        // One 5-slot round of 10-byte messages per second on a 4-hop network.
+        let constants = GlossyConstants::table1();
+        let network = NetworkParams::with_paper_retransmissions(4);
+        let on_per_round = round::round_radio_on_time(&constants, &network, 5, 10);
+        let dc = duty_cycle(on_per_round, 1, 1.0);
+        assert!(dc < 0.05, "duty cycle {dc}");
+        let days = PowerProfile::cc2420().lifetime_days(dc, 2600.0);
+        assert!(days > 150.0, "lifetime {days} days");
+    }
+
+    #[test]
+    fn duty_cycle_edge_cases() {
+        assert_eq!(duty_cycle(0.01, 5, 0.0), 0.0);
+        assert_eq!(duty_cycle(10.0, 10, 1.0), 1.0, "clamped to 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn invalid_duty_cycle_rejected() {
+        PowerProfile::cc2420().average_current(1.5);
+    }
+}

@@ -1,0 +1,161 @@
+//! Round-level timing (Eq. 19, Fig. 6) and the network parameter bundle.
+
+use crate::constants::GlossyConstants;
+use crate::slot;
+use serde::{Deserialize, Serialize};
+
+/// Network parameters the timing model depends on: diameter and per-node
+/// retransmission count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Network diameter `H`: maximal hop distance between any two nodes.
+    pub diameter: usize,
+    /// Glossy retransmission count `N` (the paper uses `N = 2`).
+    pub retransmissions: usize,
+}
+
+impl NetworkParams {
+    /// Creates a parameter bundle for an `H`-hop network with `N` retransmissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diameter` or `retransmissions` is zero; both must be at
+    /// least 1 for the flood model (Eq. 14) to be meaningful.
+    pub fn new(diameter: usize, retransmissions: usize) -> Self {
+        assert!(diameter >= 1, "network diameter must be at least 1 hop");
+        assert!(retransmissions >= 1, "N must be at least 1");
+        NetworkParams {
+            diameter,
+            retransmissions,
+        }
+    }
+
+    /// The configuration used throughout the paper's evaluation: `N = 2`.
+    pub fn with_paper_retransmissions(diameter: usize) -> Self {
+        Self::new(diameter, 2)
+    }
+}
+
+/// Length of a data slot carrying `payload` bytes, `T_slot(l)`.
+pub fn data_slot_length(
+    constants: &GlossyConstants,
+    network: &NetworkParams,
+    payload: usize,
+) -> f64 {
+    slot::slot_length(
+        constants,
+        network.diameter,
+        network.retransmissions,
+        payload,
+    )
+}
+
+/// Length of the beacon slot, `T_slot(L_beacon)`.
+pub fn beacon_slot_length(constants: &GlossyConstants, network: &NetworkParams) -> f64 {
+    data_slot_length(constants, network, constants.l_beacon)
+}
+
+/// Length of a communication round with `slots` data slots (Eq. 19, Fig. 6).
+///
+/// `T_r(l) = T_slot(L_beacon) + B · T_slot(l)`: one beacon slot sent by the
+/// host followed by `B` data slots of `payload` bytes each.
+pub fn round_length(
+    constants: &GlossyConstants,
+    network: &NetworkParams,
+    slots: usize,
+    payload: usize,
+) -> f64 {
+    beacon_slot_length(constants, network) + slots as f64 * data_slot_length(constants, network, payload)
+}
+
+/// Radio-on time of a whole round (beacon + `slots` data slots).
+///
+/// This is the energy-relevant part of [`round_length`]; the radio-off time
+/// (`T_wakeup`, `T_gap`) is excluded.
+pub fn round_radio_on_time(
+    constants: &GlossyConstants,
+    network: &NetworkParams,
+    slots: usize,
+    payload: usize,
+) -> f64 {
+    let beacon_on = slot::radio_on_time(
+        constants,
+        network.diameter,
+        network.retransmissions,
+        constants.l_beacon,
+    );
+    let data_on = slot::radio_on_time(
+        constants,
+        network.diameter,
+        network.retransmissions,
+        payload,
+    );
+    beacon_on + slots as f64 * data_on
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_value_fig6() {
+        // Fig. 6: "a minimum message latency of 50 ms in a 4-hop network using
+        // 5-slot rounds" (payload 10 B, N = 2).
+        let c = GlossyConstants::table1();
+        let net = NetworkParams::with_paper_retransmissions(4);
+        let t_r = round_length(&c, &net, 5, 10);
+        assert!(
+            (0.045..=0.055).contains(&t_r),
+            "T_r = {:.4} s should be ≈ 50 ms",
+            t_r
+        );
+    }
+
+    #[test]
+    fn round_is_beacon_plus_b_slots() {
+        let c = GlossyConstants::table1();
+        let net = NetworkParams::new(3, 2);
+        let beacon = beacon_slot_length(&c, &net);
+        let data = data_slot_length(&c, &net, 16);
+        for b in 0..10 {
+            let expected = beacon + b as f64 * data;
+            assert!((round_length(&c, &net, b, 16) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_length_monotone_in_all_parameters() {
+        let c = GlossyConstants::table1();
+        for h in 1..6 {
+            for b in 1..8 {
+                let net = NetworkParams::with_paper_retransmissions(h);
+                assert!(
+                    round_length(&c, &net, b, 10) < round_length(&c, &net, b + 1, 10),
+                    "monotone in B"
+                );
+                assert!(
+                    round_length(&c, &net, b, 10)
+                        < round_length(&c, &NetworkParams::with_paper_retransmissions(h + 1), b, 10),
+                    "monotone in H"
+                );
+                assert!(
+                    round_length(&c, &net, b, 10) < round_length(&c, &net, b, 20),
+                    "monotone in payload"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "diameter")]
+    fn zero_diameter_rejected() {
+        NetworkParams::new(0, 2);
+    }
+
+    #[test]
+    fn radio_on_time_is_below_round_length() {
+        let c = GlossyConstants::table1();
+        let net = NetworkParams::new(4, 2);
+        assert!(round_radio_on_time(&c, &net, 5, 10) < round_length(&c, &net, 5, 10));
+    }
+}

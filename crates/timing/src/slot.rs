@@ -1,0 +1,78 @@
+//! Slot-level timing: radio-on / radio-off split (Eq. 17–18, Fig. 5).
+
+use crate::constants::GlossyConstants;
+use crate::flood;
+
+/// Radio-off portion of a slot: `T_off = T_wakeup + T_gap` (Eq. 17).
+///
+/// During this time the nodes are awake (CPU active) but the radio is off:
+/// waking up before the flood and processing the received packet afterwards.
+pub fn radio_off_time(constants: &GlossyConstants) -> f64 {
+    constants.t_wakeup + constants.t_gap
+}
+
+/// Radio-on portion of a slot carrying `payload` bytes (Eq. 18).
+///
+/// `T_on(l) = T_start + (H + 2N − 1) · (T_d + 8(L_cal + L_header + l)/R_bit)`.
+/// As in the paper's energy evaluation, the radio is (pessimistically) assumed
+/// to stay on for the whole flood duration.
+pub fn radio_on_time(
+    constants: &GlossyConstants,
+    diameter: usize,
+    retransmissions: usize,
+    payload: usize,
+) -> f64 {
+    constants.t_start + flood::flood_duration(constants, diameter, retransmissions, payload)
+}
+
+/// Total slot length `T_slot(l) = T_off + T_on(l)`.
+pub fn slot_length(
+    constants: &GlossyConstants,
+    diameter: usize,
+    retransmissions: usize,
+    payload: usize,
+) -> f64 {
+    radio_off_time(constants) + radio_on_time(constants, diameter, retransmissions, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radio_off_is_wakeup_plus_gap() {
+        let c = GlossyConstants::table1();
+        assert!((radio_off_time(&c) - (750e-6 + 3e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radio_on_matches_eq18() {
+        let c = GlossyConstants::table1();
+        let h = 4;
+        let n = 2;
+        let l = 10;
+        let expected = 164e-6
+            + (h as f64 + 2.0 * n as f64 - 1.0)
+                * (68e-6 + 8.0 * (3.0 + 6.0 + l as f64) / 250_000.0);
+        assert!((radio_on_time(&c, h, n, l) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_is_sum_of_on_and_off() {
+        let c = GlossyConstants::table1();
+        let on = radio_on_time(&c, 3, 2, 32);
+        let off = radio_off_time(&c);
+        assert!((slot_length(&c, 3, 2, 32) - (on + off)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn slot_grows_with_diameter() {
+        let c = GlossyConstants::table1();
+        let mut prev = 0.0;
+        for h in 1..=8 {
+            let s = slot_length(&c, h, 2, 10);
+            assert!(s > prev);
+            prev = s;
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Parameter sweeps that regenerate the data series of Fig. 6 and Fig. 7.
+//!
+//! The benchmark harness (`ttw-bench`) and the example binaries both render
+//! these tables, so the sweep logic lives here to keep the numbers identical
+//! everywhere they are reported.
+
+use crate::constants::GlossyConstants;
+use crate::energy;
+use crate::round::{self, NetworkParams};
+use serde::{Deserialize, Serialize};
+
+/// One point of the Fig. 6 sweep: round length as a function of the network
+/// diameter and the number of slots per round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundLengthPoint {
+    /// Network diameter `H` (hops).
+    pub diameter: usize,
+    /// Number of data slots per round `B`.
+    pub slots: usize,
+    /// Payload size in bytes.
+    pub payload: usize,
+    /// Round length `T_r` in seconds (Eq. 19).
+    pub round_length: f64,
+}
+
+/// One point of the Fig. 7 sweep: relative radio-on-time saving as a function
+/// of the number of slots per round and the payload size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergySavingPoint {
+    /// Number of data slots per round `B`.
+    pub slots: usize,
+    /// Payload size in bytes.
+    pub payload: usize,
+    /// Relative saving `E = (T_on_wo/r − T_on_r)/T_on_wo/r` (Fig. 7).
+    pub saving: f64,
+}
+
+/// Regenerates the Fig. 6 grid: `T_r` for every `(H, B)` combination.
+///
+/// The paper plots `H ∈ {1..8}` hops and `B ∈ {1..10}` slots for a payload of
+/// 10 bytes and `N = 2`; callers may pass any ranges.
+pub fn fig6_round_length(
+    constants: &GlossyConstants,
+    diameters: impl IntoIterator<Item = usize>,
+    slots: impl IntoIterator<Item = usize> + Clone,
+    payload: usize,
+    retransmissions: usize,
+) -> Vec<RoundLengthPoint> {
+    let mut points = Vec::new();
+    for h in diameters {
+        let network = NetworkParams::new(h, retransmissions);
+        for b in slots.clone() {
+            points.push(RoundLengthPoint {
+                diameter: h,
+                slots: b,
+                payload,
+                round_length: round::round_length(constants, &network, b, payload),
+            });
+        }
+    }
+    points
+}
+
+/// The exact parameterization the paper uses for Fig. 6 (payload 10 B, N = 2,
+/// `H ∈ 1..=8`, `B ∈ 1..=10`).
+pub fn fig6_paper_grid(constants: &GlossyConstants) -> Vec<RoundLengthPoint> {
+    fig6_round_length(constants, 1..=8, 1..=10, 10, 2)
+}
+
+/// Regenerates the Fig. 7 series: relative saving for every `(B, payload)`
+/// combination at a fixed diameter (the paper uses `H = 4`, `N = 2`).
+pub fn fig7_energy_saving(
+    constants: &GlossyConstants,
+    network: &NetworkParams,
+    slots: impl IntoIterator<Item = usize>,
+    payloads: impl IntoIterator<Item = usize> + Clone,
+) -> Vec<EnergySavingPoint> {
+    let mut points = Vec::new();
+    for b in slots {
+        for l in payloads.clone() {
+            points.push(EnergySavingPoint {
+                slots: b,
+                payload: l,
+                saving: energy::relative_saving(constants, network, b, l),
+            });
+        }
+    }
+    points
+}
+
+/// The exact parameterization the paper uses for Fig. 7
+/// (`H = 4`, `N = 2`, `B ∈ 1..=10`, payloads 8–128 bytes).
+pub fn fig7_paper_grid(constants: &GlossyConstants) -> Vec<EnergySavingPoint> {
+    let network = NetworkParams::with_paper_retransmissions(4);
+    fig7_energy_saving(
+        constants,
+        &network,
+        1..=10,
+        [8usize, 16, 32, 64, 128],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_grid_has_all_combinations() {
+        let c = GlossyConstants::table1();
+        let grid = fig6_paper_grid(&c);
+        assert_eq!(grid.len(), 8 * 10);
+        // Every point positive and the paper's 4-hop/5-slot anchor ≈ 50 ms.
+        assert!(grid.iter().all(|p| p.round_length > 0.0));
+        let anchor = grid
+            .iter()
+            .find(|p| p.diameter == 4 && p.slots == 5)
+            .expect("anchor point present");
+        assert!((anchor.round_length - 0.050).abs() < 0.005);
+    }
+
+    #[test]
+    fn fig6_round_length_monotone_in_diameter() {
+        let c = GlossyConstants::table1();
+        let grid = fig6_paper_grid(&c);
+        for b in 1..=10 {
+            let series: Vec<f64> = grid
+                .iter()
+                .filter(|p| p.slots == b)
+                .map(|p| p.round_length)
+                .collect();
+            assert!(series.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn fig7_grid_has_all_combinations() {
+        let c = GlossyConstants::table1();
+        let grid = fig7_paper_grid(&c);
+        assert_eq!(grid.len(), 10 * 5);
+        assert!(grid.iter().all(|p| (0.0..1.0).contains(&p.saving)));
+    }
+
+    #[test]
+    fn fig7_saving_monotone_in_slots_and_antitone_in_payload() {
+        let c = GlossyConstants::table1();
+        let grid = fig7_paper_grid(&c);
+        for payload in [8usize, 16, 32, 64, 128] {
+            let series: Vec<f64> = grid
+                .iter()
+                .filter(|p| p.payload == payload)
+                .map(|p| p.saving)
+                .collect();
+            assert!(series.windows(2).all(|w| w[0] <= w[1]), "monotone in B");
+        }
+        for b in [1usize, 5, 10] {
+            let series: Vec<f64> = grid
+                .iter()
+                .filter(|p| p.slots == b)
+                .map(|p| p.saving)
+                .collect();
+            assert!(
+                series.windows(2).all(|w| w[0] >= w[1]),
+                "antitone in payload for B = {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_ranges_are_respected() {
+        let c = GlossyConstants::table1();
+        let grid = fig6_round_length(&c, [2, 4], [3], 32, 3);
+        assert_eq!(grid.len(), 2);
+        assert!(grid.iter().all(|p| p.slots == 3 && p.payload == 32));
+    }
+}

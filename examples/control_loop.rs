@@ -1,0 +1,72 @@
+//! The Fig. 3 control application of the paper: two sensors feed a controller
+//! which multicasts actuation commands to two actuators.
+//!
+//! The example synthesizes the schedule with the round length taken from the
+//! Glossy timing model (a 5-slot, 10-byte round on a 4-hop network ≈ 50 ms),
+//! compares the achieved latency with the Eq. 13 bound and the loosely-coupled
+//! baseline, and executes the schedule over the simulated network.
+//!
+//! Run with `cargo run --example control_loop`.
+
+use ttw::baselines::loose_min_latency_bound;
+use ttw::core::time::millis;
+use ttw::core::{analysis, fixtures, validate};
+use ttw::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Fig. 3 precedence graph with a 400 ms period so the ~50 ms rounds of
+    // the paper's evaluation setting fit comfortably.
+    let mut system = System::new();
+    fixtures::fig3_nodes(&mut system);
+    let params = fixtures::Fig3Params {
+        period: millis(400),
+        deadline: millis(400),
+        ..fixtures::Fig3Params::default()
+    };
+    let app = system.add_application(&fixtures::fig3_control_application("ctrl", params))?;
+    let mode = system.add_mode("normal", &[app])?;
+
+    // Round length from the paper's evaluation setting (Fig. 6 anchor).
+    let constants = GlossyConstants::table1();
+    let network = NetworkParams::with_paper_retransmissions(4);
+    let config = SchedulerConfig::from_timing(&constants, &network, 5, 10);
+    println!(
+        "round length from the timing model: {:.1} ms (5 slots, 10 B payload, H = 4)",
+        config.round_duration as f64 / 1e3
+    );
+
+    let schedule = synthesize_mode(&system, mode, &config)?;
+    println!("rounds per hyperperiod: {}", schedule.num_rounds());
+    println!(
+        "achieved latency : {:.1} ms",
+        schedule.app_latencies[&app] / 1e3
+    );
+    println!(
+        "Eq. 13 bound     : {:.1} ms",
+        analysis::min_latency_bound(&system, app, config.round_duration) as f64 / 1e3
+    );
+    println!(
+        "loosely-coupled  : {:.1} ms (factor {:.2})",
+        loose_min_latency_bound(&system, app, config.round_duration) as f64 / 1e3,
+        latency_improvement_factor(&system, app, config.round_duration)
+    );
+    assert!(validate::is_valid_schedule(&system, mode, &config, &schedule));
+
+    // Execute over a 4-hop network with moderate loss.
+    let sim_config = SimulationConfig {
+        link_loss: 0.1,
+        seed: 3,
+        ..SimulationConfig::default()
+    };
+    let mut sim = Simulation::with_clustered_topology(&system, &[schedule], mode, 4, sim_config)?;
+    sim.run_hyperperiods(25);
+    let stats = sim.stats();
+    println!(
+        "simulation: {} rounds, delivery {:.2}%, collisions {}, avg radio duty cycle {:.3}%",
+        stats.rounds_executed,
+        stats.delivery_ratio() * 100.0,
+        stats.collisions,
+        sim.radio().average_duty_cycle(stats.elapsed_micros as f64 / 1e6) * 100.0
+    );
+    Ok(())
+}

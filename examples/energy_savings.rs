@@ -1,0 +1,43 @@
+//! Prints the energy evaluation of Fig. 7: relative radio-on-time saving of
+//! communication rounds compared to sending each message with its own beacon.
+//!
+//! Run with `cargo run --example energy_savings`.
+
+use ttw::baselines::NoRoundsDesign;
+use ttw::timing::{sweep, GlossyConstants};
+
+fn main() {
+    let constants = GlossyConstants::table1();
+    let design = NoRoundsDesign::paper_setting();
+
+    println!("=== Fig. 7: relative radio-on-time saving of rounds (H = 4, N = 2) ===");
+    let grid = sweep::fig7_paper_grid(&constants);
+    print!("{:>6}", "l\\B");
+    for b in 1..=10 {
+        print!("{b:>8}");
+    }
+    println!();
+    for payload in [8usize, 16, 32, 64, 128] {
+        print!("{:>6}", format!("{payload} B"));
+        for b in 1..=10 {
+            let p = grid
+                .iter()
+                .find(|p| p.payload == payload && p.slots == b)
+                .expect("point");
+            print!("{:>7.1}%", p.saving * 100.0);
+        }
+        println!();
+    }
+
+    println!("\npaper headline (abstract): 33-40% energy saving");
+    println!(
+        "reproduced: B=5, l=10 B -> {:.1}% ; asymptote for large rounds -> {:.1}%",
+        design.ttw_saving(5, 10) * 100.0,
+        design.ttw_saving(10_000, 10) * 100.0
+    );
+    println!(
+        "absolute radio-on time for 5 messages of 10 B: {:.2} ms with rounds vs {:.2} ms without",
+        design.ttw_radio_on_time(5, 10) * 1e3,
+        design.radio_on_time(5, 10) * 1e3
+    );
+}

@@ -1,0 +1,43 @@
+//! Prints the end-to-end latency comparison of Sec. V: the TTW bound of
+//! Eq. 13 (one round per message) versus the loosely-coupled baseline
+//! (two rounds per message), for the Fig. 3 application and for pipelines of
+//! growing length.
+//!
+//! Run with `cargo run --example latency_bounds`.
+
+use ttw::baselines::{latency_improvement_factor, loose_min_latency_bound};
+use ttw::core::time::millis;
+use ttw::core::{analysis, fixtures};
+
+fn main() {
+    let (system, app) = fixtures::fig3_system_single_app();
+
+    println!("=== Fig. 3 control application, varying round length ===");
+    println!("{:>8} {:>10} {:>12} {:>8}", "T_r[ms]", "TTW[ms]", "loose[ms]", "factor");
+    for tr_ms in [5u64, 10, 20, 50, 100] {
+        let tr = millis(tr_ms);
+        println!(
+            "{:>8} {:>10.1} {:>12.1} {:>8.2}",
+            tr_ms,
+            analysis::min_latency_bound(&system, app, tr) as f64 / 1e3,
+            loose_min_latency_bound(&system, app, tr) as f64 / 1e3,
+            latency_improvement_factor(&system, app, tr)
+        );
+    }
+
+    println!("\n=== Pipelines of growing length (T_r = 10 ms, 1 ms tasks) ===");
+    println!("{:>10} {:>10} {:>12} {:>8}", "#messages", "TTW[ms]", "loose[ms]", "factor");
+    for tasks in [2usize, 3, 4, 6, 8, 12] {
+        let (sys, mode) = fixtures::synthetic_mode(1, tasks, 3, millis(1000));
+        let app = sys.mode(mode).applications[0];
+        let tr = millis(10);
+        println!(
+            "{:>10} {:>10.1} {:>12.1} {:>8.2}",
+            tasks - 1,
+            analysis::min_latency_bound(&sys, app, tr) as f64 / 1e3,
+            loose_min_latency_bound(&sys, app, tr) as f64 / 1e3,
+            latency_improvement_factor(&sys, app, tr)
+        );
+    }
+    println!("\nper-message communication latency: T_r for TTW vs 2*T_r for [16] -> factor 2 (paper headline)");
+}

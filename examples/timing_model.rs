@@ -1,0 +1,57 @@
+//! Prints the Glossy timing model: Table I constants, the slot decomposition
+//! of Fig. 5 and the round-length grid of Fig. 6.
+//!
+//! Run with `cargo run --example timing_model`.
+
+use ttw::timing::{flood, round, slot, sweep, GlossyConstants, NetworkParams};
+
+fn main() {
+    let constants = GlossyConstants::table1();
+    println!("=== Table I: constants of the Glossy implementation ===");
+    println!("T_wakeup = {:>7.0} us", constants.t_wakeup * 1e6);
+    println!("T_start  = {:>7.0} us", constants.t_start * 1e6);
+    println!("T_d      = {:>7.0} us", constants.t_d * 1e6);
+    println!("L_cal    = {:>7} B", constants.l_cal);
+    println!("L_header = {:>7} B", constants.l_header);
+    println!("T_gap    = {:>7.0} us", constants.t_gap * 1e6);
+    println!("R_bit    = {:>7.0} kbps", constants.r_bit / 1e3);
+    println!("L_beacon = {:>7} B", constants.l_beacon);
+
+    let network = NetworkParams::with_paper_retransmissions(4);
+    println!("\n=== Fig. 5: slot decomposition (H = 4, N = 2, payload 10 B) ===");
+    println!(
+        "T_hop   = {:.0} us, flood steps = {}, T_flood = {:.1} ms",
+        flood::hop_duration(&constants, 10) * 1e6,
+        flood::flood_steps(network.diameter, network.retransmissions),
+        flood::flood_duration(&constants, network.diameter, network.retransmissions, 10) * 1e3
+    );
+    println!(
+        "T_on    = {:.2} ms, T_off = {:.2} ms, T_slot = {:.2} ms",
+        slot::radio_on_time(&constants, 4, 2, 10) * 1e3,
+        slot::radio_off_time(&constants) * 1e3,
+        slot::slot_length(&constants, 4, 2, 10) * 1e3
+    );
+    println!(
+        "T_r(B=5) = {:.1} ms (paper Fig. 6 anchor: ~50 ms)",
+        round::round_length(&constants, &network, 5, 10) * 1e3
+    );
+
+    println!("\n=== Fig. 6: round length T_r [ms] (payload 10 B, N = 2) ===");
+    let grid = sweep::fig6_paper_grid(&constants);
+    print!("{:>5}", "H\\B");
+    for b in 1..=10 {
+        print!("{b:>7}");
+    }
+    println!();
+    for h in 1..=8 {
+        print!("{:>5}", format!("H={h}"));
+        for b in 1..=10 {
+            let p = grid
+                .iter()
+                .find(|p| p.diameter == h && p.slots == b)
+                .expect("point");
+            print!("{:>7.1}", p.round_length * 1e3);
+        }
+        println!();
+    }
+}
