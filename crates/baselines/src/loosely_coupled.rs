@@ -20,11 +20,7 @@ pub fn loose_message_latency(round_duration: Micros) -> Micros {
 
 /// End-to-end latency bound of a chain under the loosely-coupled design:
 /// task WCETs plus `2·T_r` per message.
-pub fn loose_chain_latency_bound(
-    system: &System,
-    chain: &Chain,
-    round_duration: Micros,
-) -> Micros {
+pub fn loose_chain_latency_bound(system: &System, chain: &Chain, round_duration: Micros) -> Micros {
     let exec: Micros = chain.tasks().map(|t| system.task(t).wcet).sum();
     let comm: Micros = chain.messages().count() as Micros * loose_message_latency(round_duration);
     exec + comm

@@ -1,6 +1,5 @@
 //! The per-message-beacon ("no rounds") design of Eq. 20.
 
-use serde::{Deserialize, Serialize};
 use ttw_timing::{energy, round, GlossyConstants, NetworkParams};
 
 /// A design in which every message transmission is preceded by its own beacon,
@@ -9,7 +8,7 @@ use ttw_timing::{energy, round, GlossyConstants, NetworkParams};
 /// This is the energy baseline of Fig. 7: serving `B` messages costs
 /// `B · (T_slot(L_beacon) + T_slot(l))` instead of
 /// `T_slot(L_beacon) + B · T_slot(l)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoRoundsDesign {
     /// Radio constants (Table I).
     pub constants: GlossyConstants,

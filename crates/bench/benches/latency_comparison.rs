@@ -17,7 +17,10 @@ fn bench_latency(c: &mut Criterion) {
 
     eprintln!("\n=== Latency bounds: TTW (Eq. 13) vs loosely-coupled [16] ===");
     eprintln!("Fig. 3 control application, varying round length T_r:");
-    eprintln!("{:>8} {:>12} {:>12} {:>8}", "T_r[ms]", "TTW[ms]", "loose[ms]", "factor");
+    eprintln!(
+        "{:>8} {:>12} {:>12} {:>8}",
+        "T_r[ms]", "TTW[ms]", "loose[ms]", "factor"
+    );
     for tr_ms in [5u64, 10, 20, 50, 100] {
         let tr = millis(tr_ms);
         let ttw = analysis::min_latency_bound(&sys, app, tr);
@@ -32,7 +35,10 @@ fn bench_latency(c: &mut Criterion) {
     }
 
     eprintln!("\nPipelines of growing length (T_r = 10 ms, 1 ms tasks):");
-    eprintln!("{:>10} {:>12} {:>12} {:>8}", "#messages", "TTW[ms]", "loose[ms]", "factor");
+    eprintln!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "#messages", "TTW[ms]", "loose[ms]", "factor"
+    );
     for tasks in [2usize, 3, 5, 8] {
         let (psys, pmode) = fixtures::synthetic_mode(1, tasks, 2, millis(1000));
         let papp = psys.mode(pmode).applications[0];
@@ -57,9 +63,11 @@ fn bench_latency(c: &mut Criterion) {
     for tasks in [3usize, 8] {
         let (psys, pmode) = fixtures::synthetic_mode(1, tasks, 2, millis(1000));
         let papp = psys.mode(pmode).applications[0];
-        group.bench_with_input(BenchmarkId::new("factor_pipeline", tasks), &tasks, |b, _| {
-            b.iter(|| black_box(latency_improvement_factor(&psys, papp, millis(10))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("factor_pipeline", tasks),
+            &tasks,
+            |b, _| b.iter(|| black_box(latency_improvement_factor(&psys, papp, millis(10)))),
+        );
     }
     group.finish();
 }

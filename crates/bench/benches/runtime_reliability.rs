@@ -13,7 +13,12 @@ use ttw_core::time::millis;
 use ttw_core::{fixtures, synthesis, SchedulerConfig};
 use ttw_runtime::{BeaconLossPolicy, Simulation, SimulationConfig};
 
-fn build_inputs() -> (ttw_core::System, Vec<ttw_core::ModeSchedule>, ttw_core::ModeId, ttw_core::ModeId) {
+fn build_inputs() -> (
+    ttw_core::System,
+    Vec<ttw_core::ModeSchedule>,
+    ttw_core::ModeId,
+    ttw_core::ModeId,
+) {
     let (sys, normal, emergency) = fixtures::two_mode_system();
     let config = SchedulerConfig::new(millis(10), 5);
     let s1 = synthesis::synthesize_mode(&sys, normal, &config).expect("feasible");
@@ -50,17 +55,37 @@ fn bench_runtime(c: &mut Criterion) {
     eprintln!("\n=== Runtime reliability under loss (mode change after 3 hyperperiods) ===");
     eprintln!(
         "{:>6} {:>10} {:>14} {:>12} {:>10} {:>14} {:>12} {:>10}",
-        "loss", "policy", "beacons miss", "collisions", "delivery",
-        "beacons miss", "collisions", "delivery"
+        "loss",
+        "policy",
+        "beacons miss",
+        "collisions",
+        "delivery",
+        "beacons miss",
+        "collisions",
+        "delivery"
     );
     eprintln!(
         "{:>6} {:>10} {:>40} {:>38}",
         "", "", "--- TTW (skip round) ---", "--- legacy (keep transmitting) ---"
     );
     for loss in [0.0, 0.25, 0.5, 0.75] {
-        let safe = run_once(&sys, &schedules, normal, emergency, loss, BeaconLossPolicy::SkipRound, 11);
+        let safe = run_once(
+            &sys,
+            &schedules,
+            normal,
+            emergency,
+            loss,
+            BeaconLossPolicy::SkipRound,
+            11,
+        );
         let legacy = run_once(
-            &sys, &schedules, normal, emergency, loss, BeaconLossPolicy::LegacyTransmit, 11,
+            &sys,
+            &schedules,
+            normal,
+            emergency,
+            loss,
+            BeaconLossPolicy::LegacyTransmit,
+            11,
         );
         eprintln!(
             "{:>6.2} {:>10} {:>14} {:>12} {:>9.1}% {:>14} {:>12} {:>9.1}%",

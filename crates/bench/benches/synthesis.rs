@@ -43,9 +43,7 @@ fn bench_synthesis(c: &mut Criterion) {
     });
     group.bench_function("heuristic_fig3", |b| {
         b.iter(|| {
-            black_box(
-                heuristic::synthesize_mode_heuristic(&fig3_sys, fig3_mode, &config).unwrap(),
-            )
+            black_box(heuristic::synthesize_mode_heuristic(&fig3_sys, fig3_mode, &config).unwrap())
         })
     });
     group.finish();

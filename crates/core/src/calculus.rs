@@ -62,17 +62,14 @@ impl ServiceCurve {
     /// Records that a round serving the message completes at time `t`.
     pub fn record_completion(&mut self, t: f64) {
         self.completions.push(t);
-        self.completions.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.completions
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
     }
 
     /// Service function `sf(t)`: completions at or before `t`, minus the
     /// leftover correction (Eq. 10).
     pub fn value(&self, t: f64) -> i64 {
-        let served = self
-            .completions
-            .iter()
-            .filter(|&&c| c <= t)
-            .count() as i64;
+        let served = self.completions.iter().filter(|&&c| c <= t).count() as i64;
         served - self.leftover
     }
 
@@ -94,7 +91,6 @@ impl ServiceCurve {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn arrival_steps_at_releases() {
@@ -160,29 +156,35 @@ mod tests {
         assert!(!late.satisfies_bounds(50.5, 0.0, 50.0, 100.0));
     }
 
-    proptest! {
-        /// `af` is non-decreasing in `t` and gains about one instance per period
-        /// (exactly one up to floating-point boundary effects).
-        #[test]
-        fn arrival_monotone_and_periodic(
-            offset in 0.0f64..1000.0,
-            period in 1.0f64..1000.0,
-            t in -1000.0f64..10_000.0,
-        ) {
-            prop_assert!(arrival(t, offset, period) <= arrival(t + 0.5, offset, period));
-            let gained = arrival(t + period, offset, period) - arrival(t, offset, period);
-            prop_assert!((0..=2).contains(&gained));
-        }
-
-        /// `df(t) ≤ af(t)` always holds (a deadline can only follow a release).
-        #[test]
-        fn demand_never_exceeds_arrival(
-            offset in 0.0f64..1000.0,
-            deadline in 0.0f64..1000.0,
-            period in 1.0f64..1000.0,
-            t in -1000.0f64..10_000.0,
-        ) {
-            prop_assert!(demand(t, offset, deadline, period) <= arrival(t, offset, period));
+    /// Deterministic parameter sweep standing in for the property-based checks
+    /// (proptest is unavailable offline): `af` is non-decreasing in `t`, gains
+    /// about one instance per period, and `df(t) ≤ af(t)` always holds.
+    #[test]
+    fn counting_function_properties_over_a_parameter_sweep() {
+        let offsets = [0.0, 0.3, 7.0, 99.9, 500.0, 999.0];
+        let deadlines = [0.0, 1.0, 49.5, 200.0, 999.0];
+        let periods = [1.0, 2.5, 10.0, 100.0, 997.0];
+        let times = [-1000.0, -1.0, 0.0, 0.1, 33.3, 500.0, 4_321.0, 9_999.0];
+        for &offset in &offsets {
+            for &period in &periods {
+                for &t in &times {
+                    assert!(
+                        arrival(t, offset, period) <= arrival(t + 0.5, offset, period),
+                        "af not monotone at t={t} o={offset} p={period}"
+                    );
+                    let gained = arrival(t + period, offset, period) - arrival(t, offset, period);
+                    assert!(
+                        (0..=2).contains(&gained),
+                        "af gained {gained} over one period at t={t} o={offset} p={period}"
+                    );
+                    for &deadline in &deadlines {
+                        assert!(
+                            demand(t, offset, deadline, period) <= arrival(t, offset, period),
+                            "df > af at t={t} o={offset} d={deadline} p={period}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -8,11 +8,10 @@
 
 use crate::ids::{AppId, MessageId, TaskId};
 use crate::system::System;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One element of a chain: either a task or a message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChainElement {
     /// A task vertex of the precedence graph.
     Task(TaskId),
@@ -24,7 +23,7 @@ pub enum ChainElement {
 ///
 /// Elements alternate between tasks and messages and the chain always starts
 /// and ends with a task.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Chain {
     elements: Vec<ChainElement>,
 }
@@ -185,10 +184,7 @@ mod tests {
         let (sys, app) = fixtures::fig3_system_single_app();
         for c in sys.chains(app) {
             assert!(matches!(c.elements()[0], ChainElement::Task(_)));
-            assert!(matches!(
-                c.elements()[c.len() - 1],
-                ChainElement::Task(_)
-            ));
+            assert!(matches!(c.elements()[c.len() - 1], ChainElement::Task(_)));
             // Alternation.
             for (a, b) in c.hops() {
                 let ok = matches!(

@@ -2,7 +2,6 @@
 
 use crate::error::ScheduleError;
 use crate::time::{micros_from_secs, Micros};
-use serde::{Deserialize, Serialize};
 use ttw_milp::SolveParams;
 use ttw_timing::{round, GlossyConstants, NetworkParams};
 
@@ -12,7 +11,7 @@ use ttw_timing::{round, GlossyConstants, NetworkParams};
 /// central parameters of the paper (Fig. 6/7); the remaining fields mirror the
 /// constants of the ILP formulation (Table II) and the budgets of the MILP
 /// solver substitute.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SchedulerConfig {
     /// Round length `T_r` in microseconds (all slots plus the beacon).
     pub round_duration: Micros,

@@ -269,7 +269,10 @@ impl fmt::Display for ScheduleViolation {
                 round,
                 allocated,
                 limit,
-            } => write!(f, "round {round} allocates {allocated} slots (limit {limit})"),
+            } => write!(
+                f,
+                "round {round} allocates {allocated} slots (limit {limit})"
+            ),
             ScheduleViolation::WrongAllocationCount {
                 message,
                 allocated,
@@ -279,7 +282,10 @@ impl fmt::Display for ScheduleViolation {
                 "message {message} is allocated {allocated} slots but releases {expected} instances"
             ),
             ScheduleViolation::ServedBeforeRelease { message, round } => {
-                write!(f, "message {message} is served before release in round {round}")
+                write!(
+                    f,
+                    "message {message} is served before release in round {round}"
+                )
             }
             ScheduleViolation::DeadlineMiss { message, at } => {
                 write!(f, "message {message} misses a deadline at {at} µs")

@@ -1,14 +1,18 @@
 //! Schedule export and rendering.
 //!
-//! Synthesized schedules are plain data (`serde`-serializable), but two extra
-//! representations are convenient in practice: a JSON document that can be
-//! shipped to the nodes at deployment time (Sec. II.B: "the node's task and
-//! communication schedule is loaded into its memory"), and a human-readable
-//! text timeline for inspecting what the optimizer produced.
+//! Synthesized schedules are plain data, but two extra representations are
+//! convenient in practice: a JSON document that can be shipped to the nodes at
+//! deployment time (Sec. II.B: "the node's task and communication schedule is
+//! loaded into its memory"), and a human-readable text timeline for inspecting
+//! what the optimizer produced. The JSON codec is hand-rolled on
+//! [`crate::json`] because the build environment has no crates.io access.
 
-use crate::ids::ModeId;
-use crate::schedule::ModeSchedule;
+use crate::ids::{AppId, MessageId, ModeId, TaskId};
+use crate::json::{JsonError, Value};
+use crate::schedule::{ModeSchedule, ScheduledRound, SynthesisStats};
+use crate::spec::{ApplicationSpec, MessageSpec, TaskSpec};
 use crate::system::System;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Serializes a schedule to pretty-printed JSON.
@@ -18,19 +22,363 @@ use std::fmt::Write as _;
 ///
 /// # Errors
 ///
-/// Returns a [`serde_json::Error`] if serialization fails (this only happens
-/// if the schedule contains non-finite floats, which synthesis never produces).
-pub fn schedule_to_json(schedule: &ModeSchedule) -> Result<String, serde_json::Error> {
-    serde_json::to_string_pretty(schedule)
+/// Infallible in practice; the `Result` is kept so the signature survives a
+/// swap back to a serde-based codec.
+pub fn schedule_to_json(schedule: &ModeSchedule) -> Result<String, JsonError> {
+    Ok(schedule_to_value(schedule).to_json_pretty())
 }
 
 /// Parses a schedule back from its JSON form.
 ///
 /// # Errors
 ///
-/// Returns a [`serde_json::Error`] if the document is not a valid schedule.
-pub fn schedule_from_json(json: &str) -> Result<ModeSchedule, serde_json::Error> {
-    serde_json::from_str(json)
+/// Returns a [`JsonError`] if the document is not a valid schedule.
+pub fn schedule_from_json(json: &str) -> Result<ModeSchedule, JsonError> {
+    schedule_from_value(&Value::parse(json)?)
+}
+
+/// Serializes an application specification to pretty-printed JSON.
+///
+/// # Errors
+///
+/// Infallible in practice; see [`schedule_to_json`].
+pub fn app_spec_to_json(spec: &ApplicationSpec) -> Result<String, JsonError> {
+    Ok(app_spec_to_value(spec).to_json_pretty())
+}
+
+/// Parses an application specification back from its JSON form.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if the document is not a valid specification.
+pub fn app_spec_from_json(json: &str) -> Result<ApplicationSpec, JsonError> {
+    app_spec_from_value(&Value::parse(json)?)
+}
+
+fn schedule_to_value(schedule: &ModeSchedule) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert("mode".into(), Value::Number(schedule.mode.index() as f64));
+    map.insert(
+        "hyperperiod".into(),
+        Value::Number(schedule.hyperperiod as f64),
+    );
+    map.insert(
+        "round_duration".into(),
+        Value::Number(schedule.round_duration as f64),
+    );
+    map.insert(
+        "slots_per_round".into(),
+        Value::Number(schedule.slots_per_round as f64),
+    );
+    map.insert(
+        "task_offsets".into(),
+        index_map_to_value(schedule.task_offsets.iter().map(|(k, &v)| (k.index(), v))),
+    );
+    map.insert(
+        "message_offsets".into(),
+        index_map_to_value(
+            schedule
+                .message_offsets
+                .iter()
+                .map(|(k, &v)| (k.index(), v)),
+        ),
+    );
+    map.insert(
+        "message_deadlines".into(),
+        index_map_to_value(
+            schedule
+                .message_deadlines
+                .iter()
+                .map(|(k, &v)| (k.index(), v)),
+        ),
+    );
+    map.insert(
+        "rounds".into(),
+        Value::Array(
+            schedule
+                .rounds
+                .iter()
+                .map(|round| {
+                    let mut r = BTreeMap::new();
+                    r.insert("start".into(), Value::Number(round.start));
+                    r.insert(
+                        "slots".into(),
+                        Value::Array(
+                            round
+                                .slots
+                                .iter()
+                                .map(|m| Value::Number(m.index() as f64))
+                                .collect(),
+                        ),
+                    );
+                    Value::Object(r)
+                })
+                .collect(),
+        ),
+    );
+    map.insert(
+        "app_latencies".into(),
+        index_map_to_value(schedule.app_latencies.iter().map(|(k, &v)| (k.index(), v))),
+    );
+    map.insert(
+        "total_latency".into(),
+        Value::Number(schedule.total_latency),
+    );
+    let mut stats = BTreeMap::new();
+    stats.insert(
+        "rounds_attempted".into(),
+        Value::Array(
+            schedule
+                .stats
+                .rounds_attempted
+                .iter()
+                .map(|&n| Value::Number(n as f64))
+                .collect(),
+        ),
+    );
+    stats.insert(
+        "milp_nodes".into(),
+        Value::Number(schedule.stats.milp_nodes as f64),
+    );
+    stats.insert(
+        "simplex_iterations".into(),
+        Value::Number(schedule.stats.simplex_iterations as f64),
+    );
+    stats.insert(
+        "variables".into(),
+        Value::Number(schedule.stats.variables as f64),
+    );
+    stats.insert(
+        "constraints".into(),
+        Value::Number(schedule.stats.constraints as f64),
+    );
+    map.insert("stats".into(), Value::Object(stats));
+    Value::Object(map)
+}
+
+fn schedule_from_value(value: &Value) -> Result<ModeSchedule, JsonError> {
+    let map = require_object(value, "schedule")?;
+    let stats_value = require_field(map, "stats")?;
+    let stats_map = require_object(stats_value, "stats")?;
+    let rounds_value = require_field(map, "rounds")?;
+    let rounds = rounds_value
+        .as_array()
+        .ok_or_else(|| JsonError::custom("`rounds` must be an array"))?
+        .iter()
+        .map(|round| {
+            let r = require_object(round, "round")?;
+            Ok(ScheduledRound {
+                start: require_f64(r, "start")?,
+                slots: require_field(r, "slots")?
+                    .as_array()
+                    .ok_or_else(|| JsonError::custom("`slots` must be an array"))?
+                    .iter()
+                    .map(|slot| {
+                        slot.as_u64()
+                            .map(|i| MessageId::from_index(i as usize))
+                            .ok_or_else(|| {
+                                JsonError::custom("slot entries must be message indices")
+                            })
+                    })
+                    .collect::<Result<_, _>>()?,
+            })
+        })
+        .collect::<Result<_, JsonError>>()?;
+    Ok(ModeSchedule {
+        mode: ModeId::from_index(require_usize(map, "mode")?),
+        hyperperiod: require_u64(map, "hyperperiod")?,
+        round_duration: require_u64(map, "round_duration")?,
+        slots_per_round: require_usize(map, "slots_per_round")?,
+        task_offsets: index_map_from_value(map, "task_offsets", TaskId::from_index)?,
+        message_offsets: index_map_from_value(map, "message_offsets", MessageId::from_index)?,
+        message_deadlines: index_map_from_value(map, "message_deadlines", MessageId::from_index)?,
+        rounds,
+        app_latencies: index_map_from_value(map, "app_latencies", AppId::from_index)?,
+        total_latency: require_f64(map, "total_latency")?,
+        stats: SynthesisStats {
+            rounds_attempted: require_field(stats_map, "rounds_attempted")?
+                .as_array()
+                .ok_or_else(|| JsonError::custom("`rounds_attempted` must be an array"))?
+                .iter()
+                .map(|n| {
+                    n.as_u64().map(|n| n as usize).ok_or_else(|| {
+                        JsonError::custom("`rounds_attempted` entries must be integers")
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+            milp_nodes: require_usize(stats_map, "milp_nodes")?,
+            simplex_iterations: require_usize(stats_map, "simplex_iterations")?,
+            variables: require_usize(stats_map, "variables")?,
+            constraints: require_usize(stats_map, "constraints")?,
+        },
+    })
+}
+
+fn app_spec_to_value(spec: &ApplicationSpec) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert("name".into(), Value::String(spec.name.clone()));
+    map.insert("period".into(), Value::Number(spec.period as f64));
+    map.insert("deadline".into(), Value::Number(spec.deadline as f64));
+    map.insert(
+        "tasks".into(),
+        Value::Array(
+            spec.tasks
+                .iter()
+                .map(|task| {
+                    let mut t = BTreeMap::new();
+                    t.insert("name".into(), Value::String(task.name.clone()));
+                    t.insert("node".into(), Value::String(task.node.clone()));
+                    t.insert("wcet".into(), Value::Number(task.wcet as f64));
+                    Value::Object(t)
+                })
+                .collect(),
+        ),
+    );
+    map.insert(
+        "messages".into(),
+        Value::Array(
+            spec.messages
+                .iter()
+                .map(|message| {
+                    let mut m = BTreeMap::new();
+                    m.insert("name".into(), Value::String(message.name.clone()));
+                    m.insert("sources".into(), string_array_to_value(&message.sources));
+                    m.insert(
+                        "destinations".into(),
+                        string_array_to_value(&message.destinations),
+                    );
+                    Value::Object(m)
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(map)
+}
+
+fn app_spec_from_value(value: &Value) -> Result<ApplicationSpec, JsonError> {
+    let map = require_object(value, "application spec")?;
+    let tasks = require_field(map, "tasks")?
+        .as_array()
+        .ok_or_else(|| JsonError::custom("`tasks` must be an array"))?
+        .iter()
+        .map(|task| {
+            let t = require_object(task, "task")?;
+            Ok(TaskSpec {
+                name: require_string(t, "name")?,
+                node: require_string(t, "node")?,
+                wcet: require_u64(t, "wcet")?,
+            })
+        })
+        .collect::<Result<_, JsonError>>()?;
+    let messages = require_field(map, "messages")?
+        .as_array()
+        .ok_or_else(|| JsonError::custom("`messages` must be an array"))?
+        .iter()
+        .map(|message| {
+            let m = require_object(message, "message")?;
+            Ok(MessageSpec {
+                name: require_string(m, "name")?,
+                sources: string_array_from_value(m, "sources")?,
+                destinations: string_array_from_value(m, "destinations")?,
+            })
+        })
+        .collect::<Result<_, JsonError>>()?;
+    Ok(ApplicationSpec {
+        name: require_string(map, "name")?,
+        period: require_u64(map, "period")?,
+        deadline: require_u64(map, "deadline")?,
+        tasks,
+        messages,
+    })
+}
+
+fn index_map_to_value(entries: impl Iterator<Item = (usize, f64)>) -> Value {
+    Value::Object(
+        entries
+            .map(|(index, value)| (index.to_string(), Value::Number(value)))
+            .collect(),
+    )
+}
+
+fn index_map_from_value<K: Ord>(
+    map: &BTreeMap<String, Value>,
+    field: &str,
+    make_key: impl Fn(usize) -> K,
+) -> Result<BTreeMap<K, f64>, JsonError> {
+    require_field(map, field)?
+        .as_object()
+        .ok_or_else(|| JsonError::custom(format!("`{field}` must be an object")))?
+        .iter()
+        .map(|(key, value)| {
+            let index: usize = key
+                .parse()
+                .map_err(|_| JsonError::custom(format!("`{field}` key `{key}` is not an index")))?;
+            let number = value
+                .as_f64()
+                .ok_or_else(|| JsonError::custom(format!("`{field}` values must be numbers")))?;
+            Ok((make_key(index), number))
+        })
+        .collect()
+}
+
+fn string_array_to_value(strings: &[String]) -> Value {
+    Value::Array(strings.iter().cloned().map(Value::String).collect())
+}
+
+fn string_array_from_value(
+    map: &BTreeMap<String, Value>,
+    field: &str,
+) -> Result<Vec<String>, JsonError> {
+    require_field(map, field)?
+        .as_array()
+        .ok_or_else(|| JsonError::custom(format!("`{field}` must be an array")))?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| JsonError::custom(format!("`{field}` entries must be strings")))
+        })
+        .collect()
+}
+
+fn require_object<'a>(
+    value: &'a Value,
+    what: &str,
+) -> Result<&'a BTreeMap<String, Value>, JsonError> {
+    value
+        .as_object()
+        .ok_or_else(|| JsonError::custom(format!("{what} must be a JSON object")))
+}
+
+fn require_field<'a>(
+    map: &'a BTreeMap<String, Value>,
+    field: &str,
+) -> Result<&'a Value, JsonError> {
+    map.get(field)
+        .ok_or_else(|| JsonError::custom(format!("missing field `{field}`")))
+}
+
+fn require_f64(map: &BTreeMap<String, Value>, field: &str) -> Result<f64, JsonError> {
+    require_field(map, field)?
+        .as_f64()
+        .ok_or_else(|| JsonError::custom(format!("`{field}` must be a number")))
+}
+
+fn require_u64(map: &BTreeMap<String, Value>, field: &str) -> Result<u64, JsonError> {
+    require_field(map, field)?
+        .as_u64()
+        .ok_or_else(|| JsonError::custom(format!("`{field}` must be a non-negative integer")))
+}
+
+fn require_usize(map: &BTreeMap<String, Value>, field: &str) -> Result<usize, JsonError> {
+    require_u64(map, field).map(|n| n as usize)
+}
+
+fn require_string(map: &BTreeMap<String, Value>, field: &str) -> Result<String, JsonError> {
+    require_field(map, field)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| JsonError::custom(format!("`{field}` must be a string")))
 }
 
 /// Renders a schedule as a human-readable text report: one line per round with
@@ -86,9 +434,7 @@ pub fn render_schedule(system: &System, mode: ModeId, schedule: &ModeSchedule) -
     let _ = writeln!(out, "messages:");
     for (&message, &offset) in &schedule.message_offsets {
         let m = system.message(message);
-        let deadline = schedule
-            .message_deadline(message)
-            .unwrap_or(f64::NAN);
+        let deadline = schedule.message_deadline(message).unwrap_or(f64::NAN);
         let _ = writeln!(
             out,
             "  {:<24} from {:<12} offset {:>8.1} ms, deadline {:>6.1} ms, rounds {:?}",

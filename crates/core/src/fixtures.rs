@@ -49,8 +49,16 @@ pub fn fig3_control_application(name: &str, params: Fig3Params) -> ApplicationSp
         .with_task(format!("{name}.tau3"), "controller", params.control_wcet)
         .with_task(format!("{name}.tau5"), "actuator1", params.actuation_wcet)
         .with_task(format!("{name}.tau6"), "actuator2", params.actuation_wcet)
-        .with_message(format!("{name}.m1"), [format!("{name}.tau1")], [format!("{name}.tau3")])
-        .with_message(format!("{name}.m2"), [format!("{name}.tau2")], [format!("{name}.tau3")])
+        .with_message(
+            format!("{name}.m1"),
+            [format!("{name}.tau1")],
+            [format!("{name}.tau3")],
+        )
+        .with_message(
+            format!("{name}.m2"),
+            [format!("{name}.tau2")],
+            [format!("{name}.tau3")],
+        )
         .with_message(
             format!("{name}.m3"),
             [format!("{name}.tau3")],
@@ -97,7 +105,10 @@ pub fn two_mode_system() -> (System, ModeId, ModeId) {
     let mut sys = System::new();
     fig3_nodes(&mut sys);
     let normal_app = sys
-        .add_application(&fig3_control_application("normal_ctrl", Fig3Params::default()))
+        .add_application(&fig3_control_application(
+            "normal_ctrl",
+            Fig3Params::default(),
+        ))
         .expect("valid fixture");
     let emergency_app = sys
         .add_application(

@@ -80,7 +80,8 @@ pub fn synthesize_mode_heuristic(
             .filter(|m| pending_tasks[m] == 0)
             .collect();
         for m in &ready_msgs {
-            let release = system.message(*m)
+            let release = system
+                .message(*m)
                 .preceding_tasks
                 .iter()
                 .map(|&t| task_offsets[&t] + system.task(t).wcet as f64)
@@ -236,6 +237,32 @@ mod tests {
     }
 
     #[test]
+    fn heuristic_matches_ilp_on_fig3() {
+        // On the paper's Fig. 3 control application the greedy packing is
+        // lucky enough to tie the optimum: same round count, same total
+        // latency, and per-application latencies within one microsecond of
+        // the ILP's. This parity is what makes it a meaningful ablation
+        // baseline for the Fig. 3 benchmarks.
+        let (sys, mode) = fixtures::fig3_system();
+        let optimal = synthesize_mode(&sys, mode, &config()).expect("feasible");
+        let greedy = synthesize_mode_heuristic(&sys, mode, &config()).expect("feasible");
+        assert_eq!(greedy.num_rounds(), optimal.num_rounds());
+        assert!(
+            (greedy.total_latency - optimal.total_latency).abs() < 1.0,
+            "greedy {} µs vs ILP {} µs",
+            greedy.total_latency,
+            optimal.total_latency
+        );
+        for (app, latency) in &optimal.app_latencies {
+            let greedy_latency = greedy.app_latencies[app];
+            assert!(
+                (greedy_latency - latency).abs() < 1.0,
+                "app {app}: greedy {greedy_latency} µs vs ILP {latency} µs"
+            );
+        }
+    }
+
+    #[test]
     fn heuristic_rejects_multi_rate_modes() {
         let (mut sys, _, _) = {
             let (s, a, b) = fixtures::two_mode_system();
@@ -244,14 +271,20 @@ mod tests {
         // Build a mode with two different periods to trigger the restriction.
         let fast = sys
             .add_application(
-                &crate::spec::ApplicationSpec::new("fast", millis(20), millis(20))
-                    .with_task("fast.t", "sensor1", millis(1)),
+                &crate::spec::ApplicationSpec::new("fast", millis(20), millis(20)).with_task(
+                    "fast.t",
+                    "sensor1",
+                    millis(1),
+                ),
             )
             .expect("valid app");
         let slow = sys
             .add_application(
-                &crate::spec::ApplicationSpec::new("slow", millis(40), millis(40))
-                    .with_task("slow.t", "sensor2", millis(1)),
+                &crate::spec::ApplicationSpec::new("slow", millis(40), millis(40)).with_task(
+                    "slow.t",
+                    "sensor2",
+                    millis(1),
+                ),
             )
             .expect("valid app");
         let mode = sys.add_mode("mixed", &[fast, slow]).expect("valid mode");

@@ -92,7 +92,8 @@ pub fn build_ilp(
 
     let mut model = Model::new(format!(
         "ttw_{}_{}rounds",
-        system.mode(mode).name, num_rounds
+        system.mode(mode).name,
+        num_rounds
     ));
     model.params_mut().clone_from(&config.solver);
     let mut vars = VariableMap::default();
@@ -131,11 +132,7 @@ pub fn build_ilp(
         leftover.insert(m, v);
     }
     for &a in &apps {
-        let v = model.add_continuous(
-            format!("delta[{}]", system.application(a).name),
-            0.0,
-            hyper,
-        );
+        let v = model.add_continuous(format!("delta[{}]", system.application(a).name), 0.0, hyper);
         vars.app_latency.insert(a, v);
     }
 
@@ -232,12 +229,20 @@ pub fn build_ilp(
             expr.add_term(vars.task_offset[&first], -1.0);
             for (from, to) in chain.hops() {
                 let edge = match (from, to) {
-                    (crate::chains::ChainElement::Task(t), crate::chains::ChainElement::Message(m)) => {
-                        PrecedenceEdge::TaskToMessage { task: t, message: m }
-                    }
-                    (crate::chains::ChainElement::Message(m), crate::chains::ChainElement::Task(t)) => {
-                        PrecedenceEdge::MessageToTask { message: m, task: t }
-                    }
+                    (
+                        crate::chains::ChainElement::Task(t),
+                        crate::chains::ChainElement::Message(m),
+                    ) => PrecedenceEdge::TaskToMessage {
+                        task: t,
+                        message: m,
+                    },
+                    (
+                        crate::chains::ChainElement::Message(m),
+                        crate::chains::ChainElement::Task(t),
+                    ) => PrecedenceEdge::MessageToTask {
+                        message: m,
+                        task: t,
+                    },
                     _ => unreachable!("chain elements alternate"),
                 };
                 expr.add_term(sigma[&(a, edge)], p);
@@ -564,9 +569,13 @@ mod tests {
             .variables()
             .map(|(_, v)| v.name.clone())
             .collect();
-        for marker in ["o[", "om[", "dm[", "r[0]", "y[0][", "sigma[", "ka[", "kd[", "delta["] {
+        for marker in [
+            "o[", "om[", "dm[", "r[0]", "y[0][", "sigma[", "ka[", "kd[", "delta[",
+        ] {
             assert!(
-                names.iter().any(|n| n.starts_with(marker) || n.contains(marker)),
+                names
+                    .iter()
+                    .any(|n| n.starts_with(marker) || n.contains(marker)),
                 "model missing a `{marker}` variable"
             );
         }

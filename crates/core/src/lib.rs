@@ -43,6 +43,7 @@ pub mod fixtures;
 pub mod heuristic;
 pub mod ids;
 pub mod ilp;
+pub mod json;
 pub mod schedule;
 pub mod spec;
 pub mod synthesis;

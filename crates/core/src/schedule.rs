@@ -2,11 +2,10 @@
 
 use crate::ids::{AppId, MessageId, ModeId, TaskId};
 use crate::time::Micros;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One communication round of a mode schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduledRound {
     /// Start time of the round relative to the beginning of the hyperperiod, µs.
     pub start: f64,
@@ -28,7 +27,7 @@ impl ScheduledRound {
 }
 
 /// Counters describing how a schedule was synthesized.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SynthesisStats {
     /// Round counts attempted by Algorithm 1 (in order, last one succeeded).
     pub rounds_attempted: Vec<usize>,
@@ -48,7 +47,7 @@ pub struct SynthesisStats {
 ///
 /// All offsets are relative to the beginning of the mode hyperperiod and are
 /// expressed in microseconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModeSchedule {
     /// The mode this schedule belongs to.
     pub mode: ModeId,
@@ -188,8 +187,8 @@ mod tests {
     #[test]
     fn schedule_serializes_round_trip() {
         let s = sample_schedule();
-        let json = serde_json::to_string(&s).expect("serialize");
-        let back: ModeSchedule = serde_json::from_str(&json).expect("deserialize");
+        let json = crate::export::schedule_to_json(&s).expect("serialize");
+        let back = crate::export::schedule_from_json(&json).expect("deserialize");
         assert_eq!(s, back);
     }
 }

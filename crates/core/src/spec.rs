@@ -7,10 +7,9 @@
 //! corresponding entities.
 
 use crate::time::Micros;
-use serde::{Deserialize, Serialize};
 
 /// Specification of a task (`τ`): its node mapping and worst-case execution time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskSpec {
     /// Task name, unique within the system.
     pub name: String,
@@ -26,7 +25,7 @@ pub struct TaskSpec {
 /// A message with several destinations models the multicast/broadcast case of
 /// the paper (several edges of the precedence graph labelled with the same
 /// message).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MessageSpec {
     /// Message name, unique within the system.
     pub name: String,
@@ -39,7 +38,7 @@ pub struct MessageSpec {
 
 /// Specification of a distributed application (`a`): period, end-to-end
 /// deadline and precedence graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApplicationSpec {
     /// Application name, unique within the system.
     pub name: String,
@@ -135,19 +134,18 @@ mod tests {
 
     #[test]
     fn multicast_message_has_several_destinations() {
-        let app = ApplicationSpec::new("a", 10, 10).with_message(
-            "cmd",
-            ["controller"],
-            ["act1", "act2"],
-        );
+        let app =
+            ApplicationSpec::new("a", 10, 10).with_message("cmd", ["controller"], ["act1", "act2"]);
         assert_eq!(app.messages[0].destinations.len(), 2);
     }
 
     #[test]
     fn specs_serialize_round_trip() {
-        let app = ApplicationSpec::new("a", 10, 10).with_task("t", "n", 1);
-        let json = serde_json::to_string(&app).expect("serialize");
-        let back: ApplicationSpec = serde_json::from_str(&json).expect("deserialize");
+        let app = ApplicationSpec::new("a", 10, 10)
+            .with_task("t", "n", 1)
+            .with_message("m", ["t"], ["t"]);
+        let json = crate::export::app_spec_to_json(&app).expect("serialize");
+        let back = crate::export::app_spec_from_json(&json).expect("deserialize");
         assert_eq!(app, back);
     }
 }

@@ -101,7 +101,11 @@ mod tests {
     fn fig3_needs_exactly_two_rounds() {
         let (sys, mode) = fixtures::fig3_system();
         let schedule = synthesize_mode(&sys, mode, &config()).expect("feasible");
-        assert_eq!(schedule.num_rounds(), 2, "Fig. 3 needs two rounds (m1, m2 | m3)");
+        assert_eq!(
+            schedule.num_rounds(),
+            2,
+            "Fig. 3 needs two rounds (m1, m2 | m3)"
+        );
         assert!(schedule.stats.rounds_attempted.contains(&2));
         let violations = validate_schedule(&sys, mode, &config(), &schedule);
         assert!(violations.is_empty(), "validator found: {violations:?}");

@@ -5,18 +5,17 @@ use crate::error::ModelError;
 use crate::ids::{AppId, MessageId, ModeId, NodeId, TaskId};
 use crate::spec::ApplicationSpec;
 use crate::time::{lcm_all, Micros};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// A device of the wireless multi-hop network that executes tasks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     /// Node name, unique within the system.
     pub name: String,
 }
 
 /// A task `τ`: a piece of computation mapped to one node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Task {
     /// Task name, unique within the system.
     pub name: String,
@@ -33,7 +32,7 @@ pub struct Task {
 
 /// A message `m`: data produced by one or more tasks on a single node and
 /// consumed by tasks on arbitrary nodes (unicast, multicast or broadcast).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     /// Message name, unique within the system.
     pub name: String,
@@ -50,7 +49,7 @@ pub struct Message {
 
 /// A distributed application `a`: a periodic precedence graph of tasks and
 /// messages with an end-to-end deadline.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Application {
     /// Application name, unique within the system.
     pub name: String,
@@ -65,7 +64,7 @@ pub struct Application {
 }
 
 /// An operation mode `M`: a set of applications executed concurrently.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mode {
     /// Mode name, unique within the system.
     pub name: String,
@@ -77,7 +76,7 @@ pub struct Mode {
 ///
 /// Edges connect tasks and messages in alternation: a task precedes the
 /// messages it produces, and a message precedes the tasks that wait for it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PrecedenceEdge {
     /// `task` must finish before `message` can be transmitted.
     TaskToMessage {
@@ -101,7 +100,7 @@ pub enum PrecedenceEdge {
 /// A `System` is immutable once built except through its `add_*` methods, and
 /// every `add_*` method validates the rules of the paper's system model before
 /// mutating anything.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct System {
     nodes: Vec<Node>,
     tasks: Vec<Task>,
@@ -134,10 +133,7 @@ impl System {
     pub fn add_node(&mut self, name: impl Into<String>) -> Result<NodeId, ModelError> {
         let name = name.into();
         if self.node_names.contains_key(&name) {
-            return Err(ModelError::DuplicateName {
-                name,
-                kind: "node",
-            });
+            return Err(ModelError::DuplicateName { name, kind: "node" });
         }
         let id = NodeId(self.nodes.len());
         self.node_names.insert(name.clone(), id);
@@ -227,10 +223,7 @@ impl System {
     ) -> Result<ModeId, ModelError> {
         let name = name.into();
         if self.mode_names.contains_key(&name) {
-            return Err(ModelError::DuplicateName {
-                name,
-                kind: "mode",
-            });
+            return Err(ModelError::DuplicateName { name, kind: "mode" });
         }
         if applications.is_empty() {
             return Err(ModelError::EmptyMode { name });
@@ -401,10 +394,16 @@ impl System {
         for &m in &self.applications[app.index()].messages {
             let msg = &self.messages[m.index()];
             for &t in &msg.preceding_tasks {
-                edges.push(PrecedenceEdge::TaskToMessage { task: t, message: m });
+                edges.push(PrecedenceEdge::TaskToMessage {
+                    task: t,
+                    message: m,
+                });
             }
             for &t in &msg.successor_tasks {
-                edges.push(PrecedenceEdge::MessageToTask { message: m, task: t });
+                edges.push(PrecedenceEdge::MessageToTask {
+                    message: m,
+                    task: t,
+                });
             }
         }
         edges
@@ -485,7 +484,9 @@ impl System {
                 });
             }
             if self.task_names.contains_key(&t.name)
-                || local_task_nodes.insert(t.name.as_str(), t.node.as_str()).is_some()
+                || local_task_nodes
+                    .insert(t.name.as_str(), t.node.as_str())
+                    .is_some()
             {
                 return Err(ModelError::DuplicateName {
                     name: t.name.clone(),
@@ -496,8 +497,7 @@ impl System {
 
         let mut local_messages: HashSet<&str> = HashSet::new();
         for m in &spec.messages {
-            if self.message_names.contains_key(&m.name) || !local_messages.insert(m.name.as_str())
-            {
+            if self.message_names.contains_key(&m.name) || !local_messages.insert(m.name.as_str()) {
                 return Err(ModelError::DuplicateName {
                     name: m.name.clone(),
                     kind: "message",

@@ -51,13 +51,9 @@ pub fn lcm(a: u64, b: u64) -> u64 {
 ///
 /// Returns `0` for an empty iterator.
 pub fn lcm_all<I: IntoIterator<Item = u64>>(values: I) -> u64 {
-    values.into_iter().fold(0, |acc, v| {
-        if acc == 0 {
-            v
-        } else {
-            lcm(acc, v)
-        }
-    })
+    values
+        .into_iter()
+        .fold(0, |acc, v| if acc == 0 { v } else { lcm(acc, v) })
 }
 
 #[cfg(test)]

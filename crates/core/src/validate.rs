@@ -197,7 +197,10 @@ fn check_message_service(
         for &j in &carrying {
             let start = schedule.rounds[j].start;
             if start + TOL < offset && carrying.len() == n_inst && n_inst == 1 {
-                violations.push(ScheduleViolation::ServedBeforeRelease { message: m, round: j });
+                violations.push(ScheduleViolation::ServedBeforeRelease {
+                    message: m,
+                    round: j,
+                });
             }
         }
     }
@@ -231,7 +234,10 @@ fn check_task_overlap(
                     let sb = ob + kb as f64 * pb;
                     let overlap = sa < sb + eb - TOL && sb < sa + ea - TOL;
                     if overlap {
-                        violations.push(ScheduleViolation::TaskOverlapOnNode { first: a, second: b });
+                        violations.push(ScheduleViolation::TaskOverlapOnNode {
+                            first: a,
+                            second: b,
+                        });
                         break 'outer;
                     }
                 }
@@ -264,12 +270,20 @@ fn check_precedence_and_deadlines(
             let mut sigma_sum = 0.0;
             for (from, to) in chain.hops() {
                 let edge = match (from, to) {
-                    (crate::chains::ChainElement::Task(t), crate::chains::ChainElement::Message(m)) => {
-                        PrecedenceEdge::TaskToMessage { task: t, message: m }
-                    }
-                    (crate::chains::ChainElement::Message(m), crate::chains::ChainElement::Task(t)) => {
-                        PrecedenceEdge::MessageToTask { message: m, task: t }
-                    }
+                    (
+                        crate::chains::ChainElement::Task(t),
+                        crate::chains::ChainElement::Message(m),
+                    ) => PrecedenceEdge::TaskToMessage {
+                        task: t,
+                        message: m,
+                    },
+                    (
+                        crate::chains::ChainElement::Message(m),
+                        crate::chains::ChainElement::Task(t),
+                    ) => PrecedenceEdge::MessageToTask {
+                        message: m,
+                        task: t,
+                    },
                     _ => unreachable!("chain elements alternate"),
                 };
                 let (pred_end, succ_start, description) = match edge {
@@ -290,15 +304,18 @@ fn check_precedence_and_deadlines(
                     chain_ok = false;
                     continue;
                 }
-                let sigma = if pred_end <= succ_start + TOL { 0.0 } else { 1.0 };
+                let sigma = if pred_end <= succ_start + TOL {
+                    0.0
+                } else {
+                    1.0
+                };
                 if pred_end > succ_start + sigma * p + TOL {
                     violations.push(ScheduleViolation::PrecedenceViolation { edge: description });
                     chain_ok = false;
                 }
                 sigma_sum += sigma;
             }
-            let latency =
-                o_last + system.task(last).wcet as f64 - o_first + sigma_sum * p;
+            let latency = o_last + system.task(last).wcet as f64 - o_first + sigma_sum * p;
             worst_latency = worst_latency.max(latency);
         }
 
@@ -366,9 +383,9 @@ mod tests {
         schedule.message_deadlines.insert(m3, 1.0);
         let violations = validate_schedule(&sys, mode, &config(), &schedule);
         assert!(
-            violations
-                .iter()
-                .any(|v| matches!(v, ScheduleViolation::DeadlineMiss { message, .. } if *message == m3)),
+            violations.iter().any(
+                |v| matches!(v, ScheduleViolation::DeadlineMiss { message, .. } if *message == m3)
+            ),
             "violations: {violations:?}"
         );
     }
@@ -383,9 +400,14 @@ mod tests {
         let m3 = sys.message_id("ctrl.m3").expect("m3 exists");
         let carrying = schedule.rounds_carrying(m3)[0];
         schedule.rounds[carrying].start = 0.0;
-        schedule.rounds.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite"));
+        schedule
+            .rounds
+            .sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite"));
         let violations = validate_schedule(&sys, mode, &config(), &schedule);
-        assert!(!violations.is_empty(), "tampered schedule must not validate");
+        assert!(
+            !violations.is_empty(),
+            "tampered schedule must not validate"
+        );
     }
 
     #[test]

@@ -290,7 +290,7 @@ mod tests {
         m.set_objective(Sense::Minimize, &[(x, 1.0), (y, 1.0)]);
         m.add_ge(&[(x, 1.0), (z, -10.0)], -5.0); // x - 10z >= -5  ⇔ x >= 10z - 5... careful
         m.add_ge(&[(y, 1.0), (z, 10.0)], 5.0); // y + 10z >= 5 ⇔ y >= 5 - 10z
-        // With z=1: x >= 5, y >= -5 (inactive) → x=5,y=0. With z=0: x >= -5, y >= 5 → 5.
+                                               // With z=1: x >= 5, y >= -5 (inactive) → x=5,y=0. With z=0: x >= -5, y >= 5 → 5.
         let s = m.solve().unwrap();
         assert_eq!(s.status, Status::Optimal);
         assert!((s.objective - 5.0).abs() < 1e-6, "obj={}", s.objective);
@@ -325,16 +325,16 @@ mod tests {
             x.push(row);
         }
         let mut obj = Vec::new();
-        for i in 0..3 {
-            for j in 0..3 {
-                obj.push((x[i][j], cost[i][j]));
+        for (vars, costs) in x.iter().zip(&cost) {
+            for (&var, &c) in vars.iter().zip(costs) {
+                obj.push((var, c));
             }
         }
         m.set_objective(Sense::Minimize, &obj);
-        for i in 0..3 {
-            let row: Vec<_> = (0..3).map(|j| (x[i][j], 1.0)).collect();
+        for (i, vars) in x.iter().enumerate() {
+            let row: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
             m.add_eq(&row, 1.0);
-            let col: Vec<_> = (0..3).map(|j| (x[j][i], 1.0)).collect();
+            let col: Vec<_> = x.iter().map(|r| (r[i], 1.0)).collect();
             m.add_eq(&col, 1.0);
         }
         let s = m.solve().unwrap();

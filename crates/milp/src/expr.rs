@@ -1,6 +1,5 @@
 //! Linear expressions over model variables.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
@@ -8,7 +7,7 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 /// Opaque handle to a decision variable of a [`crate::Model`].
 ///
 /// `VarId`s are only meaningful for the model that created them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub(crate) usize);
 
 impl VarId {
@@ -25,7 +24,7 @@ impl fmt::Display for VarId {
 }
 
 /// One `coefficient * variable` term of a linear expression.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Term {
     /// Variable referenced by the term.
     pub var: VarId,
@@ -47,7 +46,7 @@ pub struct Term {
 /// assert_eq!(e.coeff(y), 3.0);
 /// assert_eq!(e.constant_term(), -1.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinExpr {
     terms: BTreeMap<VarId, f64>,
     constant: f64,
@@ -144,12 +143,7 @@ impl LinExpr {
     ///
     /// Panics if `values` is shorter than the largest variable index used.
     pub fn evaluate(&self, values: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|(v, c)| c * values[v.0])
-                .sum::<f64>()
+        self.constant + self.terms.iter().map(|(v, c)| c * values[v.0]).sum::<f64>()
     }
 
     /// Returns `true` if every coefficient and the constant are finite.
@@ -321,7 +315,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let e: LinExpr = vec![(v(0), 1.0), (v(1), 1.0), (v(0), 1.0)].into_iter().collect();
+        let e: LinExpr = vec![(v(0), 1.0), (v(1), 1.0), (v(0), 1.0)]
+            .into_iter()
+            .collect();
         assert_eq!(e.coeff(v(0)), 2.0);
         assert_eq!(e.coeff(v(1)), 1.0);
     }

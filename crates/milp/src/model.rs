@@ -5,10 +5,9 @@ use crate::error::SolveError;
 use crate::expr::{LinExpr, VarId};
 use crate::simplex;
 use crate::solution::{Solution, Status};
-use serde::{Deserialize, Serialize};
 
 /// The kind of a decision variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VarKind {
     /// Real-valued variable.
     Continuous,
@@ -26,7 +25,7 @@ impl VarKind {
 }
 
 /// Optimization direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sense {
     /// Minimize the objective expression.
     Minimize,
@@ -35,7 +34,7 @@ pub enum Sense {
 }
 
 /// Relational operator of a linear constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConstraintOp {
     /// `expr ≤ rhs`
     Le,
@@ -46,7 +45,7 @@ pub enum ConstraintOp {
 }
 
 /// A decision variable with its bounds.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Variable {
     /// Human-readable name (used by the LP writer and error messages).
     pub name: String,
@@ -62,7 +61,7 @@ pub struct Variable {
 ///
 /// Any constant part of `expr` is folded into `rhs` when the constraint is
 /// added to the model, so `expr.constant_term()` is always zero here.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Constraint {
     /// Human-readable name.
     pub name: String,
@@ -75,11 +74,11 @@ pub struct Constraint {
 }
 
 /// Opaque handle to a constraint of a [`Model`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConstraintId(pub(crate) usize);
 
 /// Resource budgets and numeric tolerances of the solver.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SolveParams {
     /// Maximum number of branch-and-bound nodes to explore.
     pub max_nodes: usize,
@@ -108,7 +107,7 @@ impl Default for SolveParams {
 /// A mixed-integer linear program.
 ///
 /// See the [crate-level documentation](crate) for a complete example.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Model {
     name: String,
     variables: Vec<Variable>,
@@ -206,7 +205,10 @@ impl Model {
 
     /// Iterates over all variables in column order.
     pub fn variables(&self) -> impl Iterator<Item = (VarId, &Variable)> {
-        self.variables.iter().enumerate().map(|(i, v)| (VarId(i), v))
+        self.variables
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i), v))
     }
 
     /// Iterates over all constraints in insertion order.

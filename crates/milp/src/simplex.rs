@@ -429,8 +429,7 @@ impl Tableau {
                 match best {
                     None => best = Some((i, ratio)),
                     Some((bi, br)) => {
-                        if ratio < br - EPS
-                            || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                        if ratio < br - EPS || (ratio < br + EPS && self.basis[i] < self.basis[bi])
                         {
                             best = Some((i, ratio));
                         }
@@ -472,8 +471,7 @@ impl Tableau {
     fn drive_out_artificials(&mut self) {
         for i in 0..self.rows.len() {
             if self.basis[i] >= self.artificial_start {
-                if let Some(col) =
-                    (0..self.artificial_start).find(|&j| self.rows[i][j].abs() > EPS)
+                if let Some(col) = (0..self.artificial_start).find(|&j| self.rows[i][j].abs() > EPS)
                 {
                     self.pivot(i, col);
                     self.iterations += 1;

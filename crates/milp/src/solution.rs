@@ -1,10 +1,9 @@
 //! Solver results.
 
 use crate::expr::VarId;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Status {
     /// An optimal (within tolerances) solution was found.
     Optimal,
@@ -15,7 +14,7 @@ pub enum Status {
 }
 
 /// Result of solving a [`crate::Model`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Solution {
     /// Solve outcome.
     pub status: Status,

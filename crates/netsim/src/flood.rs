@@ -10,10 +10,9 @@
 
 use crate::link::LinkModel;
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of a single flood.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FloodConfig {
     /// Number of times each node transmits the packet (`N`, the paper uses 2).
     pub retransmissions: usize,
@@ -32,7 +31,7 @@ impl Default for FloodConfig {
 }
 
 /// Result of simulating one flood.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FloodOutcome {
     /// Which nodes received the packet (the initiator counts as receiving).
     pub received: Vec<bool>,
@@ -220,7 +219,10 @@ mod tests {
             high >= low,
             "more retransmissions cannot hurt: N=1 → {low}, N=3 → {high}"
         );
-        assert!(high > 0.9, "N=3 on a dense topology should be reliable: {high}");
+        assert!(
+            high > 0.9,
+            "N=3 on a dense topology should be reliable: {high}"
+        );
     }
 
     #[test]

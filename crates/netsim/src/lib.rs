@@ -40,6 +40,7 @@ pub mod event;
 pub mod flood;
 pub mod link;
 pub mod radio;
+pub mod rng;
 pub mod topology;
 
 pub use flood::{simulate_flood, FloodConfig, FloodOutcome};

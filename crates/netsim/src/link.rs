@@ -1,11 +1,9 @@
 //! Per-link packet reception models.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::SplitMix64;
 
 /// How likely a single transmission over one link is received.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LossModel {
     /// Every transmission is received (an ideal cable-like link).
     Perfect,
@@ -26,7 +24,7 @@ pub enum LossModel {
 #[derive(Debug, Clone)]
 pub struct LinkModel {
     loss: LossModel,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl LinkModel {
@@ -34,7 +32,7 @@ impl LinkModel {
     pub fn perfect() -> Self {
         LinkModel {
             loss: LossModel::Perfect,
-            rng: StdRng::seed_from_u64(0),
+            rng: SplitMix64::new(0),
         }
     }
 
@@ -48,7 +46,7 @@ impl LinkModel {
         assert!((0.0..=1.0).contains(&loss), "loss must be in [0, 1]");
         LinkModel {
             loss: LossModel::Uniform { loss },
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
         }
     }
 
@@ -61,7 +59,7 @@ impl LinkModel {
     pub fn sample_reception(&mut self, _tx: usize, _rx: usize) -> bool {
         match self.loss {
             LossModel::Perfect => true,
-            LossModel::Uniform { loss } => self.rng.gen::<f64>() >= loss,
+            LossModel::Uniform { loss } => self.rng.next_f64() >= loss,
         }
     }
 
@@ -89,7 +87,9 @@ mod tests {
     fn uniform_loss_is_reproducible() {
         let draw = |seed| {
             let mut m = LinkModel::uniform(0.3, seed);
-            (0..50).map(|i| m.sample_reception(0, i)).collect::<Vec<_>>()
+            (0..50)
+                .map(|i| m.sample_reception(0, i))
+                .collect::<Vec<_>>()
         };
         assert_eq!(draw(42), draw(42));
         assert_ne!(draw(42), draw(43), "different seeds give different traces");

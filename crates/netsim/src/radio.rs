@@ -6,11 +6,10 @@
 //! executes rounds, using the same `ttw-timing` model as the analytical
 //! evaluation so that simulated and analytical numbers are directly comparable.
 
-use serde::{Deserialize, Serialize};
 use ttw_timing::{slot, GlossyConstants, NetworkParams};
 
 /// Accumulated radio-on time (seconds) per node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RadioAccounting {
     on_time: Vec<f64>,
     constants: GlossyConstants,

@@ -47,8 +47,7 @@ impl Host {
     ///
     /// Returns [`RuntimeError::UnknownMode`] if `initial_mode` has no table.
     pub fn new(tables: Vec<ModeTable>, initial_mode: ModeId) -> Result<Self, RuntimeError> {
-        let tables: BTreeMap<ModeId, ModeTable> =
-            tables.into_iter().map(|t| (t.mode, t)).collect();
+        let tables: BTreeMap<ModeId, ModeTable> = tables.into_iter().map(|t| (t.mode, t)).collect();
         if !tables.contains_key(&initial_mode) {
             return Err(RuntimeError::UnknownMode { mode: initial_mode });
         }
@@ -206,7 +205,10 @@ mod tests {
         for i in 1..per_hyperperiod {
             let (round, _) = host.next_round();
             assert_eq!(round.mode, normal, "old mode keeps executing in phase 1");
-            assert_eq!(round.beacon.mode_id, emergency_id, "beacon announces the new mode");
+            assert_eq!(
+                round.beacon.mode_id, emergency_id,
+                "beacon announces the new mode"
+            );
             let is_last = i + 1 == per_hyperperiod;
             assert_eq!(round.beacon.trigger, is_last);
             assert_eq!(round.switches_after, is_last);
@@ -231,8 +233,12 @@ mod tests {
         let (mut host, _, _) = two_mode_host();
         let hyper = host.current_table().hyperperiod;
         let per_hyperperiod = host.current_table().rounds.len();
-        let first_pass: Vec<u64> = (0..per_hyperperiod).map(|_| host.next_round().0.start).collect();
-        let second_pass: Vec<u64> = (0..per_hyperperiod).map(|_| host.next_round().0.start).collect();
+        let first_pass: Vec<u64> = (0..per_hyperperiod)
+            .map(|_| host.next_round().0.start)
+            .collect();
+        let second_pass: Vec<u64> = (0..per_hyperperiod)
+            .map(|_| host.next_round().0.start)
+            .collect();
         for (a, b) in first_pass.iter().zip(&second_pass) {
             assert_eq!(b - a, hyper);
         }

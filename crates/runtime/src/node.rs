@@ -2,11 +2,10 @@
 
 use crate::beacon::Beacon;
 use crate::slot_table::RoundDirectory;
-use serde::{Deserialize, Serialize};
 use ttw_core::NodeId;
 
 /// What a node does in a round whose beacon it did not receive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BeaconLossPolicy {
     /// TTW behaviour (Sec. II.B): the node stays silent for the whole round,
     /// which guarantees that packet loss never causes message collisions.
@@ -19,7 +18,7 @@ pub enum BeaconLossPolicy {
 }
 
 /// The belief a node holds about the upcoming round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundBelief {
     /// Round id the node expects next.
     pub round_id: u8,
@@ -28,7 +27,7 @@ pub struct RoundBelief {
 }
 
 /// Runtime state of one node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeRuntime {
     /// The node this state belongs to.
     pub node: NodeId,
@@ -104,12 +103,13 @@ impl NodeRuntime {
         self.consecutive_misses += 1;
         let acted_on = self.expectation;
         if let Some(belief) = self.expectation {
-            self.expectation = directory.next_in_mode(belief.round_id).map(|round_id| {
-                RoundBelief {
-                    round_id,
-                    mode_id: belief.mode_id,
-                }
-            });
+            self.expectation =
+                directory
+                    .next_in_mode(belief.round_id)
+                    .map(|round_id| RoundBelief {
+                        round_id,
+                        mode_id: belief.mode_id,
+                    });
         }
         match self.policy {
             BeaconLossPolicy::SkipRound => None,
@@ -196,8 +196,12 @@ mod tests {
         assert_eq!(safe.on_beacon_missed(&dir), None);
         assert_eq!(safe.consecutive_misses(), 1);
 
-        let mut legacy =
-            NodeRuntime::new(NodeId::from_index(0), 1, 0, BeaconLossPolicy::LegacyTransmit);
+        let mut legacy = NodeRuntime::new(
+            NodeId::from_index(0),
+            1,
+            0,
+            BeaconLossPolicy::LegacyTransmit,
+        );
         let belief = legacy.on_beacon_missed(&dir).expect("legacy transmits");
         assert_eq!(belief.round_id, 1);
         // Its expectation advanced to round 2 for the following round.
@@ -207,8 +211,7 @@ mod tests {
     #[test]
     fn receiving_a_beacon_resets_the_miss_counter() {
         let dir = directory_two_modes();
-        let mut node =
-            NodeRuntime::new(NodeId::from_index(0), 0, 0, BeaconLossPolicy::SkipRound);
+        let mut node = NodeRuntime::new(NodeId::from_index(0), 0, 0, BeaconLossPolicy::SkipRound);
         node.on_beacon_missed(&dir);
         node.on_beacon_missed(&dir);
         assert_eq!(node.consecutive_misses(), 2);

@@ -12,7 +12,6 @@ use crate::host::Host;
 use crate::node::{BeaconLossPolicy, NodeRuntime, RoundBelief};
 use crate::slot_table::{build_mode_tables, RoundDirectory};
 use crate::stats::RuntimeStats;
-use serde::{Deserialize, Serialize};
 use ttw_core::{ModeId, ModeSchedule, System};
 use ttw_netsim::flood::{simulate_flood, FloodConfig};
 use ttw_netsim::link::LinkModel;
@@ -21,7 +20,7 @@ use ttw_netsim::topology::Topology;
 use ttw_timing::{GlossyConstants, NetworkParams};
 
 /// Where the host and the system nodes sit in the simulated topology.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodePlacement {
     /// Topology index of the TTW host.
     pub host: usize,
@@ -30,7 +29,7 @@ pub struct NodePlacement {
 }
 
 /// Configuration of a runtime simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
     /// Application payload size in bytes (the paper's evaluation uses 10 B).
     pub payload: usize,
@@ -106,7 +105,11 @@ impl Simulation {
                 available: placement.nodes.len() + 1,
             });
         }
-        for &idx in placement.nodes.iter().chain(std::iter::once(&placement.host)) {
+        for &idx in placement
+            .nodes
+            .iter()
+            .chain(std::iter::once(&placement.host))
+        {
             if idx >= topology.num_nodes() {
                 return Err(RuntimeError::InvalidPlacement { index: idx });
             }
@@ -248,10 +251,7 @@ impl Simulation {
         let mut ghost_beliefs: Vec<Option<RoundBelief>> = vec![None; n];
         for i in 0..n {
             let topo_idx = self.placement.nodes[i];
-            let forced_miss = self
-                .config
-                .forced_beacon_misses
-                .contains(&(sequence, i));
+            let forced_miss = self.config.forced_beacon_misses.contains(&(sequence, i));
             if beacon_outcome.received[topo_idx] && !forced_miss {
                 participates[i] = true;
                 self.node_states[i].on_beacon(host_round.beacon, &self.directory);
@@ -331,8 +331,7 @@ impl Simulation {
             self.radio.record_slot(&everyone, self.config.payload);
         }
 
-        self.stats.elapsed_micros =
-            host_round.start + self.host.current_table().round_duration;
+        self.stats.elapsed_micros = host_round.start + self.host.current_table().round_duration;
     }
 
     /// Whether system node `node_index` initiates slot `slot_idx` of the round
@@ -356,9 +355,7 @@ mod tests {
     use ttw_core::time::millis;
     use ttw_core::{fixtures, synthesis, SchedulerConfig};
 
-    fn schedules(
-        system: &System,
-    ) -> (Vec<ModeSchedule>, ModeId, ModeId) {
+    fn schedules(system: &System) -> (Vec<ModeSchedule>, ModeId, ModeId) {
         let config = SchedulerConfig::new(millis(10), 5);
         let modes: Vec<ModeId> = system.modes().map(|(id, _)| id).collect();
         let schedules = modes
@@ -385,7 +382,10 @@ mod tests {
         assert_eq!(stats.collisions, 0);
         assert_eq!(stats.slots_unused, 0);
         assert_eq!(stats.messages_attempted, stats.messages_delivered);
-        assert!(stats.messages_delivered >= 15, "3 messages × 5 hyperperiods");
+        assert!(
+            stats.messages_delivered >= 15,
+            "3 messages × 5 hyperperiods"
+        );
         assert!(stats.delivery_ratio() > 0.999);
         assert!(sim.radio().total_on_time() > 0.0);
     }
@@ -405,7 +405,10 @@ mod tests {
         sim.request_mode_change(emergency).expect("known mode");
         sim.run_hyperperiods(6);
         let stats = sim.stats();
-        assert!(stats.beacons_missed > 0, "losses should cause missed beacons");
+        assert!(
+            stats.beacons_missed > 0,
+            "losses should cause missed beacons"
+        );
         assert_eq!(stats.collisions, 0, "TTW safety: no collisions under loss");
         assert_eq!(stats.mode_changes, 1);
         assert_eq!(sim.current_mode(), emergency);

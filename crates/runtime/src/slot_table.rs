@@ -8,12 +8,11 @@
 //! enough for any node to locate itself in the overall schedule.
 
 use crate::error::RuntimeError;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use ttw_core::{MessageId, ModeId, ModeSchedule, NodeId, System};
 
 /// One data slot of a round: which message is sent, by whom, to whom.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlotAssignment {
     /// The message carried by the slot.
     pub message: MessageId,
@@ -24,7 +23,7 @@ pub struct SlotAssignment {
 }
 
 /// One communication round of a mode, ready for execution.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundEntry {
     /// Globally unique round id carried in the beacon.
     pub round_id: u8,
@@ -35,7 +34,7 @@ pub struct RoundEntry {
 }
 
 /// The executable table of one mode.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModeTable {
     /// The mode this table describes.
     pub mode: ModeId,
@@ -61,7 +60,7 @@ impl ModeTable {
 ///
 /// Nodes use this exactly as described in the paper: receiving a single beacon
 /// `{round id, mode id, SB}` is enough to know the full system state.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundDirectory {
     /// `round id → (mode id, position within the mode, rounds in the mode)`.
     entries: BTreeMap<u8, (u8, u8, u8)>,
@@ -182,7 +181,7 @@ pub fn build_mode_tables(
 ///
 /// This mirrors the `(slot id, message id)` pairs the paper says are loaded
 /// into each node's memory at deployment time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeSlotTable {
     /// The node this table belongs to.
     pub node: NodeId,

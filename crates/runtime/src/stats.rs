@@ -1,9 +1,7 @@
 //! Counters collected while executing TTW schedules.
 
-use serde::{Deserialize, Serialize};
-
 /// Statistics accumulated by a [`crate::sim::Simulation`] run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RuntimeStats {
     /// Number of communication rounds executed by the host.
     pub rounds_executed: usize,

@@ -1,14 +1,12 @@
 //! Radio and protocol constants (Table I of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Constants of the Glossy implementation used by the paper (Table I), plus
 /// the TTW beacon length from Sec. V.
 ///
 /// All durations are in seconds, lengths in bytes, and the bit rate in bits
 /// per second. The [`GlossyConstants::table1`] constructor returns exactly the
 /// values of Table I; [`Default`] is an alias for it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GlossyConstants {
     /// `T_wakeup`: time for all nodes to wake up before a slot (750 µs).
     pub t_wakeup: f64,

@@ -91,7 +91,7 @@ mod tests {
         let (c, net) = setup();
         let saving = relative_saving(&c, &net, 5, 10);
         assert!(
-            saving >= 0.30 && saving <= 0.40,
+            (0.30..=0.40).contains(&saving),
             "saving = {saving:.3} expected ≈ 0.33"
         );
     }

@@ -8,10 +8,8 @@
 //! CC2420-class 802.15.4 radio, the platform family Glossy and LWB were
 //! originally implemented on.
 
-use serde::{Deserialize, Serialize};
-
 /// Current-draw model of a node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerProfile {
     /// Current while the radio is on (listening or transmitting), in amperes.
     pub radio_on_current: f64,
@@ -100,7 +98,10 @@ mod tests {
         let idle = p.lifetime_days(0.001, 2600.0);
         let busy = p.lifetime_days(0.1, 2600.0);
         assert!(idle > busy);
-        assert!(idle > 365.0, "a ~0.1% duty cycle node lasts years: {idle} days");
+        assert!(
+            idle > 365.0,
+            "a ~0.1% duty cycle node lasts years: {idle} days"
+        );
     }
 
     #[test]

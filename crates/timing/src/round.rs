@@ -2,11 +2,10 @@
 
 use crate::constants::GlossyConstants;
 use crate::slot;
-use serde::{Deserialize, Serialize};
 
 /// Network parameters the timing model depends on: diameter and per-node
 /// retransmission count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NetworkParams {
     /// Network diameter `H`: maximal hop distance between any two nodes.
     pub diameter: usize,
@@ -65,7 +64,8 @@ pub fn round_length(
     slots: usize,
     payload: usize,
 ) -> f64 {
-    beacon_slot_length(constants, network) + slots as f64 * data_slot_length(constants, network, payload)
+    beacon_slot_length(constants, network)
+        + slots as f64 * data_slot_length(constants, network, payload)
 }
 
 /// Radio-on time of a whole round (beacon + `slots` data slots).
@@ -135,7 +135,12 @@ mod tests {
                 );
                 assert!(
                     round_length(&c, &net, b, 10)
-                        < round_length(&c, &NetworkParams::with_paper_retransmissions(h + 1), b, 10),
+                        < round_length(
+                            &c,
+                            &NetworkParams::with_paper_retransmissions(h + 1),
+                            b,
+                            10
+                        ),
                     "monotone in H"
                 );
                 assert!(

@@ -7,11 +7,10 @@
 use crate::constants::GlossyConstants;
 use crate::energy;
 use crate::round::{self, NetworkParams};
-use serde::{Deserialize, Serialize};
 
 /// One point of the Fig. 6 sweep: round length as a function of the network
 /// diameter and the number of slots per round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundLengthPoint {
     /// Network diameter `H` (hops).
     pub diameter: usize,
@@ -25,7 +24,7 @@ pub struct RoundLengthPoint {
 
 /// One point of the Fig. 7 sweep: relative radio-on-time saving as a function
 /// of the number of slots per round and the payload size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergySavingPoint {
     /// Number of data slots per round `B`.
     pub slots: usize,
@@ -92,12 +91,7 @@ pub fn fig7_energy_saving(
 /// (`H = 4`, `N = 2`, `B ∈ 1..=10`, payloads 8–128 bytes).
 pub fn fig7_paper_grid(constants: &GlossyConstants) -> Vec<EnergySavingPoint> {
     let network = NetworkParams::with_paper_retransmissions(4);
-    fig7_energy_saving(
-        constants,
-        &network,
-        1..=10,
-        [8usize, 16, 32, 64, 128],
-    )
+    fig7_energy_saving(constants, &network, 1..=10, [8usize, 16, 32, 64, 128])
 }
 
 #[cfg(test)]

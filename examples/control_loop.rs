@@ -50,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         loose_min_latency_bound(&system, app, config.round_duration) as f64 / 1e3,
         latency_improvement_factor(&system, app, config.round_duration)
     );
-    assert!(validate::is_valid_schedule(&system, mode, &config, &schedule));
+    assert!(validate::is_valid_schedule(
+        &system, mode, &config, &schedule
+    ));
 
     // Execute over a 4-hop network with moderate loss.
     let sim_config = SimulationConfig {
@@ -66,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.rounds_executed,
         stats.delivery_ratio() * 100.0,
         stats.collisions,
-        sim.radio().average_duty_cycle(stats.elapsed_micros as f64 / 1e6) * 100.0
+        sim.radio()
+            .average_duty_cycle(stats.elapsed_micros as f64 / 1e6)
+            * 100.0
     );
     Ok(())
 }

@@ -13,7 +13,10 @@ fn main() {
     let (system, app) = fixtures::fig3_system_single_app();
 
     println!("=== Fig. 3 control application, varying round length ===");
-    println!("{:>8} {:>10} {:>12} {:>8}", "T_r[ms]", "TTW[ms]", "loose[ms]", "factor");
+    println!(
+        "{:>8} {:>10} {:>12} {:>8}",
+        "T_r[ms]", "TTW[ms]", "loose[ms]", "factor"
+    );
     for tr_ms in [5u64, 10, 20, 50, 100] {
         let tr = millis(tr_ms);
         println!(
@@ -26,7 +29,10 @@ fn main() {
     }
 
     println!("\n=== Pipelines of growing length (T_r = 10 ms, 1 ms tasks) ===");
-    println!("{:>10} {:>10} {:>12} {:>8}", "#messages", "TTW[ms]", "loose[ms]", "factor");
+    println!(
+        "{:>10} {:>10} {:>12} {:>8}",
+        "#messages", "TTW[ms]", "loose[ms]", "factor"
+    );
     for tasks in [2usize, 3, 4, 6, 8, 12] {
         let (sys, mode) = fixtures::synthetic_mode(1, tasks, 3, millis(1000));
         let app = sys.mode(mode).applications[0];

@@ -8,7 +8,10 @@ use ttw::core::time::millis;
 use ttw::core::{fixtures, synthesis};
 use ttw::prelude::*;
 
-fn run(policy: BeaconLossPolicy, loss: f64) -> Result<ttw::runtime::RuntimeStats, Box<dyn std::error::Error>> {
+fn run(
+    policy: BeaconLossPolicy,
+    loss: f64,
+) -> Result<ttw::runtime::RuntimeStats, Box<dyn std::error::Error>> {
     let (system, normal, emergency) = fixtures::two_mode_system();
     let config = SchedulerConfig::new(millis(10), 5);
     let schedules = vec![
@@ -21,8 +24,7 @@ fn run(policy: BeaconLossPolicy, loss: f64) -> Result<ttw::runtime::RuntimeStats
         policy,
         ..SimulationConfig::default()
     };
-    let mut sim =
-        Simulation::with_clustered_topology(&system, &schedules, normal, 4, sim_config)?;
+    let mut sim = Simulation::with_clustered_topology(&system, &schedules, normal, 4, sim_config)?;
     // Normal operation, then switch to the emergency mode mid-run.
     sim.run_hyperperiods(4);
     sim.request_mode_change(emergency)?;
@@ -61,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // beacon and the first beacon of the new mode. Under the legacy policy it
     // keeps transmitting per the old mode's slot table and collides with the
     // new mode's slot owner; under the TTW policy it stays silent.
-    println!("\ninjected failure: sensor1 misses the trigger beacon and the first emergency beacon");
+    println!(
+        "\ninjected failure: sensor1 misses the trigger beacon and the first emergency beacon"
+    );
     for (name, policy) in [
         ("ttw", BeaconLossPolicy::SkipRound),
         ("legacy", BeaconLossPolicy::LegacyTransmit),

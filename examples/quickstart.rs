@@ -26,14 +26,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Synthesize the co-schedule of tasks, messages and rounds (Algorithm 1).
     let config = SchedulerConfig::new(millis(10), 5);
     let schedule = synthesize_mode(&system, mode, &config)?;
-    println!("synthesized {} rounds over a {} ms hyperperiod", schedule.num_rounds(), schedule.hyperperiod / 1000);
+    println!(
+        "synthesized {} rounds over a {} ms hyperperiod",
+        schedule.num_rounds(),
+        schedule.hyperperiod / 1000
+    );
     for (i, round) in schedule.rounds.iter().enumerate() {
         let slots: Vec<String> = round
             .slots
             .iter()
             .map(|&m| system.message(m).name.clone())
             .collect();
-        println!("  round {i}: start {:.1} ms, slots {:?}", round.start / 1e3, slots);
+        println!(
+            "  round {i}: start {:.1} ms, slots {:?}",
+            round.start / 1e3,
+            slots
+        );
     }
     println!(
         "end-to-end latency: {:.1} ms (deadline {} ms, Eq. 13 bound {:.1} ms)",
@@ -46,7 +54,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let violations = validate::validate_schedule(&system, mode, &config, &schedule);
     println!("validator violations: {}", violations.len());
 
-    // 4. Execute it over a lossy 4-hop multi-hop network.
+    // 4. Export the schedule as the JSON document shipped to the nodes at
+    //    deployment time, and check it parses back to the same schedule.
+    let json = ttw::core::export::schedule_to_json(&schedule)?;
+    let reloaded = ttw::core::export::schedule_from_json(&json)?;
+    assert_eq!(reloaded, schedule);
+    println!(
+        "deployment JSON: {} bytes, round-trips losslessly; first rounds entry:",
+        json.len()
+    );
+    for line in json.lines().filter(|l| l.contains("start")).take(1) {
+        println!("  {}", line.trim());
+    }
+
+    // 5. Execute it over a lossy 4-hop multi-hop network.
     let sim_config = SimulationConfig {
         link_loss: 0.2,
         ..SimulationConfig::default()

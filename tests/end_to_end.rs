@@ -32,12 +32,16 @@ fn full_pipeline_on_a_custom_system() {
                 .with_message("ctl.cmd", ["ctl.compute"], ["ctl.apply"]),
         )
         .expect("valid app");
-    let mode = system.add_mode("normal", &[monitoring, control]).expect("valid mode");
+    let mode = system
+        .add_mode("normal", &[monitoring, control])
+        .expect("valid mode");
 
     let config = SchedulerConfig::new(millis(10), 5);
     let schedule = synthesize_mode(&system, mode, &config).expect("feasible");
     assert!(schedule.num_rounds() >= 2);
-    assert!(validate::is_valid_schedule(&system, mode, &config, &schedule));
+    assert!(validate::is_valid_schedule(
+        &system, mode, &config, &schedule
+    ));
     assert!(schedule.app_latencies[&monitoring] <= millis(150) as f64 + 0.5);
     assert!(schedule.app_latencies[&control] <= millis(120) as f64 + 0.5);
 

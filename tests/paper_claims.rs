@@ -40,7 +40,10 @@ fn fig7_energy_saving_band_33_to_40_percent() {
     let at_5_slots = design.ttw_saving(5, 10);
     let asymptote = design.ttw_saving(10_000, 10);
     assert!(at_5_slots > 0.30 && at_5_slots < 0.36, "B=5: {at_5_slots}");
-    assert!(asymptote > 0.38 && asymptote < 0.42, "asymptote: {asymptote}");
+    assert!(
+        asymptote > 0.38 && asymptote < 0.42,
+        "asymptote: {asymptote}"
+    );
     // Savings grow with the round size and shrink with the payload (Fig. 7).
     assert!(design.ttw_saving(10, 10) > design.ttw_saving(5, 10));
     assert!(design.ttw_saving(5, 128) < design.ttw_saving(5, 10));
@@ -90,9 +93,8 @@ fn safety_no_collisions_under_loss_and_mode_change() {
             policy: BeaconLossPolicy::SkipRound,
             ..SimulationConfig::default()
         };
-        let mut sim =
-            Simulation::with_clustered_topology(&sys, &schedules, normal, 4, sim_config)
-                .expect("simulation builds");
+        let mut sim = Simulation::with_clustered_topology(&sys, &schedules, normal, 4, sim_config)
+            .expect("simulation builds");
         sim.run_hyperperiods(3);
         sim.request_mode_change(emergency).expect("known mode");
         sim.run_hyperperiods(5);

@@ -1,0 +1,232 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The container this repository builds in has no network access, so the real
+//! criterion crate cannot be fetched. This crate implements the (small) API
+//! subset the `ttw-bench` targets use — `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Bencher`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a plain wall-clock measurement loop, so `cargo bench` still
+//! runs every target and prints a median per iteration. Swapping back to the
+//! real crate is a one-line change in `crates/bench/Cargo.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for criterion API compatibility.
+pub use std::hint::black_box;
+
+/// The benchmark manager: entry point handed to every `criterion_group!`
+/// target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a single function under the given id.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a function under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a function parameterized by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Conversion of the various accepted id shapes into a display string.
+pub trait IntoBenchmarkId {
+    /// Render the identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Per-iteration times in seconds, normalized per `iter` call so a closure
+    /// invoking `iter` more than once stays self-consistent.
+    samples: Vec<f64>,
+    pending_samples: usize,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, recording one duration sample per batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate the batch size so one sample takes roughly a millisecond,
+        // then collect the requested number of samples.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1);
+        let iters_per_sample = per_sample.min(u128::from(u32::MAX)) as u32;
+
+        for _ in 0..self.pending_samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / f64::from(iters_per_sample));
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        pending_samples: sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let mut per_iter = bencher.samples;
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    println!(
+        "{id:<48} time: [{} {} {}]",
+        format_time(lo),
+        format_time(median),
+        format_time(hi)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name (simple `(name, targets...)` form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` / `cargo bench` pass harness flags (e.g. `--bench`)
+            // to non-harness targets; none require special handling here.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_names_compose() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("p", 4), &4usize, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}
