@@ -1,0 +1,237 @@
+//! Mode-graph synthesis (Sec. V) — inherited + incremental multi-mode
+//! synthesis against independent from-scratch synthesis of the same modes.
+//!
+//! Two strategies schedule both modes of `fixtures::two_mode_graph()`
+//! (`normal ⇄ emergency`, sharing the Fig. 3 control application):
+//!
+//! * **independent**: every mode is synthesized from scratch with the
+//!   pre-mode-graph driver (full ILP rebuild per `R_M` attempt, no
+//!   inheritance) — the seed behaviour;
+//! * **inherited**: the mode-graph pipeline — the emergency mode inherits the
+//!   control application's offsets from the normal mode (pinned variables)
+//!   and the `R_M` sweep grows one ILP instance instead of rebuilding it.
+//!
+//! Besides solve time, the bench reports the *cross-mode offset agreement* of
+//! the shared application: inherited synthesis is switch-consistent by
+//! construction, independent synthesis generally is not. The measured numbers
+//! are also written to `BENCH_synthesis.json` at the workspace root so future
+//! PRs have a machine-readable perf trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+use ttw_core::json::Value;
+use ttw_core::synthesis::{synthesize_system, IlpSynthesizer, Synthesizer};
+use ttw_core::time::millis;
+use ttw_core::validate::check_cross_mode_consistency;
+use ttw_core::{fixtures, InheritedOffsets, ModeSchedule, SchedulerConfig, SystemSchedule};
+
+fn config() -> SchedulerConfig {
+    SchedulerConfig::new(millis(10), 5)
+}
+
+/// The seed strategy: each mode from scratch, no inheritance, full rebuild
+/// per `R_M` attempt.
+fn synthesize_independent() -> SystemSchedule {
+    let (sys, _, _) = fixtures::two_mode_system();
+    let backend = IlpSynthesizer::from_scratch();
+    let mut result = SystemSchedule::new();
+    for (mode, _) in sys.modes() {
+        let schedule = backend
+            .synthesize(&sys, mode, &config(), &InheritedOffsets::none())
+            .expect("feasible");
+        result.stats.insert(mode, schedule.stats.clone());
+        result.schedules.insert(mode, schedule);
+    }
+    result
+}
+
+/// The mode-graph pipeline: minimal inheritance + incremental `R_M` sweep.
+fn synthesize_inherited() -> SystemSchedule {
+    let (sys, graph, _, _) = fixtures::two_mode_graph();
+    synthesize_system(&sys, &graph, &config(), &IlpSynthesizer::default()).expect("feasible")
+}
+
+/// Largest offset disagreement (µs) of the shared application across modes.
+fn max_shared_offset_gap(result: &SystemSchedule) -> f64 {
+    let (sys, normal, emergency) = fixtures::two_mode_system();
+    let ctrl = sys.application_id("ctrl").expect("app exists");
+    let (a, b) = (
+        result.get(normal).expect("scheduled"),
+        result.get(emergency).expect("scheduled"),
+    );
+    let gap =
+        |x: Option<f64>, y: Option<f64>| (x.unwrap_or(f64::NAN) - y.unwrap_or(f64::NAN)).abs();
+    let mut worst = 0.0f64;
+    for &t in &sys.application(ctrl).tasks {
+        worst = worst.max(gap(a.task_offset(t), b.task_offset(t)));
+    }
+    for &m in &sys.application(ctrl).messages {
+        worst = worst.max(gap(a.message_offset(m), b.message_offset(m)));
+        worst = worst.max(gap(a.message_deadline(m), b.message_deadline(m)));
+    }
+    worst
+}
+
+/// Median wall-clock seconds of `samples` runs of `f`.
+fn median_seconds(samples: usize, mut f: impl FnMut() -> SystemSchedule) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|x, y| x.total_cmp(y));
+    times[times.len() / 2]
+}
+
+fn total_rounds(result: &SystemSchedule) -> usize {
+    result
+        .iter()
+        .map(|(_, s): (_, &ModeSchedule)| s.num_rounds())
+        .sum()
+}
+
+fn write_bench_json(
+    independent_s: f64,
+    inherited_s: f64,
+    independent_gap: f64,
+    inherited_gap: f64,
+    independent: &SystemSchedule,
+    inherited: &SystemSchedule,
+) {
+    let num = |v: f64| Value::Number(v);
+    let strategy = |median_s: f64, gap: f64, result: &SystemSchedule| {
+        let mut map = BTreeMap::new();
+        map.insert("median_seconds".into(), num(median_s));
+        map.insert("max_shared_offset_gap_us".into(), num(gap));
+        map.insert("milp_nodes".into(), num(result.total_milp_nodes() as f64));
+        map.insert(
+            "simplex_iterations".into(),
+            num(result.total_simplex_iterations() as f64),
+        );
+        map.insert("total_rounds".into(), num(total_rounds(result) as f64));
+        Value::Object(map)
+    };
+    let mut strategies = BTreeMap::new();
+    strategies.insert(
+        "independent_from_scratch".into(),
+        strategy(independent_s, independent_gap, independent),
+    );
+    strategies.insert(
+        "inherited_incremental".into(),
+        strategy(inherited_s, inherited_gap, inherited),
+    );
+    let mut root = BTreeMap::new();
+    root.insert("bench".into(), Value::String("mode_graph_synthesis".into()));
+    root.insert(
+        "workload".into(),
+        Value::String("fixtures::two_mode_graph (normal <-> emergency, shared ctrl app)".into()),
+    );
+    root.insert("round_duration_us".into(), num(millis(10) as f64));
+    root.insert("slots_per_round".into(), num(5.0));
+    root.insert("strategies".into(), Value::Object(strategies));
+    root.insert(
+        "speedup".into(),
+        num(independent_s / inherited_s.max(1e-12)),
+    );
+    root.insert(
+        "inherited_switch_consistent".into(),
+        Value::Bool(inherited_gap < 1e-3),
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synthesis.json");
+    match std::fs::write(path, Value::Object(root).to_json_pretty() + "\n") {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench_mode_graph(c: &mut Criterion) {
+    let independent = synthesize_independent();
+    let inherited = synthesize_inherited();
+    let independent_gap = max_shared_offset_gap(&independent);
+    let inherited_gap = max_shared_offset_gap(&inherited);
+
+    // Inherited synthesis must be switch-consistent by construction.
+    let (sys, _, _, _) = fixtures::two_mode_graph();
+    assert!(
+        check_cross_mode_consistency(&sys, &inherited).is_empty(),
+        "inherited synthesis must keep shared applications switch-consistent"
+    );
+
+    let independent_s = median_seconds(3, synthesize_independent);
+    let inherited_s = median_seconds(3, synthesize_inherited);
+
+    eprintln!("\n=== Mode-graph synthesis: inherited + incremental vs independent ===");
+    eprintln!(
+        "{:<28} {:>12} {:>12} {:>14} {:>22}",
+        "strategy", "median", "B&B nodes", "simplex", "shared-offset gap"
+    );
+    eprintln!(
+        "{:<28} {:>9.3} s {:>12} {:>14} {:>19.3} µs",
+        "independent (from scratch)",
+        independent_s,
+        independent.total_milp_nodes(),
+        independent.total_simplex_iterations(),
+        independent_gap,
+    );
+    eprintln!(
+        "{:<28} {:>9.3} s {:>12} {:>14} {:>19.3} µs",
+        "inherited (incremental)",
+        inherited_s,
+        inherited.total_milp_nodes(),
+        inherited.total_simplex_iterations(),
+        inherited_gap,
+    );
+    eprintln!(
+        "speedup: {:.1}x; inherited is switch-consistent (gap < 1e-3 µs): {}\n",
+        independent_s / inherited_s.max(1e-12),
+        inherited_gap < 1e-3
+    );
+    // Guard the property on deterministic work counters, not wall clock: the
+    // solver is deterministic, so node/pivot counts are stable across runs
+    // and noisy CI runners cannot flip them.
+    assert!(
+        inherited.total_milp_nodes() < independent.total_milp_nodes(),
+        "inherited synthesis must explore fewer B&B nodes ({} vs {})",
+        inherited.total_milp_nodes(),
+        independent.total_milp_nodes()
+    );
+    assert!(
+        inherited.total_simplex_iterations() < independent.total_simplex_iterations(),
+        "inherited synthesis must need fewer simplex pivots ({} vs {})",
+        inherited.total_simplex_iterations(),
+        independent.total_simplex_iterations()
+    );
+    if inherited_s > independent_s {
+        eprintln!(
+            "warning: wall-clock inverted on this run (noise?): inherited {inherited_s:.3} s \
+             vs independent {independent_s:.3} s"
+        );
+    }
+
+    write_bench_json(
+        independent_s,
+        inherited_s,
+        independent_gap,
+        inherited_gap,
+        &independent,
+        &inherited,
+    );
+
+    let mut group = c.benchmark_group("mode_graph_synthesis");
+    group.sample_size(2);
+    group.bench_function("independent_from_scratch", |b| {
+        b.iter(|| black_box(synthesize_independent()))
+    });
+    group.bench_function("inherited_incremental", |b| {
+        b.iter(|| black_box(synthesize_inherited()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mode_graph);
+criterion_main!(benches);

@@ -21,9 +21,10 @@ fn build_inputs() -> (
 ) {
     let (sys, normal, emergency) = fixtures::two_mode_system();
     let config = SchedulerConfig::new(millis(10), 5);
-    let s1 = synthesis::synthesize_mode(&sys, normal, &config).expect("feasible");
-    let s2 = synthesis::synthesize_mode(&sys, emergency, &config).expect("feasible");
-    (sys, vec![s1, s2], normal, emergency)
+    let schedules = synthesis::synthesize_all_modes(&sys, &config)
+        .expect("feasible")
+        .to_vec();
+    (sys, schedules, normal, emergency)
 }
 
 fn run_once(

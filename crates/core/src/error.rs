@@ -61,8 +61,9 @@ pub enum ModelError {
         /// Application name.
         application: String,
     },
-    /// A mode references the same application twice, or two modes share an
-    /// application (the paper assumes disjoint modes).
+    /// A mode lists the same application twice. (Sharing an application
+    /// *between* modes is allowed — that is the premise of the multi-mode
+    /// design — but a single mode must list each application once.)
     ApplicationReuse {
         /// Application id that was reused.
         app: AppId,
@@ -106,7 +107,7 @@ impl fmt::Display for ModelError {
                 "the precedence graph of application `{application}` contains a cycle"
             ),
             ModelError::ApplicationReuse { app } => {
-                write!(f, "application {app} is assigned to more than one mode")
+                write!(f, "application {app} is listed twice in the same mode")
             }
             ModelError::EmptyMode { name } => write!(f, "mode `{name}` contains no application"),
         }
@@ -136,6 +137,16 @@ pub enum ScheduleError {
         /// Explanation of what is wrong.
         reason: String,
     },
+    /// The request is well-formed but outside what the chosen scheduler
+    /// backend implements (e.g. the greedy heuristic on multi-instance modes,
+    /// or inherited offsets on a backend without pinning support).
+    ///
+    /// Distinguishing this from [`ScheduleError::InvalidConfig`] lets callers
+    /// fall back to another backend instead of reporting a user error.
+    Unsupported {
+        /// What the backend cannot do.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -152,6 +163,9 @@ impl fmt::Display for ScheduleError {
             ScheduleError::Model(e) => write!(f, "invalid system model: {e}"),
             ScheduleError::InvalidConfig { reason } => {
                 write!(f, "invalid scheduler configuration: {reason}")
+            }
+            ScheduleError::Unsupported { reason } => {
+                write!(f, "unsupported by this scheduler backend: {reason}")
             }
         }
     }
@@ -254,6 +268,23 @@ pub enum ScheduleViolation {
         /// Description of the offending entity.
         what: String,
     },
+    /// An application shared by two modes was given different timing in their
+    /// schedules, which would break the paper's switch-consistency guarantee
+    /// (a mode change must not disturb applications running across it).
+    CrossModeOffsetMismatch {
+        /// The shared application.
+        app: AppId,
+        /// Which offset disagrees (e.g. `task tau3 offset`).
+        what: String,
+        /// Mode whose schedule was taken as reference.
+        first_mode: ModeId,
+        /// Mode whose schedule disagrees.
+        second_mode: ModeId,
+        /// Value in the reference mode (µs).
+        first: f64,
+        /// Value in the disagreeing mode (µs).
+        second: f64,
+    },
 }
 
 impl fmt::Display for ScheduleViolation {
@@ -307,6 +338,17 @@ impl fmt::Display for ScheduleViolation {
             ScheduleViolation::OffsetOutOfRange { what } => {
                 write!(f, "offset out of range: {what}")
             }
+            ScheduleViolation::CrossModeOffsetMismatch {
+                app,
+                what,
+                first_mode,
+                second_mode,
+                first,
+                second,
+            } => write!(
+                f,
+                "application {app}: {what} differs across modes ({first} µs in {first_mode} vs {second} µs in {second_mode})"
+            ),
         }
     }
 }

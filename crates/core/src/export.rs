@@ -9,7 +9,8 @@
 
 use crate::ids::{AppId, MessageId, ModeId, TaskId};
 use crate::json::{JsonError, Value};
-use crate::schedule::{ModeSchedule, ScheduledRound, SynthesisStats};
+use crate::modegraph::ModeGraph;
+use crate::schedule::{ModeSchedule, ScheduledRound, SynthesisStats, SystemSchedule};
 use crate::spec::{ApplicationSpec, MessageSpec, TaskSpec};
 use crate::system::System;
 use std::collections::BTreeMap;
@@ -35,6 +36,84 @@ pub fn schedule_to_json(schedule: &ModeSchedule) -> Result<String, JsonError> {
 /// Returns a [`JsonError`] if the document is not a valid schedule.
 pub fn schedule_from_json(json: &str) -> Result<ModeSchedule, JsonError> {
     schedule_from_value(&Value::parse(json)?)
+}
+
+/// Serializes a complete [`SystemSchedule`] — every mode schedule plus the
+/// inheritance metadata and per-mode statistics — to pretty-printed JSON.
+///
+/// # Errors
+///
+/// Infallible in practice; see [`schedule_to_json`].
+pub fn system_schedule_to_json(schedule: &SystemSchedule) -> Result<String, JsonError> {
+    Ok(system_schedule_to_value(schedule).to_json_pretty())
+}
+
+/// Parses a [`SystemSchedule`] back from its JSON form.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if the document is not a valid system schedule.
+pub fn system_schedule_from_json(json: &str) -> Result<SystemSchedule, JsonError> {
+    system_schedule_from_value(&Value::parse(json)?)
+}
+
+/// Serializes a [`ModeGraph`] (mode count, root and switch edges) to
+/// pretty-printed JSON.
+///
+/// # Errors
+///
+/// Infallible in practice; see [`schedule_to_json`].
+pub fn mode_graph_to_json(graph: &ModeGraph) -> Result<String, JsonError> {
+    let mut map = BTreeMap::new();
+    map.insert("num_modes".into(), Value::Number(graph.num_modes() as f64));
+    map.insert("root".into(), Value::Number(graph.root().index() as f64));
+    map.insert(
+        "edges".into(),
+        Value::Array(
+            graph
+                .edges()
+                .map(|(from, to)| {
+                    Value::Array(vec![
+                        Value::Number(from.index() as f64),
+                        Value::Number(to.index() as f64),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    Ok(Value::Object(map).to_json_pretty())
+}
+
+/// Parses a [`ModeGraph`] back from its JSON form.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if the document is not a valid mode graph (bad
+/// shape, or edges/root outside the mode range).
+pub fn mode_graph_from_json(json: &str) -> Result<ModeGraph, JsonError> {
+    let value = Value::parse(json)?;
+    let map = require_object(&value, "mode graph")?;
+    let num_modes = require_usize(map, "num_modes")?;
+    let root = ModeId::from_index(require_usize(map, "root")?);
+    let edges = require_field(map, "edges")?
+        .as_array()
+        .ok_or_else(|| JsonError::custom("`edges` must be an array"))?
+        .iter()
+        .map(|edge| {
+            let pair = edge
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| JsonError::custom("each edge must be a `[from, to]` pair"))?;
+            let endpoint = |v: &Value| {
+                v.as_u64()
+                    .map(|i| ModeId::from_index(i as usize))
+                    .ok_or_else(|| JsonError::custom("edge endpoints must be mode indices"))
+            };
+            Ok((endpoint(&pair[0])?, endpoint(&pair[1])?))
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    ModeGraph::from_parts(num_modes, root, edges)
+        .map_err(|e| JsonError::custom(format!("invalid mode graph: {e}")))
 }
 
 /// Serializes an application specification to pretty-printed JSON.
@@ -124,42 +203,57 @@ fn schedule_to_value(schedule: &ModeSchedule) -> Value {
         "total_latency".into(),
         Value::Number(schedule.total_latency),
     );
-    let mut stats = BTreeMap::new();
-    stats.insert(
+    map.insert("stats".into(), stats_to_value(&schedule.stats));
+    Value::Object(map)
+}
+
+fn stats_to_value(stats: &SynthesisStats) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert(
         "rounds_attempted".into(),
         Value::Array(
-            schedule
-                .stats
+            stats
                 .rounds_attempted
                 .iter()
                 .map(|&n| Value::Number(n as f64))
                 .collect(),
         ),
     );
-    stats.insert(
-        "milp_nodes".into(),
-        Value::Number(schedule.stats.milp_nodes as f64),
-    );
-    stats.insert(
+    map.insert("milp_nodes".into(), Value::Number(stats.milp_nodes as f64));
+    map.insert(
         "simplex_iterations".into(),
-        Value::Number(schedule.stats.simplex_iterations as f64),
+        Value::Number(stats.simplex_iterations as f64),
     );
-    stats.insert(
-        "variables".into(),
-        Value::Number(schedule.stats.variables as f64),
-    );
-    stats.insert(
+    map.insert("variables".into(), Value::Number(stats.variables as f64));
+    map.insert(
         "constraints".into(),
-        Value::Number(schedule.stats.constraints as f64),
+        Value::Number(stats.constraints as f64),
     );
-    map.insert("stats".into(), Value::Object(stats));
     Value::Object(map)
+}
+
+fn stats_from_value(value: &Value) -> Result<SynthesisStats, JsonError> {
+    let map = require_object(value, "stats")?;
+    Ok(SynthesisStats {
+        rounds_attempted: require_field(map, "rounds_attempted")?
+            .as_array()
+            .ok_or_else(|| JsonError::custom("`rounds_attempted` must be an array"))?
+            .iter()
+            .map(|n| {
+                n.as_u64()
+                    .map(|n| n as usize)
+                    .ok_or_else(|| JsonError::custom("`rounds_attempted` entries must be integers"))
+            })
+            .collect::<Result<_, _>>()?,
+        milp_nodes: require_usize(map, "milp_nodes")?,
+        simplex_iterations: require_usize(map, "simplex_iterations")?,
+        variables: require_usize(map, "variables")?,
+        constraints: require_usize(map, "constraints")?,
+    })
 }
 
 fn schedule_from_value(value: &Value) -> Result<ModeSchedule, JsonError> {
     let map = require_object(value, "schedule")?;
-    let stats_value = require_field(map, "stats")?;
-    let stats_map = require_object(stats_value, "stats")?;
     let rounds_value = require_field(map, "rounds")?;
     let rounds = rounds_value
         .as_array()
@@ -195,22 +289,120 @@ fn schedule_from_value(value: &Value) -> Result<ModeSchedule, JsonError> {
         rounds,
         app_latencies: index_map_from_value(map, "app_latencies", AppId::from_index)?,
         total_latency: require_f64(map, "total_latency")?,
-        stats: SynthesisStats {
-            rounds_attempted: require_field(stats_map, "rounds_attempted")?
-                .as_array()
-                .ok_or_else(|| JsonError::custom("`rounds_attempted` must be an array"))?
+        stats: stats_from_value(require_field(map, "stats")?)?,
+    })
+}
+
+fn system_schedule_to_value(schedule: &SystemSchedule) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert(
+        "schedules".into(),
+        Value::Object(
+            schedule
+                .schedules
                 .iter()
-                .map(|n| {
-                    n.as_u64().map(|n| n as usize).ok_or_else(|| {
-                        JsonError::custom("`rounds_attempted` entries must be integers")
-                    })
+                .map(|(mode, s)| (mode.index().to_string(), schedule_to_value(s)))
+                .collect(),
+        ),
+    );
+    map.insert(
+        "inheritance".into(),
+        Value::Object(
+            schedule
+                .inheritance
+                .iter()
+                .map(|(mode, sources)| {
+                    (
+                        mode.index().to_string(),
+                        Value::Object(
+                            sources
+                                .iter()
+                                .map(|(app, source)| {
+                                    (
+                                        app.index().to_string(),
+                                        Value::Number(source.index() as f64),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    )
                 })
-                .collect::<Result<_, _>>()?,
-            milp_nodes: require_usize(stats_map, "milp_nodes")?,
-            simplex_iterations: require_usize(stats_map, "simplex_iterations")?,
-            variables: require_usize(stats_map, "variables")?,
-            constraints: require_usize(stats_map, "constraints")?,
-        },
+                .collect(),
+        ),
+    );
+    map.insert(
+        "stats".into(),
+        Value::Object(
+            schedule
+                .stats
+                .iter()
+                .map(|(mode, s)| (mode.index().to_string(), stats_to_value(s)))
+                .collect(),
+        ),
+    );
+    Value::Object(map)
+}
+
+fn system_schedule_from_value(value: &Value) -> Result<SystemSchedule, JsonError> {
+    let map = require_object(value, "system schedule")?;
+    let parse_index = |field: &str, key: &str| -> Result<usize, JsonError> {
+        key.parse()
+            .map_err(|_| JsonError::custom(format!("`{field}` key `{key}` is not an index")))
+    };
+
+    let schedules = require_field(map, "schedules")?
+        .as_object()
+        .ok_or_else(|| JsonError::custom("`schedules` must be an object"))?
+        .iter()
+        .map(|(key, s)| {
+            Ok((
+                ModeId::from_index(parse_index("schedules", key)?),
+                schedule_from_value(s)?,
+            ))
+        })
+        .collect::<Result<_, JsonError>>()?;
+
+    let inheritance = require_field(map, "inheritance")?
+        .as_object()
+        .ok_or_else(|| JsonError::custom("`inheritance` must be an object"))?
+        .iter()
+        .map(|(key, sources)| {
+            let mode = ModeId::from_index(parse_index("inheritance", key)?);
+            let sources = sources
+                .as_object()
+                .ok_or_else(|| JsonError::custom("inheritance entries must be objects"))?
+                .iter()
+                .map(|(app_key, source)| {
+                    let app = AppId::from_index(parse_index("inheritance", app_key)?);
+                    let source = source
+                        .as_u64()
+                        .map(|i| ModeId::from_index(i as usize))
+                        .ok_or_else(|| {
+                            JsonError::custom("inheritance sources must be mode indices")
+                        })?;
+                    Ok((app, source))
+                })
+                .collect::<Result<_, JsonError>>()?;
+            Ok((mode, sources))
+        })
+        .collect::<Result<_, JsonError>>()?;
+
+    let stats = require_field(map, "stats")?
+        .as_object()
+        .ok_or_else(|| JsonError::custom("`stats` must be an object"))?
+        .iter()
+        .map(|(key, s)| {
+            Ok((
+                ModeId::from_index(parse_index("stats", key)?),
+                stats_from_value(s)?,
+            ))
+        })
+        .collect::<Result<_, JsonError>>()?;
+
+    Ok(SystemSchedule {
+        schedules,
+        inheritance,
+        stats,
     })
 }
 
@@ -505,6 +697,55 @@ mod tests {
     fn invalid_json_is_an_error() {
         assert!(schedule_from_json("{not json").is_err());
         assert!(schedule_from_json("{}").is_err());
+    }
+
+    #[test]
+    fn system_schedule_round_trips_with_inheritance_metadata() {
+        let (sys, graph, normal, emergency) = fixtures::two_mode_graph();
+        let config = SchedulerConfig::new(millis(10), 5);
+        let schedule = crate::synthesis::synthesize_system(
+            &sys,
+            &graph,
+            &config,
+            &crate::synthesis::IlpSynthesizer::default(),
+        )
+        .expect("feasible");
+        let json = system_schedule_to_json(&schedule).expect("serializes");
+        let back = system_schedule_from_json(&json).expect("parses");
+        assert_eq!(schedule, back);
+        // The inheritance metadata survived: emergency inherited ctrl.
+        let ctrl = sys.application_id("ctrl").expect("app exists");
+        assert_eq!(back.inherited_source(emergency, ctrl), Some(normal));
+        // Per-mode stats survived too.
+        assert_eq!(back.stats.len(), 2);
+        assert_eq!(back.total_milp_nodes(), schedule.total_milp_nodes());
+    }
+
+    #[test]
+    fn invalid_system_schedule_json_is_an_error() {
+        assert!(system_schedule_from_json("{not json").is_err());
+        assert!(system_schedule_from_json("{}").is_err());
+        assert!(
+            system_schedule_from_json(r#"{"schedules": 3, "inheritance": {}, "stats": {}}"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn mode_graph_round_trips() {
+        let (_, graph, _, _) = fixtures::two_mode_graph();
+        let json = mode_graph_to_json(&graph).expect("serializes");
+        let back = mode_graph_from_json(&json).expect("parses");
+        assert_eq!(graph, back);
+    }
+
+    #[test]
+    fn mode_graph_json_rejects_out_of_range_edges() {
+        assert!(mode_graph_from_json("{").is_err());
+        let bad = r#"{"num_modes": 2, "root": 0, "edges": [[0, 5]]}"#;
+        assert!(mode_graph_from_json(bad).is_err());
+        let bad_root = r#"{"num_modes": 2, "root": 9, "edges": []}"#;
+        assert!(mode_graph_from_json(bad_root).is_err());
     }
 
     #[test]

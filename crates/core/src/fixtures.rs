@@ -96,23 +96,30 @@ pub fn fig3_system() -> (System, ModeId) {
 }
 
 /// A system with two modes (`normal` and `emergency`) over the same five
-/// nodes. The normal mode runs the Fig. 3 control application; the emergency
-/// mode runs a *different* application (an actuator reports its status to the
-/// controller, which raises an alarm towards both sensors), so the slot
-/// allocations of the two modes involve different initiators. Used by the
-/// mode-change example, the runtime tests and the reliability benchmarks.
+/// nodes, **sharing** the Fig. 3 control application — the paper's multi-mode
+/// premise (Sec. V).
+///
+/// The normal mode runs only the control application; the emergency mode
+/// keeps the control loop running and adds a diagnostics application (an
+/// actuator reports its status to the controller, which raises an alarm
+/// towards both sensors). Because `ctrl` is in both modes, its tasks and
+/// messages must receive identical offsets in both schedules — exactly what
+/// the mode-graph synthesis pipeline's minimal inheritance guarantees and
+/// what the cross-mode validator checks.
+///
+/// The diagnostics application is added *first*, so its messages get the
+/// lowest ids and lead the slot order of the emergency rounds while the
+/// control messages lead the normal rounds — which keeps the slot initiators
+/// of the two modes distinct (used by the runtime collision scenarios).
+///
+/// Used by the mode-change example, the runtime tests and the reliability and
+/// mode-graph benchmarks.
 pub fn two_mode_system() -> (System, ModeId, ModeId) {
     let mut sys = System::new();
     fig3_nodes(&mut sys);
-    let normal_app = sys
-        .add_application(&fig3_control_application(
-            "normal_ctrl",
-            Fig3Params::default(),
-        ))
-        .expect("valid fixture");
     let emergency_app = sys
         .add_application(
-            &ApplicationSpec::new("emergency_diag", millis(50), millis(50))
+            &ApplicationSpec::new("emergency_diag", millis(100), millis(100))
                 .with_task("diag.collect", "actuator1", millis(2))
                 .with_task("diag.decide", "controller", millis(2))
                 .with_task("diag.notify1", "sensor1", millis(1))
@@ -125,11 +132,25 @@ pub fn two_mode_system() -> (System, ModeId, ModeId) {
                 ),
         )
         .expect("valid fixture");
+    let normal_app = sys
+        .add_application(&fig3_control_application("ctrl", Fig3Params::default()))
+        .expect("valid fixture");
     let normal = sys.add_mode("normal", &[normal_app]).expect("valid mode");
     let emergency = sys
-        .add_mode("emergency", &[emergency_app])
+        .add_mode("emergency", &[emergency_app, normal_app])
         .expect("valid mode");
     (sys, normal, emergency)
+}
+
+/// The [`two_mode_system`] together with its mode graph
+/// (`normal ⇄ emergency`, rooted at `normal`) — the standard workload of the
+/// multi-mode synthesis pipeline tests and the `mode_graph_synthesis` bench.
+pub fn two_mode_graph() -> (System, crate::modegraph::ModeGraph, ModeId, ModeId) {
+    let (sys, normal, emergency) = two_mode_system();
+    let mut graph = crate::modegraph::ModeGraph::new(&sys);
+    graph.add_edge(normal, emergency).expect("valid edge");
+    graph.add_edge(emergency, normal).expect("valid edge");
+    (sys, graph, normal, emergency)
 }
 
 /// A synthetic mode with `num_apps` pipeline applications of `tasks_per_app`
@@ -189,11 +210,30 @@ mod tests {
     }
 
     #[test]
-    fn two_mode_system_has_disjoint_modes() {
+    fn two_mode_system_shares_the_control_application() {
         let (sys, normal, emergency) = two_mode_system();
         assert_ne!(normal, emergency);
         assert_eq!(sys.hyperperiod(normal), millis(100));
-        assert_eq!(sys.hyperperiod(emergency), millis(50));
+        assert_eq!(sys.hyperperiod(emergency), millis(100));
+        let ctrl = sys.application_id("ctrl").expect("app exists");
+        assert_eq!(sys.shared_applications(normal, emergency), vec![ctrl]);
+        assert_eq!(sys.modes_of_application(ctrl), vec![normal, emergency]);
+        // The diagnostics messages carry the lowest ids, so they lead the
+        // slot order of the emergency rounds (relied on by the runtime
+        // collision scenarios).
+        let status = sys.message_id("diag.status").expect("message exists");
+        let m1 = sys.message_id("ctrl.m1").expect("message exists");
+        assert!(status < m1);
+    }
+
+    #[test]
+    fn two_mode_graph_connects_both_modes() {
+        let (sys, graph, normal, emergency) = two_mode_graph();
+        assert_eq!(graph.num_modes(), 2);
+        assert_eq!(graph.root(), normal);
+        assert_eq!(graph.successors(normal), vec![emergency]);
+        assert_eq!(graph.successors(emergency), vec![normal]);
+        assert_eq!(sys.shared_applications(normal, emergency).len(), 1);
     }
 
     #[test]

@@ -24,8 +24,10 @@ use std::collections::{BTreeMap, HashMap};
 ///
 /// # Errors
 ///
-/// * [`ScheduleError::InvalidConfig`] if the configuration is malformed or if
-///   an application period differs from the mode hyperperiod.
+/// * [`ScheduleError::InvalidConfig`] if the configuration is malformed.
+/// * [`ScheduleError::Unsupported`] if an application period differs from the
+///   mode hyperperiod (multi-instance modes are a limitation of this backend,
+///   not a user error — callers can fall back to the ILP).
 /// * [`ScheduleError::Infeasible`] if the greedy packing runs past the
 ///   hyperperiod or an application deadline cannot be met.
 pub fn synthesize_mode_heuristic(
@@ -37,10 +39,13 @@ pub fn synthesize_mode_heuristic(
     let hyper = system.hyperperiod(mode);
     for &a in &system.mode(mode).applications {
         if system.application(a).period != hyper {
-            return Err(ScheduleError::InvalidConfig {
+            return Err(ScheduleError::Unsupported {
                 reason: format!(
-                    "heuristic scheduler requires application `{}` period to equal the hyperperiod",
-                    system.application(a).name
+                    "the heuristic scheduler only handles single-instance modes; \
+                     application `{}` has period {} µs != hyperperiod {} µs",
+                    system.application(a).name,
+                    system.application(a).period,
+                    hyper
                 ),
             });
         }
@@ -289,7 +294,9 @@ mod tests {
             .expect("valid app");
         let mode = sys.add_mode("mixed", &[fast, slow]).expect("valid mode");
         let err = synthesize_mode_heuristic(&sys, mode, &config()).unwrap_err();
-        assert!(matches!(err, ScheduleError::InvalidConfig { .. }));
+        // A scheduler limitation, not a user error: callers must be able to
+        // tell the two apart to fall back to the ILP backend.
+        assert!(matches!(err, ScheduleError::Unsupported { .. }));
     }
 
     #[test]

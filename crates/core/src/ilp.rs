@@ -25,10 +25,11 @@
 use crate::config::SchedulerConfig;
 use crate::error::ScheduleError;
 use crate::ids::{AppId, MessageId, ModeId, TaskId};
+use crate::modegraph::InheritedOffsets;
 use crate::schedule::{ModeSchedule, ScheduledRound, SynthesisStats};
 use crate::system::{PrecedenceEdge, System};
 use std::collections::BTreeMap;
-use ttw_milp::{LinExpr, Model, Sense, Solution, VarId};
+use ttw_milp::{ConstraintId, LinExpr, Model, Sense, Solution, VarId};
 
 /// Mapping from model entities to MILP decision variables.
 #[derive(Debug, Clone, Default)]
@@ -43,6 +44,13 @@ struct VariableMap {
 }
 
 /// A fully built ILP instance for one `(mode, R_M)` pair.
+///
+/// Instances are *growable*: [`IlpInstance::add_round`] appends one more
+/// communication round in place — only the round-count-dependent variables and
+/// rows are added, while the (much larger) round-independent part of the model
+/// (precedence, deadlines, the quadratic task non-overlap block C3) is reused.
+/// This is what makes the `R_M = min..max` sweep of Algorithm 1 incremental
+/// instead of rebuilding the whole model per attempt.
 #[derive(Debug, Clone)]
 pub struct IlpInstance {
     /// The underlying MILP; exposed so callers can inspect it or dump it with
@@ -52,6 +60,17 @@ pub struct IlpInstance {
     /// Microseconds per internal time unit (= the round length `T_r`).
     scale: f64,
     num_rounds: usize,
+    /// Mode hyperperiod in internal time units.
+    hyper: f64,
+    /// Strict-inequality epsilon (`mm` in the paper).
+    mm: f64,
+    /// Objective weight of the anchoring tie-break terms.
+    tie_break: f64,
+    /// Per-message wrap-around ("leftover") binaries `r0`.
+    leftover: BTreeMap<MessageId, VarId>,
+    /// Per-message total-allocation equality rows (C4.4); new rounds join
+    /// these rows in place.
+    c44: BTreeMap<MessageId, ConstraintId>,
 }
 
 impl IlpInstance {
@@ -63,6 +82,167 @@ impl IlpInstance {
     /// Renders the instance in CPLEX LP format for auditing.
     pub fn to_lp_string(&self) -> String {
         ttw_milp::lp_format::to_lp_string(&self.model)
+    }
+
+    /// Appends one more communication round to the instance in place.
+    ///
+    /// Adds the round-start variable, its ordering/gap rows against the
+    /// previous round, the per-message allocation binaries with their
+    /// arrival/demand counting rows (C4.1/C4.2 and Eq. 42/44), the slot-limit
+    /// row (C4.3), and joins the new allocation binaries to the existing
+    /// total-count equality rows (C4.4). Everything else — variables, C1–C3,
+    /// pinned bounds — is untouched.
+    ///
+    /// `system`, `mode` and `config` must be the ones the instance was built
+    /// with.
+    pub fn add_round(&mut self, system: &System, mode: ModeId, config: &SchedulerConfig) {
+        debug_assert_eq!(self.scale, config.round_duration as f64);
+        let j = self.num_rounds;
+        let tr = self.scale;
+        let hyper_us = system.hyperperiod(mode);
+        let mm = self.mm;
+        let messages = system.messages_in_mode(mode);
+
+        // Round-start variable, anchored by the same tie-break as the rest.
+        let r_j = self
+            .model
+            .add_continuous(format!("r[{j}]"), 0.0, (self.hyper - 1.0).max(0.0));
+        self.vars.round_start.push(r_j);
+        self.model.add_objective_term(r_j, self.tie_break);
+
+        // C2 — rounds are ordered and (optionally) gap-bounded (Eq. 24, 25).
+        if j > 0 {
+            let prev = self.vars.round_start[j - 1];
+            let mut expr = LinExpr::term(prev, 1.0);
+            expr.add_term(r_j, -1.0);
+            self.model.add_constraint(
+                format!("round_order[{}]", j - 1),
+                expr,
+                ttw_milp::ConstraintOp::Le,
+                -1.0,
+            );
+            if let Some(gap) = config.max_inter_round_gap {
+                let mut expr = LinExpr::term(r_j, 1.0);
+                expr.add_term(prev, -1.0);
+                self.model.add_constraint(
+                    format!("round_gap[{}]", j - 1),
+                    expr,
+                    ttw_milp::ConstraintOp::Le,
+                    gap as f64 / tr,
+                );
+            }
+        }
+
+        // Allocation binaries of the new round.
+        let mut row = BTreeMap::new();
+        for &m in &messages {
+            let v = self
+                .model
+                .add_binary(format!("y[{j}][{}]", system.message(m).name));
+            row.insert(m, v);
+        }
+        self.vars.alloc.push(row);
+
+        // (C4.3) at most B slots in the new round.
+        let expr = LinExpr::from_terms(self.vars.alloc[j].values().map(|&v| (v, 1.0)));
+        self.model.add_constraint(
+            format!("c43[{j}]"),
+            expr,
+            ttw_milp::ConstraintOp::Le,
+            config.slots_per_round as f64,
+        );
+
+        for &m in &messages {
+            let p = system.message_period(m) as f64 / tr;
+            let n_inst = (hyper_us / system.message_period(m)) as f64;
+            let o = self.vars.message_offset[&m];
+            let d = self.vars.message_deadline[&m];
+            let r0 = self.leftover[&m];
+            let name = system.message(m).name.clone();
+
+            // The new allocation binary joins the C4.4 equality row in place.
+            self.model
+                .add_term_to_constraint(self.c44[&m], self.vars.alloc[j][&m], 1.0);
+
+            let ka = self
+                .model
+                .add_integer(format!("ka[{name}][{j}]"), 0.0, n_inst);
+            let kd = self
+                .model
+                .add_integer(format!("kd[{name}][{j}]"), -1.0, n_inst);
+
+            // (Eq. 42) 0 ≤ r_j − o − (ka − 1)p ≤ p − mm  ⇔  ka = af(r_j)
+            let mut af_lb = LinExpr::term(r_j, -1.0);
+            af_lb.add_term(o, 1.0);
+            af_lb.add_term(ka, p);
+            self.model.add_constraint(
+                format!("af_lb[{name}][{j}]"),
+                af_lb,
+                ttw_milp::ConstraintOp::Le,
+                p,
+            );
+            let mut af_ub = LinExpr::term(r_j, 1.0);
+            af_ub.add_term(o, -1.0);
+            af_ub.add_term(ka, -p);
+            self.model.add_constraint(
+                format!("af_ub[{name}][{j}]"),
+                af_ub,
+                ttw_milp::ConstraintOp::Le,
+                -mm,
+            );
+
+            // (Eq. 44) mm ≤ r_j + T_r − o − d − (kd − 1)p ≤ p  ⇔  kd = df(r_j + T_r)
+            let mut df_lb = LinExpr::term(r_j, -1.0);
+            df_lb.add_term(o, 1.0);
+            df_lb.add_term(d, 1.0);
+            df_lb.add_term(kd, p);
+            self.model.add_constraint(
+                format!("df_lb[{name}][{j}]"),
+                df_lb,
+                ttw_milp::ConstraintOp::Le,
+                1.0 + p - mm,
+            );
+            let mut df_ub = LinExpr::term(r_j, 1.0);
+            df_ub.add_term(o, -1.0);
+            df_ub.add_term(d, -1.0);
+            df_ub.add_term(kd, -p);
+            self.model.add_constraint(
+                format!("df_ub[{name}][{j}]"),
+                df_ub,
+                ttw_milp::ConstraintOp::Le,
+                -1.0,
+            );
+
+            // (Eq. 11 / C4.1) service by the end of round j never exceeds arrivals.
+            let mut service_le_arrival = LinExpr::new();
+            for alloc_row in self.vars.alloc.iter().take(j + 1) {
+                service_le_arrival.add_term(alloc_row[&m], 1.0);
+            }
+            service_le_arrival.add_term(r0, -1.0);
+            service_le_arrival.add_term(ka, -1.0);
+            self.model.add_constraint(
+                format!("c41[{name}][{j}]"),
+                service_le_arrival,
+                ttw_milp::ConstraintOp::Le,
+                0.0,
+            );
+
+            // (Eq. 12 / C4.2) service before round j covers every expired deadline.
+            let mut service_ge_demand = LinExpr::new();
+            for alloc_row in self.vars.alloc.iter().take(j) {
+                service_ge_demand.add_term(alloc_row[&m], -1.0);
+            }
+            service_ge_demand.add_term(r0, 1.0);
+            service_ge_demand.add_term(kd, 1.0);
+            self.model.add_constraint(
+                format!("c42[{name}][{j}]"),
+                service_ge_demand,
+                ttw_milp::ConstraintOp::Le,
+                0.0,
+            );
+        }
+
+        self.num_rounds += 1;
     }
 }
 
@@ -78,6 +258,28 @@ pub fn build_ilp(
     config: &SchedulerConfig,
     num_rounds: usize,
 ) -> Result<IlpInstance, ScheduleError> {
+    build_ilp_inherited(system, mode, config, num_rounds, &InheritedOffsets::none())
+}
+
+/// Builds the ILP for scheduling `mode` with exactly `num_rounds` rounds,
+/// with the offsets of inherited applications *pinned* to the values an
+/// earlier mode's schedule assigned them (minimal inheritance, paper Sec. V).
+///
+/// Pinning uses the solver's bound-tightening API ([`ttw_milp::Model::fix_var`])
+/// rather than extra equality rows: the pinned columns simply lose their
+/// freedom, which also shrinks the branch-and-bound search space.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::InvalidConfig`] if the configuration fails
+/// validation.
+pub fn build_ilp_inherited(
+    system: &System,
+    mode: ModeId,
+    config: &SchedulerConfig,
+    num_rounds: usize,
+    inherited: &InheritedOffsets,
+) -> Result<IlpInstance, ScheduleError> {
     config.validate()?;
 
     let tr = config.round_duration as f64;
@@ -90,16 +292,13 @@ pub fn build_ilp(
     let messages = system.messages_in_mode(mode);
     let apps = system.mode(mode).applications.clone();
 
-    let mut model = Model::new(format!(
-        "ttw_{}_{}rounds",
-        system.mode(mode).name,
-        num_rounds
-    ));
+    let mut model = Model::new(format!("ttw_{}", system.mode(mode).name));
     model.params_mut().clone_from(&config.solver);
     let mut vars = VariableMap::default();
 
     // ------------------------------------------------------------------
-    // Decision variables (Table II).
+    // Round-independent decision variables (Table II). Round starts and
+    // allocation binaries are added by `IlpInstance::add_round`.
     // ------------------------------------------------------------------
     for &t in &tasks {
         let p = system.task_period(t) as f64 / tr;
@@ -113,18 +312,6 @@ pub fn build_ilp(
         let d = model.add_continuous(format!("dm[{name}]"), 0.0, p);
         vars.message_offset.insert(m, o);
         vars.message_deadline.insert(m, d);
-    }
-    for j in 0..num_rounds {
-        let v = model.add_continuous(format!("r[{j}]"), 0.0, (hyper - 1.0).max(0.0));
-        vars.round_start.push(v);
-    }
-    for j in 0..num_rounds {
-        let mut row = BTreeMap::new();
-        for &m in &messages {
-            let v = model.add_binary(format!("y[{j}][{}]", system.message(m).name));
-            row.insert(m, v);
-        }
-        vars.alloc.push(row);
     }
     let mut leftover: BTreeMap<MessageId, VarId> = BTreeMap::new();
     for &m in &messages {
@@ -165,12 +352,15 @@ pub fn build_ilp(
     // hyperperiod, which makes the synthesized schedules deterministic and
     // easier to read. The weight is small enough never to trade latency for
     // offset (latencies are ≥ 1 round = 1 time unit, the tie-break sums to
-    // far less than 1e-3 time units).
+    // far less than 1e-3 time units). It is normalized against the *largest*
+    // round count the instance could grow to, so incrementally added rounds
+    // keep the same weight as a from-scratch build.
     // ------------------------------------------------------------------
     let mut objective = LinExpr::from_terms(vars.app_latency.values().map(|&v| (v, 1.0)));
-    let num_anchor_terms = (vars.task_offset.len() + vars.round_start.len()).max(1) as f64;
+    let max_rounds = (hyper_us / config.round_duration) as usize;
+    let num_anchor_terms = (vars.task_offset.len() + max_rounds).max(1) as f64;
     let tie_break = 1e-4 / (num_anchor_terms * hyper.max(1.0));
-    for &v in vars.task_offset.values().chain(vars.round_start.iter()) {
+    for &v in vars.task_offset.values() {
         objective.add_term(v, tie_break);
     }
     model.set_objective_expr(Sense::Minimize, objective);
@@ -268,30 +458,6 @@ pub fn build_ilp(
     }
 
     // ------------------------------------------------------------------
-    // C2 — round constraints (Eq. 24, 25).
-    // ------------------------------------------------------------------
-    for j in 0..num_rounds.saturating_sub(1) {
-        let mut expr = LinExpr::term(vars.round_start[j], 1.0);
-        expr.add_term(vars.round_start[j + 1], -1.0);
-        model.add_constraint(
-            format!("round_order[{j}]"),
-            expr,
-            ttw_milp::ConstraintOp::Le,
-            -1.0,
-        );
-        if let Some(gap) = config.max_inter_round_gap {
-            let mut expr = LinExpr::term(vars.round_start[j + 1], 1.0);
-            expr.add_term(vars.round_start[j], -1.0);
-            model.add_constraint(
-                format!("round_gap[{j}]"),
-                expr,
-                ttw_milp::ConstraintOp::Le,
-                gap as f64 / tr,
-            );
-        }
-    }
-
-    // ------------------------------------------------------------------
     // C3 — at most one task at a time per node (Eq. 28, 29).
     // ------------------------------------------------------------------
     for (i_idx, &ti) in tasks.iter().enumerate() {
@@ -338,8 +504,11 @@ pub fn build_ilp(
     }
 
     // ------------------------------------------------------------------
-    // C4 — validity of the message allocation.
+    // C4 — round-independent part of the message-allocation validity:
+    // leftover linking and the total-count equality rows (C4.4), which start
+    // empty and are joined by every round added later.
     // ------------------------------------------------------------------
+    let mut c44: BTreeMap<MessageId, ConstraintId> = BTreeMap::new();
     for &m in &messages {
         let p = system.message_period(m) as f64 / tr;
         let n_inst = (hyper_us / system.message_period(m)) as f64;
@@ -370,110 +539,53 @@ pub fn build_ilp(
             p,
         );
 
-        for j in 0..num_rounds {
-            let r_j = vars.round_start[j];
-            let ka = model.add_integer(format!("ka[{name}][{j}]"), 0.0, n_inst);
-            let kd = model.add_integer(format!("kd[{name}][{j}]"), -1.0, n_inst);
-
-            // (Eq. 42) 0 ≤ r_j − o − (ka − 1)p ≤ p − mm  ⇔  ka = af(r_j)
-            let mut af_lb = LinExpr::term(r_j, -1.0);
-            af_lb.add_term(o, 1.0);
-            af_lb.add_term(ka, p);
-            model.add_constraint(
-                format!("af_lb[{name}][{j}]"),
-                af_lb,
-                ttw_milp::ConstraintOp::Le,
-                p,
-            );
-            let mut af_ub = LinExpr::term(r_j, 1.0);
-            af_ub.add_term(o, -1.0);
-            af_ub.add_term(ka, -p);
-            model.add_constraint(
-                format!("af_ub[{name}][{j}]"),
-                af_ub,
-                ttw_milp::ConstraintOp::Le,
-                -mm,
-            );
-
-            // (Eq. 44) mm ≤ r_j + T_r − o − d − (kd − 1)p ≤ p  ⇔  kd = df(r_j + T_r)
-            let mut df_lb = LinExpr::term(r_j, -1.0);
-            df_lb.add_term(o, 1.0);
-            df_lb.add_term(d, 1.0);
-            df_lb.add_term(kd, p);
-            model.add_constraint(
-                format!("df_lb[{name}][{j}]"),
-                df_lb,
-                ttw_milp::ConstraintOp::Le,
-                1.0 + p - mm,
-            );
-            let mut df_ub = LinExpr::term(r_j, 1.0);
-            df_ub.add_term(o, -1.0);
-            df_ub.add_term(d, -1.0);
-            df_ub.add_term(kd, -p);
-            model.add_constraint(
-                format!("df_ub[{name}][{j}]"),
-                df_ub,
-                ttw_milp::ConstraintOp::Le,
-                -1.0,
-            );
-
-            // (Eq. 11 / C4.1) service by the end of round j never exceeds arrivals.
-            let mut service_le_arrival = LinExpr::new();
-            for (k, alloc_row) in vars.alloc.iter().enumerate().take(j + 1) {
-                let _ = k;
-                service_le_arrival.add_term(alloc_row[&m], 1.0);
-            }
-            service_le_arrival.add_term(r0, -1.0);
-            service_le_arrival.add_term(ka, -1.0);
-            model.add_constraint(
-                format!("c41[{name}][{j}]"),
-                service_le_arrival,
-                ttw_milp::ConstraintOp::Le,
-                0.0,
-            );
-
-            // (Eq. 12 / C4.2) service before round j covers every expired deadline.
-            let mut service_ge_demand = LinExpr::new();
-            for alloc_row in vars.alloc.iter().take(j) {
-                service_ge_demand.add_term(alloc_row[&m], -1.0);
-            }
-            service_ge_demand.add_term(r0, 1.0);
-            service_ge_demand.add_term(kd, 1.0);
-            model.add_constraint(
-                format!("c42[{name}][{j}]"),
-                service_ge_demand,
-                ttw_milp::ConstraintOp::Le,
-                0.0,
-            );
-        }
-
         // (C4.4) as many slots as instances over one hyperperiod (Eq. 46).
-        let total = LinExpr::from_terms(vars.alloc.iter().map(|row| (row[&m], 1.0)));
-        model.add_constraint(
+        let id = model.add_constraint(
             format!("c44[{name}]"),
-            total,
+            LinExpr::new(),
             ttw_milp::ConstraintOp::Eq,
             n_inst,
         );
+        c44.insert(m, id);
     }
 
-    // (C4.3) at most B slots per round.
-    for (j, row) in vars.alloc.iter().enumerate() {
-        let expr = LinExpr::from_terms(row.values().map(|&v| (v, 1.0)));
-        model.add_constraint(
-            format!("c43[{j}]"),
-            expr,
-            ttw_milp::ConstraintOp::Le,
-            config.slots_per_round as f64,
-        );
-    }
-
-    Ok(IlpInstance {
+    let mut instance = IlpInstance {
         model,
         vars,
         scale: tr,
-        num_rounds,
-    })
+        num_rounds: 0,
+        hyper,
+        mm,
+        tie_break,
+        leftover,
+        c44,
+    };
+    for _ in 0..num_rounds {
+        instance.add_round(system, mode, config);
+    }
+
+    // ------------------------------------------------------------------
+    // Minimal inheritance: pin the offsets of inherited applications to the
+    // values already committed by an earlier mode's schedule. Entities not
+    // part of this mode are ignored.
+    // ------------------------------------------------------------------
+    for (t, &offset) in &inherited.task_offsets {
+        if let Some(&v) = instance.vars.task_offset.get(t) {
+            instance.model.fix_var(v, offset / tr);
+        }
+    }
+    for (m, &offset) in &inherited.message_offsets {
+        if let Some(&v) = instance.vars.message_offset.get(m) {
+            instance.model.fix_var(v, offset / tr);
+        }
+    }
+    for (m, &deadline) in &inherited.message_deadlines {
+        if let Some(&v) = instance.vars.message_deadline.get(m) {
+            instance.model.fix_var(v, deadline / tr);
+        }
+    }
+
+    Ok(instance)
 }
 
 /// Converts an optimal MILP solution back into a [`ModeSchedule`].
@@ -627,5 +739,75 @@ mod tests {
         let (sys, mode) = fixtures::fig3_system();
         let bad = SchedulerConfig::new(0, 5);
         assert!(build_ilp(&sys, mode, &bad, 1).is_err());
+    }
+
+    #[test]
+    fn growing_an_instance_matches_a_from_scratch_build() {
+        let (sys, mode) = fixtures::fig3_system();
+        let config = fig3_config();
+        let mut grown = build_ilp(&sys, mode, &config, 1).expect("valid instance");
+        grown.add_round(&sys, mode, &config);
+        let fresh = build_ilp(&sys, mode, &config, 2).expect("valid instance");
+        assert_eq!(grown.num_rounds(), 2);
+        assert_eq!(grown.model.num_vars(), fresh.model.num_vars());
+        assert_eq!(grown.model.num_constraints(), fresh.model.num_constraints());
+        // Both reach the same optimum (the grown model adds the same rows,
+        // only in a different order).
+        let a = grown.model.solve().expect("solver runs");
+        let b = fresh.model.solve().expect("solver runs");
+        assert!(a.is_optimal() && b.is_optimal());
+        assert!(
+            (a.objective - b.objective).abs() < 1e-6,
+            "grown {} vs fresh {}",
+            a.objective,
+            b.objective
+        );
+    }
+
+    #[test]
+    fn inherited_offsets_are_pinned_in_the_solution() {
+        let (sys, mode) = fixtures::fig3_system();
+        let config = fig3_config();
+        // Synthesize once, then rebuild with every ctrl offset pinned to the
+        // synthesized values: the new solution must reproduce them exactly.
+        let schedule = crate::synthesis::synthesize_mode(&sys, mode, &config).expect("feasible");
+        let app = sys.application_id("ctrl").expect("app exists");
+        let mut pins = InheritedOffsets::none();
+        pins.import_application(&sys, app, &schedule);
+        let instance = build_ilp_inherited(&sys, mode, &config, schedule.num_rounds(), &pins)
+            .expect("valid instance");
+        let solution = instance.model.solve().expect("solver runs");
+        assert!(solution.is_optimal(), "pinned instance stays feasible");
+        let pinned = extract_schedule(
+            &sys,
+            mode,
+            &config,
+            &instance,
+            &solution,
+            SynthesisStats::default(),
+        );
+        for (t, &offset) in &schedule.task_offsets {
+            assert!(
+                (pinned.task_offsets[t] - offset).abs() < 1e-6,
+                "task {t} moved from {offset} to {}",
+                pinned.task_offsets[t]
+            );
+        }
+        for (m, &offset) in &schedule.message_offsets {
+            assert!((pinned.message_offsets[m] - offset).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pins_for_foreign_entities_are_ignored() {
+        let (sys, mode) = fixtures::fig3_system();
+        let mut pins = InheritedOffsets::none();
+        pins.task_offsets
+            .insert(crate::ids::TaskId::from_index(999), 1234.0);
+        pins.message_offsets
+            .insert(crate::ids::MessageId::from_index(999), 1234.0);
+        let instance =
+            build_ilp_inherited(&sys, mode, &fig3_config(), 2, &pins).expect("valid instance");
+        assert!(instance.model.solve().expect("solver runs").is_optimal());
     }
 }

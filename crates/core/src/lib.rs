@@ -9,8 +9,13 @@
 //! * [`calculus`] — arrival/demand/service counting functions (Eq. 1–3, 10).
 //! * [`ilp`] — the ILP formulation of the appendix (constraints C1–C4 and the
 //!   latency objective), built on the [`ttw_milp`] solver.
-//! * [`synthesis`] — Algorithm 1: minimal number of rounds, then minimal
-//!   end-to-end latency.
+//! * [`modegraph`] — the mode graph and minimal inheritance of Sec. V:
+//!   applications shared between modes keep identical offsets, so mode
+//!   changes never re-time a running application.
+//! * [`synthesis`] — Algorithm 1 (minimal number of rounds, then minimal
+//!   end-to-end latency) per mode, lifted to the mode graph by
+//!   [`synthesis::synthesize_system`] with inherited offsets pinned through
+//!   the solver's bound-tightening API.
 //! * [`validate`] — an independent checker that re-verifies every synthesized
 //!   schedule against the model semantics.
 //! * [`heuristic`] — a greedy co-scheduler used as an ablation baseline.
@@ -44,6 +49,7 @@ pub mod heuristic;
 pub mod ids;
 pub mod ilp;
 pub mod json;
+pub mod modegraph;
 pub mod schedule;
 pub mod spec;
 pub mod synthesis;
@@ -55,6 +61,10 @@ pub use chains::{Chain, ChainElement};
 pub use config::SchedulerConfig;
 pub use error::{ModelError, ScheduleError, ScheduleViolation};
 pub use ids::{AppId, MessageId, ModeId, NodeId, TaskId};
-pub use schedule::{ModeSchedule, ScheduledRound, SynthesisStats};
+pub use modegraph::{InheritedOffsets, ModeGraph, VirtualLegacyMode};
+pub use schedule::{ModeSchedule, ScheduledRound, SynthesisStats, SystemSchedule};
 pub use spec::{ApplicationSpec, MessageSpec, TaskSpec};
+pub use synthesis::{
+    HeuristicSynthesizer, IlpSynthesizer, SynthesisFailure, Synthesizer, SystemSynthesisError,
+};
 pub use system::{Application, Message, Mode, Node, PrecedenceEdge, System, Task};

@@ -130,6 +130,72 @@ impl ModeSchedule {
     }
 }
 
+/// The schedules of every mode of a system, plus the inheritance metadata the
+/// mode-graph synthesis pipeline produced (paper Sec. V).
+///
+/// This is the deployment artifact of multi-mode synthesis: one
+/// [`ModeSchedule`] per mode, the record of which applications each mode
+/// inherited (and from where), and the per-mode synthesis statistics — the
+/// latter kept even for modes whose synthesis *failed*, so partial progress
+/// stays reportable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SystemSchedule {
+    /// Successfully synthesized schedules, keyed by mode.
+    pub schedules: BTreeMap<ModeId, ModeSchedule>,
+    /// For every scheduled mode, the applications whose offsets were
+    /// inherited and the mode each was inherited from. The root mode (and any
+    /// mode without shared applications) maps to an empty table.
+    pub inheritance: BTreeMap<ModeId, BTreeMap<AppId, ModeId>>,
+    /// Per-mode synthesis statistics. Contains an entry for every mode that
+    /// was *attempted*, including a mode whose synthesis failed — which is how
+    /// a partial result reports the work done before the failure.
+    pub stats: BTreeMap<ModeId, SynthesisStats>,
+}
+
+impl SystemSchedule {
+    /// An empty system schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The schedule of `mode`, if it was synthesized.
+    pub fn get(&self, mode: ModeId) -> Option<&ModeSchedule> {
+        self.schedules.get(&mode)
+    }
+
+    /// Number of modes with a schedule.
+    pub fn num_modes(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// Iterates over the mode schedules in mode-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ModeId, &ModeSchedule)> {
+        self.schedules.iter().map(|(&m, s)| (m, s))
+    }
+
+    /// Clones the schedules into a vector in mode-id order (the shape the
+    /// runtime's slot-table builder consumes).
+    pub fn to_vec(&self) -> Vec<ModeSchedule> {
+        self.schedules.values().cloned().collect()
+    }
+
+    /// The mode `app`'s offsets were inherited from when `mode` was
+    /// synthesized, if they were inherited at all.
+    pub fn inherited_source(&self, mode: ModeId, app: AppId) -> Option<ModeId> {
+        self.inheritance.get(&mode)?.get(&app).copied()
+    }
+
+    /// Total branch-and-bound nodes over every attempted mode.
+    pub fn total_milp_nodes(&self) -> usize {
+        self.stats.values().map(|s| s.milp_nodes).sum()
+    }
+
+    /// Total simplex pivots over every attempted mode.
+    pub fn total_simplex_iterations(&self) -> usize {
+        self.stats.values().map(|s| s.simplex_iterations).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +256,39 @@ mod tests {
         let json = crate::export::schedule_to_json(&s).expect("serialize");
         let back = crate::export::schedule_from_json(&json).expect("deserialize");
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn system_schedule_aggregates_stats_and_metadata() {
+        let mut ss = SystemSchedule::new();
+        let mode = ModeId::from_index(0);
+        let mut sched = sample_schedule();
+        sched.stats.milp_nodes = 7;
+        sched.stats.simplex_iterations = 11;
+        ss.stats.insert(mode, sched.stats.clone());
+        ss.schedules.insert(mode, sched);
+        ss.inheritance.insert(mode, BTreeMap::new());
+        // A second mode that was attempted but failed still contributes stats.
+        let failed = ModeId::from_index(1);
+        ss.stats.insert(
+            failed,
+            SynthesisStats {
+                rounds_attempted: vec![1, 2],
+                milp_nodes: 3,
+                simplex_iterations: 5,
+                variables: 0,
+                constraints: 0,
+            },
+        );
+        assert_eq!(ss.num_modes(), 1);
+        assert!(ss.get(mode).is_some());
+        assert!(ss.get(failed).is_none());
+        assert_eq!(ss.total_milp_nodes(), 10);
+        assert_eq!(ss.total_simplex_iterations(), 16);
+        assert_eq!(ss.to_vec().len(), 1);
+        assert_eq!(
+            ss.inherited_source(mode, crate::ids::AppId::from_index(0)),
+            None
+        );
     }
 }

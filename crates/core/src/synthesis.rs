@@ -1,19 +1,250 @@
-//! Schedule synthesis driver — Algorithm 1 of the paper.
+//! Schedule synthesis driver — Algorithm 1 of the paper, lifted to the mode
+//! graph (Sec. V).
 //!
-//! The number of communication rounds `R_M` is not known in advance: the
-//! driver formulates the ILP for `R_M = 0, 1, 2, …` and returns the first
-//! feasible schedule, which is therefore optimal in the number of rounds.
-//! The latency objective of each ILP then makes that schedule latency-optimal
-//! among all schedules using `R_M` rounds.
+//! Single-mode synthesis works as before: the number of communication rounds
+//! `R_M` is not known in advance, so the driver formulates the ILP for
+//! `R_M = 0, 1, 2, …` and returns the first feasible schedule, which is
+//! therefore optimal in the number of rounds; the latency objective of each
+//! ILP then makes that schedule latency-optimal among all schedules using
+//! `R_M` rounds. The sweep is *incremental*: one ILP instance is built and
+//! grown round by round ([`crate::ilp::IlpInstance::add_round`]) instead of
+//! being rebuilt per attempt.
+//!
+//! Multi-mode synthesis ([`synthesize_system`]) walks a [`ModeGraph`] in its
+//! deterministic synthesis order and applies *minimal inheritance*: every
+//! application already scheduled in an earlier mode has its task and message
+//! offsets pinned when later modes are synthesized, so all modes sharing an
+//! application agree on its timing — the switch-consistency property the
+//! runtime's two-phase mode change relies on.
+//!
+//! The actual per-mode backend is abstracted behind the [`Synthesizer`]
+//! trait, with the exact ILP ([`IlpSynthesizer`]) and the greedy list
+//! scheduler ([`HeuristicSynthesizer`]) as the two implementations.
 
 use crate::config::SchedulerConfig;
 use crate::error::ScheduleError;
+use crate::heuristic;
 use crate::ids::ModeId;
 use crate::ilp;
-use crate::schedule::{ModeSchedule, SynthesisStats};
+use crate::modegraph::{InheritedOffsets, ModeGraph};
+use crate::schedule::{ModeSchedule, SynthesisStats, SystemSchedule};
 use crate::system::System;
+use std::error::Error;
+use std::fmt;
 
-/// Synthesizes the schedule of one mode (Algorithm 1).
+/// A failed synthesis attempt, carrying the statistics of the work performed
+/// before the failure (rounds attempted, B&B nodes, simplex pivots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisFailure {
+    /// Why the mode could not be scheduled.
+    pub error: ScheduleError,
+    /// The work performed before giving up.
+    pub stats: SynthesisStats,
+}
+
+impl fmt::Display for SynthesisFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.error)
+    }
+}
+
+impl Error for SynthesisFailure {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<ScheduleError> for SynthesisFailure {
+    fn from(error: ScheduleError) -> Self {
+        SynthesisFailure {
+            error,
+            stats: SynthesisStats::default(),
+        }
+    }
+}
+
+/// A per-mode schedule synthesis backend.
+///
+/// Implementations receive the offsets inherited from already-synthesized
+/// modes and must either honor them exactly or reject the request with
+/// [`ScheduleError::Unsupported`].
+pub trait Synthesizer {
+    /// Human-readable backend name (used in reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// Synthesizes the schedule of one mode under the given inherited offsets.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthesisFailure`] wrapping the underlying
+    /// [`ScheduleError`] together with the statistics of the attempted work.
+    fn synthesize(
+        &self,
+        system: &System,
+        mode: ModeId,
+        config: &SchedulerConfig,
+        inherited: &InheritedOffsets,
+    ) -> Result<ModeSchedule, SynthesisFailure>;
+}
+
+/// The exact backend: Algorithm 1 over the ILP of Sec. IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IlpSynthesizer {
+    /// When `true` (the default), the `R_M` sweep grows one ILP instance in
+    /// place instead of rebuilding the model per round count — the
+    /// round-independent constraint blocks (precedence, deadlines, the
+    /// quadratic task non-overlap block) are built once.
+    pub incremental: bool,
+}
+
+impl Default for IlpSynthesizer {
+    fn default() -> Self {
+        IlpSynthesizer { incremental: true }
+    }
+}
+
+impl IlpSynthesizer {
+    /// A backend that rebuilds the ILP from scratch for every round count —
+    /// the pre-incremental behaviour, kept for benchmarking the difference.
+    pub fn from_scratch() -> Self {
+        IlpSynthesizer { incremental: false }
+    }
+}
+
+impl Synthesizer for IlpSynthesizer {
+    fn name(&self) -> &'static str {
+        if self.incremental {
+            "ilp-incremental"
+        } else {
+            "ilp-from-scratch"
+        }
+    }
+
+    fn synthesize(
+        &self,
+        system: &System,
+        mode: ModeId,
+        config: &SchedulerConfig,
+        inherited: &InheritedOffsets,
+    ) -> Result<ModeSchedule, SynthesisFailure> {
+        config.validate()?;
+
+        let hyperperiod = system.hyperperiod(mode);
+        let fit = (hyperperiod / config.round_duration) as usize;
+        let r_max = config.max_rounds.map_or(fit, |cap| cap.min(fit));
+
+        let mut stats = SynthesisStats::default();
+        let messages = system.messages_in_mode(mode);
+
+        // Lower bound on the number of rounds: enough slots must exist for
+        // every message instance of the hyperperiod. Starting there skips
+        // ILPs that are trivially infeasible, without affecting optimality.
+        let total_instances: usize = messages
+            .iter()
+            .map(|&m| (hyperperiod / system.message_period(m)) as usize)
+            .sum();
+        let min_rounds = total_instances.div_ceil(config.slots_per_round.max(1));
+
+        let infeasible = |stats: SynthesisStats| SynthesisFailure {
+            error: ScheduleError::Infeasible {
+                mode,
+                max_rounds_tried: r_max,
+            },
+            stats,
+        };
+        if min_rounds > r_max {
+            return Err(infeasible(stats));
+        }
+
+        let mut instance = if self.incremental {
+            Some(
+                ilp::build_ilp_inherited(system, mode, config, min_rounds, inherited)
+                    .map_err(SynthesisFailure::from)?,
+            )
+        } else {
+            None
+        };
+
+        for num_rounds in min_rounds..=r_max {
+            let current = match instance.as_mut() {
+                Some(current) => {
+                    while current.num_rounds() < num_rounds {
+                        current.add_round(system, mode, config);
+                    }
+                    current
+                }
+                None => {
+                    instance = Some(
+                        ilp::build_ilp_inherited(system, mode, config, num_rounds, inherited)
+                            .map_err(SynthesisFailure::from)?,
+                    );
+                    instance.as_mut().expect("just built")
+                }
+            };
+            stats.rounds_attempted.push(num_rounds);
+            stats.variables = current.model.num_vars();
+            stats.constraints = current.model.num_constraints();
+            let solution = match current.model.solve() {
+                Ok(solution) => solution,
+                Err(e) => {
+                    return Err(SynthesisFailure {
+                        error: ScheduleError::Solver(e),
+                        stats,
+                    })
+                }
+            };
+            stats.milp_nodes += solution.nodes_explored;
+            stats.simplex_iterations += solution.simplex_iterations;
+            if solution.is_optimal() {
+                return Ok(ilp::extract_schedule(
+                    system, mode, config, current, &solution, stats,
+                ));
+            }
+            if !self.incremental {
+                instance = None;
+            }
+        }
+
+        Err(infeasible(stats))
+    }
+}
+
+/// The greedy list-scheduling backend (ablation baseline).
+///
+/// Only supports synthesis *from scratch*: inherited offsets would require
+/// pinning support the greedy packing does not have, so non-empty inheritance
+/// is rejected with [`ScheduleError::Unsupported`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeuristicSynthesizer;
+
+impl Synthesizer for HeuristicSynthesizer {
+    fn name(&self) -> &'static str {
+        "greedy-heuristic"
+    }
+
+    fn synthesize(
+        &self,
+        system: &System,
+        mode: ModeId,
+        config: &SchedulerConfig,
+        inherited: &InheritedOffsets,
+    ) -> Result<ModeSchedule, SynthesisFailure> {
+        if !inherited.is_empty() {
+            return Err(ScheduleError::Unsupported {
+                reason: format!(
+                    "the greedy heuristic cannot honor {} inherited offsets; \
+                     use the ILP backend for modes with shared applications",
+                    inherited.len()
+                ),
+            }
+            .into());
+        }
+        heuristic::synthesize_mode_heuristic(system, mode, config).map_err(SynthesisFailure::from)
+    }
+}
+
+/// Synthesizes the schedule of one mode (Algorithm 1) with the default exact
+/// backend and no inheritance.
 ///
 /// Tries `R_M = 0, 1, …, R_max` rounds, where
 /// `R_max = ⌊LCM / T_r⌋` (or the explicit cap from the configuration), and
@@ -30,60 +261,113 @@ pub fn synthesize_mode(
     mode: ModeId,
     config: &SchedulerConfig,
 ) -> Result<ModeSchedule, ScheduleError> {
-    config.validate()?;
-
-    let hyperperiod = system.hyperperiod(mode);
-    let fit = (hyperperiod / config.round_duration) as usize;
-    let r_max = config.max_rounds.map_or(fit, |cap| cap.min(fit));
-
-    let mut stats = SynthesisStats::default();
-    let messages = system.messages_in_mode(mode);
-
-    // Lower bound on the number of rounds: enough slots must exist for every
-    // message instance of the hyperperiod. Starting there skips ILPs that are
-    // trivially infeasible, without affecting optimality.
-    let total_instances: usize = messages
-        .iter()
-        .map(|&m| (hyperperiod / system.message_period(m)) as usize)
-        .sum();
-    let min_rounds = total_instances.div_ceil(config.slots_per_round.max(1));
-
-    for num_rounds in min_rounds..=r_max {
-        let instance = ilp::build_ilp(system, mode, config, num_rounds)?;
-        stats.rounds_attempted.push(num_rounds);
-        stats.variables = instance.model.num_vars();
-        stats.constraints = instance.model.num_constraints();
-        let solution = instance.model.solve()?;
-        stats.milp_nodes += solution.nodes_explored;
-        stats.simplex_iterations += solution.simplex_iterations;
-        if solution.is_optimal() {
-            return Ok(ilp::extract_schedule(
-                system, mode, config, &instance, &solution, stats,
-            ));
-        }
-    }
-
-    Err(ScheduleError::Infeasible {
-        mode,
-        max_rounds_tried: r_max,
-    })
+    IlpSynthesizer::default()
+        .synthesize(system, mode, config, &InheritedOffsets::none())
+        .map_err(|f| f.error)
 }
 
-/// Synthesizes the schedules of every mode of the system with the same
-/// configuration, in mode-id order.
+/// A multi-mode synthesis failure: which mode failed, why, and everything that
+/// *was* synthesized before the failure.
+///
+/// The partial [`SystemSchedule`] keeps the schedules of every mode completed
+/// earlier **and** the statistics of the failed attempt itself, so callers can
+/// report partial progress instead of losing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSynthesisError {
+    /// The mode whose synthesis failed.
+    pub mode: ModeId,
+    /// Why it failed.
+    pub error: ScheduleError,
+    /// Schedules and statistics accumulated before (and during) the failure.
+    pub partial: SystemSchedule,
+}
+
+impl fmt::Display for SystemSynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "synthesis of mode {} failed after {} mode(s) succeeded: {}",
+            self.mode,
+            self.partial.num_modes(),
+            self.error
+        )
+    }
+}
+
+impl Error for SystemSynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Synthesizes every mode of the system over a mode graph with minimal
+/// inheritance (paper Sec. V).
+///
+/// Modes are processed in [`ModeGraph::synthesis_order`]; for each mode, the
+/// applications already scheduled in an earlier mode have their offsets
+/// pinned (inherited), so every pair of modes sharing an application is
+/// switch-consistent. The result bundles all mode schedules, the inheritance
+/// metadata, and per-mode synthesis statistics.
 ///
 /// # Errors
 ///
-/// Fails on the first mode that cannot be scheduled (see
-/// [`synthesize_mode`]); schedules of earlier modes are discarded.
+/// Returns a boxed [`SystemSynthesisError`] carrying the partial
+/// [`SystemSchedule`] if any mode cannot be scheduled.
+pub fn synthesize_system(
+    system: &System,
+    graph: &ModeGraph,
+    config: &SchedulerConfig,
+    backend: &dyn Synthesizer,
+) -> Result<SystemSchedule, Box<SystemSynthesisError>> {
+    let plan = graph.inheritance_plan(system);
+    let mut result = SystemSchedule::new();
+
+    for mode in graph.synthesis_order() {
+        let sources = plan.get(&mode).cloned().unwrap_or_default();
+        let mut inherited = InheritedOffsets::none();
+        for (&app, &source) in &sources {
+            if let Some(donor) = result.get(source) {
+                inherited.import_application(system, app, donor);
+            }
+        }
+        match backend.synthesize(system, mode, config, &inherited) {
+            Ok(schedule) => {
+                result.stats.insert(mode, schedule.stats.clone());
+                result.inheritance.insert(mode, sources);
+                result.schedules.insert(mode, schedule);
+            }
+            Err(failure) => {
+                result.stats.insert(mode, failure.stats);
+                return Err(Box::new(SystemSynthesisError {
+                    mode,
+                    error: failure.error,
+                    partial: result,
+                }));
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// Synthesizes the schedules of every mode of the system with the same
+/// configuration, assuming the complete switch graph (any mode can change to
+/// any other) and therefore full cross-mode inheritance.
+///
+/// # Errors
+///
+/// Fails on the first mode that cannot be scheduled; unlike the pre-mode-graph
+/// driver, the schedules **and statistics** of earlier modes are preserved in
+/// [`SystemSynthesisError::partial`].
 pub fn synthesize_all_modes(
     system: &System,
     config: &SchedulerConfig,
-) -> Result<Vec<ModeSchedule>, ScheduleError> {
-    system
-        .modes()
-        .map(|(mode, _)| synthesize_mode(system, mode, config))
-        .collect()
+) -> Result<SystemSchedule, Box<SystemSynthesisError>> {
+    synthesize_system(
+        system,
+        &ModeGraph::complete(system),
+        config,
+        &IlpSynthesizer::default(),
+    )
 }
 
 #[cfg(test)]
@@ -91,7 +375,7 @@ mod tests {
     use super::*;
     use crate::fixtures;
     use crate::time::millis;
-    use crate::validate::validate_schedule;
+    use crate::validate::{validate_schedule, validate_system_schedule};
 
     fn config() -> SchedulerConfig {
         SchedulerConfig::new(millis(10), 5)
@@ -129,6 +413,24 @@ mod tests {
     }
 
     #[test]
+    fn incremental_and_from_scratch_backends_agree() {
+        let (sys, mode) = fixtures::fig3_system();
+        let pins = InheritedOffsets::none();
+        let incremental = IlpSynthesizer::default()
+            .synthesize(&sys, mode, &config(), &pins)
+            .expect("feasible");
+        let scratch = IlpSynthesizer::from_scratch()
+            .synthesize(&sys, mode, &config(), &pins)
+            .expect("feasible");
+        assert_eq!(incremental.num_rounds(), scratch.num_rounds());
+        assert!((incremental.total_latency - scratch.total_latency).abs() < 1e-6);
+        assert_eq!(
+            incremental.stats.rounds_attempted,
+            scratch.stats.rounds_attempted
+        );
+    }
+
+    #[test]
     fn tasks_only_mode_needs_zero_rounds() {
         let (sys, mode) = fixtures::synthetic_mode(2, 1, 2, millis(50));
         let schedule = synthesize_mode(&sys, mode, &config()).expect("feasible");
@@ -156,11 +458,125 @@ mod tests {
     #[test]
     fn synthesize_all_modes_covers_every_mode() {
         let (sys, normal, emergency) = fixtures::two_mode_system();
-        let schedules = synthesize_all_modes(&sys, &config()).expect("both modes feasible");
-        assert_eq!(schedules.len(), 2);
-        assert_eq!(schedules[0].mode, normal);
-        assert_eq!(schedules[1].mode, emergency);
-        assert_eq!(schedules[0].hyperperiod, millis(100));
-        assert_eq!(schedules[1].hyperperiod, millis(50));
+        let result = synthesize_all_modes(&sys, &config()).expect("both modes feasible");
+        assert_eq!(result.num_modes(), 2);
+        assert!(result.get(normal).is_some());
+        assert!(result.get(emergency).is_some());
+        assert_eq!(
+            result.get(normal).expect("scheduled").hyperperiod,
+            millis(100)
+        );
+        assert_eq!(
+            result.get(emergency).expect("scheduled").hyperperiod,
+            millis(100)
+        );
+        // Stats were recorded for both modes.
+        assert_eq!(result.stats.len(), 2);
+        assert!(result.total_milp_nodes() > 0);
+    }
+
+    #[test]
+    fn inherited_synthesis_makes_shared_apps_switch_consistent() {
+        let (sys, graph, normal, emergency) = fixtures::two_mode_graph();
+        let result = synthesize_system(&sys, &graph, &config(), &IlpSynthesizer::default())
+            .expect("both modes feasible");
+
+        // The shared control application keeps its exact offsets across modes.
+        let ctrl = sys.application_id("ctrl").expect("app exists");
+        let normal_sched = result.get(normal).expect("scheduled");
+        let emergency_sched = result.get(emergency).expect("scheduled");
+        for &t in &sys.application(ctrl).tasks {
+            assert!(
+                (normal_sched.task_offsets[&t] - emergency_sched.task_offsets[&t]).abs() < 1e-6,
+                "task {t} offset differs across modes"
+            );
+        }
+        for &m in &sys.application(ctrl).messages {
+            assert!(
+                (normal_sched.message_offsets[&m] - emergency_sched.message_offsets[&m]).abs()
+                    < 1e-6
+            );
+            assert!(
+                (normal_sched.message_deadlines[&m] - emergency_sched.message_deadlines[&m]).abs()
+                    < 1e-6
+            );
+        }
+
+        // Inheritance metadata records where the offsets came from.
+        assert_eq!(result.inherited_source(emergency, ctrl), Some(normal));
+        assert_eq!(result.inherited_source(normal, ctrl), None);
+
+        // Both per-mode schedules and the cross-mode property validate.
+        let violations = validate_system_schedule(&sys, &config(), &result);
+        assert!(violations.is_empty(), "validator found: {violations:?}");
+    }
+
+    #[test]
+    fn failed_mode_keeps_partial_progress_and_stats() {
+        // Mode 0 is schedulable; mode 1 has a 5 ms period that cannot fit a
+        // single 10 ms round, so it fails — but mode 0's schedule and both
+        // modes' stats must survive in the partial result.
+        let mut sys = System::new();
+        sys.add_node("a").expect("node");
+        sys.add_node("b").expect("node");
+        let ok = sys
+            .add_application(
+                &crate::spec::ApplicationSpec::new("ok", millis(100), millis(100))
+                    .with_task("ok.t0", "a", millis(1))
+                    .with_task("ok.t1", "b", millis(1))
+                    .with_message("ok.m", ["ok.t0"], ["ok.t1"]),
+            )
+            .expect("valid app");
+        let bad = sys
+            .add_application(
+                &crate::spec::ApplicationSpec::new("bad", millis(5), millis(5))
+                    .with_task("bad.t0", "a", millis(1))
+                    .with_task("bad.t1", "b", millis(1))
+                    .with_message("bad.m", ["bad.t0"], ["bad.t1"]),
+            )
+            .expect("valid app");
+        let m0 = sys.add_mode("first", &[ok]).expect("valid mode");
+        let m1 = sys.add_mode("second", &[bad]).expect("valid mode");
+
+        let err = *synthesize_all_modes(&sys, &config()).expect_err("second mode infeasible");
+        assert_eq!(err.mode, m1);
+        assert!(matches!(err.error, ScheduleError::Infeasible { .. }));
+        // Partial progress: the first mode's schedule and stats survive.
+        assert!(err.partial.get(m0).is_some());
+        assert!(err.partial.stats.contains_key(&m0));
+        assert!(
+            err.partial.stats.contains_key(&m1),
+            "the failed mode's attempted work is reported too"
+        );
+    }
+
+    #[test]
+    fn heuristic_backend_rejects_inheritance() {
+        let (sys, mode) = fixtures::fig3_system();
+        let schedule = synthesize_mode(&sys, mode, &config()).expect("feasible");
+        let app = sys.application_id("ctrl").expect("app exists");
+        let mut pins = InheritedOffsets::none();
+        pins.import_application(&sys, app, &schedule);
+        let err = HeuristicSynthesizer
+            .synthesize(&sys, mode, &config(), &pins)
+            .expect_err("pins unsupported");
+        assert!(matches!(err.error, ScheduleError::Unsupported { .. }));
+        // Without pins the heuristic backend works through the same trait.
+        let greedy = HeuristicSynthesizer
+            .synthesize(&sys, mode, &config(), &InheritedOffsets::none())
+            .expect("feasible");
+        assert!(greedy.num_rounds() >= 2);
+    }
+
+    #[test]
+    fn synthesizer_names_are_distinct() {
+        assert_ne!(
+            IlpSynthesizer::default().name(),
+            IlpSynthesizer::from_scratch().name()
+        );
+        assert_ne!(
+            IlpSynthesizer::default().name(),
+            HeuristicSynthesizer.name()
+        );
     }
 }

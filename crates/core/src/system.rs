@@ -112,7 +112,6 @@ pub struct System {
     message_names: HashMap<String, MessageId>,
     app_names: HashMap<String, AppId>,
     mode_names: HashMap<String, ModeId>,
-    apps_in_modes: HashSet<AppId>,
 }
 
 impl System {
@@ -211,11 +210,17 @@ impl System {
 
     /// Adds an operation mode containing the given applications.
     ///
+    /// Applications may be shared between modes — that is the premise of the
+    /// paper's multi-mode design (Sec. V): an application running in two modes
+    /// keeps executing across a mode change between them, which is why the
+    /// synthesis pipeline must give it the *same* offsets in both schedules
+    /// (see [`crate::modegraph`]). A mode may not list the same application
+    /// twice.
+    ///
     /// # Errors
     ///
     /// Returns a [`ModelError`] if the name is taken, the application list is
-    /// empty, or an application already belongs to another mode (the paper
-    /// assumes disjoint modes).
+    /// empty, or an application is listed twice in the same mode.
     pub fn add_mode(
         &mut self,
         name: impl Into<String>,
@@ -230,12 +235,9 @@ impl System {
         }
         let mut seen = HashSet::new();
         for &app in applications {
-            if self.apps_in_modes.contains(&app) || !seen.insert(app) {
+            if !seen.insert(app) {
                 return Err(ModelError::ApplicationReuse { app });
             }
-        }
-        for &app in applications {
-            self.apps_in_modes.insert(app);
         }
         let id = ModeId(self.modes.len());
         self.mode_names.insert(name.clone(), id);
@@ -386,6 +388,34 @@ impl System {
             .iter()
             .flat_map(|a| self.applications[a.index()].messages.iter().copied())
             .collect()
+    }
+
+    /// Modes that contain `app`, in mode-id order.
+    ///
+    /// An application in more than one mode keeps running across a change
+    /// between those modes; the synthesis pipeline must therefore schedule it
+    /// identically in all of them (switch consistency, paper Sec. V).
+    pub fn modes_of_application(&self, app: AppId) -> Vec<ModeId> {
+        self.modes
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.applications.contains(&app))
+            .map(|(i, _)| ModeId(i))
+            .collect()
+    }
+
+    /// Applications contained in both `a` and `b` (the applications that keep
+    /// running across a mode change between the two), in id order.
+    pub fn shared_applications(&self, a: ModeId, b: ModeId) -> Vec<AppId> {
+        let other: HashSet<AppId> = self.modes[b.index()].applications.iter().copied().collect();
+        let mut shared: Vec<AppId> = self.modes[a.index()]
+            .applications
+            .iter()
+            .copied()
+            .filter(|app| other.contains(app))
+            .collect();
+        shared.sort_unstable();
+        shared
     }
 
     /// All precedence edges of an application.
@@ -740,12 +770,23 @@ mod tests {
     }
 
     #[test]
-    fn modes_must_be_disjoint() {
+    fn modes_may_share_applications() {
         let mut sys = two_node_system();
         let a1 = sys.add_application(&simple_app()).unwrap();
-        sys.add_mode("m1", &[a1]).unwrap();
+        let m1 = sys.add_mode("m1", &[a1]).unwrap();
+        let m2 = sys
+            .add_mode("m2", &[a1])
+            .expect("modes may share applications");
+        assert_eq!(sys.modes_of_application(a1), vec![m1, m2]);
+        assert_eq!(sys.shared_applications(m1, m2), vec![a1]);
+    }
+
+    #[test]
+    fn a_mode_rejects_a_duplicated_application() {
+        let mut sys = two_node_system();
+        let a1 = sys.add_application(&simple_app()).unwrap();
         assert!(matches!(
-            sys.add_mode("m2", &[a1]),
+            sys.add_mode("m1", &[a1, a1]),
             Err(ModelError::ApplicationReuse { .. })
         ));
     }

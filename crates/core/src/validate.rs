@@ -11,11 +11,17 @@
 use crate::config::SchedulerConfig;
 use crate::error::ScheduleViolation;
 use crate::ids::ModeId;
-use crate::schedule::ModeSchedule;
+use crate::schedule::{ModeSchedule, SystemSchedule};
 use crate::system::{PrecedenceEdge, System};
 
 /// Absolute tolerance (µs) used when comparing schedule times.
 const TOL: f64 = 0.5;
+
+/// Absolute tolerance (µs) for cross-mode offset agreement. Much tighter than
+/// [`TOL`]: inherited offsets are pinned, so any disagreement beyond solver
+/// round-off is a pipeline bug, and at runtime a disagreement of any size
+/// re-times a running application across a mode change.
+const CROSS_MODE_TOL: f64 = 1e-3;
 
 /// Checks `schedule` against the model semantics and returns every violation
 /// found (an empty vector means the schedule is valid).
@@ -45,6 +51,88 @@ pub fn is_valid_schedule(
     schedule: &ModeSchedule,
 ) -> bool {
     validate_schedule(system, mode, config, schedule).is_empty()
+}
+
+/// Checks a complete [`SystemSchedule`]: every mode schedule individually,
+/// plus the cross-mode switch-consistency property (shared applications keep
+/// identical offsets in every mode that contains them).
+pub fn validate_system_schedule(
+    system: &System,
+    config: &SchedulerConfig,
+    schedule: &SystemSchedule,
+) -> Vec<ScheduleViolation> {
+    let mut violations = Vec::new();
+    for (mode, mode_schedule) in schedule.iter() {
+        violations.extend(validate_schedule(system, mode, config, mode_schedule));
+    }
+    violations.extend(check_cross_mode_consistency(system, schedule));
+    violations
+}
+
+/// Checks only the cross-mode switch-consistency property: for every
+/// application scheduled in two or more modes, its task offsets and message
+/// offsets/deadlines must agree (within solver round-off) across those modes.
+///
+/// This is the invariant the runtime's two-phase mode change silently relies
+/// on — an application running across a switch keeps its timing. The check is
+/// **pairwise** over all scheduled modes containing the application (not
+/// against a single reference mode): the runtime uses the reported pairs to
+/// refuse individual switches, so every inconsistent pair must be named.
+pub fn check_cross_mode_consistency(
+    system: &System,
+    schedule: &SystemSchedule,
+) -> Vec<ScheduleViolation> {
+    let mut violations = Vec::new();
+    for (app, spec) in system.applications() {
+        let scheduled_modes: Vec<ModeId> = system
+            .modes_of_application(app)
+            .into_iter()
+            .filter(|m| schedule.get(*m).is_some())
+            .collect();
+        for (i, &first_mode) in scheduled_modes.iter().enumerate() {
+            let reference = schedule.get(first_mode).expect("filtered above");
+            for &second_mode in scheduled_modes.iter().skip(i + 1) {
+                let other = schedule.get(second_mode).expect("filtered above");
+                let mut mismatch = |what: String, first: Option<f64>, second: Option<f64>| {
+                    let first = first.unwrap_or(f64::NAN);
+                    let second = second.unwrap_or(f64::NAN);
+                    if !(first.is_finite() && second.is_finite())
+                        || (first - second).abs() > CROSS_MODE_TOL
+                    {
+                        violations.push(ScheduleViolation::CrossModeOffsetMismatch {
+                            app,
+                            what: what.clone(),
+                            first_mode,
+                            second_mode,
+                            first,
+                            second,
+                        });
+                    }
+                };
+                for &t in &spec.tasks {
+                    mismatch(
+                        format!("task {} offset", system.task(t).name),
+                        reference.task_offset(t),
+                        other.task_offset(t),
+                    );
+                }
+                for &m in &spec.messages {
+                    let name = &system.message(m).name;
+                    mismatch(
+                        format!("message {name} offset"),
+                        reference.message_offset(m),
+                        other.message_offset(m),
+                    );
+                    mismatch(
+                        format!("message {name} deadline"),
+                        reference.message_deadline(m),
+                        other.message_deadline(m),
+                    );
+                }
+            }
+        }
+    }
+    violations
 }
 
 fn check_rounds(
@@ -408,6 +496,109 @@ mod tests {
             !violations.is_empty(),
             "tampered schedule must not validate"
         );
+    }
+
+    #[test]
+    fn cross_mode_tampering_is_detected() {
+        let (sys, graph, _, emergency) = fixtures::two_mode_graph();
+        let mut system_schedule = crate::synthesis::synthesize_system(
+            &sys,
+            &graph,
+            &config(),
+            &crate::synthesis::IlpSynthesizer::default(),
+        )
+        .expect("feasible");
+        assert!(
+            check_cross_mode_consistency(&sys, &system_schedule).is_empty(),
+            "inherited synthesis is consistent"
+        );
+        // Re-time one shared task in the emergency mode only: the runtime
+        // would now glitch the control loop on every mode change.
+        let tau3 = sys.task_id("ctrl.tau3").expect("task exists");
+        let emergency_schedule = system_schedule
+            .schedules
+            .get_mut(&emergency)
+            .expect("scheduled");
+        *emergency_schedule
+            .task_offsets
+            .get_mut(&tau3)
+            .expect("offset exists") += 500.0;
+        let violations = check_cross_mode_consistency(&sys, &system_schedule);
+        assert!(
+            violations.iter().any(|v| matches!(
+                v,
+                ScheduleViolation::CrossModeOffsetMismatch { second_mode, .. }
+                    if *second_mode == emergency
+            )),
+            "violations: {violations:?}"
+        );
+        // The full system validator reports it as well.
+        let all = validate_system_schedule(&sys, &config(), &system_schedule);
+        assert!(!all.is_empty());
+    }
+
+    #[test]
+    fn cross_mode_check_is_pairwise_over_three_modes() {
+        // Three modes share one task-only application. The first two agree,
+        // the third diverges: the check must name BOTH inconsistent pairs
+        // (m0, m2) and (m1, m2) — the runtime refuses switches per pair, so a
+        // reference-mode-only comparison would let the m1 -> m2 switch
+        // through.
+        let mut sys = crate::System::new();
+        sys.add_node("n").expect("node");
+        let app = sys
+            .add_application(
+                &crate::spec::ApplicationSpec::new("shared", millis(100), millis(100)).with_task(
+                    "shared.t",
+                    "n",
+                    millis(1),
+                ),
+            )
+            .expect("valid app");
+        let m0 = sys.add_mode("m0", &[app]).expect("valid mode");
+        let m1 = sys.add_mode("m1", &[app]).expect("valid mode");
+        let m2 = sys.add_mode("m2", &[app]).expect("valid mode");
+        let task = sys.task_id("shared.t").expect("task exists");
+
+        let schedule_with_offset = |mode, offset: f64| crate::schedule::ModeSchedule {
+            mode,
+            hyperperiod: millis(100),
+            round_duration: millis(10),
+            slots_per_round: 5,
+            task_offsets: BTreeMap::from([(task, offset)]),
+            message_offsets: BTreeMap::new(),
+            message_deadlines: BTreeMap::new(),
+            rounds: vec![],
+            app_latencies: BTreeMap::new(),
+            total_latency: 0.0,
+            stats: SynthesisStats::default(),
+        };
+        let mut system_schedule = crate::schedule::SystemSchedule::new();
+        system_schedule
+            .schedules
+            .insert(m0, schedule_with_offset(m0, 0.0));
+        system_schedule
+            .schedules
+            .insert(m1, schedule_with_offset(m1, 0.0));
+        system_schedule
+            .schedules
+            .insert(m2, schedule_with_offset(m2, 5000.0));
+
+        let violations = check_cross_mode_consistency(&sys, &system_schedule);
+        let pairs: Vec<(crate::ModeId, crate::ModeId)> = violations
+            .iter()
+            .filter_map(|v| match v {
+                ScheduleViolation::CrossModeOffsetMismatch {
+                    first_mode,
+                    second_mode,
+                    ..
+                } => Some((*first_mode, *second_mode)),
+                _ => None,
+            })
+            .collect();
+        assert!(pairs.contains(&(m0, m2)), "pairs: {pairs:?}");
+        assert!(pairs.contains(&(m1, m2)), "pairs: {pairs:?}");
+        assert!(!pairs.contains(&(m0, m1)), "consistent pair reported");
     }
 
     #[test]

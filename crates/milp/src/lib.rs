@@ -49,5 +49,5 @@ pub mod solution;
 
 pub use error::SolveError;
 pub use expr::{LinExpr, Term, VarId};
-pub use model::{ConstraintOp, Model, Sense, SolveParams, VarKind};
+pub use model::{Constraint, ConstraintId, ConstraintOp, Model, Sense, SolveParams, VarKind};
 pub use solution::{Solution, Status};

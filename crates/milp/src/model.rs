@@ -184,6 +184,80 @@ impl Model {
         self.add_var(name, VarKind::Binary, 0.0, 1.0)
     }
 
+    /// Tightens the bounds of an existing variable.
+    ///
+    /// This is the cheap alternative to rebuilding the model when a subset of
+    /// variables becomes known (e.g. offsets inherited from an already
+    /// synthesized mode): the column stays in place, only its feasible range
+    /// shrinks. For [`VarKind::Binary`] the bounds are clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this model.
+    pub fn set_var_bounds(&mut self, id: VarId, lower: f64, upper: f64) {
+        let v = &mut self.variables[id.0];
+        let (lower, upper) = match v.kind {
+            VarKind::Binary => (lower.clamp(0.0, 1.0), upper.clamp(0.0, 1.0)),
+            _ => (lower, upper),
+        };
+        v.lower = lower;
+        v.upper = upper;
+    }
+
+    /// Fixes a variable to a single value (`lower = upper = value`) without
+    /// rebuilding the model.
+    ///
+    /// Together with [`Model::set_var_bounds`] this is the pinning API used to
+    /// impose inherited task/message offsets during multi-mode schedule
+    /// synthesis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this model.
+    pub fn fix_var(&mut self, id: VarId, value: f64) {
+        self.set_var_bounds(id, value, value);
+    }
+
+    /// Adds (or merges) a term into the left-hand side of an existing
+    /// constraint.
+    ///
+    /// Used when growing a model incrementally: e.g. a new communication
+    /// round's allocation variable joins an existing per-message total-count
+    /// equality row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this model.
+    pub fn add_term_to_constraint(&mut self, id: ConstraintId, var: VarId, coeff: f64) {
+        self.constraints[id.0].expr.add_term(var, coeff);
+    }
+
+    /// Replaces the right-hand side of an existing constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this model.
+    pub fn set_constraint_rhs(&mut self, id: ConstraintId, rhs: f64) {
+        self.constraints[id.0].rhs = rhs;
+    }
+
+    /// Returns the constraint with the given handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this model.
+    pub fn constraint(&self, id: ConstraintId) -> &Constraint {
+        &self.constraints[id.0]
+    }
+
+    /// Adds (or merges) a term into the objective, keeping the current sense.
+    ///
+    /// Used when growing a model incrementally (new variables that must take
+    /// part in an anchoring/tie-breaking objective term).
+    pub fn add_objective_term(&mut self, var: VarId, coeff: f64) {
+        self.objective.add_term(var, coeff);
+    }
+
     /// Number of variables in the model.
     pub fn num_vars(&self) -> usize {
         self.variables.len()
@@ -445,6 +519,63 @@ mod tests {
             m.validate(),
             Err(SolveError::UnknownVariable { .. })
         ));
+    }
+
+    #[test]
+    fn fixing_a_variable_pins_the_optimum() {
+        // maximize x + y s.t. x + y <= 1.5; fixing x = 0.25 forces y to 1.
+        let mut m = Model::new("pin");
+        let x = m.add_continuous("x", 0.0, 1.0);
+        let y = m.add_continuous("y", 0.0, 1.0);
+        m.set_objective(Sense::Maximize, &[(x, 1.0), (y, 1.0)]);
+        m.add_le(&[(x, 1.0), (y, 1.0)], 1.5);
+        m.fix_var(x, 0.25);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.value(x) - 0.25).abs() < 1e-6);
+        assert!((s.value(y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binary_fix_is_clamped() {
+        let mut m = Model::new("pin");
+        let b = m.add_binary("b");
+        m.fix_var(b, 3.0);
+        assert_eq!(m.var(b).lower, 1.0);
+        assert_eq!(m.var(b).upper, 1.0);
+        m.set_var_bounds(b, -2.0, 0.0);
+        assert_eq!(m.var(b).lower, 0.0);
+        assert_eq!(m.var(b).upper, 0.0);
+    }
+
+    #[test]
+    fn growing_a_constraint_changes_the_solution() {
+        // minimize x + y s.t. x >= 2; later the row becomes x + y >= 2 and
+        // the rhs rises to 3, so the optimum moves from (2, 0) to sum 3.
+        let mut m = Model::new("grow");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.set_objective(Sense::Minimize, &[(x, 1.0), (y, 1.0)]);
+        let c = m.add_ge(&[(x, 1.0)], 2.0);
+        let s = m.solve().unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-6);
+        m.add_term_to_constraint(c, y, 1.0);
+        m.set_constraint_rhs(c, 3.0);
+        assert_eq!(m.constraint(c).rhs, 3.0);
+        let s = m.solve().unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn objective_terms_can_be_added_incrementally() {
+        let mut m = Model::new("obj");
+        let x = m.add_continuous("x", 1.0, 5.0);
+        let y = m.add_continuous("y", 1.0, 5.0);
+        m.set_objective(Sense::Minimize, &[(x, 1.0)]);
+        m.add_objective_term(y, 2.0);
+        let s = m.solve().unwrap();
+        // Both variables sit at their lower bound 1: objective 1 + 2.
+        assert!((s.objective - 3.0).abs() < 1e-6);
     }
 
     #[test]

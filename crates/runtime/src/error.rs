@@ -2,7 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
-use ttw_core::ModeId;
+use ttw_core::{AppId, ModeId};
 
 /// Errors raised while configuring or driving the TTW runtime simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +39,19 @@ pub enum RuntimeError {
         /// The requested mode.
         mode: ModeId,
     },
+    /// A mode change was requested between two modes whose schedules disagree
+    /// on the offsets of a shared application. Executing the switch would
+    /// silently re-time an application that keeps running across it, so a
+    /// [`crate::Simulation`] built from a
+    /// [`ttw_core::SystemSchedule`] refuses the request.
+    SwitchInconsistent {
+        /// The mode executing when the change was requested.
+        from: ModeId,
+        /// The requested target mode.
+        to: ModeId,
+        /// A shared application whose offsets disagree.
+        app: AppId,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -66,6 +79,11 @@ impl fmt::Display for RuntimeError {
             RuntimeError::UnknownMode { mode } => {
                 write!(f, "mode {mode} is not known to the runtime")
             }
+            RuntimeError::SwitchInconsistent { from, to, app } => write!(
+                f,
+                "switching {from} -> {to} would re-time shared application {app} \
+                 (schedules are not switch-consistent)"
+            ),
         }
     }
 }

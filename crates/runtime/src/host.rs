@@ -154,9 +154,10 @@ mod tests {
     fn two_mode_host() -> (Host, ModeId, ModeId) {
         let (sys, normal, emergency) = fixtures::two_mode_system();
         let config = SchedulerConfig::new(millis(10), 5);
-        let s1 = synthesis::synthesize_mode(&sys, normal, &config).expect("feasible");
-        let s2 = synthesis::synthesize_mode(&sys, emergency, &config).expect("feasible");
-        let tables = build_mode_tables(&sys, &[s1, s2]).expect("tables build");
+        let schedules = synthesis::synthesize_all_modes(&sys, &config)
+            .expect("feasible")
+            .to_vec();
+        let tables = build_mode_tables(&sys, &schedules).expect("tables build");
         (Host::new(tables, normal).expect("host"), normal, emergency)
     }
 

@@ -12,7 +12,7 @@ use crate::host::Host;
 use crate::node::{BeaconLossPolicy, NodeRuntime, RoundBelief};
 use crate::slot_table::{build_mode_tables, RoundDirectory};
 use crate::stats::RuntimeStats;
-use ttw_core::{ModeId, ModeSchedule, System};
+use ttw_core::{AppId, ModeId, ModeSchedule, ScheduleViolation, System, SystemSchedule};
 use ttw_netsim::flood::{simulate_flood, FloodConfig};
 use ttw_netsim::link::LinkModel;
 use ttw_netsim::radio::RadioAccounting;
@@ -79,6 +79,10 @@ pub struct Simulation {
     flood_config: FloodConfig,
     config: SimulationConfig,
     stats: RuntimeStats,
+    /// Mode pairs whose schedules disagree on a shared application's offsets.
+    /// Populated only when the simulation is built from a [`SystemSchedule`];
+    /// a mode change across such a pair is refused (switch consistency).
+    switch_conflicts: Vec<(ModeId, ModeId, AppId)>,
 }
 
 impl Simulation {
@@ -153,7 +157,67 @@ impl Simulation {
             flood_config,
             config,
             stats: RuntimeStats::default(),
+            switch_conflicts: Vec::new(),
         })
+    }
+
+    /// Creates a simulation from the [`SystemSchedule`] the mode-graph
+    /// synthesis pipeline produced.
+    ///
+    /// Unlike the raw `&[ModeSchedule]` constructor, this records which mode
+    /// pairs are *not* switch-consistent (shared applications with differing
+    /// offsets) and refuses mode-change requests across them — asserting at
+    /// mode-change time the property the two-phase procedure of Fig. 2
+    /// silently assumes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::new`].
+    pub fn from_system_schedule(
+        system: &System,
+        schedule: &SystemSchedule,
+        initial_mode: ModeId,
+        topology: Topology,
+        placement: NodePlacement,
+        config: SimulationConfig,
+    ) -> Result<Self, RuntimeError> {
+        let conflicts = switch_conflicts(system, schedule);
+        let mut sim = Self::new(
+            system,
+            &schedule.to_vec(),
+            initial_mode,
+            topology,
+            placement,
+            config,
+        )?;
+        sim.switch_conflicts = conflicts;
+        Ok(sim)
+    }
+
+    /// Convenience constructor: [`Simulation::from_system_schedule`] over a
+    /// clustered multi-hop topology (see
+    /// [`Simulation::with_clustered_topology`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::new`].
+    pub fn clustered_from_system_schedule(
+        system: &System,
+        schedule: &SystemSchedule,
+        initial_mode: ModeId,
+        diameter: usize,
+        config: SimulationConfig,
+    ) -> Result<Self, RuntimeError> {
+        let conflicts = switch_conflicts(system, schedule);
+        let mut sim = Self::with_clustered_topology(
+            system,
+            &schedule.to_vec(),
+            initial_mode,
+            diameter,
+            config,
+        )?;
+        sim.switch_conflicts = conflicts;
+        Ok(sim)
     }
 
     /// Convenience constructor: builds a clustered multi-hop topology with the
@@ -190,8 +254,24 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::UnknownMode`] for a mode without a schedule.
+    /// * [`RuntimeError::UnknownMode`] for a mode without a schedule.
+    /// * [`RuntimeError::SwitchInconsistent`] if the simulation was built from
+    ///   a [`SystemSchedule`] and the current and target schedules disagree on
+    ///   a shared application's offsets — the change would re-time a running
+    ///   application.
     pub fn request_mode_change(&mut self, target: ModeId) -> Result<(), RuntimeError> {
+        let from = self.host.current_mode();
+        if let Some(&(_, _, app)) = self
+            .switch_conflicts
+            .iter()
+            .find(|&&(a, b, _)| (a, b) == (from, target) || (a, b) == (target, from))
+        {
+            return Err(RuntimeError::SwitchInconsistent {
+                from,
+                to: target,
+                app,
+            });
+        }
         self.host.request_mode_change(target)
     }
 
@@ -334,6 +414,12 @@ impl Simulation {
         self.stats.elapsed_micros = host_round.start + self.host.current_table().round_duration;
     }
 
+    /// Mode pairs whose schedules disagree on a shared application (empty for
+    /// simulations built from raw schedule slices).
+    pub fn switch_conflicts(&self) -> &[(ModeId, ModeId, AppId)] {
+        &self.switch_conflicts
+    }
+
     /// Whether system node `node_index` initiates slot `slot_idx` of the round
     /// with id `round_id` according to its deployed tables.
     fn node_initiates(&self, node_index: usize, round_id: u8, slot_idx: usize) -> bool {
@@ -349,6 +435,28 @@ impl Simulation {
     }
 }
 
+/// Derives the switch-inconsistent mode pairs of a [`SystemSchedule`] from
+/// the core cross-mode validator: one entry per `(mode, mode, application)`
+/// whose offsets disagree.
+fn switch_conflicts(system: &System, schedule: &SystemSchedule) -> Vec<(ModeId, ModeId, AppId)> {
+    let mut conflicts: Vec<(ModeId, ModeId, AppId)> =
+        ttw_core::validate::check_cross_mode_consistency(system, schedule)
+            .into_iter()
+            .filter_map(|violation| match violation {
+                ScheduleViolation::CrossModeOffsetMismatch {
+                    app,
+                    first_mode,
+                    second_mode,
+                    ..
+                } => Some((first_mode, second_mode, app)),
+                _ => None,
+            })
+            .collect();
+    conflicts.sort_unstable();
+    conflicts.dedup();
+    conflicts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,12 +464,14 @@ mod tests {
     use ttw_core::{fixtures, synthesis, SchedulerConfig};
 
     fn schedules(system: &System) -> (Vec<ModeSchedule>, ModeId, ModeId) {
+        // The inherited pipeline keeps the shared control application
+        // switch-consistent and is an order of magnitude faster than
+        // synthesizing the emergency mode from scratch.
         let config = SchedulerConfig::new(millis(10), 5);
         let modes: Vec<ModeId> = system.modes().map(|(id, _)| id).collect();
-        let schedules = modes
-            .iter()
-            .map(|&m| synthesis::synthesize_mode(system, m, &config).expect("feasible"))
-            .collect();
+        let schedules = synthesis::synthesize_all_modes(system, &config)
+            .expect("feasible")
+            .to_vec();
         (schedules, modes[0], modes[1])
     }
 
@@ -460,6 +570,84 @@ mod tests {
             legacy.collisions >= 1,
             "the out-of-sync legacy node must collide with the new mode's initiator"
         );
+    }
+
+    #[test]
+    fn system_schedule_simulation_is_switch_consistent_end_to_end() {
+        // The full pipeline: mode graph -> inherited synthesis -> runtime.
+        let (sys, graph, normal, emergency) = fixtures::two_mode_graph();
+        let config = SchedulerConfig::new(millis(10), 5);
+        let schedule = synthesis::synthesize_system(
+            &sys,
+            &graph,
+            &config,
+            &synthesis::IlpSynthesizer::default(),
+        )
+        .expect("feasible");
+        let mut sim = Simulation::clustered_from_system_schedule(
+            &sys,
+            &schedule,
+            normal,
+            4,
+            SimulationConfig::default(),
+        )
+        .expect("simulation builds");
+        assert!(
+            sim.switch_conflicts().is_empty(),
+            "inherited synthesis must be switch-consistent"
+        );
+        sim.run_hyperperiods(2);
+        sim.request_mode_change(emergency)
+            .expect("consistent switch is allowed");
+        sim.run_hyperperiods(2);
+        assert_eq!(sim.current_mode(), emergency);
+        assert_eq!(sim.stats().collisions, 0);
+    }
+
+    #[test]
+    fn inconsistent_system_schedule_refuses_the_mode_change() {
+        let (sys, graph, normal, emergency) = fixtures::two_mode_graph();
+        let config = SchedulerConfig::new(millis(10), 5);
+        let mut schedule = synthesis::synthesize_system(
+            &sys,
+            &graph,
+            &config,
+            &synthesis::IlpSynthesizer::default(),
+        )
+        .expect("feasible");
+        // Sabotage: re-time a shared control task in the emergency mode only.
+        let tau3 = sys.task_id("ctrl.tau3").expect("task exists");
+        *schedule
+            .schedules
+            .get_mut(&emergency)
+            .expect("scheduled")
+            .task_offsets
+            .get_mut(&tau3)
+            .expect("offset exists") += 1000.0;
+        let mut sim = Simulation::clustered_from_system_schedule(
+            &sys,
+            &schedule,
+            normal,
+            4,
+            SimulationConfig::default(),
+        )
+        .expect("simulation still builds");
+        assert!(!sim.switch_conflicts().is_empty());
+        let err = sim.request_mode_change(emergency).unwrap_err();
+        assert!(matches!(err, RuntimeError::SwitchInconsistent { .. }));
+        assert_eq!(sim.current_mode(), normal, "the unsafe switch never ran");
+        // The raw-slice constructor keeps the old permissive behaviour.
+        let mut legacy = Simulation::with_clustered_topology(
+            &sys,
+            &schedule.to_vec(),
+            normal,
+            4,
+            SimulationConfig::default(),
+        )
+        .expect("simulation builds");
+        legacy
+            .request_mode_change(emergency)
+            .expect("raw-slice path does not assert consistency");
     }
 
     #[test]

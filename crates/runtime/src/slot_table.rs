@@ -281,11 +281,12 @@ mod tests {
 
     #[test]
     fn two_modes_get_disjoint_round_ids() {
-        let (sys, normal, emergency) = fixtures::two_mode_system();
+        let (sys, _, _) = fixtures::two_mode_system();
         let config = SchedulerConfig::new(millis(10), 5);
-        let s1 = synthesis::synthesize_mode(&sys, normal, &config).expect("feasible");
-        let s2 = synthesis::synthesize_mode(&sys, emergency, &config).expect("feasible");
-        let tables = build_mode_tables(&sys, &[s1, s2]).expect("tables build");
+        let schedules = synthesis::synthesize_all_modes(&sys, &config)
+            .expect("feasible")
+            .to_vec();
+        let tables = build_mode_tables(&sys, &schedules).expect("tables build");
         let ids1 = tables[0].round_ids();
         let ids2 = tables[1].round_ids();
         assert!(ids1.iter().all(|id| !ids2.contains(id)));

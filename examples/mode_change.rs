@@ -12,19 +12,25 @@ fn run(
     policy: BeaconLossPolicy,
     loss: f64,
 ) -> Result<ttw::runtime::RuntimeStats, Box<dyn std::error::Error>> {
-    let (system, normal, emergency) = fixtures::two_mode_system();
+    let (system, graph, normal, emergency) = fixtures::two_mode_graph();
     let config = SchedulerConfig::new(millis(10), 5);
-    let schedules = vec![
-        synthesis::synthesize_mode(&system, normal, &config)?,
-        synthesis::synthesize_mode(&system, emergency, &config)?,
-    ];
+    // The mode-graph pipeline: the emergency mode inherits the control
+    // application's offsets from the normal mode, so the switch never re-times
+    // the running control loop (switch consistency, Sec. V).
+    let schedule = synthesis::synthesize_system(
+        &system,
+        &graph,
+        &config,
+        &synthesis::IlpSynthesizer::default(),
+    )?;
     let sim_config = SimulationConfig {
         link_loss: loss,
         seed: 42,
         policy,
         ..SimulationConfig::default()
     };
-    let mut sim = Simulation::with_clustered_topology(&system, &schedules, normal, 4, sim_config)?;
+    let mut sim =
+        Simulation::clustered_from_system_schedule(&system, &schedule, normal, 4, sim_config)?;
     // Normal operation, then switch to the emergency mode mid-run.
     sim.run_hyperperiods(4);
     sim.request_mode_change(emergency)?;
@@ -34,7 +40,8 @@ fn run(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("mode change from `normal` (100 ms period) to `emergency` (50 ms period)");
+    println!("mode change from `normal` (control only) to `emergency` (control + diagnostics);");
+    println!("the shared control application keeps identical offsets in both schedules");
     println!(
         "{:<10} {:>6} {:>14} {:>12} {:>12} {:>12}",
         "policy", "loss", "beacons miss", "collisions", "delivery", "mode changes"
@@ -70,12 +77,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("ttw", BeaconLossPolicy::SkipRound),
         ("legacy", BeaconLossPolicy::LegacyTransmit),
     ] {
-        let (system, normal, emergency) = fixtures::two_mode_system();
+        let (system, graph, normal, emergency) = fixtures::two_mode_graph();
         let config = SchedulerConfig::new(millis(10), 5);
-        let schedules = vec![
-            synthesis::synthesize_mode(&system, normal, &config)?,
-            synthesis::synthesize_mode(&system, emergency, &config)?,
-        ];
+        let schedule = synthesis::synthesize_system(
+            &system,
+            &graph,
+            &config,
+            &synthesis::IlpSynthesizer::default(),
+        )?;
         let sensor1 = system.node_id("sensor1").expect("node exists").index();
         let sim_config = SimulationConfig {
             policy,
@@ -83,7 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..SimulationConfig::default()
         };
         let mut sim =
-            Simulation::with_clustered_topology(&system, &schedules, normal, 4, sim_config)?;
+            Simulation::clustered_from_system_schedule(&system, &schedule, normal, 4, sim_config)?;
         sim.run_hyperperiods(1);
         sim.request_mode_change(emergency)?;
         sim.run_hyperperiods(4);

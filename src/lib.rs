@@ -48,9 +48,15 @@ pub use ttw_timing as timing;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use ttw_baselines::{latency_improvement_factor, NoRoundsDesign};
-    pub use ttw_core::synthesis::{synthesize_all_modes, synthesize_mode};
-    pub use ttw_core::validate::{is_valid_schedule, validate_schedule};
-    pub use ttw_core::{ApplicationSpec, ModeSchedule, ScheduleError, SchedulerConfig, System};
+    pub use ttw_core::synthesis::{
+        synthesize_all_modes, synthesize_mode, synthesize_system, HeuristicSynthesizer,
+        IlpSynthesizer, Synthesizer,
+    };
+    pub use ttw_core::validate::{is_valid_schedule, validate_schedule, validate_system_schedule};
+    pub use ttw_core::{
+        ApplicationSpec, ModeGraph, ModeSchedule, ScheduleError, SchedulerConfig, System,
+        SystemSchedule,
+    };
     pub use ttw_runtime::{BeaconLossPolicy, Simulation, SimulationConfig};
     pub use ttw_timing::{GlossyConstants, NetworkParams};
 }

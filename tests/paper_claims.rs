@@ -82,10 +82,9 @@ fn fig3_schedule_is_round_minimal_and_latency_optimal() {
 fn safety_no_collisions_under_loss_and_mode_change() {
     let (sys, normal, emergency) = fixtures::two_mode_system();
     let config = SchedulerConfig::new(millis(10), 5);
-    let schedules = vec![
-        synthesis::synthesize_mode(&sys, normal, &config).expect("feasible"),
-        synthesis::synthesize_mode(&sys, emergency, &config).expect("feasible"),
-    ];
+    let schedules = synthesis::synthesize_all_modes(&sys, &config)
+        .expect("feasible")
+        .to_vec();
     for seed in 0..5 {
         let sim_config = SimulationConfig {
             link_loss: 0.6,
@@ -101,6 +100,53 @@ fn safety_no_collisions_under_loss_and_mode_change() {
         assert_eq!(sim.stats().collisions, 0, "seed {seed}");
         assert_eq!(sim.current_mode(), emergency);
     }
+}
+
+#[test]
+fn multi_mode_synthesis_is_switch_consistent() {
+    // The multi-mode claim of Sec. V: an application shared between modes is
+    // scheduled identically in all of them, so the two-phase mode change never
+    // re-times a running application. The mode-graph pipeline guarantees this
+    // by minimal inheritance, and the cross-mode validator double-checks it.
+    let (sys, graph, normal, emergency) = fixtures::two_mode_graph();
+    let config = SchedulerConfig::new(millis(10), 5);
+    let schedule =
+        synthesis::synthesize_system(&sys, &graph, &config, &synthesis::IlpSynthesizer::default())
+            .expect("both modes feasible");
+    assert!(validate::validate_system_schedule(&sys, &config, &schedule).is_empty());
+
+    let ctrl = sys.application_id("ctrl").expect("app exists");
+    let (normal_sched, emergency_sched) = (
+        schedule.get(normal).expect("scheduled"),
+        schedule.get(emergency).expect("scheduled"),
+    );
+    for &t in &sys.application(ctrl).tasks {
+        let (a, b) = (
+            normal_sched.task_offsets[&t],
+            emergency_sched.task_offsets[&t],
+        );
+        assert!((a - b).abs() < 1e-3, "task {t}: {a} µs vs {b} µs");
+    }
+
+    // The runtime accepts the switch in both directions and stays collision
+    // free end to end.
+    let mut sim = Simulation::clustered_from_system_schedule(
+        &sys,
+        &schedule,
+        normal,
+        4,
+        SimulationConfig::default(),
+    )
+    .expect("simulation builds");
+    sim.run_hyperperiods(2);
+    sim.request_mode_change(emergency)
+        .expect("consistent switch");
+    sim.run_hyperperiods(2);
+    sim.request_mode_change(normal)
+        .expect("consistent switch back");
+    sim.run_hyperperiods(2);
+    assert_eq!(sim.stats().collisions, 0);
+    assert_eq!(sim.stats().mode_changes, 2);
 }
 
 #[test]
