@@ -1,21 +1,30 @@
 //! Mode-graph synthesis (Sec. V) — inherited + incremental multi-mode
-//! synthesis against independent from-scratch synthesis of the same modes.
+//! synthesis against independent from-scratch synthesis, the sparse revised
+//! simplex against the dense reference tableau, and the 4-mode diamond
+//! stressing the parallel synthesis waves.
 //!
-//! Two strategies schedule both modes of `fixtures::two_mode_graph()`
-//! (`normal ⇄ emergency`, sharing the Fig. 3 control application):
+//! Measured workloads:
 //!
-//! * **independent**: every mode is synthesized from scratch with the
-//!   pre-mode-graph driver (full ILP rebuild per `R_M` attempt, no
-//!   inheritance) — the seed behaviour;
-//! * **inherited**: the mode-graph pipeline — the emergency mode inherits the
-//!   control application's offsets from the normal mode (pinned variables)
-//!   and the `R_M` sweep grows one ILP instance instead of rebuilding it.
+//! * **independent vs inherited** on `fixtures::two_mode_graph()`
+//!   (`normal ⇄ emergency`, sharing the Fig. 3 control application):
+//!   `independent` rebuilds the full ILP per `R_M` attempt with no
+//!   inheritance (the seed behaviour); `inherited` pins the shared
+//!   application, grows one ILP instance per mode and warm-starts every
+//!   solve from the previous basis.
+//! * **dense vs sparse**: the LP relaxations of both two-mode instances
+//!   solved by the production sparse revised simplex and by the retired
+//!   dense tableau (`ttw-milp`'s `dense-reference` feature), reporting pivot
+//!   counts and wall time.
+//! * **diamond**: `fixtures::four_mode_diamond()`
+//!   (`boot → normal → {emergency, maintenance}`), whose three non-boot
+//!   modes form one parallel wave of `synthesize_system`; the bench asserts
+//!   switch-consistency of the shared application across all four modes.
 //!
-//! Besides solve time, the bench reports the *cross-mode offset agreement* of
-//! the shared application: inherited synthesis is switch-consistent by
-//! construction, independent synthesis generally is not. The measured numbers
-//! are also written to `BENCH_synthesis.json` at the workspace root so future
-//! PRs have a machine-readable perf trajectory.
+//! The measured numbers are written to `BENCH_synthesis.json` at the
+//! workspace root so future PRs (and the CI perf-regression smoke step) have
+//! a machine-readable perf trajectory. Set `TTW_BENCH_QUICK=1` to take one
+//! timing sample instead of three — the deterministic work counters (B&B
+//! nodes, simplex pivots) are unaffected.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
@@ -25,10 +34,19 @@ use ttw_core::json::Value;
 use ttw_core::synthesis::{synthesize_system, IlpSynthesizer, Synthesizer};
 use ttw_core::time::millis;
 use ttw_core::validate::check_cross_mode_consistency;
-use ttw_core::{fixtures, InheritedOffsets, ModeSchedule, SchedulerConfig, SystemSchedule};
+use ttw_core::{fixtures, ilp, InheritedOffsets, ModeSchedule, SchedulerConfig, SystemSchedule};
 
 fn config() -> SchedulerConfig {
     SchedulerConfig::new(millis(10), 5)
+}
+
+/// `1` sample under `TTW_BENCH_QUICK=1` (CI smoke), `3` otherwise.
+fn sample_count() -> usize {
+    if std::env::var_os("TTW_BENCH_QUICK").is_some() {
+        1
+    } else {
+        3
+    }
 }
 
 /// The seed strategy: each mode from scratch, no inheritance, full rebuild
@@ -50,6 +68,12 @@ fn synthesize_independent() -> SystemSchedule {
 /// The mode-graph pipeline: minimal inheritance + incremental `R_M` sweep.
 fn synthesize_inherited() -> SystemSchedule {
     let (sys, graph, _, _) = fixtures::two_mode_graph();
+    synthesize_system(&sys, &graph, &config(), &IlpSynthesizer::default()).expect("feasible")
+}
+
+/// The 4-mode diamond through the (parallel-wave) mode-graph pipeline.
+fn synthesize_diamond() -> SystemSchedule {
+    let (sys, graph, _) = fixtures::four_mode_diamond();
     synthesize_system(&sys, &graph, &config(), &IlpSynthesizer::default()).expect("feasible")
 }
 
@@ -94,6 +118,45 @@ fn total_rounds(result: &SystemSchedule) -> usize {
         .sum()
 }
 
+/// Solves the LP relaxations of both two-mode instances across round counts
+/// `R = 2..=5` with the dense reference tableau and the sparse revised
+/// simplex. Returns `(dense pivots, dense s, sparse pivots, sparse s)`.
+fn dense_vs_sparse_relaxations() -> (usize, f64, usize, f64) {
+    let (sys, normal, emergency) = fixtures::two_mode_system();
+    let mut instances = Vec::new();
+    for &mode in &[normal, emergency] {
+        for rounds in 2..=5 {
+            instances.push(ilp::build_ilp(&sys, mode, &config(), rounds).expect("valid instance"));
+        }
+    }
+
+    let mut dense_pivots = 0usize;
+    let start = Instant::now();
+    for instance in &instances {
+        let bounds: Vec<(f64, f64)> = instance
+            .model
+            .variables()
+            .map(|(_, v)| (v.lower, v.upper))
+            .collect();
+        let lp = ttw_milp::dense::solve_lp_dense(&instance.model, &bounds).expect("dense solve");
+        dense_pivots += lp.iterations;
+        black_box(lp.objective);
+    }
+    let dense_seconds = start.elapsed().as_secs_f64();
+
+    let mut sparse_pivots = 0usize;
+    let start = Instant::now();
+    for instance in &instances {
+        let solution = instance.model.solve_relaxation().expect("sparse solve");
+        sparse_pivots += solution.simplex_iterations;
+        black_box(solution.objective);
+    }
+    let sparse_seconds = start.elapsed().as_secs_f64();
+
+    (dense_pivots, dense_seconds, sparse_pivots, sparse_seconds)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_bench_json(
     independent_s: f64,
     inherited_s: f64,
@@ -101,6 +164,10 @@ fn write_bench_json(
     inherited_gap: f64,
     independent: &SystemSchedule,
     inherited: &SystemSchedule,
+    diamond_s: f64,
+    diamond: &SystemSchedule,
+    diamond_consistent: bool,
+    dense_vs_sparse: (usize, f64, usize, f64),
 ) {
     let num = |v: f64| Value::Number(v);
     let strategy = |median_s: f64, gap: f64, result: &SystemSchedule| {
@@ -124,6 +191,37 @@ fn write_bench_json(
         "inherited_incremental".into(),
         strategy(inherited_s, inherited_gap, inherited),
     );
+
+    let (dense_pivots, dense_s, sparse_pivots, sparse_s) = dense_vs_sparse;
+    let mut dvs = BTreeMap::new();
+    dvs.insert(
+        "workload".into(),
+        Value::String("LP relaxations of both two-mode instances, R=2..=5".into()),
+    );
+    let mut dense_map = BTreeMap::new();
+    dense_map.insert("pivots".into(), num(dense_pivots as f64));
+    dense_map.insert("seconds".into(), num(dense_s));
+    dvs.insert("dense".into(), Value::Object(dense_map));
+    let mut sparse_map = BTreeMap::new();
+    sparse_map.insert("pivots".into(), num(sparse_pivots as f64));
+    sparse_map.insert("seconds".into(), num(sparse_s));
+    dvs.insert("sparse".into(), Value::Object(sparse_map));
+    dvs.insert(
+        "pivot_ratio".into(),
+        num(dense_pivots as f64 / (sparse_pivots as f64).max(1.0)),
+    );
+
+    let mut diamond_map = BTreeMap::new();
+    diamond_map.insert("modes".into(), num(diamond.num_modes() as f64));
+    diamond_map.insert("median_seconds".into(), num(diamond_s));
+    diamond_map.insert("milp_nodes".into(), num(diamond.total_milp_nodes() as f64));
+    diamond_map.insert(
+        "simplex_iterations".into(),
+        num(diamond.total_simplex_iterations() as f64),
+    );
+    diamond_map.insert("total_rounds".into(), num(total_rounds(diamond) as f64));
+    diamond_map.insert("switch_consistent".into(), Value::Bool(diamond_consistent));
+
     let mut root = BTreeMap::new();
     root.insert("bench".into(), Value::String("mode_graph_synthesis".into()));
     root.insert(
@@ -141,6 +239,8 @@ fn write_bench_json(
         "inherited_switch_consistent".into(),
         Value::Bool(inherited_gap < 1e-3),
     );
+    root.insert("dense_vs_sparse".into(), Value::Object(dvs));
+    root.insert("diamond".into(), Value::Object(diamond_map));
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synthesis.json");
     match std::fs::write(path, Value::Object(root).to_json_pretty() + "\n") {
@@ -150,20 +250,32 @@ fn write_bench_json(
 }
 
 fn bench_mode_graph(c: &mut Criterion) {
+    let samples = sample_count();
     let independent = synthesize_independent();
     let inherited = synthesize_inherited();
+    let diamond = synthesize_diamond();
     let independent_gap = max_shared_offset_gap(&independent);
     let inherited_gap = max_shared_offset_gap(&inherited);
 
-    // Inherited synthesis must be switch-consistent by construction.
+    // Inherited synthesis must be switch-consistent by construction …
     let (sys, _, _, _) = fixtures::two_mode_graph();
     assert!(
         check_cross_mode_consistency(&sys, &inherited).is_empty(),
         "inherited synthesis must keep shared applications switch-consistent"
     );
+    // … and so must the 4-mode diamond, whose leaves are synthesized on
+    // parallel workers.
+    let (diamond_sys, _, _) = fixtures::four_mode_diamond();
+    let diamond_consistent = check_cross_mode_consistency(&diamond_sys, &diamond).is_empty();
+    assert!(
+        diamond_consistent,
+        "diamond synthesis must keep the shared application switch-consistent"
+    );
 
-    let independent_s = median_seconds(3, synthesize_independent);
-    let inherited_s = median_seconds(3, synthesize_inherited);
+    let independent_s = median_seconds(samples, synthesize_independent);
+    let inherited_s = median_seconds(samples, synthesize_inherited);
+    let diamond_s = median_seconds(samples, synthesize_diamond);
+    let dense_vs_sparse = dense_vs_sparse_relaxations();
 
     eprintln!("\n=== Mode-graph synthesis: inherited + incremental vs independent ===");
     eprintln!(
@@ -185,6 +297,19 @@ fn bench_mode_graph(c: &mut Criterion) {
         inherited.total_milp_nodes(),
         inherited.total_simplex_iterations(),
         inherited_gap,
+    );
+    eprintln!(
+        "{:<28} {:>9.3} s {:>12} {:>14} {:>19} µs",
+        "diamond (4 modes, parallel)",
+        diamond_s,
+        diamond.total_milp_nodes(),
+        diamond.total_simplex_iterations(),
+        "-",
+    );
+    let (dense_pivots, dense_s, sparse_pivots, sparse_s) = dense_vs_sparse;
+    eprintln!(
+        "dense vs sparse LP relaxations: dense {dense_pivots} pivots / {dense_s:.3} s, \
+         sparse {sparse_pivots} pivots / {sparse_s:.3} s"
     );
     eprintln!(
         "speedup: {:.1}x; inherited is switch-consistent (gap < 1e-3 µs): {}\n",
@@ -220,6 +345,10 @@ fn bench_mode_graph(c: &mut Criterion) {
         inherited_gap,
         &independent,
         &inherited,
+        diamond_s,
+        &diamond,
+        diamond_consistent,
+        dense_vs_sparse,
     );
 
     let mut group = c.benchmark_group("mode_graph_synthesis");
@@ -229,6 +358,9 @@ fn bench_mode_graph(c: &mut Criterion) {
     });
     group.bench_function("inherited_incremental", |b| {
         b.iter(|| black_box(synthesize_inherited()))
+    });
+    group.bench_function("diamond_parallel", |b| {
+        b.iter(|| black_box(synthesize_diamond()))
     });
     group.finish();
 }

@@ -153,6 +153,84 @@ pub fn two_mode_graph() -> (System, crate::modegraph::ModeGraph, ModeId, ModeId)
     (sys, graph, normal, emergency)
 }
 
+/// A four-mode diamond system: `boot → normal → {emergency, maintenance}`
+/// with back-switches from the leaves to `normal`.
+///
+/// All four modes share the Fig. 3 control application, which the boot mode
+/// owns (it is synthesized first and every other mode inherits the offsets —
+/// first-wins inheritance across a diamond). The three non-boot modes each
+/// add one private application:
+///
+/// * `normal` — a telemetry app (sensors report to the controller);
+/// * `emergency` — the diagnostics app of [`two_mode_system`];
+/// * `maintenance` — a maintenance logger (controller polls an actuator).
+///
+/// Because `emergency` and `maintenance` both become ready as soon as their
+/// shared donor is done and own disjoint applications, this fixture exercises
+/// the parallel wave of [`crate::synthesis::synthesize_system`]. Returned as
+/// `(system, graph, [boot, normal, emergency, maintenance])`.
+pub fn four_mode_diamond() -> (System, crate::modegraph::ModeGraph, [ModeId; 4]) {
+    let mut sys = System::new();
+    fig3_nodes(&mut sys);
+    let ctrl = sys
+        .add_application(&fig3_control_application("ctrl", Fig3Params::default()))
+        .expect("valid fixture");
+    let telemetry = sys
+        .add_application(
+            &ApplicationSpec::new("telemetry", millis(100), millis(100))
+                .with_task("tele.sample", "sensor1", millis(1))
+                .with_task("tele.log", "controller", millis(1))
+                .with_message("tele.report", ["tele.sample"], ["tele.log"]),
+        )
+        .expect("valid fixture");
+    let diagnostics = sys
+        .add_application(
+            &ApplicationSpec::new("emergency_diag", millis(100), millis(100))
+                .with_task("diag.collect", "actuator1", millis(2))
+                .with_task("diag.decide", "controller", millis(2))
+                .with_task("diag.notify1", "sensor1", millis(1))
+                .with_task("diag.notify2", "sensor2", millis(1))
+                .with_message("diag.status", ["diag.collect"], ["diag.decide"])
+                .with_message(
+                    "diag.alarm",
+                    ["diag.decide"],
+                    ["diag.notify1", "diag.notify2"],
+                ),
+        )
+        .expect("valid fixture");
+    let maintenance_app = sys
+        .add_application(
+            &ApplicationSpec::new("maintenance_log", millis(100), millis(100))
+                .with_task("maint.poll", "controller", millis(1))
+                .with_task("maint.dump", "actuator2", millis(2))
+                .with_message("maint.query", ["maint.poll"], ["maint.dump"]),
+        )
+        .expect("valid fixture");
+
+    let boot = sys.add_mode("boot", &[ctrl]).expect("valid mode");
+    let normal = sys
+        .add_mode("normal", &[ctrl, telemetry])
+        .expect("valid mode");
+    let emergency = sys
+        .add_mode("emergency", &[ctrl, diagnostics])
+        .expect("valid mode");
+    let maintenance = sys
+        .add_mode("maintenance", &[ctrl, maintenance_app])
+        .expect("valid mode");
+
+    let mut graph = crate::modegraph::ModeGraph::new(&sys);
+    for (from, to) in [
+        (boot, normal),
+        (normal, emergency),
+        (normal, maintenance),
+        (emergency, normal),
+        (maintenance, normal),
+    ] {
+        graph.add_edge(from, to).expect("valid edge");
+    }
+    (sys, graph, [boot, normal, emergency, maintenance])
+}
+
 /// A synthetic mode with `num_apps` pipeline applications of `tasks_per_app`
 /// tasks each, laid out over `num_nodes` nodes.
 ///
@@ -234,6 +312,26 @@ mod tests {
         assert_eq!(graph.successors(normal), vec![emergency]);
         assert_eq!(graph.successors(emergency), vec![normal]);
         assert_eq!(sys.shared_applications(normal, emergency).len(), 1);
+    }
+
+    #[test]
+    fn four_mode_diamond_shares_ctrl_everywhere() {
+        let (sys, graph, [boot, normal, emergency, maintenance]) = four_mode_diamond();
+        assert_eq!(graph.num_modes(), 4);
+        assert_eq!(graph.root(), boot);
+        let ctrl = sys.application_id("ctrl").expect("app exists");
+        for mode in [boot, normal, emergency, maintenance] {
+            assert!(sys.mode(mode).applications.contains(&ctrl));
+        }
+        // boot owns ctrl; every later mode inherits it from boot.
+        let plan = graph.inheritance_plan(&sys);
+        assert!(plan[&boot].is_empty());
+        for mode in [normal, emergency, maintenance] {
+            assert_eq!(plan[&mode].get(&ctrl), Some(&boot));
+        }
+        // The leaves' private applications are not inherited.
+        assert_eq!(plan[&emergency].len(), 1);
+        assert_eq!(plan[&maintenance].len(), 1);
     }
 
     #[test]

@@ -1,13 +1,23 @@
-//! Greedy heuristic co-scheduler (ablation baseline for the ILP).
+//! Greedy heuristic co-scheduler (ablation baseline for the ILP and fast
+//! approximate pipeline for large mode graphs).
 //!
 //! The ILP of [`crate::synthesis`] is optimal but its solve time grows quickly
 //! with the instance size. This module provides a simple forward
-//! list-scheduling heuristic used as an ablation in the benchmarks: tasks are
-//! scheduled as soon as their predecessors finish (respecting the one-task-
-//! per-node rule), and released messages are packed into the earliest round
-//! with a free slot, opening a new round when none fits. The result is a valid
-//! schedule whenever the heuristic succeeds, but it is generally *not* optimal
-//! in the number of rounds or in latency.
+//! list-scheduling heuristic: tasks are scheduled as soon as their
+//! predecessors finish (respecting the one-task-per-node rule), and released
+//! messages are packed into the earliest round with a free slot, opening a new
+//! round when none fits. The result is a valid schedule whenever the heuristic
+//! succeeds, but it is generally *not* optimal in the number of rounds or in
+//! latency.
+//!
+//! **Inherited offsets are honored.** When a mode inherits applications from
+//! an earlier mode ([`InheritedOffsets`]), the pinned tasks are laid down at
+//! their exact offsets, a round is reserved inside every pinned message's
+//! `[offset, offset + deadline]` service window, and the remaining (free)
+//! applications are list-scheduled into the gaps around them — both on the
+//! node timelines and in the round layout. This is what lets
+//! [`crate::synthesis::HeuristicSynthesizer`] drive whole mode graphs
+//! switch-consistently without falling back to the ILP.
 //!
 //! The heuristic currently supports modes in which every application period
 //! equals the mode hyperperiod (single instance per hyperperiod), which covers
@@ -15,12 +25,32 @@
 
 use crate::config::SchedulerConfig;
 use crate::error::ScheduleError;
-use crate::ids::{MessageId, ModeId, TaskId};
+use crate::ids::{MessageId, ModeId, NodeId, TaskId};
+use crate::modegraph::InheritedOffsets;
 use crate::schedule::{ModeSchedule, ScheduledRound, SynthesisStats};
 use crate::system::System;
 use std::collections::{BTreeMap, HashMap};
 
-/// Synthesizes a (possibly sub-optimal) schedule with the greedy heuristic.
+/// Absolute slack (µs) allowed when fitting a round into a pinned service
+/// window, absorbing the round-off of donor offsets.
+const PIN_TOL: f64 = 1e-6;
+
+/// Synthesizes a (possibly sub-optimal) schedule with the greedy heuristic,
+/// without inherited offsets.
+///
+/// # Errors
+///
+/// Same conditions as [`synthesize_mode_heuristic_inherited`].
+pub fn synthesize_mode_heuristic(
+    system: &System,
+    mode: ModeId,
+    config: &SchedulerConfig,
+) -> Result<ModeSchedule, ScheduleError> {
+    synthesize_mode_heuristic_inherited(system, mode, config, &InheritedOffsets::none())
+}
+
+/// Synthesizes a (possibly sub-optimal) schedule with the greedy heuristic,
+/// packing the free applications around the pinned inherited offsets.
 ///
 /// # Errors
 ///
@@ -29,11 +59,13 @@ use std::collections::{BTreeMap, HashMap};
 ///   mode hyperperiod (multi-instance modes are a limitation of this backend,
 ///   not a user error — callers can fall back to the ILP).
 /// * [`ScheduleError::Infeasible`] if the greedy packing runs past the
-///   hyperperiod or an application deadline cannot be met.
-pub fn synthesize_mode_heuristic(
+///   hyperperiod, cannot reserve a round inside a pinned message's service
+///   window, or an application deadline cannot be met.
+pub fn synthesize_mode_heuristic_inherited(
     system: &System,
     mode: ModeId,
     config: &SchedulerConfig,
+    inherited: &InheritedOffsets,
 ) -> Result<ModeSchedule, ScheduleError> {
     config.validate()?;
     let hyper = system.hyperperiod(mode);
@@ -52,6 +84,10 @@ pub fn synthesize_mode_heuristic(
     }
 
     let tr = config.round_duration as f64;
+    let infeasible = |rounds: usize| ScheduleError::Infeasible {
+        mode,
+        max_rounds_tried: rounds,
+    };
     let tasks = system.tasks_in_mode(mode);
     let messages = system.messages_in_mode(mode);
 
@@ -69,12 +105,84 @@ pub fn synthesize_mode_heuristic(
     let mut message_offsets: BTreeMap<MessageId, f64> = BTreeMap::new();
     let mut message_deadlines: BTreeMap<MessageId, f64> = BTreeMap::new();
     let mut message_served_at: HashMap<MessageId, f64> = HashMap::new();
-    let mut node_available: HashMap<crate::ids::NodeId, f64> = HashMap::new();
+    let mut node_busy: HashMap<NodeId, Vec<(f64, f64)>> = HashMap::new();
     let mut task_ready_at: HashMap<TaskId, f64> = HashMap::new();
     let mut rounds: Vec<ScheduledRound> = Vec::new();
 
-    let mut remaining_tasks: Vec<TaskId> = tasks.clone();
-    let mut remaining_msgs: Vec<MessageId> = messages.clone();
+    // ------------------------------------------------------------------
+    // Pinned entities first: they have fixed times, so they simply occupy
+    // node intervals and round slots before anything else is placed.
+    // ------------------------------------------------------------------
+    let pinned_tasks: Vec<TaskId> = tasks
+        .iter()
+        .copied()
+        .filter(|t| inherited.task_offsets.contains_key(t))
+        .collect();
+    for &t in &pinned_tasks {
+        let offset = inherited.task_offsets[&t];
+        task_offsets.insert(t, offset);
+        node_busy
+            .entry(system.task(t).node)
+            .or_default()
+            .push((offset, offset + system.task(t).wcet as f64));
+    }
+    for intervals in node_busy.values_mut() {
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    }
+
+    let mut pinned_msgs: Vec<MessageId> = messages
+        .iter()
+        .copied()
+        .filter(|m| inherited.message_offsets.contains_key(m))
+        .collect();
+    pinned_msgs
+        .sort_by(|a, b| inherited.message_offsets[a].total_cmp(&inherited.message_offsets[b]));
+    for &m in &pinned_msgs {
+        let offset = inherited.message_offsets[&m];
+        // A pinned message without a pinned deadline is a hole in the donor
+        // schedule; the widest consistent window is the period (= hyperperiod).
+        let deadline = inherited
+            .message_deadlines
+            .get(&m)
+            .copied()
+            .unwrap_or(hyper as f64 - offset);
+        let latest = offset + deadline - tr;
+        let served = reserve_round(&mut rounds, offset, latest, tr, config.slots_per_round, m)
+            .ok_or_else(|| infeasible(rounds.len()))?;
+        message_offsets.insert(m, offset);
+        message_deadlines.insert(m, deadline);
+        message_served_at.insert(m, served);
+    }
+
+    // Resolve the dependencies the pinned entities already satisfy.
+    for &t in &pinned_tasks {
+        for (&m, pending) in pending_tasks.iter_mut() {
+            if system.message(m).preceding_tasks.contains(&t) {
+                *pending -= 1;
+            }
+        }
+    }
+    for &m in &pinned_msgs {
+        let served = message_served_at[&m];
+        for &succ in &system.message(m).successor_tasks {
+            if let Some(entry) = pending_msgs.get_mut(&succ) {
+                *entry -= 1;
+                let at = task_ready_at.entry(succ).or_insert(0.0);
+                *at = at.max(served);
+            }
+        }
+    }
+
+    let mut remaining_tasks: Vec<TaskId> = tasks
+        .iter()
+        .copied()
+        .filter(|t| !task_offsets.contains_key(t))
+        .collect();
+    let mut remaining_msgs: Vec<MessageId> = messages
+        .iter()
+        .copied()
+        .filter(|m| !message_offsets.contains_key(m))
+        .collect();
 
     while !remaining_tasks.is_empty() || !remaining_msgs.is_empty() {
         // Serve every ready message before advancing tasks, so successor tasks
@@ -91,7 +199,15 @@ pub fn synthesize_mode_heuristic(
                 .iter()
                 .map(|&t| task_offsets[&t] + system.task(t).wcet as f64)
                 .fold(0.0f64, f64::max);
-            let served = allocate_to_round(&mut rounds, release, tr, config.slots_per_round, *m);
+            let served = reserve_round(
+                &mut rounds,
+                release,
+                f64::INFINITY,
+                tr,
+                config.slots_per_round,
+                *m,
+            )
+            .ok_or_else(|| infeasible(rounds.len()))?;
             message_offsets.insert(*m, release);
             message_deadlines.insert(*m, served - release);
             message_served_at.insert(*m, served);
@@ -104,7 +220,8 @@ pub fn synthesize_mode_heuristic(
         }
         remaining_msgs.retain(|m| !ready_msgs.contains(m));
 
-        // Pick the ready task that can start earliest and schedule it.
+        // Pick the ready task that can start earliest (gaps between pinned
+        // intervals count) and schedule it.
         let candidate = remaining_tasks
             .iter()
             .copied()
@@ -112,7 +229,8 @@ pub fn synthesize_mode_heuristic(
             .map(|t| {
                 let ready = task_ready_at.get(&t).copied().unwrap_or(0.0);
                 let node = system.task(t).node;
-                let start = ready.max(node_available.get(&node).copied().unwrap_or(0.0));
+                let wcet = system.task(t).wcet as f64;
+                let start = earliest_gap(node_busy.get(&node), ready, wcet);
                 (t, start)
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite start times"));
@@ -121,7 +239,13 @@ pub fn synthesize_mode_heuristic(
             Some((t, start)) => {
                 task_offsets.insert(t, start);
                 let node = system.task(t).node;
-                node_available.insert(node, start + system.task(t).wcet as f64);
+                let wcet = system.task(t).wcet as f64;
+                let intervals = node_busy.entry(node).or_default();
+                let at = intervals
+                    .iter()
+                    .position(|&(s, _)| s > start)
+                    .unwrap_or(intervals.len());
+                intervals.insert(at, (start, start + wcet));
                 for (&m, pending) in pending_tasks.iter_mut() {
                     if system.message(m).preceding_tasks.contains(&t) {
                         *pending -= 1;
@@ -132,10 +256,7 @@ pub fn synthesize_mode_heuristic(
             None if ready_msgs.is_empty() => {
                 // Neither a task nor a message is ready: the graph has a cycle
                 // or spans another mode — treat as infeasible.
-                return Err(ScheduleError::Infeasible {
-                    mode,
-                    max_rounds_tried: rounds.len(),
-                });
+                return Err(infeasible(rounds.len()));
             }
             None => {}
         }
@@ -143,11 +264,8 @@ pub fn synthesize_mode_heuristic(
 
     // Feasibility: everything must fit into one hyperperiod and meet deadlines.
     if let Some(last) = rounds.last() {
-        if last.start + tr > hyper as f64 {
-            return Err(ScheduleError::Infeasible {
-                mode,
-                max_rounds_tried: rounds.len(),
-            });
+        if last.start + tr > hyper as f64 + PIN_TOL {
+            return Err(infeasible(rounds.len()));
         }
     }
 
@@ -162,10 +280,7 @@ pub fn synthesize_mode_heuristic(
             worst = worst.max(latency);
         }
         if worst > system.application(a).deadline as f64 {
-            return Err(ScheduleError::Infeasible {
-                mode,
-                max_rounds_tried: rounds.len(),
-            });
+            return Err(infeasible(rounds.len()));
         }
         app_latencies.insert(a, worst);
     }
@@ -186,30 +301,73 @@ pub fn synthesize_mode_heuristic(
     })
 }
 
-/// Packs `message` into the earliest round that starts at or after `release`
-/// and still has a free slot, creating a new round when necessary.
-/// Returns the service completion time (round end).
-fn allocate_to_round(
+/// Earliest start `≥ ready` at which an interval of length `duration` fits
+/// into the gaps of a sorted busy list.
+fn earliest_gap(busy: Option<&Vec<(f64, f64)>>, ready: f64, duration: f64) -> f64 {
+    let mut start = ready;
+    if let Some(intervals) = busy {
+        for &(s, e) in intervals {
+            if start + duration <= s + PIN_TOL {
+                break;
+            }
+            if e > start {
+                start = e;
+            }
+        }
+    }
+    start
+}
+
+/// Packs `message` into the earliest round that starts within
+/// `[earliest, latest]` and still has a free slot, creating a new round in a
+/// gap of the (sorted, non-overlapping) round layout when necessary.
+///
+/// Returns the service completion time (round end), or `None` when no round
+/// start within the window can be found — which only happens for pinned
+/// messages, whose window is bounded by the inherited deadline.
+fn reserve_round(
     rounds: &mut Vec<ScheduledRound>,
-    release: f64,
+    earliest: f64,
+    latest: f64,
     tr: f64,
     slots_per_round: usize,
     message: MessageId,
-) -> f64 {
+) -> Option<f64> {
+    // Existing round inside the window with a free slot (rounds are sorted,
+    // so the first hit is the earliest service time).
     for round in rounds.iter_mut() {
-        if round.start >= release && round.num_slots() < slots_per_round {
+        if round.start >= earliest - PIN_TOL
+            && round.start <= latest + PIN_TOL
+            && round.num_slots() < slots_per_round
+        {
             round.slots.push(message);
-            return round.start + tr;
+            return Some(round.start + tr);
         }
     }
-    // A new round cannot overlap the previous one.
-    let earliest = rounds.last().map_or(0.0, |r| r.start + tr);
-    let start = release.max(earliest);
-    rounds.push(ScheduledRound {
-        start,
-        slots: vec![message],
-    });
-    start + tr
+    // New round in the earliest gap at or after `earliest`.
+    let mut start = earliest;
+    let mut insert_at = rounds.len();
+    for (i, round) in rounds.iter().enumerate() {
+        let round_end = round.start + tr;
+        if start + tr <= round.start + PIN_TOL {
+            insert_at = i;
+            break;
+        }
+        if round_end > start {
+            start = round_end;
+        }
+    }
+    if start > latest + PIN_TOL {
+        return None;
+    }
+    rounds.insert(
+        insert_at,
+        ScheduledRound {
+            start,
+            slots: vec![message],
+        },
+    );
+    Some(start + tr)
 }
 
 #[cfg(test)]
@@ -315,5 +473,86 @@ mod tests {
         // 5 messages in sequence with 10 ms rounds need ≥ 50 ms > 30 ms period.
         let err = synthesize_mode_heuristic(&sys, mode, &config()).unwrap_err();
         assert!(matches!(err, ScheduleError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn heuristic_honors_pinned_offsets_exactly() {
+        // Pin the whole control application from its own heuristic schedule
+        // in the emergency mode: every pinned offset must be reproduced, the
+        // diagnostics application packed around it, and the result valid.
+        let (sys, normal, emergency) = fixtures::two_mode_system();
+        let donor = synthesize_mode_heuristic(&sys, normal, &config()).expect("feasible");
+        let ctrl = sys.application_id("ctrl").expect("app exists");
+        let mut pins = InheritedOffsets::none();
+        pins.import_application(&sys, ctrl, &donor);
+
+        let schedule = synthesize_mode_heuristic_inherited(&sys, emergency, &config(), &pins)
+            .expect("feasible around pins");
+        for (&t, &offset) in &pins.task_offsets {
+            assert!(
+                (schedule.task_offsets[&t] - offset).abs() < 1e-6,
+                "pinned task {t} moved from {offset} to {}",
+                schedule.task_offsets[&t]
+            );
+        }
+        for (&m, &offset) in &pins.message_offsets {
+            assert!((schedule.message_offsets[&m] - offset).abs() < 1e-6);
+        }
+        for (&m, &deadline) in &pins.message_deadlines {
+            assert!((schedule.message_deadlines[&m] - deadline).abs() < 1e-6);
+        }
+        let violations = validate_schedule(&sys, emergency, &config(), &schedule);
+        assert!(violations.is_empty(), "violations: {violations:?}");
+        // The diagnostics application actually got scheduled too.
+        let diag = sys.application_id("emergency_diag").expect("app exists");
+        for &t in &sys.application(diag).tasks {
+            assert!(schedule.task_offsets.contains_key(&t));
+        }
+    }
+
+    #[test]
+    fn pinned_window_too_tight_is_infeasible() {
+        // A pinned message whose service window cannot contain a whole round
+        // must be rejected as infeasible, not silently mis-scheduled.
+        let (sys, mode) = fixtures::fig3_system();
+        let m1 = sys.message_id("ctrl.m1").expect("message exists");
+        let mut pins = InheritedOffsets::none();
+        pins.message_offsets.insert(m1, 0.0);
+        pins.message_deadlines.insert(m1, millis(5) as f64); // < 10 ms round
+        let err = synthesize_mode_heuristic_inherited(&sys, mode, &config(), &pins).unwrap_err();
+        assert!(matches!(err, ScheduleError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn free_messages_avoid_pinned_rounds_without_capacity() {
+        // Pin a round-filling message layout and check that new rounds open
+        // in gaps instead of overlapping the pinned ones.
+        let (sys, _, emergency) = fixtures::two_mode_system();
+        let status = sys.message_id("diag.status").expect("message exists");
+        let mut pins = InheritedOffsets::none();
+        // diag.collect runs [0, 2 ms]; pin its status message to a round at
+        // 30 ms (window [2, 42] ms) — but claim offset 2 ms and deadline 38.
+        let collect = sys.task_id("diag.collect").expect("task exists");
+        let decide = sys.task_id("diag.decide").expect("task exists");
+        pins.task_offsets.insert(collect, 0.0);
+        pins.task_offsets.insert(decide, millis(42) as f64);
+        pins.message_offsets.insert(status, millis(2) as f64);
+        pins.message_deadlines.insert(status, millis(40) as f64);
+        let schedule = synthesize_mode_heuristic_inherited(&sys, emergency, &config(), &pins)
+            .expect("feasible");
+        // The pinned message is served by a round inside its window.
+        let served_round = schedule
+            .rounds
+            .iter()
+            .find(|r| r.slots.contains(&status))
+            .expect("pinned message allocated");
+        assert!(served_round.start >= millis(2) as f64 - 1e-6);
+        assert!(served_round.start + millis(10) as f64 <= millis(42) as f64 + 1e-6);
+        // Rounds stay sorted and non-overlapping.
+        for pair in schedule.rounds.windows(2) {
+            assert!(pair[0].start + millis(10) as f64 <= pair[1].start + 1e-6);
+        }
+        let violations = validate_schedule(&sys, emergency, &config(), &schedule);
+        assert!(violations.is_empty(), "violations: {violations:?}");
     }
 }

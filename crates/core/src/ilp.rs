@@ -29,7 +29,7 @@ use crate::modegraph::InheritedOffsets;
 use crate::schedule::{ModeSchedule, ScheduledRound, SynthesisStats};
 use crate::system::{PrecedenceEdge, System};
 use std::collections::BTreeMap;
-use ttw_milp::{ConstraintId, LinExpr, Model, Sense, Solution, VarId};
+use ttw_milp::{Basis, ConstraintId, LinExpr, Model, Sense, Solution, SolveError, VarId};
 
 /// Mapping from model entities to MILP decision variables.
 #[derive(Debug, Clone, Default)]
@@ -71,6 +71,10 @@ pub struct IlpInstance {
     /// Per-message total-allocation equality rows (C4.4); new rounds join
     /// these rows in place.
     c44: BTreeMap<MessageId, ConstraintId>,
+    /// Root-LP basis of the previous [`IlpInstance::solve`] call; feeds the
+    /// next solve so the grown model warm-starts instead of re-running the
+    /// two-phase simplex from scratch.
+    warm_basis: Option<Basis>,
 }
 
 impl IlpInstance {
@@ -82,6 +86,27 @@ impl IlpInstance {
     /// Renders the instance in CPLEX LP format for auditing.
     pub fn to_lp_string(&self) -> String {
         ttw_milp::lp_format::to_lp_string(&self.model)
+    }
+
+    /// Solves the instance, warm-starting from the basis of the previous
+    /// solve when one exists.
+    ///
+    /// This is the preferred entry point for the incremental `R_M` sweep:
+    /// after [`IlpInstance::add_round`] grows the model, the stored basis is
+    /// extended (new columns at a bound, new rows on their logical column)
+    /// and feasibility is repaired from there — `Model::solve_with_basis`'s
+    /// warm-start contract — which typically costs a few simplex pivots
+    /// instead of a fresh two-phase solve per attempt.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`ttw_milp::Model::solve`].
+    pub fn solve(&mut self) -> Result<Solution, SolveError> {
+        let (solution, basis) = self.model.solve_with_basis(self.warm_basis.as_ref())?;
+        if let Some(basis) = basis {
+            self.warm_basis = Some(basis);
+        }
+        Ok(solution)
     }
 
     /// Appends one more communication round to the instance in place.
@@ -559,6 +584,7 @@ pub fn build_ilp_inherited(
         tie_break,
         leftover,
         c44,
+        warm_basis: None,
     };
     for _ in 0..num_rounds {
         instance.add_round(system, mode, config);
@@ -796,6 +822,54 @@ mod tests {
         for (m, &offset) in &schedule.message_offsets {
             assert!((pinned.message_offsets[m] - offset).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn warm_started_sweep_matches_fresh_builds() {
+        // The incremental R_M sweep: grow one instance 0 → 1 → 2 rounds,
+        // solving (warm) at every step, and compare the final optimum and
+        // total pivot count against fresh cold builds of the same sizes.
+        let (sys, mode) = fixtures::fig3_system();
+        let config = fig3_config();
+        let mut grown = build_ilp(&sys, mode, &config, 0).expect("valid instance");
+        let mut warm_iterations = 0usize;
+        let mut final_warm = None;
+        for rounds in 0..=2usize {
+            while grown.num_rounds() < rounds {
+                grown.add_round(&sys, mode, &config);
+            }
+            let solution = grown.solve().expect("solver runs");
+            warm_iterations += solution.simplex_iterations;
+            final_warm = Some(solution);
+        }
+        let final_warm = final_warm.expect("three attempts ran");
+        assert!(final_warm.is_optimal(), "Fig. 3 schedules with 2 rounds");
+
+        let mut cold_iterations = 0usize;
+        let mut final_cold = None;
+        for rounds in 0..=2usize {
+            let fresh = build_ilp(&sys, mode, &config, rounds).expect("valid instance");
+            let solution = fresh.model.solve().expect("solver runs");
+            cold_iterations += solution.simplex_iterations;
+            final_cold = Some(solution);
+        }
+        let final_cold = final_cold.expect("three attempts ran");
+        assert!(final_cold.is_optimal());
+        assert!(
+            (final_warm.objective - final_cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            final_warm.objective,
+            final_cold.objective
+        );
+        // On an instance this small the warm basis can land on a different
+        // (equally optimal) vertex and branch differently, so the pivot
+        // counts need not be strictly smaller — but a warm start must never
+        // be catastrophically worse than rebuilding. The big-instance win is
+        // asserted by the `mode_graph_synthesis` benchmark instead.
+        assert!(
+            warm_iterations <= cold_iterations * 2,
+            "warm sweep pivoted far more than cold rebuilds ({warm_iterations} vs {cold_iterations})"
+        );
     }
 
     #[test]

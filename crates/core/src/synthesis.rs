@@ -24,11 +24,12 @@
 use crate::config::SchedulerConfig;
 use crate::error::ScheduleError;
 use crate::heuristic;
-use crate::ids::ModeId;
+use crate::ids::{AppId, ModeId};
 use crate::ilp;
 use crate::modegraph::{InheritedOffsets, ModeGraph};
 use crate::schedule::{ModeSchedule, SynthesisStats, SystemSchedule};
 use crate::system::System;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -68,7 +69,11 @@ impl From<ScheduleError> for SynthesisFailure {
 /// Implementations receive the offsets inherited from already-synthesized
 /// modes and must either honor them exactly or reject the request with
 /// [`ScheduleError::Unsupported`].
-pub trait Synthesizer {
+///
+/// Backends must be [`Sync`]: [`synthesize_system`] synthesizes independent
+/// modes of the same mode-graph depth on parallel worker threads, all sharing
+/// one backend reference.
+pub trait Synthesizer: Sync {
     /// Human-readable backend name (used in reports and benches).
     fn name(&self) -> &'static str;
 
@@ -184,7 +189,7 @@ impl Synthesizer for IlpSynthesizer {
             stats.rounds_attempted.push(num_rounds);
             stats.variables = current.model.num_vars();
             stats.constraints = current.model.num_constraints();
-            let solution = match current.model.solve() {
+            let solution = match current.solve() {
                 Ok(solution) => solution,
                 Err(e) => {
                     return Err(SynthesisFailure {
@@ -209,11 +214,13 @@ impl Synthesizer for IlpSynthesizer {
     }
 }
 
-/// The greedy list-scheduling backend (ablation baseline).
+/// The greedy list-scheduling backend (ablation baseline and fast
+/// approximate pipeline for large mode graphs).
 ///
-/// Only supports synthesis *from scratch*: inherited offsets would require
-/// pinning support the greedy packing does not have, so non-empty inheritance
-/// is rejected with [`ScheduleError::Unsupported`].
+/// Inherited offsets are honored exactly: pinned tasks and the rounds serving
+/// pinned messages are laid down first, and the remaining applications are
+/// list-scheduled into the gaps around them (see
+/// [`heuristic::synthesize_mode_heuristic_inherited`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HeuristicSynthesizer;
 
@@ -229,17 +236,8 @@ impl Synthesizer for HeuristicSynthesizer {
         config: &SchedulerConfig,
         inherited: &InheritedOffsets,
     ) -> Result<ModeSchedule, SynthesisFailure> {
-        if !inherited.is_empty() {
-            return Err(ScheduleError::Unsupported {
-                reason: format!(
-                    "the greedy heuristic cannot honor {} inherited offsets; \
-                     use the ILP backend for modes with shared applications",
-                    inherited.len()
-                ),
-            }
-            .into());
-        }
-        heuristic::synthesize_mode_heuristic(system, mode, config).map_err(SynthesisFailure::from)
+        heuristic::synthesize_mode_heuristic_inherited(system, mode, config, inherited)
+            .map_err(SynthesisFailure::from)
     }
 }
 
@@ -301,18 +299,25 @@ impl Error for SystemSynthesisError {
 }
 
 /// Synthesizes every mode of the system over a mode graph with minimal
-/// inheritance (paper Sec. V).
+/// inheritance (paper Sec. V), solving independent modes in parallel.
 ///
-/// Modes are processed in [`ModeGraph::synthesis_order`]; for each mode, the
-/// applications already scheduled in an earlier mode have their offsets
-/// pinned (inherited), so every pair of modes sharing an application is
-/// switch-consistent. The result bundles all mode schedules, the inheritance
-/// metadata, and per-mode synthesis statistics.
+/// Modes are processed in waves: a mode is *ready* as soon as every mode it
+/// inherits from has been synthesized. All ready modes are independent —
+/// first-wins inheritance gives every application exactly one owner, so two
+/// ready modes never co-schedule the same application from scratch — and are
+/// solved concurrently on [`std::thread::scope`] workers (one wave of the
+/// 4-mode diamond fixture, for example, synthesizes `normal`, `emergency`
+/// and `maintenance` side by side once `boot` has pinned the shared
+/// application). Results and statistics are merged back in
+/// [`ModeGraph::synthesis_order`], so the outcome is deterministic and
+/// identical to the sequential pipeline.
 ///
 /// # Errors
 ///
 /// Returns a boxed [`SystemSynthesisError`] carrying the partial
-/// [`SystemSchedule`] if any mode cannot be scheduled.
+/// [`SystemSchedule`] if any mode cannot be scheduled. As in the sequential
+/// pipeline, the partial result contains exactly the modes that precede the
+/// failed mode in the synthesis order (plus the failed mode's statistics).
 pub fn synthesize_system(
     system: &System,
     graph: &ModeGraph,
@@ -321,28 +326,83 @@ pub fn synthesize_system(
 ) -> Result<SystemSchedule, Box<SystemSynthesisError>> {
     let plan = graph.inheritance_plan(system);
     let mut result = SystemSchedule::new();
+    let mut remaining = graph.synthesis_order();
 
-    for mode in graph.synthesis_order() {
-        let sources = plan.get(&mode).cloned().unwrap_or_default();
-        let mut inherited = InheritedOffsets::none();
-        for (&app, &source) in &sources {
-            if let Some(donor) = result.get(source) {
-                inherited.import_application(system, app, donor);
-            }
-        }
-        match backend.synthesize(system, mode, config, &inherited) {
-            Ok(schedule) => {
-                result.stats.insert(mode, schedule.stats.clone());
-                result.inheritance.insert(mode, sources);
-                result.schedules.insert(mode, schedule);
-            }
-            Err(failure) => {
-                result.stats.insert(mode, failure.stats);
-                return Err(Box::new(SystemSynthesisError {
-                    mode,
-                    error: failure.error,
-                    partial: result,
-                }));
+    while !remaining.is_empty() {
+        // A mode is ready when all of its inheritance donors are complete.
+        let (batch, rest): (Vec<ModeId>, Vec<ModeId>) =
+            remaining.iter().copied().partition(|mode| {
+                plan.get(mode)
+                    .map(|sources| sources.values().all(|src| result.get(*src).is_some()))
+                    .unwrap_or(true)
+            });
+        debug_assert!(
+            !batch.is_empty(),
+            "the earliest remaining mode only inherits from completed modes"
+        );
+        remaining = rest;
+
+        // Pin the inherited offsets for the whole wave up front (every donor
+        // is complete), then synthesize the wave members concurrently.
+        let jobs: Vec<(ModeId, BTreeMap<AppId, ModeId>, InheritedOffsets)> = batch
+            .into_iter()
+            .map(|mode| {
+                let sources = plan.get(&mode).cloned().unwrap_or_default();
+                let mut inherited = InheritedOffsets::none();
+                for (&app, &source) in &sources {
+                    if let Some(donor) = result.get(source) {
+                        inherited.import_application(system, app, donor);
+                    }
+                }
+                (mode, sources, inherited)
+            })
+            .collect();
+
+        type Outcome = Result<ModeSchedule, SynthesisFailure>;
+        let outcomes: Vec<(ModeId, BTreeMap<AppId, ModeId>, Outcome)> = if jobs.len() == 1 {
+            jobs.into_iter()
+                .map(|(mode, sources, inherited)| {
+                    let outcome = backend.synthesize(system, mode, config, &inherited);
+                    (mode, sources, outcome)
+                })
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|(mode, sources, inherited)| {
+                        let worker = scope
+                            .spawn(move || backend.synthesize(system, mode, config, &inherited));
+                        (mode, sources, worker)
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(mode, sources, worker)| {
+                        let outcome = worker.join().expect("synthesis worker panicked");
+                        (mode, sources, outcome)
+                    })
+                    .collect()
+            })
+        };
+
+        // Merge in synthesis order; the first failure wins and discards any
+        // later-in-order wave results, exactly like the sequential driver.
+        for (mode, sources, outcome) in outcomes {
+            match outcome {
+                Ok(schedule) => {
+                    result.stats.insert(mode, schedule.stats.clone());
+                    result.inheritance.insert(mode, sources);
+                    result.schedules.insert(mode, schedule);
+                }
+                Err(failure) => {
+                    result.stats.insert(mode, failure.stats);
+                    return Err(Box::new(SystemSynthesisError {
+                        mode,
+                        error: failure.error,
+                        partial: result,
+                    }));
+                }
             }
         }
     }
@@ -512,6 +572,44 @@ mod tests {
     }
 
     #[test]
+    fn diamond_mode_graph_synthesizes_switch_consistently() {
+        // boot → normal → {emergency, maintenance}: after boot pins the
+        // shared control application, the other three modes form one parallel
+        // wave. The result must be deterministic and switch-consistent.
+        let (sys, graph, [boot, normal, emergency, maintenance]) = fixtures::four_mode_diamond();
+        let result = synthesize_system(&sys, &graph, &config(), &IlpSynthesizer::default())
+            .expect("all four modes feasible");
+        assert_eq!(result.num_modes(), 4);
+        let ctrl = sys.application_id("ctrl").expect("app exists");
+        assert_eq!(result.inherited_source(boot, ctrl), None);
+        for mode in [normal, emergency, maintenance] {
+            assert_eq!(result.inherited_source(mode, ctrl), Some(boot));
+        }
+        let violations = validate_system_schedule(&sys, &config(), &result);
+        assert!(violations.is_empty(), "validator found: {violations:?}");
+
+        // Running it again produces the identical schedules (parallel waves
+        // must not introduce nondeterminism).
+        let again = synthesize_system(&sys, &graph, &config(), &IlpSynthesizer::default())
+            .expect("all four modes feasible");
+        for (mode, schedule) in result.iter() {
+            let other = again.get(mode).expect("same modes");
+            assert_eq!(schedule.task_offsets, other.task_offsets);
+            assert_eq!(schedule.message_offsets, other.message_offsets);
+        }
+    }
+
+    #[test]
+    fn diamond_mode_graph_works_with_the_heuristic_backend() {
+        let (sys, graph, _) = fixtures::four_mode_diamond();
+        let result = synthesize_system(&sys, &graph, &config(), &HeuristicSynthesizer)
+            .expect("all four modes feasible");
+        assert_eq!(result.num_modes(), 4);
+        let violations = validate_system_schedule(&sys, &config(), &result);
+        assert!(violations.is_empty(), "validator found: {violations:?}");
+    }
+
+    #[test]
     fn failed_mode_keeps_partial_progress_and_stats() {
         // Mode 0 is schedulable; mode 1 has a 5 ms period that cannot fit a
         // single 10 ms round, so it fails — but mode 0's schedule and both
@@ -551,21 +649,42 @@ mod tests {
     }
 
     #[test]
-    fn heuristic_backend_rejects_inheritance() {
+    fn heuristic_backend_honors_inheritance() {
+        // The heuristic backend packs around pinned offsets through the same
+        // trait: re-synthesizing Fig. 3 with its own ILP offsets pinned must
+        // reproduce them exactly.
         let (sys, mode) = fixtures::fig3_system();
         let schedule = synthesize_mode(&sys, mode, &config()).expect("feasible");
         let app = sys.application_id("ctrl").expect("app exists");
         let mut pins = InheritedOffsets::none();
         pins.import_application(&sys, app, &schedule);
-        let err = HeuristicSynthesizer
+        let pinned = HeuristicSynthesizer
             .synthesize(&sys, mode, &config(), &pins)
-            .expect_err("pins unsupported");
-        assert!(matches!(err.error, ScheduleError::Unsupported { .. }));
+            .expect("pins honored");
+        for (t, &offset) in &schedule.task_offsets {
+            assert!(
+                (pinned.task_offsets[t] - offset).abs() < 1e-6,
+                "task {t} moved from {offset} to {}",
+                pinned.task_offsets[t]
+            );
+        }
         // Without pins the heuristic backend works through the same trait.
         let greedy = HeuristicSynthesizer
             .synthesize(&sys, mode, &config(), &InheritedOffsets::none())
             .expect("feasible");
         assert!(greedy.num_rounds() >= 2);
+    }
+
+    #[test]
+    fn heuristic_backend_drives_a_whole_mode_graph() {
+        // The inheritance-aware heuristic makes the full mode-graph pipeline
+        // available without the ILP: the result must be switch-consistent.
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let result = synthesize_system(&sys, &graph, &config(), &HeuristicSynthesizer)
+            .expect("both modes feasible");
+        assert_eq!(result.num_modes(), 2);
+        let violations = validate_system_schedule(&sys, &config(), &result);
+        assert!(violations.is_empty(), "validator found: {violations:?}");
     }
 
     #[test]

@@ -1,11 +1,19 @@
 //! Best-first branch-and-bound over the LP relaxation.
+//!
+//! The constraint matrix is converted to the solver's sparse equality form
+//! **once**; every node then only overrides variable bounds. Each child node
+//! keeps a reference-counted snapshot of its parent's optimal basis and
+//! reoptimizes with the **dual simplex** — after a single bound change the
+//! parent basis stays dual feasible, so a child typically needs a handful of
+//! pivots instead of a full two-phase solve.
 
 use crate::error::SolveError;
 use crate::model::Model;
-use crate::simplex::{self, LpStatus};
+use crate::simplex::{self, Basis, LpStatus, SparseLp, Warm};
 use crate::solution::{Solution, Status};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// A subproblem: the variable bounds of the node and the LP bound of its parent.
 #[derive(Debug, Clone)]
@@ -14,6 +22,8 @@ struct Node {
     /// Lower bound on the node's optimal value (its parent's LP objective).
     bound: f64,
     depth: usize,
+    /// The parent's optimal basis, used to warm-start the dual simplex.
+    warm: Option<Rc<Basis>>,
 }
 
 /// Orders nodes so the [`BinaryHeap`] pops the smallest LP bound first
@@ -44,8 +54,22 @@ impl Ord for Node {
 ///
 /// The returned objective is expressed in the user's optimization sense.
 pub(crate) fn solve(model: &Model) -> Result<Solution, SolveError> {
+    solve_warm(model, None).map(|(solution, _)| solution)
+}
+
+/// Solves the mixed-integer program, optionally warm-starting the root LP
+/// from `warm` (a [`Basis`] snapshot of an earlier, related solve).
+///
+/// Returns the solution together with the optimal basis of the **root**
+/// relaxation, which callers growing the model incrementally feed back into
+/// the next solve.
+pub(crate) fn solve_warm(
+    model: &Model,
+    warm: Option<&Basis>,
+) -> Result<(Solution, Option<Basis>), SolveError> {
     let params = model.params().clone();
     let int_tol = params.integrality_tolerance;
+    let max_iters = params.max_simplex_iterations;
 
     let integer_vars: Vec<usize> = model
         .variables()
@@ -62,35 +86,122 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolveError> {
         })
         .collect();
 
+    // The sparse equality form is shared by every node; only bounds differ.
+    let lp = SparseLp::from_model(model);
+
     let mut nodes_explored = 0usize;
     let mut simplex_iterations = 0usize;
 
+    let root_warm = match warm {
+        Some(basis) => Warm::Primal(basis),
+        None => Warm::Cold,
+    };
+    let (root_lp, root_basis) = simplex::solve_sparse(&lp, &root_bounds, max_iters, root_warm)?;
+    simplex_iterations += root_lp.iterations;
+
     // Pure LPs never need branching.
     if integer_vars.is_empty() {
-        let lp = simplex::solve_lp(model, &root_bounds)?;
-        simplex_iterations += lp.iterations;
-        return Ok(match lp.status {
+        let solution = match root_lp.status {
             LpStatus::Optimal => Solution::new(
                 Status::Optimal,
-                model.signed_objective(lp.objective),
-                lp.values,
+                model.signed_objective(root_lp.objective),
+                root_lp.values,
                 0,
                 simplex_iterations,
             ),
             LpStatus::Infeasible => Solution::infeasible(0, simplex_iterations),
             LpStatus::Unbounded => Solution::unbounded(0, simplex_iterations),
-        });
+        };
+        return Ok((solution, root_basis));
     }
 
-    let mut heap = BinaryHeap::new();
-    heap.push(Node {
-        bounds: root_bounds,
-        bound: f64::NEG_INFINITY,
-        depth: 0,
-    });
+    match root_lp.status {
+        LpStatus::Infeasible => {
+            return Ok((Solution::infeasible(1, simplex_iterations), None));
+        }
+        LpStatus::Unbounded => {
+            return Ok((Solution::unbounded(1, simplex_iterations), None));
+        }
+        LpStatus::Optimal => {}
+    }
+    let shared_root_basis = root_basis.clone().map(Rc::new);
 
+    let mut heap = BinaryHeap::new();
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
-    let mut saw_unbounded_root = false;
+
+    // Seed the search with the root's children (or accept the root outright).
+    let enqueue_children = |heap: &mut BinaryHeap<Node>,
+                            incumbent: &mut Option<(f64, Vec<f64>)>,
+                            bounds: &[(f64, f64)],
+                            lp_objective: f64,
+                            lp_values: Vec<f64>,
+                            depth: usize,
+                            warm: Option<Rc<Basis>>| {
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<(usize, f64, f64)> = None; // (var, value, dist to half)
+        for &vi in &integer_vars {
+            let val = lp_values[vi];
+            let frac = (val - val.round()).abs();
+            if frac > int_tol {
+                let dist_to_half = (val.fract().abs() - 0.5).abs();
+                match branch_var {
+                    None => branch_var = Some((vi, val, dist_to_half)),
+                    Some((_, _, best_dist)) if dist_to_half < best_dist => {
+                        branch_var = Some((vi, val, dist_to_half))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral solution: new incumbent if it improves.
+                let better = incumbent
+                    .as_ref()
+                    .map(|(best, _)| lp_objective < *best)
+                    .unwrap_or(true);
+                if better {
+                    *incumbent = Some((lp_objective, lp_values));
+                }
+            }
+            Some((vi, val, _)) => {
+                let floor = val.floor();
+                let ceil = val.ceil();
+                let (lo, hi) = bounds[vi];
+                if floor >= lo {
+                    let mut b = bounds.to_vec();
+                    b[vi].1 = floor;
+                    heap.push(Node {
+                        bounds: b,
+                        bound: lp_objective,
+                        depth: depth + 1,
+                        warm: warm.clone(),
+                    });
+                }
+                if ceil <= hi {
+                    let mut b = bounds.to_vec();
+                    b[vi].0 = ceil;
+                    heap.push(Node {
+                        bounds: b,
+                        bound: lp_objective,
+                        depth: depth + 1,
+                        warm,
+                    });
+                }
+            }
+        }
+    };
+
+    nodes_explored += 1;
+    enqueue_children(
+        &mut heap,
+        &mut incumbent,
+        &root_bounds,
+        root_lp.objective,
+        root_lp.values,
+        0,
+        shared_root_basis,
+    );
 
     while let Some(node) = heap.pop() {
         // A node whose bound cannot improve on the incumbent is pruned; with
@@ -107,83 +218,40 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolveError> {
         }
         nodes_explored += 1;
 
-        let lp = simplex::solve_lp(model, &node.bounds)?;
-        simplex_iterations += lp.iterations;
-        match lp.status {
+        let warm_mode = match node.warm.as_deref() {
+            Some(basis) => Warm::Dual(basis),
+            None => Warm::Cold,
+        };
+        let (lp_result, node_basis) =
+            simplex::solve_sparse(&lp, &node.bounds, max_iters, warm_mode)?;
+        simplex_iterations += lp_result.iterations;
+        match lp_result.status {
             LpStatus::Infeasible => continue,
-            LpStatus::Unbounded => {
-                if node.depth == 0 {
-                    saw_unbounded_root = true;
-                }
-                // An unbounded relaxation cannot be branched meaningfully.
-                continue;
-            }
+            // An unbounded relaxation cannot be branched meaningfully (the
+            // root was bounded, so children are too; this is defensive).
+            LpStatus::Unbounded => continue,
             LpStatus::Optimal => {}
         }
 
         // Prune by bound against the incumbent.
         if let Some((best, _)) = &incumbent {
-            if lp.objective >= *best - params.relative_gap * best.abs().max(1.0) {
+            if lp_result.objective >= *best - params.relative_gap * best.abs().max(1.0) {
                 continue;
             }
         }
 
-        // Find the most fractional integer variable.
-        let mut branch_var: Option<(usize, f64, f64)> = None; // (var, value, fractionality)
-        for &vi in &integer_vars {
-            let val = lp.values[vi];
-            let frac = (val - val.round()).abs();
-            if frac > int_tol {
-                let dist_to_half = (val.fract().abs() - 0.5).abs();
-                match branch_var {
-                    None => branch_var = Some((vi, val, dist_to_half)),
-                    Some((_, _, best_dist)) if dist_to_half < best_dist => {
-                        branch_var = Some((vi, val, dist_to_half))
-                    }
-                    _ => {}
-                }
-            }
-        }
-
-        match branch_var {
-            None => {
-                // Integral solution: new incumbent if it improves.
-                let better = incumbent
-                    .as_ref()
-                    .map(|(best, _)| lp.objective < *best)
-                    .unwrap_or(true);
-                if better {
-                    incumbent = Some((lp.objective, lp.values));
-                }
-            }
-            Some((vi, val, _)) => {
-                let floor = val.floor();
-                let ceil = val.ceil();
-                let (lo, hi) = node.bounds[vi];
-
-                if floor >= lo {
-                    let mut b = node.bounds.clone();
-                    b[vi].1 = floor;
-                    heap.push(Node {
-                        bounds: b,
-                        bound: lp.objective,
-                        depth: node.depth + 1,
-                    });
-                }
-                if ceil <= hi {
-                    let mut b = node.bounds.clone();
-                    b[vi].0 = ceil;
-                    heap.push(Node {
-                        bounds: b,
-                        bound: lp.objective,
-                        depth: node.depth + 1,
-                    });
-                }
-            }
-        }
+        enqueue_children(
+            &mut heap,
+            &mut incumbent,
+            &node.bounds,
+            lp_result.objective,
+            lp_result.values,
+            node.depth,
+            node_basis.map(Rc::new),
+        );
     }
 
-    Ok(match incumbent {
+    let solution = match incumbent {
         Some((objective, mut values)) => {
             // Snap integer variables onto the lattice to remove solver noise.
             for &vi in &integer_vars {
@@ -197,9 +265,9 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolveError> {
                 simplex_iterations,
             )
         }
-        None if saw_unbounded_root => Solution::unbounded(nodes_explored, simplex_iterations),
         None => Solution::infeasible(nodes_explored, simplex_iterations),
-    })
+    };
+    Ok((solution, root_basis))
 }
 
 #[cfg(test)]
@@ -342,5 +410,57 @@ mod tests {
         // Optimal assignment: job0→m1 (2), job1→m2? costs: choose 2 + 7 + 3 = 12
         // alternatives: 4+3+6=13, 8+4+1=13, 2+4+6=12? (j0→m1=2, j1→m0=4, j2→m2=6)=12.
         assert!((s.objective - 12.0).abs() < 1e-6, "obj={}", s.objective);
+    }
+
+    #[test]
+    fn warm_start_round_trip_solves_faster() {
+        // Solve, then re-solve the same model warm: the warm solve must agree
+        // on the objective and spend (far) fewer simplex iterations.
+        let mut m = Model::new("warm-roundtrip");
+        let x = m.add_integer("x", 0.0, 50.0);
+        let y = m.add_integer("y", 0.0, 50.0);
+        m.set_objective(Sense::Maximize, &[(x, 3.0), (y, 4.0)]);
+        m.add_le(&[(x, 5.0), (y, 7.0)], 61.0);
+        m.add_le(&[(x, 4.0), (y, 3.0)], 37.0);
+        let (cold, basis) = m.solve_with_basis(None).unwrap();
+        assert_eq!(cold.status, Status::Optimal);
+        let basis = basis.expect("root basis");
+        let (warm, _) = m.solve_with_basis(Some(&basis)).unwrap();
+        assert_eq!(warm.status, Status::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        assert!(
+            warm.simplex_iterations <= cold.simplex_iterations,
+            "warm {} vs cold {}",
+            warm.simplex_iterations,
+            cold.simplex_iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_survives_model_growth() {
+        // The add_round pattern: solve, append a variable + rows touching old
+        // variables, re-solve warm. Results must match a cold solve.
+        let mut m = Model::new("warm-grow");
+        let x = m.add_integer("x", 0.0, 10.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.set_objective(Sense::Minimize, &[(x, 1.0), (y, 2.0)]);
+        let c = m.add_ge(&[(x, 1.0), (y, 1.0)], 3.0);
+        let (first, basis) = m.solve_with_basis(None).unwrap();
+        assert_eq!(first.status, Status::Optimal);
+        let basis = basis.expect("root basis");
+
+        let z = m.add_integer("z", 0.0, 10.0);
+        m.add_objective_term(z, 1.0);
+        m.add_term_to_constraint(c, z, 1.0);
+        m.add_ge(&[(y, 1.0), (z, 1.0)], 2.0);
+        let (warm, _) = m.solve_with_basis(Some(&basis)).unwrap();
+        let cold = m.solve().unwrap();
+        assert_eq!(warm.status, Status::Optimal);
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
     }
 }

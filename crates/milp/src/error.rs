@@ -43,6 +43,13 @@ pub enum SolveError {
         /// Number of pivots performed before giving up.
         iterations: usize,
     },
+    /// The simplex hit an unrecoverable numerical dead end (singular or
+    /// near-singular bases even after refactorizing and restarting cold).
+    /// The model is likely badly scaled.
+    NumericalInstability {
+        /// Number of pivots performed before giving up.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -66,6 +73,11 @@ impl fmt::Display for SolveError {
             SolveError::IterationLimitReached { iterations } => write!(
                 f,
                 "simplex iteration limit reached after {iterations} pivots"
+            ),
+            SolveError::NumericalInstability { iterations } => write!(
+                f,
+                "simplex hit a numerical dead end after {iterations} pivots \
+                 (model is likely badly scaled)"
             ),
         }
     }

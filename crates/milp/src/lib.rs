@@ -3,9 +3,35 @@
 //! The TTW schedule synthesis ([Sec. IV of the paper]) formulates the joint
 //! co-scheduling of tasks, messages and communication rounds as an integer
 //! linear program. The original work solves it with Gurobi; this crate is the
-//! self-contained substitute used by the reproduction: a dense two-phase
-//! primal [simplex] LP solver combined with a best-first [branch-and-bound]
-//! search over the integer variables.
+//! self-contained substitute used by the reproduction: a **sparse revised
+//! [simplex]** LP solver combined with a best-first [branch-and-bound] search
+//! over the integer variables.
+//!
+//! ## Solver architecture
+//!
+//! * **Equality form, bounded variables.** Every constraint row gets one
+//!   logical column whose bounds encode the relation; structural columns map
+//!   1:1 onto model variables, so [`Model::set_var_bounds`] / [`Model::fix_var`]
+//!   tighten a column in place instead of splitting it. Fixed columns are
+//!   excluded from pricing altogether.
+//! * **CSC matrix + LU-factorized basis.** The constraint matrix is stored
+//!   column-compressed; the basis is LU-factorized with partial pivoting and
+//!   kept current between refactorizations with product-form eta updates.
+//!   The refactorization policy is: refactorize (and recompute the basic
+//!   solution, purging drift) after 60 eta updates or whenever a pivot is too
+//!   small for a stable update.
+//! * **Warm starts.** An optimal solve returns an opaque [`Basis`] snapshot.
+//!   [`Model::solve_with_basis`] accepts it back: branch-and-bound children
+//!   reoptimize bound changes with the **dual simplex** from the parent basis,
+//!   and a snapshot taken before the model *grew* (rows/columns appended, as
+//!   in the `R_M` sweep of the TTW scheduler) warm-starts the primal from the
+//!   extended basis. The warm-start contract is: appending variables or
+//!   constraints and adjusting coefficients/bounds of existing rows keeps a
+//!   snapshot usable; removing anything invalidates it (the solver then falls
+//!   back to a cold start automatically).
+//! * **Dense reference oracle.** The retired dense tableau solver lives in
+//!   the `dense` module (under `cfg(test)` or the `dense-reference` feature)
+//!   and is used by agreement tests and the dense-vs-sparse benchmarks.
 //!
 //! The modelling API follows the shape of common solver front-ends:
 //!
@@ -40,14 +66,18 @@
 #![warn(missing_docs)]
 
 pub mod branch_bound;
+#[cfg(any(test, feature = "dense-reference"))]
+pub mod dense;
 pub mod error;
 pub mod expr;
 pub mod lp_format;
 pub mod model;
 pub mod simplex;
 pub mod solution;
+mod sparse;
 
 pub use error::SolveError;
 pub use expr::{LinExpr, Term, VarId};
 pub use model::{Constraint, ConstraintId, ConstraintOp, Model, Sense, SolveParams, VarKind};
+pub use simplex::Basis;
 pub use solution::{Solution, Status};

@@ -425,6 +425,31 @@ impl Model {
         branch_bound::solve(self)
     }
 
+    /// Solves the mixed-integer program, optionally warm-starting from the
+    /// basis snapshot of an earlier solve, and returns the optimal basis of
+    /// the root LP relaxation for the caller to reuse.
+    ///
+    /// The warm-start contract: a snapshot taken from this model stays valid
+    /// while the model only *grows* — variables or constraints appended
+    /// ([`Model::add_var`], [`Model::add_constraint`]), coefficients merged
+    /// into existing rows ([`Model::add_term_to_constraint`]), bounds
+    /// tightened ([`Model::set_var_bounds`] / [`Model::fix_var`]), right-hand
+    /// sides or objective terms adjusted. The solver extends the snapshot with
+    /// default statuses for anything new and repairs feasibility from there;
+    /// a snapshot that cannot be applied falls back to a cold start, so a
+    /// stale basis can cost time but never correctness.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Model::solve`].
+    pub fn solve_with_basis(
+        &self,
+        warm: Option<&simplex::Basis>,
+    ) -> Result<(Solution, Option<simplex::Basis>), SolveError> {
+        self.validate()?;
+        branch_bound::solve_warm(self, warm)
+    }
+
     /// Solves only the LP relaxation (integrality constraints dropped).
     ///
     /// # Errors

@@ -1,21 +1,46 @@
-//! Dense two-phase primal simplex for linear programs.
+//! Sparse revised simplex with bounded variables and warm starts.
 //!
-//! The solver works on an explicit tableau. Models are converted to standard
-//! form (all structural variables non-negative, all rows equalities with a
-//! non-negative right-hand side) by shifting/negating/splitting variables
-//! according to their bounds and by adding slack, surplus and artificial
-//! columns. Phase 1 minimizes the sum of artificial variables; phase 2
-//! minimizes the user objective with artificial columns barred from entering
-//! the basis. Dantzig pricing is used by default with a fall-back to Bland's
-//! rule when the objective stalls, which guarantees termination.
+//! The solver works on the equality form `A·x + s = b` where every row gets
+//! one *logical* column `s_i` whose bounds encode the relation (`≤` → `s ≥ 0`,
+//! `≥` → `s ≤ 0`, `=` → `s = 0`). Structural columns map 1:1 onto the model
+//! variables — general bounds, fixed variables and free variables are handled
+//! natively by the bounded-variable pivot rules, so nothing is shifted, split
+//! or duplicated the way the old dense tableau required.
+//!
+//! The constraint matrix is stored column-compressed (`crate::sparse`); the
+//! basis is LU-factorized with partial pivoting and updated between
+//! refactorizations with product-form eta vectors. One iteration prices all
+//! nonbasic columns against the BTRAN'd dual vector (`O(nnz)`), FTRANs the
+//! entering column and performs a bounded ratio test (bound flips are
+//! recognized and cost no basis change).
+//!
+//! Three solve strategies share the machinery:
+//!
+//! * **cold**: all-logical basis, composite phase 1 (minimize the sum of
+//!   bound violations of the basic variables — no artificial columns are ever
+//!   added), then phase 2 on the user objective;
+//! * **warm primal**: statuses are taken from a caller-provided [`Basis`]
+//!   (extended with default statuses when the problem has grown), then the
+//!   same phase 1 / phase 2 pair runs — from a near-feasible basis phase 1
+//!   typically needs a handful of pivots;
+//! * **warm dual**: for bound-change-only reoptimization (branch-and-bound
+//!   children), the parent's optimal basis stays dual feasible, so the dual
+//!   simplex drives out the primal infeasibilities directly.
 
 use crate::error::SolveError;
 use crate::model::{ConstraintOp, Model};
+use crate::sparse::{BasisFactor, CscMatrix};
 
-/// Numerical tolerance used for pivoting and feasibility decisions.
+/// Reduced-cost and pivot tolerance.
 const EPS: f64 = 1e-9;
+/// Bound-violation (primal feasibility) tolerance.
+const FEAS_TOL: f64 = 1e-7;
+/// Smallest pivot element accepted in a ratio test.
+const PIVOT_TOL: f64 = 1e-8;
 /// Number of non-improving iterations after which Bland's rule is enabled.
 const STALL_LIMIT: usize = 200;
+/// Total infeasibility below which phase 1 declares the basis feasible.
+const PHASE1_TOL: f64 = 1e-6;
 
 /// Outcome of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,44 +63,136 @@ pub struct LpResult {
     pub objective: f64,
     /// Values of the original model variables (empty unless optimal).
     pub values: Vec<f64>,
-    /// Number of simplex pivots performed.
+    /// Number of simplex pivots (and bound flips) performed.
     pub iterations: usize,
 }
 
-/// How an original model variable maps onto standard-form columns.
-#[derive(Debug, Clone, Copy)]
-enum ColMap {
-    /// `x = lower + y`, `y ≥ 0` stored in column `col`.
-    Shifted { col: usize, lower: f64 },
-    /// `x = upper − y`, `y ≥ 0` stored in column `col` (lower bound is −∞).
-    Negated { col: usize, upper: f64 },
-    /// `x = y⁺ − y⁻` for a free variable.
-    Free { pos: usize, neg: usize },
+/// Status of one column relative to the current basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarStatus {
+    /// In the basis; its value lives in the basic-solution vector.
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Nonbasic free variable, parked at zero.
+    Free,
 }
 
-/// A row of the standard-form problem before slack/artificial augmentation.
+/// A simplex basis snapshot used for warm starts.
+///
+/// Obtained from [`crate::Model::solve_with_basis`] and accepted back by the
+/// same entry point. The snapshot remains usable after the model *grows*
+/// (variables or constraints appended, coefficients of existing rows
+/// adjusted): new columns enter at a bound, new rows enter on their logical
+/// column, and the solver repairs feasibility from there — the warm-start
+/// contract behind [`IlpInstance::add_round`]-style incremental sweeps.
+///
+/// [`IlpInstance::add_round`]: https://docs.rs/ttw-core
 #[derive(Debug, Clone)]
-struct StdRow {
-    coeffs: Vec<(usize, f64)>,
-    op: ConstraintOp,
-    rhs: f64,
+pub struct Basis {
+    /// Structural column count when the snapshot was taken.
+    nstruct: usize,
+    /// Row count when the snapshot was taken.
+    nrows: usize,
+    /// Status per column (structural `0..nstruct`, then logical per row).
+    status: Vec<VarStatus>,
+    /// Basic column per row, in the snapshot's column numbering.
+    basic: Vec<usize>,
 }
 
-/// Standard-form representation of an LP.
+/// Equality-form sparse LP extracted from a [`Model`].
+///
+/// Structural bounds are *not* stored here — they are passed per solve so
+/// branch-and-bound can explore bound subproblems against one matrix.
 #[derive(Debug, Clone)]
-struct StandardForm {
-    mapping: Vec<ColMap>,
-    num_structural: usize,
-    rows: Vec<StdRow>,
-    objective: Vec<f64>,
-    objective_offset: f64,
+pub(crate) struct SparseLp {
+    nrows: usize,
+    nstruct: usize,
+    /// All columns: structural then one logical per row.
+    cols: CscMatrix,
+    /// Minimization costs per column (logical columns cost 0).
+    cost: Vec<f64>,
+    rhs: Vec<f64>,
+    /// Constant term of the minimization objective.
+    obj_offset: f64,
+    /// Bounds of the logical columns (encode the row relations).
+    logical_lower: Vec<f64>,
+    logical_upper: Vec<f64>,
+}
+
+impl SparseLp {
+    /// Builds the equality-form problem from a model.
+    pub(crate) fn from_model(model: &Model) -> Self {
+        let nrows = model.num_constraints();
+        let nstruct = model.num_vars();
+        let mut cols = CscMatrix::new(nrows);
+
+        // Structural columns: gather the per-column entries from the rows.
+        let mut entries: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nstruct];
+        let mut rhs = Vec::with_capacity(nrows);
+        let mut logical_lower = Vec::with_capacity(nrows);
+        let mut logical_upper = Vec::with_capacity(nrows);
+        for (i, c) in model.constraints().enumerate() {
+            for (var, coeff) in c.expr.iter() {
+                entries[var.index()].push((i, coeff));
+            }
+            rhs.push(c.rhs);
+            let (lo, hi) = match c.op {
+                ConstraintOp::Le => (0.0, f64::INFINITY),
+                ConstraintOp::Ge => (f64::NEG_INFINITY, 0.0),
+                ConstraintOp::Eq => (0.0, 0.0),
+            };
+            logical_lower.push(lo);
+            logical_upper.push(hi);
+        }
+        for col in &entries {
+            cols.push_column(col);
+        }
+        // Logical identity columns.
+        for i in 0..nrows {
+            cols.push_column(&[(i, 1.0)]);
+        }
+
+        let min_obj = model.minimization_objective();
+        let mut cost = vec![0.0; nstruct + nrows];
+        for (var, coeff) in min_obj.iter() {
+            cost[var.index()] += coeff;
+        }
+
+        SparseLp {
+            nrows,
+            nstruct,
+            cols,
+            cost,
+            rhs,
+            obj_offset: min_obj.constant_term(),
+            logical_lower,
+            logical_upper,
+        }
+    }
+
+    fn ncols(&self) -> usize {
+        self.nstruct + self.nrows
+    }
+}
+
+/// Warm-start strategy for [`solve_sparse`].
+pub(crate) enum Warm<'a> {
+    /// All-logical basis, two-phase primal.
+    Cold,
+    /// Statuses from a snapshot (extended if the problem grew), two-phase
+    /// primal — the snapshot only has to be *near* feasible.
+    Primal(&'a Basis),
+    /// Dual simplex from a snapshot that is dual feasible for the current
+    /// costs (bound changes only since the snapshot was taken). Falls back to
+    /// a cold primal solve when the snapshot cannot be applied.
+    Dual(&'a Basis),
 }
 
 /// Solves the LP relaxation of `model` with the variable bounds overridden by
 /// `bounds` (one `(lower, upper)` pair per model variable, in column order).
-///
-/// Branch-and-bound uses the bound override to explore subproblems without
-/// mutating the model.
 ///
 /// # Errors
 ///
@@ -83,417 +200,834 @@ struct StandardForm {
 /// model's [`crate::SolveParams`] is exhausted.
 pub(crate) fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> Result<LpResult, SolveError> {
     debug_assert_eq!(bounds.len(), model.num_vars());
+    let lp = SparseLp::from_model(model);
+    let max_iters = model.params().max_simplex_iterations;
+    solve_sparse(&lp, bounds, max_iters, Warm::Cold).map(|(r, _)| r)
+}
 
+/// Solves a prepared [`SparseLp`] under the given structural bounds.
+///
+/// On an optimal outcome the returned [`Basis`] snapshot can warm-start the
+/// next related solve.
+pub(crate) fn solve_sparse(
+    lp: &SparseLp,
+    bounds: &[(f64, f64)],
+    max_iters: usize,
+    warm: Warm<'_>,
+) -> Result<(LpResult, Option<Basis>), SolveError> {
     // A bound pair with lower > upper makes the subproblem trivially infeasible.
     if bounds.iter().any(|(l, u)| l > u) {
-        return Ok(LpResult {
-            status: LpStatus::Infeasible,
-            objective: f64::INFINITY,
-            values: Vec::new(),
-            iterations: 0,
-        });
-    }
-
-    let std = build_standard_form(model, bounds);
-    let max_iters = model.params().max_simplex_iterations;
-    let mut tableau = Tableau::new(&std);
-    let result = tableau.run_two_phase(&std, max_iters)?;
-    Ok(result)
-}
-
-/// Converts the model plus bound overrides into standard form.
-fn build_standard_form(model: &Model, bounds: &[(f64, f64)]) -> StandardForm {
-    let mut mapping = Vec::with_capacity(model.num_vars());
-    let mut next_col = 0usize;
-    let mut extra_rows: Vec<StdRow> = Vec::new();
-
-    for (_, (lower, upper)) in model.variables().zip(bounds.iter().copied()) {
-        if lower.is_finite() {
-            let col = next_col;
-            next_col += 1;
-            mapping.push(ColMap::Shifted { col, lower });
-            if upper.is_finite() {
-                extra_rows.push(StdRow {
-                    coeffs: vec![(col, 1.0)],
-                    op: ConstraintOp::Le,
-                    rhs: upper - lower,
-                });
-            }
-        } else if upper.is_finite() {
-            let col = next_col;
-            next_col += 1;
-            mapping.push(ColMap::Negated { col, upper });
-        } else {
-            let pos = next_col;
-            let neg = next_col + 1;
-            next_col += 2;
-            mapping.push(ColMap::Free { pos, neg });
-        }
-    }
-
-    let num_structural = next_col;
-
-    // Objective in standard columns.
-    let mut objective = vec![0.0; num_structural];
-    let mut objective_offset = 0.0;
-    let min_obj = model.minimization_objective();
-    for (var, coeff) in min_obj.iter() {
-        match mapping[var.index()] {
-            ColMap::Shifted { col, lower } => {
-                objective[col] += coeff;
-                objective_offset += coeff * lower;
-            }
-            ColMap::Negated { col, upper } => {
-                objective[col] -= coeff;
-                objective_offset += coeff * upper;
-            }
-            ColMap::Free { pos, neg } => {
-                objective[pos] += coeff;
-                objective[neg] -= coeff;
-            }
-        }
-    }
-    objective_offset += min_obj.constant_term();
-
-    // Constraint rows in standard columns.
-    let mut rows = Vec::with_capacity(model.num_constraints() + extra_rows.len());
-    for c in model.constraints() {
-        let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(c.expr.len());
-        let mut rhs = c.rhs;
-        let mut dense = vec![0.0; num_structural];
-        for (var, coeff) in c.expr.iter() {
-            match mapping[var.index()] {
-                ColMap::Shifted { col, lower } => {
-                    dense[col] += coeff;
-                    rhs -= coeff * lower;
-                }
-                ColMap::Negated { col, upper } => {
-                    dense[col] -= coeff;
-                    rhs -= coeff * upper;
-                }
-                ColMap::Free { pos, neg } => {
-                    dense[pos] += coeff;
-                    dense[neg] -= coeff;
-                }
-            }
-        }
-        for (j, v) in dense.into_iter().enumerate() {
-            if v.abs() > 0.0 {
-                coeffs.push((j, v));
-            }
-        }
-        rows.push(StdRow {
-            coeffs,
-            op: c.op,
-            rhs,
-        });
-    }
-    rows.extend(extra_rows);
-
-    StandardForm {
-        mapping,
-        num_structural,
-        rows,
-        objective,
-        objective_offset,
-    }
-}
-
-/// Full-tableau simplex state.
-struct Tableau {
-    /// `rows × (num_cols + 1)`; the last column is the right-hand side.
-    rows: Vec<Vec<f64>>,
-    /// Objective row (reduced costs); last entry is `-objective_value`.
-    obj: Vec<f64>,
-    /// Basic column for each row.
-    basis: Vec<usize>,
-    /// Total number of columns (structural + slack/surplus + artificial).
-    num_cols: usize,
-    /// Columns `>= artificial_start` are artificial.
-    artificial_start: usize,
-    /// Number of structural columns.
-    num_structural: usize,
-    /// Pivot counter.
-    iterations: usize,
-}
-
-impl Tableau {
-    fn new(std: &StandardForm) -> Self {
-        let m = std.rows.len();
-
-        // Count slack/surplus and artificial columns.
-        let mut num_slack = 0usize;
-        let mut num_artificial = 0usize;
-        for row in &std.rows {
-            let rhs_negative = row.rhs < 0.0;
-            let op = effective_op(row.op, rhs_negative);
-            match op {
-                ConstraintOp::Le => num_slack += 1,
-                ConstraintOp::Ge => {
-                    num_slack += 1;
-                    num_artificial += 1;
-                }
-                ConstraintOp::Eq => num_artificial += 1,
-            }
-        }
-
-        let slack_start = std.num_structural;
-        let artificial_start = slack_start + num_slack;
-        let num_cols = artificial_start + num_artificial;
-
-        let mut rows = vec![vec![0.0; num_cols + 1]; m];
-        let mut basis = vec![0usize; m];
-        let mut next_slack = slack_start;
-        let mut next_artificial = artificial_start;
-
-        for (i, row) in std.rows.iter().enumerate() {
-            let sign = if row.rhs < 0.0 { -1.0 } else { 1.0 };
-            for &(j, v) in &row.coeffs {
-                rows[i][j] = sign * v;
-            }
-            rows[i][num_cols] = sign * row.rhs;
-            let op = effective_op(row.op, row.rhs < 0.0);
-            match op {
-                ConstraintOp::Le => {
-                    rows[i][next_slack] = 1.0;
-                    basis[i] = next_slack;
-                    next_slack += 1;
-                }
-                ConstraintOp::Ge => {
-                    rows[i][next_slack] = -1.0;
-                    next_slack += 1;
-                    rows[i][next_artificial] = 1.0;
-                    basis[i] = next_artificial;
-                    next_artificial += 1;
-                }
-                ConstraintOp::Eq => {
-                    rows[i][next_artificial] = 1.0;
-                    basis[i] = next_artificial;
-                    next_artificial += 1;
-                }
-            }
-        }
-
-        Tableau {
-            rows,
-            obj: vec![0.0; num_cols + 1],
-            basis,
-            num_cols,
-            artificial_start,
-            num_structural: std.num_structural,
-            iterations: 0,
-        }
-    }
-
-    /// Runs phase 1 and phase 2, returning the result in original variables.
-    fn run_two_phase(
-        &mut self,
-        std: &StandardForm,
-        max_iters: usize,
-    ) -> Result<LpResult, SolveError> {
-        // ---- Phase 1: minimize the sum of artificial variables. ----
-        let phase1_costs: Vec<f64> = (0..self.num_cols)
-            .map(|j| if j >= self.artificial_start { 1.0 } else { 0.0 })
-            .collect();
-        self.install_objective(&phase1_costs);
-        let status = self.optimize(max_iters, true)?;
-        debug_assert_ne!(status, LpStatus::Unbounded, "phase 1 is bounded below by 0");
-        let phase1_value = -self.obj[self.num_cols];
-        if phase1_value > 1e-6 {
-            return Ok(LpResult {
+        return Ok((
+            LpResult {
                 status: LpStatus::Infeasible,
                 objective: f64::INFINITY,
                 values: Vec::new(),
-                iterations: self.iterations,
-            });
-        }
-        self.drive_out_artificials();
-
-        // ---- Phase 2: minimize the user objective. ----
-        let mut phase2_costs = vec![0.0; self.num_cols];
-        phase2_costs[..std.num_structural].copy_from_slice(&std.objective);
-        self.install_objective(&phase2_costs);
-        let status = self.optimize(max_iters, false)?;
-        if status == LpStatus::Unbounded {
-            return Ok(LpResult {
-                status: LpStatus::Unbounded,
-                objective: f64::NEG_INFINITY,
-                values: Vec::new(),
-                iterations: self.iterations,
-            });
-        }
-
-        // Extract structural values, then map back to original variables.
-        let mut structural = vec![0.0; self.num_structural];
-        for (i, &b) in self.basis.iter().enumerate() {
-            if b < self.num_structural {
-                structural[b] = self.rows[i][self.num_cols];
-            }
-        }
-        let values = std
-            .mapping
-            .iter()
-            .map(|map| match *map {
-                ColMap::Shifted { col, lower } => lower + structural[col],
-                ColMap::Negated { col, upper } => upper - structural[col],
-                ColMap::Free { pos, neg } => structural[pos] - structural[neg],
-            })
-            .collect();
-        let objective = -self.obj[self.num_cols] + std.objective_offset;
-
-        Ok(LpResult {
-            status: LpStatus::Optimal,
-            objective,
-            values,
-            iterations: self.iterations,
-        })
+                iterations: 0,
+            },
+            None,
+        ));
     }
 
-    /// Installs a cost vector and prices out the current basis.
-    fn install_objective(&mut self, costs: &[f64]) {
-        self.obj = vec![0.0; self.num_cols + 1];
-        self.obj[..self.num_cols].copy_from_slice(costs);
-        for i in 0..self.rows.len() {
-            let c_b = costs[self.basis[i]];
-            if c_b != 0.0 {
-                for j in 0..=self.num_cols {
-                    self.obj[j] -= c_b * self.rows[i][j];
+    let mut engine = Engine::new(lp, bounds, max_iters);
+    let mut started_cold = false;
+    match warm {
+        Warm::Cold => {
+            engine.install_cold_basis();
+            started_cold = true;
+        }
+        Warm::Primal(basis) => {
+            if !engine.install_warm_basis(basis) {
+                engine.install_cold_basis();
+                started_cold = true;
+            }
+        }
+        Warm::Dual(basis) => {
+            if engine.install_warm_basis(basis) {
+                match engine.dual()? {
+                    DualOutcome::Optimal => return engine.finish(LpStatus::Optimal),
+                    DualOutcome::Infeasible => return engine.finish(LpStatus::Infeasible),
+                    DualOutcome::Stuck => {
+                        // Numerical trouble: restart from scratch below.
+                        engine.install_cold_basis();
+                        started_cold = true;
+                    }
+                }
+            } else {
+                engine.install_cold_basis();
+                started_cold = true;
+            }
+        }
+    }
+
+    // Two-phase primal; one numerical dead end is answered by restarting
+    // from the cold basis, a second is surfaced as an error — never as a
+    // fabricated Optimal/Infeasible status.
+    loop {
+        match engine.two_phase() {
+            Ok(status) => return engine.finish(status),
+            Err(EngineError::Budget(e)) => return Err(e),
+            Err(EngineError::Numerical) => {
+                if started_cold {
+                    return Err(SolveError::NumericalInstability {
+                        iterations: engine.iterations,
+                    });
+                }
+                started_cold = true;
+                engine.install_cold_basis();
+            }
+        }
+    }
+}
+
+/// Outcome of a dual-simplex run.
+enum DualOutcome {
+    Optimal,
+    Infeasible,
+    Stuck,
+}
+
+/// Internal failure of a primal phase.
+enum EngineError {
+    /// A resource budget was exhausted (propagated verbatim).
+    Budget(SolveError),
+    /// The basis trajectory hit an unrecoverable numerical dead end; the
+    /// driver restarts from a cold basis once before giving up.
+    Numerical,
+}
+
+impl From<SolveError> for EngineError {
+    fn from(e: SolveError) -> Self {
+        EngineError::Budget(e)
+    }
+}
+
+/// The revised-simplex engine: factorized basis, statuses and workspaces.
+struct Engine<'a> {
+    lp: &'a SparseLp,
+    /// Bounds for every column (structural overridden, logical fixed).
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    status: Vec<VarStatus>,
+    /// Basic column per row.
+    basic: Vec<usize>,
+    /// Basic values per row.
+    xb: Vec<f64>,
+    factor: BasisFactor,
+    iterations: usize,
+    max_iters: usize,
+    /// Dense workspaces (length `nrows`).
+    w: Vec<f64>,
+    y: Vec<f64>,
+    /// Phase-1 cost workspace (length `ncols`) and the entries set last
+    /// iteration, so the vector is cleared in `O(touched)` instead of being
+    /// reallocated per pivot.
+    c1: Vec<f64>,
+    c1_touched: Vec<usize>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(lp: &'a SparseLp, bounds: &[(f64, f64)], max_iters: usize) -> Self {
+        let ncols = lp.ncols();
+        let mut lower = Vec::with_capacity(ncols);
+        let mut upper = Vec::with_capacity(ncols);
+        for &(l, u) in bounds {
+            lower.push(l);
+            upper.push(u);
+        }
+        lower.extend_from_slice(&lp.logical_lower);
+        upper.extend_from_slice(&lp.logical_upper);
+        Engine {
+            lp,
+            lower,
+            upper,
+            status: vec![VarStatus::AtLower; ncols],
+            basic: Vec::new(),
+            xb: Vec::new(),
+            factor: BasisFactor::default(),
+            iterations: 0,
+            max_iters,
+            w: vec![0.0; lp.nrows],
+            y: vec![0.0; lp.nrows],
+            c1: vec![0.0; ncols],
+            c1_touched: Vec::new(),
+        }
+    }
+
+    /// Runs phase 1 then phase 2 from the currently installed basis.
+    fn two_phase(&mut self) -> Result<LpStatus, EngineError> {
+        if !self.phase1()? {
+            return Ok(LpStatus::Infeasible);
+        }
+        self.phase2()
+    }
+
+    /// Preferred nonbasic status for a column given its bounds.
+    fn default_status(&self, j: usize) -> VarStatus {
+        if self.lower[j].is_finite() {
+            VarStatus::AtLower
+        } else if self.upper[j].is_finite() {
+            VarStatus::AtUpper
+        } else {
+            VarStatus::Free
+        }
+    }
+
+    /// Value of a nonbasic column.
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::AtLower => self.lower[j],
+            VarStatus::AtUpper => self.upper[j],
+            VarStatus::Free => 0.0,
+            VarStatus::Basic => unreachable!("basic column asked for nonbasic value"),
+        }
+    }
+
+    /// All-logical starting basis.
+    fn install_cold_basis(&mut self) {
+        let ncols = self.lp.ncols();
+        for j in 0..self.lp.nstruct {
+            self.status[j] = self.default_status(j);
+        }
+        self.basic = (self.lp.nstruct..ncols).collect();
+        for (i, &j) in self.basic.iter().enumerate() {
+            debug_assert_eq!(j, self.lp.nstruct + i);
+            self.status[j] = VarStatus::Basic;
+        }
+        let ok = self.refactorize();
+        debug_assert!(ok, "the all-logical basis is the identity");
+        self.compute_xb();
+    }
+
+    /// Installs a snapshot, extending it if the problem has grown since it
+    /// was taken. Returns `false` (leaving the engine unusable until another
+    /// install) when the snapshot does not fit or its basis is singular.
+    fn install_warm_basis(&mut self, basis: &Basis) -> bool {
+        let (s0, r0) = (basis.nstruct, basis.nrows);
+        let (s1, r1) = (self.lp.nstruct, self.lp.nrows);
+        if s0 > s1 || r0 > r1 || basis.basic.len() != r0 {
+            return false;
+        }
+        // Map a snapshot column index to the current numbering.
+        let remap = |j: usize| if j < s0 { j } else { s1 + (j - s0) };
+        for j in 0..s1 {
+            self.status[j] = if j < s0 {
+                basis.status[j]
+            } else {
+                self.default_status(j)
+            };
+        }
+        for i in 0..r1 {
+            let j = s1 + i;
+            self.status[j] = if i < r0 {
+                basis.status[s0 + i]
+            } else {
+                VarStatus::Basic
+            };
+        }
+        self.basic = basis.basic.iter().map(|&j| remap(j)).collect();
+        self.basic.extend((r0..r1).map(|i| s1 + i));
+        for &j in &self.basic {
+            self.status[j] = VarStatus::Basic;
+        }
+        // Sanitize nonbasic statuses against the current bounds (a bound may
+        // have appeared, moved to infinity or become fixed since the
+        // snapshot): a nonbasic column must sit at a bound that exists, and a
+        // free-parked column whose bounds have since become finite would
+        // otherwise be held at 0 outside its range without any phase
+        // noticing (only basic columns are feasibility-checked).
+        for j in 0..self.lp.ncols() {
+            match self.status[j] {
+                VarStatus::AtLower if !self.lower[j].is_finite() => {
+                    self.status[j] = self.default_status(j);
+                }
+                VarStatus::AtUpper if !self.upper[j].is_finite() => {
+                    self.status[j] = self.default_status(j);
+                }
+                VarStatus::Free if self.lower[j].is_finite() || self.upper[j].is_finite() => {
+                    self.status[j] = self.default_status(j);
+                }
+                _ => {}
+            }
+        }
+        if !self.refactorize() {
+            return false;
+        }
+        self.compute_xb();
+        true
+    }
+
+    /// Factorizes the current basis from scratch. Returns `false` if singular.
+    fn refactorize(&mut self) -> bool {
+        let lp = self.lp;
+        let columns = self.basic.iter().map(|&j| {
+            let (rows, vals) = lp.cols.column(j);
+            (rows.to_vec(), vals.to_vec())
+        });
+        self.factor.refactorize(lp.nrows, columns).is_ok()
+    }
+
+    /// Recomputes the basic values `x_B = B⁻¹ (b − N·x_N)`.
+    fn compute_xb(&mut self) {
+        let lp = self.lp;
+        let mut r = lp.rhs.clone();
+        for j in 0..lp.ncols() {
+            if self.status[j] != VarStatus::Basic {
+                let v = self.nonbasic_value(j);
+                if v != 0.0 {
+                    lp.cols.scatter_column(j, -v, &mut r);
                 }
             }
         }
+        self.factor.ftran(&mut r);
+        self.xb = r;
     }
 
-    /// Pivots until optimality, unboundedness or the iteration budget.
-    fn optimize(&mut self, max_iters: usize, phase1: bool) -> Result<LpStatus, SolveError> {
-        let mut stall = 0usize;
-        let mut last_obj = -self.obj[self.num_cols];
-        loop {
-            if self.iterations >= max_iters {
-                return Err(SolveError::IterationLimitReached {
-                    iterations: self.iterations,
-                });
+    /// Refactorizes (recomputing `x_B` to purge drift) when the eta file is
+    /// long. Returns `false` on a singular basis, which callers treat as
+    /// numerical trouble.
+    fn maybe_refactorize(&mut self) -> bool {
+        if self.factor.should_refactorize() {
+            if !self.refactorize() {
+                return false;
             }
-            let use_bland = stall > STALL_LIMIT;
-            let entering = self.choose_entering(phase1, use_bland);
-            let Some(entering) = entering else {
-                return Ok(LpStatus::Optimal);
-            };
-            let Some(leaving_row) = self.choose_leaving(entering) else {
-                return Ok(LpStatus::Unbounded);
-            };
-            self.pivot(leaving_row, entering);
-            self.iterations += 1;
+            self.compute_xb();
+        }
+        true
+    }
 
-            let obj = -self.obj[self.num_cols];
+    /// Counts one pivot/flip against the budget.
+    fn charge_iteration(&mut self) -> Result<(), SolveError> {
+        self.iterations += 1;
+        if self.iterations > self.max_iters {
+            return Err(SolveError::IterationLimitReached {
+                iterations: self.iterations,
+            });
+        }
+        Ok(())
+    }
+
+    /// Prices all nonbasic columns against `y` and returns the entering
+    /// column and its direction, or `None` at optimality.
+    ///
+    /// `cost` is the phase cost per column. Fixed columns never enter.
+    fn price(&self, y: &[f64], cost: &[f64], bland: bool) -> Option<(usize, f64)> {
+        let lp = self.lp;
+        let mut best: Option<(usize, f64, f64)> = None; // (col, direction, score)
+        for (j, &cj) in cost.iter().enumerate().take(lp.ncols()) {
+            let status = self.status[j];
+            if status == VarStatus::Basic || self.lower[j] == self.upper[j] {
+                continue;
+            }
+            let d = cj - lp.cols.column_dot(j, y);
+            let (dir, score) = match status {
+                VarStatus::AtLower => (1.0, -d),
+                VarStatus::AtUpper => (-1.0, d),
+                VarStatus::Free => {
+                    if d < 0.0 {
+                        (1.0, -d)
+                    } else {
+                        (-1.0, d)
+                    }
+                }
+                VarStatus::Basic => unreachable!(),
+            };
+            if score > EPS {
+                if bland {
+                    return Some((j, dir));
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, _, s)) => score > s,
+                };
+                if better {
+                    best = Some((j, dir, score));
+                }
+            }
+        }
+        best.map(|(j, dir, _)| (j, dir))
+    }
+
+    /// Dual vector `y = B⁻ᵀ c_B` for the given per-column costs.
+    fn btran_costs(&mut self, cost: &[f64]) {
+        for i in 0..self.lp.nrows {
+            self.y[i] = cost[self.basic[i]];
+        }
+        let mut y = std::mem::take(&mut self.y);
+        self.factor.btran(&mut y);
+        self.y = y;
+    }
+
+    /// FTRANs column `q` into the `w` workspace.
+    fn ftran_column(&mut self, q: usize) {
+        self.w.iter_mut().for_each(|v| *v = 0.0);
+        self.lp.cols.scatter_column(q, 1.0, &mut self.w);
+        let mut w = std::mem::take(&mut self.w);
+        self.factor.ftran(&mut w);
+        self.w = w;
+    }
+
+    /// Executes the basis change `basic[row] := q` after the entering column
+    /// has been FTRAN'd into `w`, moving the entering variable by `step`
+    /// (signed) and parking the leaving variable at `leave_status`.
+    ///
+    /// Returns `false` when the eta pivot is numerically unacceptable even
+    /// after a refactorization (caller treats this as numerical trouble).
+    fn pivot(&mut self, row: usize, q: usize, step: f64, leave_status: VarStatus) -> bool {
+        let entering_prev_status = self.status[q];
+        let entering_value = self.nonbasic_value(q) + step;
+        if step != 0.0 {
+            for i in 0..self.lp.nrows {
+                let wi = self.w[i];
+                if wi != 0.0 {
+                    self.xb[i] -= step * wi;
+                }
+            }
+        }
+        let leaving = self.basic[row];
+        if !self.factor.push_eta(row, &self.w) {
+            // Pivot too small for an eta update: commit the exchange and
+            // refactorize the whole basis instead.
+            self.status[leaving] = leave_status;
+            self.basic[row] = q;
+            self.status[q] = VarStatus::Basic;
+            if !self.refactorize() {
+                // The exchanged basis is singular — roll back and signal
+                // numerical trouble to the caller.
+                self.status[q] = entering_prev_status;
+                self.basic[row] = leaving;
+                self.status[leaving] = VarStatus::Basic;
+                let _ = self.refactorize();
+                self.compute_xb();
+                return false;
+            }
+            self.compute_xb();
+            return true;
+        }
+        self.status[leaving] = leave_status;
+        self.basic[row] = q;
+        self.status[q] = VarStatus::Basic;
+        self.xb[row] = entering_value;
+        true
+    }
+
+    /// Total primal infeasibility of the basic solution.
+    fn infeasibility(&self) -> f64 {
+        let mut total = 0.0;
+        for (i, &j) in self.basic.iter().enumerate() {
+            let x = self.xb[i];
+            if x < self.lower[j] - FEAS_TOL {
+                total += self.lower[j] - x;
+            } else if x > self.upper[j] + FEAS_TOL {
+                total += x - self.upper[j];
+            }
+        }
+        total
+    }
+
+    /// Bounded ratio test shared by both primal phases, run after the
+    /// entering column `q` has been FTRAN'd into `w`.
+    ///
+    /// Returns the step limit and the blocking row with the status the
+    /// leaving variable parks at (`None` = the limit is the entering
+    /// column's own bound flip, or infinity). In phase-1 mode, infeasible
+    /// basics moving *toward* their violated bound block there (and become
+    /// feasible) while infeasible basics moving away never block; feasible
+    /// basics block at whichever bound they approach, exactly as in phase 2.
+    fn ratio_test(
+        &self,
+        q: usize,
+        dir: f64,
+        phase1: bool,
+        bland: bool,
+    ) -> (f64, Option<(usize, VarStatus)>) {
+        let mut t_best = if self.lower[q].is_finite() && self.upper[q].is_finite() {
+            self.upper[q] - self.lower[q]
+        } else {
+            f64::INFINITY
+        };
+        let mut blocking: Option<(usize, VarStatus, f64)> = None; // (row, leave status, |w|)
+        for i in 0..self.lp.nrows {
+            let wi = self.w[i];
+            let delta = dir * wi; // rate of *decrease* of xb[i]
+            if delta.abs() <= PIVOT_TOL {
+                continue;
+            }
+            let bj = self.basic[i];
+            let (l, u, x) = (self.lower[bj], self.upper[bj], self.xb[i]);
+            let (limit, leave) = if phase1 && x < l - FEAS_TOL {
+                if delta < 0.0 {
+                    ((l - x) / -delta, VarStatus::AtLower)
+                } else {
+                    continue;
+                }
+            } else if phase1 && x > u + FEAS_TOL {
+                if delta > 0.0 {
+                    ((x - u) / delta, VarStatus::AtUpper)
+                } else {
+                    continue;
+                }
+            } else if delta > 0.0 {
+                if l.is_finite() {
+                    ((x - l) / delta, VarStatus::AtLower)
+                } else {
+                    continue;
+                }
+            } else if u.is_finite() {
+                ((u - x) / -delta, VarStatus::AtUpper)
+            } else {
+                continue;
+            };
+            let limit = limit.max(0.0);
+            let replace = match blocking {
+                _ if limit > t_best + EPS => false,
+                None => true,
+                Some((bi, _, babs)) => {
+                    if limit < t_best - EPS {
+                        true
+                    } else if bland {
+                        self.basic[i] < self.basic[bi]
+                    } else {
+                        wi.abs() > babs
+                    }
+                }
+            };
+            if replace {
+                t_best = limit.min(t_best);
+                blocking = Some((i, leave, wi.abs()));
+            }
+        }
+        (t_best, blocking.map(|(row, leave, _)| (row, leave)))
+    }
+
+    /// Flips the entering column to its opposite bound (no basis change).
+    fn bound_flip(&mut self, q: usize, dir: f64, t: f64) {
+        for i in 0..self.lp.nrows {
+            self.xb[i] -= dir * self.w[i] * t;
+        }
+        self.status[q] = match self.status[q] {
+            VarStatus::AtLower => VarStatus::AtUpper,
+            VarStatus::AtUpper => VarStatus::AtLower,
+            other => other,
+        };
+    }
+
+    /// Composite phase 1: minimizes the sum of bound violations of the basic
+    /// variables starting from the *current* basis. Returns `true` when a
+    /// feasible basis is reached, `false` when the LP is infeasible.
+    fn phase1(&mut self) -> Result<bool, EngineError> {
+        let mut stall = 0usize;
+        let mut last_f = f64::INFINITY;
+        let mut retried = false;
+        loop {
+            let f = self.infeasibility();
+            if f <= PHASE1_TOL {
+                return Ok(true);
+            }
+            if f < last_f - EPS {
+                stall = 0;
+                last_f = f;
+            } else {
+                stall += 1;
+            }
+            let bland = stall > STALL_LIMIT;
+
+            // Phase-1 costs: −1 below the lower bound, +1 above the upper.
+            // Only basic columns can be infeasible, so nonbasic costs are 0;
+            // the workspace is cleared entry-wise instead of reallocated.
+            let mut c1 = std::mem::take(&mut self.c1);
+            for &j in &self.c1_touched {
+                c1[j] = 0.0;
+            }
+            self.c1_touched.clear();
+            for (i, &j) in self.basic.iter().enumerate() {
+                if self.xb[i] < self.lower[j] - FEAS_TOL {
+                    c1[j] = -1.0;
+                    self.c1_touched.push(j);
+                } else if self.xb[i] > self.upper[j] + FEAS_TOL {
+                    c1[j] = 1.0;
+                    self.c1_touched.push(j);
+                }
+            }
+            self.btran_costs(&c1);
+            let y = std::mem::take(&mut self.y);
+            let entering = self.price(&y, &c1, bland);
+            self.y = y;
+            self.c1 = c1;
+            let Some((q, dir)) = entering else {
+                // No improving column: the violation sum is minimal.
+                return Ok(self.infeasibility() <= PHASE1_TOL);
+            };
+
+            self.ftran_column(q);
+            let (t_best, blocking) = self.ratio_test(q, dir, true, bland);
+
+            self.charge_iteration()?;
+            match blocking {
+                Some((row, leave)) => {
+                    if !self.pivot(row, q, dir * t_best, leave) {
+                        if retried {
+                            return Err(EngineError::Numerical);
+                        }
+                        retried = true;
+                    }
+                }
+                None if t_best.is_finite() => self.bound_flip(q, dir, t_best),
+                None => {
+                    // A strictly decreasing, breakpoint-free direction cannot
+                    // exist while F > 0; treat as numerical trouble.
+                    if retried {
+                        return Err(EngineError::Numerical);
+                    }
+                    retried = true;
+                    if !self.refactorize() {
+                        return Err(EngineError::Numerical);
+                    }
+                    self.compute_xb();
+                }
+            }
+            if !self.maybe_refactorize() {
+                return Err(EngineError::Numerical);
+            }
+        }
+    }
+
+    /// Phase 2: minimizes the model objective from a primal-feasible basis.
+    fn phase2(&mut self) -> Result<LpStatus, EngineError> {
+        let mut stall = 0usize;
+        let mut last_obj = f64::INFINITY;
+        let mut retried = false;
+        loop {
+            let obj = self.objective_value();
             if obj < last_obj - EPS {
                 stall = 0;
                 last_obj = obj;
             } else {
                 stall += 1;
             }
+            let bland = stall > STALL_LIMIT;
+
+            let lp = self.lp;
+            self.btran_costs(&lp.cost);
+            let y = std::mem::take(&mut self.y);
+            let entering = self.price(&y, &lp.cost, bland);
+            self.y = y;
+            let Some((q, dir)) = entering else {
+                return Ok(LpStatus::Optimal);
+            };
+
+            self.ftran_column(q);
+            let (t_best, blocking) = self.ratio_test(q, dir, false, bland);
+
+            if blocking.is_none() && !t_best.is_finite() {
+                return Ok(LpStatus::Unbounded);
+            }
+            self.charge_iteration()?;
+            match blocking {
+                Some((row, leave)) => {
+                    if !self.pivot(row, q, dir * t_best, leave) {
+                        if retried {
+                            return Err(EngineError::Numerical);
+                        }
+                        retried = true;
+                    }
+                }
+                None => self.bound_flip(q, dir, t_best),
+            }
+            if !self.maybe_refactorize() {
+                return Err(EngineError::Numerical);
+            }
         }
     }
 
-    /// Selects the entering column (negative reduced cost), or `None` if optimal.
-    ///
-    /// In phase 2 (`phase1 == false`) artificial columns never enter the basis.
-    fn choose_entering(&self, phase1: bool, bland: bool) -> Option<usize> {
-        let limit = if phase1 {
-            self.num_cols
-        } else {
-            self.artificial_start
-        };
-        if bland {
-            (0..limit).find(|&j| self.obj[j] < -EPS)
-        } else {
-            let mut best = None;
-            let mut best_val = -EPS;
-            for j in 0..limit {
-                if self.obj[j] < best_val {
-                    best_val = self.obj[j];
-                    best = Some(j);
+    /// Dual simplex from the installed (dual-feasible) basis.
+    fn dual(&mut self) -> Result<DualOutcome, SolveError> {
+        let mut stall = 0usize;
+        let mut last_inf = f64::INFINITY;
+        loop {
+            // Leaving row: the worst bound violation.
+            let mut leaving: Option<(usize, bool, f64)> = None; // (row, below, violation)
+            for (i, &j) in self.basic.iter().enumerate() {
+                let x = self.xb[i];
+                let viol_lo = self.lower[j] - x;
+                let viol_hi = x - self.upper[j];
+                if viol_lo > FEAS_TOL && leaving.map_or(true, |(_, _, v)| viol_lo > v) {
+                    leaving = Some((i, true, viol_lo));
+                }
+                if viol_hi > FEAS_TOL && leaving.map_or(true, |(_, _, v)| viol_hi > v) {
+                    leaving = Some((i, false, viol_hi));
                 }
             }
-            best
-        }
-    }
+            let Some((row, below, total_viol)) = leaving else {
+                return Ok(DualOutcome::Optimal);
+            };
+            if total_viol < last_inf - EPS {
+                stall = 0;
+                last_inf = total_viol;
+            } else {
+                stall += 1;
+                if stall > STALL_LIMIT * 2 {
+                    return Ok(DualOutcome::Stuck);
+                }
+            }
+            let bland = stall > STALL_LIMIT;
 
-    /// Minimum-ratio test; ties broken by smallest basic column index
-    /// (lexicographic safeguard compatible with Bland's rule).
-    fn choose_leaving(&self, entering: usize) -> Option<usize> {
-        let mut best: Option<(usize, f64)> = None;
-        for i in 0..self.rows.len() {
-            let a = self.rows[i][entering];
-            if a > EPS {
-                let ratio = self.rows[i][self.num_cols] / a;
-                match best {
-                    None => best = Some((i, ratio)),
-                    Some((bi, br)) => {
-                        if ratio < br - EPS || (ratio < br + EPS && self.basis[i] < self.basis[bi])
-                        {
-                            best = Some((i, ratio));
+            // ρ = B⁻ᵀ e_row, then α_j = ρ·a_j for the candidate columns.
+            self.y.iter_mut().for_each(|v| *v = 0.0);
+            self.y[row] = 1.0;
+            let mut rho = std::mem::take(&mut self.y);
+            self.factor.btran(&mut rho);
+
+            // Reduced costs for the dual ratio test.
+            for i in 0..self.lp.nrows {
+                self.w[i] = self.lp.cost[self.basic[i]];
+            }
+            let mut yc = std::mem::take(&mut self.w);
+            self.factor.btran(&mut yc);
+
+            let lp = self.lp;
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, alpha, ratio)
+            for j in 0..lp.ncols() {
+                let status = self.status[j];
+                // Fixed columns (Eq-row logicals, pinned offsets) cannot move
+                // and so cannot repair a primal infeasibility — entering one
+                // would only ping-pong the violation. Skip them, as pricing
+                // does.
+                if status == VarStatus::Basic || self.lower[j] == self.upper[j] {
+                    continue;
+                }
+                let alpha = lp.cols.column_dot(j, &rho);
+                if alpha.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let admissible = match (below, status) {
+                    (true, VarStatus::AtLower) => alpha < 0.0,
+                    (true, VarStatus::AtUpper) => alpha > 0.0,
+                    (false, VarStatus::AtLower) => alpha > 0.0,
+                    (false, VarStatus::AtUpper) => alpha < 0.0,
+                    (_, VarStatus::Free) => true,
+                    (_, VarStatus::Basic) => unreachable!(),
+                };
+                if !admissible {
+                    continue;
+                }
+                let d = lp.cost[j] - lp.cols.column_dot(j, &yc);
+                let dval = match status {
+                    VarStatus::AtLower => d.max(0.0),
+                    VarStatus::AtUpper => (-d).max(0.0),
+                    _ => d.abs(),
+                };
+                let ratio = dval / alpha.abs();
+                let take = match entering {
+                    None => true,
+                    Some((bj, balpha, bratio)) => {
+                        if bland {
+                            ratio < bratio - EPS || (ratio < bratio + EPS && j < bj)
+                        } else {
+                            ratio < bratio - EPS
+                                || (ratio < bratio + EPS && alpha.abs() > balpha.abs())
                         }
                     }
+                };
+                if take {
+                    entering = Some((j, alpha, ratio));
                 }
             }
+            self.y = rho;
+            self.w = yc;
+
+            let Some((q, alpha, _)) = entering else {
+                // Dual unbounded ⇒ primal infeasible.
+                return Ok(DualOutcome::Infeasible);
+            };
+
+            let _ = alpha;
+            self.ftran_column(q);
+            if self.w[row].abs() <= PIVOT_TOL / 10.0 {
+                return Ok(DualOutcome::Stuck);
+            }
+            let target = if below {
+                self.lower[self.basic[row]]
+            } else {
+                self.upper[self.basic[row]]
+            };
+            let step = (self.xb[row] - target) / self.w[row];
+            let leave_status = if below {
+                VarStatus::AtLower
+            } else {
+                VarStatus::AtUpper
+            };
+            self.charge_iteration()?;
+            if !self.pivot(row, q, step, leave_status) {
+                return Ok(DualOutcome::Stuck);
+            }
+            if !self.maybe_refactorize() {
+                return Ok(DualOutcome::Stuck);
+            }
         }
-        best.map(|(i, _)| i)
     }
 
-    /// Gauss-Jordan pivot on `(row, col)`.
-    fn pivot(&mut self, row: usize, col: usize) {
-        let pivot_val = self.rows[row][col];
-        debug_assert!(pivot_val.abs() > EPS);
-        for v in self.rows[row].iter_mut() {
-            *v /= pivot_val;
+    /// Objective of the current (not necessarily feasible) basic solution.
+    fn objective_value(&self) -> f64 {
+        let lp = self.lp;
+        let mut obj = lp.obj_offset;
+        for (i, &j) in self.basic.iter().enumerate() {
+            obj += lp.cost[j] * self.xb[i];
         }
-        for i in 0..self.rows.len() {
-            if i != row {
-                let factor = self.rows[i][col];
-                if factor.abs() > EPS {
-                    for j in 0..=self.num_cols {
-                        self.rows[i][j] -= factor * self.rows[row][j];
+        for j in 0..lp.ncols() {
+            if self.status[j] != VarStatus::Basic && lp.cost[j] != 0.0 {
+                obj += lp.cost[j] * self.nonbasic_value(j);
+            }
+        }
+        obj
+    }
+
+    /// Packages the result and the basis snapshot.
+    fn finish(self, status: LpStatus) -> Result<(LpResult, Option<Basis>), SolveError> {
+        let result = match status {
+            LpStatus::Optimal => {
+                let mut values = vec![0.0; self.lp.nstruct];
+                for (j, value) in values.iter_mut().enumerate() {
+                    *value = match self.status[j] {
+                        VarStatus::Basic => 0.0, // filled below
+                        _ => self.nonbasic_value(j),
+                    };
+                }
+                for (i, &j) in self.basic.iter().enumerate() {
+                    if j < self.lp.nstruct {
+                        values[j] = self.xb[i];
                     }
                 }
-            }
-        }
-        let factor = self.obj[col];
-        if factor.abs() > EPS {
-            for j in 0..=self.num_cols {
-                self.obj[j] -= factor * self.rows[row][j];
-            }
-        }
-        self.basis[row] = col;
-    }
-
-    /// After phase 1, pivots basic artificial variables (at value zero) out of
-    /// the basis wherever a non-artificial pivot element exists.
-    fn drive_out_artificials(&mut self) {
-        for i in 0..self.rows.len() {
-            if self.basis[i] >= self.artificial_start {
-                if let Some(col) = (0..self.artificial_start).find(|&j| self.rows[i][j].abs() > EPS)
-                {
-                    self.pivot(i, col);
-                    self.iterations += 1;
+                LpResult {
+                    status,
+                    objective: self.objective_value(),
+                    values,
+                    iterations: self.iterations,
                 }
-                // If no pivot element exists the row is redundant; the
-                // artificial stays basic at value zero, which is harmless
-                // because artificial columns never re-enter in phase 2.
             }
-        }
-    }
-}
-
-/// Flips the relational operator when a row is multiplied by −1 to make its
-/// right-hand side non-negative.
-fn effective_op(op: ConstraintOp, rhs_negative: bool) -> ConstraintOp {
-    if !rhs_negative {
-        return op;
-    }
-    match op {
-        ConstraintOp::Le => ConstraintOp::Ge,
-        ConstraintOp::Ge => ConstraintOp::Le,
-        ConstraintOp::Eq => ConstraintOp::Eq,
+            LpStatus::Infeasible => LpResult {
+                status,
+                objective: f64::INFINITY,
+                values: Vec::new(),
+                iterations: self.iterations,
+            },
+            LpStatus::Unbounded => LpResult {
+                status,
+                objective: f64::NEG_INFINITY,
+                values: Vec::new(),
+                iterations: self.iterations,
+            },
+        };
+        let basis = if status == LpStatus::Optimal {
+            Some(Basis {
+                nstruct: self.lp.nstruct,
+                nrows: self.lp.nrows,
+                status: self.status,
+                basic: self.basic,
+            })
+        } else {
+            None
+        };
+        Ok((result, basis))
     }
 }
 
@@ -557,7 +1091,7 @@ mod tests {
     }
 
     #[test]
-    fn negative_lower_bounds_are_shifted() {
+    fn negative_lower_bounds_are_native() {
         // min x s.t. x >= -5 (bound), x + 3 >= 0 → x = -3
         let mut m = Model::new("lp5");
         let x = m.add_continuous("x", -5.0, 5.0);
@@ -569,7 +1103,7 @@ mod tests {
     }
 
     #[test]
-    fn free_variable_is_split() {
+    fn free_variable_is_native() {
         // min y s.t. y = x - 7, 0 <= x <= 3, y free → y = -7
         let mut m = Model::new("lp6");
         let x = m.add_continuous("x", 0.0, 3.0);
@@ -620,5 +1154,123 @@ mod tests {
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.values[0] - 4.0).abs() < 1e-6);
         assert!((r.values[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_dual_reoptimizes_after_bound_tightening() {
+        // max x + y s.t. x + y <= 4, x,y in [0, 3].
+        let mut m = Model::new("warm");
+        let x = m.add_continuous("x", 0.0, 3.0);
+        let y = m.add_continuous("y", 0.0, 3.0);
+        m.set_objective(Sense::Maximize, &[(x, 2.0), (y, 1.0)]);
+        m.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        let lp = SparseLp::from_model(&m);
+        let (root, basis) =
+            solve_sparse(&lp, &[(0.0, 3.0), (0.0, 3.0)], 10_000, Warm::Cold).expect("root");
+        assert_eq!(root.status, LpStatus::Optimal);
+        assert!(
+            (-root.objective - 7.0).abs() < 1e-6,
+            "root {}",
+            root.objective
+        );
+        let basis = basis.expect("optimal basis");
+
+        // Tighten x <= 1: dual simplex should recover x=1, y=3 → obj 5.
+        let (child, child_basis) =
+            solve_sparse(&lp, &[(0.0, 1.0), (0.0, 3.0)], 10_000, Warm::Dual(&basis))
+                .expect("child");
+        assert_eq!(child.status, LpStatus::Optimal);
+        assert!(
+            (-child.objective - 5.0).abs() < 1e-6,
+            "child {}",
+            child.objective
+        );
+        assert!((child.values[0] - 1.0).abs() < 1e-6);
+        assert!((child.values[1] - 3.0).abs() < 1e-6);
+        assert!(child_basis.is_some());
+        // The warm solve should take at most a couple of pivots.
+        assert!(child.iterations <= 4, "took {} pivots", child.iterations);
+    }
+
+    #[test]
+    fn warm_dual_detects_infeasible_child() {
+        // x + y >= 5 with x,y in [0,3]; tighten both to [0,1] → infeasible.
+        let mut m = Model::new("warm-inf");
+        let x = m.add_continuous("x", 0.0, 3.0);
+        let y = m.add_continuous("y", 0.0, 3.0);
+        m.set_objective(Sense::Minimize, &[(x, 1.0), (y, 1.0)]);
+        m.add_ge(&[(x, 1.0), (y, 1.0)], 5.0);
+        let lp = SparseLp::from_model(&m);
+        let (root, basis) =
+            solve_sparse(&lp, &[(0.0, 3.0), (0.0, 3.0)], 10_000, Warm::Cold).expect("root");
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = basis.expect("optimal basis");
+        let (child, _) = solve_sparse(&lp, &[(0.0, 1.0), (0.0, 1.0)], 10_000, Warm::Dual(&basis))
+            .expect("child");
+        assert_eq!(child.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_repins_free_column_whose_bounds_became_finite() {
+        // A free variable with zero cost and no constraint entries is parked
+        // nonbasic-Free at 0 in the snapshot. When a later (branch-style)
+        // solve tightens its bounds to [2, 10], the warm start must re-pin it
+        // to a real bound instead of silently keeping it at the now-invalid 0.
+        let mut m = Model::new("free-repin");
+        let x = m.add_continuous("x", f64::NEG_INFINITY, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.set_objective(Sense::Minimize, &[(y, 1.0)]);
+        m.add_ge(&[(y, 1.0)], 1.0);
+        let lp = SparseLp::from_model(&m);
+        let free = (f64::NEG_INFINITY, f64::INFINITY);
+        let (root, basis) =
+            solve_sparse(&lp, &[free, (0.0, 10.0)], 10_000, Warm::Cold).expect("root");
+        assert_eq!(root.status, LpStatus::Optimal);
+        assert_eq!(root.values[0], 0.0, "free column parks at 0");
+        let basis = basis.expect("optimal basis");
+
+        for warm in [Warm::Dual(&basis), Warm::Primal(&basis)] {
+            let (child, _) =
+                solve_sparse(&lp, &[(2.0, 10.0), (0.0, 10.0)], 10_000, warm).expect("child");
+            assert_eq!(child.status, LpStatus::Optimal);
+            assert!(
+                child.values[0] >= 2.0 - 1e-9,
+                "x must respect its new lower bound, got {}",
+                child.values[0]
+            );
+        }
+        let _ = x;
+    }
+
+    #[test]
+    fn warm_primal_survives_model_growth() {
+        // Solve a 1-variable problem, then grow the model by a variable and a
+        // row and warm-start from the stale snapshot.
+        let mut m = Model::new("grow");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        m.set_objective(Sense::Minimize, &[(x, 1.0)]);
+        m.add_ge(&[(x, 1.0)], 2.0);
+        let lp = SparseLp::from_model(&m);
+        let (first, basis) = solve_sparse(&lp, &[(0.0, 10.0)], 10_000, Warm::Cold).expect("first");
+        assert!((first.objective - 2.0).abs() < 1e-6);
+        let basis = basis.expect("optimal basis");
+
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_objective_term(y, 1.0);
+        m.add_ge(&[(x, 1.0), (y, 1.0)], 5.0);
+        let lp2 = SparseLp::from_model(&m);
+        let (second, _) = solve_sparse(
+            &lp2,
+            &[(0.0, 10.0), (0.0, 10.0)],
+            10_000,
+            Warm::Primal(&basis),
+        )
+        .expect("second");
+        assert_eq!(second.status, LpStatus::Optimal);
+        assert!(
+            (second.objective - 5.0).abs() < 1e-6,
+            "{}",
+            second.objective
+        );
     }
 }

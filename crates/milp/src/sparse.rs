@@ -1,0 +1,511 @@
+//! Sparse linear algebra for the revised simplex: CSC matrices, an LU
+//! factorization of the basis and the eta file used between refactorizations.
+//!
+//! The constraint matrix is stored column-compressed ([`CscMatrix`]) because
+//! the simplex only ever needs whole columns (pricing, FTRAN of the entering
+//! column) and row access is expressible through BTRAN. The basis matrix `B`
+//! is factorized as `P·B = L·U` with partial pivoting ([`LuFactors`]); basis
+//! changes between refactorizations are captured as product-form eta vectors
+//! ([`Eta`]), so one pivot costs two sparse triangular solves plus an eta
+//! append instead of an `O(m·n)` tableau update. The [`BasisFactor`] wrapper
+//! owns the refactorization policy: refactorize after a fixed number of eta
+//! updates or when an eta pivot becomes too small to trust.
+
+/// Numerical zero threshold for dropping entries from sparse vectors.
+const DROP_TOL: f64 = 1e-12;
+
+/// A column-compressed sparse matrix.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CscMatrix {
+    nrows: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Creates an empty matrix with `nrows` rows and no columns.
+    pub(crate) fn new(nrows: usize) -> Self {
+        CscMatrix {
+            nrows,
+            col_ptr: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of columns.
+    #[cfg(test)]
+    pub(crate) fn ncols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Appends a column given as `(row, value)` pairs; rows may repeat (the
+    /// duplicates are merged) and zero entries are dropped.
+    pub(crate) fn push_column(&mut self, entries: &[(usize, f64)]) {
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
+        let mut sorted = entries.to_vec();
+        sorted.sort_unstable_by_key(|&(r, _)| r);
+        for &(r, v) in &sorted {
+            debug_assert!(r < self.nrows);
+            match merged.last_mut() {
+                Some((last_r, last_v)) if *last_r == r => *last_v += v,
+                _ => merged.push((r, v)),
+            }
+        }
+        for (r, v) in merged {
+            if v.abs() > DROP_TOL {
+                self.row_idx.push(r);
+                self.values.push(v);
+            }
+        }
+        self.col_ptr.push(self.row_idx.len());
+    }
+
+    /// Returns the `(rows, values)` slices of column `j`.
+    pub(crate) fn column(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Sparse dot product of column `j` with a dense vector.
+    pub(crate) fn column_dot(&self, j: usize, dense: &[f64]) -> f64 {
+        let (rows, vals) = self.column(j);
+        rows.iter().zip(vals).map(|(&r, &v)| v * dense[r]).sum()
+    }
+
+    /// Scatters `scale * column(j)` into a dense vector.
+    pub(crate) fn scatter_column(&self, j: usize, scale: f64, dense: &mut [f64]) {
+        let (rows, vals) = self.column(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            dense[r] += scale * v;
+        }
+    }
+
+    /// Total number of stored entries.
+    #[cfg(test)]
+    pub(crate) fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// A sparse vector stored as parallel `(index, value)` arrays.
+#[derive(Debug, Clone, Default)]
+struct SparseVec {
+    idx: Vec<usize>,
+    val: Vec<f64>,
+}
+
+/// LU factors of the (row-permuted) basis: `P·B = L·U`.
+///
+/// `L` is unit lower triangular and `U` upper triangular, both stored as
+/// sparse columns in elimination order. `perm[k]` is the original row placed
+/// at permuted position `k`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LuFactors {
+    m: usize,
+    /// `perm[k]` = original row index occupying permuted row `k`.
+    perm: Vec<usize>,
+    /// `perm_inv[original row] = permuted position`.
+    perm_inv: Vec<usize>,
+    /// Column `k` of `L` below the diagonal (unit diagonal implicit), in
+    /// permuted row indices `> k`.
+    l_cols: Vec<SparseVec>,
+    /// Column `k` of `U` up to and including the diagonal, permuted indices.
+    u_cols: Vec<SparseVec>,
+    /// Diagonal of `U`.
+    u_diag: Vec<f64>,
+}
+
+/// Error raised when the basis matrix is numerically singular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SingularBasis;
+
+impl LuFactors {
+    /// Factorizes the basis given by `columns` (each a sparse column of the
+    /// full constraint matrix) with partial pivoting.
+    pub(crate) fn factorize(
+        m: usize,
+        columns: impl Iterator<Item = (Vec<usize>, Vec<f64>)>,
+    ) -> Result<Self, SingularBasis> {
+        let mut lu = LuFactors {
+            m,
+            perm: (0..m).collect(),
+            perm_inv: (0..m).collect(),
+            l_cols: Vec::with_capacity(m),
+            u_cols: Vec::with_capacity(m),
+            u_diag: Vec::with_capacity(m),
+        };
+        // Dense accumulator reused across columns.
+        let mut work = vec![0.0f64; m];
+        for (k, (rows, vals)) in columns.enumerate() {
+            // Scatter the column in *current* permuted row order.
+            for (&r, &v) in rows.iter().zip(vals.iter()) {
+                work[lu.perm_inv[r]] += v;
+            }
+            // Eliminate with the already-computed L columns, in order.
+            for j in 0..k {
+                let pivot_val = work[j];
+                if pivot_val.abs() > DROP_TOL {
+                    let col = &lu.l_cols[j];
+                    for (&i, &lv) in col.idx.iter().zip(&col.val) {
+                        work[i] -= pivot_val * lv;
+                    }
+                }
+            }
+            // Partial pivoting: largest magnitude at or below the diagonal.
+            let mut best = k;
+            let mut best_abs = work[k].abs();
+            for (i, w) in work.iter().enumerate().take(m).skip(k + 1) {
+                let a = w.abs();
+                if a > best_abs {
+                    best = i;
+                    best_abs = a;
+                }
+            }
+            if best_abs <= DROP_TOL * 10.0 {
+                return Err(SingularBasis);
+            }
+            if best != k {
+                work.swap(k, best);
+                // Permuted positions k and best swap. U columns only reference
+                // positions < k and are unaffected; entries of earlier L
+                // columns at positions k/best must swap alongside.
+                for col in lu.l_cols.iter_mut() {
+                    let mut pos_k = None;
+                    let mut pos_b = None;
+                    for (slot, &i) in col.idx.iter().enumerate() {
+                        if i == k {
+                            pos_k = Some(slot);
+                        } else if i == best {
+                            pos_b = Some(slot);
+                        }
+                    }
+                    match (pos_k, pos_b) {
+                        (Some(a), Some(b)) => col.val.swap(a, b),
+                        (Some(a), None) => col.idx[a] = best,
+                        (None, Some(b)) => col.idx[b] = k,
+                        (None, None) => {}
+                    }
+                }
+                lu.perm.swap(k, best);
+                lu.perm_inv[lu.perm[k]] = k;
+                lu.perm_inv[lu.perm[best]] = best;
+            }
+            let diag = work[k];
+            // Harvest U (rows 0..=k) and L (rows k+1..) from the accumulator.
+            let mut u_col = SparseVec::default();
+            for (i, w) in work.iter_mut().enumerate().take(k) {
+                if w.abs() > DROP_TOL {
+                    u_col.idx.push(i);
+                    u_col.val.push(*w);
+                }
+                *w = 0.0;
+            }
+            work[k] = 0.0;
+            let mut l_col = SparseVec::default();
+            for (i, w) in work.iter_mut().enumerate().take(m).skip(k + 1) {
+                if w.abs() > DROP_TOL {
+                    l_col.idx.push(i);
+                    l_col.val.push(*w / diag);
+                }
+                *w = 0.0;
+            }
+            lu.u_cols.push(u_col);
+            lu.u_diag.push(diag);
+            lu.l_cols.push(l_col);
+        }
+        Ok(lu)
+    }
+
+    /// Solves `B x = b` in place: `x` enters holding `b` (original row
+    /// indexing) and leaves holding the solution (basis-position indexing).
+    pub(crate) fn ftran(&self, x: &mut [f64], scratch: &mut Vec<f64>) {
+        let m = self.m;
+        scratch.clear();
+        scratch.resize(m, 0.0);
+        // Apply the row permutation: scratch = P b.
+        for k in 0..m {
+            scratch[k] = x[self.perm[k]];
+        }
+        // Forward solve L y = P b (unit diagonal).
+        for k in 0..m {
+            let yk = scratch[k];
+            if yk.abs() > DROP_TOL {
+                let col = &self.l_cols[k];
+                for (&i, &lv) in col.idx.iter().zip(&col.val) {
+                    scratch[i] -= yk * lv;
+                }
+            }
+        }
+        // Back solve U x = y.
+        for k in (0..m).rev() {
+            let xk = scratch[k] / self.u_diag[k];
+            scratch[k] = xk;
+            if xk.abs() > DROP_TOL {
+                let col = &self.u_cols[k];
+                for (&i, &uv) in col.idx.iter().zip(&col.val) {
+                    scratch[i] -= xk * uv;
+                }
+            }
+        }
+        x[..m].copy_from_slice(&scratch[..m]);
+    }
+
+    /// Solves `Bᵀ y = c` in place: `y` enters holding `c` indexed by basis
+    /// position and leaves holding the solution in original row indexing.
+    pub(crate) fn btran(&self, y: &mut [f64], scratch: &mut Vec<f64>) {
+        let m = self.m;
+        scratch.clear();
+        scratch.resize(m, 0.0);
+        scratch[..m].copy_from_slice(&y[..m]);
+        // Uᵀ z = c (forward, Uᵀ is lower triangular).
+        for k in 0..m {
+            let col = &self.u_cols[k];
+            let mut acc = scratch[k];
+            for (&i, &uv) in col.idx.iter().zip(&col.val) {
+                acc -= uv * scratch[i];
+            }
+            scratch[k] = acc / self.u_diag[k];
+        }
+        // Lᵀ w = z (backward, unit diagonal).
+        for k in (0..m).rev() {
+            let col = &self.l_cols[k];
+            let mut acc = scratch[k];
+            for (&i, &lv) in col.idx.iter().zip(&col.val) {
+                acc -= lv * scratch[i];
+            }
+            scratch[k] = acc;
+        }
+        // y = Pᵀ w: the permuted position k speaks for original row perm[k].
+        for k in 0..m {
+            y[self.perm[k]] = scratch[k];
+        }
+    }
+}
+
+/// One product-form eta vector: the basis inverse after a pivot on row `r`
+/// with FTRAN'd entering column `w` is `E⁻¹·B⁻¹` with `E = I` except column
+/// `r` replaced by `w`.
+#[derive(Debug, Clone)]
+pub(crate) struct Eta {
+    /// Pivotal row (basis position).
+    row: usize,
+    /// Pivot element `w[row]`.
+    pivot: f64,
+    /// Off-pivot entries of `w` as `(basis position, value)` pairs.
+    entries: Vec<(usize, f64)>,
+}
+
+/// The factorized basis plus its eta file and refactorization policy.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BasisFactor {
+    lu: LuFactors,
+    etas: Vec<Eta>,
+    scratch: Vec<f64>,
+}
+
+/// Refactorize after this many eta updates (empirically a good trade-off
+/// between FTRAN/BTRAN cost growth and refactorization cost).
+pub(crate) const REFACTOR_INTERVAL: usize = 60;
+
+/// Smallest eta pivot accepted before forcing a refactorization.
+pub(crate) const MIN_ETA_PIVOT: f64 = 1e-8;
+
+impl BasisFactor {
+    /// Factorizes the basis columns from scratch and clears the eta file.
+    pub(crate) fn refactorize(
+        &mut self,
+        m: usize,
+        columns: impl Iterator<Item = (Vec<usize>, Vec<f64>)>,
+    ) -> Result<(), SingularBasis> {
+        self.lu = LuFactors::factorize(m, columns)?;
+        self.etas.clear();
+        Ok(())
+    }
+
+    /// Returns `true` when the eta file is long enough to warrant a
+    /// refactorization before the next update.
+    pub(crate) fn should_refactorize(&self) -> bool {
+        self.etas.len() >= REFACTOR_INTERVAL
+    }
+
+    /// Number of eta updates since the last refactorization.
+    #[cfg(test)]
+    pub(crate) fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Records the basis change `basic[row] := entering` given the FTRAN'd
+    /// entering column `w = B⁻¹ a_q`.
+    ///
+    /// Returns `false` (and records nothing) if the pivot element is too
+    /// small; the caller must refactorize and retry.
+    pub(crate) fn push_eta(&mut self, row: usize, w: &[f64]) -> bool {
+        let pivot = w[row];
+        if pivot.abs() < MIN_ETA_PIVOT {
+            return false;
+        }
+        let mut entries = Vec::new();
+        for (i, &v) in w.iter().enumerate() {
+            if i != row && v.abs() > DROP_TOL {
+                entries.push((i, v));
+            }
+        }
+        self.etas.push(Eta {
+            row,
+            pivot,
+            entries,
+        });
+        true
+    }
+
+    /// FTRAN through the LU factors and the eta file: `x ← B⁻¹ x`.
+    pub(crate) fn ftran(&mut self, x: &mut [f64]) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.lu.ftran(x, &mut scratch);
+        self.scratch = scratch;
+        for eta in &self.etas {
+            let xr = x[eta.row];
+            if xr.abs() > DROP_TOL {
+                let t = xr / eta.pivot;
+                x[eta.row] = t;
+                for &(i, v) in &eta.entries {
+                    x[i] -= v * t;
+                }
+            }
+        }
+    }
+
+    /// BTRAN through the eta file (reverse order) and the LU factors:
+    /// `y ← B⁻ᵀ y`.
+    pub(crate) fn btran(&mut self, y: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut acc = y[eta.row];
+            for &(i, v) in &eta.entries {
+                acc -= v * y[i];
+            }
+            y[eta.row] = acc / eta.pivot;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.lu.btran(y, &mut scratch);
+        self.scratch = scratch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_to_columns(a: &[&[f64]]) -> Vec<(Vec<usize>, Vec<f64>)> {
+        let m = a.len();
+        let n = a[0].len();
+        (0..n)
+            .map(|j| {
+                let mut rows = Vec::new();
+                let mut vals = Vec::new();
+                for (i, row) in a.iter().enumerate().take(m) {
+                    if row[j] != 0.0 {
+                        rows.push(i);
+                        vals.push(row[j]);
+                    }
+                }
+                (rows, vals)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csc_roundtrip_and_dot() {
+        let mut csc = CscMatrix::new(3);
+        csc.push_column(&[(0, 1.0), (2, -2.0)]);
+        csc.push_column(&[(1, 3.0), (1, 1.0), (0, 0.0)]);
+        assert_eq!(csc.ncols(), 2);
+        assert_eq!(csc.nnz(), 3);
+        let (rows, vals) = csc.column(1);
+        assert_eq!(rows, &[1]);
+        assert_eq!(vals, &[4.0]);
+        let dense = [2.0, 5.0, 1.0];
+        assert_eq!(csc.column_dot(0, &dense), 2.0 - 2.0);
+        assert_eq!(csc.column_dot(1, &dense), 20.0);
+        let mut out = vec![0.0; 3];
+        csc.scatter_column(0, 2.0, &mut out);
+        assert_eq!(out, vec![2.0, 0.0, -4.0]);
+    }
+
+    #[test]
+    fn lu_solves_a_small_system() {
+        // A = [[2,1,0],[1,3,1],[0,1,4]], b chosen so x = [1,2,3].
+        let a: &[&[f64]] = &[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]];
+        let lu = LuFactors::factorize(3, dense_to_columns(a).into_iter()).expect("nonsingular");
+        let mut scratch = Vec::new();
+        let mut x = [4.0, 10.0, 14.0];
+        lu.ftran(&mut x, &mut scratch);
+        for (xi, want) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((xi - want).abs() < 1e-10, "x = {x:?}");
+        }
+        // Bᵀ y = c with c = Aᵀ·[1,2,3] → y = [1,2,3].
+        let mut y = [4.0, 10.0, 14.0];
+        // c = Aᵀ [1,2,3] = [2*1+1*2, 1*1+3*2+1*3, 1*2+4*3] = [4, 10, 14].
+        lu.btran(&mut y, &mut scratch);
+        for (yi, want) in y.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((yi - want).abs() < 1e-10, "y = {y:?}");
+        }
+    }
+
+    #[test]
+    fn lu_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a: &[&[f64]] = &[&[0.0, 1.0], &[1.0, 0.0]];
+        let lu = LuFactors::factorize(2, dense_to_columns(a).into_iter()).expect("nonsingular");
+        let mut scratch = Vec::new();
+        let mut x = [5.0, 7.0]; // A x = b → x = [7, 5]
+        lu.ftran(&mut x, &mut scratch);
+        assert!((x[0] - 7.0).abs() < 1e-12 && (x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_basis_is_detected() {
+        let a: &[&[f64]] = &[&[1.0, 2.0], &[2.0, 4.0]];
+        assert!(LuFactors::factorize(2, dense_to_columns(a).into_iter()).is_err());
+    }
+
+    #[test]
+    fn eta_update_matches_refactorization() {
+        // Start from B = I, replace column 1 with w = [1, 2, 1]ᵀ.
+        let id: &[&[f64]] = &[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]];
+        let mut factor = BasisFactor::default();
+        factor
+            .refactorize(3, dense_to_columns(id).into_iter())
+            .expect("identity");
+        let w = [1.0, 2.0, 1.0];
+        assert!(factor.push_eta(1, &w));
+        // New basis B' = [e0, w, e2]; solve B' x = [3, 8, 5] → x = [3-?, ...]:
+        // x1 solves 2·x1 = middle component after removing others:
+        // B' x = x0 e0 + x1 w + x2 e2 = [x0 + x1, 2 x1, x1 + x2].
+        // Want [3, 8, 5] → x1 = 4, x0 = -1, x2 = 1.
+        let mut x = [3.0, 8.0, 5.0];
+        factor.ftran(&mut x);
+        assert!((x[0] + 1.0).abs() < 1e-12);
+        assert!((x[1] - 4.0).abs() < 1e-12);
+        assert!((x[2] - 1.0).abs() < 1e-12);
+        // BTRAN: B'ᵀ y = c with y = [1, 1, 1] → c = B'ᵀ 1 = [1, 4, 1].
+        let mut y = [1.0, 4.0, 1.0];
+        factor.btran(&mut y);
+        for yi in y {
+            assert!((yi - 1.0).abs() < 1e-12, "y = {yi}");
+        }
+    }
+
+    #[test]
+    fn tiny_eta_pivot_is_rejected() {
+        let id: &[&[f64]] = &[&[1.0, 0.0], &[0.0, 1.0]];
+        let mut factor = BasisFactor::default();
+        factor
+            .refactorize(2, dense_to_columns(id).into_iter())
+            .expect("identity");
+        assert!(!factor.push_eta(0, &[1e-12, 1.0]));
+        assert_eq!(factor.eta_count(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the synthesis benchmark.
+
+Compares the `inherited_incremental` simplex-iteration count of a freshly
+generated `BENCH_synthesis.json` against the committed baseline and fails
+(exit 1) when it regressed by more than the allowed fraction. Iteration
+counts are deterministic — unlike wall time — so this is safe to run on
+noisy CI machines.
+
+Usage: check_bench_regression.py <baseline.json> <current.json> [max-regression]
+
+`max-regression` is a fraction, default 0.20 (= fail above +20%).
+"""
+
+import json
+import sys
+
+
+def inherited_iterations(path: str) -> float:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return float(data["strategies"]["inherited_incremental"]["simplex_iterations"])
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    baseline_path, current_path = sys.argv[1], sys.argv[2]
+    max_regression = float(sys.argv[3]) if len(sys.argv) > 3 else 0.20
+
+    baseline = inherited_iterations(baseline_path)
+    current = inherited_iterations(current_path)
+    limit = baseline * (1.0 + max_regression)
+    print(
+        f"inherited_incremental simplex_iterations: baseline {baseline:.0f}, "
+        f"current {current:.0f}, limit {limit:.0f} (+{max_regression:.0%})"
+    )
+    if current > limit:
+        print("FAIL: simplex iteration count regressed beyond the allowance")
+        return 1
+    print("OK: within the regression allowance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
