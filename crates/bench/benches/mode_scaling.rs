@@ -1,0 +1,239 @@
+//! Parallel-scaling of multi-mode synthesis over generated N-mode graphs.
+//!
+//! The `mode_graph_synthesis` bench measures the fixed 2- and 4-mode
+//! fixtures; this bench closes the ROADMAP item "bench scaling in the number
+//! of modes": it sweeps `ttw-testkit` scenarios with N ∈ {2, 4, 8, 16, 32}
+//! modes across three graph shapes — a chain (inheritance forces fully
+//! sequential synthesis), a diamond (all middle modes form one wide parallel
+//! wave) and a layered DAG (bounded-width waves) — and times the sequential
+//! driver (`synthesize_system_sequential`) against the parallel wave driver
+//! (`synthesize_system`) on identical workloads.
+//!
+//! Per (shape, N) combination the bench records wall times, the speedup, the
+//! wave structure (count and maximum width) and the deterministic solver work
+//! counters into `BENCH_mode_scaling.json` at the workspace root; the CI
+//! perf-regression job regenerates the file in quick mode and gates on the
+//! `simplex_iterations` counters via `scripts/check_bench_regression.py`.
+//!
+//! `TTW_BENCH_QUICK=1` trims the sweep to N ≤ 8 with one timing sample (the
+//! work counters are unaffected — the solver is deterministic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+use ttw_core::json::Value;
+use ttw_core::synthesis::{synthesize_system, synthesize_system_sequential, IlpSynthesizer};
+use ttw_core::validate::validate_system_schedule;
+use ttw_core::SystemSchedule;
+use ttw_testkit::{generate, GeneratorConfig, GraphShape, Scenario};
+
+/// Fixed generator seed: the sweep is a benchmark, not a property test, so
+/// every run measures the identical workload.
+const SEED: u64 = 7;
+
+fn quick() -> bool {
+    std::env::var_os("TTW_BENCH_QUICK").is_some()
+}
+
+fn mode_counts() -> Vec<usize> {
+    if quick() {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 4, 8, 16, 32]
+    }
+}
+
+fn shapes() -> [GraphShape; 3] {
+    [
+        GraphShape::Chain,
+        GraphShape::Diamond,
+        GraphShape::LayeredDag { width: 4 },
+    ]
+}
+
+fn scenario(shape: GraphShape, num_modes: usize) -> Scenario {
+    generate(&GeneratorConfig::bench(num_modes, shape), SEED)
+}
+
+/// Median wall-clock seconds over `samples` runs of `f`.
+fn median_seconds(samples: usize, mut f: impl FnMut() -> SystemSchedule) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|x, y| x.total_cmp(y));
+    times[times.len() / 2]
+}
+
+struct Measurement {
+    shape: &'static str,
+    num_modes: usize,
+    wave_count: usize,
+    max_wave_width: usize,
+    sequential_s: f64,
+    parallel_s: f64,
+    simplex_iterations: usize,
+    milp_nodes: usize,
+    total_rounds: usize,
+}
+
+fn measure(shape: GraphShape, num_modes: usize, samples: usize) -> Measurement {
+    let scenario = scenario(shape, num_modes);
+    let sys = &scenario.system;
+    let config = scenario.scheduler_config();
+    let backend = IlpSynthesizer::default();
+
+    let waves = scenario.graph.synthesis_waves(sys);
+    let sequential = synthesize_system_sequential(sys, &scenario.graph, &config, &backend)
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} N={num_modes} infeasible sequentially: {e}",
+                shape.name()
+            )
+        });
+    let parallel = synthesize_system(sys, &scenario.graph, &config, &backend)
+        .unwrap_or_else(|e| panic!("{} N={num_modes} infeasible in parallel: {e}", shape.name()));
+
+    // Both drivers must produce the identical, valid deployment.
+    for (mode, schedule) in sequential.iter() {
+        let other = parallel.get(mode).expect("same modes");
+        assert_eq!(
+            schedule.task_offsets, other.task_offsets,
+            "driver divergence"
+        );
+        assert_eq!(schedule.rounds, other.rounds, "driver divergence");
+    }
+    let violations = validate_system_schedule(sys, &config, &parallel);
+    assert!(violations.is_empty(), "invalid schedule: {violations:?}");
+
+    let sequential_s = median_seconds(samples, || {
+        synthesize_system_sequential(sys, &scenario.graph, &config, &backend).expect("feasible")
+    });
+    let parallel_s = median_seconds(samples, || {
+        synthesize_system(sys, &scenario.graph, &config, &backend).expect("feasible")
+    });
+
+    Measurement {
+        shape: shape.name(),
+        num_modes,
+        wave_count: waves.len(),
+        max_wave_width: waves.iter().map(Vec::len).max().unwrap_or(0),
+        sequential_s,
+        parallel_s,
+        simplex_iterations: parallel.total_simplex_iterations(),
+        milp_nodes: parallel.total_milp_nodes(),
+        total_rounds: parallel.iter().map(|(_, s)| s.num_rounds()).sum(),
+    }
+}
+
+fn write_bench_json(measurements: &[Measurement]) {
+    let num = |v: f64| Value::Number(v);
+    let mut scenarios = BTreeMap::new();
+    for m in measurements {
+        let mut map = BTreeMap::new();
+        map.insert("modes".into(), num(m.num_modes as f64));
+        map.insert("wave_count".into(), num(m.wave_count as f64));
+        map.insert("max_wave_width".into(), num(m.max_wave_width as f64));
+        map.insert("sequential_seconds".into(), num(m.sequential_s));
+        map.insert("parallel_seconds".into(), num(m.parallel_s));
+        map.insert(
+            "speedup".into(),
+            num(m.sequential_s / m.parallel_s.max(1e-12)),
+        );
+        map.insert(
+            "simplex_iterations".into(),
+            num(m.simplex_iterations as f64),
+        );
+        map.insert("milp_nodes".into(), num(m.milp_nodes as f64));
+        map.insert("total_rounds".into(), num(m.total_rounds as f64));
+        scenarios.insert(format!("{}_n{}", m.shape, m.num_modes), Value::Object(map));
+    }
+
+    let mut root = BTreeMap::new();
+    root.insert("bench".into(), Value::String("mode_scaling".into()));
+    root.insert(
+        "workload".into(),
+        Value::String(
+            "ttw-testkit GeneratorConfig::bench scenarios, ILP backend, \
+             sequential vs parallel wave driver"
+                .into(),
+        ),
+    );
+    root.insert("generator_seed".into(), num(SEED as f64));
+    root.insert("scenarios".into(), Value::Object(scenarios));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mode_scaling.json");
+    match std::fs::write(path, Value::Object(root).to_json_pretty() + "\n") {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench_mode_scaling(c: &mut Criterion) {
+    let samples = if quick() { 1 } else { 3 };
+    let mut measurements = Vec::new();
+
+    eprintln!("\n=== Mode scaling: sequential vs parallel synthesis waves ===");
+    eprintln!(
+        "{:<10} {:>5} {:>7} {:>10} {:>14} {:>12} {:>9} {:>10}",
+        "shape", "N", "waves", "max width", "sequential", "parallel", "speedup", "simplex"
+    );
+    for shape in shapes() {
+        for n in mode_counts() {
+            let m = measure(shape, n, samples);
+            eprintln!(
+                "{:<10} {:>5} {:>7} {:>10} {:>12.3} s {:>10.3} s {:>8.2}x {:>10}",
+                m.shape,
+                m.num_modes,
+                m.wave_count,
+                m.max_wave_width,
+                m.sequential_s,
+                m.parallel_s,
+                m.sequential_s / m.parallel_s.max(1e-12),
+                m.simplex_iterations,
+            );
+            measurements.push(m);
+        }
+    }
+    eprintln!();
+    write_bench_json(&measurements);
+
+    // One registered timing pair per shape at the widest quick size, so the
+    // criterion shim prints comparable per-iteration numbers.
+    let mut group = c.benchmark_group("mode_scaling");
+    group.sample_size(2);
+    for shape in shapes() {
+        let scenario = scenario(shape, 8);
+        let config = scenario.scheduler_config();
+        let backend = IlpSynthesizer::default();
+        group.bench_function(format!("{}_n8_sequential", shape.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    synthesize_system_sequential(
+                        &scenario.system,
+                        &scenario.graph,
+                        &config,
+                        &backend,
+                    )
+                    .expect("feasible"),
+                )
+            })
+        });
+        group.bench_function(format!("{}_n8_parallel", shape.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    synthesize_system(&scenario.system, &scenario.graph, &config, &backend)
+                        .expect("feasible"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mode_scaling);
+criterion_main!(benches);

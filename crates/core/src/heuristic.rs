@@ -23,6 +23,7 @@
 //! equals the mode hyperperiod (single instance per hyperperiod), which covers
 //! the paper's evaluation scenario; other modes are rejected.
 
+use crate::chains::ChainElement;
 use crate::config::SchedulerConfig;
 use crate::error::ScheduleError;
 use crate::ids::{MessageId, ModeId, NodeId, TaskId};
@@ -60,7 +61,9 @@ pub fn synthesize_mode_heuristic(
 ///   not a user error — callers can fall back to the ILP).
 /// * [`ScheduleError::Infeasible`] if the greedy packing runs past the
 ///   hyperperiod, cannot reserve a round inside a pinned message's service
-///   window, or an application deadline cannot be met.
+///   window, would exceed the configured round budget
+///   ([`SchedulerConfig::max_rounds`]), or an application deadline cannot be
+///   met.
 pub fn synthesize_mode_heuristic_inherited(
     system: &System,
     mode: ModeId,
@@ -84,6 +87,10 @@ pub fn synthesize_mode_heuristic_inherited(
     }
 
     let tr = config.round_duration as f64;
+    // The round budget binds every backend, not just the ILP sweep: a new
+    // round is only opened while the count stays below the configured cap
+    // (the hyperperiod fit is enforced separately by the final bounds check).
+    let r_cap = config.max_rounds.unwrap_or(usize::MAX);
     let infeasible = |rounds: usize| ScheduleError::Infeasible {
         mode,
         max_rounds_tried: rounds,
@@ -147,8 +154,16 @@ pub fn synthesize_mode_heuristic_inherited(
             .copied()
             .unwrap_or(hyper as f64 - offset);
         let latest = offset + deadline - tr;
-        let served = reserve_round(&mut rounds, offset, latest, tr, config.slots_per_round, m)
-            .ok_or_else(|| infeasible(rounds.len()))?;
+        let served = reserve_round(
+            &mut rounds,
+            offset,
+            latest,
+            tr,
+            config.slots_per_round,
+            r_cap,
+            m,
+        )
+        .ok_or_else(|| infeasible(rounds.len()))?;
         message_offsets.insert(m, offset);
         message_deadlines.insert(m, deadline);
         message_served_at.insert(m, served);
@@ -205,6 +220,7 @@ pub fn synthesize_mode_heuristic_inherited(
                 f64::INFINITY,
                 tr,
                 config.slots_per_round,
+                r_cap,
                 *m,
             )
             .ok_or_else(|| infeasible(rounds.len()))?;
@@ -269,17 +285,42 @@ pub fn synthesize_mode_heuristic_inherited(
         }
     }
 
+    // End-to-end latency per application, counting period wraps per hop like
+    // the ILP (Eq. 47) and the validator do: offsets are period-relative, so
+    // a successor placed "before" its predecessor executes in the next period
+    // and the chain latency grows by one period per wrapped hop. Pinned
+    // (inherited) chains can wrap even though the heuristic itself always
+    // packs forward in time.
     let mut app_latencies: BTreeMap<crate::ids::AppId, f64> = BTreeMap::new();
     for &a in &system.mode(mode).applications {
+        let p = system.application(a).period as f64;
         let mut worst: f64 = 0.0;
         for chain in system.chains(a) {
             let first = chain.first_task();
             let last = chain.last_task();
-            let latency =
-                task_offsets[&last] + system.task(last).wcet as f64 - task_offsets[&first];
+            let mut sigma_sum = 0.0;
+            for (from, to) in chain.hops() {
+                let (pred_end, succ_start) = match (from, to) {
+                    (ChainElement::Task(t), ChainElement::Message(m)) => (
+                        task_offsets[&t] + system.task(t).wcet as f64,
+                        message_offsets[&m],
+                    ),
+                    (ChainElement::Message(m), ChainElement::Task(t)) => (
+                        message_offsets[&m] + message_deadlines[&m],
+                        task_offsets[&t],
+                    ),
+                    _ => unreachable!("chain elements alternate"),
+                };
+                if pred_end > succ_start + PIN_TOL {
+                    sigma_sum += 1.0;
+                }
+            }
+            let latency = task_offsets[&last] + system.task(last).wcet as f64
+                - task_offsets[&first]
+                + sigma_sum * p;
             worst = worst.max(latency);
         }
-        if worst > system.application(a).deadline as f64 {
+        if worst > system.application(a).deadline as f64 + PIN_TOL {
             return Err(infeasible(rounds.len()));
         }
         app_latencies.insert(a, worst);
@@ -331,6 +372,7 @@ fn reserve_round(
     latest: f64,
     tr: f64,
     slots_per_round: usize,
+    max_rounds: usize,
     message: MessageId,
 ) -> Option<f64> {
     // Existing round inside the window with a free slot (rounds are sorted,
@@ -357,7 +399,7 @@ fn reserve_round(
             start = round_end;
         }
     }
-    if start > latest + PIN_TOL {
+    if start > latest + PIN_TOL || rounds.len() >= max_rounds {
         return None;
     }
     rounds.insert(
@@ -389,6 +431,21 @@ mod tests {
         let violations = validate_schedule(&sys, mode, &config(), &schedule);
         assert!(violations.is_empty(), "violations: {violations:?}");
         assert!(schedule.num_rounds() >= 2);
+    }
+
+    #[test]
+    fn heuristic_honors_the_round_budget() {
+        // Fig. 3 needs at least two rounds; a one-round budget must make the
+        // heuristic report infeasibility (like the ILP sweep), not open a
+        // round past the cap.
+        let (sys, mode) = fixtures::fig3_system();
+        let capped = config().with_max_rounds(1);
+        let err = synthesize_mode_heuristic(&sys, mode, &capped).unwrap_err();
+        assert!(matches!(err, ScheduleError::Infeasible { .. }));
+        // A sufficient budget keeps the schedule unchanged.
+        let roomy = config().with_max_rounds(5);
+        let schedule = synthesize_mode_heuristic(&sys, mode, &roomy).expect("feasible");
+        assert!(schedule.num_rounds() <= 5);
     }
 
     #[test]

@@ -243,6 +243,48 @@ impl ModeGraph {
         plan
     }
 
+    /// The waves of the parallel synthesis driver: wave `k` holds the modes
+    /// whose inheritance donors all lie in waves `< k` (wave `0` holds the
+    /// modes that inherit nothing). Modes of the same wave are independent —
+    /// first-wins inheritance gives every application exactly one owner — and
+    /// [`crate::synthesis::synthesize_system`] solves them concurrently.
+    ///
+    /// Within a wave, modes keep their [`ModeGraph::synthesis_order`] relative
+    /// order; concatenating the waves therefore yields a permutation of the
+    /// synthesis order in which every donor precedes its heirs.
+    pub fn synthesis_waves(&self, system: &System) -> Vec<Vec<ModeId>> {
+        self.waves_of_plan(&self.inheritance_plan(system))
+    }
+
+    /// [`ModeGraph::synthesis_waves`] for a caller that already computed the
+    /// inheritance plan (the synthesis driver needs both and the plan is the
+    /// expensive part).
+    pub(crate) fn waves_of_plan(
+        &self,
+        plan: &BTreeMap<ModeId, BTreeMap<AppId, ModeId>>,
+    ) -> Vec<Vec<ModeId>> {
+        let mut wave_of: BTreeMap<ModeId, usize> = BTreeMap::new();
+        let mut waves: Vec<Vec<ModeId>> = Vec::new();
+        for mode in self.synthesis_order() {
+            let wave = plan
+                .get(&mode)
+                .map(|sources| {
+                    sources
+                        .values()
+                        .map(|src| wave_of[src] + 1)
+                        .max()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+            wave_of.insert(mode, wave);
+            if waves.len() <= wave {
+                waves.push(Vec::new());
+            }
+            waves[wave].push(mode);
+        }
+        waves
+    }
+
     /// The virtual legacy mode of every mode that inherits at least one
     /// application (paper Sec. V), in synthesis order.
     pub fn virtual_legacy_modes(&self, system: &System) -> Vec<VirtualLegacyMode> {
@@ -389,6 +431,33 @@ mod tests {
         // The diagnostics app is exclusive to the emergency mode.
         let diag = sys.application_id("emergency_diag").expect("app exists");
         assert!(!plan[&emergency].contains_key(&diag));
+    }
+
+    #[test]
+    fn synthesis_waves_follow_the_inheritance_plan() {
+        let (sys, graph, normal, emergency) = fixtures::two_mode_graph();
+        assert_eq!(
+            graph.synthesis_waves(&sys),
+            vec![vec![normal], vec![emergency]]
+        );
+
+        // The diamond: boot alone, then one wave of three independent modes.
+        let (sys, graph, [boot, normal, emergency, maintenance]) = fixtures::four_mode_diamond();
+        assert_eq!(
+            graph.synthesis_waves(&sys),
+            vec![vec![boot], vec![normal, emergency, maintenance]]
+        );
+    }
+
+    #[test]
+    fn synthesis_waves_concatenate_to_the_synthesis_order_modes() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let flat: Vec<ModeId> = graph.synthesis_waves(&sys).into_iter().flatten().collect();
+        let mut sorted = flat.clone();
+        sorted.sort_unstable();
+        let mut order = graph.synthesis_order();
+        order.sort_unstable();
+        assert_eq!(sorted, order, "waves cover every mode exactly once");
     }
 
     #[test]

@@ -324,27 +324,44 @@ pub fn synthesize_system(
     config: &SchedulerConfig,
     backend: &dyn Synthesizer,
 ) -> Result<SystemSchedule, Box<SystemSynthesisError>> {
+    synthesize_waves(system, graph, config, backend, true)
+}
+
+/// The sequential twin of [`synthesize_system`]: identical wave structure,
+/// inheritance and failure semantics, but every mode is synthesized on the
+/// calling thread.
+///
+/// The parallel driver is deterministic and always produces the same result,
+/// so this function exists for *measurement*, not correctness: the
+/// `mode_scaling` benchmark uses it as the baseline when quantifying the
+/// parallel speedup over wide synthesis waves.
+///
+/// # Errors
+///
+/// Exactly as [`synthesize_system`].
+pub fn synthesize_system_sequential(
+    system: &System,
+    graph: &ModeGraph,
+    config: &SchedulerConfig,
+    backend: &dyn Synthesizer,
+) -> Result<SystemSchedule, Box<SystemSynthesisError>> {
+    synthesize_waves(system, graph, config, backend, false)
+}
+
+fn synthesize_waves(
+    system: &System,
+    graph: &ModeGraph,
+    config: &SchedulerConfig,
+    backend: &dyn Synthesizer,
+    parallel: bool,
+) -> Result<SystemSchedule, Box<SystemSynthesisError>> {
     let plan = graph.inheritance_plan(system);
     let mut result = SystemSchedule::new();
-    let mut remaining = graph.synthesis_order();
 
-    while !remaining.is_empty() {
-        // A mode is ready when all of its inheritance donors are complete.
-        let (batch, rest): (Vec<ModeId>, Vec<ModeId>) =
-            remaining.iter().copied().partition(|mode| {
-                plan.get(mode)
-                    .map(|sources| sources.values().all(|src| result.get(*src).is_some()))
-                    .unwrap_or(true)
-            });
-        debug_assert!(
-            !batch.is_empty(),
-            "the earliest remaining mode only inherits from completed modes"
-        );
-        remaining = rest;
-
+    for wave in graph.waves_of_plan(&plan) {
         // Pin the inherited offsets for the whole wave up front (every donor
-        // is complete), then synthesize the wave members concurrently.
-        let jobs: Vec<(ModeId, BTreeMap<AppId, ModeId>, InheritedOffsets)> = batch
+        // lies in an earlier wave), then synthesize the wave members.
+        let jobs: Vec<(ModeId, BTreeMap<AppId, ModeId>, InheritedOffsets)> = wave
             .into_iter()
             .map(|mode| {
                 let sources = plan.get(&mode).cloned().unwrap_or_default();
@@ -359,7 +376,9 @@ pub fn synthesize_system(
             .collect();
 
         type Outcome = Result<ModeSchedule, SynthesisFailure>;
-        let outcomes: Vec<(ModeId, BTreeMap<AppId, ModeId>, Outcome)> = if jobs.len() == 1 {
+        let outcomes: Vec<(ModeId, BTreeMap<AppId, ModeId>, Outcome)> = if !parallel
+            || jobs.len() == 1
+        {
             jobs.into_iter()
                 .map(|(mode, sources, inherited)| {
                     let outcome = backend.synthesize(system, mode, config, &inherited);
@@ -597,6 +616,24 @@ mod tests {
             assert_eq!(schedule.task_offsets, other.task_offsets);
             assert_eq!(schedule.message_offsets, other.message_offsets);
         }
+    }
+
+    #[test]
+    fn sequential_driver_matches_the_parallel_driver() {
+        let (sys, graph, _) = fixtures::four_mode_diamond();
+        let parallel = synthesize_system(&sys, &graph, &config(), &IlpSynthesizer::default())
+            .expect("all four modes feasible");
+        let sequential =
+            synthesize_system_sequential(&sys, &graph, &config(), &IlpSynthesizer::default())
+                .expect("all four modes feasible");
+        assert_eq!(parallel.num_modes(), sequential.num_modes());
+        for (mode, schedule) in parallel.iter() {
+            let other = sequential.get(mode).expect("same modes");
+            assert_eq!(schedule.task_offsets, other.task_offsets);
+            assert_eq!(schedule.message_offsets, other.message_offsets);
+            assert_eq!(schedule.rounds, other.rounds);
+        }
+        assert_eq!(parallel.inheritance, sequential.inheritance);
     }
 
     #[test]

@@ -281,10 +281,15 @@ fn check_message_service(
 
         // A round that starts before the very first release it could serve
         // indicates a served-before-release error (only possible if counts are
-        // off, but kept as a defensive check).
+        // off, but kept as a defensive check). Wrap-around messages are
+        // exempt: when the service window crosses the period boundary
+        // (`offset + deadline > period`, the ILP's `r0` leftover case), the
+        // round legitimately starts *before* this period's release because it
+        // serves the instance released in the previous period.
+        let wraps = offset + deadline > period + TOL;
         for &j in &carrying {
             let start = schedule.rounds[j].start;
-            if start + TOL < offset && carrying.len() == n_inst && n_inst == 1 {
+            if start + TOL < offset && carrying.len() == n_inst && n_inst == 1 && !wraps {
                 violations.push(ScheduleViolation::ServedBeforeRelease {
                     message: m,
                     round: j,

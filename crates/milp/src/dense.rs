@@ -47,6 +47,80 @@ struct StandardForm {
     objective_offset: f64,
 }
 
+/// Side-by-side outcome of pricing one model's LP relaxation through the
+/// dense reference tableau *and* the production sparse revised simplex.
+///
+/// This is the oracle hook the differential/agreement harnesses consume:
+/// build it with [`compare_relaxations`], then assert
+/// [`OracleComparison::agree_on_feasibility`] and, when both solvers report
+/// optimality, a small [`OracleComparison::objective_gap`].
+#[derive(Debug, Clone)]
+pub struct OracleComparison {
+    /// Status reported by the dense tableau.
+    pub dense_status: LpStatus,
+    /// Status reported by the sparse revised simplex.
+    pub sparse_status: crate::Status,
+    /// Dense objective, converted to the model's user-facing objective sense
+    /// (the raw tableau works in the internal minimization form).
+    pub dense_objective: f64,
+    /// Sparse objective (already in the user-facing sense).
+    pub sparse_objective: f64,
+    /// Pivot count of the dense solve.
+    pub dense_pivots: usize,
+    /// Pivot count of the sparse solve.
+    pub sparse_pivots: usize,
+}
+
+impl OracleComparison {
+    /// `true` iff both solvers agree on whether the relaxation is optimal.
+    pub fn agree_on_feasibility(&self) -> bool {
+        self.both_optimal()
+            || (self.dense_status != LpStatus::Optimal
+                && self.sparse_status != crate::Status::Optimal)
+    }
+
+    /// `true` iff both solvers found an optimal point.
+    pub fn both_optimal(&self) -> bool {
+        self.dense_status == LpStatus::Optimal && self.sparse_status == crate::Status::Optimal
+    }
+
+    /// Absolute objective disagreement; `0.0` unless both solves are optimal.
+    pub fn objective_gap(&self) -> f64 {
+        if self.both_optimal() {
+            (self.dense_objective - self.sparse_objective).abs()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Solves the LP relaxation of `model` with both the dense reference oracle
+/// and the production sparse simplex and reports the two outcomes side by
+/// side (statuses, user-sense objectives, pivot counts).
+///
+/// # Errors
+///
+/// Returns the first [`SolveError`] raised by either solver (typically an
+/// exhausted pivot budget).
+pub fn compare_relaxations(model: &Model) -> Result<OracleComparison, SolveError> {
+    let bounds: Vec<(f64, f64)> = model.variables().map(|(_, v)| (v.lower, v.upper)).collect();
+    let dense = solve_lp_dense(model, &bounds)?;
+    let sparse = model.solve_relaxation()?;
+    let (_, sense) = model.objective();
+    let dense_objective = match sense {
+        crate::Sense::Minimize => dense.objective,
+        crate::Sense::Maximize => -dense.objective,
+    };
+    Ok(OracleComparison {
+        dense_status: dense.status,
+        sparse_status: sparse.status,
+        dense_objective,
+        sparse_objective: sparse.objective,
+        dense_pivots: dense.iterations,
+        sparse_pivots: sparse.simplex_iterations,
+    })
+}
+
 /// Solves the LP relaxation of `model` with the dense reference tableau,
 /// using the same bound-override convention as
 /// [`crate::simplex::solve_lp`].
@@ -619,5 +693,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn compare_relaxations_reports_user_sense_objectives() {
+        // Maximization: the raw tableau minimizes, so the hook must negate.
+        let mut m = Model::new("max");
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 4.0);
+        m.set_objective(Sense::Maximize, &[(x, 2.0)]);
+        m.add_le(&[(x, 1.0)], 3.0);
+        let cmp = compare_relaxations(&m).expect("both solve");
+        assert!(cmp.both_optimal() && cmp.agree_on_feasibility());
+        assert!((cmp.dense_objective - 6.0).abs() < 1e-9);
+        assert!(cmp.objective_gap() < 1e-9);
+    }
+
+    #[test]
+    fn compare_relaxations_agrees_on_infeasibility() {
+        let mut m = Model::new("infeasible");
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0);
+        m.set_objective(Sense::Minimize, &[(x, 1.0)]);
+        m.add_le(&[(x, -1.0)], -5.0); // x >= 5 contradicts x <= 1
+        let cmp = compare_relaxations(&m).expect("both solve");
+        assert!(!cmp.both_optimal());
+        assert!(cmp.agree_on_feasibility());
+        assert_eq!(cmp.objective_gap(), 0.0);
     }
 }

@@ -1,0 +1,637 @@
+//! # ttw-testkit — seeded scenario generation for the TTW pipeline
+//!
+//! The hand-built fixtures of `ttw-core` stop at two- and four-mode systems,
+//! which exercises the synthesis pipeline on a handful of shapes only. This
+//! crate is the workspace's standing *scenario engine*: a deterministic,
+//! seeded generator that produces random [`System`]s together with a matching
+//! [`ModeGraph`] from a declarative [`GeneratorConfig`] — N modes in one of
+//! several graph shapes, applications shared between modes (so minimal
+//! inheritance has real work to do), randomized precedence chains, WCETs and
+//! periods.
+//!
+//! Determinism is the central contract: **equal `(config, seed)` pairs produce
+//! identical scenarios** (same entity names, ids, periods, WCETs, edges), so
+//! any failure found by a randomized harness is reproducible from the printed
+//! seed alone. Randomness comes from the same SplitMix64 generator the link
+//! simulator uses ([`ttw_netsim::rng`]); no global state, no platform
+//! dependence.
+//!
+//! ## Scenario structure
+//!
+//! Every generated mode contains up to [`GeneratorConfig::apps_per_mode`]
+//! applications drawn from three groups:
+//!
+//! * a **global shared application** that joins each mode with probability
+//!   [`GeneratorConfig::shared_app_fraction`] (always present in the root
+//!   mode when the fraction is positive) — the paper's "control application
+//!   keeps running everywhere" premise;
+//! * a **handoff application**: each non-root mode re-runs the local
+//!   application of one of its mode-graph parents, which chains the
+//!   inheritance plan along the graph edges — a [`GraphShape::Chain`]
+//!   therefore synthesizes fully sequentially, while a
+//!   [`GraphShape::Diamond`] produces one wide parallel wave;
+//! * **local/private applications** exclusive to the mode.
+//!
+//! ```
+//! use ttw_testkit::{generate, GeneratorConfig, GraphShape};
+//!
+//! let config = GeneratorConfig::small(4, GraphShape::Diamond);
+//! let scenario = generate(&config, 42);
+//! assert_eq!(scenario.graph.num_modes(), 4);
+//! // Same seed, same scenario — failures are reproducible from the seed.
+//! let again = generate(&config, 42);
+//! assert_eq!(scenario.fingerprint(), again.fingerprint());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ttw_core::ids::{AppId, ModeId};
+use ttw_core::spec::ApplicationSpec;
+use ttw_core::time::{millis, Micros};
+use ttw_core::{ModeGraph, SchedulerConfig, System};
+use ttw_netsim::rng::SplitMix64;
+
+/// Topology of the generated mode graph (the shape of the legal-switch DAG).
+///
+/// The shape drives the *wave structure* of the parallel synthesis driver
+/// because each non-root mode inherits an application from one of its graph
+/// parents: a chain synthesizes one mode per wave, a diamond packs all middle
+/// modes into a single wide wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphShape {
+    /// `M0 → M1 → … → M(N−1)`: maximal inheritance depth, no parallelism.
+    Chain,
+    /// `M0 → {M1 … M(N−2)} → M(N−1)`: one wave of width `N − 2`.
+    Diamond,
+    /// Layers of `width` modes; every mode of a layer switches to every mode
+    /// of the next layer. Wave count ≈ `N / width`, wave width ≈ `width`.
+    LayeredDag {
+        /// Number of modes per layer (≥ 1).
+        width: usize,
+    },
+    /// Every mode `Mj` (j ≥ 1) gets one or two random parents among
+    /// `M0 … M(j−1)` — an irregular DAG still rooted at `M0`.
+    RandomDag,
+}
+
+impl GraphShape {
+    /// All shapes, in a fixed order (used by harnesses cycling through them).
+    pub const ALL: [GraphShape; 4] = [
+        GraphShape::Chain,
+        GraphShape::Diamond,
+        GraphShape::LayeredDag { width: 3 },
+        GraphShape::RandomDag,
+    ];
+
+    /// Short machine-friendly name (used as a JSON key by the benches).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphShape::Chain => "chain",
+            GraphShape::Diamond => "diamond",
+            GraphShape::LayeredDag { .. } => "layered",
+            GraphShape::RandomDag => "random",
+        }
+    }
+
+    /// The directed switch edges of this shape over `n` modes (indexes).
+    fn edges(&self, n: usize, rng: &mut SplitMix64) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        match *self {
+            GraphShape::Chain => {
+                for i in 1..n {
+                    edges.push((i - 1, i));
+                }
+            }
+            GraphShape::Diamond => {
+                if n <= 2 {
+                    for i in 1..n {
+                        edges.push((i - 1, i));
+                    }
+                } else {
+                    for mid in 1..n - 1 {
+                        edges.push((0, mid));
+                        edges.push((mid, n - 1));
+                    }
+                }
+            }
+            GraphShape::LayeredDag { width } => {
+                // The root is a layer of its own; modes 1.. form layers of
+                // `width`, fully connected to the previous layer.
+                let width = width.max(1);
+                for j in 1..n {
+                    let layer = (j - 1) / width + 1;
+                    if layer == 1 {
+                        edges.push((0, j));
+                        continue;
+                    }
+                    let prev_start = (layer - 2) * width + 1;
+                    let prev_end = ((layer - 1) * width + 1).min(n);
+                    for i in prev_start..prev_end {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            GraphShape::RandomDag => {
+                for j in 1..n {
+                    let num_parents = 1 + (rng.next_u64() as usize % 2).min(j - 1);
+                    let mut parents = std::collections::BTreeSet::new();
+                    while parents.len() < num_parents {
+                        parents.insert(rng.next_u64() as usize % j);
+                    }
+                    for p in parents {
+                        edges.push((p, j));
+                    }
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// Declarative description of a scenario family; [`generate`] turns a
+/// `(GeneratorConfig, seed)` pair into one concrete [`Scenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of operation modes (N).
+    pub num_modes: usize,
+    /// Topology of the mode graph.
+    pub shape: GraphShape,
+    /// Number of network nodes tasks are mapped onto.
+    pub num_nodes: usize,
+    /// Target number of applications per mode (a lower bound: the structural
+    /// shared/handoff applications are always included).
+    pub apps_per_mode: usize,
+    /// Probability that the global shared application joins a given non-root
+    /// mode (`0.0` disables the global shared application entirely).
+    pub shared_app_fraction: f64,
+    /// Inclusive range of tasks per generated application chain.
+    pub tasks_per_app: (usize, usize),
+    /// Inclusive range of task WCETs in microseconds.
+    pub wcet_range_us: (Micros, Micros),
+    /// Application periods are drawn uniformly from this set; more than one
+    /// distinct value makes multi-rate modes possible.
+    pub period_choices_us: Vec<Micros>,
+    /// End-to-end deadline as a fraction of the period (`1.0` = deadline
+    /// equals period, the most permissive setting).
+    pub deadline_factor: f64,
+    /// Message payload size in bytes (recorded for timing-derived round
+    /// lengths; the co-scheduling model itself is payload-agnostic).
+    pub payload_bytes: usize,
+    /// Round length `T_r` (µs) of the scheduler configuration.
+    pub round_duration_us: Micros,
+    /// Data slots per round (`B`).
+    pub slots_per_round: usize,
+    /// Optional round budget: cap on the `R_M` sweep of Algorithm 1.
+    pub max_rounds: Option<usize>,
+}
+
+impl GeneratorConfig {
+    /// A small, comfortably feasible single-rate workload: 100 ms periods,
+    /// 10 ms rounds with 5 slots, light node utilization. The default family
+    /// of the differential harness — small enough that the exact ILP solves
+    /// in milliseconds per mode.
+    pub fn small(num_modes: usize, shape: GraphShape) -> Self {
+        GeneratorConfig {
+            num_modes,
+            shape,
+            num_nodes: 5,
+            apps_per_mode: 2,
+            shared_app_fraction: 0.75,
+            tasks_per_app: (2, 3),
+            wcet_range_us: (500, 3_000),
+            period_choices_us: vec![millis(100)],
+            deadline_factor: 1.0,
+            payload_bytes: 10,
+            round_duration_us: millis(10),
+            slots_per_round: 5,
+            max_rounds: Some(5),
+        }
+    }
+
+    /// The scaling-benchmark family: like [`GeneratorConfig::small`] but with
+    /// more slack — two-task applications (one message each), an uncapped
+    /// round budget, and the global shared application in *every* mode — so
+    /// that deep inheritance chains (N up to 32 modes, each pinning its
+    /// parent's application) stay comfortably feasible and the benchmark
+    /// measures synthesis speed, not infeasibility detection.
+    ///
+    /// The `shared_app_fraction = 1.0` is load-bearing for feasibility: with
+    /// probabilistic membership, a mode can inherit two applications that
+    /// were never co-scheduled in any single donor (its parent skipped the
+    /// global application), and their independently chosen offsets may
+    /// conflict on a node — a legitimate infeasibility the differential
+    /// harness exercises, but noise for a scaling benchmark.
+    pub fn bench(num_modes: usize, shape: GraphShape) -> Self {
+        GeneratorConfig {
+            tasks_per_app: (3, 3),
+            max_rounds: None,
+            shared_app_fraction: 1.0,
+            ..Self::small(num_modes, shape)
+        }
+    }
+
+    /// Switches the family to mixed 50/100 ms periods, so generated modes can
+    /// contain applications whose period differs from the mode hyperperiod
+    /// (the multi-rate case the greedy heuristic must reject).
+    pub fn with_multi_rate(mut self) -> Self {
+        self.period_choices_us = vec![millis(50), millis(100)];
+        self
+    }
+
+    /// The [`SchedulerConfig`] scenarios of this family are synthesized with.
+    ///
+    /// The MILP budgets are tightened (relative to the solver defaults) so a
+    /// pathological draw exhausts its budget and surfaces as
+    /// [`ttw_core::ScheduleError::Solver`] within seconds instead of stalling
+    /// a randomized harness; callers sweeping many seeds should treat that
+    /// error as "skip scenario".
+    pub fn scheduler_config(&self) -> SchedulerConfig {
+        let mut config = SchedulerConfig::new(self.round_duration_us, self.slots_per_round);
+        if let Some(cap) = self.max_rounds {
+            config = config.with_max_rounds(cap);
+        }
+        config.solver.max_nodes = 1_500;
+        config
+    }
+
+    /// Panics with a descriptive message when the family is self-inconsistent
+    /// (empty ranges, WCET larger than the smallest period, …).
+    fn check(&self) {
+        assert!(self.num_modes >= 1, "num_modes must be at least 1");
+        assert!(self.num_nodes >= 1, "num_nodes must be at least 1");
+        let (t_lo, t_hi) = self.tasks_per_app;
+        assert!(
+            (1..=t_hi).contains(&t_lo),
+            "tasks_per_app range ({t_lo}, {t_hi}) is empty"
+        );
+        let (w_lo, w_hi) = self.wcet_range_us;
+        assert!(
+            (1..=w_hi).contains(&w_lo),
+            "wcet_range_us range ({w_lo}, {w_hi}) is empty"
+        );
+        assert!(
+            !self.period_choices_us.is_empty(),
+            "period_choices_us must not be empty"
+        );
+        let min_period = *self.period_choices_us.iter().min().expect("non-empty");
+        assert!(
+            w_hi <= min_period,
+            "largest WCET {w_hi} µs exceeds the smallest period {min_period} µs"
+        );
+        assert!(
+            self.deadline_factor > 0.0 && self.deadline_factor <= 1.0,
+            "deadline_factor must be in (0, 1], got {}",
+            self.deadline_factor
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.shared_app_fraction),
+            "shared_app_fraction must be in [0, 1], got {}",
+            self.shared_app_fraction
+        );
+    }
+}
+
+/// One concrete generated workload: the system, its mode graph, and the
+/// `(config, seed)` pair that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The generated system (nodes, applications, modes).
+    pub system: System,
+    /// The generated mode graph (root = first mode).
+    pub graph: ModeGraph,
+    /// The family this scenario was drawn from.
+    pub config: GeneratorConfig,
+    /// The seed it was drawn with.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The scheduler configuration this scenario is meant to be synthesized
+    /// with (delegates to [`GeneratorConfig::scheduler_config`]).
+    pub fn scheduler_config(&self) -> SchedulerConfig {
+        self.config.scheduler_config()
+    }
+
+    /// All mode ids of the system, in id order.
+    pub fn modes(&self) -> Vec<ModeId> {
+        self.system.modes().map(|(id, _)| id).collect()
+    }
+
+    /// `true` if `mode` contains an application whose period differs from the
+    /// mode hyperperiod (the case the greedy heuristic rejects).
+    pub fn is_multi_rate(&self, mode: ModeId) -> bool {
+        let hyper = self.system.hyperperiod(mode);
+        self.system
+            .mode(mode)
+            .applications
+            .iter()
+            .any(|&a| self.system.application(a).period != hyper)
+    }
+
+    /// The modes for which [`Scenario::is_multi_rate`] holds, in id order.
+    pub fn multi_rate_modes(&self) -> Vec<ModeId> {
+        self.modes()
+            .into_iter()
+            .filter(|&m| self.is_multi_rate(m))
+            .collect()
+    }
+
+    /// A deterministic textual digest of the generated system and graph:
+    /// every node, task, message, application, mode and switch edge in id
+    /// order. Two scenarios are structurally identical iff their fingerprints
+    /// are equal (unlike `Debug` output, which iterates name-lookup hash maps
+    /// in arbitrary order).
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let sys = &self.system;
+        let mut out = String::new();
+        for (id, node) in sys.nodes() {
+            let _ = writeln!(out, "node {id} {}", node.name);
+        }
+        for (id, task) in sys.tasks() {
+            let _ = writeln!(
+                out,
+                "task {id} {} node={} wcet={} app={}",
+                task.name, task.node, task.wcet, task.app
+            );
+        }
+        for (id, msg) in sys.messages() {
+            let _ = writeln!(
+                out,
+                "message {id} {} app={} prec={:?} succ={:?}",
+                msg.name, msg.app, msg.preceding_tasks, msg.successor_tasks
+            );
+        }
+        for (id, app) in sys.applications() {
+            let _ = writeln!(
+                out,
+                "app {id} {} period={} deadline={} tasks={:?} messages={:?}",
+                app.name, app.period, app.deadline, app.tasks, app.messages
+            );
+        }
+        for (id, mode) in sys.modes() {
+            let _ = writeln!(out, "mode {id} {} apps={:?}", mode.name, mode.applications);
+        }
+        for (from, to) in self.graph.edges() {
+            let _ = writeln!(out, "edge {from} -> {to}");
+        }
+        out
+    }
+
+    /// One-line reproduction hint for harness assertion messages: the seed
+    /// and the full configuration, enough to regenerate this exact scenario.
+    pub fn repro(&self) -> String {
+        format!(
+            "seed {} (rerun: TTW_TEST_SEEDS=1 TTW_TEST_SEED_START={} cargo test --test differential) config {:?}",
+            self.seed, self.seed, self.config
+        )
+    }
+}
+
+/// Generates the scenario determined by `(config, seed)`.
+///
+/// Determinism contract: equal inputs produce byte-identical systems and
+/// graphs (entity creation order, names, ids, durations and edges all derive
+/// from one SplitMix64 stream seeded with `seed`).
+///
+/// # Panics
+///
+/// Panics if `config` is self-inconsistent (see the field invariants on
+/// [`GeneratorConfig`]); generated entities themselves always satisfy the
+/// system-model rules.
+pub fn generate(config: &GeneratorConfig, seed: u64) -> Scenario {
+    config.check();
+    let mut rng = SplitMix64::new(seed);
+    let mut system = System::new();
+    for n in 0..config.num_nodes {
+        system
+            .add_node(format!("node{n}"))
+            .expect("generated node names are unique");
+    }
+
+    // The switch topology is drawn first: the handoff applications below
+    // follow its edges, which is what chains the inheritance plan (and hence
+    // the synthesis waves) along the graph.
+    let edge_list = config.shape.edges(config.num_modes, &mut rng);
+    let parents_of = |mode: usize| -> Vec<usize> {
+        edge_list
+            .iter()
+            .filter(|&&(_, to)| to == mode)
+            .map(|&(from, _)| from)
+            .collect()
+    };
+
+    // Global shared application (the "control loop that runs everywhere").
+    let global: Option<AppId> = (config.shared_app_fraction > 0.0)
+        .then(|| generate_app(&mut system, &mut rng, config, "shared"));
+
+    let mut local_apps: Vec<AppId> = Vec::with_capacity(config.num_modes);
+    let mut mode_ids: Vec<ModeId> = Vec::with_capacity(config.num_modes);
+    for m in 0..config.num_modes {
+        let mut apps: Vec<AppId> = Vec::new();
+        if let Some(g) = global {
+            // The root always carries the global app (so it owns it); later
+            // modes join with the configured probability.
+            if m == 0 || rng.next_f64() < config.shared_app_fraction {
+                apps.push(g);
+            }
+        }
+        if m > 0 {
+            // Handoff: keep one parent's local application running across the
+            // switch into this mode.
+            let parents = parents_of(m);
+            let parent = parents[rng.next_u64() as usize % parents.len()];
+            let handoff = local_apps[parent];
+            if !apps.contains(&handoff) {
+                apps.push(handoff);
+            }
+        }
+        let local = generate_app(&mut system, &mut rng, config, &format!("m{m}local"));
+        local_apps.push(local);
+        apps.push(local);
+        let mut extra = 0usize;
+        while apps.len() < config.apps_per_mode {
+            apps.push(generate_app(
+                &mut system,
+                &mut rng,
+                config,
+                &format!("m{m}priv{extra}"),
+            ));
+            extra += 1;
+        }
+        mode_ids.push(
+            system
+                .add_mode(format!("mode{m}"), &apps)
+                .expect("generated modes are valid"),
+        );
+    }
+
+    let mut graph = ModeGraph::new(&system);
+    for &(from, to) in &edge_list {
+        graph
+            .add_edge(mode_ids[from], mode_ids[to])
+            .expect("generated edges reference generated modes");
+    }
+
+    Scenario {
+        system,
+        graph,
+        config: config.clone(),
+        seed,
+    }
+}
+
+/// Generates one linear-chain application `t0 → m0 → t1 → …` with randomized
+/// node mapping, WCETs and period, and adds it to the system.
+fn generate_app(
+    system: &mut System,
+    rng: &mut SplitMix64,
+    config: &GeneratorConfig,
+    name: &str,
+) -> AppId {
+    let (t_lo, t_hi) = config.tasks_per_app;
+    let num_tasks = t_lo + (rng.next_u64() as usize % (t_hi - t_lo + 1));
+    let period = config.period_choices_us[rng.next_u64() as usize % config.period_choices_us.len()];
+    let deadline = ((period as f64 * config.deadline_factor).round() as Micros).clamp(1, period);
+    let (w_lo, w_hi) = config.wcet_range_us;
+
+    let mut spec = ApplicationSpec::new(name, period, deadline);
+    for t in 0..num_tasks {
+        let node = rng.next_u64() as usize % config.num_nodes;
+        let wcet = w_lo + rng.next_u64() % (w_hi - w_lo + 1);
+        spec = spec.with_task(format!("{name}.t{t}"), format!("node{node}"), wcet);
+    }
+    for t in 0..num_tasks - 1 {
+        spec = spec.with_message(
+            format!("{name}.msg{t}"),
+            [format!("{name}.t{t}")],
+            [format!("{name}.t{}", t + 1)],
+        );
+    }
+    system
+        .add_application(&spec)
+        .expect("generated applications obey the system-model rules")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttw_core::synthesis::{synthesize_system, IlpSynthesizer};
+    use ttw_core::validate::validate_system_schedule;
+
+    #[test]
+    fn equal_seeds_generate_identical_scenarios() {
+        for shape in GraphShape::ALL {
+            let config = GeneratorConfig::small(4, shape);
+            let a = generate(&config, 7);
+            let b = generate(&config, 7);
+            assert_eq!(a.fingerprint(), b.fingerprint());
+            assert_eq!(a.graph, b.graph);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let config = GeneratorConfig::small(3, GraphShape::Chain);
+        let a = generate(&config, 1);
+        let b = generate(&config, 2);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn modes_meet_the_apps_per_mode_target() {
+        let config = GeneratorConfig::small(5, GraphShape::RandomDag);
+        let scenario = generate(&config, 11);
+        for (_, mode) in scenario.system.modes() {
+            assert!(mode.applications.len() >= config.apps_per_mode);
+        }
+    }
+
+    #[test]
+    fn chain_shape_synthesizes_one_mode_per_wave() {
+        let config = GeneratorConfig::small(5, GraphShape::Chain);
+        let scenario = generate(&config, 3);
+        let waves = scenario.graph.synthesis_waves(&scenario.system);
+        assert_eq!(waves.len(), 5, "a 5-mode chain has 5 sequential waves");
+        assert!(waves.iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn diamond_shape_packs_the_middle_modes_into_one_wave() {
+        let config = GeneratorConfig::small(6, GraphShape::Diamond);
+        let scenario = generate(&config, 3);
+        let waves = scenario.graph.synthesis_waves(&scenario.system);
+        assert_eq!(waves.len(), 3, "root, middle wave, sink");
+        assert_eq!(waves[1].len(), 4, "all four middle modes are independent");
+    }
+
+    #[test]
+    fn layered_shape_produces_width_bounded_waves() {
+        let config = GeneratorConfig::small(7, GraphShape::LayeredDag { width: 2 });
+        let scenario = generate(&config, 9);
+        let waves = scenario.graph.synthesis_waves(&scenario.system);
+        assert!(waves.len() >= 3);
+        assert!(waves.iter().all(|w| w.len() <= 2));
+    }
+
+    #[test]
+    fn random_dag_is_rooted_and_acyclic() {
+        for seed in 0..8 {
+            let config = GeneratorConfig::small(6, GraphShape::RandomDag);
+            let scenario = generate(&config, seed);
+            assert!(scenario.graph.is_acyclic(), "edges only point forward");
+            // Every mode is reachable from the root: BFS covers all modes
+            // before the "unreachable" fallback of synthesis_order kicks in.
+            let waves = scenario.graph.synthesis_waves(&scenario.system);
+            let covered: usize = waves.iter().map(Vec::len).sum();
+            assert_eq!(covered, 6);
+        }
+    }
+
+    #[test]
+    fn single_rate_family_never_generates_multi_rate_modes() {
+        let config = GeneratorConfig::small(4, GraphShape::Diamond);
+        let scenario = generate(&config, 21);
+        assert!(scenario.multi_rate_modes().is_empty());
+    }
+
+    #[test]
+    fn multi_rate_family_generates_multi_rate_modes() {
+        let config = GeneratorConfig::small(4, GraphShape::Chain).with_multi_rate();
+        let found = (0..16).any(|seed| !generate(&config, seed).multi_rate_modes().is_empty());
+        assert!(found, "mixed 50/100 ms periods must yield multi-rate modes");
+    }
+
+    #[test]
+    fn generated_scenario_synthesizes_and_validates() {
+        let config = GeneratorConfig::small(3, GraphShape::Chain);
+        let scenario = generate(&config, 5);
+        let schedule = synthesize_system(
+            &scenario.system,
+            &scenario.graph,
+            &scenario.scheduler_config(),
+            &IlpSynthesizer::default(),
+        )
+        .expect("small single-rate scenarios are feasible");
+        let violations =
+            validate_system_schedule(&scenario.system, &scenario.scheduler_config(), &schedule);
+        assert!(violations.is_empty(), "validator found: {violations:?}");
+    }
+
+    #[test]
+    fn repro_hint_names_the_seed() {
+        let scenario = generate(&GeneratorConfig::small(2, GraphShape::Chain), 1234);
+        let hint = scenario.repro();
+        assert!(hint.contains("1234"));
+        assert!(hint.contains("GeneratorConfig"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wcet_range_us")]
+    fn inconsistent_config_panics_with_a_message() {
+        let mut config = GeneratorConfig::small(2, GraphShape::Chain);
+        config.wcet_range_us = (10, 5);
+        generate(&config, 0);
+    }
+}

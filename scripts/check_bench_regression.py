@@ -1,47 +1,94 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the synthesis benchmark.
+"""Perf-regression gate for the benchmark JSON artifacts.
 
-Compares the `inherited_incremental` simplex-iteration count of a freshly
-generated `BENCH_synthesis.json` against the committed baseline and fails
-(exit 1) when it regressed by more than the allowed fraction. Iteration
-counts are deterministic — unlike wall time — so this is safe to run on
-noisy CI machines.
+Walks the freshly generated benchmark JSON (``current``), collects every
+``simplex_iterations`` counter (at any nesting depth), and compares each
+against the same dotted path in the committed ``baseline``. The gate fails
+(exit 1) when any counter regressed by more than the allowed fraction.
+Iteration counts are deterministic — unlike wall time — so this is safe to
+run on noisy CI machines.
+
+Keys present in ``current`` but absent from the baseline are treated as
+"no baseline, pass": a PR that *adds* a benchmark scenario must not fail the
+gate for the old baseline's ignorance (the new file becomes the baseline once
+merged). Keys present only in the baseline are ignored likewise (quick-mode
+runs sweep a subset of the committed full sweep).
 
 Usage: check_bench_regression.py <baseline.json> <current.json> [max-regression]
 
-`max-regression` is a fraction, default 0.20 (= fail above +20%).
+``max-regression`` is a fraction, default 0.20 (= fail above +20%).
 """
 
 import json
 import sys
 
+#: Leaf keys treated as smaller-is-better deterministic work counters.
+COUNTER_KEYS = ("simplex_iterations",)
 
-def inherited_iterations(path: str) -> float:
+
+def collect_counters(data, prefix=""):
+    """Returns ``{dotted.path: value}`` for every counter leaf in ``data``."""
+    counters = {}
+    if isinstance(data, dict):
+        for key, value in data.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key in COUNTER_KEYS and isinstance(value, (int, float)):
+                counters[path] = float(value)
+            else:
+                counters.update(collect_counters(value, path))
+    elif isinstance(data, list):
+        for index, value in enumerate(data):
+            counters.update(collect_counters(value, f"{prefix}[{index}]"))
+    return counters
+
+
+def load_counters(path):
     with open(path, encoding="utf-8") as handle:
-        data = json.load(handle)
-    return float(data["strategies"]["inherited_incremental"]["simplex_iterations"])
+        return collect_counters(json.load(handle))
 
 
-def main() -> int:
-    if len(sys.argv) < 3:
+def check(baseline, current, max_regression):
+    """Compares counter maps; returns the list of failure messages."""
+    failures = []
+    for path, value in sorted(current.items()):
+        base = baseline.get(path)
+        if base is None:
+            print(f"{path}: current {value:.0f}, no baseline — pass")
+            continue
+        limit = base * (1.0 + max_regression)
+        verdict = "FAIL" if value > limit else "ok"
+        print(
+            f"{path}: baseline {base:.0f}, current {value:.0f}, "
+            f"limit {limit:.0f} (+{max_regression:.0%}) — {verdict}"
+        )
+        if value > limit:
+            failures.append(
+                f"{path} regressed: {base:.0f} -> {value:.0f} (limit {limit:.0f})"
+            )
+    return failures
+
+
+def main(argv):
+    if len(argv) < 3:
         print(__doc__)
         return 2
-    baseline_path, current_path = sys.argv[1], sys.argv[2]
-    max_regression = float(sys.argv[3]) if len(sys.argv) > 3 else 0.20
+    baseline_path, current_path = argv[1], argv[2]
+    max_regression = float(argv[3]) if len(argv) > 3 else 0.20
 
-    baseline = inherited_iterations(baseline_path)
-    current = inherited_iterations(current_path)
-    limit = baseline * (1.0 + max_regression)
-    print(
-        f"inherited_incremental simplex_iterations: baseline {baseline:.0f}, "
-        f"current {current:.0f}, limit {limit:.0f} (+{max_regression:.0%})"
-    )
-    if current > limit:
-        print("FAIL: simplex iteration count regressed beyond the allowance")
+    baseline = load_counters(baseline_path)
+    current = load_counters(current_path)
+    if not current:
+        print(f"FAIL: no {COUNTER_KEYS} counters found in {current_path}")
         return 1
-    print("OK: within the regression allowance")
+
+    failures = check(baseline, current, max_regression)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: all counters within the regression allowance")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv))

@@ -1,0 +1,111 @@
+"""Unit tests for check_bench_regression.py (run via `python3 -m unittest`)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_regression as cbr
+
+
+def write_json(directory, name, payload):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+class CollectCountersTest(unittest.TestCase):
+    def test_collects_nested_counters_with_dotted_paths(self):
+        data = {
+            "strategies": {
+                "inherited_incremental": {"simplex_iterations": 1054, "median_seconds": 0.03},
+                "independent_from_scratch": {"simplex_iterations": 39140},
+            },
+            "diamond": {"simplex_iterations": 2000},
+        }
+        counters = cbr.collect_counters(data)
+        self.assertEqual(
+            counters,
+            {
+                "strategies.inherited_incremental.simplex_iterations": 1054.0,
+                "strategies.independent_from_scratch.simplex_iterations": 39140.0,
+                "diamond.simplex_iterations": 2000.0,
+            },
+        )
+
+    def test_ignores_non_counter_leaves(self):
+        self.assertEqual(cbr.collect_counters({"speedup": 11.0, "name": "x"}), {})
+
+    def test_walks_lists(self):
+        data = {"runs": [{"simplex_iterations": 5}, {"simplex_iterations": 7}]}
+        counters = cbr.collect_counters(data)
+        self.assertEqual(
+            counters,
+            {"runs[0].simplex_iterations": 5.0, "runs[1].simplex_iterations": 7.0},
+        )
+
+
+class CheckTest(unittest.TestCase):
+    def test_within_allowance_passes(self):
+        baseline = {"a.simplex_iterations": 100.0}
+        current = {"a.simplex_iterations": 110.0}
+        self.assertEqual(cbr.check(baseline, current, 0.20), [])
+
+    def test_regression_fails(self):
+        baseline = {"a.simplex_iterations": 100.0}
+        current = {"a.simplex_iterations": 121.0}
+        failures = cbr.check(baseline, current, 0.20)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("a.simplex_iterations", failures[0])
+
+    def test_missing_baseline_key_passes(self):
+        # A new benchmark scenario has no committed baseline yet: "no
+        # baseline, pass" (the old script crashed with a KeyError here).
+        baseline = {}
+        current = {"new_bench.simplex_iterations": 1234.0}
+        self.assertEqual(cbr.check(baseline, current, 0.20), [])
+
+    def test_baseline_only_keys_are_ignored(self):
+        # Quick-mode runs sweep a subset of the committed full sweep.
+        baseline = {"full_only.simplex_iterations": 50.0}
+        current = {}
+        self.assertEqual(cbr.check(baseline, current, 0.20), [])
+
+
+class MainTest(unittest.TestCase):
+    def test_end_to_end_pass_and_fail(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = write_json(
+                tmp, "baseline.json", {"s": {"simplex_iterations": 100}}
+            )
+            ok = write_json(tmp, "ok.json", {"s": {"simplex_iterations": 105}})
+            bad = write_json(tmp, "bad.json", {"s": {"simplex_iterations": 200}})
+            self.assertEqual(cbr.main(["prog", baseline, ok]), 0)
+            self.assertEqual(cbr.main(["prog", baseline, bad]), 1)
+
+    def test_new_key_against_stale_baseline_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = write_json(tmp, "baseline.json", {"old": {"simplex_iterations": 9}})
+            current = write_json(
+                tmp,
+                "current.json",
+                {"old": {"simplex_iterations": 9}, "new": {"simplex_iterations": 1}},
+            )
+            self.assertEqual(cbr.main(["prog", baseline, current]), 0)
+
+    def test_current_without_counters_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = write_json(tmp, "baseline.json", {})
+            current = write_json(tmp, "current.json", {"only": "strings"})
+            self.assertEqual(cbr.main(["prog", baseline, current]), 1)
+
+    def test_missing_arguments_usage_error(self):
+        self.assertEqual(cbr.main(["prog"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

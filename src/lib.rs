@@ -13,6 +13,7 @@
 //! | [`netsim`] | `ttw-netsim` | multi-hop topology + Glossy flood simulator |
 //! | [`runtime`] | `ttw-runtime` | host/node state machines, beacons, mode changes |
 //! | [`baselines`] | `ttw-baselines` | no-rounds and loosely-coupled comparison designs |
+//! | [`testkit`] | `ttw-testkit` | seeded scenario generator for differential tests and scaling benches |
 //!
 //! The quickest way to see everything working end to end:
 //!
@@ -43,14 +44,15 @@ pub use ttw_core as core;
 pub use ttw_milp as milp;
 pub use ttw_netsim as netsim;
 pub use ttw_runtime as runtime;
+pub use ttw_testkit as testkit;
 pub use ttw_timing as timing;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use ttw_baselines::{latency_improvement_factor, NoRoundsDesign};
     pub use ttw_core::synthesis::{
-        synthesize_all_modes, synthesize_mode, synthesize_system, HeuristicSynthesizer,
-        IlpSynthesizer, Synthesizer,
+        synthesize_all_modes, synthesize_mode, synthesize_system, synthesize_system_sequential,
+        HeuristicSynthesizer, IlpSynthesizer, Synthesizer,
     };
     pub use ttw_core::validate::{is_valid_schedule, validate_schedule, validate_system_schedule};
     pub use ttw_core::{
@@ -58,6 +60,7 @@ pub mod prelude {
         SystemSchedule,
     };
     pub use ttw_runtime::{BeaconLossPolicy, Simulation, SimulationConfig};
+    pub use ttw_testkit::{generate, GeneratorConfig, GraphShape};
     pub use ttw_timing::{GlossyConstants, NetworkParams};
 }
 

@@ -1,0 +1,441 @@
+//! Differential / property harness over seeded generated scenarios.
+//!
+//! Every test sweeps a window of seeds through `ttw::testkit`'s scenario
+//! generator and checks solver-independent invariants of the synthesis
+//! pipeline:
+//!
+//! * every `Ok` system schedule passes `validate_system_schedule`;
+//! * inherited offsets match the mode graph's inheritance plan exactly;
+//! * the greedy heuristic never beats the exact ILP (fewer rounds, or lower
+//!   latency at the same round count) when both run under the same pins;
+//! * the heuristic never succeeds on a system the exact solver proved
+//!   infeasible;
+//! * the warm-started incremental `R_M` sweep reaches the same objective as
+//!   cold from-scratch solves (regression guard for stale-basis bugs);
+//! * generated multi-rate modes make the heuristic return
+//!   `ScheduleError::Unsupported` — never a panic, never a wrong schedule;
+//! * the production sparse simplex agrees with the dense reference oracle on
+//!   every generated LP relaxation.
+//!
+//! Seed windows are controlled by two environment knobs so any failure is
+//! reproducible from the printed assertion message alone:
+//!
+//! ```sh
+//! TTW_TEST_SEEDS=500 cargo test --test differential          # wider sweep
+//! TTW_TEST_SEEDS=1 TTW_TEST_SEED_START=37 cargo test --test differential
+//! ```
+
+use ttw::core::synthesis::{synthesize_system, HeuristicSynthesizer, IlpSynthesizer, Synthesizer};
+use ttw::core::validate::{validate_schedule, validate_system_schedule};
+use ttw::core::{ilp, InheritedOffsets, ScheduleError};
+use ttw::testkit::{generate, GeneratorConfig, GraphShape, Scenario};
+use ttw_milp::dense::compare_relaxations;
+
+/// Absolute tolerance (µs) for latency comparisons (same as the validator).
+const LATENCY_TOL: f64 = 0.5;
+/// Absolute tolerance (µs) for pinned-offset agreement.
+const PIN_TOL: f64 = 1e-6;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Number of seeds a test sweeps: `TTW_TEST_SEEDS` overrides the per-test
+/// default (the defaults sum to > 100 scenarios for a plain `cargo test -q`).
+fn seed_count(default: usize) -> usize {
+    env_usize("TTW_TEST_SEEDS", default)
+}
+
+/// First seed of the window (`TTW_TEST_SEED_START`, default 0) — combined
+/// with `TTW_TEST_SEEDS=1` this replays exactly one printed scenario.
+fn seed_start() -> u64 {
+    env_usize("TTW_TEST_SEED_START", 0) as u64
+}
+
+/// `true` when either seed knob overrides the defaults. The
+/// sweep-is-not-vacuous guard assertions only apply to the default windows:
+/// a narrowed or shifted window (replaying one printed seed, say) may
+/// legitimately contain only infeasible or single-rate scenarios.
+fn knobs_overridden() -> bool {
+    std::env::var_os("TTW_TEST_SEEDS").is_some()
+        || std::env::var_os("TTW_TEST_SEED_START").is_some()
+}
+
+/// The scenario family of a seed: the seed itself picks the graph shape and
+/// the mode count, so a bare seed number fully identifies the scenario.
+fn scenario_for_seed(seed: u64, multi_rate: bool) -> Scenario {
+    let shape = GraphShape::ALL[seed as usize % GraphShape::ALL.len()];
+    let num_modes = 2 + (seed as usize / GraphShape::ALL.len()) % 3;
+    let mut config = GeneratorConfig::small(num_modes, shape);
+    if multi_rate {
+        config = config.with_multi_rate();
+    }
+    generate(&config, seed)
+}
+
+#[test]
+fn generated_scenarios_uphold_the_differential_invariants() {
+    let start = seed_start();
+    let count = seed_count(72);
+    let mut ilp_feasible = 0usize;
+    let mut heuristic_system_ok = 0usize;
+    let mut heuristic_mode_comparisons = 0usize;
+    let mut budget_skips = 0usize;
+
+    for seed in start..start + count as u64 {
+        let scenario = scenario_for_seed(seed, false);
+        let sys = &scenario.system;
+        let config = scenario.scheduler_config();
+        let repro = scenario.repro();
+
+        let ilp_result =
+            synthesize_system(sys, &scenario.graph, &config, &IlpSynthesizer::default());
+        let heur_result = synthesize_system(sys, &scenario.graph, &config, &HeuristicSynthesizer);
+
+        match &ilp_result {
+            Ok(result) => {
+                ilp_feasible += 1;
+
+                // Invariant 1: the independent validator accepts the schedule.
+                let violations = validate_system_schedule(sys, &config, result);
+                assert!(
+                    violations.is_empty(),
+                    "ILP schedule failed validation ({repro}): {violations:?}"
+                );
+
+                // Invariant 2: the recorded inheritance is exactly the plan,
+                // and every inherited offset equals its donor's offset.
+                assert_eq!(
+                    result.inheritance,
+                    scenario.graph.inheritance_plan(sys),
+                    "inheritance metadata diverged from the plan ({repro})"
+                );
+                for (&mode, sources) in &result.inheritance {
+                    let heir = result.get(mode).expect("mode was synthesized");
+                    for (&app, &donor_mode) in sources {
+                        let donor = result.get(donor_mode).expect("donor precedes heir");
+                        for &t in &sys.application(app).tasks {
+                            let (a, b) = (donor.task_offsets[&t], heir.task_offsets[&t]);
+                            assert!(
+                                (a - b).abs() < PIN_TOL,
+                                "task {t} inherited by {mode} from {donor_mode} moved \
+                                 from {a} to {b} µs ({repro})"
+                            );
+                        }
+                        for &m in &sys.application(app).messages {
+                            let (a, b) = (donor.message_offsets[&m], heir.message_offsets[&m]);
+                            assert!(
+                                (a - b).abs() < PIN_TOL,
+                                "message {m} inherited by {mode} from {donor_mode} moved \
+                                 from {a} to {b} µs ({repro})"
+                            );
+                            let (a, b) = (donor.message_deadlines[&m], heir.message_deadlines[&m]);
+                            assert!(
+                                (a - b).abs() < PIN_TOL,
+                                "deadline of {m} inherited by {mode} from {donor_mode} moved \
+                                 from {a} to {b} µs ({repro})"
+                            );
+                        }
+                    }
+                }
+
+                // Invariant 3: under the *same* pins, the greedy heuristic is
+                // valid but never better than the exact solver — at least as
+                // many rounds, and no lower latency at the same round count.
+                for (&mode, sources) in &result.inheritance {
+                    let mut pins = InheritedOffsets::none();
+                    for (&app, &donor_mode) in sources {
+                        let donor = result.get(donor_mode).expect("donor precedes heir");
+                        pins.import_application(sys, app, donor);
+                    }
+                    let Ok(greedy) = HeuristicSynthesizer.synthesize(sys, mode, &config, &pins)
+                    else {
+                        continue; // incompleteness is allowed; wrongness is not
+                    };
+                    heuristic_mode_comparisons += 1;
+                    let exact = result.get(mode).expect("mode was synthesized");
+                    let mode_violations = validate_schedule(sys, mode, &config, &greedy);
+                    assert!(
+                        mode_violations.is_empty(),
+                        "heuristic schedule of {mode} failed validation ({repro}): \
+                         {mode_violations:?}"
+                    );
+                    assert!(
+                        greedy.num_rounds() >= exact.num_rounds(),
+                        "heuristic used {} rounds, below the ILP round-minimum {} \
+                         for {mode} ({repro})",
+                        greedy.num_rounds(),
+                        exact.num_rounds()
+                    );
+                    if greedy.num_rounds() == exact.num_rounds() {
+                        assert!(
+                            greedy.total_latency + LATENCY_TOL >= exact.total_latency,
+                            "heuristic latency {} µs beats the ILP optimum {} µs \
+                             at equal round count for {mode} ({repro})",
+                            greedy.total_latency,
+                            exact.total_latency
+                        );
+                    }
+                }
+            }
+            Err(failure) => match &failure.error {
+                // Invariant 4: feasibility agreement. Sound only when the
+                // failed mode inherited nothing: then the ILP's `R_M` sweep
+                // exhaustively disproved that exact pin-free instance under
+                // the same round budget, so the heuristic pipeline — which
+                // reaches the mode with the same empty pins — must fail too
+                // (on this mode or an earlier one). When the failed mode has
+                // pins, its infeasibility is relative to the ILP's own donor
+                // choices and the heuristic may legitimately do better.
+                ScheduleError::Infeasible { .. } => {
+                    let plan = scenario.graph.inheritance_plan(sys);
+                    let pin_free = plan
+                        .get(&failure.mode)
+                        .map_or(true, |sources| sources.is_empty());
+                    if pin_free {
+                        assert!(
+                            heur_result.is_err(),
+                            "heuristic scheduled {} although the ILP proved it \
+                             infeasible without pins ({repro})",
+                            failure.mode
+                        );
+                    }
+                }
+                // A budget-exhausted draw proves nothing either way; skip it
+                // (the vacuousness guard below bounds how often this happens).
+                ScheduleError::Solver(_) => budget_skips += 1,
+                other => panic!("ILP pipeline failed unexpectedly ({repro}): {other}"),
+            },
+        }
+
+        if let Ok(result) = &heur_result {
+            heuristic_system_ok += 1;
+            let violations = validate_system_schedule(sys, &config, result);
+            assert!(
+                violations.is_empty(),
+                "heuristic schedule failed validation ({repro}): {violations:?}"
+            );
+        }
+    }
+
+    // The default sweep must not be vacuous: most small single-rate scenarios
+    // are feasible, and the per-mode comparison must actually run. Skipped
+    // when the seed knobs are overridden — a single replayed seed (the
+    // printed repro one-liner) may legitimately be an infeasible scenario.
+    if !knobs_overridden() {
+        assert!(
+            ilp_feasible * 2 >= count,
+            "only {ilp_feasible}/{count} scenarios were ILP-feasible — generator drifted"
+        );
+        assert!(
+            heuristic_mode_comparisons > 0,
+            "no per-mode heuristic-vs-ILP comparison ran"
+        );
+        assert!(
+            budget_skips * 4 <= count,
+            "{budget_skips}/{count} scenarios exhausted the solver budget — generator drifted"
+        );
+    }
+    eprintln!(
+        "differential sweep: {count} scenarios from seed {start} — {ilp_feasible} ILP-feasible, \
+         {heuristic_system_ok} heuristic-feasible, {heuristic_mode_comparisons} per-mode \
+         comparisons, {budget_skips} budget skips"
+    );
+}
+
+#[test]
+fn warm_started_incremental_sweeps_match_cold_solves_on_generated_instances() {
+    // Regression guard for stale-basis bugs in `IlpInstance::solve` after
+    // `add_round` (such as the stale-Free sanitize fixed in the sparse-simplex
+    // PR): on generated instances, the warm-started incremental sweep must
+    // reach exactly the optimum of a cold from-scratch build — both at the
+    // first feasible round count and after growing one extra round.
+    let start = seed_start();
+    let count = seed_count(12);
+    let mut optima_checked = 0usize;
+
+    for seed in start..start + count as u64 {
+        let scenario = scenario_for_seed(seed, false);
+        let sys = &scenario.system;
+        let config = scenario.scheduler_config();
+        let repro = scenario.repro();
+
+        for (mode, _) in sys.modes().take(2) {
+            let mut grown = ilp::build_ilp(sys, mode, &config, 0).expect("valid instance");
+            let max_attempts = 4usize;
+            let mut optimal_at = None;
+            for rounds in 0..=max_attempts {
+                while grown.num_rounds() < rounds {
+                    grown.add_round(sys, mode, &config);
+                }
+                let Ok(warm) = grown.solve() else {
+                    break; // budget exhausted — skip this instance
+                };
+                if warm.is_optimal() {
+                    optimal_at = Some((rounds, warm.objective));
+                    break;
+                }
+            }
+            let Some((rounds, warm_objective)) = optimal_at else {
+                continue; // unfinished within the probe window — skip
+            };
+
+            let Ok(cold) = ilp::build_ilp(sys, mode, &config, rounds)
+                .expect("valid instance")
+                .model
+                .solve()
+            else {
+                continue;
+            };
+            assert!(
+                cold.is_optimal(),
+                "cold solve disagrees on feasibility ({repro})"
+            );
+            assert!(
+                (warm_objective - cold.objective).abs() < 1e-6,
+                "warm sweep objective {warm_objective} != cold objective {} \
+                 at R={rounds} for {mode} ({repro})",
+                cold.objective
+            );
+
+            // Grow once more *after* an optimal solve: the stored basis is now
+            // stale relative to the new rows/columns and must be repaired, not
+            // trusted.
+            grown.add_round(sys, mode, &config);
+            let Ok(warm_grown) = grown.solve() else {
+                continue;
+            };
+            let Ok(cold_grown) = ilp::build_ilp(sys, mode, &config, rounds + 1)
+                .expect("valid instance")
+                .model
+                .solve()
+            else {
+                continue;
+            };
+            assert_eq!(
+                warm_grown.is_optimal(),
+                cold_grown.is_optimal(),
+                "warm/cold feasibility disagreement at R={} for {mode} ({repro})",
+                rounds + 1
+            );
+            if warm_grown.is_optimal() {
+                assert!(
+                    (warm_grown.objective - cold_grown.objective).abs() < 1e-6,
+                    "stale-basis objective {} != cold objective {} at R={} \
+                     for {mode} ({repro})",
+                    warm_grown.objective,
+                    cold_grown.objective,
+                    rounds + 1
+                );
+            }
+            optima_checked += 1;
+        }
+    }
+    if !knobs_overridden() {
+        assert!(
+            optima_checked > 0,
+            "no generated instance reached an optimum"
+        );
+    }
+    eprintln!("warm-start sweep: {optima_checked} optima cross-checked");
+}
+
+#[test]
+fn generated_multi_rate_modes_are_rejected_not_mis_scheduled() {
+    // Pins the heuristic's contract until the multi-rate heuristic lands: a
+    // mode containing an application whose period differs from the hyperperiod
+    // must yield `ScheduleError::Unsupported` — not a panic and not a schedule.
+    let start = seed_start();
+    let count = seed_count(16);
+    let mut multi_rate_modes_seen = 0usize;
+
+    for seed in start..start + count as u64 {
+        let scenario = scenario_for_seed(seed, true);
+        let sys = &scenario.system;
+        let config = scenario.scheduler_config();
+        let repro = scenario.repro();
+
+        for mode in scenario.multi_rate_modes() {
+            multi_rate_modes_seen += 1;
+            let outcome =
+                HeuristicSynthesizer.synthesize(sys, mode, &config, &InheritedOffsets::none());
+            match outcome {
+                Err(failure) => assert!(
+                    matches!(failure.error, ScheduleError::Unsupported { .. }),
+                    "heuristic rejected multi-rate {mode} with the wrong error \
+                     ({repro}): {}",
+                    failure.error
+                ),
+                Ok(_) => panic!(
+                    "heuristic produced a schedule for multi-rate {mode} — the \
+                     single-instance restriction is documented ({repro})"
+                ),
+            }
+        }
+
+        // The system-level heuristic pipeline surfaces the same error instead
+        // of silently skipping the mode.
+        if !scenario.multi_rate_modes().is_empty() {
+            let err = synthesize_system(sys, &scenario.graph, &config, &HeuristicSynthesizer)
+                .expect_err("pipeline contains a multi-rate mode");
+            assert!(
+                matches!(err.error, ScheduleError::Unsupported { .. })
+                    || matches!(err.error, ScheduleError::Infeasible { .. }),
+                "heuristic pipeline failed with an unexpected error ({repro}): {}",
+                err.error
+            );
+        }
+    }
+    if !knobs_overridden() {
+        assert!(
+            multi_rate_modes_seen > 0,
+            "the multi-rate family generated no multi-rate mode in {count} seeds \
+             from {start} — widen the window"
+        );
+    }
+    eprintln!("multi-rate sweep: {multi_rate_modes_seen} modes pinned to Unsupported");
+}
+
+#[test]
+fn generated_relaxations_agree_with_the_dense_oracle() {
+    // The production sparse revised simplex and the retired dense tableau
+    // must agree on feasibility and objective for every generated relaxation
+    // (the fixture-based agreement suite lives in tests/solver_agreement.rs).
+    let start = seed_start();
+    let count = seed_count(8);
+    let mut compared = 0usize;
+
+    for seed in start..start + count as u64 {
+        let scenario = scenario_for_seed(seed, false);
+        let sys = &scenario.system;
+        let config = scenario.scheduler_config();
+        let repro = scenario.repro();
+
+        for (mode, _) in sys.modes().take(2) {
+            for rounds in 2..=3 {
+                let instance = ilp::build_ilp(sys, mode, &config, rounds).expect("valid instance");
+                let cmp = compare_relaxations(&instance.model).expect("both LP solves run");
+                assert!(
+                    cmp.agree_on_feasibility(),
+                    "dense {:?} vs sparse {:?} at R={rounds} for {mode} ({repro})",
+                    cmp.dense_status,
+                    cmp.sparse_status
+                );
+                assert!(
+                    cmp.objective_gap() < 1e-6,
+                    "dense objective {} vs sparse {} at R={rounds} for {mode} ({repro})",
+                    cmp.dense_objective,
+                    cmp.sparse_objective
+                );
+                compared += 1;
+            }
+        }
+    }
+    if !knobs_overridden() {
+        assert!(compared > 0, "no relaxation was compared");
+    }
+    eprintln!("dense-oracle sweep: {compared} relaxations agreed");
+}

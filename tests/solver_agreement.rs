@@ -8,7 +8,7 @@
 
 use ttw::core::time::millis;
 use ttw::core::{fixtures, ilp, InheritedOffsets, SchedulerConfig};
-use ttw_milp::dense::solve_lp_dense;
+use ttw_milp::dense::compare_relaxations;
 use ttw_milp::Model;
 
 const EPS: f64 = 1e-6;
@@ -17,35 +17,27 @@ fn config() -> SchedulerConfig {
     SchedulerConfig::new(millis(10), 5)
 }
 
-/// Solves the LP relaxation of `model` with both solvers and asserts
-/// agreement. Returns the sparse objective when both are optimal.
+/// Solves the LP relaxation of `model` with both solvers (via the
+/// [`ttw_milp::dense`] oracle hook) and asserts agreement. Returns the sparse
+/// objective when both are optimal.
 fn assert_relaxations_agree(model: &Model, context: &str) -> Option<f64> {
-    let bounds: Vec<(f64, f64)> = model.variables().map(|(_, v)| (v.lower, v.upper)).collect();
-    let dense = solve_lp_dense(model, &bounds).expect("dense LP solve");
-    let sparse = model.solve_relaxation().expect("sparse LP solve");
-    let sparse_optimal = sparse.status == ttw_milp::Status::Optimal;
-    let dense_optimal = dense.status == ttw_milp::simplex::LpStatus::Optimal;
-    assert_eq!(
-        dense_optimal, sparse_optimal,
+    let cmp = compare_relaxations(model).expect("both LP solves run");
+    assert!(
+        cmp.agree_on_feasibility(),
         "{context}: dense {:?} vs sparse {:?}",
-        dense.status, sparse.status
+        cmp.dense_status,
+        cmp.sparse_status
     );
-    if !(dense_optimal && sparse_optimal) {
+    if !cmp.both_optimal() {
         return None;
     }
-    // `solve_relaxation` reports the user sense; the raw dense result is the
-    // internal minimization sense. Convert via the model's objective sense.
-    let (_, sense) = model.objective();
-    let dense_user = match sense {
-        ttw_milp::Sense::Minimize => dense.objective,
-        ttw_milp::Sense::Maximize => -dense.objective,
-    };
     assert!(
-        (dense_user - sparse.objective).abs() < EPS,
-        "{context}: dense objective {dense_user} vs sparse {}",
-        sparse.objective
+        cmp.objective_gap() < EPS,
+        "{context}: dense objective {} vs sparse {}",
+        cmp.dense_objective,
+        cmp.sparse_objective
     );
-    Some(sparse.objective)
+    Some(cmp.sparse_objective)
 }
 
 #[test]
