@@ -20,16 +20,25 @@
 //!   modes form one parallel wave of `synthesize_system`; the bench asserts
 //!   switch-consistency of the shared application across all four modes.
 //!
+//! * **schedule cache**: the inherited two-mode synthesis through
+//!   [`ttw_core::cache::synthesize_system_cached`], cold (entry evicted)
+//!   vs warm (second run hits the on-disk cache and skips synthesis
+//!   entirely), asserting the warm schedule byte-matches the cold one.
+//!
 //! The measured numbers are written to `BENCH_synthesis.json` at the
 //! workspace root so future PRs (and the CI perf-regression smoke step) have
-//! a machine-readable perf trajectory. Set `TTW_BENCH_QUICK=1` to take one
-//! timing sample instead of three — the deterministic work counters (B&B
-//! nodes, simplex pivots) are unaffected.
+//! a machine-readable perf trajectory — including the solver counters
+//! (simplex pivots, B&B nodes, presolve rows/cols removed, Devex resets,
+//! partial-pricing segment) and the cache hit/miss counts. Set
+//! `TTW_BENCH_QUICK=1` to take one timing sample instead of three — the
+//! deterministic work counters are unaffected.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
+use ttw_core::cache::{synthesis_key, synthesize_system_cached, ScheduleCache};
+use ttw_core::export::system_schedule_to_json;
 use ttw_core::json::Value;
 use ttw_core::synthesis::{synthesize_system, IlpSynthesizer, Synthesizer};
 use ttw_core::time::millis;
@@ -156,6 +165,38 @@ fn dense_vs_sparse_relaxations() -> (usize, f64, usize, f64) {
     (dense_pivots, dense_seconds, sparse_pivots, sparse_seconds)
 }
 
+/// Cold-vs-warm numbers of the schedule cache on the inherited two-mode
+/// workload: `(cold seconds, warm seconds, hits, misses, byte_match)`.
+fn cache_cold_vs_warm() -> (f64, f64, usize, usize, bool) {
+    let (sys, graph, _, _) = fixtures::two_mode_graph();
+    // Anchored at the workspace root (bench binaries run with the package
+    // directory as cwd, which would otherwise grow a nested target/).
+    let cache = ScheduleCache::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/schedule-cache"
+    ));
+    let backend = IlpSynthesizer::default();
+    // Evict so the first run measures genuine synthesis (CI caches target/).
+    cache.evict(&synthesis_key(&sys, &graph, &config(), backend.name()));
+
+    let start = Instant::now();
+    let (cold, outcome) =
+        synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
+    let cold_s = start.elapsed().as_secs_f64();
+    assert!(!outcome.is_hit(), "evicted entry cannot hit");
+
+    let start = Instant::now();
+    let (warm, outcome) =
+        synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
+    let warm_s = start.elapsed().as_secs_f64();
+    assert!(outcome.is_hit(), "second run must hit the cache");
+
+    let byte_match = system_schedule_to_json(&cold).expect("serialize")
+        == system_schedule_to_json(&warm).expect("serialize");
+    assert!(byte_match, "cache hit must byte-match fresh synthesis");
+    (cold_s, warm_s, cache.hits(), cache.misses(), byte_match)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn write_bench_json(
     independent_s: f64,
@@ -168,6 +209,7 @@ fn write_bench_json(
     diamond: &SystemSchedule,
     diamond_consistent: bool,
     dense_vs_sparse: (usize, f64, usize, f64),
+    cache: (f64, f64, usize, usize, bool),
 ) {
     let num = |v: f64| Value::Number(v);
     let strategy = |median_s: f64, gap: f64, result: &SystemSchedule| {
@@ -180,6 +222,22 @@ fn write_bench_json(
             num(result.total_simplex_iterations() as f64),
         );
         map.insert("total_rounds".into(), num(total_rounds(result) as f64));
+        map.insert(
+            "presolve_rows_removed".into(),
+            num(result.total_presolve_rows_removed() as f64),
+        );
+        map.insert(
+            "presolve_cols_removed".into(),
+            num(result.total_presolve_cols_removed() as f64),
+        );
+        map.insert(
+            "devex_resets".into(),
+            num(result.total_devex_resets() as f64),
+        );
+        map.insert(
+            "candidate_list_size".into(),
+            num(result.max_candidate_list_size() as f64),
+        );
         Value::Object(map)
     };
     let mut strategies = BTreeMap::new();
@@ -242,6 +300,20 @@ fn write_bench_json(
     root.insert("dense_vs_sparse".into(), Value::Object(dvs));
     root.insert("diamond".into(), Value::Object(diamond_map));
 
+    let (cold_s, warm_s, hits, misses, byte_match) = cache;
+    let mut cache_map = BTreeMap::new();
+    cache_map.insert(
+        "workload".into(),
+        Value::String("inherited two-mode synthesis through synthesize_system_cached".into()),
+    );
+    cache_map.insert("cold_seconds".into(), num(cold_s));
+    cache_map.insert("warm_seconds".into(), num(warm_s));
+    cache_map.insert("speedup".into(), num(cold_s / warm_s.max(1e-12)));
+    cache_map.insert("cache_hits".into(), num(hits as f64));
+    cache_map.insert("cache_misses".into(), num(misses as f64));
+    cache_map.insert("byte_match".into(), Value::Bool(byte_match));
+    root.insert("schedule_cache".into(), Value::Object(cache_map));
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synthesis.json");
     match std::fs::write(path, Value::Object(root).to_json_pretty() + "\n") {
         Ok(()) => eprintln!("wrote {path}"),
@@ -276,6 +348,7 @@ fn bench_mode_graph(c: &mut Criterion) {
     let inherited_s = median_seconds(samples, synthesize_inherited);
     let diamond_s = median_seconds(samples, synthesize_diamond);
     let dense_vs_sparse = dense_vs_sparse_relaxations();
+    let cache = cache_cold_vs_warm();
 
     eprintln!("\n=== Mode-graph synthesis: inherited + incremental vs independent ===");
     eprintln!(
@@ -310,6 +383,19 @@ fn bench_mode_graph(c: &mut Criterion) {
     eprintln!(
         "dense vs sparse LP relaxations: dense {dense_pivots} pivots / {dense_s:.3} s, \
          sparse {sparse_pivots} pivots / {sparse_s:.3} s"
+    );
+    let (cache_cold, cache_warm, cache_hits, cache_misses, _) = cache;
+    eprintln!(
+        "schedule cache: cold {cache_cold:.3} s, warm {cache_warm:.4} s \
+         ({cache_hits} hits / {cache_misses} misses, warm run byte-matches)"
+    );
+    eprintln!(
+        "presolve on inherited workload: {} rows / {} cols removed, {} Devex resets, \
+         candidate list {}",
+        inherited.total_presolve_rows_removed(),
+        inherited.total_presolve_cols_removed(),
+        inherited.total_devex_resets(),
+        inherited.max_candidate_list_size(),
     );
     eprintln!(
         "speedup: {:.1}x; inherited is switch-consistent (gap < 1e-3 µs): {}\n",
@@ -349,6 +435,7 @@ fn bench_mode_graph(c: &mut Criterion) {
         &diamond,
         diamond_consistent,
         dense_vs_sparse,
+        cache,
     );
 
     let mut group = c.benchmark_group("mode_graph_synthesis");

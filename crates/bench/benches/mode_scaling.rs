@@ -79,6 +79,10 @@ struct Measurement {
     simplex_iterations: usize,
     milp_nodes: usize,
     total_rounds: usize,
+    presolve_rows_removed: usize,
+    presolve_cols_removed: usize,
+    devex_resets: usize,
+    candidate_list_size: usize,
 }
 
 fn measure(shape: GraphShape, num_modes: usize, samples: usize) -> Measurement {
@@ -127,6 +131,10 @@ fn measure(shape: GraphShape, num_modes: usize, samples: usize) -> Measurement {
         simplex_iterations: parallel.total_simplex_iterations(),
         milp_nodes: parallel.total_milp_nodes(),
         total_rounds: parallel.iter().map(|(_, s)| s.num_rounds()).sum(),
+        presolve_rows_removed: parallel.total_presolve_rows_removed(),
+        presolve_cols_removed: parallel.total_presolve_cols_removed(),
+        devex_resets: parallel.total_devex_resets(),
+        candidate_list_size: parallel.max_candidate_list_size(),
     }
 }
 
@@ -150,6 +158,19 @@ fn write_bench_json(measurements: &[Measurement]) {
         );
         map.insert("milp_nodes".into(), num(m.milp_nodes as f64));
         map.insert("total_rounds".into(), num(m.total_rounds as f64));
+        map.insert(
+            "presolve_rows_removed".into(),
+            num(m.presolve_rows_removed as f64),
+        );
+        map.insert(
+            "presolve_cols_removed".into(),
+            num(m.presolve_cols_removed as f64),
+        );
+        map.insert("devex_resets".into(), num(m.devex_resets as f64));
+        map.insert(
+            "candidate_list_size".into(),
+            num(m.candidate_list_size as f64),
+        );
         scenarios.insert(format!("{}_n{}", m.shape, m.num_modes), Value::Object(map));
     }
 

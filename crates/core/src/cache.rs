@@ -1,0 +1,388 @@
+//! Fingerprint-keyed on-disk schedule cache.
+//!
+//! Multi-mode synthesis is deterministic: the same [`System`], [`ModeGraph`],
+//! [`SchedulerConfig`] and backend always produce the byte-identical
+//! [`SystemSchedule`]. Benches, examples and repeated deployments therefore
+//! re-pay the full MILP cost for an answer that has not changed — the
+//! "repeated-solve" hot path the TTW architecture follow-up calls out on
+//! every mode-graph change.
+//!
+//! [`ScheduleCache`] keys a synthesized [`SystemSchedule`] by a content hash
+//! of everything the result depends on:
+//!
+//! * the structural fingerprint of the system and mode graph
+//!   ([`system_fingerprint`] — the same machinery `ttw_testkit::Scenario::
+//!   fingerprint` exposes for scenario reproducibility),
+//! * the full scheduler configuration (round length, slots, solver budgets
+//!   and tolerances, presolve switch),
+//! * the backend name, and
+//! * the crate version plus a cache format version.
+//!
+//! The version pair is the staleness guard, and it is deliberate about what
+//! it does and does not catch: a *released* version change always misses,
+//! but an uncommitted same-version solver edit (which can legitimately move
+//! the pipeline to a different co-optimal schedule) is invisible to the key.
+//! The rule for such changes is to bump the module's `CACHE_FORMAT_VERSION`
+//! in the same commit — or, during local iteration, wipe the cache directory
+//! (it lives under `target/` by default, so `cargo clean` also clears it).
+//!
+//! [`synthesize_system_cached`] is the drop-in entry point: a hit
+//! deserializes the stored schedule and skips synthesis entirely; a miss
+//! synthesizes, stores and returns. Failed syntheses are *not* cached (the
+//! partial result carries error context a cache entry cannot represent).
+//! Corrupt or unreadable cache files are treated as misses and overwritten.
+//!
+//! Storage is one pretty-printed JSON file per key (the
+//! [`crate::export::system_schedule_to_json`] codec), written via a
+//! temp-file rename so concurrent runs never observe a torn entry.
+
+use crate::config::SchedulerConfig;
+use crate::export::{system_schedule_from_json, system_schedule_to_json};
+use crate::modegraph::ModeGraph;
+use crate::schedule::SystemSchedule;
+use crate::synthesis::{synthesize_system, Synthesizer, SystemSynthesisError};
+use crate::system::System;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bumped whenever the cached representation (or anything influencing the
+/// synthesized bytes that the key text does not already capture — e.g. a
+/// same-version solver change that lands on a different co-optimal
+/// schedule) changes. See the module docs for the invalidation rule.
+const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// A deterministic textual digest of a system and its mode graph: every
+/// node, task, message, application, mode and switch edge in id order. Two
+/// system/graph pairs are structurally identical iff their fingerprints are
+/// equal (unlike `Debug` output, which iterates name-lookup hash maps in
+/// arbitrary order).
+///
+/// `ttw_testkit::Scenario::fingerprint` delegates here, so harness
+/// reproducibility and cache keying share one definition.
+pub fn system_fingerprint(system: &System, graph: &ModeGraph) -> String {
+    let mut out = String::new();
+    for (id, node) in system.nodes() {
+        let _ = writeln!(out, "node {id} {}", node.name);
+    }
+    for (id, task) in system.tasks() {
+        let _ = writeln!(
+            out,
+            "task {id} {} node={} wcet={} app={}",
+            task.name, task.node, task.wcet, task.app
+        );
+    }
+    for (id, msg) in system.messages() {
+        let _ = writeln!(
+            out,
+            "message {id} {} app={} prec={:?} succ={:?}",
+            msg.name, msg.app, msg.preceding_tasks, msg.successor_tasks
+        );
+    }
+    for (id, app) in system.applications() {
+        let _ = writeln!(
+            out,
+            "app {id} {} period={} deadline={} tasks={:?} messages={:?}",
+            app.name, app.period, app.deadline, app.tasks, app.messages
+        );
+    }
+    for (id, mode) in system.modes() {
+        let _ = writeln!(out, "mode {id} {} apps={:?}", mode.name, mode.applications);
+    }
+    for (from, to) in graph.edges() {
+        let _ = writeln!(out, "edge {from} -> {to}");
+    }
+    out
+}
+
+/// The full key text a cache entry is hashed from: system/graph fingerprint
+/// plus everything else the synthesized bytes depend on.
+fn key_text(
+    system: &System,
+    graph: &ModeGraph,
+    config: &SchedulerConfig,
+    backend_name: &str,
+) -> String {
+    format!(
+        "format={CACHE_FORMAT_VERSION}\nversion={}\nbackend={backend_name}\nconfig={config:?}\n{}",
+        env!("CARGO_PKG_VERSION"),
+        system_fingerprint(system, graph),
+    )
+}
+
+/// FNV-1a 64-bit over the key text — stable across platforms and runs, and
+/// good enough for a content-addressed cache whose entries are also
+/// self-describing (a collision would merely serve a valid schedule of a
+/// different system, and the key text includes every byte the schedule
+/// depends on, making that astronomically unlikely within one cache dir).
+fn fnv1a64(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Computes the cache key for a synthesis request.
+pub fn synthesis_key(
+    system: &System,
+    graph: &ModeGraph,
+    config: &SchedulerConfig,
+    backend_name: &str,
+) -> String {
+    format!(
+        "{:016x}",
+        fnv1a64(&key_text(system, graph, config, backend_name))
+    )
+}
+
+/// Whether a cached-synthesis call was served from disk or had to run the
+/// full pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The schedule was deserialized from the cache; no synthesis ran.
+    Hit,
+    /// The schedule was synthesized and stored.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// `true` when the schedule came from the cache.
+    pub fn is_hit(self) -> bool {
+        self == CacheOutcome::Hit
+    }
+}
+
+/// An on-disk schedule cache rooted at a directory, with hit/miss counters.
+///
+/// The counters are per-instance (atomic, so a cache shared across synthesis
+/// worker threads counts correctly) and feed the bench JSON's
+/// `cache_hits`/`cache_misses` fields.
+#[derive(Debug)]
+pub struct ScheduleCache {
+    dir: PathBuf,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ScheduleCache {
+    /// A cache rooted at `dir` (created lazily on the first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ScheduleCache {
+            dir: dir.into(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The conventional cache location: `$TTW_SCHEDULE_CACHE_DIR` when set,
+    /// `target/schedule-cache` (relative to the working directory) otherwise
+    /// — benches and examples run from the workspace root, so repeated runs
+    /// share entries without touching anything outside the build tree.
+    pub fn at_default_location() -> Self {
+        let dir = std::env::var_os("TTW_SCHEDULE_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/schedule-cache"));
+        Self::new(dir)
+    }
+
+    /// The directory entries live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Schedules served from disk since this instance was created.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to synthesize since this instance was created.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// File path of a key's entry.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("ttw-{key}.json"))
+    }
+
+    /// Removes a key's entry, if present (used by benches to force a cold
+    /// first run).
+    pub fn evict(&self, key: &str) {
+        let _ = std::fs::remove_file(self.path_for(key));
+    }
+
+    /// Looks a key up; a missing, unreadable or corrupt entry is `None`
+    /// (a corrupt entry simply behaves as a miss — `store` overwrites it).
+    pub fn lookup(&self, key: &str) -> Option<SystemSchedule> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        system_schedule_from_json(&text).ok()
+    }
+
+    /// Stores a schedule under a key (best effort — an unwritable cache
+    /// directory degrades to "always miss", never to an error).
+    pub fn store(&self, key: &str, schedule: &SystemSchedule) {
+        let Ok(json) = system_schedule_to_json(schedule) else {
+            return;
+        };
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        // Write-then-rename so a concurrent reader never sees a torn entry.
+        let path = self.path_for(key);
+        let tmp = self
+            .dir
+            .join(format!("ttw-{key}.{}.tmp", std::process::id()));
+        if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// [`crate::synthesis::synthesize_system`] behind the schedule cache: a hit
+/// skips synthesis entirely, a miss synthesizes and stores.
+///
+/// The returned [`CacheOutcome`] says which path was taken; the cache's own
+/// counters aggregate across calls. A cache hit is byte-equivalent to fresh
+/// synthesis (same code version, same inputs, deterministic pipeline) — the
+/// differential harness pins this by comparing serialized forms.
+///
+/// # Errors
+///
+/// Exactly as [`synthesize_system`]; failures are returned as-is and never
+/// cached.
+pub fn synthesize_system_cached(
+    system: &System,
+    graph: &ModeGraph,
+    config: &SchedulerConfig,
+    backend: &dyn Synthesizer,
+    cache: &ScheduleCache,
+) -> Result<(SystemSchedule, CacheOutcome), Box<SystemSynthesisError>> {
+    let key = synthesis_key(system, graph, config, backend.name());
+    if let Some(schedule) = cache.lookup(&key) {
+        cache.hits.fetch_add(1, Ordering::Relaxed);
+        return Ok((schedule, CacheOutcome::Hit));
+    }
+    let schedule = synthesize_system(system, graph, config, backend)?;
+    cache.store(&key, &schedule);
+    cache.misses.fetch_add(1, Ordering::Relaxed);
+    Ok((schedule, CacheOutcome::Miss))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::synthesis::IlpSynthesizer;
+    use crate::time::millis;
+
+    fn temp_cache(tag: &str) -> ScheduleCache {
+        let dir = std::env::temp_dir().join(format!("ttw-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScheduleCache::new(dir)
+    }
+
+    fn config() -> SchedulerConfig {
+        SchedulerConfig::new(millis(10), 5)
+    }
+
+    #[test]
+    fn second_synthesis_hits_and_matches_bytes() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let cache = temp_cache("hit");
+        let backend = IlpSynthesizer::default();
+        let (first, outcome) =
+            synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let (second, outcome) =
+            synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // The cached round trip is byte-identical to the fresh result.
+        assert_eq!(
+            system_schedule_to_json(&first).expect("serialize"),
+            system_schedule_to_json(&second).expect("serialize"),
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_separates_config_backend_and_structure() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let base = synthesis_key(&sys, &graph, &config(), "ilp-incremental");
+        assert_ne!(
+            base,
+            synthesis_key(&sys, &graph, &config(), "greedy-heuristic"),
+            "backend must be part of the key"
+        );
+        let other_config = SchedulerConfig::new(millis(20), 5);
+        assert_ne!(
+            base,
+            synthesis_key(&sys, &graph, &other_config, "ilp-incremental"),
+            "config must be part of the key"
+        );
+        let mut presolve_off = config();
+        presolve_off.solver.presolve = false;
+        assert_ne!(
+            base,
+            synthesis_key(&sys, &graph, &presolve_off, "ilp-incremental"),
+            "solver params must be part of the key"
+        );
+        let (diamond_sys, diamond_graph, _) = fixtures::four_mode_diamond();
+        assert_ne!(
+            base,
+            synthesis_key(&diamond_sys, &diamond_graph, &config(), "ilp-incremental"),
+            "system structure must be part of the key"
+        );
+    }
+
+    #[test]
+    fn corrupt_entries_degrade_to_misses() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let cache = temp_cache("corrupt");
+        let backend = IlpSynthesizer::default();
+        let key = synthesis_key(&sys, &graph, &config(), backend.name());
+        std::fs::create_dir_all(cache.dir()).expect("mkdir");
+        std::fs::write(cache.path_for(&key), "{not json").expect("write");
+        let (_, outcome) =
+            synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
+        assert_eq!(outcome, CacheOutcome::Miss, "corrupt entry is not served");
+        // The corrupt entry was overwritten by the fresh result.
+        let (_, outcome) =
+            synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
+        assert_eq!(outcome, CacheOutcome::Hit);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn evict_forces_a_cold_run() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let cache = temp_cache("evict");
+        let backend = IlpSynthesizer::default();
+        let key = synthesis_key(&sys, &graph, &config(), backend.name());
+        let (_, first) =
+            synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
+        assert_eq!(first, CacheOutcome::Miss);
+        cache.evict(&key);
+        let (_, second) =
+            synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
+        assert_eq!(second, CacheOutcome::Miss);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_structure_sensitive() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        assert_eq!(
+            system_fingerprint(&sys, &graph),
+            system_fingerprint(&sys, &graph)
+        );
+        let (other_sys, other_graph, _) = fixtures::four_mode_diamond();
+        assert_ne!(
+            system_fingerprint(&sys, &graph),
+            system_fingerprint(&other_sys, &other_graph)
+        );
+    }
+}

@@ -229,7 +229,36 @@ fn stats_to_value(stats: &SynthesisStats) -> Value {
         "constraints".into(),
         Value::Number(stats.constraints as f64),
     );
+    map.insert(
+        "presolve_rows_removed".into(),
+        Value::Number(stats.presolve_rows_removed as f64),
+    );
+    map.insert(
+        "presolve_cols_removed".into(),
+        Value::Number(stats.presolve_cols_removed as f64),
+    );
+    map.insert(
+        "devex_resets".into(),
+        Value::Number(stats.devex_resets as f64),
+    );
+    map.insert(
+        "candidate_list_size".into(),
+        Value::Number(stats.candidate_list_size as f64),
+    );
     Value::Object(map)
+}
+
+/// Reads an optional non-negative integer field, defaulting to 0 — the
+/// backward-compatibility rule for counters added after schedules were first
+/// persisted (pre-presolve cache entries and exports simply lack them).
+fn optional_usize(map: &BTreeMap<String, Value>, field: &str) -> Result<usize, JsonError> {
+    match map.get(field) {
+        None => Ok(0),
+        Some(value) => value
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| JsonError::custom(format!("`{field}` must be a non-negative integer"))),
+    }
 }
 
 fn stats_from_value(value: &Value) -> Result<SynthesisStats, JsonError> {
@@ -249,6 +278,10 @@ fn stats_from_value(value: &Value) -> Result<SynthesisStats, JsonError> {
         simplex_iterations: require_usize(map, "simplex_iterations")?,
         variables: require_usize(map, "variables")?,
         constraints: require_usize(map, "constraints")?,
+        presolve_rows_removed: optional_usize(map, "presolve_rows_removed")?,
+        presolve_cols_removed: optional_usize(map, "presolve_cols_removed")?,
+        devex_resets: optional_usize(map, "devex_resets")?,
+        candidate_list_size: optional_usize(map, "candidate_list_size")?,
     })
 }
 

@@ -873,6 +873,52 @@ mod tests {
     }
 
     #[test]
+    fn pinned_warm_sweep_survives_presolve_shape_changes() {
+        // Regression guard: with inherited pins, presolve eliminates the
+        // pinned columns, so the root basis stored by `IlpInstance::solve`
+        // references a reduced shape that changes when `add_round` grows the
+        // model. The re-fed snapshot must be sanitized (stale entries fall
+        // back to the row's logical column, or to a cold start), never
+        // surfaced as an error — and the optimum must match a cold build.
+        let (sys, mode) = fixtures::fig3_system();
+        let config = fig3_config();
+        let schedule = crate::synthesis::synthesize_mode(&sys, mode, &config).expect("feasible");
+        let app = sys.application_id("ctrl").expect("app exists");
+        let mut pins = InheritedOffsets::none();
+        pins.import_application(&sys, app, &schedule);
+
+        let mut grown = build_ilp_inherited(&sys, mode, &config, 0, &pins).expect("valid instance");
+        let mut last = None;
+        for rounds in 0..=3usize {
+            while grown.num_rounds() < rounds {
+                grown.add_round(&sys, mode, &config);
+            }
+            let warm = grown.solve().expect("solver runs despite stale snapshots");
+            let cold = build_ilp_inherited(&sys, mode, &config, rounds, &pins)
+                .expect("valid instance")
+                .model
+                .solve()
+                .expect("cold solve runs");
+            assert_eq!(warm.is_optimal(), cold.is_optimal(), "R={rounds}");
+            if warm.is_optimal() {
+                assert!(
+                    (warm.objective - cold.objective).abs() < 1e-6,
+                    "warm {} vs cold {} at R={rounds}",
+                    warm.objective,
+                    cold.objective
+                );
+                assert!(
+                    warm.presolve_cols_removed > 0,
+                    "pins must eliminate columns ({} removed at R={rounds})",
+                    warm.presolve_cols_removed
+                );
+            }
+            last = Some(warm);
+        }
+        assert!(last.expect("attempts ran").is_optimal());
+    }
+
+    #[test]
     fn pins_for_foreign_entities_are_ignored() {
         let (sys, mode) = fixtures::fig3_system();
         let mut pins = InheritedOffsets::none();

@@ -16,6 +16,9 @@
 //!   end-to-end latency) per mode, lifted to the mode graph by
 //!   [`synthesis::synthesize_system`] with inherited offsets pinned through
 //!   the solver's bound-tightening API.
+//! * [`cache`] — a fingerprint-keyed on-disk schedule cache:
+//!   [`cache::synthesize_system_cached`] skips synthesis entirely when the
+//!   same system/graph/config/backend was already solved by this build.
 //! * [`validate`] — an independent checker that re-verifies every synthesized
 //!   schedule against the model semantics.
 //! * [`heuristic`] — a greedy co-scheduler used as an ablation baseline.
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod calculus;
 pub mod chains;
 pub mod config;
@@ -57,6 +61,7 @@ pub mod system;
 pub mod time;
 pub mod validate;
 
+pub use cache::{synthesize_system_cached, CacheOutcome, ScheduleCache};
 pub use chains::{Chain, ChainElement};
 pub use config::SchedulerConfig;
 pub use error::{ModelError, ScheduleError, ScheduleViolation};

@@ -39,6 +39,15 @@ pub struct SynthesisStats {
     pub variables: usize,
     /// Number of constraints of the final (successful) ILP.
     pub constraints: usize,
+    /// Constraint rows removed by the LP presolve of the final attempt.
+    pub presolve_rows_removed: usize,
+    /// Structural columns eliminated by the LP presolve of the final attempt.
+    pub presolve_cols_removed: usize,
+    /// Devex reference-framework resets over all attempts.
+    pub devex_resets: usize,
+    /// Partial-pricing segment size of the final attempt's root LP (columns
+    /// scanned per pricing chunk).
+    pub candidate_list_size: usize,
 }
 
 /// The complete static schedule of one operation mode: task offsets, message
@@ -194,6 +203,30 @@ impl SystemSchedule {
     pub fn total_simplex_iterations(&self) -> usize {
         self.stats.values().map(|s| s.simplex_iterations).sum()
     }
+
+    /// Total presolve-removed constraint rows over every attempted mode.
+    pub fn total_presolve_rows_removed(&self) -> usize {
+        self.stats.values().map(|s| s.presolve_rows_removed).sum()
+    }
+
+    /// Total presolve-eliminated columns over every attempted mode.
+    pub fn total_presolve_cols_removed(&self) -> usize {
+        self.stats.values().map(|s| s.presolve_cols_removed).sum()
+    }
+
+    /// Total Devex reference-framework resets over every attempted mode.
+    pub fn total_devex_resets(&self) -> usize {
+        self.stats.values().map(|s| s.devex_resets).sum()
+    }
+
+    /// Largest partial-pricing segment any attempted mode used.
+    pub fn max_candidate_list_size(&self) -> usize {
+        self.stats
+            .values()
+            .map(|s| s.candidate_list_size)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -276,8 +309,7 @@ mod tests {
                 rounds_attempted: vec![1, 2],
                 milp_nodes: 3,
                 simplex_iterations: 5,
-                variables: 0,
-                constraints: 0,
+                ..SynthesisStats::default()
             },
         );
         assert_eq!(ss.num_modes(), 1);

@@ -134,12 +134,7 @@ pub fn solve_lp_dense(model: &Model, bounds: &[(f64, f64)]) -> Result<LpResult, 
 
     // A bound pair with lower > upper makes the subproblem trivially infeasible.
     if bounds.iter().any(|(l, u)| l > u) {
-        return Ok(LpResult {
-            status: LpStatus::Infeasible,
-            objective: f64::INFINITY,
-            values: Vec::new(),
-            iterations: 0,
-        });
+        return Ok(LpResult::infeasible_without_pivots());
     }
 
     let std = build_standard_form(model, bounds);
@@ -352,6 +347,8 @@ impl Tableau {
                 objective: f64::INFINITY,
                 values: Vec::new(),
                 iterations: self.iterations,
+                devex_resets: 0,
+                candidate_list_size: 0,
             });
         }
         self.drive_out_artificials();
@@ -367,6 +364,8 @@ impl Tableau {
                 objective: f64::NEG_INFINITY,
                 values: Vec::new(),
                 iterations: self.iterations,
+                devex_resets: 0,
+                candidate_list_size: 0,
             });
         }
 
@@ -393,6 +392,8 @@ impl Tableau {
             objective,
             values,
             iterations: self.iterations,
+            devex_resets: 0,
+            candidate_list_size: 0,
         })
     }
 

@@ -90,6 +90,11 @@ pub struct SolveParams {
     pub feasibility_tolerance: f64,
     /// Relative gap at which branch-and-bound accepts an incumbent as optimal.
     pub relative_gap: f64,
+    /// Run the LP presolve (fixed-column substitution, empty/singleton row
+    /// elimination, activity-based bound tightening) before the simplex.
+    /// Enabled by default; disable to get the raw equality-form solve (used
+    /// by the differential harness to cross-check the reduction).
+    pub presolve: bool,
 }
 
 impl Default for SolveParams {
@@ -100,6 +105,7 @@ impl Default for SolveParams {
             integrality_tolerance: 1e-6,
             feasibility_tolerance: 1e-6,
             relative_gap: 1e-9,
+            presolve: true,
         }
     }
 }

@@ -9,10 +9,23 @@
 //!
 //! The constraint matrix is stored column-compressed (`crate::sparse`); the
 //! basis is LU-factorized with partial pivoting and updated between
-//! refactorizations with product-form eta vectors. One iteration prices all
-//! nonbasic columns against the BTRAN'd dual vector (`O(nnz)`), FTRANs the
-//! entering column and performs a bounded ratio test (bound flips are
-//! recognized and cost no basis change).
+//! refactorizations with product-form eta vectors. One iteration prices
+//! nonbasic columns against the BTRAN'd dual vector, FTRANs the entering
+//! column and performs a bounded ratio test (bound flips are recognized and
+//! cost no basis change).
+//!
+//! Pricing is **Devex with partial pricing**: every nonbasic column carries a
+//! reference weight approximating its steepest-edge norm, candidates are
+//! scored by `d_j² / w_j`, and only a rotating segment of the column range is
+//! scanned per iteration (a full rotation without an eligible column proves
+//! optimality, so partial pricing never affects correctness — the weights are
+//! a selection heuristic only). After each basis change the weights of the
+//! nonbasic columns are updated from the pivot row (one extra BTRAN); when a
+//! weight overflows the reset limit the reference framework is reset to
+//! all-ones and the reset is counted. Weights travel inside [`Basis`]
+//! snapshots so warm-started reoptimizations (branch-and-bound children, the
+//! incremental `R_M` sweep) keep the accumulated edge information instead of
+//! restarting from Dantzig-equivalent unit weights.
 //!
 //! Three solve strategies share the machinery:
 //!
@@ -41,6 +54,10 @@ const PIVOT_TOL: f64 = 1e-8;
 const STALL_LIMIT: usize = 200;
 /// Total infeasibility below which phase 1 declares the basis feasible.
 const PHASE1_TOL: f64 = 1e-6;
+/// Devex weight above which the reference framework is reset to unit weights.
+const DEVEX_RESET_LIMIT: f64 = 1e7;
+/// Minimum number of columns a partial-pricing segment scans.
+const MIN_PRICE_SEGMENT: usize = 64;
 
 /// Outcome of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,11 +82,32 @@ pub struct LpResult {
     pub values: Vec<f64>,
     /// Number of simplex pivots (and bound flips) performed.
     pub iterations: usize,
+    /// Number of Devex reference-framework resets during the solve.
+    pub devex_resets: usize,
+    /// Partial-pricing segment size used by this solve (columns scanned per
+    /// pricing chunk; equals the column count when the problem is small
+    /// enough for full pricing).
+    pub candidate_list_size: usize,
+}
+
+impl LpResult {
+    /// An infeasible outcome detected before any pivot ran (crossed bounds,
+    /// presolve infeasibility, and similar early exits).
+    pub(crate) fn infeasible_without_pivots() -> Self {
+        LpResult {
+            status: LpStatus::Infeasible,
+            objective: f64::INFINITY,
+            values: Vec::new(),
+            iterations: 0,
+            devex_resets: 0,
+            candidate_list_size: 0,
+        }
+    }
 }
 
 /// Status of one column relative to the current basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarStatus {
+pub(crate) enum VarStatus {
     /// In the basis; its value lives in the basic-solution vector.
     Basic,
     /// Nonbasic at its lower bound.
@@ -100,6 +138,42 @@ pub struct Basis {
     status: Vec<VarStatus>,
     /// Basic column per row, in the snapshot's column numbering.
     basic: Vec<usize>,
+    /// Devex reference weights per column, preserved so warm-started
+    /// reoptimizations keep the accumulated edge information.
+    devex: Vec<f64>,
+}
+
+impl Basis {
+    /// Builds a snapshot from raw parts (used by the presolve layer to map a
+    /// reduced-space basis back to the original column numbering).
+    pub(crate) fn from_parts(
+        nstruct: usize,
+        nrows: usize,
+        status: Vec<VarStatus>,
+        basic: Vec<usize>,
+        devex: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(status.len(), nstruct + nrows);
+        debug_assert_eq!(basic.len(), nrows);
+        debug_assert_eq!(devex.len(), nstruct + nrows);
+        Basis {
+            nstruct,
+            nrows,
+            status,
+            basic,
+            devex,
+        }
+    }
+
+    /// Snapshot dimensions `(structural columns, rows)`.
+    pub(crate) fn dims(&self) -> (usize, usize) {
+        (self.nstruct, self.nrows)
+    }
+
+    /// Raw parts `(status, basic, devex)` for the presolve mapping layer.
+    pub(crate) fn parts(&self) -> (&[VarStatus], &[usize], &[f64]) {
+        (&self.status, &self.basic, &self.devex)
+    }
 }
 
 /// Equality-form sparse LP extracted from a [`Model`].
@@ -108,18 +182,18 @@ pub struct Basis {
 /// branch-and-bound can explore bound subproblems against one matrix.
 #[derive(Debug, Clone)]
 pub(crate) struct SparseLp {
-    nrows: usize,
-    nstruct: usize,
+    pub(crate) nrows: usize,
+    pub(crate) nstruct: usize,
     /// All columns: structural then one logical per row.
-    cols: CscMatrix,
+    pub(crate) cols: CscMatrix,
     /// Minimization costs per column (logical columns cost 0).
-    cost: Vec<f64>,
-    rhs: Vec<f64>,
+    pub(crate) cost: Vec<f64>,
+    pub(crate) rhs: Vec<f64>,
     /// Constant term of the minimization objective.
-    obj_offset: f64,
+    pub(crate) obj_offset: f64,
     /// Bounds of the logical columns (encode the row relations).
-    logical_lower: Vec<f64>,
-    logical_upper: Vec<f64>,
+    pub(crate) logical_lower: Vec<f64>,
+    pub(crate) logical_upper: Vec<f64>,
 }
 
 impl SparseLp {
@@ -173,7 +247,7 @@ impl SparseLp {
         }
     }
 
-    fn ncols(&self) -> usize {
+    pub(crate) fn ncols(&self) -> usize {
         self.nstruct + self.nrows
     }
 }
@@ -202,7 +276,15 @@ pub(crate) fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> Result<LpResult,
     debug_assert_eq!(bounds.len(), model.num_vars());
     let lp = SparseLp::from_model(model);
     let max_iters = model.params().max_simplex_iterations;
-    solve_sparse(&lp, bounds, max_iters, Warm::Cold).map(|(r, _)| r)
+    // No integrality here: this entry point solves the pure relaxation, so
+    // presolve must not round derived bounds onto the integer lattice.
+    let integral = vec![false; lp.nstruct];
+    match crate::presolve::NodeSolver::build(&lp, bounds, &integral, model.params().presolve) {
+        Some(solver) => solver
+            .solve(&lp, bounds, max_iters, Warm::Cold)
+            .map(|(r, _)| r),
+        None => Ok(LpResult::infeasible_without_pivots()),
+    }
 }
 
 /// Solves a prepared [`SparseLp`] under the given structural bounds.
@@ -217,15 +299,7 @@ pub(crate) fn solve_sparse(
 ) -> Result<(LpResult, Option<Basis>), SolveError> {
     // A bound pair with lower > upper makes the subproblem trivially infeasible.
     if bounds.iter().any(|(l, u)| l > u) {
-        return Ok((
-            LpResult {
-                status: LpStatus::Infeasible,
-                objective: f64::INFINITY,
-                values: Vec::new(),
-                iterations: 0,
-            },
-            None,
-        ));
+        return Ok((LpResult::infeasible_without_pivots(), None));
     }
 
     let mut engine = Engine::new(lp, bounds, max_iters);
@@ -323,6 +397,14 @@ struct Engine<'a> {
     /// reallocated per pivot.
     c1: Vec<f64>,
     c1_touched: Vec<usize>,
+    /// Devex reference weights per column (approximate steepest-edge norms).
+    devex: Vec<f64>,
+    /// Number of reference-framework resets performed.
+    devex_resets: usize,
+    /// Rotating partial-pricing cursor (next column to scan).
+    price_cursor: usize,
+    /// Columns scanned per pricing chunk.
+    price_segment: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -350,6 +432,13 @@ impl<'a> Engine<'a> {
             y: vec![0.0; lp.nrows],
             c1: vec![0.0; ncols],
             c1_touched: Vec::new(),
+            devex: vec![1.0; ncols],
+            devex_resets: 0,
+            // A quarter of the columns per chunk keeps the entering choice
+            // close to full Devex (at most four chunks per rotation) while
+            // bounding the per-iteration pricing work on wide instances.
+            price_segment: (ncols / 4).max(MIN_PRICE_SEGMENT).min(ncols.max(1)),
+            price_cursor: 0,
         }
     }
 
@@ -385,6 +474,8 @@ impl<'a> Engine<'a> {
     /// All-logical starting basis.
     fn install_cold_basis(&mut self) {
         let ncols = self.lp.ncols();
+        // Fresh reference framework: the nonbasic set changed wholesale.
+        self.devex.iter_mut().for_each(|w| *w = 1.0);
         for j in 0..self.lp.nstruct {
             self.status[j] = self.default_status(j);
         }
@@ -415,6 +506,7 @@ impl<'a> Engine<'a> {
             } else {
                 self.default_status(j)
             };
+            self.devex[j] = if j < s0 { basis.devex[j].max(1.0) } else { 1.0 };
         }
         for i in 0..r1 {
             let j = s1 + i;
@@ -422,6 +514,11 @@ impl<'a> Engine<'a> {
                 basis.status[s0 + i]
             } else {
                 VarStatus::Basic
+            };
+            self.devex[j] = if i < r0 {
+                basis.devex[s0 + i].max(1.0)
+            } else {
+                1.0
             };
         }
         self.basic = basis.basic.iter().map(|&j| remap(j)).collect();
@@ -506,45 +603,120 @@ impl<'a> Engine<'a> {
         Ok(())
     }
 
-    /// Prices all nonbasic columns against `y` and returns the entering
-    /// column and its direction, or `None` at optimality.
-    ///
-    /// `cost` is the phase cost per column. Fixed columns never enter.
-    fn price(&self, y: &[f64], cost: &[f64], bland: bool) -> Option<(usize, f64)> {
-        let lp = self.lp;
-        let mut best: Option<(usize, f64, f64)> = None; // (col, direction, score)
-        for (j, &cj) in cost.iter().enumerate().take(lp.ncols()) {
-            let status = self.status[j];
-            if status == VarStatus::Basic || self.lower[j] == self.upper[j] {
-                continue;
+    /// Reduced-cost eligibility of column `j` under the dual vector `y`:
+    /// returns the entering direction and the violation magnitude when the
+    /// column can improve the phase objective. Fixed columns never enter.
+    fn eligibility(&self, j: usize, y: &[f64], cost: &[f64]) -> Option<(f64, f64)> {
+        let status = self.status[j];
+        if status == VarStatus::Basic || self.lower[j] == self.upper[j] {
+            return None;
+        }
+        let d = cost[j] - self.lp.cols.column_dot(j, y);
+        let (dir, violation) = match status {
+            VarStatus::AtLower => (1.0, -d),
+            VarStatus::AtUpper => (-1.0, d),
+            VarStatus::Free => {
+                if d < 0.0 {
+                    (1.0, -d)
+                } else {
+                    (-1.0, d)
+                }
             }
-            let d = cj - lp.cols.column_dot(j, y);
-            let (dir, score) = match status {
-                VarStatus::AtLower => (1.0, -d),
-                VarStatus::AtUpper => (-1.0, d),
-                VarStatus::Free => {
-                    if d < 0.0 {
-                        (1.0, -d)
-                    } else {
-                        (-1.0, d)
+            VarStatus::Basic => unreachable!(),
+        };
+        (violation > EPS).then_some((dir, violation))
+    }
+
+    /// Prices nonbasic columns against `y` and returns the entering column
+    /// and its direction, or `None` at optimality.
+    ///
+    /// Selection is Devex (`d_j² / w_j`) over a rotating partial-pricing
+    /// window: chunks of [`Engine::price_segment`] columns are scanned from
+    /// the cursor, and the first chunk containing an eligible column supplies
+    /// the entering one. A full rotation without an eligible column proves
+    /// optimality, so the partial scan never affects correctness. Under
+    /// Bland's anti-cycling rule the whole range is scanned and the lowest
+    /// eligible index wins, exactly as before.
+    fn price(&mut self, y: &[f64], cost: &[f64], bland: bool) -> Option<(usize, f64)> {
+        let ncols = self.lp.ncols();
+        if ncols == 0 {
+            return None;
+        }
+        if bland {
+            return (0..ncols).find_map(|j| self.eligibility(j, y, cost).map(|(dir, _)| (j, dir)));
+        }
+        let mut start = self.price_cursor % ncols;
+        let mut scanned = 0usize;
+        while scanned < ncols {
+            let chunk = self.price_segment.min(ncols - scanned);
+            let mut best: Option<(usize, f64, f64)> = None; // (col, direction, score)
+            for k in 0..chunk {
+                let j = (start + k) % ncols;
+                if let Some((dir, violation)) = self.eligibility(j, y, cost) {
+                    let score = violation * violation / self.devex[j];
+                    if best.map_or(true, |(_, _, s)| score > s) {
+                        best = Some((j, dir, score));
                     }
                 }
-                VarStatus::Basic => unreachable!(),
-            };
-            if score > EPS {
-                if bland {
-                    return Some((j, dir));
-                }
-                let better = match best {
-                    None => true,
-                    Some((_, _, s)) => score > s,
-                };
-                if better {
-                    best = Some((j, dir, score));
-                }
+            }
+            start = (start + chunk) % ncols;
+            scanned += chunk;
+            if let Some((j, dir, _)) = best {
+                self.price_cursor = start;
+                return Some((j, dir));
             }
         }
-        best.map(|(j, dir, _)| (j, dir))
+        self.price_cursor = start;
+        None
+    }
+
+    /// Devex reference-weight update for the basis change `basic[row] := q`,
+    /// executed against the *outgoing* basis (before [`Engine::pivot`]): the
+    /// pivot row `ρ = B⁻ᵀ e_row` is formed with one BTRAN and the weights are
+    /// updated by [`Engine::update_devex_with_rho`]. The dual simplex, which
+    /// has already BTRAN'd the very same `ρ` for its ratio test, calls the
+    /// `_with_rho` variant directly instead of paying the BTRAN twice.
+    fn update_devex(&mut self, q: usize, row: usize) {
+        self.y.iter_mut().for_each(|v| *v = 0.0);
+        self.y[row] = 1.0;
+        let mut rho = std::mem::take(&mut self.y);
+        self.factor.btran(&mut rho);
+        self.update_devex_with_rho(q, row, &rho);
+        self.y = rho;
+    }
+
+    /// Core of the Devex update, given the pivot row `ρ = B⁻ᵀ e_row` of the
+    /// outgoing basis: every nonbasic weight is lifted to
+    /// `(α_ρj / α_ρq)² · w_q` where it falls short, and the leaving variable
+    /// re-enters the nonbasic set with the entering column's weight seen
+    /// through the pivot. Weights only steer column *selection*, never
+    /// eligibility, so any drift here costs pivots, not correctness.
+    fn update_devex_with_rho(&mut self, q: usize, row: usize, rho: &[f64]) {
+        let alpha_rq = self.w[row];
+        if alpha_rq.abs() <= PIVOT_TOL {
+            return;
+        }
+        let scale = self.devex[q].max(1.0) / (alpha_rq * alpha_rq);
+        let lp = self.lp;
+        let mut max_weight = 0.0f64;
+        for j in 0..lp.ncols() {
+            if self.status[j] == VarStatus::Basic || self.lower[j] == self.upper[j] || j == q {
+                continue;
+            }
+            let alpha = lp.cols.column_dot(j, rho);
+            if alpha != 0.0 {
+                let candidate = alpha * alpha * scale;
+                if candidate > self.devex[j] {
+                    self.devex[j] = candidate;
+                }
+            }
+            max_weight = max_weight.max(self.devex[j]);
+        }
+        self.devex[self.basic[row]] = scale.max(1.0);
+        if max_weight > DEVEX_RESET_LIMIT {
+            self.devex.iter_mut().for_each(|w| *w = 1.0);
+            self.devex_resets += 1;
+        }
     }
 
     /// Dual vector `y = B⁻ᵀ c_B` for the given per-column costs.
@@ -764,6 +936,7 @@ impl<'a> Engine<'a> {
             self.charge_iteration()?;
             match blocking {
                 Some((row, leave)) => {
+                    self.update_devex(q, row);
                     if !self.pivot(row, q, dir * t_best, leave) {
                         if retried {
                             return Err(EngineError::Numerical);
@@ -824,6 +997,7 @@ impl<'a> Engine<'a> {
             self.charge_iteration()?;
             match blocking {
                 Some((row, leave)) => {
+                    self.update_devex(q, row);
                     if !self.pivot(row, q, dir * t_best, leave) {
                         if retried {
                             return Err(EngineError::Numerical);
@@ -957,6 +1131,11 @@ impl<'a> Engine<'a> {
                 VarStatus::AtUpper
             };
             self.charge_iteration()?;
+            // `y` still holds ρ = B⁻ᵀ e_row from the ratio test above — no
+            // second BTRAN for the weight update.
+            let rho = std::mem::take(&mut self.y);
+            self.update_devex_with_rho(q, row, &rho);
+            self.y = rho;
             if !self.pivot(row, q, step, leave_status) {
                 return Ok(DualOutcome::Stuck);
             }
@@ -1002,6 +1181,8 @@ impl<'a> Engine<'a> {
                     objective: self.objective_value(),
                     values,
                     iterations: self.iterations,
+                    devex_resets: self.devex_resets,
+                    candidate_list_size: self.price_segment,
                 }
             }
             LpStatus::Infeasible => LpResult {
@@ -1009,12 +1190,16 @@ impl<'a> Engine<'a> {
                 objective: f64::INFINITY,
                 values: Vec::new(),
                 iterations: self.iterations,
+                devex_resets: self.devex_resets,
+                candidate_list_size: self.price_segment,
             },
             LpStatus::Unbounded => LpResult {
                 status,
                 objective: f64::NEG_INFINITY,
                 values: Vec::new(),
                 iterations: self.iterations,
+                devex_resets: self.devex_resets,
+                candidate_list_size: self.price_segment,
             },
         };
         let basis = if status == LpStatus::Optimal {
@@ -1023,6 +1208,7 @@ impl<'a> Engine<'a> {
                 nrows: self.lp.nrows,
                 status: self.status,
                 basic: self.basic,
+                devex: self.devex,
             })
         } else {
             None

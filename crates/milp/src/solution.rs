@@ -27,6 +27,16 @@ pub struct Solution {
     pub nodes_explored: usize,
     /// Total simplex pivots across all LP solves.
     pub simplex_iterations: usize,
+    /// Constraint rows removed by the LP presolve (0 when presolve is off).
+    pub presolve_rows_removed: usize,
+    /// Structural columns eliminated by the LP presolve (0 when presolve is
+    /// off).
+    pub presolve_cols_removed: usize,
+    /// Devex reference-framework resets across all LP solves.
+    pub devex_resets: usize,
+    /// Partial-pricing segment size of the root LP solve (columns scanned per
+    /// pricing chunk).
+    pub candidate_list_size: usize,
     values: Vec<f64>,
 }
 
@@ -45,6 +55,10 @@ impl Solution {
             values,
             nodes_explored,
             simplex_iterations,
+            presolve_rows_removed: 0,
+            presolve_cols_removed: 0,
+            devex_resets: 0,
+            candidate_list_size: 0,
         }
     }
 
@@ -56,6 +70,10 @@ impl Solution {
             values: Vec::new(),
             nodes_explored,
             simplex_iterations,
+            presolve_rows_removed: 0,
+            presolve_cols_removed: 0,
+            devex_resets: 0,
+            candidate_list_size: 0,
         }
     }
 
@@ -67,7 +85,27 @@ impl Solution {
             values: Vec::new(),
             nodes_explored,
             simplex_iterations,
+            presolve_rows_removed: 0,
+            presolve_cols_removed: 0,
+            devex_resets: 0,
+            candidate_list_size: 0,
         }
+    }
+
+    /// Attaches the presolve/pricing counters of a solve (builder style, used
+    /// by branch-and-bound after the tree finishes).
+    pub(crate) fn with_counters(
+        mut self,
+        presolve_rows_removed: usize,
+        presolve_cols_removed: usize,
+        devex_resets: usize,
+        candidate_list_size: usize,
+    ) -> Self {
+        self.presolve_rows_removed = presolve_rows_removed;
+        self.presolve_cols_removed = presolve_cols_removed;
+        self.devex_resets = devex_resets;
+        self.candidate_list_size = candidate_list_size;
+        self
     }
 
     /// Returns `true` if the solve reached an optimal solution.

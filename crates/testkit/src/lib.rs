@@ -342,41 +342,12 @@ impl Scenario {
     /// order. Two scenarios are structurally identical iff their fingerprints
     /// are equal (unlike `Debug` output, which iterates name-lookup hash maps
     /// in arbitrary order).
+    ///
+    /// Delegates to [`ttw_core::cache::system_fingerprint`], the same
+    /// machinery the schedule cache keys entries by — harness
+    /// reproducibility and cache addressing share one definition.
     pub fn fingerprint(&self) -> String {
-        use std::fmt::Write as _;
-        let sys = &self.system;
-        let mut out = String::new();
-        for (id, node) in sys.nodes() {
-            let _ = writeln!(out, "node {id} {}", node.name);
-        }
-        for (id, task) in sys.tasks() {
-            let _ = writeln!(
-                out,
-                "task {id} {} node={} wcet={} app={}",
-                task.name, task.node, task.wcet, task.app
-            );
-        }
-        for (id, msg) in sys.messages() {
-            let _ = writeln!(
-                out,
-                "message {id} {} app={} prec={:?} succ={:?}",
-                msg.name, msg.app, msg.preceding_tasks, msg.successor_tasks
-            );
-        }
-        for (id, app) in sys.applications() {
-            let _ = writeln!(
-                out,
-                "app {id} {} period={} deadline={} tasks={:?} messages={:?}",
-                app.name, app.period, app.deadline, app.tasks, app.messages
-            );
-        }
-        for (id, mode) in sys.modes() {
-            let _ = writeln!(out, "mode {id} {} apps={:?}", mode.name, mode.applications);
-        }
-        for (from, to) in self.graph.edges() {
-            let _ = writeln!(out, "edge {from} -> {to}");
-        }
-        out
+        ttw_core::cache::system_fingerprint(&self.system, &self.graph)
     }
 
     /// One-line reproduction hint for harness assertion messages: the seed

@@ -16,13 +16,21 @@ fn run(
     let config = SchedulerConfig::new(millis(10), 5);
     // The mode-graph pipeline: the emergency mode inherits the control
     // application's offsets from the normal mode, so the switch never re-times
-    // the running control loop (switch consistency, Sec. V).
-    let schedule = synthesis::synthesize_system(
+    // the running control loop (switch consistency, Sec. V). Synthesis goes
+    // through the fingerprint-keyed schedule cache, so only the first run of
+    // this example (per build) pays the MILP cost.
+    let cache = ttw::core::cache::ScheduleCache::at_default_location();
+    let (schedule, outcome) = ttw::core::cache::synthesize_system_cached(
         &system,
         &graph,
         &config,
         &synthesis::IlpSynthesizer::default(),
+        &cache,
     )?;
+    println!(
+        "schedule cache: {}",
+        if outcome.is_hit() { "hit" } else { "miss" }
+    );
     let sim_config = SimulationConfig {
         link_loss: loss,
         seed: 42,

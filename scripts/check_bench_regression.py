@@ -12,7 +12,15 @@ Keys present in ``current`` but absent from the baseline are treated as
 "no baseline, pass": a PR that *adds* a benchmark scenario must not fail the
 gate for the old baseline's ignorance (the new file becomes the baseline once
 merged). Keys present only in the baseline are ignored likewise (quick-mode
-runs sweep a subset of the committed full sweep).
+runs sweep a subset of the committed full sweep). Informational leaves the
+benches record next to the counters (``presolve_rows_removed``,
+``devex_resets``, ``candidate_list_size``, ``cache_hits``/``cache_misses``,
+booleans such as ``byte_match``) are never gated — only the keys in
+``COUNTER_KEYS`` are — and must never crash the walk.
+
+Counters that *improved* by more than the allowance are called out in the
+report (marked ``improved``), so a perf PR's pivot-count drop is visible in
+the CI log next to the pass/fail verdicts.
 
 Usage: check_bench_regression.py <baseline.json> <current.json> [max-regression]
 
@@ -32,7 +40,13 @@ def collect_counters(data, prefix=""):
     if isinstance(data, dict):
         for key, value in data.items():
             path = f"{prefix}.{key}" if prefix else key
-            if key in COUNTER_KEYS and isinstance(value, (int, float)):
+            # bool is an int subclass in Python; a flag named like a counter
+            # must not be compared arithmetically.
+            if (
+                key in COUNTER_KEYS
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            ):
                 counters[path] = float(value)
             else:
                 counters.update(collect_counters(value, path))
@@ -56,7 +70,12 @@ def check(baseline, current, max_regression):
             print(f"{path}: current {value:.0f}, no baseline — pass")
             continue
         limit = base * (1.0 + max_regression)
-        verdict = "FAIL" if value > limit else "ok"
+        if value > limit:
+            verdict = "FAIL"
+        elif value < base * (1.0 - max_regression):
+            verdict = "improved"
+        else:
+            verdict = "ok"
         print(
             f"{path}: baseline {base:.0f}, current {value:.0f}, "
             f"limit {limit:.0f} (+{max_regression:.0%}) — {verdict}"

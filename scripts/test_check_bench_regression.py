@@ -48,6 +48,39 @@ class CollectCountersTest(unittest.TestCase):
             {"runs[0].simplex_iterations": 5.0, "runs[1].simplex_iterations": 7.0},
         )
 
+    def test_new_solver_and_cache_keys_are_not_gated(self):
+        # The presolve/pricing/cache counters ride along in the bench JSONs
+        # but only `simplex_iterations` is a gated counter; the rest must be
+        # walked over without crashing and without being collected.
+        data = {
+            "strategies": {
+                "inherited_incremental": {
+                    "simplex_iterations": 617,
+                    "presolve_rows_removed": 40,
+                    "presolve_cols_removed": 25,
+                    "devex_resets": 0,
+                    "candidate_list_size": 64,
+                }
+            },
+            "schedule_cache": {
+                "cache_hits": 1,
+                "cache_misses": 1,
+                "byte_match": True,
+                "cold_seconds": 0.03,
+                "warm_seconds": 0.001,
+            },
+        }
+        counters = cbr.collect_counters(data)
+        self.assertEqual(
+            counters,
+            {"strategies.inherited_incremental.simplex_iterations": 617.0},
+        )
+
+    def test_boolean_leaves_are_never_counters(self):
+        # bool subclasses int in Python; a flag that happened to be named
+        # like a counter must not be gated arithmetically.
+        self.assertEqual(cbr.collect_counters({"simplex_iterations": True}), {})
+
 
 class CheckTest(unittest.TestCase):
     def test_within_allowance_passes(self):
@@ -74,6 +107,20 @@ class CheckTest(unittest.TestCase):
         baseline = {"full_only.simplex_iterations": 50.0}
         current = {}
         self.assertEqual(cbr.check(baseline, current, 0.20), [])
+
+    def test_improvement_passes_and_is_reported(self):
+        # A perf PR dropping a counter far below the baseline passes, and the
+        # report calls the improvement out.
+        import contextlib
+        import io
+
+        baseline = {"a.simplex_iterations": 1054.0}
+        current = {"a.simplex_iterations": 617.0}
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            failures = cbr.check(baseline, current, 0.20)
+        self.assertEqual(failures, [])
+        self.assertIn("improved", out.getvalue())
 
 
 class MainTest(unittest.TestCase):

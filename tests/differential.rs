@@ -15,7 +15,12 @@
 //! * generated multi-rate modes make the heuristic return
 //!   `ScheduleError::Unsupported` — never a panic, never a wrong schedule;
 //! * the production sparse simplex agrees with the dense reference oracle on
-//!   every generated LP relaxation.
+//!   every generated LP relaxation;
+//! * presolved solves agree with presolve-disabled solves (status and
+//!   objective) on generated instances — the reduction can reshape the
+//!   search but never the answer;
+//! * a schedule served from the fingerprint-keyed cache byte-matches fresh
+//!   synthesis.
 //!
 //! Seed windows are controlled by two environment knobs so any failure is
 //! reproducible from the printed assertion message alone:
@@ -25,6 +30,8 @@
 //! TTW_TEST_SEEDS=1 TTW_TEST_SEED_START=37 cargo test --test differential
 //! ```
 
+use ttw::core::cache::{synthesize_system_cached, CacheOutcome, ScheduleCache};
+use ttw::core::export::system_schedule_to_json;
 use ttw::core::synthesis::{synthesize_system, HeuristicSynthesizer, IlpSynthesizer, Synthesizer};
 use ttw::core::validate::{validate_schedule, validate_system_schedule};
 use ttw::core::{ilp, InheritedOffsets, ScheduleError};
@@ -397,6 +404,137 @@ fn generated_multi_rate_modes_are_rejected_not_mis_scheduled() {
         );
     }
     eprintln!("multi-rate sweep: {multi_rate_modes_seen} modes pinned to Unsupported");
+}
+
+#[test]
+fn presolved_solves_agree_with_presolve_disabled_solves() {
+    // The presolve invariant: fixed-column substitution, row elimination and
+    // bound tightening may reshape the model the simplex sees, but status and
+    // objective of every solve must match the raw equality-form solve. Runs
+    // both the full MILP and the LP relaxation per generated instance.
+    let start = seed_start();
+    let count = seed_count(6);
+    let mut milp_compared = 0usize;
+    let mut relaxations_compared = 0usize;
+
+    for seed in start..start + count as u64 {
+        let scenario = scenario_for_seed(seed, false);
+        let sys = &scenario.system;
+        let config = scenario.scheduler_config();
+        let repro = scenario.repro();
+
+        for (mode, _) in sys.modes().take(2) {
+            for rounds in 2..=3 {
+                let instance = ilp::build_ilp(sys, mode, &config, rounds).expect("valid instance");
+                let with = instance.model.clone();
+                let mut without = instance.model.clone();
+                without.params_mut().presolve = false;
+
+                let (Ok(on), Ok(off)) = (with.solve_relaxation(), without.solve_relaxation())
+                else {
+                    continue; // budget exhausted proves nothing — skip
+                };
+                assert_eq!(
+                    on.status, off.status,
+                    "relaxation status diverged at R={rounds} for {mode} ({repro})"
+                );
+                if on.is_optimal() {
+                    assert!(
+                        (on.objective - off.objective).abs() < 1e-6,
+                        "relaxation objective {} (presolved) vs {} (raw) at R={rounds} \
+                         for {mode} ({repro})",
+                        on.objective,
+                        off.objective
+                    );
+                }
+                relaxations_compared += 1;
+
+                let (Ok(on), Ok(off)) = (with.solve(), without.solve()) else {
+                    continue;
+                };
+                assert_eq!(
+                    on.status, off.status,
+                    "MILP status diverged at R={rounds} for {mode} ({repro})"
+                );
+                if on.is_optimal() {
+                    assert!(
+                        (on.objective - off.objective).abs() < 1e-6,
+                        "MILP objective {} (presolved) vs {} (raw) at R={rounds} \
+                         for {mode} ({repro})",
+                        on.objective,
+                        off.objective
+                    );
+                }
+                milp_compared += 1;
+            }
+        }
+    }
+    if !knobs_overridden() {
+        assert!(milp_compared > 0, "no MILP was compared");
+        assert!(relaxations_compared > 0, "no relaxation was compared");
+    }
+    eprintln!(
+        "presolve sweep: {milp_compared} MILPs and {relaxations_compared} relaxations agreed"
+    );
+}
+
+#[test]
+fn cache_hits_byte_match_fresh_synthesis() {
+    // The cache invariant: a hit returns exactly the bytes a fresh synthesis
+    // would produce — same schedules, same inheritance metadata, same stats.
+    let start = seed_start();
+    let count = seed_count(6);
+    let dir = std::env::temp_dir().join(format!(
+        "ttw-differential-cache-{}-{start}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ScheduleCache::new(&dir);
+    let mut verified = 0usize;
+
+    for seed in start..start + count as u64 {
+        let scenario = scenario_for_seed(seed, false);
+        let sys = &scenario.system;
+        let config = scenario.scheduler_config();
+        let repro = scenario.repro();
+        let backend = IlpSynthesizer::default();
+
+        let fresh = match synthesize_system(sys, &scenario.graph, &config, &backend) {
+            Ok(result) => result,
+            Err(_) => continue, // infeasible or budget-limited — nothing to cache
+        };
+        let (first, outcome) =
+            synthesize_system_cached(sys, &scenario.graph, &config, &backend, &cache)
+                .expect("same inputs stay feasible");
+        assert_eq!(
+            outcome,
+            CacheOutcome::Miss,
+            "fresh key cannot hit ({repro})"
+        );
+        let (second, outcome) =
+            synthesize_system_cached(sys, &scenario.graph, &config, &backend, &cache)
+                .expect("same inputs stay feasible");
+        assert_eq!(outcome, CacheOutcome::Hit, "second call must hit ({repro})");
+
+        let fresh_json = system_schedule_to_json(&fresh).expect("serialize");
+        let miss_json = system_schedule_to_json(&first).expect("serialize");
+        let hit_json = system_schedule_to_json(&second).expect("serialize");
+        assert_eq!(
+            fresh_json, miss_json,
+            "cached-path synthesis diverged from plain synthesis ({repro})"
+        );
+        assert_eq!(
+            miss_json, hit_json,
+            "cache hit does not byte-match fresh synthesis ({repro})"
+        );
+        verified += 1;
+    }
+    assert_eq!(cache.hits(), verified, "every scenario hit exactly once");
+    if !knobs_overridden() {
+        assert!(verified > 0, "no cache round trip was verified");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!("cache sweep: {verified} hit/fresh byte comparisons");
 }
 
 #[test]
