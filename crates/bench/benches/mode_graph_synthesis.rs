@@ -37,6 +37,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
+use ttw_analyze::analyze_system;
 use ttw_core::cache::{synthesis_key, synthesize_system_cached, ScheduleCache};
 use ttw_core::export::system_schedule_to_json;
 use ttw_core::json::Value;
@@ -238,6 +239,10 @@ fn write_bench_json(
             "candidate_list_size".into(),
             num(result.max_candidate_list_size() as f64),
         );
+        map.insert(
+            "analyze_fast_fails".into(),
+            num(result.total_analyze_fast_fails() as f64),
+        );
         Value::Object(map)
     };
     let mut strategies = BTreeMap::new();
@@ -289,6 +294,17 @@ fn write_bench_json(
     root.insert("round_duration_us".into(), num(millis(10) as f64));
     root.insert("slots_per_round".into(), num(5.0));
     root.insert("strategies".into(), Value::Object(strategies));
+    // The ttw-analyze static pass over the two-mode workload — timed here at
+    // the bench level (informational, never gated) because SynthesisStats
+    // carries only deterministic counters.
+    let (analyze_sys, analyze_graph, _, _) = fixtures::two_mode_graph();
+    let analyze_start = Instant::now();
+    let report = analyze_system(&analyze_sys, &analyze_graph, &config());
+    root.insert(
+        "analyze_micros".into(),
+        num(analyze_start.elapsed().as_secs_f64() * 1e6),
+    );
+    assert!(report.is_clean(), "two-mode fixture must analyze clean");
     root.insert(
         "speedup".into(),
         num(independent_s / inherited_s.max(1e-12)),

@@ -14,6 +14,12 @@
 //! counters into `BENCH_mode_scaling.json` at the workspace root; the CI
 //! perf-regression job regenerates the file in quick mode and gates on the
 //! `simplex_iterations` counters via `scripts/check_bench_regression.py`.
+//! Since the static-analyzer PR every scenario also records the
+//! `ttw-analyze` pass time (`analyze_micros`, informational, never gated)
+//! and the `AnalyzeFirst` fast-fail count (`analyze_fast_fails`, 0 on this
+//! feasible family), and an `infeasible` section sweeps the provably
+//! infeasible `GeneratorConfig::infeasible` family to demonstrate that the
+//! gate rejects certified modes without spending a single B&B node.
 //!
 //! `TTW_BENCH_QUICK=1` trims the sweep to N ≤ 8 with one timing sample (the
 //! work counters are unaffected — the solver is deterministic).
@@ -22,11 +28,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use std::time::Instant;
+use ttw_analyze::analyze_system;
 use ttw_core::json::Value;
-use ttw_core::synthesis::{synthesize_system, synthesize_system_sequential, IlpSynthesizer};
+use ttw_core::synthesis::{
+    synthesize_mode_gated, synthesize_system, synthesize_system_sequential, IlpSynthesizer,
+};
 use ttw_core::validate::validate_system_schedule;
 use ttw_core::SystemSchedule;
-use ttw_testkit::{generate, GeneratorConfig, GraphShape, Scenario};
+use ttw_testkit::{generate, GeneratorConfig, GraphShape, InfeasibleKind, Scenario};
 
 /// Fixed generator seed: the sweep is a benchmark, not a property test, so
 /// every run measures the identical workload.
@@ -83,6 +92,23 @@ struct Measurement {
     presolve_cols_removed: usize,
     devex_resets: usize,
     candidate_list_size: usize,
+    analyze_fast_fails: usize,
+    analyze_micros: f64,
+}
+
+/// Median wall time (µs) of the full `ttw-analyze` static pass — timed at
+/// the bench level so `SynthesisStats` keeps only deterministic counters.
+fn analyze_micros(scenario: &Scenario, samples: usize) -> f64 {
+    let config = scenario.scheduler_config();
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(analyze_system(&scenario.system, &scenario.graph, &config));
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|x, y| x.total_cmp(y));
+    times[times.len() / 2]
 }
 
 fn measure(shape: GraphShape, num_modes: usize, samples: usize) -> Measurement {
@@ -135,10 +161,56 @@ fn measure(shape: GraphShape, num_modes: usize, samples: usize) -> Measurement {
         presolve_cols_removed: parallel.total_presolve_cols_removed(),
         devex_resets: parallel.total_devex_resets(),
         candidate_list_size: parallel.max_candidate_list_size(),
+        analyze_fast_fails: parallel.total_analyze_fast_fails(),
+        analyze_micros: analyze_micros(&scenario, samples),
     }
 }
 
-fn write_bench_json(measurements: &[Measurement]) {
+/// Per-`InfeasibleKind` gate effectiveness on the provably infeasible family.
+struct InfeasibleMeasurement {
+    kind: &'static str,
+    modes: usize,
+    fast_failed: usize,
+    milp_nodes: usize,
+    analyze_micros: f64,
+}
+
+/// Runs the `AnalyzeFirst`-gated ILP backend over every mode of an
+/// infeasible-family scenario and counts how many modes the gate rejected
+/// before any branch-and-bound work.
+fn measure_infeasible(kind: InfeasibleKind, samples: usize) -> InfeasibleMeasurement {
+    let num_modes = if quick() { 4 } else { 8 };
+    let config = GeneratorConfig::infeasible(num_modes, GraphShape::Chain, kind);
+    let scenario = generate(&config, SEED);
+    let scheduler = scenario.scheduler_config();
+    let backend = IlpSynthesizer::default();
+
+    let mut fast_failed = 0usize;
+    let mut milp_nodes = 0usize;
+    for mode in scenario.modes() {
+        match synthesize_mode_gated(&scenario.system, mode, &scheduler, &backend) {
+            Ok(_) => panic!(
+                "{} mode {mode} synthesized although the family is infeasible by \
+                 construction ({})",
+                kind.name(),
+                scenario.repro()
+            ),
+            Err(failure) => {
+                fast_failed += failure.stats.analyze_fast_fails;
+                milp_nodes += failure.stats.milp_nodes;
+            }
+        }
+    }
+    InfeasibleMeasurement {
+        kind: kind.name(),
+        modes: scenario.modes().len(),
+        fast_failed,
+        milp_nodes,
+        analyze_micros: analyze_micros(&scenario, samples),
+    }
+}
+
+fn write_bench_json(measurements: &[Measurement], infeasible: &[InfeasibleMeasurement]) {
     let num = |v: f64| Value::Number(v);
     let mut scenarios = BTreeMap::new();
     for m in measurements {
@@ -171,7 +243,34 @@ fn write_bench_json(measurements: &[Measurement]) {
             "candidate_list_size".into(),
             num(m.candidate_list_size as f64),
         );
+        map.insert(
+            "analyze_fast_fails".into(),
+            num(m.analyze_fast_fails as f64),
+        );
+        map.insert("analyze_micros".into(), num(m.analyze_micros));
         scenarios.insert(format!("{}_n{}", m.shape, m.num_modes), Value::Object(map));
+    }
+
+    let mut infeasible_map = BTreeMap::new();
+    infeasible_map.insert(
+        "workload".into(),
+        Value::String(
+            "ttw-testkit GeneratorConfig::infeasible chain scenarios, AnalyzeFirst-gated \
+             ILP backend, per-mode pin-free synthesis"
+                .into(),
+        ),
+    );
+    for m in infeasible {
+        let mut map = BTreeMap::new();
+        map.insert("modes".into(), num(m.modes as f64));
+        map.insert("analyze_fast_fails".into(), num(m.fast_failed as f64));
+        map.insert("milp_nodes".into(), num(m.milp_nodes as f64));
+        map.insert(
+            "gate_rejection_rate".into(),
+            num(m.fast_failed as f64 / (m.modes as f64).max(1.0)),
+        );
+        map.insert("analyze_micros".into(), num(m.analyze_micros));
+        infeasible_map.insert(m.kind.into(), Value::Object(map));
     }
 
     let mut root = BTreeMap::new();
@@ -186,6 +285,7 @@ fn write_bench_json(measurements: &[Measurement]) {
     );
     root.insert("generator_seed".into(), num(SEED as f64));
     root.insert("scenarios".into(), Value::Object(scenarios));
+    root.insert("infeasible".into(), Value::Object(infeasible_map));
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mode_scaling.json");
     match std::fs::write(path, Value::Object(root).to_json_pretty() + "\n") {
@@ -221,7 +321,38 @@ fn bench_mode_scaling(c: &mut Criterion) {
         }
     }
     eprintln!();
-    write_bench_json(&measurements);
+
+    eprintln!("=== AnalyzeFirst gate on the provably infeasible family ===");
+    eprintln!(
+        "{:<22} {:>6} {:>12} {:>11} {:>14}",
+        "kind", "modes", "fast fails", "B&B nodes", "analyze µs"
+    );
+    let mut infeasible = Vec::new();
+    for kind in InfeasibleKind::ALL {
+        let m = measure_infeasible(kind, samples);
+        eprintln!(
+            "{:<22} {:>6} {:>12} {:>11} {:>14.1}",
+            m.kind, m.modes, m.fast_failed, m.milp_nodes, m.analyze_micros
+        );
+        // The acceptance bar: the gate must reject at least 80% of the
+        // infeasible modes before any branch-and-bound work. Asserted on
+        // deterministic counters so noisy runners cannot flip it.
+        assert!(
+            m.fast_failed * 5 >= m.modes * 4,
+            "{}: gate rejected only {}/{} modes",
+            m.kind,
+            m.fast_failed,
+            m.modes
+        );
+        assert_eq!(
+            m.milp_nodes, 0,
+            "{}: fast-failed family still spent B&B nodes",
+            m.kind
+        );
+        infeasible.push(m);
+    }
+    eprintln!();
+    write_bench_json(&measurements, &infeasible);
 
     // One registered timing pair per shape at the widest quick size, so the
     // criterion shim prints comparable per-iteration numbers.

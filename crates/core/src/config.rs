@@ -28,6 +28,13 @@ pub struct SchedulerConfig {
     /// Optional cap on the number of rounds Algorithm 1 will try; by default
     /// the cap is `R_max = ⌊LCM / T_r⌋`.
     pub max_rounds: Option<usize>,
+    /// Run the static feasibility analysis before building any ILP and fail
+    /// certified-infeasible modes immediately with an explanation (the
+    /// `AnalyzeFirst` gate, on by default). The gate only rejects instances
+    /// backed by a sound certificate — see [`crate::feasibility`] — so turning
+    /// it off never changes the status of an instance, only how much work is
+    /// spent proving infeasibility.
+    pub analyze_first: bool,
     /// Budgets and tolerances of the underlying MILP solver.
     pub solver: SolveParams,
 }
@@ -43,6 +50,7 @@ impl SchedulerConfig {
             epsilon: 1e-4,
             big_m_factor: 10.0,
             max_rounds: None,
+            analyze_first: true,
             solver: SolveParams::default(),
         }
     }
@@ -71,6 +79,12 @@ impl SchedulerConfig {
     /// Sets an explicit cap on the number of rounds tried by Algorithm 1.
     pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
         self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Enables or disables the `AnalyzeFirst` gate (on by default).
+    pub fn with_analyze_first(mut self, analyze_first: bool) -> Self {
+        self.analyze_first = analyze_first;
         self
     }
 

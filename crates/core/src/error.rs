@@ -126,6 +126,11 @@ pub enum ScheduleError {
         mode: ModeId,
         /// Largest number of rounds that was attempted.
         max_rounds_tried: usize,
+        /// Static infeasibility certificate (the violated inequality with its
+        /// numbers), when the `AnalyzeFirst` gate proved infeasibility before
+        /// any ILP was built. `None` when infeasibility was established the
+        /// expensive way, by exhausting every round count.
+        explanation: Option<String>,
     },
     /// The underlying MILP solver failed (budget exhausted or malformed model).
     Solver(ttw_milp::SolveError),
@@ -155,10 +160,17 @@ impl fmt::Display for ScheduleError {
             ScheduleError::Infeasible {
                 mode,
                 max_rounds_tried,
-            } => write!(
-                f,
-                "mode {mode} is infeasible with up to {max_rounds_tried} communication rounds"
-            ),
+                explanation,
+            } => {
+                write!(
+                    f,
+                    "mode {mode} is infeasible with up to {max_rounds_tried} communication rounds"
+                )?;
+                if let Some(certificate) = explanation {
+                    write!(f, ": {certificate}")?;
+                }
+                Ok(())
+            }
             ScheduleError::Solver(e) => write!(f, "MILP solver error: {e}"),
             ScheduleError::Model(e) => write!(f, "invalid system model: {e}"),
             ScheduleError::InvalidConfig { reason } => {

@@ -245,6 +245,10 @@ fn stats_to_value(stats: &SynthesisStats) -> Value {
         "candidate_list_size".into(),
         Value::Number(stats.candidate_list_size as f64),
     );
+    map.insert(
+        "analyze_fast_fails".into(),
+        Value::Number(stats.analyze_fast_fails as f64),
+    );
     Value::Object(map)
 }
 
@@ -282,6 +286,7 @@ fn stats_from_value(value: &Value) -> Result<SynthesisStats, JsonError> {
         presolve_cols_removed: optional_usize(map, "presolve_cols_removed")?,
         devex_resets: optional_usize(map, "devex_resets")?,
         candidate_list_size: optional_usize(map, "candidate_list_size")?,
+        analyze_fast_fails: optional_usize(map, "analyze_fast_fails")?,
     })
 }
 

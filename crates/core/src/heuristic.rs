@@ -94,6 +94,7 @@ pub fn synthesize_mode_heuristic_inherited(
     let infeasible = |rounds: usize| ScheduleError::Infeasible {
         mode,
         max_rounds_tried: rounds,
+        explanation: None,
     };
     let tasks = system.tasks_in_mode(mode);
     let messages = system.messages_in_mode(mode);

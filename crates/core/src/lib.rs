@@ -23,6 +23,9 @@
 //!   schedule against the model semantics.
 //! * [`heuristic`] — a greedy co-scheduler used as an ablation baseline.
 //! * [`analysis`] — the closed-form latency lower bound of Eq. 13.
+//! * [`feasibility`] — sound static infeasibility certificates (utilization,
+//!   round capacity, Eq. 13 deadlines) powering the `AnalyzeFirst` gate and
+//!   the `ttw-analyze` diagnostics crate.
 //! * [`fixtures`] — the Fig. 3 control application and synthetic workloads.
 //!
 //! ```
@@ -48,6 +51,7 @@ pub mod chains;
 pub mod config;
 pub mod error;
 pub mod export;
+pub mod feasibility;
 pub mod fixtures;
 pub mod heuristic;
 pub mod ids;
@@ -65,6 +69,7 @@ pub use cache::{synthesize_system_cached, CacheOutcome, ScheduleCache};
 pub use chains::{Chain, ChainElement};
 pub use config::SchedulerConfig;
 pub use error::{ModelError, ScheduleError, ScheduleViolation};
+pub use feasibility::InfeasibilityCertificate;
 pub use ids::{AppId, MessageId, ModeId, NodeId, TaskId};
 pub use modegraph::{InheritedOffsets, ModeGraph, VirtualLegacyMode};
 pub use schedule::{ModeSchedule, ScheduledRound, SynthesisStats, SystemSchedule};

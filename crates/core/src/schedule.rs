@@ -48,6 +48,10 @@ pub struct SynthesisStats {
     /// Partial-pricing segment size of the final attempt's root LP (columns
     /// scanned per pricing chunk).
     pub candidate_list_size: usize,
+    /// `1` when the `AnalyzeFirst` gate rejected this mode on a static
+    /// infeasibility certificate before any ILP was built (in which case every
+    /// other counter stays 0), `0` otherwise.
+    pub analyze_fast_fails: usize,
 }
 
 /// The complete static schedule of one operation mode: task offsets, message
@@ -217,6 +221,12 @@ impl SystemSchedule {
     /// Total Devex reference-framework resets over every attempted mode.
     pub fn total_devex_resets(&self) -> usize {
         self.stats.values().map(|s| s.devex_resets).sum()
+    }
+
+    /// Number of modes the `AnalyzeFirst` gate rejected without building an
+    /// ILP (each such mode contributes zero branch-and-bound nodes).
+    pub fn total_analyze_fast_fails(&self) -> usize {
+        self.stats.values().map(|s| s.analyze_fast_fails).sum()
     }
 
     /// Largest partial-pricing segment any attempted mode used.

@@ -23,6 +23,7 @@
 
 use crate::config::SchedulerConfig;
 use crate::error::ScheduleError;
+use crate::feasibility;
 use crate::heuristic;
 use crate::ids::{AppId, ModeId};
 use crate::ilp;
@@ -159,6 +160,7 @@ impl Synthesizer for IlpSynthesizer {
             error: ScheduleError::Infeasible {
                 mode,
                 max_rounds_tried: r_max,
+                explanation: None,
             },
             stats,
         };
@@ -269,9 +271,35 @@ pub fn synthesize_mode(
     mode: ModeId,
     config: &SchedulerConfig,
 ) -> Result<ModeSchedule, ScheduleError> {
-    IlpSynthesizer::default()
-        .synthesize(system, mode, config, &InheritedOffsets::none())
-        .map_err(|f| f.error)
+    synthesize_mode_gated(system, mode, config, &IlpSynthesizer::default()).map_err(|f| f.error)
+}
+
+/// Synthesizes one pin-free mode exactly as the system pipeline would: the
+/// `AnalyzeFirst` gate first (when [`SchedulerConfig::analyze_first`] is
+/// set), the backend's `R_M` sweep second.
+///
+/// Unlike [`synthesize_mode`] this keeps the full [`SynthesisFailure`] on
+/// the error path, so callers (the scaling bench, the differential harness)
+/// can observe `analyze_fast_fails` and the solver work counters of the
+/// failed attempt.
+///
+/// # Errors
+///
+/// The same failure modes as [`Synthesizer::synthesize`]; a certified-
+/// infeasible mode fails with [`ScheduleError::Infeasible`] carrying the
+/// certificate as its explanation and zero solver work in the stats.
+// Same unboxed-Err trade-off as `Synthesizer::synthesize`.
+#[allow(clippy::result_large_err)]
+pub fn synthesize_mode_gated(
+    system: &System,
+    mode: ModeId,
+    config: &SchedulerConfig,
+    backend: &dyn Synthesizer,
+) -> Result<ModeSchedule, SynthesisFailure> {
+    match analyze_gate(system, mode, config) {
+        Some(failure) => Err(failure),
+        None => backend.synthesize(system, mode, config, &InheritedOffsets::none()),
+    }
 }
 
 /// A multi-mode synthesis failure: which mode failed, why, and everything that
@@ -358,6 +386,35 @@ pub fn synthesize_system_sequential(
     synthesize_waves(system, graph, config, backend, false)
 }
 
+/// The `AnalyzeFirst` gate: when enabled, converts a mode with a static
+/// infeasibility certificate into an immediate failure — zero ILPs built,
+/// zero branch-and-bound nodes — with the certificate as the explanation.
+///
+/// Every certificate of [`crate::feasibility`] is a *sound* necessary
+/// condition and is independent of any inherited pins, so the gate can never
+/// reject a mode any backend would have scheduled.
+fn analyze_gate(
+    system: &System,
+    mode: ModeId,
+    config: &SchedulerConfig,
+) -> Option<SynthesisFailure> {
+    if !config.analyze_first {
+        return None;
+    }
+    let certificate = feasibility::certify_mode_infeasible(system, mode, config)?;
+    Some(SynthesisFailure {
+        error: ScheduleError::Infeasible {
+            mode,
+            max_rounds_tried: feasibility::r_max_for_mode(system, mode, config),
+            explanation: Some(certificate.to_string()),
+        },
+        stats: SynthesisStats {
+            analyze_fast_fails: 1,
+            ..SynthesisStats::default()
+        },
+    })
+}
+
 fn synthesize_waves(
     system: &System,
     graph: &ModeGraph,
@@ -386,37 +443,42 @@ fn synthesize_waves(
             .collect();
 
         type Outcome = Result<ModeSchedule, SynthesisFailure>;
-        let outcomes: Vec<(ModeId, BTreeMap<AppId, ModeId>, Outcome)> = if !parallel
-            || jobs.len() == 1
-        {
-            jobs.into_iter()
-                .map(|(mode, sources, inherited)| {
-                    let outcome = backend.synthesize(system, mode, config, &inherited);
-                    (mode, sources, outcome)
-                })
-                .collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = jobs
-                    .into_iter()
+        let outcomes: Vec<(ModeId, BTreeMap<AppId, ModeId>, Outcome)> =
+            if !parallel || jobs.len() == 1 {
+                jobs.into_iter()
                     .map(|(mode, sources, inherited)| {
-                        // The closure's Err is `SynthesisFailure` — see the
-                        // size note on `Synthesizer::synthesize`.
-                        #[allow(clippy::result_large_err)]
-                        let worker = scope
-                            .spawn(move || backend.synthesize(system, mode, config, &inherited));
-                        (mode, sources, worker)
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|(mode, sources, worker)| {
-                        let outcome = worker.join().expect("synthesis worker panicked");
+                        let outcome = match analyze_gate(system, mode, config) {
+                            Some(failure) => Err(failure),
+                            None => backend.synthesize(system, mode, config, &inherited),
+                        };
                         (mode, sources, outcome)
                     })
                     .collect()
-            })
-        };
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = jobs
+                        .into_iter()
+                        .map(|(mode, sources, inherited)| {
+                            // The closure's Err is `SynthesisFailure` — see the
+                            // size note on `Synthesizer::synthesize`.
+                            #[allow(clippy::result_large_err)]
+                            let worker =
+                                scope.spawn(move || match analyze_gate(system, mode, config) {
+                                    Some(failure) => Err(failure),
+                                    None => backend.synthesize(system, mode, config, &inherited),
+                                });
+                            (mode, sources, worker)
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(mode, sources, worker)| {
+                            let outcome = worker.join().expect("synthesis worker panicked");
+                            (mode, sources, outcome)
+                        })
+                        .collect()
+                })
+            };
 
         // Merge in synthesis order; the first failure wins and discards any
         // later-in-order wave results, exactly like the sequential driver.
@@ -536,6 +598,62 @@ mod tests {
         let (sys, mode) = fixtures::synthetic_mode(1, 2, 2, millis(5));
         let err = synthesize_mode(&sys, mode, &config()).unwrap_err();
         assert!(matches!(err, ScheduleError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn analyze_gate_fast_fails_certified_modes_with_an_explanation() {
+        // Period 5 ms with 10 ms rounds: R_max = 0 but messages exist — the
+        // static round-capacity certificate fires before any ILP is built.
+        let (sys, mode) = fixtures::synthetic_mode(1, 2, 2, millis(5));
+        let graph = ModeGraph::complete(&sys);
+        let err = synthesize_system(&sys, &graph, &config(), &IlpSynthesizer::default())
+            .expect_err("certified infeasible");
+        match &err.error {
+            ScheduleError::Infeasible { explanation, .. } => {
+                let text = explanation.as_deref().expect("gate attaches a certificate");
+                assert!(text.contains("R_max"), "certificate lacks numbers: {text}");
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+        // The gate did all the work: no ILP, no branch-and-bound.
+        let stats = &err.partial.stats[&mode];
+        assert_eq!(stats.analyze_fast_fails, 1);
+        assert_eq!(stats.milp_nodes, 0);
+        assert!(stats.rounds_attempted.is_empty());
+        assert_eq!(err.partial.total_analyze_fast_fails(), 1);
+    }
+
+    #[test]
+    fn analyze_gate_off_reaches_the_same_verdict_without_a_certificate() {
+        let (sys, mode) = fixtures::synthetic_mode(1, 2, 2, millis(5));
+        let graph = ModeGraph::complete(&sys);
+        let config = config().with_analyze_first(false);
+        let err = synthesize_system(&sys, &graph, &config, &IlpSynthesizer::default())
+            .expect_err("still infeasible");
+        assert!(matches!(
+            err.error,
+            ScheduleError::Infeasible {
+                explanation: None,
+                ..
+            }
+        ));
+        assert_eq!(err.partial.stats[&mode].analyze_fast_fails, 0);
+    }
+
+    #[test]
+    fn analyze_gate_is_invisible_on_feasible_systems() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let on = synthesize_system(&sys, &graph, &config(), &IlpSynthesizer::default())
+            .expect("feasible");
+        let off = synthesize_system(
+            &sys,
+            &graph,
+            &config().with_analyze_first(false),
+            &IlpSynthesizer::default(),
+        )
+        .expect("feasible");
+        assert_eq!(on, off);
+        assert_eq!(on.total_analyze_fast_fails(), 0);
     }
 
     #[test]

@@ -97,6 +97,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod branch_bound;
 #[cfg(any(test, feature = "dense-reference"))]
 pub mod dense;
@@ -109,6 +110,7 @@ pub mod simplex;
 pub mod solution;
 mod sparse;
 
+pub use audit::{audit_model, AuditFinding, AuditSeverity};
 pub use error::SolveError;
 pub use expr::{LinExpr, Term, VarId};
 pub use model::{Constraint, ConstraintId, ConstraintOp, Model, Sense, SolveParams, VarKind};

@@ -428,6 +428,10 @@ impl Model {
     /// (nodes, simplex pivots) is exhausted.
     pub fn solve(&self) -> Result<Solution, SolveError> {
         self.validate()?;
+        // Opt-in structural audit for debug builds: set TTW_MILP_AUDIT=1 to
+        // panic on error-severity findings before the solver runs.
+        #[cfg(debug_assertions)]
+        crate::audit::debug_audit(self);
         branch_bound::solve(self)
     }
 

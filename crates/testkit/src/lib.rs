@@ -149,6 +149,36 @@ impl GraphShape {
     }
 }
 
+/// Which provable-infeasibility flavor [`GeneratorConfig::infeasible`]
+/// produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InfeasibleKind {
+    /// The execution demand on a node exceeds the hyperperiod (violates C3).
+    OverUtilized,
+    /// The Eq. 13 latency lower bound exceeds every deadline.
+    ImpossibleDeadline,
+    /// More message instances than `B · R_max` slots (violates C4).
+    OverCapacityRounds,
+}
+
+impl InfeasibleKind {
+    /// Every flavor, for sweeping.
+    pub const ALL: [InfeasibleKind; 3] = [
+        InfeasibleKind::OverUtilized,
+        InfeasibleKind::ImpossibleDeadline,
+        InfeasibleKind::OverCapacityRounds,
+    ];
+
+    /// Short stable name (bench JSON keys, repro lines).
+    pub fn name(&self) -> &'static str {
+        match self {
+            InfeasibleKind::OverUtilized => "over_utilized",
+            InfeasibleKind::ImpossibleDeadline => "impossible_deadline",
+            InfeasibleKind::OverCapacityRounds => "over_capacity_rounds",
+        }
+    }
+}
+
 /// Declarative description of a scenario family; [`generate`] turns a
 /// `(GeneratorConfig, seed)` pair into one concrete [`Scenario`].
 #[derive(Debug, Clone, PartialEq)]
@@ -228,6 +258,45 @@ impl GeneratorConfig {
             max_rounds: None,
             shared_app_fraction: 1.0,
             ..Self::small(num_modes, shape)
+        }
+    }
+
+    /// The adversarial family for the static analyzer: every mode of every
+    /// generated scenario is provably infeasible in the way `kind` names, so
+    /// the soundness invariant (analyzer-certified ⇒ ILP-infeasible) and the
+    /// `AnalyzeFirst` gate's fast-fail rate have guaranteed coverage.
+    ///
+    /// The configurations stay *model-valid* (WCET ≤ period, deadline ≤
+    /// period, non-empty modes): infeasibility comes from scheduling
+    /// arithmetic, never from a malformed system.
+    pub fn infeasible(num_modes: usize, shape: GraphShape, kind: InfeasibleKind) -> Self {
+        match kind {
+            // One node, two+ apps of three 50–90 ms tasks each: the demand on
+            // the single node exceeds the 100 ms hyperperiod several times
+            // over (violates C3 capacity).
+            InfeasibleKind::OverUtilized => GeneratorConfig {
+                num_nodes: 1,
+                tasks_per_app: (3, 3),
+                wcet_range_us: (50_000, 90_000),
+                ..Self::small(num_modes, shape)
+            },
+            // Three-task chains carry two messages, so the Eq. 13 latency
+            // lower bound is at least 2 · 10 ms + ΣWCET > 21 ms, while the
+            // deadline is 15% of the 100 ms period (15 ms).
+            InfeasibleKind::ImpossibleDeadline => GeneratorConfig {
+                tasks_per_app: (3, 3),
+                deadline_factor: 0.15,
+                ..Self::small(num_modes, shape)
+            },
+            // Every application releases two message instances per
+            // hyperperiod, but only one round of one slot is allowed
+            // (violates the C4 slot capacity `B · R_max`).
+            InfeasibleKind::OverCapacityRounds => GeneratorConfig {
+                tasks_per_app: (3, 3),
+                slots_per_round: 1,
+                max_rounds: Some(1),
+                ..Self::small(num_modes, shape)
+            },
         }
     }
 
@@ -516,6 +585,56 @@ mod tests {
         let scenario = generate(&config, 11);
         for (_, mode) in scenario.system.modes() {
             assert!(mode.applications.len() >= config.apps_per_mode);
+        }
+    }
+
+    #[test]
+    fn infeasible_family_is_certified_in_every_mode() {
+        for kind in InfeasibleKind::ALL {
+            for seed in 0..4 {
+                let config = GeneratorConfig::infeasible(3, GraphShape::ALL[seed % 4], kind);
+                let scenario = generate(&config, seed as u64);
+                let scheduler = scenario.scheduler_config();
+                for mode in scenario.modes() {
+                    let certs = ttw_core::feasibility::mode_certificates(
+                        &scenario.system,
+                        mode,
+                        &scheduler,
+                    );
+                    assert!(
+                        !certs.is_empty(),
+                        "{} mode {mode} not certified; {}",
+                        kind.name(),
+                        scenario.repro()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_kinds_produce_their_advertised_certificates() {
+        let expectations = [
+            (InfeasibleKind::OverUtilized, "node-over-utilized"),
+            (InfeasibleKind::ImpossibleDeadline, "deadline-unattainable"),
+            (
+                InfeasibleKind::OverCapacityRounds,
+                "round-capacity-exceeded",
+            ),
+        ];
+        for (kind, code) in expectations {
+            let config = GeneratorConfig::infeasible(2, GraphShape::Chain, kind);
+            let scenario = generate(&config, 42);
+            let scheduler = scenario.scheduler_config();
+            let mode = scenario.modes()[0];
+            let certs =
+                ttw_core::feasibility::mode_certificates(&scenario.system, mode, &scheduler);
+            assert!(
+                certs.iter().any(|c| c.code() == code),
+                "{} lacks `{code}`: {certs:?}; {}",
+                kind.name(),
+                scenario.repro()
+            );
         }
     }
 

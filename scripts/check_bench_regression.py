@@ -15,6 +15,8 @@ merged). Keys present only in the baseline are ignored likewise (quick-mode
 runs sweep a subset of the committed full sweep). Informational leaves the
 benches record next to the counters (``presolve_rows_removed``,
 ``devex_resets``, ``candidate_list_size``, ``cache_hits``/``cache_misses``,
+the static-analyzer leaves ``analyze_fast_fails`` and ``analyze_micros`` —
+the latter a wall-clock number that would flap on noisy runners — and
 booleans such as ``byte_match``) are never gated — only the keys in
 ``COUNTER_KEYS`` are — and must never crash the walk.
 

@@ -76,6 +76,35 @@ class CollectCountersTest(unittest.TestCase):
             {"strategies.inherited_incremental.simplex_iterations": 617.0},
         )
 
+    def test_analyzer_keys_are_not_gated(self):
+        # The static-analyzer PR added `analyze_fast_fails` (deterministic but
+        # a property of the workload, not solver efficiency) and
+        # `analyze_micros` (wall clock — would flap on noisy runners) next to
+        # the gated counters; both ride along ungated, at every nesting depth.
+        data = {
+            "scenarios": {
+                "chain_n8": {
+                    "simplex_iterations": 3350,
+                    "analyze_fast_fails": 0,
+                    "analyze_micros": 57.3,
+                }
+            },
+            "infeasible": {
+                "over_utilized": {
+                    "modes": 8,
+                    "analyze_fast_fails": 8,
+                    "milp_nodes": 0,
+                    "gate_rejection_rate": 1.0,
+                    "analyze_micros": 40.1,
+                }
+            },
+        }
+        counters = cbr.collect_counters(data)
+        self.assertEqual(
+            counters,
+            {"scenarios.chain_n8.simplex_iterations": 3350.0},
+        )
+
     def test_boolean_leaves_are_never_counters(self):
         # bool subclasses int in Python; a flag that happened to be named
         # like a counter must not be gated arithmetically.

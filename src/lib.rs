@@ -7,6 +7,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`analyze`] | `ttw-analyze` | static feasibility diagnostics: infeasibility certificates and near-infeasibility warnings |
 //! | [`core`] | `ttw-core` | system model, ILP co-scheduling, Algorithm 1, validation, latency analysis |
 //! | [`milp`] | `ttw-milp` | the MILP solver substrate (simplex + branch & bound) |
 //! | [`timing`] | `ttw-timing` | Glossy timing/energy model (Table I, Fig. 5–7) |
@@ -39,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ttw_analyze as analyze;
 pub use ttw_baselines as baselines;
 pub use ttw_core as core;
 pub use ttw_milp as milp;
@@ -49,6 +51,7 @@ pub use ttw_timing as timing;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use ttw_analyze::{analyze_mode, analyze_system, AnalysisReport, Diagnostic, Severity};
     pub use ttw_baselines::{latency_improvement_factor, NoRoundsDesign};
     pub use ttw_core::synthesis::{
         synthesize_all_modes, synthesize_mode, synthesize_system, synthesize_system_sequential,
@@ -72,5 +75,8 @@ mod tests {
         assert!(constants.is_valid());
         let (system, _) = crate::core::fixtures::fig3_system();
         assert_eq!(system.num_nodes(), 5);
+        let graph = crate::core::ModeGraph::complete(&system);
+        let config = crate::core::SchedulerConfig::new(crate::core::time::millis(10), 5);
+        assert!(crate::analyze::analyze_system(&system, &graph, &config).is_clean());
     }
 }

@@ -20,7 +20,13 @@
 //!   objective) on generated instances — the reduction can reshape the
 //!   search but never the answer;
 //! * a schedule served from the fingerprint-keyed cache byte-matches fresh
-//!   synthesis.
+//!   synthesis;
+//! * the static analyzer is sound: every mode it certifies infeasible is
+//!   proven infeasible by the gate-free ILP sweep (zero false positives);
+//! * the `AnalyzeFirst` gate is invisible: gate-on and gate-off pipelines
+//!   reach the same verdict, byte-identical schedules on success;
+//! * every generated ILP model passes the `ttw-milp` structural audit with
+//!   no `Error`-severity findings.
 //!
 //! Seed windows are controlled by two environment knobs so any failure is
 //! reproducible from the printed assertion message alone:
@@ -34,9 +40,10 @@ use ttw::core::cache::{synthesize_system_cached, CacheOutcome, ScheduleCache};
 use ttw::core::export::system_schedule_to_json;
 use ttw::core::synthesis::{synthesize_system, HeuristicSynthesizer, IlpSynthesizer, Synthesizer};
 use ttw::core::validate::{validate_schedule, validate_system_schedule};
-use ttw::core::{ilp, InheritedOffsets, ScheduleError};
-use ttw::testkit::{generate, GeneratorConfig, GraphShape, Scenario};
+use ttw::core::{feasibility, ilp, InheritedOffsets, ScheduleError};
+use ttw::testkit::{generate, GeneratorConfig, GraphShape, InfeasibleKind, Scenario};
 use ttw_milp::dense::compare_relaxations;
+use ttw_milp::{audit_model, AuditSeverity};
 
 /// Absolute tolerance (µs) for latency comparisons (same as the validator).
 const LATENCY_TOL: f64 = 0.5;
@@ -576,4 +583,183 @@ fn generated_relaxations_agree_with_the_dense_oracle() {
         assert!(compared > 0, "no relaxation was compared");
     }
     eprintln!("dense-oracle sweep: {compared} relaxations agreed");
+}
+
+#[test]
+fn analyzer_infeasible_implies_ilp_infeasible() {
+    // Soundness of the static analyzer: a certified-infeasible mode must be
+    // proven infeasible by the exact ILP `R_M` sweep with the `AnalyzeFirst`
+    // gate disabled — a certificate is a theorem, not a heuristic, so a
+    // single `Ok` here is a bug. Sweeps the feasible-leaning `small()` family
+    // (where certificates are rare) and the provably-infeasible family
+    // (where every mode carries one).
+    let start = seed_start();
+    let count = seed_count(12);
+    let mut certified = 0usize;
+    let mut confirmed_infeasible = 0usize;
+    let mut budget_skips = 0usize;
+
+    let mut scenarios: Vec<Scenario> = (start..start + count as u64)
+        .map(|seed| scenario_for_seed(seed, false))
+        .collect();
+    for kind in InfeasibleKind::ALL {
+        for seed in start..start + (count as u64).min(4) {
+            let shape = GraphShape::ALL[seed as usize % GraphShape::ALL.len()];
+            let config = GeneratorConfig::infeasible(2, shape, kind);
+            scenarios.push(generate(&config, seed));
+        }
+    }
+
+    for scenario in &scenarios {
+        let sys = &scenario.system;
+        let config = scenario.scheduler_config().with_analyze_first(false);
+        let repro = scenario.repro();
+
+        for mode in scenario.modes() {
+            let Some(certificate) = feasibility::certify_mode_infeasible(sys, mode, &config) else {
+                continue;
+            };
+            certified += 1;
+            // Pin-free solve: certificates are pin-independent, so the
+            // strongest (least constrained) instance is the right oracle.
+            let outcome =
+                IlpSynthesizer::default().synthesize(sys, mode, &config, &InheritedOffsets::none());
+            match outcome {
+                Ok(schedule) => panic!(
+                    "analyzer certified {mode} infeasible ({certificate}) but the \
+                     ILP found a {}-round schedule ({repro})",
+                    schedule.num_rounds()
+                ),
+                Err(failure) => match failure.error {
+                    ScheduleError::Infeasible { .. } => confirmed_infeasible += 1,
+                    // Budget exhaustion neither confirms nor refutes — skip.
+                    ScheduleError::Solver(_) => budget_skips += 1,
+                    other => panic!(
+                        "gate-free ILP failed {mode} with an unexpected error \
+                         ({repro}): {other}"
+                    ),
+                },
+            }
+        }
+    }
+
+    if !knobs_overridden() {
+        assert!(
+            confirmed_infeasible > 0,
+            "no certificate was strictly confirmed by the ILP — the sweep is vacuous"
+        );
+    }
+    eprintln!(
+        "analyzer soundness sweep: {certified} certified modes — {confirmed_infeasible} \
+         ILP-confirmed, {budget_skips} budget skips"
+    );
+}
+
+#[test]
+fn analyzer_gate_on_off_agree() {
+    // The `AnalyzeFirst` gate is a fast path, never a verdict change: on the
+    // generated `small()` family, gate-on and gate-off pipelines agree on
+    // feasibility, and on success the schedules byte-match (the gate leaves
+    // `analyze_fast_fails` at 0 on feasible systems).
+    let start = seed_start();
+    let count = seed_count(24);
+    let mut ok_compared = 0usize;
+    let mut err_compared = 0usize;
+
+    for seed in start..start + count as u64 {
+        let scenario = scenario_for_seed(seed, false);
+        let sys = &scenario.system;
+        let repro = scenario.repro();
+        let config_on = scenario.scheduler_config().with_analyze_first(true);
+        let config_off = scenario.scheduler_config().with_analyze_first(false);
+
+        let on = synthesize_system(sys, &scenario.graph, &config_on, &IlpSynthesizer::default());
+        let off = synthesize_system(
+            sys,
+            &scenario.graph,
+            &config_off,
+            &IlpSynthesizer::default(),
+        );
+        match (on, off) {
+            (Ok(on), Ok(off)) => {
+                let on_json = system_schedule_to_json(&on).expect("serialize");
+                let off_json = system_schedule_to_json(&off).expect("serialize");
+                assert_eq!(
+                    on_json, off_json,
+                    "gate-on schedule diverged from gate-off ({repro})"
+                );
+                assert_eq!(
+                    on.total_analyze_fast_fails(),
+                    0,
+                    "feasible system counted an analyzer fast-fail ({repro})"
+                );
+                ok_compared += 1;
+            }
+            (Err(on), Err(off)) => {
+                assert_eq!(
+                    on.mode, off.mode,
+                    "gate-on and gate-off failed different modes ({repro})"
+                );
+                err_compared += 1;
+            }
+            (Ok(_), Err(off)) => panic!(
+                "gate-on synthesized a system the gate-off pipeline rejected \
+                 ({repro}): {}",
+                off.error
+            ),
+            (Err(on), Ok(_)) => panic!(
+                "gate-on rejected a system the gate-off pipeline synthesized \
+                 ({repro}): {}",
+                on.error
+            ),
+        }
+    }
+
+    if !knobs_overridden() {
+        assert!(ok_compared > 0, "no feasible scenario was compared");
+    }
+    eprintln!(
+        "gate on/off sweep: {ok_compared} byte-matched schedules, {err_compared} \
+         matching rejections"
+    );
+}
+
+#[test]
+fn generated_ilp_models_audit_without_errors() {
+    // Every model the scheduler builds must pass the `ttw-milp` structural
+    // audit with no `Error`-severity findings: bound-reversed or
+    // empty-integral columns in a freshly built model mean the ILP
+    // translation itself is wrong, not the instance.
+    let start = seed_start();
+    let count = seed_count(8);
+    let mut audited = 0usize;
+
+    for seed in start..start + count as u64 {
+        let scenario = scenario_for_seed(seed, false);
+        let sys = &scenario.system;
+        let config = scenario.scheduler_config();
+        let repro = scenario.repro();
+
+        for (mode, _) in sys.modes().take(2) {
+            for rounds in 1..=3 {
+                let instance = ilp::build_ilp(sys, mode, &config, rounds).expect("valid instance");
+                let findings = audit_model(&instance.model);
+                let errors: Vec<_> = findings
+                    .iter()
+                    .filter(|f| f.severity == AuditSeverity::Error)
+                    .collect();
+                assert!(
+                    errors.is_empty(),
+                    "generated model for {mode} at R={rounds} has audit errors \
+                     ({repro}): {errors:?}"
+                );
+                audited += 1;
+            }
+        }
+    }
+
+    if !knobs_overridden() {
+        assert!(audited > 0, "no model was audited");
+    }
+    eprintln!("model-audit sweep: {audited} generated models audited clean");
 }

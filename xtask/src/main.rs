@@ -1,0 +1,384 @@
+//! Repository source lints, run in CI as `cargo run -p xtask -- lint`.
+//!
+//! Hand-rolled on `std::fs` only (the build image has no network, so no
+//! external lint crates). Three invariants are enforced:
+//!
+//! 1. **Crate-root headers** — every crate root (`src/lib.rs` of the facade,
+//!    of each `crates/*` member and of each `vendor/*` shim) carries both
+//!    `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//! 2. **No `unwrap()`/`expect()` in non-test library code** — panicking
+//!    escape hatches are confined to `#[cfg(test)]` modules; vetted
+//!    exceptions live in `xtask/lint-allow.txt` as per-file budgets
+//!    (`path = count` lines), so new ones cannot slip in unreviewed.
+//! 3. **No wall-clock/date nondeterminism in bench code** — the committed
+//!    `BENCH_*.json` artifacts are diffed by the perf-regression gate, so
+//!    bench sources must not embed `SystemTime`/epoch-derived values
+//!    (`Instant` for duration measurement is fine and expected).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Substrings banned from bench sources: each one injects wall-clock or
+/// entropy state into artifacts that must be reproducible run to run.
+const BENCH_NONDETERMINISM: &[&str] = &["SystemTime", "UNIX_EPOCH", "thread_rng", "from_entropy"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 1 || args[0] != "lint" {
+        eprintln!("usage: cargo run -p xtask -- lint");
+        return ExitCode::from(2);
+    }
+
+    let root = workspace_root();
+    let allowlist = match load_allowlist(&root.join("xtask/lint-allow.txt")) {
+        Ok(allowlist) => allowlist,
+        Err(message) => {
+            eprintln!("xtask lint: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let violations = run_lints(&root, &allowlist);
+    if violations.is_empty() {
+        println!("xtask lint: OK");
+        ExitCode::SUCCESS
+    } else {
+        for violation in &violations {
+            eprintln!("xtask lint: {violation}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root is the parent of this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives one level below the workspace root")
+        .to_path_buf()
+}
+
+/// Runs all three lints rooted at `root` and returns every violation found.
+fn run_lints(root: &Path, allowlist: &BTreeMap<String, usize>) -> Vec<String> {
+    let mut violations = lint_crate_root_headers(root);
+    violations.extend(lint_no_unwrap(root, allowlist));
+    violations.extend(lint_bench_determinism(root));
+    violations
+}
+
+/// Parses `lint-allow.txt`: `#` comments, blank lines, and `path = budget`
+/// entries granting a file a fixed number of vetted `unwrap`/`expect` uses.
+fn load_allowlist(path: &Path) -> Result<BTreeMap<String, usize>, String> {
+    let mut allowlist = BTreeMap::new();
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(_) => return Ok(allowlist), // no allowlist file: empty budgets
+    };
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (file, budget) = line
+            .split_once('=')
+            .ok_or_else(|| format!("lint-allow.txt:{}: expected `path = count`", number + 1))?;
+        let budget: usize = budget
+            .trim()
+            .parse()
+            .map_err(|_| format!("lint-allow.txt:{}: count must be an integer", number + 1))?;
+        allowlist.insert(file.trim().to_string(), budget);
+    }
+    Ok(allowlist)
+}
+
+/// Crate roots that must carry the lint headers.
+fn crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![root.join("src/lib.rs")];
+    for dir in ["crates", "vendor"] {
+        let Ok(entries) = fs::read_dir(root.join(dir)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let lib = entry.path().join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+/// Lint 1: every crate root carries both safety/doc headers.
+fn lint_crate_root_headers(root: &Path) -> Vec<String> {
+    let mut violations = Vec::new();
+    for lib in crate_roots(root) {
+        let text = match fs::read_to_string(&lib) {
+            Ok(text) => text,
+            Err(e) => {
+                violations.push(format!("{}: unreadable: {e}", rel(root, &lib)));
+                continue;
+            }
+        };
+        for header in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+            if !text.contains(header) {
+                violations.push(format!("{}: missing `{header}`", rel(root, &lib)));
+            }
+        }
+    }
+    violations
+}
+
+/// Lint 2: no `unwrap()`/`expect()` outside `#[cfg(test)]` code, modulo the
+/// per-file budgets of the allowlist.
+fn lint_no_unwrap(root: &Path, allowlist: &BTreeMap<String, usize>) -> Vec<String> {
+    let mut violations = Vec::new();
+    for file in library_sources(root) {
+        let Ok(text) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let count = count_unwraps(&text);
+        let path = rel(root, &file);
+        let budget = allowlist.get(&path).copied().unwrap_or(0);
+        if count > budget {
+            violations.push(format!(
+                "{path}: {count} `unwrap()`/`expect()` call(s) in non-test code \
+                 (allowlist budget {budget}); handle the error or vet it in \
+                 xtask/lint-allow.txt"
+            ));
+        }
+    }
+    violations
+}
+
+/// Library sources subject to the unwrap lint: the facade's `src/` and every
+/// `crates/*/src/` tree. Vendored shims, tests, benches and examples are out
+/// of scope.
+fn library_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut dirs = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            dirs.push(entry.path().join("src"));
+        }
+    }
+    for dir in dirs {
+        collect_rs_files(&dir, &mut files);
+    }
+    files.sort();
+    files
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, files);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            files.push(path);
+        }
+    }
+}
+
+/// Counts `.unwrap()` / `.expect(` occurrences in the non-test, non-comment
+/// part of `text`.
+///
+/// Test code is recognized by the repo-wide convention that `#[cfg(test)]`
+/// introduces the trailing test module: everything from the first
+/// `#[cfg(test)]` line onward is ignored.
+fn count_unwraps(text: &str) -> usize {
+    let mut count = 0;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue; // doc and line comments
+        }
+        count += trimmed.matches(".unwrap()").count();
+        count += trimmed.matches(".expect(").count();
+    }
+    count
+}
+
+/// Lint 3: bench sources must not use wall-clock dates or entropy.
+fn lint_bench_determinism(root: &Path) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates/bench"), &mut files);
+    files.sort();
+    for file in files {
+        let Ok(text) = fs::read_to_string(&file) else {
+            continue;
+        };
+        for (number, line) in text.lines().enumerate() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("//") {
+                continue;
+            }
+            for banned in BENCH_NONDETERMINISM {
+                if trimmed.contains(banned) {
+                    violations.push(format!(
+                        "{}:{}: bench code must stay deterministic; found `{banned}`",
+                        rel(root, &file),
+                        number + 1
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// `path` relative to `root`, with `/` separators (stable lint output).
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch workspace under the target-adjacent temp dir; removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(name: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("xtask-lint-{}-{name}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).expect("scratch dir");
+            Scratch(dir)
+        }
+
+        fn write(&self, path: &str, content: &str) {
+            let full = self.0.join(path);
+            fs::create_dir_all(full.parent().expect("parent")).expect("mkdir");
+            fs::write(full, content).expect("write");
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    const CLEAN_LIB: &str = "//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
+
+    #[test]
+    fn missing_headers_are_violations() {
+        let scratch = Scratch::new("headers");
+        scratch.write("src/lib.rs", CLEAN_LIB);
+        scratch.write("crates/bad/src/lib.rs", "//! Docs but no headers.\n");
+        let violations = lint_crate_root_headers(&scratch.0);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("crates/bad/src/lib.rs"));
+        assert!(violations[0].contains("forbid(unsafe_code)"));
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_a_violation_and_budgets_vet_it() {
+        let scratch = Scratch::new("unwrap");
+        scratch.write("src/lib.rs", CLEAN_LIB);
+        scratch.write(
+            "crates/bad/src/lib.rs",
+            "fn f() { Some(1).unwrap(); }\nfn g() { Some(1).expect(\"x\"); }\n",
+        );
+        let empty = BTreeMap::new();
+        let violations = lint_no_unwrap(&scratch.0, &empty);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("2 `unwrap()`"));
+
+        let mut vetted = BTreeMap::new();
+        vetted.insert("crates/bad/src/lib.rs".to_string(), 2);
+        assert!(lint_no_unwrap(&scratch.0, &vetted).is_empty());
+    }
+
+    #[test]
+    fn test_modules_and_comments_are_exempt() {
+        let source = "fn f() -> Option<u8> { None }\n\
+                      // a comment mentioning .unwrap() is fine\n\
+                      /// so is a doc comment with .expect(\n\
+                      #[cfg(test)]\n\
+                      mod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert_eq!(count_unwraps(source), 0);
+        assert_eq!(count_unwraps("fn f() { x.unwrap_or(0); }"), 0);
+        assert_eq!(count_unwraps("fn f() { x.unwrap(); }"), 1);
+    }
+
+    #[test]
+    fn bench_nondeterminism_is_a_violation() {
+        let scratch = Scratch::new("bench");
+        scratch.write(
+            "crates/bench/benches/seeded.rs",
+            "use std::time::SystemTime;\nfn stamp() { let _ = SystemTime::now(); }\n",
+        );
+        let violations = lint_bench_determinism(&scratch.0);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("SystemTime"));
+    }
+
+    #[test]
+    fn allowlist_parses_budgets_and_rejects_garbage() {
+        let scratch = Scratch::new("allow");
+        scratch.write(
+            "xtask/lint-allow.txt",
+            "# vetted exceptions\ncrates/core/src/x.rs = 3\n\n",
+        );
+        let allowlist = load_allowlist(&scratch.0.join("xtask/lint-allow.txt")).expect("parses");
+        assert_eq!(allowlist.get("crates/core/src/x.rs"), Some(&3));
+
+        scratch.write("xtask/lint-allow.txt", "no-equals-sign\n");
+        assert!(load_allowlist(&scratch.0.join("xtask/lint-allow.txt")).is_err());
+    }
+
+    #[test]
+    fn missing_allowlist_file_means_empty_budgets() {
+        let scratch = Scratch::new("noallow");
+        let allowlist = load_allowlist(&scratch.0.join("xtask/lint-allow.txt")).expect("ok");
+        assert!(allowlist.is_empty());
+    }
+
+    /// The acceptance criterion: the real repository passes its own lint.
+    #[test]
+    fn repository_is_lint_clean() {
+        let root = workspace_root();
+        let allowlist = load_allowlist(&root.join("xtask/lint-allow.txt")).expect("parses");
+        let violations = run_lints(&root, &allowlist);
+        assert!(
+            violations.is_empty(),
+            "repo lint violations: {violations:#?}"
+        );
+    }
+
+    /// The negative acceptance test: seeding a violation makes the lint fail.
+    #[test]
+    fn seeded_violation_fails_the_full_lint() {
+        let scratch = Scratch::new("seeded");
+        scratch.write("src/lib.rs", CLEAN_LIB);
+        scratch.write(
+            "crates/seeded/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n\
+             fn f() { Some(1).unwrap(); }\n",
+        );
+        let violations = run_lints(&scratch.0, &BTreeMap::new());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+    }
+}
