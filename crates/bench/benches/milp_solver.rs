@@ -30,6 +30,22 @@ fn fig3_ilp() -> ttw_core::ilp::IlpInstance {
     ttw_core::ilp::build_ilp(&sys, mode, &config, 2).expect("valid instance")
 }
 
+/// Prints the deterministic work counters of one MILP solve so the bench log
+/// shows tree size and cut activity next to the wall-clock samples.
+fn report_counters(name: &str, solution: &ttw_milp::Solution) {
+    eprintln!(
+        "{name}: milp_nodes={} simplex_iterations={} cuts_added={} cut_rounds={} \
+         pseudocost_branchings={} strong_branch_probes={} pump_incumbents={}",
+        solution.nodes_explored,
+        solution.simplex_iterations,
+        solution.cuts_added,
+        solution.cut_rounds,
+        solution.pseudocost_branchings,
+        solution.strong_branch_probes,
+        solution.pump_incumbents,
+    );
+}
+
 fn bench_milp(c: &mut Criterion) {
     let instance = fig3_ilp();
     eprintln!(
@@ -37,6 +53,14 @@ fn bench_milp(c: &mut Criterion) {
         instance.model.num_vars(),
         instance.model.num_constraints()
     );
+    // One counted solve per scenario up front: nodes and cuts are
+    // deterministic, so a single solve characterizes every timed iteration.
+    for n in [10usize, 30] {
+        let model = knapsack(n);
+        report_counters(&format!("knapsack{n}"), &model.solve().unwrap());
+    }
+    report_counters("fig3_full_milp", &instance.model.solve().unwrap());
+    eprintln!();
 
     let mut group = c.benchmark_group("milp_solver");
     group.sample_size(10);

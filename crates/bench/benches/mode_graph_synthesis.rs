@@ -243,6 +243,20 @@ fn write_bench_json(
             "analyze_fast_fails".into(),
             num(result.total_analyze_fast_fails() as f64),
         );
+        map.insert("cuts_added".into(), num(result.total_cuts_added() as f64));
+        map.insert("cut_rounds".into(), num(result.total_cut_rounds() as f64));
+        map.insert(
+            "pseudocost_branchings".into(),
+            num(result.total_pseudocost_branchings() as f64),
+        );
+        map.insert(
+            "strong_branch_probes".into(),
+            num(result.total_strong_branch_probes() as f64),
+        );
+        map.insert(
+            "pump_incumbents".into(),
+            num(result.total_pump_incumbents() as f64),
+        );
         Value::Object(map)
     };
     let mut strategies = BTreeMap::new();

@@ -94,6 +94,11 @@ struct Measurement {
     candidate_list_size: usize,
     analyze_fast_fails: usize,
     analyze_micros: f64,
+    cuts_added: usize,
+    cut_rounds: usize,
+    pseudocost_branchings: usize,
+    strong_branch_probes: usize,
+    pump_incumbents: usize,
 }
 
 /// Median wall time (µs) of the full `ttw-analyze` static pass — timed at
@@ -163,6 +168,11 @@ fn measure(shape: GraphShape, num_modes: usize, samples: usize) -> Measurement {
         candidate_list_size: parallel.max_candidate_list_size(),
         analyze_fast_fails: parallel.total_analyze_fast_fails(),
         analyze_micros: analyze_micros(&scenario, samples),
+        cuts_added: parallel.total_cuts_added(),
+        cut_rounds: parallel.total_cut_rounds(),
+        pseudocost_branchings: parallel.total_pseudocost_branchings(),
+        strong_branch_probes: parallel.total_strong_branch_probes(),
+        pump_incumbents: parallel.total_pump_incumbents(),
     }
 }
 
@@ -248,6 +258,17 @@ fn write_bench_json(measurements: &[Measurement], infeasible: &[InfeasibleMeasur
             num(m.analyze_fast_fails as f64),
         );
         map.insert("analyze_micros".into(), num(m.analyze_micros));
+        map.insert("cuts_added".into(), num(m.cuts_added as f64));
+        map.insert("cut_rounds".into(), num(m.cut_rounds as f64));
+        map.insert(
+            "pseudocost_branchings".into(),
+            num(m.pseudocost_branchings as f64),
+        );
+        map.insert(
+            "strong_branch_probes".into(),
+            num(m.strong_branch_probes as f64),
+        );
+        map.insert("pump_incumbents".into(), num(m.pump_incumbents as f64));
         scenarios.insert(format!("{}_n{}", m.shape, m.num_modes), Value::Object(map));
     }
 

@@ -249,6 +249,20 @@ fn stats_to_value(stats: &SynthesisStats) -> Value {
         "analyze_fast_fails".into(),
         Value::Number(stats.analyze_fast_fails as f64),
     );
+    map.insert("cuts_added".into(), Value::Number(stats.cuts_added as f64));
+    map.insert("cut_rounds".into(), Value::Number(stats.cut_rounds as f64));
+    map.insert(
+        "pseudocost_branchings".into(),
+        Value::Number(stats.pseudocost_branchings as f64),
+    );
+    map.insert(
+        "strong_branch_probes".into(),
+        Value::Number(stats.strong_branch_probes as f64),
+    );
+    map.insert(
+        "pump_incumbents".into(),
+        Value::Number(stats.pump_incumbents as f64),
+    );
     Value::Object(map)
 }
 
@@ -287,6 +301,11 @@ fn stats_from_value(value: &Value) -> Result<SynthesisStats, JsonError> {
         devex_resets: optional_usize(map, "devex_resets")?,
         candidate_list_size: optional_usize(map, "candidate_list_size")?,
         analyze_fast_fails: optional_usize(map, "analyze_fast_fails")?,
+        cuts_added: optional_usize(map, "cuts_added")?,
+        cut_rounds: optional_usize(map, "cut_rounds")?,
+        pseudocost_branchings: optional_usize(map, "pseudocost_branchings")?,
+        strong_branch_probes: optional_usize(map, "strong_branch_probes")?,
+        pump_incumbents: optional_usize(map, "pump_incumbents")?,
     })
 }
 

@@ -64,8 +64,14 @@ pub struct IlpInstance {
     hyper: f64,
     /// Strict-inequality epsilon (`mm` in the paper).
     mm: f64,
-    /// Objective weight of the anchoring tie-break terms.
+    /// Base objective weight of the anchoring tie-break terms.
     tie_break: f64,
+    /// Anchor-sequence index of the first round-start variable (the offset
+    /// and deadline anchors come first); with `anchor_terms` it gives every
+    /// incrementally added round its distinct anchor weight.
+    anchor_base: usize,
+    /// Total anchor-term count the weights are normalized against.
+    anchor_terms: f64,
     /// Per-message wrap-around ("leftover") binaries `r0`.
     leftover: BTreeMap<MessageId, VarId>,
     /// Per-message total-allocation equality rows (C4.4); new rounds join
@@ -133,7 +139,9 @@ impl IlpInstance {
             .model
             .add_continuous(format!("r[{j}]"), 0.0, (self.hyper - 1.0).max(0.0));
         self.vars.round_start.push(r_j);
-        self.model.add_objective_term(r_j, self.tie_break);
+        let anchor =
+            self.tie_break * (1.0 + (self.anchor_base + j + 1) as f64 / (self.anchor_terms + 1.0));
+        self.model.add_objective_term(r_j, anchor);
 
         // C2 — rounds are ordered and (optionally) gap-bounded (Eq. 24, 25).
         if j > 0 {
@@ -372,10 +380,14 @@ pub fn build_ilp_inherited(
     // ------------------------------------------------------------------
     // Objective: minimize the sum of application latencies (Eq. 49).
     //
-    // A tiny tie-breaking term on the task offsets and round starts anchors
-    // otherwise translation-equivalent optima at the beginning of the
-    // hyperperiod, which makes the synthesized schedules deterministic and
-    // easier to read. The weight is small enough never to trade latency for
+    // A tiny tie-breaking term on the task offsets, message offsets and
+    // deadlines, and round starts anchors otherwise translation-equivalent
+    // optima at the beginning of the hyperperiod, which makes the synthesized
+    // schedules deterministic and easier to read — and, crucially,
+    // *search-path independent*: solver features that only reshape the
+    // branch-and-bound tree (cutting planes, branching order, the feasibility
+    // pump) land on the same vertex, which the differential harness checks
+    // byte-for-byte. The weight is small enough never to trade latency for
     // offset (latencies are ≥ 1 round = 1 time unit, the tie-break sums to
     // far less than 1e-3 time units). It is normalized against the *largest*
     // round count the instance could grow to, so incrementally added rounds
@@ -383,10 +395,27 @@ pub fn build_ilp_inherited(
     // ------------------------------------------------------------------
     let mut objective = LinExpr::from_terms(vars.app_latency.values().map(|&v| (v, 1.0)));
     let max_rounds = (hyper_us / config.round_duration) as usize;
-    let num_anchor_terms = (vars.task_offset.len() + max_rounds).max(1) as f64;
+    let num_anchor_terms =
+        (vars.task_offset.len() + 2 * vars.message_offset.len() + max_rounds).max(1) as f64;
     let tie_break = 1e-4 / (num_anchor_terms * hyper.max(1.0));
+    // Every anchored variable gets a *distinct* weight (all within a factor
+    // of two of `tie_break`): under one uniform weight, permutation-symmetric
+    // optima — two tasks trading the 0 and hyperperiod ends of a wrap, say —
+    // have equal anchor sums and the vertex stays ambiguous, defeating the
+    // search-path independence the anchoring exists to provide.
+    let anchor_weight = |k: usize| tie_break * (1.0 + (k + 1) as f64 / (num_anchor_terms + 1.0));
+    let mut anchor_index = 0usize;
     for &v in vars.task_offset.values() {
-        objective.add_term(v, tie_break);
+        objective.add_term(v, anchor_weight(anchor_index));
+        anchor_index += 1;
+    }
+    for &v in vars.message_offset.values() {
+        objective.add_term(v, anchor_weight(anchor_index));
+        anchor_index += 1;
+    }
+    for &v in vars.message_deadline.values() {
+        objective.add_term(v, anchor_weight(anchor_index));
+        anchor_index += 1;
     }
     model.set_objective_expr(Sense::Minimize, objective);
 
@@ -582,6 +611,8 @@ pub fn build_ilp_inherited(
         hyper,
         mm,
         tie_break,
+        anchor_base: anchor_index,
+        anchor_terms: num_anchor_terms,
         leftover,
         c44,
         warm_basis: None,
@@ -614,6 +645,24 @@ pub fn build_ilp_inherited(
     Ok(instance)
 }
 
+/// Re-solves the instance's LP with every integral variable fixed to its
+/// rounded optimum, yielding canonical continuous values (see the comment in
+/// [`extract_schedule`]). Returns `None` when the polish solve does not reach
+/// an optimum — the caller then keeps the raw branch-and-bound values.
+fn polish_continuous(instance: &IlpInstance, solution: &Solution) -> Option<Solution> {
+    let mut lp = instance.model.clone();
+    for (id, var) in instance.model.variables() {
+        if var.kind.is_integral() {
+            let fixed = solution.value(id).round().clamp(var.lower, var.upper);
+            lp.fix_var(id, fixed);
+        }
+    }
+    match lp.solve_relaxation() {
+        Ok(polished) if polished.is_optimal() => Some(polished),
+        _ => None,
+    }
+}
+
 /// Converts an optimal MILP solution back into a [`ModeSchedule`].
 ///
 /// # Panics
@@ -633,6 +682,16 @@ pub fn extract_schedule(
     );
     let tr = instance.scale;
     let vars = &instance.vars;
+
+    // Canonical continuous values: the branch-and-bound path (warm starts,
+    // cutting planes, branching order) leaves path-dependent float noise in
+    // the offsets. With the integer assignment fixed, a cold LP re-solve is
+    // deterministic in the model alone, so every solver configuration that
+    // reaches the same integers exports byte-identical schedules (the
+    // differential harness compares them byte-for-byte). Falls back to the
+    // raw solution values if the polish solve fails for any reason.
+    let polished = polish_continuous(instance, solution);
+    let solution = polished.as_ref().unwrap_or(solution);
 
     let task_offsets = vars
         .task_offset

@@ -52,6 +52,19 @@ pub struct SynthesisStats {
     /// infeasibility certificate before any ILP was built (in which case every
     /// other counter stays 0), `0` otherwise.
     pub analyze_fast_fails: usize,
+    /// Cutting planes accepted into the root LP over all attempts.
+    pub cuts_added: usize,
+    /// Root cut-separation rounds that added at least one cut, over all
+    /// attempts.
+    pub cut_rounds: usize,
+    /// Branching decisions taken from pseudocost averages alone, over all
+    /// attempts.
+    pub pseudocost_branchings: usize,
+    /// Strong-branching dual-simplex probes spent initializing pseudocosts,
+    /// over all attempts.
+    pub strong_branch_probes: usize,
+    /// Incumbents contributed by the feasibility pump over all attempts.
+    pub pump_incumbents: usize,
 }
 
 /// The complete static schedule of one operation mode: task offsets, message
@@ -229,6 +242,31 @@ impl SystemSchedule {
         self.stats.values().map(|s| s.analyze_fast_fails).sum()
     }
 
+    /// Total cutting planes accepted into root LPs over every attempted mode.
+    pub fn total_cuts_added(&self) -> usize {
+        self.stats.values().map(|s| s.cuts_added).sum()
+    }
+
+    /// Total root cut-separation rounds over every attempted mode.
+    pub fn total_cut_rounds(&self) -> usize {
+        self.stats.values().map(|s| s.cut_rounds).sum()
+    }
+
+    /// Total pseudocost-only branching decisions over every attempted mode.
+    pub fn total_pseudocost_branchings(&self) -> usize {
+        self.stats.values().map(|s| s.pseudocost_branchings).sum()
+    }
+
+    /// Total strong-branching probes over every attempted mode.
+    pub fn total_strong_branch_probes(&self) -> usize {
+        self.stats.values().map(|s| s.strong_branch_probes).sum()
+    }
+
+    /// Total feasibility-pump incumbents over every attempted mode.
+    pub fn total_pump_incumbents(&self) -> usize {
+        self.stats.values().map(|s| s.pump_incumbents).sum()
+    }
+
     /// Largest partial-pricing segment any attempted mode used.
     pub fn max_candidate_list_size(&self) -> usize {
         self.stats
@@ -308,6 +346,9 @@ mod tests {
         let mut sched = sample_schedule();
         sched.stats.milp_nodes = 7;
         sched.stats.simplex_iterations = 11;
+        sched.stats.cuts_added = 4;
+        sched.stats.cut_rounds = 2;
+        sched.stats.pump_incumbents = 1;
         ss.stats.insert(mode, sched.stats.clone());
         ss.schedules.insert(mode, sched);
         ss.inheritance.insert(mode, BTreeMap::new());
@@ -319,6 +360,8 @@ mod tests {
                 rounds_attempted: vec![1, 2],
                 milp_nodes: 3,
                 simplex_iterations: 5,
+                cuts_added: 1,
+                strong_branch_probes: 6,
                 ..SynthesisStats::default()
             },
         );
@@ -327,6 +370,11 @@ mod tests {
         assert!(ss.get(failed).is_none());
         assert_eq!(ss.total_milp_nodes(), 10);
         assert_eq!(ss.total_simplex_iterations(), 16);
+        assert_eq!(ss.total_cuts_added(), 5);
+        assert_eq!(ss.total_cut_rounds(), 2);
+        assert_eq!(ss.total_pseudocost_branchings(), 0);
+        assert_eq!(ss.total_strong_branch_probes(), 6);
+        assert_eq!(ss.total_pump_incumbents(), 1);
         assert_eq!(ss.to_vec().len(), 1);
         assert_eq!(
             ss.inherited_source(mode, crate::ids::AppId::from_index(0)),

@@ -208,6 +208,11 @@ impl Synthesizer for IlpSynthesizer {
             stats.milp_nodes += solution.nodes_explored;
             stats.simplex_iterations += solution.simplex_iterations;
             stats.devex_resets += solution.devex_resets;
+            stats.cuts_added += solution.cuts_added;
+            stats.cut_rounds += solution.cut_rounds;
+            stats.pseudocost_branchings += solution.pseudocost_branchings;
+            stats.strong_branch_probes += solution.strong_branch_probes;
+            stats.pump_incumbents += solution.pump_incumbents;
             // Shape-dependent counters reflect the final (largest) attempt.
             stats.presolve_rows_removed = solution.presolve_rows_removed;
             stats.presolve_cols_removed = solution.presolve_cols_removed;

@@ -6,25 +6,89 @@
 //! reoptimizes with the **dual simplex** — after a single bound change the
 //! parent basis stays dual feasible, so a child typically needs a handful of
 //! pivots instead of a full two-phase solve.
+//!
+//! Three tree-shrinking layers run before and during the search (each
+//! toggleable via [`crate::SolveParams`]):
+//!
+//! 1. **Root cutting planes** ([`crate::cuts`]): rounds of Gomory
+//!    mixed-integer and lifted cover cuts tighten the root relaxation, so the
+//!    whole tree starts from a stronger bound.
+//! 2. **A feasibility pump** rounds the root optimum into an early incumbent,
+//!    giving best-bound pruning teeth from node 1.
+//! 3. **Pseudocost branching** with reliability-initialized strong-branching
+//!    probes replaces lowest-index-first variable selection; probe objectives
+//!    double as child bounds and can fathom a node outright. Every node LP
+//!    additionally feeds the realized objective degradation of the branching
+//!    that created it back into the pseudocost averages, so the selector
+//!    keeps learning even where probes never ran. Probes themselves are
+//!    rationed: they start only once the tree outgrows [`PROBE_MIN_NODES`]
+//!    (small trees close faster than probes pay for themselves), stop below
+//!    depth [`PROBE_MAX_DEPTH`], and their *order* follows the solve's
+//!    provenance — cold solves with pinned columns trust the structural
+//!    (lowest-index) variable order as a prior, while pin-free or warm
+//!    solves probe in pseudocost-score order.
 
+use crate::cuts::{lp_with_cuts, separate_round, CutPool};
 use crate::error::SolveError;
-use crate::model::Model;
+use crate::model::{Model, SolveParams};
 use crate::presolve::NodeSolver;
-use crate::simplex::{Basis, LpStatus, SparseLp, Warm};
+use crate::simplex::{solve_sparse, Basis, LpStatus, SparseLp, Warm};
 use crate::solution::{Solution, Status};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
 
+/// Feasibility-pump iteration budget (projection/rounding alternations).
+const PUMP_MAX_ROUNDS: usize = 6;
+/// Pivot budget of a single pump LP (fixed-integer check or L1 projection).
+/// The pump is a heuristic: a rounding whose check LP cannot be reoptimized
+/// within this budget is treated as a miss, and a projection that cannot is
+/// abandoned outright — the tree search never depends on either answer.
+const PUMP_ITER_CAP: usize = 32;
+/// Most fractional coordinates flipped to escape a pump cycle.
+const PUMP_FLIPS: usize = 3;
+/// Pivot budget of a single strong-branching probe LP. Probes are
+/// estimators, not solvers: a probe that cannot reoptimize within this many
+/// dual pivots returns [`ProbeOutcome::Unknown`] instead of burning the
+/// node budget (the child solve will pay the full price exactly once,
+/// if the branch is ever taken).
+const PROBE_ITER_CAP: usize = 64;
+/// Strong-branching candidates probed per node (two LP probes each).
+const PROBE_CANDIDATES_PER_NODE: usize = 4;
+/// Deepest node at which strong-branching probes run. The top of the tree
+/// is where a bad branching choice multiplies; below this depth the
+/// accumulated pseudocost averages are used as-is, so small trees stop
+/// paying probe LPs for decisions that barely matter.
+const PROBE_MAX_DEPTH: usize = 8;
+/// Tree size before strong-branching probes start. A tree this small
+/// closes faster than the probe LPs it would buy; once it outgrows the
+/// trigger, the realized-degradation observations gathered meanwhile give
+/// the probe order (and the product rule) real measurements to work with.
+const PROBE_MIN_NODES: usize = 24;
+/// Tree size at which cold solves stop probing in structural order and
+/// switch to score order: past this many nodes the structural prior has
+/// demonstrably not closed the tree, and the accumulated pseudocosts are
+/// the better guide.
+const PROBE_STRUCTURAL_NODE_LIMIT: usize = 128;
+/// Score floor for the pseudocost product rule.
+const SCORE_EPS: f64 = 1e-12;
+
 /// A subproblem: the variable bounds of the node and the LP bound of its parent.
 #[derive(Debug, Clone)]
 struct Node {
     bounds: Vec<(f64, f64)>,
-    /// Lower bound on the node's optimal value (its parent's LP objective).
+    /// Lower bound on the node's optimal value (its parent's LP objective,
+    /// or the tighter strong-branching probe objective when one was run).
     bound: f64,
     depth: usize,
     /// The parent's optimal basis, used to warm-start the dual simplex.
     warm: Option<Rc<Basis>>,
+    /// The branching that created this node — (variable, down-branch?,
+    /// parent fractionality, parent LP objective). Once this node's own LP
+    /// solves, the measured objective degradation is fed back into the
+    /// pseudocost averages, so branching teaches the selector even where
+    /// probes never ran.
+    branched: Option<(usize, bool, f64, f64)>,
 }
 
 /// Orders nodes so the [`BinaryHeap`] pops the smallest LP bound first
@@ -51,6 +115,103 @@ impl Ord for Node {
     }
 }
 
+/// Per-variable up/down objective-degradation averages (pseudocosts).
+///
+/// `record_*` feeds a measured degradation *per unit of fractionality*;
+/// `estimate_*` multiplies the average back by the fractional distance. A
+/// variable with no observations in a direction borrows the global average
+/// over all variables, the textbook initialization.
+struct Pseudocosts {
+    down_sum: Vec<f64>,
+    down_count: Vec<usize>,
+    up_sum: Vec<f64>,
+    up_count: Vec<usize>,
+}
+
+impl Pseudocosts {
+    fn new(nvars: usize) -> Self {
+        Pseudocosts {
+            down_sum: vec![0.0; nvars],
+            down_count: vec![0usize; nvars],
+            up_sum: vec![0.0; nvars],
+            up_count: vec![0usize; nvars],
+        }
+    }
+
+    fn record_down(&mut self, var: usize, per_unit: f64) {
+        self.down_sum[var] += per_unit.max(0.0);
+        self.down_count[var] += 1;
+    }
+
+    fn record_up(&mut self, var: usize, per_unit: f64) {
+        self.up_sum[var] += per_unit.max(0.0);
+        self.up_count[var] += 1;
+    }
+
+    /// Average of all observations in one direction, or 1.0 before any exist.
+    fn global_average(sum: &[f64], count: &[usize]) -> f64 {
+        let n: usize = count.iter().sum();
+        if n == 0 {
+            1.0
+        } else {
+            sum.iter().sum::<f64>() / n as f64
+        }
+    }
+
+    fn estimate_down(&self, var: usize, frac: f64) -> f64 {
+        let avg = if self.down_count[var] > 0 {
+            self.down_sum[var] / self.down_count[var] as f64
+        } else {
+            Self::global_average(&self.down_sum, &self.down_count)
+        };
+        avg * frac
+    }
+
+    fn estimate_up(&self, var: usize, frac: f64) -> f64 {
+        let avg = if self.up_count[var] > 0 {
+            self.up_sum[var] / self.up_count[var] as f64
+        } else {
+            Self::global_average(&self.up_sum, &self.up_count)
+        };
+        avg * (1.0 - frac)
+    }
+
+    /// `true` once both directions have enough observations to skip probing.
+    fn reliable(&self, var: usize, reliability: usize) -> bool {
+        self.down_count[var] >= reliability && self.up_count[var] >= reliability
+    }
+}
+
+/// Outcome of branching-variable selection at one node.
+enum BranchDecision {
+    /// Branch on `var` (fractional LP value `value`); the child bounds and
+    /// feasibility flags come from strong-branching probes when they ran.
+    Branch {
+        var: usize,
+        value: f64,
+        down_bound: f64,
+        down_feasible: bool,
+        up_bound: f64,
+        up_feasible: bool,
+    },
+    /// Strong branching proved both children infeasible: the node holds no
+    /// integer point at all.
+    Fathom,
+}
+
+/// Mutable solve-wide counters threaded through the tree search.
+#[derive(Default)]
+struct Counters {
+    nodes_explored: usize,
+    simplex_iterations: usize,
+    devex_resets: usize,
+    cuts_added: usize,
+    cut_rounds: usize,
+    pseudocost_branchings: usize,
+    strong_branch_probes: usize,
+    pump_incumbents: usize,
+}
+
 /// Solves the mixed-integer program by branch-and-bound.
 ///
 /// The returned objective is expressed in the user's optimization sense.
@@ -62,8 +223,8 @@ pub(crate) fn solve(model: &Model) -> Result<Solution, SolveError> {
 /// from `warm` (a [`Basis`] snapshot of an earlier, related solve).
 ///
 /// Returns the solution together with the optimal basis of the **root**
-/// relaxation, which callers growing the model incrementally feed back into
-/// the next solve.
+/// relaxation *of the base model* (cut rows excluded, so the snapshot stays
+/// valid for callers growing the model incrementally and feeding it back).
 pub(crate) fn solve_warm(
     model: &Model,
     warm: Option<&Basis>,
@@ -91,29 +252,34 @@ pub(crate) fn solve_warm(
     // Presolve reduces it once per tree (fixed columns out, empty/singleton
     // rows folded into bounds); every node then solves the reduction and maps
     // results back, so warm-started bases stay in the original numbering.
-    let lp = SparseLp::from_model(model);
+    let base_lp = SparseLp::from_model(model);
     let integral: Vec<bool> = model
         .variables()
         .map(|(_, v)| v.kind.is_integral())
         .collect();
-    let Some(solver) = NodeSolver::build(&lp, &root_bounds, &integral, params.presolve) else {
+    let Some(base_solver) = NodeSolver::build(&base_lp, &root_bounds, &integral, params.presolve)
+    else {
         // Presolve proved the root infeasible before a single pivot.
         return Ok((Solution::infeasible(0, 0), None));
     };
-    let (presolve_rows, presolve_cols) = solver.presolve_stats();
 
-    let mut nodes_explored = 0usize;
-    let mut simplex_iterations = 0usize;
-    let mut devex_resets = 0usize;
+    let mut counters = Counters::default();
 
+    // Strong-branching probe order follows the solve's provenance: a warm
+    // basis or pinned (fixed-bound) columns mark an incremental-style
+    // instance whose structural variable order is a trustworthy prior; a
+    // pin-free cold instance is a fresh problem, probed by score instead.
+    // See `select_branch_var`.
+    let probe_structural = warm.is_none() && root_bounds.iter().any(|&(lo, hi)| lo >= hi);
     let root_warm = match warm {
         Some(basis) => Warm::Primal(basis),
         None => Warm::Cold,
     };
-    let (root_lp, root_basis) = solver.solve(&lp, &root_bounds, max_iters, root_warm)?;
-    simplex_iterations += root_lp.iterations;
-    devex_resets += root_lp.devex_resets;
+    let (root_lp, root_basis) = base_solver.solve(&base_lp, &root_bounds, max_iters, root_warm)?;
+    counters.simplex_iterations += root_lp.iterations;
+    counters.devex_resets += root_lp.devex_resets;
     let candidate_list_size = root_lp.candidate_list_size;
+    let (presolve_rows, presolve_cols) = base_solver.presolve_stats();
 
     // Pure LPs never need branching.
     if integer_vars.is_empty() {
@@ -123,15 +289,15 @@ pub(crate) fn solve_warm(
                 model.signed_objective(root_lp.objective),
                 root_lp.values,
                 0,
-                simplex_iterations,
+                counters.simplex_iterations,
             ),
-            LpStatus::Infeasible => Solution::infeasible(0, simplex_iterations),
-            LpStatus::Unbounded => Solution::unbounded(0, simplex_iterations),
+            LpStatus::Infeasible => Solution::infeasible(0, counters.simplex_iterations),
+            LpStatus::Unbounded => Solution::unbounded(0, counters.simplex_iterations),
         };
         let solution = solution.with_counters(
             presolve_rows,
             presolve_cols,
-            devex_resets,
+            counters.devex_resets,
             candidate_list_size,
         );
         return Ok((solution, root_basis));
@@ -139,102 +305,191 @@ pub(crate) fn solve_warm(
 
     match root_lp.status {
         LpStatus::Infeasible => {
-            let solution = Solution::infeasible(1, simplex_iterations).with_counters(
+            let solution = Solution::infeasible(1, counters.simplex_iterations).with_counters(
                 presolve_rows,
                 presolve_cols,
-                devex_resets,
+                counters.devex_resets,
                 candidate_list_size,
             );
             return Ok((solution, None));
         }
         LpStatus::Unbounded => {
-            let solution = Solution::unbounded(1, simplex_iterations).with_counters(
+            let solution = Solution::unbounded(1, counters.simplex_iterations).with_counters(
                 presolve_rows,
                 presolve_cols,
-                devex_resets,
+                counters.devex_resets,
                 candidate_list_size,
             );
             return Ok((solution, None));
         }
         LpStatus::Optimal => {}
     }
-    let shared_root_basis = root_basis.clone().map(Rc::new);
 
-    let mut heap = BinaryHeap::new();
-    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    // The caller gets the *base-space* root basis back: it stays valid for
+    // the grow-and-resolve warm-start chain even though the tree below may
+    // solve an LP extended by cut rows.
+    let caller_basis = root_basis.clone();
 
-    // Seed the search with the root's children (or accept the root outright).
-    let enqueue_children = |heap: &mut BinaryHeap<Node>,
-                            incumbent: &mut Option<(f64, Vec<f64>)>,
-                            bounds: &[(f64, f64)],
-                            lp_objective: f64,
-                            lp_values: Vec<f64>,
-                            depth: usize,
-                            warm: Option<Rc<Basis>>| {
-        // Branch on the lowest-index fractional integer variable. The TTW
-        // models create the structural decision binaries (wrap-around `r0`,
-        // precedence `σ`) before the counting integers (`y`, `ka`, `kd`), so
-        // index order branches the variables that *shape* the schedule first
-        // and lets bound propagation settle the counters — measured at
-        // 30–60% fewer pivots than most-fractional branching across the
-        // fixture and generated workloads.
-        let mut branch_var: Option<(usize, f64)> = None; // (var, value)
-        for &vi in &integer_vars {
-            let val = lp_values[vi];
-            let frac = (val - val.round()).abs();
-            if frac > int_tol {
-                branch_var = Some((vi, val));
+    // ------------------------------------------------------------------
+    // Root cutting loop: separate, filter through the pool, reoptimize.
+    // ------------------------------------------------------------------
+    let mut tree_lp: Option<SparseLp> = None;
+    let mut tree_solver: Option<NodeSolver> = None;
+    let mut root = root_lp;
+    let mut basis = root_basis;
+    let mut pool = CutPool::new();
+
+    if params.cuts {
+        for _ in 0..params.max_cut_rounds {
+            let Some(b) = basis.as_ref() else { break };
+            let lp_ref = tree_lp.as_ref().unwrap_or(&base_lp);
+            let candidates = separate_round(lp_ref, &root_bounds, &integral, b, &root.values);
+            let mut added = 0usize;
+            for cut in candidates {
+                if pool.try_add(cut, &root.values) {
+                    added += 1;
+                }
+            }
+            if added == 0 {
                 break;
             }
-        }
-        match branch_var {
-            None => {
-                // Integral solution: new incumbent if it improves.
-                let better = incumbent
-                    .as_ref()
-                    .map(|(best, _)| lp_objective < *best)
-                    .unwrap_or(true);
-                if better {
-                    *incumbent = Some((lp_objective, lp_values));
-                }
-            }
-            Some((vi, val)) => {
-                let floor = val.floor();
-                let ceil = val.ceil();
-                let (lo, hi) = bounds[vi];
-                if floor >= lo {
-                    let mut b = bounds.to_vec();
-                    b[vi].1 = floor;
-                    heap.push(Node {
-                        bounds: b,
-                        bound: lp_objective,
-                        depth: depth + 1,
-                        warm: warm.clone(),
-                    });
-                }
-                if ceil <= hi {
-                    let mut b = bounds.to_vec();
-                    b[vi].0 = ceil;
-                    heap.push(Node {
-                        bounds: b,
-                        bound: lp_objective,
-                        depth: depth + 1,
-                        warm,
-                    });
-                }
-            }
-        }
-    };
+            counters.cuts_added += added;
+            counters.cut_rounds += 1;
 
-    nodes_explored += 1;
-    enqueue_children(
+            let new_lp = lp_with_cuts(&base_lp, pool.cuts());
+            let Some(new_solver) =
+                NodeSolver::build(&new_lp, &root_bounds, &integral, params.presolve)
+            else {
+                // Every cut is valid for every integer point, so an
+                // infeasible tightened root proves the MILP infeasible.
+                return Ok((
+                    finish_infeasible(&counters, presolve_rows, presolve_cols, candidate_list_size),
+                    caller_basis,
+                ));
+            };
+            // The extended LP only ever *grew* relative to the basis (rows
+            // appended), so a primal warm start applies directly.
+            let warm_primal = basis.as_ref().map_or(Warm::Cold, Warm::Primal);
+            let (res, new_basis) =
+                match new_solver.solve(&new_lp, &root_bounds, max_iters, warm_primal) {
+                    Ok(solved) => solved,
+                    // A tightened root can be numerically harder than the
+                    // model itself. A dead end here only rejects this cut
+                    // round — the previous root and LP stay valid.
+                    Err(SolveError::NumericalInstability { iterations }) => {
+                        counters.simplex_iterations += iterations;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                };
+            counters.simplex_iterations += res.iterations;
+            counters.devex_resets += res.devex_resets;
+            match res.status {
+                LpStatus::Infeasible => {
+                    return Ok((
+                        finish_infeasible(
+                            &counters,
+                            presolve_rows,
+                            presolve_cols,
+                            candidate_list_size,
+                        ),
+                        caller_basis,
+                    ));
+                }
+                // Cuts only shrink the feasible region; an unbounded outcome
+                // here is numerical trouble — keep the previous root.
+                LpStatus::Unbounded => break,
+                LpStatus::Optimal => {}
+            }
+            root = res;
+            basis = new_basis;
+            tree_lp = Some(new_lp);
+            tree_solver = Some(new_solver);
+            pool.age_and_purge(&root.values);
+        }
+
+        // Age-based purging may have shrunk the pool below the rows baked
+        // into the tree LP; rebuild and reoptimize once so the tree never
+        // drags purged rows along.
+        if let Some(current) = tree_lp.as_ref() {
+            if base_lp.nrows + pool.len() < current.nrows {
+                let new_lp = lp_with_cuts(&base_lp, pool.cuts());
+                if let Some(new_solver) =
+                    NodeSolver::build(&new_lp, &root_bounds, &integral, params.presolve)
+                {
+                    // The old basis has more rows than the slimmed LP, so it
+                    // cannot seed it; the base-space caller basis can.
+                    let warm_primal = caller_basis.as_ref().map_or(Warm::Cold, Warm::Primal);
+                    if let Ok((res, new_basis)) =
+                        new_solver.solve(&new_lp, &root_bounds, max_iters, warm_primal)
+                    {
+                        counters.simplex_iterations += res.iterations;
+                        counters.devex_resets += res.devex_resets;
+                        if res.status == LpStatus::Optimal {
+                            root = res;
+                            basis = new_basis;
+                            tree_lp = Some(new_lp);
+                            tree_solver = Some(new_solver);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let lp = tree_lp.as_ref().unwrap_or(&base_lp);
+    let solver = tree_solver.as_ref().unwrap_or(&base_solver);
+
+    // ------------------------------------------------------------------
+    // Feasibility pump: round the root optimum into an early incumbent.
+    // ------------------------------------------------------------------
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    if params.pump {
+        if let Some(found) = feasibility_pump(
+            lp,
+            solver,
+            &root_bounds,
+            &integer_vars,
+            &root.values,
+            basis.as_ref(),
+            int_tol,
+            max_iters,
+            &mut counters,
+        ) {
+            counters.pump_incumbents = 1;
+            incumbent = Some(found);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Best-first tree search.
+    // ------------------------------------------------------------------
+    let mut pseudo = Pseudocosts::new(base_lp.nstruct);
+    let mut probes_left = if params.pseudocost {
+        params.strong_branch_limit
+    } else {
+        0
+    };
+    let mut heap = BinaryHeap::new();
+    let shared_root_basis = basis.clone().map(Rc::new);
+
+    counters.nodes_explored += 1;
+    expand_node(
+        lp,
+        solver,
+        &params,
+        &integer_vars,
+        &mut pseudo,
         &mut heap,
         &mut incumbent,
         &root_bounds,
-        root_lp.objective,
-        root_lp.values,
+        root.objective,
+        root.values.clone(),
         0,
         shared_root_basis,
+        probe_structural,
+        &mut probes_left,
+        &mut counters,
     );
 
     while let Some(node) = heap.pop() {
@@ -245,26 +500,51 @@ pub(crate) fn solve_warm(
                 break;
             }
         }
-        if nodes_explored >= params.max_nodes {
+        if counters.nodes_explored >= params.max_nodes {
             return Err(SolveError::NodeLimitReached {
-                explored: nodes_explored,
+                explored: counters.nodes_explored,
             });
         }
-        nodes_explored += 1;
+        counters.nodes_explored += 1;
 
         let warm_mode = match node.warm.as_deref() {
             Some(basis) => Warm::Dual(basis),
             None => Warm::Cold,
         };
-        let (lp_result, node_basis) = solver.solve(&lp, &node.bounds, max_iters, warm_mode)?;
-        simplex_iterations += lp_result.iterations;
-        devex_resets += lp_result.devex_resets;
+        let (lp_result, node_basis) = match solver.solve(lp, &node.bounds, max_iters, warm_mode) {
+            Ok(solved) => solved,
+            // Appended cut rows can make a node LP numerically harder than
+            // the base model. A node that dead-ends on the cut LP even after
+            // its internal cold restart is re-solved on the uncut relaxation
+            // — a valid (if weaker) bound, and exact on integral points, so
+            // the search stays sound instead of aborting the whole tree.
+            Err(SolveError::NumericalInstability { iterations }) if tree_lp.is_some() => {
+                counters.simplex_iterations += iterations;
+                base_solver.solve(&base_lp, &node.bounds, max_iters, Warm::Cold)?
+            }
+            Err(e) => return Err(e),
+        };
+        counters.simplex_iterations += lp_result.iterations;
+        counters.devex_resets += lp_result.devex_resets;
         match lp_result.status {
             LpStatus::Infeasible => continue,
             // An unbounded relaxation cannot be branched meaningfully (the
             // root was bounded, so children are too; this is defensive).
             LpStatus::Unbounded => continue,
             LpStatus::Optimal => {}
+        }
+
+        // The realized degradation of the branching that created this node
+        // is a full-accuracy pseudocost observation, free of charge.
+        if let Some((var, down, frac, parent_obj)) = node.branched {
+            let degrade = (lp_result.objective - parent_obj).max(0.0);
+            if down {
+                if frac > 0.0 {
+                    pseudo.record_down(var, degrade / frac);
+                }
+            } else if frac < 1.0 {
+                pseudo.record_up(var, degrade / (1.0 - frac));
+            }
         }
 
         // Prune by bound against the incumbent.
@@ -274,7 +554,12 @@ pub(crate) fn solve_warm(
             }
         }
 
-        enqueue_children(
+        expand_node(
+            lp,
+            solver,
+            &params,
+            &integer_vars,
+            &mut pseudo,
             &mut heap,
             &mut incumbent,
             &node.bounds,
@@ -282,6 +567,9 @@ pub(crate) fn solve_warm(
             lp_result.values,
             node.depth,
             node_basis.map(Rc::new),
+            probe_structural,
+            &mut probes_left,
+            &mut counters,
         );
     }
 
@@ -295,19 +583,529 @@ pub(crate) fn solve_warm(
                 Status::Optimal,
                 model.signed_objective(objective),
                 values,
-                nodes_explored,
-                simplex_iterations,
+                counters.nodes_explored,
+                counters.simplex_iterations,
             )
         }
-        None => Solution::infeasible(nodes_explored, simplex_iterations),
+        None => Solution::infeasible(counters.nodes_explored, counters.simplex_iterations),
     };
-    let solution = solution.with_counters(
-        presolve_rows,
-        presolve_cols,
-        devex_resets,
-        candidate_list_size,
+    let solution = solution
+        .with_counters(
+            presolve_rows,
+            presolve_cols,
+            counters.devex_resets,
+            candidate_list_size,
+        )
+        .with_tree_counters(
+            counters.cuts_added,
+            counters.cut_rounds,
+            counters.pseudocost_branchings,
+            counters.strong_branch_probes,
+            counters.pump_incumbents,
+        );
+    Ok((solution, caller_basis))
+}
+
+/// Infeasibility outcome carrying every counter accumulated so far (used by
+/// the cut loop when a valid cut proves the integer hull empty).
+fn finish_infeasible(
+    counters: &Counters,
+    presolve_rows: usize,
+    presolve_cols: usize,
+    candidate_list_size: usize,
+) -> Solution {
+    Solution::infeasible(1, counters.simplex_iterations)
+        .with_counters(
+            presolve_rows,
+            presolve_cols,
+            counters.devex_resets,
+            candidate_list_size,
+        )
+        .with_tree_counters(
+            counters.cuts_added,
+            counters.cut_rounds,
+            counters.pseudocost_branchings,
+            counters.strong_branch_probes,
+            counters.pump_incumbents,
+        )
+}
+
+/// Accepts an integral LP solution as incumbent or branches: selects the
+/// branching variable, probes it if needed, and pushes the children.
+#[allow(clippy::too_many_arguments)]
+fn expand_node(
+    lp: &SparseLp,
+    solver: &NodeSolver,
+    params: &SolveParams,
+    integer_vars: &[usize],
+    pseudo: &mut Pseudocosts,
+    heap: &mut BinaryHeap<Node>,
+    incumbent: &mut Option<(f64, Vec<f64>)>,
+    bounds: &[(f64, f64)],
+    lp_objective: f64,
+    lp_values: Vec<f64>,
+    depth: usize,
+    warm: Option<Rc<Basis>>,
+    probe_structural: bool,
+    probes_left: &mut usize,
+    counters: &mut Counters,
+) {
+    let int_tol = params.integrality_tolerance;
+    let fractional: Vec<(usize, f64)> = integer_vars
+        .iter()
+        .map(|&vi| (vi, lp_values[vi]))
+        .filter(|&(_, val)| (val - val.round()).abs() > int_tol)
+        .collect();
+
+    if fractional.is_empty() {
+        // Integral solution: new incumbent if it improves.
+        let better = incumbent
+            .as_ref()
+            .map(|(best, _)| lp_objective < *best)
+            .unwrap_or(true);
+        if better {
+            *incumbent = Some((lp_objective, lp_values));
+        }
+        return;
+    }
+
+    let decision = select_branch_var(
+        lp,
+        solver,
+        params,
+        pseudo,
+        bounds,
+        lp_objective,
+        &fractional,
+        warm.as_deref(),
+        probe_structural,
+        depth,
+        probes_left,
+        counters,
     );
-    Ok((solution, root_basis))
+
+    match decision {
+        BranchDecision::Fathom => {}
+        BranchDecision::Branch {
+            var,
+            value,
+            down_bound,
+            down_feasible,
+            up_bound,
+            up_feasible,
+        } => {
+            let floor = value.floor();
+            let ceil = value.ceil();
+            let frac = value - floor;
+            let (lo, hi) = bounds[var];
+            if down_feasible && floor >= lo {
+                let mut b = bounds.to_vec();
+                b[var].1 = floor;
+                heap.push(Node {
+                    bounds: b,
+                    bound: down_bound.max(lp_objective),
+                    depth: depth + 1,
+                    warm: warm.clone(),
+                    branched: Some((var, true, frac, lp_objective)),
+                });
+            }
+            if up_feasible && ceil <= hi {
+                let mut b = bounds.to_vec();
+                b[var].0 = ceil;
+                heap.push(Node {
+                    bounds: b,
+                    bound: up_bound.max(lp_objective),
+                    depth: depth + 1,
+                    warm,
+                    branched: Some((var, false, frac, lp_objective)),
+                });
+            }
+        }
+    }
+}
+
+/// Chooses the branching variable among the fractional candidates.
+///
+/// With [`crate::SolveParams::pseudocost`] off this is the legacy
+/// lowest-index rule. Otherwise candidates are scored by the pseudocost
+/// product rule; unreliable candidates are measured by strong-branching
+/// dual-simplex probes (within the global probe budget), whose objectives
+/// feed the pseudocost averages *and* tighten the child bounds.
+#[allow(clippy::too_many_arguments)]
+fn select_branch_var(
+    lp: &SparseLp,
+    solver: &NodeSolver,
+    params: &SolveParams,
+    pseudo: &mut Pseudocosts,
+    bounds: &[(f64, f64)],
+    lp_objective: f64,
+    fractional: &[(usize, f64)],
+    warm: Option<&Basis>,
+    probe_structural: bool,
+    depth: usize,
+    probes_left: &mut usize,
+    counters: &mut Counters,
+) -> BranchDecision {
+    let (&(first_var, first_value), rest) = fractional
+        .split_first()
+        .expect("select_branch_var requires at least one fractional candidate");
+    if !params.pseudocost || (rest.is_empty() && pseudo.reliable(first_var, params.reliability)) {
+        if params.pseudocost {
+            counters.pseudocost_branchings += 1;
+        }
+        return BranchDecision::Branch {
+            var: first_var,
+            value: first_value,
+            down_bound: lp_objective,
+            down_feasible: true,
+            up_bound: lp_objective,
+            up_feasible: true,
+        };
+    }
+
+    /// Per-candidate branching information (estimated or measured).
+    struct Candidate {
+        var: usize,
+        value: f64,
+        score: f64,
+        probed: bool,
+        down_bound: f64,
+        down_feasible: bool,
+        up_bound: f64,
+        up_feasible: bool,
+    }
+
+    let mut candidates: Vec<Candidate> = fractional
+        .iter()
+        .map(|&(var, value)| {
+            let frac = value - value.floor();
+            let down = pseudo.estimate_down(var, frac);
+            let up = pseudo.estimate_up(var, frac);
+            Candidate {
+                var,
+                value,
+                score: down.max(SCORE_EPS) * up.max(SCORE_EPS),
+                probed: false,
+                down_bound: lp_objective,
+                down_feasible: true,
+                up_bound: lp_objective,
+                up_feasible: true,
+            }
+        })
+        .collect();
+
+    // Which unreliable candidates get the probe budget depends on the
+    // solve's provenance. A cold solve starts with no measurements, and on
+    // this model family the structural (lowest-index) variable order *is*
+    // the domain prior — offsets before round binaries — so probes go
+    // where the tree will actually descend. A warm-started solve is a
+    // re-solve of an incrementally grown model: the decisive fractional
+    // variables are the freshly appended high-index columns, which
+    // lowest-index probing reaches last, so there the probes chase the
+    // pseudocost estimates (score-descending) instead. Cold solves also
+    // fall back to score order once the tree outgrows
+    // [`PROBE_STRUCTURAL_NODE_LIMIT`] — by then the prior has had its
+    // chance and the pseudocosts hold real measurements.
+    let structural = probe_structural && counters.nodes_explored <= PROBE_STRUCTURAL_NODE_LIMIT;
+    let mut order: Vec<usize> =
+        if depth > PROBE_MAX_DEPTH || counters.nodes_explored < PROBE_MIN_NODES {
+            Vec::new()
+        } else {
+            (0..candidates.len())
+                .filter(|&i| !pseudo.reliable(candidates[i].var, params.reliability))
+                .collect()
+        };
+    if !structural {
+        order.sort_by(|&a, &b| {
+            candidates[b]
+                .score
+                .partial_cmp(&candidates[a].score)
+                .unwrap_or(Ordering::Equal)
+                .then(candidates[a].var.cmp(&candidates[b].var))
+        });
+    }
+    for &i in order.iter().take(PROBE_CANDIDATES_PER_NODE) {
+        if *probes_left < 2 {
+            break;
+        }
+        *probes_left -= 2;
+        counters.strong_branch_probes += 2;
+        let c = &mut candidates[i];
+        let frac = c.value - c.value.floor();
+
+        let probe_iters = params.max_simplex_iterations.min(PROBE_ITER_CAP);
+        let down = probe_child(
+            lp,
+            solver,
+            bounds,
+            c.var,
+            c.value.floor(),
+            true,
+            warm,
+            probe_iters,
+            counters,
+        );
+        let up = probe_child(
+            lp,
+            solver,
+            bounds,
+            c.var,
+            c.value.ceil(),
+            false,
+            warm,
+            probe_iters,
+            counters,
+        );
+
+        let mut down_degrade = 0.0;
+        match down {
+            ProbeOutcome::Optimal(obj) => {
+                down_degrade = (obj - lp_objective).max(0.0);
+                c.down_bound = obj;
+                if frac > 0.0 {
+                    pseudo.record_down(c.var, down_degrade / frac);
+                }
+            }
+            ProbeOutcome::Infeasible => {
+                c.down_feasible = false;
+                down_degrade = f64::INFINITY;
+            }
+            ProbeOutcome::Unknown => {}
+        }
+        let mut up_degrade = 0.0;
+        match up {
+            ProbeOutcome::Optimal(obj) => {
+                up_degrade = (obj - lp_objective).max(0.0);
+                c.up_bound = obj;
+                if frac < 1.0 {
+                    pseudo.record_up(c.var, up_degrade / (1.0 - frac));
+                }
+            }
+            ProbeOutcome::Infeasible => {
+                c.up_feasible = false;
+                up_degrade = f64::INFINITY;
+            }
+            ProbeOutcome::Unknown => {}
+        }
+
+        c.probed = true;
+        if !c.down_feasible && !c.up_feasible {
+            // Neither rounding admits a feasible relaxation: no integer
+            // point exists under this node at all.
+            return BranchDecision::Fathom;
+        }
+        c.score = down_degrade.max(SCORE_EPS) * up_degrade.max(SCORE_EPS);
+    }
+
+    // Product-rule winner; ties break toward the structural lowest index.
+    let winner = candidates
+        .iter()
+        .max_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(Ordering::Equal)
+                .then(b.var.cmp(&a.var))
+        })
+        .expect("candidates is non-empty");
+    if !winner.probed {
+        counters.pseudocost_branchings += 1;
+    }
+    BranchDecision::Branch {
+        var: winner.var,
+        value: winner.value,
+        down_bound: winner.down_bound,
+        down_feasible: winner.down_feasible,
+        up_bound: winner.up_bound,
+        up_feasible: winner.up_feasible,
+    }
+}
+
+/// Outcome of one strong-branching probe.
+enum ProbeOutcome {
+    Optimal(f64),
+    Infeasible,
+    /// Budget/numerical failure: no information, treated conservatively.
+    Unknown,
+}
+
+/// Solves one child relaxation (a single bound change) with the dual simplex
+/// warm-started from the node basis. Failures are swallowed — a probe is an
+/// oracle, never a correctness dependency.
+#[allow(clippy::too_many_arguments)]
+fn probe_child(
+    lp: &SparseLp,
+    solver: &NodeSolver,
+    bounds: &[(f64, f64)],
+    var: usize,
+    bound: f64,
+    is_upper: bool,
+    warm: Option<&Basis>,
+    max_iters: usize,
+    counters: &mut Counters,
+) -> ProbeOutcome {
+    let mut child = bounds.to_vec();
+    if is_upper {
+        child[var].1 = bound;
+    } else {
+        child[var].0 = bound;
+    }
+    if child[var].0 > child[var].1 {
+        return ProbeOutcome::Infeasible;
+    }
+    let warm_mode = warm.map_or(Warm::Cold, Warm::Dual);
+    match solver.solve(lp, &child, max_iters, warm_mode) {
+        Ok((res, _)) => {
+            counters.simplex_iterations += res.iterations;
+            counters.devex_resets += res.devex_resets;
+            match res.status {
+                LpStatus::Optimal => ProbeOutcome::Optimal(res.objective),
+                LpStatus::Infeasible => ProbeOutcome::Infeasible,
+                LpStatus::Unbounded => ProbeOutcome::Unknown,
+            }
+        }
+        Err(_) => ProbeOutcome::Unknown,
+    }
+}
+
+/// The feasibility pump: alternates integer rounding with an L1-projection
+/// LP until a rounding admits a feasible (fixed-integer) relaxation, which
+/// is then optimized on the true objective and returned as an incumbent.
+///
+/// Purely heuristic: every failure path returns `None` and the tree search
+/// proceeds exactly as without the pump.
+#[allow(clippy::too_many_arguments)]
+fn feasibility_pump(
+    lp: &SparseLp,
+    solver: &NodeSolver,
+    bounds: &[(f64, f64)],
+    integer_vars: &[usize],
+    root_values: &[f64],
+    root_basis: Option<&Basis>,
+    int_tol: f64,
+    max_iters: usize,
+    counters: &mut Counters,
+) -> Option<(f64, Vec<f64>)> {
+    if integer_vars.is_empty() || root_values.is_empty() {
+        return None;
+    }
+    // An already-integral root needs no pump — the tree accepts it at node 1.
+    if integer_vars
+        .iter()
+        .all(|&vi| (root_values[vi] - root_values[vi].round()).abs() <= int_tol)
+    {
+        return None;
+    }
+
+    let round_to = |x: &[f64]| -> Vec<f64> {
+        integer_vars
+            .iter()
+            .map(|&vi| {
+                let (lo, hi) = bounds[vi];
+                x[vi].round().clamp(lo, hi)
+            })
+            .collect()
+    };
+
+    let pump_iters = max_iters.min(PUMP_ITER_CAP);
+    let mut relax = root_values.to_vec();
+    let mut target = round_to(&relax);
+    for _ in 0..PUMP_MAX_ROUNDS {
+        // Does the rounding extend to a feasible point? Fix the integers and
+        // optimize the *true* objective over the continuous rest.
+        let mut fixed = bounds.to_vec();
+        for (t, &vi) in target.iter().zip(integer_vars) {
+            fixed[vi] = (*t, *t);
+        }
+        match solver.solve(
+            lp,
+            &fixed,
+            pump_iters,
+            root_basis.map_or(Warm::Cold, Warm::Dual),
+        ) {
+            Ok((res, _)) => {
+                counters.simplex_iterations += res.iterations;
+                counters.devex_resets += res.devex_resets;
+                if res.status == LpStatus::Optimal {
+                    return Some((res.objective, res.values));
+                }
+            }
+            Err(SolveError::IterationLimitReached { iterations }) => {
+                // Checking this rounding is too expensive — count it as a
+                // miss and let the projection steer toward the next one.
+                counters.simplex_iterations += iterations;
+            }
+            Err(_) => return None,
+        }
+
+        // Projection: minimize the L1 distance to the rounding over the
+        // relaxation. For a target at a bound the distance is exactly linear;
+        // interior targets use the pull direction from the last projection.
+        let mut dist = lp.clone();
+        dist.cost.iter_mut().for_each(|c| *c = 0.0);
+        dist.obj_offset = 0.0;
+        for (t, &vi) in target.iter().zip(integer_vars) {
+            let (lo, hi) = bounds[vi];
+            dist.cost[vi] = if (*t - lo).abs() < 0.5 {
+                1.0
+            } else if (hi - *t).abs() < 0.5 {
+                -1.0
+            } else if relax[vi] > *t {
+                1.0
+            } else {
+                -1.0
+            };
+        }
+        match solve_sparse(
+            &dist,
+            bounds,
+            pump_iters,
+            root_basis.map_or(Warm::Cold, Warm::Primal),
+        ) {
+            Ok((res, _)) if res.status == LpStatus::Optimal => {
+                counters.simplex_iterations += res.iterations;
+                counters.devex_resets += res.devex_resets;
+                relax = res.values;
+            }
+            Err(SolveError::IterationLimitReached { iterations }) => {
+                counters.simplex_iterations += iterations;
+                return None;
+            }
+            Ok(_) | Err(_) => return None,
+        }
+
+        let mut next = round_to(&relax);
+        if next == target {
+            // Cycle: flip the most fractional coordinates away from their
+            // rounding, deterministically.
+            let mut order: Vec<usize> = (0..integer_vars.len()).collect();
+            order.sort_by(|&a, &b| {
+                let fa = (relax[integer_vars[a]] - relax[integer_vars[a]].round()).abs();
+                let fb = (relax[integer_vars[b]] - relax[integer_vars[b]].round()).abs();
+                fb.partial_cmp(&fa)
+                    .unwrap_or(Ordering::Equal)
+                    .then(integer_vars[a].cmp(&integer_vars[b]))
+            });
+            let mut flipped = false;
+            for &idx in order.iter().take(PUMP_FLIPS) {
+                let vi = integer_vars[idx];
+                let (lo, hi) = bounds[vi];
+                let alt = if relax[vi] >= next[idx] {
+                    (next[idx] + 1.0).min(hi)
+                } else {
+                    (next[idx] - 1.0).max(lo)
+                };
+                if alt != next[idx] {
+                    next[idx] = alt;
+                    flipped = true;
+                }
+            }
+            if !flipped {
+                return None;
+            }
+        }
+        target = next;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -455,7 +1253,7 @@ mod tests {
     #[test]
     fn warm_start_round_trip_solves_faster() {
         // Solve, then re-solve the same model warm: the warm solve must agree
-        // on the objective and spend (far) fewer simplex iterations.
+        // on the objective and spend no more simplex iterations.
         let mut m = Model::new("warm-roundtrip");
         let x = m.add_integer("x", 0.0, 50.0);
         let y = m.add_integer("y", 0.0, 50.0);
@@ -502,5 +1300,196 @@ mod tests {
             warm.objective,
             cold.objective
         );
+    }
+
+    /// A model with enough integer structure that cuts, the pump and
+    /// pseudocost branching all get exercised.
+    fn busy_fixture() -> Model {
+        let mut m = Model::new("busy");
+        let mut vars = Vec::new();
+        for i in 0..6 {
+            vars.push(m.add_integer(format!("v{i}"), 0.0, 7.0));
+        }
+        let weights = [3.0, 5.0, 7.0, 11.0, 13.0, 17.0];
+        let profit = [5.0, 8.0, 11.0, 15.0, 19.0, 23.0];
+        let obj: Vec<_> = vars.iter().zip(profit).map(|(&v, p)| (v, p)).collect();
+        m.set_objective(Sense::Maximize, &obj);
+        let row: Vec<_> = vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect();
+        m.add_le(&row, 41.0);
+        let row2: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        m.add_le(&row2, 9.0);
+        m
+    }
+
+    #[test]
+    fn cuts_and_pump_off_match_defaults_on_verdict_and_objective() {
+        // The tree-shrinking layers must never change the answer, only the
+        // amount of work: solve the same model with everything on, then with
+        // cuts/pump/pseudocost all off, and compare.
+        let m_on = busy_fixture();
+        let mut m_off = busy_fixture();
+        {
+            let p = m_off.params_mut();
+            p.cuts = false;
+            p.pump = false;
+            p.pseudocost = false;
+        }
+        let on = m_on.solve().unwrap();
+        let off = m_off.solve().unwrap();
+        assert_eq!(on.status, off.status);
+        assert!(
+            (on.objective - off.objective).abs() < 1e-6,
+            "on {} vs off {}",
+            on.objective,
+            off.objective
+        );
+        // The legacy configuration reports zeroed tree counters.
+        assert_eq!(off.cuts_added, 0);
+        assert_eq!(off.cut_rounds, 0);
+        assert_eq!(off.pseudocost_branchings, 0);
+        assert_eq!(off.strong_branch_probes, 0);
+        assert_eq!(off.pump_incumbents, 0);
+    }
+
+    #[test]
+    fn tree_counters_populate_on_a_fractional_model() {
+        let s = busy_fixture().solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        // The root relaxation of the busy fixture is fractional, so at least
+        // one layer must have done something.
+        assert!(
+            s.cuts_added > 0 || s.strong_branch_probes > 0 || s.pump_incumbents > 0,
+            "no tree-shrinking layer engaged: {s:?}"
+        );
+    }
+
+    #[test]
+    fn strong_branch_budget_is_respected() {
+        let mut m = busy_fixture();
+        m.params_mut().strong_branch_limit = 2;
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!(
+            s.strong_branch_probes <= 2,
+            "budget exceeded: {}",
+            s.strong_branch_probes
+        );
+    }
+
+    #[test]
+    fn cuts_prove_infeasibility_without_flipping_the_verdict() {
+        // 0.4 ≤ x ≤ 0.6, x integer — infeasible with or without cuts.
+        let mut on = Model::new("inf-on");
+        let x = on.add_var("x", VarKind::Integer, 0.0, 1.0);
+        on.add_ge(&[(x, 1.0)], 0.4);
+        on.add_le(&[(x, 1.0)], 0.6);
+        let mut off = on.clone();
+        {
+            let p = off.params_mut();
+            p.cuts = false;
+            p.pump = false;
+        }
+        assert_eq!(on.solve().unwrap().status, Status::Infeasible);
+        assert_eq!(off.solve().unwrap().status, Status::Infeasible);
+    }
+}
+
+#[cfg(test)]
+mod cut_differential_tests {
+    use crate::model::{Model, Sense};
+
+    /// Tiny deterministic LCG so the sweep needs no external crates.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+        fn pick(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Random small mixed-integer program: 3-6 vars (integers, binaries and
+    /// continuous mixed), 2-4 rows of every relation, signed coefficients.
+    fn random_model(seed: u64) -> Model {
+        let mut rng = Lcg(seed.wrapping_mul(2654435761).wrapping_add(11));
+        let mut m = Model::new(format!("fuzz{seed}"));
+        let nvars = 3 + rng.pick(4) as usize;
+        let mut vars = Vec::new();
+        for i in 0..nvars {
+            let v = match rng.pick(3) {
+                0 => m.add_binary(format!("b{i}")),
+                1 => m.add_integer(format!("i{i}"), 0.0, 1.0 + rng.pick(5) as f64),
+                _ => m.add_continuous(format!("c{i}"), 0.0, 1.0 + rng.pick(8) as f64),
+            };
+            vars.push(v);
+        }
+        let obj: Vec<_> = vars
+            .iter()
+            .map(|&v| (v, rng.pick(19) as f64 - 9.0))
+            .collect();
+        let sense = if rng.pick(2) == 0 {
+            Sense::Maximize
+        } else {
+            Sense::Minimize
+        };
+        m.set_objective(sense, &obj);
+        let nrows = 2 + rng.pick(3) as usize;
+        for _ in 0..nrows {
+            let mut row = Vec::new();
+            for &v in &vars {
+                if rng.pick(4) > 0 {
+                    row.push((v, rng.pick(13) as f64 - 4.0));
+                }
+            }
+            if row.is_empty() {
+                continue;
+            }
+            let max_activity: f64 = row.iter().map(|&(_, c)| c.abs() * 8.0).sum();
+            let rhs = (rng.pick(17) as f64 / 16.0 - 0.25) * max_activity.max(1.0) * 0.5;
+            match rng.pick(3) {
+                0 => m.add_le(&row, rhs),
+                1 => m.add_ge(&row, -rhs),
+                _ => m.add_eq(&row, (rhs * 0.5).round()),
+            };
+        }
+        m
+    }
+
+    #[test]
+    fn random_small_milps_agree_with_and_without_tree_layers() {
+        // Differential fuzz sweep: the tree-shrinking layers must preserve the
+        // verdict and objective on arbitrary small models, including
+        // infeasible and unbounded ones.
+        for seed in 0..400u64 {
+            let on = random_model(seed);
+            let mut off = random_model(seed);
+            {
+                let p = off.params_mut();
+                p.cuts = false;
+                p.pump = false;
+                p.pseudocost = false;
+            }
+            let (Ok(on_sol), Ok(off_sol)) = (on.solve(), off.solve()) else {
+                continue; // budget exhaustion proves nothing
+            };
+            assert_eq!(
+                on_sol.status, off_sol.status,
+                "status diverged on fuzz seed {seed}: on={:?} off={:?}",
+                on_sol.status, off_sol.status
+            );
+            if on_sol.is_optimal() {
+                assert!(
+                    (on_sol.objective - off_sol.objective).abs() < 1e-6,
+                    "objective diverged on fuzz seed {seed}: on={} off={}",
+                    on_sol.objective,
+                    off_sol.objective
+                );
+            }
+        }
     }
 }

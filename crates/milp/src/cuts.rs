@@ -1,0 +1,946 @@
+//! Root cutting planes: Gomory mixed-integer cuts and lifted cover cuts.
+//!
+//! Branch-and-bound calls [`separate_round`] on the optimal basis of the root
+//! relaxation. Two families are derived:
+//!
+//! * **Gomory mixed-integer (GMI) cuts** from tableau rows whose basic
+//!   variable is integral but fractional. The derivation works on the exact
+//!   row identity `x_k + Σ α_j x_j = β_r` (`α = B⁻¹A`, valid for *every*
+//!   feasible point, not just the current vertex), shifts each nonbasic
+//!   column to its bound and applies the standard GMI coefficient map, so a
+//!   cut is valid even when the warm-started basis is slightly stale — a
+//!   stale basis merely produces an unviolated cut, which the pool filters
+//!   out.
+//! * **Lifted cover cuts** from `≤`-rows whose support is binary (the TTW
+//!   round-capacity / knapsack rows): a greedy minimal cover maximizing the
+//!   LP violation, extended ("lifted by extension") with every out-of-cover
+//!   item at least as heavy as the heaviest cover item.
+//!
+//! Accepted cuts live in a [`CutPool`] which enforces a minimum violation, a
+//! maximum pairwise parallelism, and purges cuts that stayed slack at the
+//! root optimum for consecutive separation rounds (age-based purging).
+//! [`lp_with_cuts`] materializes the base equality form plus the active pool
+//! as a fresh [`SparseLp`] (each cut is one extra `≤` row with its own
+//! logical column), which the tree then solves at every node.
+//!
+//! Every cut right-hand side is relaxed by a tiny epsilon before it is
+//! emitted: the relaxed cut is still valid for every integer point, and the
+//! slack absorbs the floating-point error of the derivation, so the
+//! cuts-on/cuts-off differential parity never hinges on the last ulp.
+
+use crate::simplex::{Basis, SparseLp, VarStatus};
+use crate::sparse::BasisFactor;
+
+/// Fractional parts closer than this to the lattice produce no GMI cut.
+const MIN_FRACTIONALITY: f64 = 5e-3;
+/// Minimum relative violation (normalized by the coefficient norm) a cut
+/// must achieve at the separating point to enter the pool.
+const MIN_VIOLATION: f64 = 1e-6;
+/// Cosine similarity above which two cuts are considered parallel.
+const MAX_PARALLELISM: f64 = 0.999;
+/// Largest accepted ratio between the extreme coefficient magnitudes.
+const MAX_DYNAMISM: f64 = 1e7;
+/// Largest accepted coefficient magnitude.
+const MAX_COEFF: f64 = 1e8;
+/// Consecutive root re-solves a cut may stay slack before it is purged.
+const MAX_SLACK_AGE: usize = 2;
+/// Most-fractional tableau rows considered per GMI separation round.
+const MAX_GOMORY_PER_ROUND: usize = 16;
+/// Coefficients below this are folded into the right-hand side (with a
+/// bound-range relaxation keeping the cut valid) instead of kept.
+const DROP_COEFF: f64 = 1e-11;
+/// Relative epsilon by which every emitted cut's right-hand side is relaxed.
+const RHS_RELAX: f64 = 1e-9;
+
+/// A globally valid inequality `Σ coeffs·x ≤ rhs` over the structural
+/// variables (valid for every integer-feasible point of the model).
+#[derive(Debug, Clone)]
+pub(crate) struct Cut {
+    /// Sparse coefficients as `(structural column, coefficient)` pairs,
+    /// sorted by column.
+    pub(crate) coeffs: Vec<(usize, f64)>,
+    /// Right-hand side of the `≤` relation.
+    pub(crate) rhs: f64,
+}
+
+impl Cut {
+    /// Left-hand-side activity at `x` (structural values).
+    fn activity(&self, x: &[f64]) -> f64 {
+        self.coeffs.iter().map(|&(j, c)| c * x[j]).sum()
+    }
+
+    /// Euclidean norm of the coefficient vector.
+    fn norm(&self) -> f64 {
+        self.coeffs
+            .iter()
+            .map(|&(_, c)| c * c)
+            .sum::<f64>()
+            .sqrt()
+            .max(f64::MIN_POSITIVE)
+    }
+
+    /// Violation at `x`, normalized by the coefficient norm (positive when
+    /// the cut separates `x`).
+    pub(crate) fn violation(&self, x: &[f64]) -> f64 {
+        (self.activity(x) - self.rhs) / self.norm()
+    }
+
+    /// Cosine similarity with another cut (1 = parallel).
+    fn parallelism(&self, other: &Cut) -> f64 {
+        let mut dot = 0.0;
+        let mut i = 0;
+        let mut k = 0;
+        while i < self.coeffs.len() && k < other.coeffs.len() {
+            let (ja, ca) = self.coeffs[i];
+            let (jb, cb) = other.coeffs[k];
+            match ja.cmp(&jb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => k += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += ca * cb;
+                    i += 1;
+                    k += 1;
+                }
+            }
+        }
+        (dot / (self.norm() * other.norm())).abs()
+    }
+
+    /// Structural sanity of the coefficient vector: bounded magnitude and
+    /// bounded dynamism.
+    fn well_scaled(&self) -> bool {
+        if self.coeffs.is_empty() {
+            return false;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for &(_, c) in &self.coeffs {
+            lo = lo.min(c.abs());
+            hi = hi.max(c.abs());
+        }
+        hi <= MAX_COEFF && hi / lo <= MAX_DYNAMISM
+    }
+}
+
+/// One pooled cut with its slack age.
+#[derive(Debug, Clone)]
+struct PooledCut {
+    cut: Cut,
+    /// Consecutive root re-solves at which the cut was not tight.
+    slack_age: usize,
+}
+
+/// The active cut pool of one branch-and-bound tree.
+#[derive(Debug, Default)]
+pub(crate) struct CutPool {
+    active: Vec<PooledCut>,
+}
+
+impl CutPool {
+    pub(crate) fn new() -> Self {
+        CutPool { active: Vec::new() }
+    }
+
+    /// Number of active cuts.
+    pub(crate) fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Active cuts in pool order.
+    pub(crate) fn cuts(&self) -> impl Iterator<Item = &Cut> + Clone {
+        self.active.iter().map(|p| &p.cut)
+    }
+
+    /// Runs a candidate through the violation and parallelism filters and
+    /// adopts it when both pass. Returns `true` if the cut was adopted.
+    pub(crate) fn try_add(&mut self, cut: Cut, x: &[f64]) -> bool {
+        if !cut.well_scaled() || cut.violation(x) < MIN_VIOLATION {
+            return false;
+        }
+        if self
+            .active
+            .iter()
+            .any(|p| p.cut.parallelism(&cut) > MAX_PARALLELISM)
+        {
+            return false;
+        }
+        self.active.push(PooledCut { cut, slack_age: 0 });
+        true
+    }
+
+    /// Ages every active cut against the latest root optimum and purges the
+    /// ones that stayed slack for more than [`MAX_SLACK_AGE`] consecutive
+    /// re-solves. Returns the number of cuts purged.
+    pub(crate) fn age_and_purge(&mut self, x: &[f64]) -> usize {
+        for p in &mut self.active {
+            let slack = p.cut.rhs - p.cut.activity(x);
+            if slack > 1e-7 * p.cut.rhs.abs().max(1.0) {
+                p.slack_age += 1;
+            } else {
+                p.slack_age = 0;
+            }
+        }
+        let before = self.active.len();
+        self.active.retain(|p| p.slack_age <= MAX_SLACK_AGE);
+        before - self.active.len()
+    }
+}
+
+/// Materializes `base` plus one `≤` row per cut as a fresh equality-form LP.
+///
+/// The cut rows are appended after the base rows; each gets a `[0, ∞)`
+/// logical column, zero cost and the cut's right-hand side. Structural
+/// bounds are untouched, so the node bound vectors of the tree apply to the
+/// extended LP unchanged.
+pub(crate) fn lp_with_cuts<'c>(
+    base: &SparseLp,
+    cuts: impl Iterator<Item = &'c Cut> + Clone,
+) -> SparseLp {
+    use crate::sparse::CscMatrix;
+    let ncuts = cuts.clone().count();
+    let nrows = base.nrows + ncuts;
+    let nstruct = base.nstruct;
+
+    // Per-structural-column extra entries contributed by the cut rows.
+    let mut extra: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nstruct];
+    let mut rhs = base.rhs.clone();
+    let mut logical_lower = base.logical_lower.clone();
+    let mut logical_upper = base.logical_upper.clone();
+    for (k, cut) in cuts.enumerate() {
+        for &(j, c) in &cut.coeffs {
+            extra[j].push((base.nrows + k, c));
+        }
+        rhs.push(cut.rhs);
+        logical_lower.push(0.0);
+        logical_upper.push(f64::INFINITY);
+    }
+
+    let mut cols = CscMatrix::new(nrows);
+    for (j, extra_col) in extra.iter().enumerate() {
+        let (rows, vals) = base.cols.column(j);
+        let mut entries: Vec<(usize, f64)> =
+            rows.iter().copied().zip(vals.iter().copied()).collect();
+        entries.extend(extra_col.iter().copied());
+        cols.push_column(&entries);
+    }
+    for i in 0..nrows {
+        cols.push_column(&[(i, 1.0)]);
+    }
+
+    let mut cost = base.cost[..nstruct].to_vec();
+    cost.resize(nstruct + nrows, 0.0);
+
+    SparseLp {
+        nrows,
+        nstruct,
+        cols,
+        cost,
+        rhs,
+        obj_offset: base.obj_offset,
+        logical_lower,
+        logical_upper,
+    }
+}
+
+/// Derives one round of candidate cuts (GMI + cover) from the optimal basis
+/// of `lp` at the structural point `values`.
+///
+/// `bounds` are the structural bounds the relaxation was solved under (the
+/// root bounds of the tree) and `integral` flags the integer-constrained
+/// structural columns. Candidates are returned unfiltered — the caller runs
+/// them through the [`CutPool`].
+pub(crate) fn separate_round(
+    lp: &SparseLp,
+    bounds: &[(f64, f64)],
+    integral: &[bool],
+    basis: &Basis,
+    values: &[f64],
+) -> Vec<Cut> {
+    debug_assert_eq!(bounds.len(), lp.nstruct);
+    debug_assert_eq!(integral.len(), lp.nstruct);
+    if values.len() != lp.nstruct {
+        return Vec::new();
+    }
+
+    // Row-major view of the structural part (needed to substitute logical
+    // columns out of GMI cuts and to scan rows for covers).
+    let mut rows_struct: Vec<Vec<(usize, f64)>> = vec![Vec::new(); lp.nrows];
+    for j in 0..lp.nstruct {
+        let (rows, vals) = lp.cols.column(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            rows_struct[r].push((j, v));
+        }
+    }
+
+    let mut cuts = gomory_cuts(lp, bounds, integral, basis, values, &rows_struct);
+    cuts.extend(cover_cuts(lp, bounds, integral, values, &rows_struct));
+    cuts
+}
+
+/// Full column bounds: structural overridden by `bounds`, logical from `lp`.
+fn full_bounds(lp: &SparseLp, bounds: &[(f64, f64)]) -> (Vec<f64>, Vec<f64>) {
+    let mut lower = Vec::with_capacity(lp.ncols());
+    let mut upper = Vec::with_capacity(lp.ncols());
+    for &(l, u) in bounds {
+        lower.push(l);
+        upper.push(u);
+    }
+    lower.extend_from_slice(&lp.logical_lower);
+    upper.extend_from_slice(&lp.logical_upper);
+    (lower, upper)
+}
+
+/// Gomory mixed-integer cuts from the fractional basic integer variables of
+/// the given basis.
+fn gomory_cuts(
+    lp: &SparseLp,
+    bounds: &[(f64, f64)],
+    integral: &[bool],
+    basis: &Basis,
+    values: &[f64],
+    rows_struct: &[Vec<(usize, f64)>],
+) -> Vec<Cut> {
+    let (nstruct, nrows) = (lp.nstruct, lp.nrows);
+    if basis.dims() != (nstruct, nrows) || nrows == 0 {
+        return Vec::new();
+    }
+    let (status, basic, _) = basis.parts();
+
+    let mut factor = BasisFactor::default();
+    let basis_columns = basic.iter().map(|&j| {
+        let (rows, vals) = lp.cols.column(j);
+        (rows.to_vec(), vals.to_vec())
+    });
+    if factor.refactorize(nrows, basis_columns).is_err() {
+        return Vec::new();
+    }
+
+    // β = B⁻¹ b, the tableau right-hand side.
+    let mut beta = lp.rhs.clone();
+    factor.ftran(&mut beta);
+
+    let (lower, upper) = full_bounds(lp, bounds);
+
+    // Candidate rows: basic structural integer variable with a usefully
+    // fractional value, most fractional first.
+    let mut candidates: Vec<(usize, usize, f64)> = Vec::new();
+    for (r, &k) in basic.iter().enumerate() {
+        if k < nstruct && integral[k] {
+            let frac = values[k] - values[k].floor();
+            if frac > MIN_FRACTIONALITY && frac < 1.0 - MIN_FRACTIONALITY {
+                candidates.push((r, k, (frac - 0.5).abs()));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| {
+        a.2.partial_cmp(&b.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    candidates.truncate(MAX_GOMORY_PER_ROUND);
+
+    let mut cuts = Vec::new();
+    let mut unit = vec![0.0; nrows];
+    for &(r, k, _) in &candidates {
+        unit.iter_mut().for_each(|v| *v = 0.0);
+        unit[r] = 1.0;
+        let mut rho = unit.clone();
+        factor.btran(&mut rho);
+
+        if let Some(cut) = gmi_from_row(
+            lp,
+            &lower,
+            &upper,
+            integral,
+            status,
+            &rho,
+            beta[r],
+            values[k],
+            rows_struct,
+        ) {
+            cuts.push(cut);
+        }
+    }
+    cuts
+}
+
+/// Derives one GMI cut from the tableau row `x_k + Σ α_j x_j = β_r` given by
+/// the BTRAN'd unit vector `rho` (`α_j = a_j · ρ`).
+///
+/// Returns `None` when the row yields no usable cut (tiny fractionality, a
+/// nonbasic free column in the support, stale basis, bad scaling).
+#[allow(clippy::too_many_arguments)]
+fn gmi_from_row(
+    lp: &SparseLp,
+    lower: &[f64],
+    upper: &[f64],
+    integral: &[bool],
+    status: &[VarStatus],
+    rho: &[f64],
+    beta_r: f64,
+    basic_value: f64,
+    rows_struct: &[Vec<(usize, f64)>],
+) -> Option<Cut> {
+    let nstruct = lp.nstruct;
+    let ncols = lp.ncols();
+
+    // Shift every nonbasic column to its bound: collect (column, â_j) with
+    // â_j the coefficient of the nonnegative shifted variable t_j, and
+    // accumulate the bound mass so β̂ = β_r − Σ α_j·bound_j is exact.
+    let mut shifted: Vec<(usize, f64, bool)> = Vec::new(); // (col, â, at_upper)
+    let mut bound_mass = 0.0;
+    for j in 0..ncols {
+        if status[j] == VarStatus::Basic {
+            continue;
+        }
+        let alpha = lp.cols.column_dot(j, rho);
+        if alpha == 0.0 {
+            continue;
+        }
+        // Fixed columns contribute a constant only.
+        if lower[j] == upper[j] {
+            bound_mass += alpha * lower[j];
+            continue;
+        }
+        match status[j] {
+            VarStatus::AtLower => {
+                if !lower[j].is_finite() {
+                    return None;
+                }
+                bound_mass += alpha * lower[j];
+                shifted.push((j, alpha, false));
+            }
+            VarStatus::AtUpper => {
+                if !upper[j].is_finite() {
+                    return None;
+                }
+                bound_mass += alpha * upper[j];
+                shifted.push((j, -alpha, true));
+            }
+            VarStatus::Free => {
+                // A nonbasic free column can move either way; the shifted
+                // form needs a one-sided variable, so the row is unusable
+                // unless the coefficient is numerically zero.
+                if alpha.abs() > 1e-9 {
+                    return None;
+                }
+            }
+            VarStatus::Basic => unreachable!("basic columns are skipped above"),
+        }
+    }
+
+    let beta_hat = beta_r - bound_mass;
+    let f0 = beta_hat - beta_hat.floor();
+    if !(MIN_FRACTIONALITY..=1.0 - MIN_FRACTIONALITY).contains(&f0) {
+        return None;
+    }
+    // A stale (warm-mapped) basis whose basic solution disagrees with the
+    // reported point would still produce a *valid* cut, but its violation is
+    // unknown; require consistency so the effort is not wasted.
+    if (beta_hat - basic_value).abs() > 1e-6 * basic_value.abs().max(1.0) {
+        return None;
+    }
+
+    // GMI coefficients on the shifted variables: Σ γ_j t_j ≥ f0.
+    let ratio = f0 / (1.0 - f0);
+    let mut terms: Vec<(usize, f64, bool)> = Vec::new(); // (col, γ, at_upper)
+    let mut rhs_ge = f0;
+    for &(j, a_hat, at_upper) in &shifted {
+        // Integrality of t_j needs an integral column shifted by an integral
+        // bound; anything else is treated as continuous (always valid).
+        let bound = if at_upper { upper[j] } else { lower[j] };
+        let is_int = j < nstruct && integral[j] && (bound - bound.round()).abs() < 1e-9;
+        let gamma = if is_int {
+            let fj = a_hat - a_hat.floor();
+            if fj <= f0 {
+                fj
+            } else {
+                ratio * (1.0 - fj)
+            }
+        } else if a_hat >= 0.0 {
+            a_hat
+        } else {
+            -a_hat * ratio
+        };
+        if gamma <= DROP_COEFF {
+            // Fold the term into the right-hand side: t_j ≤ range, so the
+            // relaxed cut Σ γ t ≥ f0 − γ·range stays valid.
+            let range = upper[j] - lower[j];
+            if range.is_finite() {
+                rhs_ge -= gamma * range;
+            } else if gamma > 0.0 {
+                terms.push((j, gamma, at_upper));
+            }
+            continue;
+        }
+        terms.push((j, gamma, at_upper));
+    }
+    if terms.is_empty() {
+        return None;
+    }
+
+    // Translate t_j back to x_j: t = x − l (at lower) or u − x (at upper),
+    // giving Σ c_j x_j ≥ d over the full column space.
+    let mut coeff = vec![0.0; ncols];
+    let mut d = rhs_ge;
+    for &(j, gamma, at_upper) in &terms {
+        if at_upper {
+            coeff[j] -= gamma;
+            d -= gamma * upper[j];
+        } else {
+            coeff[j] += gamma;
+            d += gamma * lower[j];
+        }
+    }
+
+    // Substitute the logical columns out: s_i = rhs_i − Σ a_ip x_p.
+    for i in 0..lp.nrows {
+        let c = coeff[nstruct + i];
+        if c == 0.0 {
+            continue;
+        }
+        d -= c * lp.rhs[i];
+        for &(p, a) in &rows_struct[i] {
+            coeff[p] -= c * a;
+        }
+        coeff[nstruct + i] = 0.0;
+    }
+
+    // Flip `≥` to the pool's `≤` orientation and relax the right-hand side.
+    let mut out = Vec::new();
+    let mut rhs = -d;
+    for (j, &c) in coeff.iter().take(nstruct).enumerate() {
+        let c = -c;
+        if c.abs() <= DROP_COEFF {
+            // Dropping c·x_j from the left of a `≤` cut stays valid when the
+            // right-hand side gives up the term's minimum over the box:
+            // Σ'c·x = Σc·x − c·x_j ≤ rhs − min(c·l, c·u).
+            if c != 0.0 {
+                let (l, u) = (lower[j], upper[j]);
+                if !l.is_finite() || !u.is_finite() {
+                    return None;
+                }
+                rhs -= (c * l).min(c * u);
+            }
+            continue;
+        }
+        out.push((j, c));
+    }
+    rhs += RHS_RELAX * (1.0 + rhs.abs());
+    let cut = Cut { coeffs: out, rhs };
+    cut.well_scaled().then_some(cut)
+}
+
+/// Lifted (extended) cover cuts from `≤`-rows with all-binary support.
+fn cover_cuts(
+    lp: &SparseLp,
+    bounds: &[(f64, f64)],
+    integral: &[bool],
+    values: &[f64],
+    rows_struct: &[Vec<(usize, f64)>],
+) -> Vec<Cut> {
+    let mut cuts = Vec::new();
+    for (i, row) in rows_struct.iter().enumerate() {
+        // Only `≤` rows (logical slack in [0, ∞)).
+        if lp.logical_lower[i] != 0.0 || lp.logical_upper[i] != f64::INFINITY {
+            continue;
+        }
+        if let Some(cut) = cover_cut_from_row(row, lp.rhs[i], bounds, integral, values) {
+            cuts.push(cut);
+        }
+    }
+    cuts
+}
+
+/// One knapsack item in complemented (all-positive-coefficient) space.
+#[derive(Debug, Clone, Copy)]
+struct CoverItem {
+    col: usize,
+    weight: f64,
+    /// LP value of the complemented binary.
+    value: f64,
+    complemented: bool,
+}
+
+/// Derives an extended cover cut from one knapsack row `Σ a_p x_p ≤ b`, if
+/// its support is all-binary, a violated minimal cover exists at `values`.
+fn cover_cut_from_row(
+    row: &[(usize, f64)],
+    b: f64,
+    bounds: &[(f64, f64)],
+    integral: &[bool],
+    values: &[f64],
+) -> Option<Cut> {
+    if row.len() < 2 {
+        return None;
+    }
+    let mut items = Vec::with_capacity(row.len());
+    let mut rhs = b;
+    for &(p, a) in row {
+        if a == 0.0 {
+            continue;
+        }
+        let (l, u) = bounds[p];
+        // Binary support only: integral with bounds inside [0, 1].
+        if !integral[p] || l < -1e-9 || u > 1.0 + 1e-9 {
+            return None;
+        }
+        let x = values[p].clamp(0.0, 1.0);
+        if a > 0.0 {
+            items.push(CoverItem {
+                col: p,
+                weight: a,
+                value: x,
+                complemented: false,
+            });
+        } else {
+            // x = 1 − x̄ turns a negative weight positive.
+            rhs -= a;
+            items.push(CoverItem {
+                col: p,
+                weight: -a,
+                value: 1.0 - x,
+                complemented: true,
+            });
+        }
+    }
+    if rhs < 0.0 {
+        return None;
+    }
+    let total: f64 = items.iter().map(|it| it.weight).sum();
+    if total <= rhs + 1e-9 {
+        return None;
+    }
+
+    // Greedy cover maximizing violation: cheapest (1 − x̄)/a first.
+    items.sort_by(|p, q| {
+        let sp = (1.0 - p.value) / p.weight;
+        let sq = (1.0 - q.value) / q.weight;
+        sp.partial_cmp(&sq)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(p.col.cmp(&q.col))
+    });
+    let mut cover: Vec<CoverItem> = Vec::new();
+    let mut weight = 0.0;
+    for &it in &items {
+        if weight > rhs + 1e-9 {
+            break;
+        }
+        cover.push(it);
+        weight += it.weight;
+    }
+    if weight <= rhs + 1e-9 {
+        return None;
+    }
+    // Make the cover minimal: drop members (least fractional first) while
+    // the remainder still overflows the capacity.
+    cover.sort_by(|p, q| {
+        p.value
+            .partial_cmp(&q.value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(p.col.cmp(&q.col))
+    });
+    let mut keep: Vec<CoverItem> = Vec::new();
+    for (idx, &it) in cover.iter().enumerate() {
+        let rest: f64 = cover[idx + 1..].iter().map(|c| c.weight).sum();
+        let kept: f64 = keep.iter().map(|c| c.weight).sum();
+        if kept + rest > rhs + 1e-9 {
+            // Still a cover without this item.
+            continue;
+        }
+        keep.push(it);
+    }
+    let cover = keep;
+    if cover.len() < 2 {
+        return None;
+    }
+
+    // Violation check: Σ_{C} x̄ > |C| − 1.
+    let lhs: f64 = cover.iter().map(|c| c.value).sum();
+    let k = cover.len() as f64 - 1.0;
+    if lhs <= k + MIN_VIOLATION {
+        return None;
+    }
+
+    // Extension lifting: every item at least as heavy as the heaviest cover
+    // member joins with coefficient 1.
+    let amax = cover.iter().map(|c| c.weight).fold(0.0f64, f64::max);
+    let in_cover: Vec<usize> = cover.iter().map(|c| c.col).collect();
+    let mut extended = cover;
+    for &it in &items {
+        if !in_cover.contains(&it.col) && it.weight >= amax - 1e-12 {
+            extended.push(it);
+        }
+    }
+
+    // Map the complemented space back: x̄ = 1 − x flips the sign and the
+    // right-hand side.
+    let mut coeffs: Vec<(usize, f64)> = Vec::with_capacity(extended.len());
+    let mut rhs_cut = k;
+    for it in &extended {
+        if it.complemented {
+            coeffs.push((it.col, -1.0));
+            rhs_cut -= 1.0;
+        } else {
+            coeffs.push((it.col, 1.0));
+        }
+    }
+    coeffs.sort_by_key(|&(j, _)| j);
+    let cut = Cut {
+        coeffs,
+        rhs: rhs_cut + RHS_RELAX * (1.0 + rhs_cut.abs()),
+    };
+    cut.well_scaled().then_some(cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+    use crate::simplex::{solve_sparse, LpStatus, Warm};
+
+    /// Everything cut separation needs about a solved root relaxation:
+    /// the LP, its bounds, integrality flags, optimal basis and point.
+    type RootRelaxation = (SparseLp, Vec<(f64, f64)>, Vec<bool>, Basis, Vec<f64>);
+
+    /// Solves the relaxation of `model` at its integral-snapped root bounds.
+    fn root_relaxation(model: &Model) -> RootRelaxation {
+        let lp = SparseLp::from_model(model);
+        let bounds: Vec<(f64, f64)> = model
+            .variables()
+            .map(|(_, v)| match v.kind {
+                k if k.is_integral() => (v.lower.ceil(), v.upper.floor()),
+                _ => (v.lower, v.upper),
+            })
+            .collect();
+        let integral: Vec<bool> = model
+            .variables()
+            .map(|(_, v)| v.kind.is_integral())
+            .collect();
+        let (res, basis) = solve_sparse(&lp, &bounds, 10_000, Warm::Cold).expect("solve");
+        assert_eq!(res.status, LpStatus::Optimal);
+        (lp, bounds, integral, basis.expect("basis"), res.values)
+    }
+
+    /// Enumerates every integer-feasible point of an all-integral model with
+    /// small finite bounds (test fixtures only).
+    fn integer_feasible_points(model: &Model) -> Vec<Vec<f64>> {
+        let ranges: Vec<(i64, i64)> = model
+            .variables()
+            .map(|(_, v)| (v.lower.ceil() as i64, v.upper.floor() as i64))
+            .collect();
+        let mut points = vec![Vec::new()];
+        for &(lo, hi) in &ranges {
+            let mut next = Vec::new();
+            for p in &points {
+                for v in lo..=hi {
+                    let mut q = p.clone();
+                    q.push(v as f64);
+                    next.push(q);
+                }
+            }
+            points = next;
+        }
+        points
+            .into_iter()
+            .filter(|p| {
+                model.constraints().all(|c| {
+                    let lhs: f64 = c.expr.iter().map(|(var, co)| co * p[var.index()]).sum();
+                    match c.op {
+                        crate::model::ConstraintOp::Le => lhs <= c.rhs + 1e-9,
+                        crate::model::ConstraintOp::Ge => lhs >= c.rhs - 1e-9,
+                        crate::model::ConstraintOp::Eq => (lhs - c.rhs).abs() <= 1e-9,
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Every cut must separate the fractional point and keep every
+    /// integer-feasible point.
+    fn assert_cuts_valid(cuts: &[Cut], fractional: &[f64], feasible: &[Vec<f64>]) {
+        assert!(!cuts.is_empty(), "expected at least one cut");
+        for (i, cut) in cuts.iter().enumerate() {
+            assert!(
+                cut.violation(fractional) > 0.0,
+                "cut {i} not violated by the fractional point: {cut:?}"
+            );
+            for p in feasible {
+                assert!(
+                    cut.activity(p) <= cut.rhs + 1e-7,
+                    "cut {i} cuts off integer point {p:?}: {cut:?}"
+                );
+            }
+        }
+    }
+
+    fn knapsack_fixture() -> Model {
+        // max 10a + 13b + 7c  s.t.  3a + 4b + 2c ≤ 6, binaries.
+        // LP optimum (1, 0.25, 1) is fractional in b.
+        let mut m = Model::new("knapsack");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.set_objective(Sense::Maximize, &[(a, 10.0), (b, 13.0), (c, 7.0)]);
+        m.add_le(&[(a, 3.0), (b, 4.0), (c, 2.0)], 6.0);
+        m
+    }
+
+    #[test]
+    fn gomory_cuts_separate_fractional_knapsack_vertex() {
+        let m = knapsack_fixture();
+        let (lp, bounds, integral, basis, values) = root_relaxation(&m);
+        let rows: Vec<Vec<(usize, f64)>> = {
+            let mut rs = vec![Vec::new(); lp.nrows];
+            for j in 0..lp.nstruct {
+                let (ri, vi) = lp.cols.column(j);
+                for (&r, &v) in ri.iter().zip(vi) {
+                    rs[r].push((j, v));
+                }
+            }
+            rs
+        };
+        let cuts = gomory_cuts(&lp, &bounds, &integral, &basis, &values, &rows);
+        assert_cuts_valid(&cuts, &values, &integer_feasible_points(&m));
+    }
+
+    #[test]
+    fn gomory_cut_rounds_up_pure_integer_bound() {
+        // min x  s.t. 2x ≥ 3, x integer in [0, 10]: relaxation sits at 1.5,
+        // the GMI cut must enforce x ≥ 2.
+        let mut m = Model::new("halfint");
+        let x = m.add_integer("x", 0.0, 10.0);
+        m.set_objective(Sense::Minimize, &[(x, 1.0)]);
+        m.add_ge(&[(x, 2.0)], 3.0);
+        let (lp, bounds, integral, basis, values) = root_relaxation(&m);
+        assert!((values[0] - 1.5).abs() < 1e-9);
+        let cuts = separate_round(&lp, &bounds, &integral, &basis, &values);
+        assert_cuts_valid(&cuts, &values, &integer_feasible_points(&m));
+    }
+
+    #[test]
+    fn cover_cut_from_knapsack_row_is_violated_and_valid() {
+        let m = knapsack_fixture();
+        let (lp, bounds, integral, _basis, values) = root_relaxation(&m);
+        let rows: Vec<Vec<(usize, f64)>> = {
+            let mut rs = vec![Vec::new(); lp.nrows];
+            for j in 0..lp.nstruct {
+                let (ri, vi) = lp.cols.column(j);
+                for (&r, &v) in ri.iter().zip(vi) {
+                    rs[r].push((j, v));
+                }
+            }
+            rs
+        };
+        let cuts = cover_cuts(&lp, &bounds, &integral, &values, &rows);
+        assert_cuts_valid(&cuts, &values, &integer_feasible_points(&m));
+    }
+
+    #[test]
+    fn cover_cut_handles_negative_coefficients_via_complement() {
+        // 5x − 3y + 4z ≤ 4 with binaries: complementing y gives the knapsack
+        // 5x + 3ȳ + 4z ≤ 7. Drive the LP into a fractional corner by reward.
+        let mut m = Model::new("negcover");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.set_objective(Sense::Maximize, &[(x, 6.0), (y, -1.0), (z, 5.0)]);
+        m.add_le(&[(x, 5.0), (y, -3.0), (z, 4.0)], 4.0);
+        let (lp, bounds, integral, _basis, values) = root_relaxation(&m);
+        let rows: Vec<Vec<(usize, f64)>> = {
+            let mut rs = vec![Vec::new(); lp.nrows];
+            for j in 0..lp.nstruct {
+                let (ri, vi) = lp.cols.column(j);
+                for (&r, &v) in ri.iter().zip(vi) {
+                    rs[r].push((j, v));
+                }
+            }
+            rs
+        };
+        let cuts = cover_cuts(&lp, &bounds, &integral, &values, &rows);
+        if !cuts.is_empty() {
+            assert_cuts_valid(&cuts, &values, &integer_feasible_points(&m));
+        }
+    }
+
+    #[test]
+    fn pool_rejects_parallel_and_unviolated_cuts() {
+        let x = vec![0.6, 0.6];
+        let mut pool = CutPool::new();
+        let c1 = Cut {
+            coeffs: vec![(0, 1.0), (1, 1.0)],
+            rhs: 1.0,
+        };
+        assert!(pool.try_add(c1, &x), "violated cut must be adopted");
+        // Scaled copy of the same hyperplane: parallelism filter.
+        let c2 = Cut {
+            coeffs: vec![(0, 2.0), (1, 2.0)],
+            rhs: 2.0,
+        };
+        assert!(!pool.try_add(c2, &x), "parallel cut must be rejected");
+        // Satisfied cut: violation filter.
+        let c3 = Cut {
+            coeffs: vec![(0, 1.0), (1, -1.0)],
+            rhs: 1.0,
+        };
+        assert!(!pool.try_add(c3, &x), "unviolated cut must be rejected");
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn pool_purges_cuts_after_consecutive_slack_rounds() {
+        let tight = vec![0.5, 0.5];
+        let slack = vec![0.0, 0.0];
+        let mut pool = CutPool::new();
+        assert!(pool.try_add(
+            Cut {
+                coeffs: vec![(0, 1.0), (1, 1.0)],
+                rhs: 0.9,
+            },
+            &tight,
+        ));
+        // Stays while the slack age is within the limit…
+        for _ in 0..MAX_SLACK_AGE {
+            assert_eq!(pool.age_and_purge(&slack), 0);
+        }
+        assert_eq!(pool.len(), 1);
+        // …and is purged one slack round later.
+        assert_eq!(pool.age_and_purge(&slack), 1);
+        assert_eq!(pool.len(), 0);
+        // A tight cut never ages.
+        assert!(pool.try_add(
+            Cut {
+                coeffs: vec![(0, 1.0), (1, 1.0)],
+                rhs: 0.9,
+            },
+            &tight,
+        ));
+        for _ in 0..4 {
+            assert_eq!(pool.age_and_purge(&tight), 0);
+        }
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn lp_with_cuts_appends_le_rows() {
+        let m = knapsack_fixture();
+        let base = SparseLp::from_model(&m);
+        let cut = Cut {
+            coeffs: vec![(0, 1.0), (1, 1.0)],
+            rhs: 1.0,
+        };
+        let ext = lp_with_cuts(&base, std::iter::once(&cut));
+        assert_eq!(ext.nrows, base.nrows + 1);
+        assert_eq!(ext.nstruct, base.nstruct);
+        assert_eq!(ext.rhs.last().copied(), Some(1.0));
+        assert_eq!(ext.logical_lower.last().copied(), Some(0.0));
+        assert_eq!(ext.logical_upper.last().copied(), Some(f64::INFINITY));
+        assert_eq!(ext.cost.len(), ext.ncols());
+        // The cut row must be reachable from the structural columns.
+        let (rows_a, vals_a) = ext.cols.column(0);
+        assert!(rows_a
+            .iter()
+            .zip(vals_a)
+            .any(|(&r, &v)| r == base.nrows && v == 1.0));
+    }
+}

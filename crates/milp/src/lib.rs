@@ -46,12 +46,37 @@
 //!   and the segment size are reported on [`Solution`] as `devex_resets` /
 //!   `candidate_list_size`, next to the presolve counters
 //!   `presolve_rows_removed` / `presolve_cols_removed`.
-//! * **Branching.** Branch-and-bound branches on the lowest-index fractional
-//!   integer variable: the TTW models declare the structural decision
-//!   binaries (`r0`, `σ`) before the counting integers (`y`, `ka`, `kd`), so
-//!   index order settles the schedule shape first — measured at 30–60% fewer
-//!   pivots than most-fractional branching on the fixture and generated
-//!   workloads.
+//! * **Root cutting planes.** Before the tree search starts, the root
+//!   relaxation is tightened by separation rounds (enabled by
+//!   [`SolveParams::cuts`], bounded by [`SolveParams::max_cut_rounds`]):
+//!   **Gomory mixed-integer cuts** are derived from tableau rows whose basic
+//!   integer variable is fractional, and **lifted cover cuts** from the
+//!   binary knapsack rows (the TTW round-capacity family). Candidates pass a
+//!   violation filter and a parallelism filter before entering the cut pool;
+//!   cuts that stay slack at the root optimum for consecutive rounds are
+//!   purged (age-based purging), and the surviving pool is appended to the
+//!   equality form as extra `≤` rows the whole tree then solves. Every cut
+//!   is globally valid for the integer hull, so the verdict and objective
+//!   are provably identical with cuts on or off — the differential harness
+//!   asserts exactly that. Counters: `cuts_added`, `cut_rounds`.
+//! * **Pseudocost branching.** Branching variables are chosen by pseudocost
+//!   scores (per-variable up/down objective degradation averages, combined
+//!   with the product rule) instead of the lowest fractional index. Until a
+//!   variable has [`SolveParams::reliability`] observations per direction,
+//!   its degradations are measured directly by **strong-branching
+//!   dual-simplex probes** (bounded globally by
+//!   [`SolveParams::strong_branch_limit`]); probe results double as child
+//!   bounds, and a probe that proves both children infeasible fathoms the
+//!   node on the spot. Set [`SolveParams::pseudocost`] to `false` to fall
+//!   back to lowest-index-first. Counters: `pseudocost_branchings`,
+//!   `strong_branch_probes`.
+//! * **Feasibility pump.** After the cut loop, a rounding heuristic
+//!   (enabled by [`SolveParams::pump`]) alternates integer rounding with an
+//!   L1-projection LP (minimizing the distance to the rounding over the
+//!   relaxation) and, on success, installs the resulting point as the first
+//!   incumbent — so best-bound pruning has teeth from node 1. The pump is a
+//!   pure accelerator: it only ever *adds* an incumbent that branch-and-bound
+//!   verifies against the same bound logic. Counter: `pump_incumbents`.
 //! * **Warm starts.** An optimal solve returns an opaque [`Basis`] snapshot.
 //!   [`Model::solve_with_basis`] accepts it back: branch-and-bound children
 //!   reoptimize bound changes with the **dual simplex** from the parent basis,
@@ -99,6 +124,7 @@
 
 pub mod audit;
 pub mod branch_bound;
+mod cuts;
 #[cfg(any(test, feature = "dense-reference"))]
 pub mod dense;
 pub mod error;

@@ -95,6 +95,33 @@ pub struct SolveParams {
     /// Enabled by default; disable to get the raw equality-form solve (used
     /// by the differential harness to cross-check the reduction).
     pub presolve: bool,
+    /// Separate cutting planes (Gomory mixed-integer and lifted cover cuts)
+    /// at the root of the branch-and-bound tree. Enabled by default; disable
+    /// to get the pure relaxation tree (used by the differential harness to
+    /// prove cuts never change the verdict or the objective).
+    pub cuts: bool,
+    /// Maximum number of root separation rounds when [`SolveParams::cuts`] is
+    /// enabled. Each round derives cuts from the current fractional root
+    /// optimum, filters them through the cut pool and reoptimizes the root.
+    pub max_cut_rounds: usize,
+    /// Run the feasibility-pump rounding heuristic on the root relaxation to
+    /// find an early incumbent before the tree search starts. Enabled by
+    /// default; toggleable for the same parity checks as
+    /// [`SolveParams::cuts`].
+    pub pump: bool,
+    /// Branch on pseudocost scores (per-variable up/down objective
+    /// degradation averages, reliability-initialized by strong-branching
+    /// probes) instead of the lowest-index fractional variable. Enabled by
+    /// default.
+    pub pseudocost: bool,
+    /// Total budget of strong-branching dual-simplex probes per
+    /// branch-and-bound tree (two probes — down and up — per candidate
+    /// variable). Once exhausted, branching falls back to the accumulated
+    /// pseudocost averages.
+    pub strong_branch_limit: usize,
+    /// Number of observations per direction after which a variable's
+    /// pseudocost average is considered reliable and no longer probed.
+    pub reliability: usize,
 }
 
 impl Default for SolveParams {
@@ -106,6 +133,12 @@ impl Default for SolveParams {
             feasibility_tolerance: 1e-6,
             relative_gap: 1e-9,
             presolve: true,
+            cuts: true,
+            max_cut_rounds: 8,
+            pump: true,
+            pseudocost: true,
+            strong_branch_limit: 128,
+            reliability: 4,
         }
     }
 }

@@ -338,6 +338,13 @@ pub(crate) fn solve_sparse(
     // fabricated Optimal/Infeasible status.
     loop {
         match engine.two_phase() {
+            // An Infeasible verdict reached from a warm basis is re-certified
+            // from the cold basis before it is surfaced: warm snapshots may
+            // be arbitrarily stale, and callers treat infeasibility as proof.
+            Ok(LpStatus::Infeasible) if !started_cold => {
+                started_cold = true;
+                engine.install_cold_basis();
+            }
             Ok(status) => return engine.finish(status),
             Err(EngineError::Budget(e)) => return Err(e),
             Err(EngineError::Numerical) => {
@@ -890,6 +897,9 @@ impl<'a> Engine<'a> {
         let mut stall = 0usize;
         let mut last_f = f64::INFINITY;
         let mut retried = false;
+        // Whether `xb` is known to agree with a from-scratch factorization
+        // of the current basis; required before an Infeasible verdict.
+        let mut fresh = false;
         loop {
             let f = self.infeasibility();
             if f <= PHASE1_TOL {
@@ -926,14 +936,28 @@ impl<'a> Engine<'a> {
             self.y = y;
             self.c1 = c1;
             let Some((q, dir)) = entering else {
-                // No improving column: the violation sum is minimal.
-                return Ok(self.infeasibility() <= PHASE1_TOL);
+                // No improving column: the violation sum is minimal. The
+                // verdict is only trustworthy when `xb` matches a fresh
+                // factorization — incremental updates drift over long pivot
+                // sequences (warm starts especially), and pricing against a
+                // drifted point can miss every improving column. Re-sync once
+                // per verdict attempt and keep iterating if anything moved.
+                if fresh {
+                    return Ok(self.infeasibility() <= PHASE1_TOL);
+                }
+                if !self.refactorize() {
+                    return Err(EngineError::Numerical);
+                }
+                self.compute_xb();
+                fresh = true;
+                continue;
             };
 
             self.ftran_column(q);
             let (t_best, blocking) = self.ratio_test(q, dir, true, bland);
 
             self.charge_iteration()?;
+            fresh = false;
             match blocking {
                 Some((row, leave)) => {
                     self.update_devex(q, row);
@@ -956,6 +980,7 @@ impl<'a> Engine<'a> {
                         return Err(EngineError::Numerical);
                     }
                     self.compute_xb();
+                    fresh = true;
                 }
             }
             if !self.maybe_refactorize() {
@@ -1017,6 +1042,17 @@ impl<'a> Engine<'a> {
     fn dual(&mut self) -> Result<DualOutcome, SolveError> {
         let mut stall = 0usize;
         let mut last_inf = f64::INFINITY;
+        // Incremental `xb` updates drift over long pivot sequences, so both
+        // verdicts below are only trusted from a re-synced state. `fresh`
+        // means `xb` was re-derived through the factorization (one FTRAN —
+        // cheap, the eta chain is length-bounded by `maybe_refactorize`),
+        // which certifies the Optimal bound check. `hard_fresh` means the
+        // factorization itself was rebuilt from scratch — required for an
+        // Infeasible verdict, which branch-and-bound treats as a pruning
+        // proof. Both hold on entry: `install_warm_basis` refactorizes from
+        // scratch and recomputes `xb` as its last step.
+        let mut fresh = true;
+        let mut hard_fresh = true;
         loop {
             // Leaving row: the worst bound violation.
             let mut leaving: Option<(usize, bool, f64)> = None; // (row, below, violation)
@@ -1032,7 +1068,12 @@ impl<'a> Engine<'a> {
                 }
             }
             let Some((row, below, total_viol)) = leaving else {
-                return Ok(DualOutcome::Optimal);
+                if fresh {
+                    return Ok(DualOutcome::Optimal);
+                }
+                self.compute_xb();
+                fresh = true;
+                continue;
             };
             if total_viol < last_inf - EPS {
                 stall = 0;
@@ -1110,8 +1151,18 @@ impl<'a> Engine<'a> {
             self.w = yc;
 
             let Some((q, alpha, _)) = entering else {
-                // Dual unbounded ⇒ primal infeasible.
-                return Ok(DualOutcome::Infeasible);
+                // Dual unbounded ⇒ primal infeasible — certify from a
+                // from-scratch factorization before surfacing the proof.
+                if hard_fresh {
+                    return Ok(DualOutcome::Infeasible);
+                }
+                if !self.refactorize() {
+                    return Ok(DualOutcome::Stuck);
+                }
+                self.compute_xb();
+                fresh = true;
+                hard_fresh = true;
+                continue;
             };
 
             let _ = alpha;
@@ -1131,6 +1182,8 @@ impl<'a> Engine<'a> {
                 VarStatus::AtUpper
             };
             self.charge_iteration()?;
+            fresh = false;
+            hard_fresh = false;
             // `y` still holds ρ = B⁻ᵀ e_row from the ratio test above — no
             // second BTRAN for the weight update.
             let rho = std::mem::take(&mut self.y);

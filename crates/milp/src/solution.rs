@@ -37,6 +37,19 @@ pub struct Solution {
     /// Partial-pricing segment size of the root LP solve (columns scanned per
     /// pricing chunk).
     pub candidate_list_size: usize,
+    /// Cutting planes accepted into the root LP across all separation rounds
+    /// (0 when [`crate::SolveParams::cuts`] is off or the root is integral).
+    pub cuts_added: usize,
+    /// Root separation rounds that added at least one cut.
+    pub cut_rounds: usize,
+    /// Branching decisions taken from pseudocost averages alone (without
+    /// spending strong-branching probes on the chosen variable).
+    pub pseudocost_branchings: usize,
+    /// Strong-branching dual-simplex probes spent initializing pseudocosts.
+    pub strong_branch_probes: usize,
+    /// Incumbents contributed by the feasibility-pump heuristic (0 or 1 per
+    /// solve; 0 when [`crate::SolveParams::pump`] is off or the pump failed).
+    pub pump_incumbents: usize,
     values: Vec<f64>,
 }
 
@@ -59,6 +72,11 @@ impl Solution {
             presolve_cols_removed: 0,
             devex_resets: 0,
             candidate_list_size: 0,
+            cuts_added: 0,
+            cut_rounds: 0,
+            pseudocost_branchings: 0,
+            strong_branch_probes: 0,
+            pump_incumbents: 0,
         }
     }
 
@@ -74,6 +92,11 @@ impl Solution {
             presolve_cols_removed: 0,
             devex_resets: 0,
             candidate_list_size: 0,
+            cuts_added: 0,
+            cut_rounds: 0,
+            pseudocost_branchings: 0,
+            strong_branch_probes: 0,
+            pump_incumbents: 0,
         }
     }
 
@@ -89,6 +112,11 @@ impl Solution {
             presolve_cols_removed: 0,
             devex_resets: 0,
             candidate_list_size: 0,
+            cuts_added: 0,
+            cut_rounds: 0,
+            pseudocost_branchings: 0,
+            strong_branch_probes: 0,
+            pump_incumbents: 0,
         }
     }
 
@@ -105,6 +133,25 @@ impl Solution {
         self.presolve_cols_removed = presolve_cols_removed;
         self.devex_resets = devex_resets;
         self.candidate_list_size = candidate_list_size;
+        self
+    }
+
+    /// Attaches the tree-shrinking counters of a solve (cutting planes,
+    /// pseudocost branching and the feasibility pump; builder style, same
+    /// call site as [`Solution::with_counters`]).
+    pub(crate) fn with_tree_counters(
+        mut self,
+        cuts_added: usize,
+        cut_rounds: usize,
+        pseudocost_branchings: usize,
+        strong_branch_probes: usize,
+        pump_incumbents: usize,
+    ) -> Self {
+        self.cuts_added = cuts_added;
+        self.cut_rounds = cut_rounds;
+        self.pseudocost_branchings = pseudocost_branchings;
+        self.strong_branch_probes = strong_branch_probes;
+        self.pump_incumbents = pump_incumbents;
         self
     }
 

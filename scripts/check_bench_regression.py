@@ -2,11 +2,13 @@
 """Perf-regression gate for the benchmark JSON artifacts.
 
 Walks the freshly generated benchmark JSON (``current``), collects every
-``simplex_iterations`` counter (at any nesting depth), and compares each
-against the same dotted path in the committed ``baseline``. The gate fails
-(exit 1) when any counter regressed by more than the allowed fraction.
-Iteration counts are deterministic — unlike wall time — so this is safe to
-run on noisy CI machines.
+``simplex_iterations`` and ``milp_nodes`` counter (at any nesting depth), and
+compares each against the same dotted path in the committed ``baseline``. The
+gate fails (exit 1) when any counter regressed by more than the allowed
+fraction. Iteration and node counts are deterministic — unlike wall time — so
+this is safe to run on noisy CI machines. Gating ``milp_nodes`` alongside the
+pivot counts means a branching or cutting-plane change that blows up the
+branch-and-bound tree fails CI even if each node got cheaper.
 
 Keys present in ``current`` but absent from the baseline are treated as
 "no baseline, pass": a PR that *adds* a benchmark scenario must not fail the
@@ -33,7 +35,7 @@ import json
 import sys
 
 #: Leaf keys treated as smaller-is-better deterministic work counters.
-COUNTER_KEYS = ("simplex_iterations",)
+COUNTER_KEYS = ("simplex_iterations", "milp_nodes")
 
 
 def collect_counters(data, prefix=""):

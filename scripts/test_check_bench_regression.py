@@ -81,6 +81,8 @@ class CollectCountersTest(unittest.TestCase):
         # a property of the workload, not solver efficiency) and
         # `analyze_micros` (wall clock — would flap on noisy runners) next to
         # the gated counters; both ride along ungated, at every nesting depth.
+        # `milp_nodes` became a gated counter with the tree-shrinking PR, so
+        # it *is* collected wherever it appears.
         data = {
             "scenarios": {
                 "chain_n8": {
@@ -102,8 +104,47 @@ class CollectCountersTest(unittest.TestCase):
         counters = cbr.collect_counters(data)
         self.assertEqual(
             counters,
-            {"scenarios.chain_n8.simplex_iterations": 3350.0},
+            {
+                "scenarios.chain_n8.simplex_iterations": 3350.0,
+                "infeasible.over_utilized.milp_nodes": 0.0,
+            },
         )
+
+    def test_milp_nodes_collected_next_to_simplex_iterations(self):
+        # Node counts are the second gated counter family: a strategy entry
+        # carrying both must contribute two dotted paths.
+        data = {
+            "strategies": {
+                "inherited_incremental": {
+                    "simplex_iterations": 617,
+                    "milp_nodes": 42,
+                    "cuts_added": 9,
+                    "pump_incumbents": 1,
+                }
+            }
+        }
+        counters = cbr.collect_counters(data)
+        self.assertEqual(
+            counters,
+            {
+                "strategies.inherited_incremental.simplex_iterations": 617.0,
+                "strategies.inherited_incremental.milp_nodes": 42.0,
+            },
+        )
+
+    def test_cut_and_pump_counters_are_informational(self):
+        # The tree-shrinking counters (`cuts_added`, `cut_rounds`,
+        # `pseudocost_branchings`, `strong_branch_probes`, `pump_incumbents`)
+        # ride along for visibility but are workload descriptors, not
+        # smaller-is-better work totals — they must never be gated.
+        data = {
+            "cuts_added": 12,
+            "cut_rounds": 3,
+            "pseudocost_branchings": 40,
+            "strong_branch_probes": 64,
+            "pump_incumbents": 1,
+        }
+        self.assertEqual(cbr.collect_counters(data), {})
 
     def test_boolean_leaves_are_never_counters(self):
         # bool subclasses int in Python; a flag that happened to be named
@@ -150,6 +191,21 @@ class CheckTest(unittest.TestCase):
             failures = cbr.check(baseline, current, 0.20)
         self.assertEqual(failures, [])
         self.assertIn("improved", out.getvalue())
+
+    def test_milp_nodes_regression_fails_and_improvement_is_reported(self):
+        import contextlib
+        import io
+
+        baseline = {"s.milp_nodes": 300.0}
+        # A 3x node-count drop (the cutting-plane PR's target) is reported as
+        # an improvement; a blow-up past the allowance fails.
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            self.assertEqual(cbr.check(baseline, {"s.milp_nodes": 100.0}, 0.20), [])
+        self.assertIn("improved", out.getvalue())
+        failures = cbr.check(baseline, {"s.milp_nodes": 400.0}, 0.20)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("s.milp_nodes", failures[0])
 
 
 class MainTest(unittest.TestCase):

@@ -19,6 +19,11 @@
 //! * presolved solves agree with presolve-disabled solves (status and
 //!   objective) on generated instances — the reduction can reshape the
 //!   search but never the answer;
+//! * root cutting planes, the feasibility pump and pseudocost branching are
+//!   pure accelerators: solves with the tree-shrinking layers on and off
+//!   agree on status and objective per instance, whole-system synthesis
+//!   produces identical schedules (work counters aside), and every MILP
+//!   optimum respects the dense oracle's relaxation bound;
 //! * a schedule served from the fingerprint-keyed cache byte-matches fresh
 //!   synthesis;
 //! * the static analyzer is sound: every mode it certifies infeasible is
@@ -485,6 +490,183 @@ fn presolved_solves_agree_with_presolve_disabled_solves() {
     );
 }
 
+/// Returns a copy of `result` with every per-mode work-counter block zeroed,
+/// so byte comparisons see only the schedule content (offsets, deadlines,
+/// rounds, latencies) and not how much solver work produced it.
+fn normalize_stats(mut result: ttw::core::SystemSchedule) -> ttw::core::SystemSchedule {
+    for schedule in result.schedules.values_mut() {
+        schedule.stats = Default::default();
+    }
+    for stats in result.stats.values_mut() {
+        *stats = Default::default();
+    }
+    result
+}
+
+#[test]
+fn cuts_and_pump_preserve_verdicts() {
+    // The tree-shrinking invariant: Gomory/cover cuts, the feasibility pump
+    // and pseudocost branching may only change how much work branch-and-bound
+    // does, never what it returns. Per generated instance, on/off solves must
+    // agree on status and objective — and the dense oracle's relaxation
+    // objective must lower-bound the (minimization) MILP optimum, anchoring
+    // both against a solver-independent reference. Per system, full synthesis
+    // with the layers on and off must produce byte-identical schedules once
+    // the work counters are normalized out.
+    let start = seed_start();
+    let count = seed_count(6);
+    let mut milp_compared = 0usize;
+    let mut dense_checked = 0usize;
+    let mut systems_compared = 0usize;
+    let mut budget_skips = 0usize;
+
+    let disable_tree_layers = |config: &mut ttw::core::SchedulerConfig| {
+        config.solver.cuts = false;
+        config.solver.pump = false;
+        config.solver.pseudocost = false;
+    };
+
+    for seed in start..start + count as u64 {
+        let scenario = scenario_for_seed(seed, false);
+        let sys = &scenario.system;
+        let config = scenario.scheduler_config();
+        let repro = scenario.repro();
+
+        // Instance level: identical verdicts and objectives.
+        for (mode, _) in sys.modes().take(2) {
+            for rounds in 2..=3 {
+                let instance = ilp::build_ilp(sys, mode, &config, rounds).expect("valid instance");
+                let with = instance.model.clone();
+                let mut without = instance.model.clone();
+                {
+                    let p = without.params_mut();
+                    p.cuts = false;
+                    p.pump = false;
+                    p.pseudocost = false;
+                }
+                let (Ok(on), Ok(off)) = (with.solve(), without.solve()) else {
+                    budget_skips += 1;
+                    continue; // budget exhaustion proves nothing — skip
+                };
+                assert_eq!(
+                    on.status, off.status,
+                    "MILP status diverged with cuts/pump on vs off at R={rounds} \
+                     for {mode} ({repro})"
+                );
+                if on.is_optimal() {
+                    assert!(
+                        (on.objective - off.objective).abs() < 1e-6,
+                        "MILP objective {} (cuts/pump on) vs {} (off) at R={rounds} \
+                         for {mode} ({repro})",
+                        on.objective,
+                        off.objective
+                    );
+                    // The legacy path must report zeroed tree counters.
+                    assert_eq!(
+                        (
+                            off.cuts_added,
+                            off.pump_incumbents,
+                            off.strong_branch_probes
+                        ),
+                        (0, 0, 0),
+                        "disabled layers still counted work ({repro})"
+                    );
+                }
+                milp_compared += 1;
+
+                // Dense oracle cross-check: the relaxation optimum of the
+                // reference solver lower-bounds the integer optimum.
+                let cmp = compare_relaxations(&instance.model).expect("both LP solves run");
+                assert!(
+                    cmp.agree_on_feasibility(),
+                    "dense {:?} vs sparse {:?} at R={rounds} for {mode} ({repro})",
+                    cmp.dense_status,
+                    cmp.sparse_status
+                );
+                if on.is_optimal() && cmp.both_optimal() {
+                    assert!(
+                        on.objective >= cmp.dense_objective - 1e-6,
+                        "MILP optimum {} undercuts the dense relaxation bound {} \
+                         at R={rounds} for {mode} ({repro})",
+                        on.objective,
+                        cmp.dense_objective
+                    );
+                    dense_checked += 1;
+                }
+            }
+        }
+
+        // System level: identical schedules byte-for-byte (modulo counters).
+        let config_on = scenario.scheduler_config();
+        let mut config_off = scenario.scheduler_config();
+        disable_tree_layers(&mut config_off);
+        let on = synthesize_system(sys, &scenario.graph, &config_on, &IlpSynthesizer::default());
+        let off = synthesize_system(
+            sys,
+            &scenario.graph,
+            &config_off,
+            &IlpSynthesizer::default(),
+        );
+        match (on, off) {
+            (Ok(on), Ok(off)) => {
+                let on_json = system_schedule_to_json(&normalize_stats(on)).expect("serialize");
+                let off_json = system_schedule_to_json(&normalize_stats(off)).expect("serialize");
+                assert_eq!(
+                    on_json, off_json,
+                    "cuts/pump changed the synthesized schedule ({repro})"
+                );
+                systems_compared += 1;
+            }
+            (Err(on), Err(off)) => {
+                if matches!(on.error, ScheduleError::Solver(_))
+                    || matches!(off.error, ScheduleError::Solver(_))
+                {
+                    budget_skips += 1;
+                } else {
+                    assert_eq!(
+                        on.mode, off.mode,
+                        "cuts/pump on and off failed different modes ({repro})"
+                    );
+                }
+            }
+            (Ok(_), Err(off)) => {
+                // The legacy tree may exhaust the node budget where the cut
+                // tree finishes — that is the point of the layers, not a
+                // verdict change. A genuine infeasibility claim is one.
+                assert!(
+                    matches!(off.error, ScheduleError::Solver(_)),
+                    "cuts/pump on synthesized a system the legacy solver proved \
+                     infeasible ({repro}): {}",
+                    off.error
+                );
+                budget_skips += 1;
+            }
+            (Err(on), Ok(_)) => {
+                assert!(
+                    matches!(on.error, ScheduleError::Solver(_)),
+                    "cuts/pump on rejected a system the legacy solver synthesized \
+                     ({repro}): {}",
+                    on.error
+                );
+                budget_skips += 1;
+            }
+        }
+    }
+
+    if !knobs_overridden() {
+        assert!(milp_compared > 0, "no MILP was compared");
+        assert!(dense_checked > 0, "no dense-oracle bound was checked");
+        assert!(
+            systems_compared > 0,
+            "no system-level schedule was compared"
+        );
+    }
+    eprintln!(
+        "cuts/pump sweep: {milp_compared} MILPs agreed, {dense_checked} dense bounds held, \
+         {systems_compared} system schedules byte-matched, {budget_skips} budget skips"
+    );
+}
+
 #[test]
 fn cache_hits_byte_match_fresh_synthesis() {
     // The cache invariant: a hit returns exactly the bytes a fresh synthesis
@@ -762,4 +944,39 @@ fn generated_ilp_models_audit_without_errors() {
         assert!(audited > 0, "no model was audited");
     }
     eprintln!("model-audit sweep: {audited} generated models audited clean");
+}
+
+#[test]
+fn numerically_hard_cut_root_degrades_instead_of_failing() {
+    // Regression: on the N=16 diamond benchmark workload (seed 7), one
+    // incremental `R_M` solve produced a cut-tightened root LP that dead-ends
+    // numerically even from a cold basis. The solver must reject that cut
+    // round (and, per node, fall back to the uncut relaxation) rather than
+    // surface `NumericalInstability` — with cuts enabled the pipeline has to
+    // reach exactly the verdict it reaches with cuts disabled.
+    let scenario = generate(&GeneratorConfig::bench(16, GraphShape::Diamond), 7);
+    let sys = &scenario.system;
+    let config = scenario.scheduler_config();
+    let with_cuts = synthesize_system(sys, &scenario.graph, &config, &IlpSynthesizer::default())
+        .expect("cut-enabled synthesis must survive the numerically hard root");
+
+    let mut no_cuts_config = scenario.scheduler_config();
+    no_cuts_config.solver.cuts = false;
+    let without_cuts = synthesize_system(
+        sys,
+        &scenario.graph,
+        &no_cuts_config,
+        &IlpSynthesizer::default(),
+    )
+    .expect("cut-free synthesis is the reference");
+
+    for (mode, schedule) in without_cuts.iter() {
+        let other = with_cuts.get(mode).expect("same modes");
+        assert_eq!(
+            schedule.rounds, other.rounds,
+            "cut fallback changed the round count of {mode}"
+        );
+    }
+    let violations = validate_system_schedule(sys, &config, &with_cuts);
+    assert!(violations.is_empty(), "invalid schedule: {violations:?}");
 }
