@@ -10,7 +10,7 @@
 //! Three tree-shrinking layers run before and during the search (each
 //! toggleable via [`crate::SolveParams`]):
 //!
-//! 1. **Root cutting planes** ([`crate::cuts`]): rounds of Gomory
+//! 1. **Root cutting planes** (the private `cuts` module): rounds of Gomory
 //!    mixed-integer and lifted cover cuts tighten the root relaxation, so the
 //!    whole tree starts from a stronger bound.
 //! 2. **A feasibility pump** rounds the root optimum into an early incumbent,
@@ -21,9 +21,9 @@
 //!    additionally feeds the realized objective degradation of the branching
 //!    that created it back into the pseudocost averages, so the selector
 //!    keeps learning even where probes never ran. Probes themselves are
-//!    rationed: they start only once the tree outgrows [`PROBE_MIN_NODES`]
+//!    rationed: they start only once the tree outgrows `PROBE_MIN_NODES`
 //!    (small trees close faster than probes pay for themselves), stop below
-//!    depth [`PROBE_MAX_DEPTH`], and their *order* follows the solve's
+//!    depth `PROBE_MAX_DEPTH`, and their *order* follows the solve's
 //!    provenance — cold solves with pinned columns trust the structural
 //!    (lowest-index) variable order as a prior, while pin-free or warm
 //!    solves probe in pseudocost-score order.

@@ -15,6 +15,8 @@
 //!   dependent);
 //! * [`flood`] — the Glossy flood engine: slot-by-slot constructive flooding
 //!   with `N` retransmissions per node;
+//! * [`faults`] — declarative, seeded fault plans: burst loss, partitions,
+//!   clock drift, beacon corruption, host crash windows;
 //! * [`radio`] — per-node radio-on time accounting consistent with the
 //!   `ttw-timing` model;
 //! * [`event`] — a small discrete-event queue used by higher layers.
@@ -37,12 +39,16 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod faults;
 pub mod flood;
 pub mod link;
 pub mod radio;
 pub mod rng;
 pub mod topology;
 
+pub use faults::{
+    BeaconCorruption, ClockFault, ClockState, CrashWindow, FaultPlan, PartitionWindow,
+};
 pub use flood::{simulate_flood, FloodConfig, FloodOutcome};
-pub use link::LinkModel;
+pub use link::{GilbertElliott, LinkModel};
 pub use topology::Topology;

@@ -2,8 +2,52 @@
 //!
 //! Every communication round starts with a beacon flooded by the host. As in
 //! Sec. II.B of the paper, the beacon carries the current round id, the mode
-//! id and the trigger bit `SB` used by the two-phase mode change, and fits the
-//! 3-byte payload (`L_beacon`) assumed by the timing model.
+//! id and the trigger bit `SB` used by the two-phase mode change. The paper's
+//! 3-byte payload (`L_beacon` in Table I) is extended here with one CRC-8
+//! checksum byte so that bit-corruption faults are *detected* and counted
+//! instead of silently mis-parsed; the timing/energy model keeps accounting
+//! with Table I's `L_beacon`, which preserves the paper's Fig. 6/7 anchors.
+
+use std::fmt;
+
+/// A beacon frame whose checksum did not match its body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeaconDecodeError {
+    /// Checksum recomputed from the received body bytes.
+    pub expected: u8,
+    /// Checksum byte actually carried by the frame.
+    pub found: u8,
+}
+
+impl fmt::Display for BeaconDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "beacon checksum mismatch: expected {:#04x}, found {:#04x}",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for BeaconDecodeError {}
+
+/// CRC-8 with polynomial 0x07 (CRC-8/SMBUS), the classic single-byte check
+/// used on short sensor-network frames: it detects every single- and
+/// double-bit error at this frame length.
+fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &byte in data {
+        crc ^= byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
 
 /// The content of a host beacon `b = {round id, mode id, trigger bit SB}`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,16 +65,33 @@ pub struct Beacon {
 }
 
 impl Beacon {
-    /// Serializes the beacon to its 3-byte wire format.
-    pub fn encode(&self) -> [u8; 3] {
-        [self.round_id, self.mode_id, u8::from(self.trigger)]
+    /// Serializes the beacon to its checksummed 4-byte wire format:
+    /// `[round_id, mode_id, trigger, crc8(body)]`.
+    pub fn encode(&self) -> [u8; Self::WIRE_LENGTH] {
+        let body = [self.round_id, self.mode_id, u8::from(self.trigger)];
+        [body[0], body[1], body[2], crc8(&body)]
     }
 
-    /// Parses a beacon from its 3-byte wire format.
+    /// Parses a beacon from its checksummed wire format, rejecting frames
+    /// whose CRC does not match.
+    pub fn decode(bytes: [u8; Self::WIRE_LENGTH]) -> Result<Self, BeaconDecodeError> {
+        let expected = crc8(&bytes[..3]);
+        if bytes[3] != expected {
+            return Err(BeaconDecodeError {
+                expected,
+                found: bytes[3],
+            });
+        }
+        Ok(Self::decode_legacy([bytes[0], bytes[1], bytes[2]]))
+    }
+
+    /// Parses a beacon from the original, checksum-less 3-byte format
+    /// (`L_beacon` in Table I) — the compat constructor for pre-checksum
+    /// deployments and for the timing model's payload assumption.
     ///
     /// Any non-zero trigger byte is interpreted as `true`, mirroring how a
     /// robust implementation would treat the flag.
-    pub fn decode(bytes: [u8; 3]) -> Self {
+    pub fn decode_legacy(bytes: [u8; Self::LEGACY_WIRE_LENGTH]) -> Self {
         Beacon {
             round_id: bytes[0],
             mode_id: bytes[1],
@@ -38,8 +99,11 @@ impl Beacon {
         }
     }
 
-    /// Length of the encoded beacon in bytes (matches `L_beacon` in Table I).
-    pub const WIRE_LENGTH: usize = 3;
+    /// Length of the checksummed encoded beacon in bytes.
+    pub const WIRE_LENGTH: usize = 4;
+
+    /// Length of the paper's checksum-less beacon (`L_beacon` in Table I).
+    pub const LEGACY_WIRE_LENGTH: usize = 3;
 }
 
 #[cfg(test)]
@@ -53,15 +117,15 @@ mod tests {
             mode_id: 2,
             trigger: true,
         };
-        assert_eq!(Beacon::decode(b.encode()), b);
+        assert_eq!(Beacon::decode(b.encode()), Ok(b));
         assert_eq!(b.encode().len(), Beacon::WIRE_LENGTH);
     }
 
     #[test]
     fn nonzero_trigger_bytes_decode_to_true() {
-        assert!(Beacon::decode([0, 0, 1]).trigger);
-        assert!(Beacon::decode([0, 0, 255]).trigger);
-        assert!(!Beacon::decode([0, 0, 0]).trigger);
+        assert!(Beacon::decode_legacy([0, 0, 1]).trigger);
+        assert!(Beacon::decode_legacy([0, 0, 255]).trigger);
+        assert!(!Beacon::decode_legacy([0, 0, 0]).trigger);
     }
 
     #[test]
@@ -76,9 +140,71 @@ mod tests {
                         mode_id,
                         trigger,
                     };
-                    assert_eq!(Beacon::decode(b.encode()), b);
+                    assert_eq!(Beacon::decode(b.encode()), Ok(b));
+                    let wire = b.encode();
+                    assert_eq!(
+                        Beacon::decode_legacy([wire[0], wire[1], wire[2]]),
+                        b,
+                        "legacy decode ignores the checksum byte"
+                    );
                 }
             }
         }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let b = Beacon {
+            round_id: 0x5A,
+            mode_id: 0x3C,
+            trigger: true,
+        };
+        let wire = b.encode();
+        for bit in 0..(Beacon::WIRE_LENGTH * 8) {
+            let mut corrupted = wire;
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                Beacon::decode(corrupted).is_err(),
+                "bit {bit} flip went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_is_detected() {
+        let wire = Beacon {
+            round_id: 0,
+            mode_id: 0,
+            trigger: false,
+        }
+        .encode();
+        let bits = Beacon::WIRE_LENGTH * 8;
+        for a in 0..bits {
+            for b in (a + 1)..bits {
+                let mut corrupted = wire;
+                corrupted[a / 8] ^= 1 << (a % 8);
+                corrupted[b / 8] ^= 1 << (b % 8);
+                assert!(
+                    Beacon::decode(corrupted).is_err(),
+                    "bits {a},{b} flip went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_error_reports_both_checksums() {
+        let mut wire = Beacon {
+            round_id: 1,
+            mode_id: 2,
+            trigger: false,
+        }
+        .encode();
+        let good = wire[3];
+        wire[3] ^= 0xFF;
+        let err = Beacon::decode(wire).unwrap_err();
+        assert_eq!(err.expected, good);
+        assert_eq!(err.found, good ^ 0xFF);
+        assert!(err.to_string().contains("checksum mismatch"));
     }
 }

@@ -39,6 +39,22 @@ pub enum RuntimeError {
         /// The requested mode.
         mode: ModeId,
     },
+    /// A forced beacon miss in
+    /// [`crate::SimulationConfig::forced_beacon_misses`] names a node index
+    /// the system does not have — it would silently never fire, so the
+    /// simulation refuses to build.
+    ForcedMissOutOfRange {
+        /// The offending system node index.
+        node: usize,
+        /// Number of nodes in the system.
+        nodes: usize,
+    },
+    /// The configured [`ttw_netsim::FaultPlan`] is inconsistent with the
+    /// system (out-of-range node, empty window, invalid probability, …).
+    InvalidFaultPlan {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
     /// A mode change was requested between two modes whose schedules disagree
     /// on the offsets of a shared application. Executing the switch would
     /// silently re-time an application that keeps running across it, so a
@@ -78,6 +94,13 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::UnknownMode { mode } => {
                 write!(f, "mode {mode} is not known to the runtime")
+            }
+            RuntimeError::ForcedMissOutOfRange { node, nodes } => write!(
+                f,
+                "forced beacon miss names node {node} but the system has {nodes} nodes"
+            ),
+            RuntimeError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
             }
             RuntimeError::SwitchInconsistent { from, to, app } => write!(
                 f,

@@ -142,6 +142,51 @@ impl Host {
 
         (host_round, round)
     }
+
+    /// Advances the round clock *without* emitting a beacon — the host is
+    /// crashed for this round.
+    ///
+    /// The schedule is a global time base, so rounds keep their absolute
+    /// start times and the host resumes on-grid after a restart. A pending
+    /// mode change deliberately survives the crash un-completed: phase 1 of
+    /// Fig. 2 cannot progress while no beacons are flooded (the trigger bit
+    /// was never distributed), so after the restart the host re-announces the
+    /// in-flight change and the switch happens at the end of a *later*
+    /// hyperperiod.
+    ///
+    /// The returned [`HostRound`] describes the round slot layout the
+    /// schedule reserves for this round (callers need it for time accounting
+    /// and to know which slots desynchronized legacy nodes might fire into);
+    /// its beacon is the one the host *would* have sent with no change in
+    /// progress, and is never flooded.
+    pub fn skip_round(&mut self) -> (HostRound, RoundEntry) {
+        let table = &self.tables[&self.current_mode];
+        let round = table.rounds[self.next_index].clone();
+        let is_last_of_hyperperiod = self.next_index + 1 == table.rounds.len();
+
+        let beacon = Beacon {
+            round_id: round.round_id,
+            mode_id: table.mode_id,
+            trigger: false,
+        };
+        let host_round = HostRound {
+            start: self.hyperperiod_start + round.start,
+            mode: self.current_mode,
+            index: self.next_index,
+            beacon,
+            switches_after: false,
+        };
+
+        // Advance the clock but never complete a pending change.
+        if is_last_of_hyperperiod {
+            self.hyperperiod_start += table.hyperperiod;
+            self.next_index = 0;
+        } else {
+            self.next_index += 1;
+        }
+
+        (host_round, round)
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +272,55 @@ mod tests {
         let (mut host, normal, _) = two_mode_host();
         host.request_mode_change(normal).expect("known mode");
         assert!(!host.change_in_progress());
+    }
+
+    #[test]
+    fn crash_window_preserves_an_in_flight_mode_change() {
+        let (mut host, normal, emergency) = two_mode_host();
+        let per_hyperperiod = host.current_table().rounds.len();
+        host.request_mode_change(emergency).expect("known mode");
+
+        // The host crashes for more than a full hyperperiod, covering the
+        // round that would have carried the trigger bit.
+        for _ in 0..per_hyperperiod + 1 {
+            let (round, _) = host.skip_round();
+            assert_eq!(round.mode, normal, "no switch can complete while down");
+            assert!(!round.beacon.trigger);
+            assert!(!round.switches_after);
+        }
+        assert!(
+            host.change_in_progress(),
+            "the pending change survives the crash"
+        );
+        assert_eq!(host.current_mode(), normal);
+
+        // After the restart the change is re-announced and completes at the
+        // end of the current hyperperiod.
+        let emergency_id = host.table(emergency).expect("table").mode_id;
+        for i in 1..per_hyperperiod {
+            let (round, _) = host.next_round();
+            assert_eq!(round.beacon.mode_id, emergency_id, "re-announced");
+            assert_eq!(round.beacon.trigger, i + 1 == per_hyperperiod);
+        }
+        let (round, _) = host.next_round();
+        assert_eq!(round.mode, emergency, "switch completes after restart");
+        assert!(!host.change_in_progress());
+    }
+
+    #[test]
+    fn skip_round_keeps_the_round_clock_on_grid() {
+        let (mut host, _, _) = two_mode_host();
+        let mut reference = host.clone();
+        // Crash for three rounds: start times and indices must match the
+        // uncrashed host exactly afterwards.
+        for _ in 0..3 {
+            let (skipped, _) = host.skip_round();
+            let (emitted, _) = reference.next_round();
+            assert_eq!(skipped.start, emitted.start);
+            assert_eq!(skipped.index, emitted.index);
+            assert_eq!(skipped.beacon.round_id, emitted.beacon.round_id);
+        }
+        assert_eq!(host.next_round().0.start, reference.next_round().0.start);
     }
 
     #[test]

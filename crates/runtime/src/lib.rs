@@ -14,7 +14,12 @@
 //!   [`node::BeaconLossPolicy::LegacyTransmit`] alternative is provided to
 //!   quantify that guarantee;
 //! * the [`sim::Simulation`] runs everything over the Glossy flood simulator
-//!   of [`ttw_netsim`] and accounts radio-on time per node.
+//!   of [`ttw_netsim`] and accounts radio-on time per node;
+//! * a [`ttw_netsim::FaultPlan`] injects burst loss, partitions, clock
+//!   drift, beacon corruption and host crashes, the
+//!   [`node::BeaconLossPolicy::Resync`] policy models safe degradation with
+//!   an explicit rejoin, and the online [`safety::SafetyMonitor`] checks the
+//!   paper's safety invariants on every executed round.
 //!
 //! ```
 //! use ttw_core::{fixtures, synthesis, SchedulerConfig};
@@ -39,12 +44,14 @@ pub mod beacon;
 pub mod error;
 pub mod host;
 pub mod node;
+pub mod safety;
 pub mod sim;
 pub mod slot_table;
 pub mod stats;
 
-pub use beacon::Beacon;
+pub use beacon::{Beacon, BeaconDecodeError};
 pub use error::RuntimeError;
 pub use node::BeaconLossPolicy;
+pub use safety::{SafetyMonitor, SafetyViolation};
 pub use sim::{NodePlacement, Simulation, SimulationConfig};
 pub use stats::RuntimeStats;

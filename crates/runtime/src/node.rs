@@ -15,6 +15,18 @@ pub enum BeaconLossPolicy {
     /// this guess can be wrong and produce collisions; the runtime benchmarks
     /// use this policy to quantify the value of the beacon rule.
     LegacyTransmit,
+    /// Safe degradation with an explicit rejoin: the node behaves like
+    /// [`SkipRound`](Self::SkipRound) until it has missed `max_misses`
+    /// consecutive beacons, then *desynchronizes* — it stops trusting its
+    /// local round counter entirely, transmits nothing, and listens
+    /// continuously until it decodes a beacon again, which re-synchronizes it
+    /// in one shot (Sec. II.B: a single beacon is sufficient to retrieve the
+    /// overall system state).
+    Resync {
+        /// Consecutive missed beacons after which the node desynchronizes.
+        /// Must be at least 1.
+        max_misses: u32,
+    },
 }
 
 /// The belief a node holds about the upcoming round.
@@ -64,6 +76,13 @@ impl NodeRuntime {
         self.consecutive_misses
     }
 
+    /// Whether the node has lost its round expectation and is waiting for a
+    /// beacon to rejoin (always `false` until the first miss; only the
+    /// [`BeaconLossPolicy::Resync`] policy ever desynchronizes on purpose).
+    pub fn is_desynced(&self) -> bool {
+        self.expectation.is_none()
+    }
+
     /// Called when the node receives the beacon of the current round.
     ///
     /// A single beacon is sufficient to retrieve the overall system state
@@ -97,11 +116,21 @@ impl NodeRuntime {
     ///
     /// Returns the round the node would act on (transmit its slots of) under
     /// the [`BeaconLossPolicy::LegacyTransmit`] policy, or `None` under the
-    /// safe TTW policy. Either way the expectation advances by one round so
-    /// that the node stays (approximately) aligned with the host.
+    /// safe policies. Under [`BeaconLossPolicy::SkipRound`] and
+    /// [`BeaconLossPolicy::LegacyTransmit`] the expectation advances by one
+    /// round so that the node stays (approximately) aligned with the host;
+    /// under [`BeaconLossPolicy::Resync`] the `max_misses`-th consecutive
+    /// miss drops the expectation instead — the node desynchronizes and stays
+    /// silent until [`Self::on_beacon`] rejoins it.
     pub fn on_beacon_missed(&mut self, directory: &RoundDirectory) -> Option<RoundBelief> {
         self.consecutive_misses += 1;
         let acted_on = self.expectation;
+        if let BeaconLossPolicy::Resync { max_misses } = self.policy {
+            if self.consecutive_misses >= max_misses.max(1) {
+                self.expectation = None;
+                return None;
+            }
+        }
         if let Some(belief) = self.expectation {
             self.expectation =
                 directory
@@ -112,7 +141,7 @@ impl NodeRuntime {
                     });
         }
         match self.policy {
-            BeaconLossPolicy::SkipRound => None,
+            BeaconLossPolicy::SkipRound | BeaconLossPolicy::Resync { .. } => None,
             BeaconLossPolicy::LegacyTransmit => acted_on,
         }
     }
@@ -224,5 +253,220 @@ mod tests {
             &dir,
         );
         assert_eq!(node.consecutive_misses(), 0);
+    }
+
+    #[test]
+    fn miss_counter_counts_every_consecutive_miss_and_only_resets_on_beacon() {
+        let dir = directory_two_modes();
+        let mut node = NodeRuntime::new(NodeId::from_index(0), 0, 0, BeaconLossPolicy::SkipRound);
+        assert_eq!(node.consecutive_misses(), 0, "boots with a clean counter");
+        for expected in 1..=5 {
+            node.on_beacon_missed(&dir);
+            assert_eq!(node.consecutive_misses(), expected);
+        }
+        node.on_beacon(
+            Beacon {
+                round_id: 0,
+                mode_id: 0,
+                trigger: false,
+            },
+            &dir,
+        );
+        assert_eq!(node.consecutive_misses(), 0);
+        // A fresh miss after the reset starts counting from 1 again.
+        node.on_beacon_missed(&dir);
+        assert_eq!(node.consecutive_misses(), 1);
+    }
+
+    #[test]
+    fn trigger_beacon_also_resets_the_miss_counter() {
+        let dir = directory_two_modes();
+        let mut node = NodeRuntime::new(NodeId::from_index(0), 0, 0, BeaconLossPolicy::SkipRound);
+        node.on_beacon_missed(&dir);
+        node.on_beacon(
+            Beacon {
+                round_id: 2,
+                mode_id: 1,
+                trigger: true,
+            },
+            &dir,
+        );
+        assert_eq!(node.consecutive_misses(), 0);
+    }
+
+    #[test]
+    fn resync_policy_desyncs_after_max_misses_and_rejoins_on_beacon() {
+        let dir = directory_two_modes();
+        let mut node = NodeRuntime::new(
+            NodeId::from_index(0),
+            0,
+            0,
+            BeaconLossPolicy::Resync { max_misses: 2 },
+        );
+        assert!(!node.is_desynced());
+        assert_eq!(node.on_beacon_missed(&dir), None, "never transmits blind");
+        assert!(!node.is_desynced(), "first miss still tracks the round");
+        assert_eq!(node.expectation().map(|b| b.round_id), Some(1));
+        assert_eq!(node.on_beacon_missed(&dir), None);
+        assert!(node.is_desynced(), "second miss drops the expectation");
+        assert_eq!(node.expectation(), None);
+        // Further misses keep it silent and desynced.
+        assert_eq!(node.on_beacon_missed(&dir), None);
+        assert!(node.is_desynced());
+        assert_eq!(node.consecutive_misses(), 3);
+        // One decoded beacon fully re-synchronizes (Sec. II.B).
+        node.on_beacon(
+            Beacon {
+                round_id: 1,
+                mode_id: 0,
+                trigger: false,
+            },
+            &dir,
+        );
+        assert!(!node.is_desynced());
+        assert_eq!(node.consecutive_misses(), 0);
+        assert_eq!(
+            node.expectation(),
+            Some(RoundBelief {
+                round_id: 2,
+                mode_id: 0
+            })
+        );
+    }
+
+    #[test]
+    fn resync_with_max_misses_zero_behaves_like_one() {
+        let dir = directory_two_modes();
+        let mut node = NodeRuntime::new(
+            NodeId::from_index(0),
+            0,
+            0,
+            BeaconLossPolicy::Resync { max_misses: 0 },
+        );
+        node.on_beacon_missed(&dir);
+        assert!(
+            node.is_desynced(),
+            "a zero budget desyncs on the first miss"
+        );
+    }
+
+    #[test]
+    fn resync_rejoin_via_trigger_beacon_lands_in_the_new_mode() {
+        let dir = directory_two_modes();
+        let mut node = NodeRuntime::new(
+            NodeId::from_index(0),
+            0,
+            0,
+            BeaconLossPolicy::Resync { max_misses: 1 },
+        );
+        node.on_beacon_missed(&dir);
+        assert!(node.is_desynced());
+        node.on_beacon(
+            Beacon {
+                round_id: 2,
+                mode_id: 1,
+                trigger: true,
+            },
+            &dir,
+        );
+        assert_eq!(
+            node.expectation(),
+            Some(RoundBelief {
+                round_id: 3,
+                mode_id: 1
+            })
+        );
+    }
+
+    /// A directory whose round ids wrap around 255 inside one mode — the id
+    /// space is cyclic (`u8`), and the wrap family found real bugs in the
+    /// directory layer before (PR 4).
+    fn directory_wrapping_ids() -> RoundDirectory {
+        let table = |mode: usize, mode_id: u8, ids: &[u8]| ModeTable {
+            mode: ModeId::from_index(mode),
+            mode_id,
+            hyperperiod: 100_000,
+            round_duration: 10_000,
+            rounds: ids
+                .iter()
+                .map(|&round_id| RoundEntry {
+                    round_id,
+                    start: 0,
+                    slots: vec![],
+                })
+                .collect(),
+        };
+        RoundDirectory::new(&[table(0, 0, &[253]), table(1, 1, &[254, 255, 0, 1])])
+    }
+
+    #[test]
+    fn beacon_expectation_crosses_the_round_id_wrap() {
+        let dir = directory_wrapping_ids();
+        let mut node = NodeRuntime::new(NodeId::from_index(0), 254, 1, BeaconLossPolicy::SkipRound);
+        for (seen, expected_next) in [(254u8, 255u8), (255, 0), (0, 1), (1, 254)] {
+            node.on_beacon(
+                Beacon {
+                    round_id: seen,
+                    mode_id: 1,
+                    trigger: false,
+                },
+                &dir,
+            );
+            assert_eq!(
+                node.expectation(),
+                Some(RoundBelief {
+                    round_id: expected_next,
+                    mode_id: 1
+                }),
+                "after beacon for round {seen}"
+            );
+        }
+    }
+
+    #[test]
+    fn missed_beacons_advance_the_belief_across_the_wrap() {
+        let dir = directory_wrapping_ids();
+        let mut node = NodeRuntime::new(
+            NodeId::from_index(0),
+            255,
+            1,
+            BeaconLossPolicy::LegacyTransmit,
+        );
+        // Miss 255 → acts on 255, now expects 0 (the wrap itself).
+        let acted = node.on_beacon_missed(&dir).expect("legacy acts");
+        assert_eq!(
+            acted,
+            RoundBelief {
+                round_id: 255,
+                mode_id: 1
+            }
+        );
+        assert_eq!(node.expectation().map(|b| b.round_id), Some(0));
+        // Miss 0 and 1 → wraps back around to the mode's first round, 254.
+        assert_eq!(node.on_beacon_missed(&dir).map(|b| b.round_id), Some(0));
+        assert_eq!(node.on_beacon_missed(&dir).map(|b| b.round_id), Some(1));
+        assert_eq!(node.expectation().map(|b| b.round_id), Some(254));
+        assert_eq!(node.consecutive_misses(), 3);
+    }
+
+    #[test]
+    fn trigger_into_wrapping_mode_lands_on_its_first_round() {
+        let dir = directory_wrapping_ids();
+        let mut node = NodeRuntime::new(NodeId::from_index(0), 253, 0, BeaconLossPolicy::SkipRound);
+        node.on_beacon(
+            Beacon {
+                round_id: 253,
+                mode_id: 1,
+                trigger: true,
+            },
+            &dir,
+        );
+        assert_eq!(
+            node.expectation(),
+            Some(RoundBelief {
+                round_id: 254,
+                mode_id: 1
+            })
+        );
     }
 }

@@ -1,0 +1,268 @@
+//! Online safety monitor for the executed schedule.
+//!
+//! The paper's headline runtime property is that packet loss — and, by
+//! extension, any fault that makes nodes miss beacons — never makes the
+//! network *unsafe*: nodes either follow the host or stay silent. The
+//! [`SafetyMonitor`] checks that property while a simulation runs, as three
+//! machine-checkable invariants per executed round:
+//!
+//! 1. **No concurrent transmitters** — at most one node initiates a flood in
+//!    any data slot (two concurrent initiators are a collision *by
+//!    construction*, whatever the capture effect would salvage).
+//! 2. **No uncommitted mode execution** — a transmitting node acts within a
+//!    mode the host actually committed at some point (the initial mode or a
+//!    completed two-phase change), never a mode the host merely announced or
+//!    abandoned.
+//! 3. **Consistent commit order** — the sequence of mode changes each node
+//!    *observes* (decoded trigger beacons) is a subsequence of the host's
+//!    commit log: a node may sleep through changes, but never sees them in a
+//!    different order.
+//!
+//! The monitor is passive: it never changes simulation behaviour, it only
+//! records violations (bounded detail, exact total).
+
+/// One detected violation of a runtime safety invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafetyViolation {
+    /// Two or more nodes initiated a flood in the same data slot.
+    ConcurrentTransmitters {
+        /// Executed-round sequence number.
+        round: usize,
+        /// Data-slot index within the round.
+        slot: usize,
+        /// System node indices that transmitted concurrently.
+        nodes: Vec<usize>,
+    },
+    /// A node transmitted while believing in a mode the host never committed.
+    UncommittedModeExecution {
+        /// Executed-round sequence number.
+        round: usize,
+        /// System node index of the offender.
+        node: usize,
+        /// The mode id the node believed was executing.
+        mode_id: u8,
+    },
+    /// A node observed a completed mode change out of order with respect to
+    /// the host's commit log.
+    CommitOrderDivergence {
+        /// Executed-round sequence number.
+        round: usize,
+        /// System node index of the observer.
+        node: usize,
+        /// The mode id the node observed committing.
+        mode_id: u8,
+    },
+}
+
+/// Cap on the number of violation *details* retained; the total count is
+/// always exact.
+const MAX_RECORDED: usize = 64;
+
+/// Checks the three runtime safety invariants online (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyMonitor {
+    /// Mode ids the host committed, in order. Index 0 is the initial mode.
+    commits: Vec<u8>,
+    /// Per node: index into `commits` of the first commit this node has not
+    /// yet matched (greedy subsequence pointer).
+    observed_next: Vec<usize>,
+    violations: Vec<SafetyViolation>,
+    total: usize,
+}
+
+impl SafetyMonitor {
+    /// A monitor for `num_nodes` nodes booting in the mode with wire id
+    /// `initial_mode_id` (the deployment-time commit).
+    pub fn new(num_nodes: usize, initial_mode_id: u8) -> Self {
+        SafetyMonitor {
+            commits: vec![initial_mode_id],
+            // Every node booted into the initial mode, so it has observed
+            // commit 0 already.
+            observed_next: vec![1; num_nodes],
+            violations: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Records that the host committed a change to `mode_id` (the trigger
+    /// beacon for it was emitted). Must be called *before* node observations
+    /// of the same round are fed in.
+    pub fn record_commit(&mut self, mode_id: u8) {
+        self.commits.push(mode_id);
+    }
+
+    /// The host's commit log (initial mode first).
+    pub fn commits(&self) -> &[u8] {
+        &self.commits
+    }
+
+    /// Records that `node` decoded a trigger beacon committing `mode_id` in
+    /// executed round `round`, and checks invariant 3.
+    pub fn node_observed_commit(&mut self, node: usize, mode_id: u8, round: usize) {
+        let pointer = self.observed_next[node];
+        match self.commits[pointer..].iter().position(|&m| m == mode_id) {
+            Some(offset) => {
+                self.observed_next[node] = pointer + offset + 1;
+            }
+            None => {
+                self.record(SafetyViolation::CommitOrderDivergence {
+                    round,
+                    node,
+                    mode_id,
+                });
+            }
+        }
+    }
+
+    /// Checks invariants 1 and 2 for one data slot: `transmitters` lists
+    /// `(system node index, believed executing mode id)` for every node that
+    /// initiated a flood in the slot.
+    pub fn check_slot(&mut self, round: usize, slot: usize, transmitters: &[(usize, u8)]) {
+        if transmitters.len() > 1 {
+            self.record(SafetyViolation::ConcurrentTransmitters {
+                round,
+                slot,
+                nodes: transmitters.iter().map(|&(node, _)| node).collect(),
+            });
+        }
+        for &(node, mode_id) in transmitters {
+            if !self.commits.contains(&mode_id) {
+                self.record(SafetyViolation::UncommittedModeExecution {
+                    round,
+                    node,
+                    mode_id,
+                });
+            }
+        }
+    }
+
+    fn record(&mut self, violation: SafetyViolation) {
+        self.total += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(violation);
+        }
+    }
+
+    /// `true` when no invariant has been violated.
+    pub fn is_safe(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact number of violations detected so far.
+    pub fn total_violations(&self) -> usize {
+        self.total
+    }
+
+    /// Detail of the first violations (capped at an internal bound; use
+    /// [`Self::total_violations`] for the exact count).
+    pub fn violations(&self) -> &[SafetyViolation] {
+        &self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_is_safe() {
+        let mut monitor = SafetyMonitor::new(3, 0);
+        monitor.check_slot(0, 0, &[(1, 0)]);
+        monitor.check_slot(0, 1, &[]);
+        monitor.record_commit(1);
+        monitor.node_observed_commit(0, 1, 5);
+        monitor.node_observed_commit(1, 1, 5);
+        monitor.check_slot(6, 0, &[(2, 1)]);
+        assert!(monitor.is_safe());
+        assert_eq!(monitor.total_violations(), 0);
+        assert_eq!(monitor.commits(), &[0, 1]);
+    }
+
+    #[test]
+    fn concurrent_transmitters_are_flagged() {
+        let mut monitor = SafetyMonitor::new(3, 0);
+        monitor.check_slot(4, 2, &[(0, 0), (2, 0)]);
+        assert!(!monitor.is_safe());
+        assert_eq!(monitor.total_violations(), 1);
+        assert_eq!(
+            monitor.violations(),
+            &[SafetyViolation::ConcurrentTransmitters {
+                round: 4,
+                slot: 2,
+                nodes: vec![0, 2],
+            }]
+        );
+    }
+
+    #[test]
+    fn uncommitted_mode_execution_is_flagged() {
+        let mut monitor = SafetyMonitor::new(2, 0);
+        // Mode 7 was never committed (not even announced): transmitting in it
+        // violates invariant 2, once per offending transmitter.
+        monitor.check_slot(3, 0, &[(1, 7)]);
+        assert_eq!(
+            monitor.violations(),
+            &[SafetyViolation::UncommittedModeExecution {
+                round: 3,
+                node: 1,
+                mode_id: 7,
+            }]
+        );
+        // After the host commits mode 7, executing it is fine.
+        monitor.record_commit(7);
+        monitor.check_slot(9, 0, &[(1, 7)]);
+        assert_eq!(monitor.total_violations(), 1);
+    }
+
+    #[test]
+    fn commit_order_divergence_is_flagged() {
+        let mut monitor = SafetyMonitor::new(2, 0);
+        monitor.record_commit(1);
+        monitor.record_commit(2);
+        // Node 0 sees both commits in order: fine.
+        monitor.node_observed_commit(0, 1, 10);
+        monitor.node_observed_commit(0, 2, 20);
+        // Node 1 slept through the change to 1 and only saw 2: a legal
+        // subsequence.
+        monitor.node_observed_commit(1, 2, 20);
+        assert!(monitor.is_safe());
+        // But now node 1 "observes" the change to 1 — behind its pointer,
+        // i.e. out of order.
+        monitor.node_observed_commit(1, 1, 30);
+        assert_eq!(monitor.total_violations(), 1);
+        assert_eq!(
+            monitor.violations(),
+            &[SafetyViolation::CommitOrderDivergence {
+                round: 30,
+                node: 1,
+                mode_id: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn repeated_mode_ids_match_greedily() {
+        // Commit log 0 → 1 → 0 → 1: a node observing (1, 0, 1) is in order.
+        let mut monitor = SafetyMonitor::new(1, 0);
+        monitor.record_commit(1);
+        monitor.record_commit(0);
+        monitor.record_commit(1);
+        monitor.node_observed_commit(0, 1, 1);
+        monitor.node_observed_commit(0, 0, 2);
+        monitor.node_observed_commit(0, 1, 3);
+        assert!(monitor.is_safe());
+        // A fourth observation of 1 has no commit left to match.
+        monitor.node_observed_commit(0, 1, 4);
+        assert!(!monitor.is_safe());
+    }
+
+    #[test]
+    fn violation_detail_is_capped_but_count_is_exact() {
+        let mut monitor = SafetyMonitor::new(2, 0);
+        for round in 0..100 {
+            monitor.check_slot(round, 0, &[(0, 0), (1, 0)]);
+        }
+        assert_eq!(monitor.total_violations(), 100);
+        assert_eq!(monitor.violations().len(), 64);
+    }
+}

@@ -7,13 +7,16 @@
 //! safety property of TTW (no collisions under packet loss and mode changes)
 //! against a legacy design that keeps transmitting on a local counter.
 
+use crate::beacon::Beacon;
 use crate::error::RuntimeError;
 use crate::host::Host;
 use crate::node::{BeaconLossPolicy, NodeRuntime, RoundBelief};
+use crate::safety::SafetyMonitor;
 use crate::slot_table::{build_mode_tables, RoundDirectory};
 use crate::stats::RuntimeStats;
 use ttw_core::{AppId, ModeId, ModeSchedule, ScheduleViolation, System, SystemSchedule};
-use ttw_netsim::flood::{simulate_flood, FloodConfig};
+use ttw_netsim::faults::{ClockState, FaultPlan};
+use ttw_netsim::flood::{simulate_flood, FloodConfig, FloodOutcome};
 use ttw_netsim::link::LinkModel;
 use ttw_netsim::radio::RadioAccounting;
 use ttw_netsim::topology::Topology;
@@ -50,6 +53,11 @@ pub struct SimulationConfig {
     /// This makes targeted scenarios (e.g. "the actuator misses exactly the
     /// mode-change trigger beacon") deterministic and reproducible.
     pub forced_beacon_misses: Vec<(usize, usize)>,
+    /// Declarative fault injection: burst loss, partitions, clock drift,
+    /// beacon corruption and host crash windows (see
+    /// [`ttw_netsim::faults`]). `None` — and a vacuous plan — leave the
+    /// simulation byte-identical to the fault-free runtime.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimulationConfig {
@@ -62,6 +70,7 @@ impl Default for SimulationConfig {
             retransmissions: 2,
             constants: GlossyConstants::table1(),
             forced_beacon_misses: Vec::new(),
+            faults: None,
         }
     }
 }
@@ -83,6 +92,12 @@ pub struct Simulation {
     /// Populated only when the simulation is built from a [`SystemSchedule`];
     /// a mode change across such a pair is refused (switch consistency).
     switch_conflicts: Vec<(ModeId, ModeId, AppId)>,
+    /// Per-node simulated clock, `Some` only for nodes with a clock fault.
+    clocks: Vec<Option<ClockState>>,
+    /// Per-node: executed-round sequence number at which the node
+    /// desynchronized, while it is waiting to rejoin.
+    desynced_since: Vec<Option<usize>>,
+    monitor: SafetyMonitor,
 }
 
 impl Simulation {
@@ -119,6 +134,19 @@ impl Simulation {
             }
         }
 
+        for &(_, node) in &config.forced_beacon_misses {
+            if node >= system.num_nodes() {
+                return Err(RuntimeError::ForcedMissOutOfRange {
+                    node,
+                    nodes: system.num_nodes(),
+                });
+            }
+        }
+        if let Some(plan) = &config.faults {
+            plan.validate(system.num_nodes())
+                .map_err(|reason| RuntimeError::InvalidFaultPlan { reason })?;
+        }
+
         let tables = build_mode_tables(system, schedules)?;
         let directory = RoundDirectory::new(&tables);
         let initial_table = tables
@@ -135,16 +163,28 @@ impl Simulation {
 
         let network = NetworkParams::new(topology.diameter().max(1), config.retransmissions);
         let radio = RadioAccounting::new(system.num_nodes() + 1, config.constants, network);
-        let links = if config.link_loss > 0.0 {
+        let mut links = if config.link_loss > 0.0 {
             LinkModel::uniform(config.link_loss, config.seed)
         } else {
             LinkModel::perfect()
         };
+        let mut clocks: Vec<Option<ClockState>> = vec![None; system.num_nodes()];
+        if let Some(plan) = &config.faults {
+            if let Some(params) = plan.burst {
+                // The burst overlay gets its own stream derived from the
+                // plan's seed, so the base channel draws stay untouched.
+                links = links.with_burst(params, plan.seed.wrapping_add(0x0062_7572_7374));
+            }
+            for fault in &plan.clock_faults {
+                clocks[fault.node] = Some(ClockState::new(*fault));
+            }
+        }
         let flood_config = FloodConfig {
             retransmissions: config.retransmissions,
             max_slots: None,
         };
         let host = Host::new(tables, initial_mode)?;
+        let monitor = SafetyMonitor::new(system.num_nodes(), initial_mode_id);
 
         Ok(Simulation {
             host,
@@ -158,6 +198,9 @@ impl Simulation {
             config,
             stats: RuntimeStats::default(),
             switch_conflicts: Vec::new(),
+            clocks,
+            desynced_since: vec![None; system.num_nodes()],
+            monitor,
         })
     }
 
@@ -312,59 +355,136 @@ impl Simulation {
     /// Executes one communication round: beacon flood, data slots, accounting.
     fn execute_round(&mut self) {
         let sequence = self.stats.rounds_executed;
-        let (host_round, entry) = self.host.next_round();
+
+        // --- Fault state for this round. ---
+        let crashed = self
+            .config
+            .faults
+            .as_ref()
+            .is_some_and(|plan| plan.host_crashed_at(sequence));
+        if self.config.faults.is_some() {
+            self.apply_partition(sequence);
+        }
+
+        let (host_round, entry) = if crashed {
+            self.stats.host_crash_rounds += 1;
+            self.host.skip_round()
+        } else {
+            self.host.next_round()
+        };
         self.stats.rounds_executed += 1;
         if host_round.switches_after {
             self.stats.mode_changes += 1;
+            // The emitted trigger beacon fixes the change's identity and its
+            // position in the global commit order.
+            self.monitor.record_commit(host_round.beacon.mode_id);
         }
 
         let n = self.node_states.len();
+        let now = host_round.start;
+        let tolerance = self
+            .config
+            .faults
+            .as_ref()
+            .map_or(f64::INFINITY, |plan| plan.clock_tolerance_us);
+        let executing_mode_id = self
+            .host
+            .table(host_round.mode)
+            .map_or(host_round.beacon.mode_id, |table| table.mode_id);
 
-        // --- Beacon flood from the host. ---
-        let beacon_outcome = simulate_flood(
-            &self.topology,
-            &mut self.links,
-            self.placement.host,
-            &self.flood_config,
-        );
+        // --- Beacon flood from the host (none while the host is down). ---
+        let beacon_outcome: Option<FloodOutcome> = (!crashed).then(|| {
+            simulate_flood(
+                &self.topology,
+                &mut self.links,
+                self.placement.host,
+                &self.flood_config,
+            )
+        });
         let mut participates = vec![false; n];
         let mut ghost_beliefs: Vec<Option<RoundBelief>> = vec![None; n];
         for i in 0..n {
             let topo_idx = self.placement.nodes[i];
             let forced_miss = self.config.forced_beacon_misses.contains(&(sequence, i));
-            if beacon_outcome.received[topo_idx] && !forced_miss {
-                participates[i] = true;
-                self.node_states[i].on_beacon(host_round.beacon, &self.directory);
-            } else {
-                self.stats.beacons_missed += 1;
-                let belief = self.node_states[i].on_beacon_missed(&self.directory);
-                if belief.is_none() {
-                    self.stats.rounds_skipped += 1;
+            // A desynchronized node listens continuously, so slot alignment
+            // is irrelevant to it; a synchronized node whose clock drifted
+            // past the tolerance can no longer hit the beacon slot.
+            let aligned = self.node_states[i].is_desynced()
+                || match &self.clocks[i] {
+                    Some(clock) => clock.aligned(now, tolerance),
+                    None => true,
+                };
+            let channel_ok = beacon_outcome
+                .as_ref()
+                .is_some_and(|outcome| outcome.received[topo_idx]);
+            let mut decoded = None;
+            if channel_ok && !forced_miss && aligned {
+                // Receptions go through the real wire format so the checksum
+                // is load-bearing: a corrupted frame is detected, counted,
+                // and treated as a miss.
+                let mut frame = host_round.beacon.encode();
+                if let Some(plan) = &self.config.faults {
+                    if plan.beacon_corrupted(sequence, i) {
+                        plan.corrupt_frame(sequence, i, &mut frame);
+                    }
                 }
-                ghost_beliefs[i] = belief;
+                match Beacon::decode(frame) {
+                    Ok(beacon) => decoded = Some(beacon),
+                    Err(_) => self.stats.beacons_corrupted += 1,
+                }
+            }
+            match decoded {
+                Some(beacon) => {
+                    participates[i] = true;
+                    self.node_states[i].on_beacon(beacon, &self.directory);
+                    if let Some(clock) = &mut self.clocks[i] {
+                        clock.resync(now);
+                    }
+                    if beacon.trigger {
+                        self.monitor
+                            .node_observed_commit(i, beacon.mode_id, sequence);
+                    }
+                    if let Some(since) = self.desynced_since[i].take() {
+                        self.stats.rejoins += 1;
+                        self.stats.rejoin_rounds_total += sequence - since;
+                    }
+                }
+                None => {
+                    self.stats.beacons_missed += 1;
+                    let belief = self.node_states[i].on_beacon_missed(&self.directory);
+                    if belief.is_none() {
+                        self.stats.rounds_skipped += 1;
+                    }
+                    ghost_beliefs[i] = belief;
+                    if self.node_states[i].is_desynced() && self.desynced_since[i].is_none() {
+                        self.desynced_since[i] = Some(sequence);
+                        self.stats.resync_dropouts += 1;
+                    }
+                }
             }
         }
 
         // --- Data slots. ---
         for (slot_idx, slot) in entry.slots.iter().enumerate() {
             let legit = slot.initiator.index();
-            let mut transmitters: Vec<usize> = Vec::new();
+            let mut transmitters: Vec<(usize, u8)> = Vec::new();
             if participates[legit] {
-                transmitters.push(legit);
+                transmitters.push((legit, executing_mode_id));
             }
             for (i, belief) in ghost_beliefs.iter().enumerate() {
                 if let Some(belief) = belief {
                     if self.node_initiates(i, belief.round_id, slot_idx)
-                        && !transmitters.contains(&i)
+                        && !transmitters.iter().any(|&(t, _)| t == i)
                     {
-                        transmitters.push(i);
+                        transmitters.push((i, belief.mode_id));
                     }
                 }
             }
+            self.monitor.check_slot(sequence, slot_idx, &transmitters);
 
             match transmitters.len() {
                 0 => self.stats.slots_unused += 1,
-                1 if transmitters[0] == legit && participates[legit] => {
+                1 if transmitters[0].0 == legit && participates[legit] => {
                     self.stats.messages_attempted += 1;
                     let outcome = simulate_flood(
                         &self.topology,
@@ -398,20 +518,53 @@ impl Simulation {
         }
 
         // --- Radio accounting. ---
-        // Every node (and the host) listens for the beacon; only nodes that
-        // received it (or erroneously believe they participate) stay on for
+        // Every node listens for the beacon (nodes cannot know the host is
+        // down); the host's radio is off while crashed. Only nodes that
+        // received the beacon (or erroneously believe they participate, or
+        // are desynchronized and listening for a rejoin beacon) stay on for
         // the data slots.
         let mut everyone = vec![true; n + 1];
+        everyone[n] = !crashed;
         self.radio
             .record_slot(&everyone, self.config.constants.l_beacon);
         for i in 0..n {
-            everyone[i] = participates[i] || ghost_beliefs[i].is_some();
+            let listening_wide = self.node_states[i].is_desynced();
+            if listening_wide {
+                self.stats.rejoin_listen_rounds += 1;
+            }
+            everyone[i] = participates[i] || ghost_beliefs[i].is_some() || listening_wide;
         }
         for _ in 0..entry.slots.len() {
             self.radio.record_slot(&everyone, self.config.payload);
         }
 
+        self.stats.safety_violations = self.monitor.total_violations();
         self.stats.elapsed_micros = host_round.start + self.host.current_table().round_duration;
+    }
+
+    /// Applies (or heals) the fault plan's partition for executed round
+    /// `sequence`, translating system node indices to topology indices.
+    fn apply_partition(&mut self, sequence: usize) {
+        let Some(plan) = &self.config.faults else {
+            return;
+        };
+        let groups = plan.partition_at(sequence).map(|window| {
+            // Group 0 is the mainland (host + unlisted nodes); every island
+            // gets its own group id.
+            let mut assignment = vec![0usize; self.topology.num_nodes()];
+            for (island_idx, island) in window.islands.iter().enumerate() {
+                for &node in island {
+                    assignment[self.placement.nodes[node]] = island_idx + 1;
+                }
+            }
+            assignment
+        });
+        self.links.set_partition(groups);
+    }
+
+    /// The online safety monitor (see [`crate::safety`]).
+    pub fn safety(&self) -> &SafetyMonitor {
+        &self.monitor
     }
 
     /// Mode pairs whose schedules disagree on a shared application (empty for

@@ -94,10 +94,14 @@ impl RoundDirectory {
     }
 
     /// Round id that follows `round_id` in its mode's cyclic sequence.
+    ///
+    /// Round ids live in a cyclic `u8` space (they are assigned with
+    /// `wrapping_add` across modes), so a mode's ids can straddle the 255 → 0
+    /// wrap; the offset from the mode's first round must wrap likewise.
     pub fn next_in_mode(&self, round_id: u8) -> Option<u8> {
         let &(mode, pos, count) = self.entries.get(&round_id)?;
         let first = *self.first_round.get(&mode)?;
-        Some(first + (pos + 1) % count)
+        Some(first.wrapping_add((pos + 1) % count))
     }
 
     /// First round id of `mode_id`, if the mode has any round.
@@ -277,6 +281,33 @@ mod tests {
         assert_eq!(dir.next_in_mode(1), Some(0), "round sequence is cyclic");
         assert_eq!(dir.first_round_of(tables[0].mode_id), Some(0));
         assert_eq!(dir.mode_of(99), None);
+    }
+
+    #[test]
+    fn round_directory_navigation_across_the_id_wrap() {
+        // Round ids are assigned with `wrapping_add`, so a deployment whose
+        // id space straddles 255 → 0 is legal; navigation must wrap with it.
+        let table = ModeTable {
+            mode: ttw_core::ModeId::from_index(0),
+            mode_id: 9,
+            hyperperiod: 100_000,
+            round_duration: 10_000,
+            rounds: [254u8, 255, 0, 1]
+                .iter()
+                .map(|&round_id| RoundEntry {
+                    round_id,
+                    start: 0,
+                    slots: vec![],
+                })
+                .collect(),
+        };
+        let dir = RoundDirectory::new(&[table]);
+        assert_eq!(dir.first_round_of(9), Some(254));
+        assert_eq!(dir.next_in_mode(254), Some(255));
+        assert_eq!(dir.next_in_mode(255), Some(0), "wraps 255 -> 0");
+        assert_eq!(dir.next_in_mode(0), Some(1));
+        assert_eq!(dir.next_in_mode(1), Some(254), "cycles back to the first");
+        assert_eq!(dir.mode_of(0), Some(9));
     }
 
     #[test]

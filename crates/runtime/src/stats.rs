@@ -25,6 +25,26 @@ pub struct RuntimeStats {
     pub mode_changes: usize,
     /// Simulated time in microseconds.
     pub elapsed_micros: u64,
+    /// Number of (node, round) pairs in which the beacon arrived but failed
+    /// its checksum (the bit-corruption fault, counted as a miss on top).
+    pub beacons_corrupted: usize,
+    /// Number of times a node under [`crate::BeaconLossPolicy::Resync`]
+    /// exhausted its miss budget and desynchronized.
+    pub resync_dropouts: usize,
+    /// Number of times a desynchronized node decoded a beacon and rejoined.
+    pub rejoins: usize,
+    /// Total rounds spent desynchronized by nodes that eventually rejoined
+    /// (`rejoin_rounds_total / rejoins` = average rejoin latency in rounds).
+    pub rejoin_rounds_total: usize,
+    /// Number of (node, round) pairs spent in continuous-listen rejoin mode
+    /// (the radio-on cost of the `Resync` policy).
+    pub rejoin_listen_rounds: usize,
+    /// Number of executed rounds during which the host was crashed (no beacon
+    /// was flooded).
+    pub host_crash_rounds: usize,
+    /// Total safety-invariant violations detected by the
+    /// [`crate::SafetyMonitor`] (zero under the safe policies).
+    pub safety_violations: usize,
 }
 
 impl RuntimeStats {
@@ -44,6 +64,15 @@ impl RuntimeStats {
             return 1.0;
         }
         1.0 - self.beacons_missed as f64 / total as f64
+    }
+
+    /// Average number of rounds a dropped-out node stayed desynchronized
+    /// before rejoining (`None` if no node ever rejoined).
+    pub fn avg_rejoin_latency_rounds(&self) -> Option<f64> {
+        if self.rejoins == 0 {
+            return None;
+        }
+        Some(self.rejoin_rounds_total as f64 / self.rejoins as f64)
     }
 }
 
@@ -67,6 +96,17 @@ mod tests {
         let stats = RuntimeStats::default();
         assert_eq!(stats.delivery_ratio(), 1.0);
         assert_eq!(stats.beacon_reception_ratio(5), 1.0);
+    }
+
+    #[test]
+    fn rejoin_latency_averages_over_rejoins() {
+        let stats = RuntimeStats {
+            rejoins: 4,
+            rejoin_rounds_total: 10,
+            ..RuntimeStats::default()
+        };
+        assert_eq!(stats.avg_rejoin_latency_rounds(), Some(2.5));
+        assert_eq!(RuntimeStats::default().avg_rejoin_latency_rounds(), None);
     }
 
     #[test]

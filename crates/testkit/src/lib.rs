@@ -50,6 +50,8 @@ use ttw_core::ids::{AppId, ModeId};
 use ttw_core::spec::ApplicationSpec;
 use ttw_core::time::{millis, Micros};
 use ttw_core::{ModeGraph, SchedulerConfig, System};
+use ttw_netsim::faults::{BeaconCorruption, ClockFault, CrashWindow, FaultPlan, PartitionWindow};
+use ttw_netsim::link::GilbertElliott;
 use ttw_netsim::rng::SplitMix64;
 
 /// Topology of the generated mode graph (the shape of the legal-switch DAG).
@@ -554,6 +556,147 @@ fn generate_app(
         .expect("generated applications obey the system-model rules")
 }
 
+/// Families of runtime faults the fault-plan generator can produce.
+///
+/// Each kind exercises one failure mode of the deployed network; `Compound`
+/// mixes them all, which is the adversarial end of the fault matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Correlated (Gilbert–Elliott) loss on every link.
+    BurstLoss,
+    /// A timed network partition that isolates a node group and heals.
+    Partition,
+    /// Exaggerated clock drift/offset on one or two nodes.
+    ClockDrift,
+    /// A host crash/restart window.
+    HostCrash,
+    /// Random bit-corruption of received beacons.
+    BeaconCorruption,
+    /// All of the above at once.
+    Compound,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a fixed order for sweeps.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::BurstLoss,
+        FaultKind::Partition,
+        FaultKind::ClockDrift,
+        FaultKind::HostCrash,
+        FaultKind::BeaconCorruption,
+        FaultKind::Compound,
+    ];
+
+    /// Stable lowercase name (for bench JSON keys and repro strings).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::BurstLoss => "burst_loss",
+            FaultKind::Partition => "partition",
+            FaultKind::ClockDrift => "clock_drift",
+            FaultKind::HostCrash => "host_crash",
+            FaultKind::BeaconCorruption => "beacon_corruption",
+            FaultKind::Compound => "compound",
+        }
+    }
+
+    fn index(&self) -> u64 {
+        FaultKind::ALL.iter().position(|k| k == self).unwrap_or(0) as u64
+    }
+}
+
+/// Generates a seeded [`FaultPlan`] of the given kind for a system with
+/// `num_nodes` nodes, scaled to a run of roughly `horizon_rounds` executed
+/// rounds.
+///
+/// Deterministic: the same `(kind, num_nodes, horizon_rounds, seed)` always
+/// produces the same plan, and different kinds derive decorrelated streams
+/// from the same seed. All generated plans pass
+/// [`FaultPlan::validate`] for the given `num_nodes`.
+pub fn generate_fault_plan(
+    kind: FaultKind,
+    num_nodes: usize,
+    horizon_rounds: usize,
+    seed: u64,
+) -> FaultPlan {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(kind.index()));
+    let mut plan = FaultPlan {
+        seed: rng.next_u64(),
+        ..FaultPlan::none()
+    };
+    let horizon = horizon_rounds.max(4);
+
+    if matches!(kind, FaultKind::BurstLoss | FaultKind::Compound) {
+        plan.burst = Some(GilbertElliott {
+            p_good_to_bad: 0.05 + 0.25 * rng.next_f64(),
+            p_bad_to_good: 0.2 + 0.4 * rng.next_f64(),
+            loss_good: 0.05 * rng.next_f64(),
+            loss_bad: 0.6 + 0.35 * rng.next_f64(),
+        });
+    }
+    if matches!(kind, FaultKind::Partition | FaultKind::Compound) && num_nodes >= 2 {
+        let windows = 1 + (rng.next_u64() as usize % 2);
+        for _ in 0..windows {
+            let from_round = rng.next_u64() as usize % (horizon / 2);
+            let length = 2 + rng.next_u64() as usize % (horizon / 2).max(2);
+            // Isolate a random non-empty strict subset of the nodes.
+            let island_size = 1 + rng.next_u64() as usize % (num_nodes / 2).max(1);
+            let mut island: Vec<usize> = Vec::new();
+            while island.len() < island_size {
+                let node = rng.next_u64() as usize % num_nodes;
+                if !island.contains(&node) {
+                    island.push(node);
+                }
+            }
+            island.sort_unstable();
+            plan.partitions.push(PartitionWindow {
+                from_round,
+                until_round: from_round + length,
+                islands: vec![island],
+            });
+        }
+    }
+    if matches!(kind, FaultKind::ClockDrift | FaultKind::Compound) {
+        let faulted = 1 + (rng.next_u64() as usize % 2).min(num_nodes.saturating_sub(1));
+        for _ in 0..faulted {
+            let node = rng.next_u64() as usize % num_nodes;
+            if plan.clock_faults.iter().any(|f| f.node == node) {
+                continue;
+            }
+            // Half the faults are step offsets past the tolerance (deaf from
+            // round 0 until a rejoin resyncs them), half pure exaggerated
+            // drift that bites once beacons stop arriving for a while.
+            if rng.next_u64() % 2 == 0 {
+                plan.clock_faults.push(ClockFault {
+                    node,
+                    ppm: 200.0 + 800.0 * rng.next_f64(),
+                    offset_us: plan.clock_tolerance_us * (1.5 + rng.next_f64()),
+                });
+            } else {
+                plan.clock_faults.push(ClockFault {
+                    node,
+                    ppm: 2_000.0 + 4_000.0 * rng.next_f64(),
+                    offset_us: 0.0,
+                });
+            }
+        }
+    }
+    if matches!(kind, FaultKind::HostCrash | FaultKind::Compound) {
+        let from_round = 1 + rng.next_u64() as usize % (horizon / 2).max(1);
+        let length = 2 + rng.next_u64() as usize % (horizon / 4).max(2);
+        plan.host_crashes.push(CrashWindow {
+            from_round,
+            until_round: from_round + length,
+        });
+    }
+    if matches!(kind, FaultKind::BeaconCorruption | FaultKind::Compound) {
+        plan.beacon_corruption = Some(BeaconCorruption {
+            probability: 0.05 + 0.2 * rng.next_f64(),
+            forced: Vec::new(),
+        });
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -723,5 +866,79 @@ mod tests {
         let mut config = GeneratorConfig::small(2, GraphShape::Chain);
         config.wcet_range_us = (10, 5);
         generate(&config, 0);
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_and_valid() {
+        for kind in FaultKind::ALL {
+            for seed in 0..20 {
+                let plan = generate_fault_plan(kind, 5, 16, seed);
+                assert_eq!(
+                    plan,
+                    generate_fault_plan(kind, 5, 16, seed),
+                    "same inputs, same plan ({}, seed {seed})",
+                    kind.name()
+                );
+                plan.validate(5).unwrap_or_else(|reason| {
+                    panic!(
+                        "generated plan invalid ({}, seed {seed}): {reason}",
+                        kind.name()
+                    )
+                });
+                assert!(
+                    !plan.is_vacuous(),
+                    "generated plans must inject something ({}, seed {seed})",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_kinds_fill_only_their_facet() {
+        let burst = generate_fault_plan(FaultKind::BurstLoss, 4, 12, 3);
+        assert!(burst.burst.is_some());
+        assert!(burst.partitions.is_empty() && burst.host_crashes.is_empty());
+        assert!(burst.clock_faults.is_empty() && burst.beacon_corruption.is_none());
+
+        let partition = generate_fault_plan(FaultKind::Partition, 4, 12, 3);
+        assert!(!partition.partitions.is_empty());
+        assert!(partition.burst.is_none());
+
+        let drift = generate_fault_plan(FaultKind::ClockDrift, 4, 12, 3);
+        assert!(!drift.clock_faults.is_empty());
+
+        let crash = generate_fault_plan(FaultKind::HostCrash, 4, 12, 3);
+        assert!(!crash.host_crashes.is_empty());
+
+        let corruption = generate_fault_plan(FaultKind::BeaconCorruption, 4, 12, 3);
+        assert!(corruption.beacon_corruption.is_some());
+
+        let compound = generate_fault_plan(FaultKind::Compound, 4, 12, 3);
+        assert!(compound.burst.is_some() && compound.beacon_corruption.is_some());
+        assert!(!compound.partitions.is_empty() && !compound.host_crashes.is_empty());
+        assert!(!compound.clock_faults.is_empty());
+    }
+
+    #[test]
+    fn different_kinds_decorrelate_from_the_same_seed() {
+        let a = generate_fault_plan(FaultKind::BurstLoss, 4, 12, 9);
+        let b = generate_fault_plan(FaultKind::Compound, 4, 12, 9);
+        assert_ne!(
+            a.burst, b.burst,
+            "kind index must perturb the generator stream"
+        );
+    }
+
+    #[test]
+    fn single_node_systems_get_degenerate_but_valid_plans() {
+        for kind in FaultKind::ALL {
+            let plan = generate_fault_plan(kind, 1, 8, 0);
+            assert!(plan.validate(1).is_ok(), "kind {}", kind.name());
+            assert!(
+                plan.partitions.is_empty(),
+                "one node cannot be partitioned from itself"
+            );
+        }
     }
 }

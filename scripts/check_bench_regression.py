@@ -26,6 +26,15 @@ Counters that *improved* by more than the allowance are called out in the
 report (marked ``improved``), so a perf PR's pivot-count drop is visible in
 the CI log next to the pass/fail verdicts.
 
+The fault-matrix bench (``BENCH_faults.json``) adds a second gate family:
+safety counters (``ZERO_KEYS``) that must be **exactly zero** in the current
+run, regardless of the baseline — a single safety violation under a safe
+beacon-loss policy is a correctness bug, not a 20%-allowance perf question.
+Its latency/ratio leaves (``avg_rejoin_latency_rounds``, the
+``delivery_ratio_*`` family, radio duty cycles) are informational and never
+gated. Unlike counters, a zero-key violation fails even with no baseline:
+the invariant is absolute, not relative.
+
 Usage: check_bench_regression.py <baseline.json> <current.json> [max-regression]
 
 ``max-regression`` is a fraction, default 0.20 (= fail above +20%).
@@ -37,32 +46,46 @@ import sys
 #: Leaf keys treated as smaller-is-better deterministic work counters.
 COUNTER_KEYS = ("simplex_iterations", "milp_nodes")
 
+#: Leaf keys that must be exactly zero in the current run (safety counters
+#: of the fault-matrix bench; a non-zero value is a correctness failure).
+ZERO_KEYS = ("safety_violations_skip", "safety_violations_resync")
 
-def collect_counters(data, prefix=""):
-    """Returns ``{dotted.path: value}`` for every counter leaf in ``data``."""
-    counters = {}
+
+def collect_keys(data, keys, prefix=""):
+    """Returns ``{dotted.path: value}`` for every leaf in ``data`` whose key
+    is in ``keys`` and whose value is a (non-bool) number."""
+    found = {}
     if isinstance(data, dict):
         for key, value in data.items():
             path = f"{prefix}.{key}" if prefix else key
             # bool is an int subclass in Python; a flag named like a counter
             # must not be compared arithmetically.
             if (
-                key in COUNTER_KEYS
+                key in keys
                 and isinstance(value, (int, float))
                 and not isinstance(value, bool)
             ):
-                counters[path] = float(value)
+                found[path] = float(value)
             else:
-                counters.update(collect_counters(value, path))
+                found.update(collect_keys(value, keys, path))
     elif isinstance(data, list):
         for index, value in enumerate(data):
-            counters.update(collect_counters(value, f"{prefix}[{index}]"))
-    return counters
+            found.update(collect_keys(value, keys, f"{prefix}[{index}]"))
+    return found
+
+
+def collect_counters(data, prefix=""):
+    """Returns ``{dotted.path: value}`` for every counter leaf in ``data``."""
+    return collect_keys(data, COUNTER_KEYS, prefix)
+
+
+def load_keys(path, keys):
+    with open(path, encoding="utf-8") as handle:
+        return collect_keys(json.load(handle), keys)
 
 
 def load_counters(path):
-    with open(path, encoding="utf-8") as handle:
-        return collect_counters(json.load(handle))
+    return load_keys(path, COUNTER_KEYS)
 
 
 def check(baseline, current, max_regression):
@@ -91,6 +114,17 @@ def check(baseline, current, max_regression):
     return failures
 
 
+def check_zero(current_zeros):
+    """Gates the safety counters at exactly zero; returns failure messages."""
+    failures = []
+    for path, value in sorted(current_zeros.items()):
+        verdict = "ok" if value == 0 else "FAIL"
+        print(f"{path}: current {value:.0f}, must be exactly 0 — {verdict}")
+        if value != 0:
+            failures.append(f"{path} must be 0 but is {value:.0f}")
+    return failures
+
+
 def main(argv):
     if len(argv) < 3:
         print(__doc__)
@@ -100,11 +134,16 @@ def main(argv):
 
     baseline = load_counters(baseline_path)
     current = load_counters(current_path)
-    if not current:
-        print(f"FAIL: no {COUNTER_KEYS} counters found in {current_path}")
+    current_zeros = load_keys(current_path, ZERO_KEYS)
+    if not current and not current_zeros:
+        print(
+            f"FAIL: no {COUNTER_KEYS} or {ZERO_KEYS} counters found in "
+            f"{current_path}"
+        )
         return 1
 
     failures = check(baseline, current, max_regression)
+    failures += check_zero(current_zeros)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")

@@ -208,6 +208,72 @@ class CheckTest(unittest.TestCase):
         self.assertIn("s.milp_nodes", failures[0])
 
 
+class ZeroKeyTest(unittest.TestCase):
+    def test_collects_zero_keys_at_any_depth(self):
+        data = {
+            "kinds": {
+                "partition": {
+                    "safety_violations_skip": 0,
+                    "safety_violations_resync": 0,
+                    "legacy_violations": 6,
+                    "avg_rejoin_latency_rounds": 3.6,
+                }
+            }
+        }
+        zeros = cbr.collect_keys(data, cbr.ZERO_KEYS)
+        self.assertEqual(
+            zeros,
+            {
+                "kinds.partition.safety_violations_skip": 0.0,
+                "kinds.partition.safety_violations_resync": 0.0,
+            },
+        )
+
+    def test_zero_passes_and_nonzero_fails(self):
+        self.assertEqual(cbr.check_zero({"k.safety_violations_skip": 0.0}), [])
+        failures = cbr.check_zero({"k.safety_violations_resync": 2.0})
+        self.assertEqual(len(failures), 1)
+        self.assertIn("k.safety_violations_resync", failures[0])
+
+    def test_zero_gate_ignores_baseline(self):
+        # Unlike the ratio gate, a zero key fails even when the committed
+        # baseline was itself non-zero: the invariant is absolute.
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = write_json(
+                tmp, "baseline.json", {"k": {"safety_violations_skip": 5}}
+            )
+            bad = write_json(tmp, "bad.json", {"k": {"safety_violations_skip": 5}})
+            ok = write_json(tmp, "ok.json", {"k": {"safety_violations_skip": 0}})
+            self.assertEqual(cbr.main(["prog", baseline, bad]), 1)
+            self.assertEqual(cbr.main(["prog", baseline, ok]), 0)
+
+    def test_latency_and_ratio_leaves_are_informational(self):
+        # The fault bench's latency/ratio leaves ride along ungated.
+        data = {
+            "delivery_ratio_skip": 0.94,
+            "delivery_ratio_legacy": 0.93,
+            "avg_rejoin_latency_rounds": 3.6,
+            "rejoin_listen_rounds": 48,
+            "avg_radio_duty_resync": 0.02,
+            "legacy_violations": 6,
+            "legacy_collisions": 6,
+        }
+        self.assertEqual(cbr.collect_counters(data), {})
+        self.assertEqual(cbr.collect_keys(data, cbr.ZERO_KEYS), {})
+
+    def test_fault_json_without_counter_keys_is_accepted_by_main(self):
+        # BENCH_faults.json carries only zero keys — main must not trip the
+        # "no counters found" guard on it.
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = write_json(tmp, "baseline.json", {})
+            current = write_json(
+                tmp,
+                "current.json",
+                {"kinds": {"compound": {"safety_violations_skip": 0}}},
+            )
+            self.assertEqual(cbr.main(["prog", baseline, current]), 0)
+
+
 class MainTest(unittest.TestCase):
     def test_end_to_end_pass_and_fail(self):
         with tempfile.TemporaryDirectory() as tmp:
