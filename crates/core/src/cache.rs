@@ -1,11 +1,11 @@
-//! Fingerprint-keyed on-disk schedule cache.
+//! Fingerprint-keyed two-tier schedule cache.
 //!
 //! Multi-mode synthesis is deterministic: the same [`System`], [`ModeGraph`],
 //! [`SchedulerConfig`] and backend always produce the byte-identical
-//! [`SystemSchedule`]. Benches, examples and repeated deployments therefore
-//! re-pay the full MILP cost for an answer that has not changed — the
-//! "repeated-solve" hot path the TTW architecture follow-up calls out on
-//! every mode-graph change.
+//! [`SystemSchedule`]. Benches, examples, repeated deployments and — since the
+//! scheduler became a long-running service (`ttw-service`) — every client
+//! asking for an already-solved configuration would otherwise re-pay the full
+//! MILP cost for an answer that has not changed.
 //!
 //! [`ScheduleCache`] keys a synthesized [`SystemSchedule`] by a content hash
 //! of everything the result depends on:
@@ -26,15 +26,42 @@
 //! in the same commit — or, during local iteration, wipe the cache directory
 //! (it lives under `target/` by default, so `cargo clean` also clears it).
 //!
-//! [`synthesize_system_cached`] is the drop-in entry point: a hit
-//! deserializes the stored schedule and skips synthesis entirely; a miss
-//! synthesizes, stores and returns. Failed syntheses are *not* cached (the
-//! partial result carries error context a cache entry cannot represent).
-//! Corrupt or unreadable cache files are treated as misses and overwritten.
+//! # Tiers
 //!
-//! Storage is one pretty-printed JSON file per key (the
-//! [`crate::export::system_schedule_to_json`] codec), written via a
-//! temp-file rename so concurrent runs never observe a torn entry.
+//! The cache has two tiers:
+//!
+//! 1. **Memory** — a sharded `RwLock` map of `Arc<SystemSchedule>` entries.
+//!    This is the hot path of the scheduler service: many worker threads
+//!    probe concurrently, and a hit is a shard read-lock plus an `Arc`
+//!    clone — no parsing, no I/O.
+//! 2. **Disk** — one pretty-printed JSON file per key (the
+//!    [`crate::export::system_schedule_to_json`] codec), demoted to a
+//!    *write-behind* persistence layer: [`ScheduleCache::store`] inserts
+//!    into the memory tier synchronously and hands the serialization and
+//!    file write to a background persister thread. A disk hit (fresh
+//!    process, warm `target/`) is promoted into the memory tier.
+//!
+//! Disk files are published via write-to-temp-then-rename so a concurrent
+//! reader never observes a torn entry. Temp names carry the process id
+//! *and* a process-wide atomic sequence number: two threads (or two cache
+//! instances sharing a directory) storing the same key concurrently write
+//! distinct temp files, so one writer's content can never leak into the
+//! other's rename. A failed temp write removes whatever partial file it
+//! left behind instead of leaking `.tmp` litter into the cache directory.
+//!
+//! # Accounting
+//!
+//! Every probe is classified as exactly one of *hit* (memory or disk),
+//! *miss* (no entry) or *corrupt* (an entry exists on disk but does not
+//! parse — it is left to be overwritten by the next store). The per-instance
+//! counters therefore reconcile exactly: `hits + misses + corrupt` equals
+//! the number of probes, and `mem_hits + disk_hits` equals `hits`.
+//!
+//! [`synthesize_system_cached`] is the drop-in entry point: a hit
+//! deserializes/clones the stored schedule and skips synthesis entirely; a
+//! miss synthesizes, stores and returns. Failed syntheses are *not* cached
+//! (the partial result carries error context a cache entry cannot
+//! represent).
 
 use crate::config::SchedulerConfig;
 use crate::export::{system_schedule_from_json, system_schedule_to_json};
@@ -42,15 +69,26 @@ use crate::modegraph::ModeGraph;
 use crate::schedule::SystemSchedule;
 use crate::synthesis::{synthesize_system, Synthesizer, SystemSynthesisError};
 use crate::system::System;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 
 /// Bumped whenever the cached representation (or anything influencing the
 /// synthesized bytes that the key text does not already capture — e.g. a
 /// same-version solver change that lands on a different co-optimal
 /// schedule) changes. See the module docs for the invalidation rule.
 const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Number of independent memory-tier shards. Sixteen is far beyond the
+/// worker-thread counts the service runs with, so shard write locks are
+/// effectively uncontended.
+const MEMORY_SHARDS: usize = 16;
+
+/// Process-wide store sequence: combined with the process id it makes every
+/// temp-file name unique, even across cache instances sharing one directory.
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A deterministic textual digest of a system and its mode graph: every
 /// node, task, message, application, mode and switch edge in id order. Two
@@ -137,14 +175,17 @@ pub fn synthesis_key(
     )
 }
 
-/// Whether a cached-synthesis call was served from disk or had to run the
-/// full pipeline.
+/// Whether a cached-synthesis call was served from the cache or had to run
+/// the full pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
-    /// The schedule was deserialized from the cache; no synthesis ran.
+    /// The schedule came from the cache (memory or disk); no synthesis ran.
     Hit,
-    /// The schedule was synthesized and stored.
+    /// No entry existed; the schedule was synthesized and stored.
     Miss,
+    /// An entry existed but was unreadable or unparsable; the schedule was
+    /// re-synthesized and the corrupt entry overwritten.
+    Corrupt,
 }
 
 impl CacheOutcome {
@@ -154,25 +195,94 @@ impl CacheOutcome {
     }
 }
 
-/// An on-disk schedule cache rooted at a directory, with hit/miss counters.
+/// Which tier served a probe, with the shared entry.
+#[derive(Debug, Clone)]
+pub enum CacheProbe {
+    /// Served from the in-process memory tier.
+    Memory(Arc<SystemSchedule>),
+    /// Served from the on-disk tier (and promoted into the memory tier).
+    Disk(Arc<SystemSchedule>),
+    /// A disk entry exists but does not parse; the next store overwrites it.
+    Corrupt,
+    /// No entry in either tier.
+    Absent,
+}
+
+impl CacheProbe {
+    /// The schedule, when the probe hit either tier.
+    pub fn schedule(&self) -> Option<&Arc<SystemSchedule>> {
+        match self {
+            CacheProbe::Memory(s) | CacheProbe::Disk(s) => Some(s),
+            CacheProbe::Corrupt | CacheProbe::Absent => None,
+        }
+    }
+}
+
+/// A job for the write-behind persister thread.
+enum PersistJob {
+    /// Serialize and publish one entry.
+    Write {
+        key: String,
+        schedule: Arc<SystemSchedule>,
+    },
+    /// Acknowledge once every previously enqueued write has been published.
+    Flush(mpsc::SyncSender<()>),
+}
+
+/// The write-behind persister: a channel into a background thread that
+/// serializes entries and publishes them via temp-file rename.
+#[derive(Debug)]
+struct Persister {
+    sender: mpsc::Sender<PersistJob>,
+    /// `None` when the thread could not be spawned (resource exhaustion);
+    /// `store` then publishes inline through the dead channel's error path.
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The two-tier schedule cache described in the [module docs](self).
 ///
-/// The counters are per-instance (atomic, so a cache shared across synthesis
-/// worker threads counts correctly) and feed the bench JSON's
-/// `cache_hits`/`cache_misses` fields.
+/// All methods take `&self`; the cache is designed to be shared across
+/// synthesis worker threads (and across the scheduler service's connection
+/// handlers) behind an `Arc`.
 #[derive(Debug)]
 pub struct ScheduleCache {
-    dir: PathBuf,
+    /// Disk-tier root; `None` for a memory-only cache.
+    dir: Option<PathBuf>,
+    shards: Vec<RwLock<HashMap<String, Arc<SystemSchedule>>>>,
+    persister: Mutex<Option<Persister>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    corrupt: AtomicUsize,
+    mem_hits: AtomicUsize,
+    disk_hits: AtomicUsize,
 }
 
 impl ScheduleCache {
-    /// A cache rooted at `dir` (created lazily on the first store).
+    /// A two-tier cache whose disk tier is rooted at `dir` (created lazily
+    /// on the first store).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self::build(Some(dir.into()))
+    }
+
+    /// A memory-only cache: probes never touch the filesystem and stores
+    /// are not persisted. Used by the scheduler service when no cache
+    /// directory is configured.
+    pub fn in_memory() -> Self {
+        Self::build(None)
+    }
+
+    fn build(dir: Option<PathBuf>) -> Self {
         ScheduleCache {
-            dir: dir.into(),
+            dir,
+            shards: (0..MEMORY_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            persister: Mutex::new(None),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            corrupt: AtomicUsize::new(0),
+            mem_hits: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
         }
     }
 
@@ -187,55 +297,242 @@ impl ScheduleCache {
         Self::new(dir)
     }
 
-    /// The directory entries live in.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    /// The directory disk entries live in; `None` for a memory-only cache.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
     }
 
-    /// Schedules served from disk since this instance was created.
+    /// Schedules served from either tier since this instance was created.
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Requests that had to synthesize since this instance was created.
+    /// Probes that found no entry since this instance was created.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// File path of a key's entry.
-    pub fn path_for(&self, key: &str) -> PathBuf {
-        self.dir.join(format!("ttw-{key}.json"))
+    /// Probes that found an unreadable/unparsable disk entry. Counted
+    /// separately from [`ScheduleCache::misses`] so `hits + misses +
+    /// corrupt` always equals the number of probes.
+    pub fn corrupt(&self) -> usize {
+        self.corrupt.load(Ordering::Relaxed)
     }
 
-    /// Removes a key's entry, if present (used by benches to force a cold
-    /// first run).
+    /// Hits served by the in-process memory tier.
+    pub fn mem_hits(&self) -> usize {
+        self.mem_hits.load(Ordering::Relaxed)
+    }
+
+    /// Hits served by the disk tier (each one is promoted to memory).
+    pub fn disk_hits(&self) -> usize {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// File path of a key's disk entry; `None` for a memory-only cache.
+    pub fn path_for(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|dir| entry_path(dir, key))
+    }
+
+    /// Removes a key's entry from both tiers, if present (used by benches to
+    /// force a cold first run). Flushes the write-behind queue first so an
+    /// in-flight store of the key cannot resurrect the disk entry.
     pub fn evict(&self, key: &str) {
-        let _ = std::fs::remove_file(self.path_for(key));
+        self.flush();
+        self.shard(key)
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
+        if let Some(path) = self.path_for(key) {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
-    /// Looks a key up; a missing, unreadable or corrupt entry is `None`
+    /// Blocks until every store enqueued so far has been published to disk.
+    ///
+    /// Stores are write-behind: `store` returns as soon as the memory tier
+    /// is updated. Call this before handing the cache directory to another
+    /// process (the persister is also drained when the cache is dropped).
+    pub fn flush(&self) {
+        let sender = {
+            let guard = self.persister.lock().unwrap_or_else(|e| e.into_inner());
+            guard.as_ref().map(|p| p.sender.clone())
+        };
+        if let Some(sender) = sender {
+            let (ack, done) = mpsc::sync_channel(1);
+            if sender.send(PersistJob::Flush(ack)).is_ok() {
+                let _ = done.recv();
+            }
+        }
+    }
+
+    /// Probes both tiers and classifies the result; see [`CacheProbe`].
+    ///
+    /// This is the accounting point: every probe bumps exactly one of the
+    /// hit/miss/corrupt counters.
+    pub fn probe(&self, key: &str) -> CacheProbe {
+        if let Some(entry) = self
+            .shard(key)
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+        {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return CacheProbe::Memory(Arc::clone(entry));
+        }
+        let Some(path) = self.path_for(key) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return CacheProbe::Absent;
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return CacheProbe::Absent;
+        };
+        match system_schedule_from_json(&text) {
+            Ok(schedule) => {
+                let entry = Arc::new(schedule);
+                self.insert_memory(key, Arc::clone(&entry));
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CacheProbe::Disk(entry)
+            }
+            Err(_) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                CacheProbe::Corrupt
+            }
+        }
+    }
+
+    /// Looks a key up in either tier; a missing or corrupt entry is `None`
     /// (a corrupt entry simply behaves as a miss — `store` overwrites it).
     pub fn lookup(&self, key: &str) -> Option<SystemSchedule> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        system_schedule_from_json(&text).ok()
+        self.probe(key).schedule().map(|s| (**s).clone())
     }
 
-    /// Stores a schedule under a key (best effort — an unwritable cache
-    /// directory degrades to "always miss", never to an error).
+    /// Stores a schedule under a key: the memory tier is updated
+    /// synchronously, the disk write happens behind the caller's back on
+    /// the persister thread (best effort — an unwritable cache directory
+    /// degrades to "memory only", never to an error).
     pub fn store(&self, key: &str, schedule: &SystemSchedule) {
-        let Ok(json) = system_schedule_to_json(schedule) else {
+        let entry = Arc::new(schedule.clone());
+        self.insert_memory(key, Arc::clone(&entry));
+        let Some(dir) = self.dir.clone() else {
             return;
         };
-        if std::fs::create_dir_all(&self.dir).is_err() {
-            return;
+        let job = PersistJob::Write {
+            key: key.to_string(),
+            schedule: entry,
+        };
+        let mut guard = self.persister.lock().unwrap_or_else(|e| e.into_inner());
+        let persister = guard.get_or_insert_with(|| spawn_persister(dir.clone()));
+        if let Err(mpsc::SendError(PersistJob::Write { key, schedule })) =
+            persister.sender.send(job)
+        {
+            // The persister thread died (it never panics by construction,
+            // but stay safe): publish inline instead of losing the entry.
+            persist_entry(&dir, &key, &schedule);
         }
-        // Write-then-rename so a concurrent reader never sees a torn entry.
-        let path = self.path_for(key);
-        let tmp = self
-            .dir
-            .join(format!("ttw-{key}.{}.tmp", std::process::id()));
-        if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_err() {
-            let _ = std::fs::remove_file(&tmp);
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, Arc<SystemSchedule>>> {
+        let index = (fnv1a64(key) as usize) % self.shards.len();
+        &self.shards[index]
+    }
+
+    fn insert_memory(&self, key: &str, entry: Arc<SystemSchedule>) {
+        self.shard(key)
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key.to_string(), entry);
+    }
+}
+
+impl Drop for ScheduleCache {
+    /// Drains the write-behind queue so entries stored just before the cache
+    /// goes away still reach the disk tier (e.g. a process exiting right
+    /// after its last synthesis).
+    fn drop(&mut self) {
+        let persister = self
+            .persister
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(Persister { sender, handle }) = persister {
+            drop(sender);
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// File path of a key's entry under `dir`.
+fn entry_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("ttw-{key}.json"))
+}
+
+/// Spawns the write-behind persister thread for `dir`.
+fn spawn_persister(dir: PathBuf) -> Persister {
+    let (sender, receiver) = mpsc::channel::<PersistJob>();
+    let handle = std::thread::Builder::new()
+        .name("ttw-cache-persister".into())
+        .spawn(move || {
+            while let Ok(job) = receiver.recv() {
+                match job {
+                    PersistJob::Write { key, schedule } => persist_entry(&dir, &key, &schedule),
+                    PersistJob::Flush(ack) => {
+                        let _ = ack.send(());
+                    }
+                }
+            }
+        });
+    match handle {
+        Ok(handle) => Persister {
+            sender,
+            handle: Some(handle),
+        },
+        Err(_) => {
+            // Could not spawn (resource exhaustion): fall back to a sender
+            // whose receiver is gone, so `store` publishes inline.
+            let (dead_sender, _) = mpsc::channel();
+            Persister {
+                sender: dead_sender,
+                handle: None,
+            }
+        }
+    }
+}
+
+/// Serializes and publishes one disk entry (best effort).
+fn persist_entry(dir: &Path, key: &str, schedule: &SystemSchedule) {
+    let Ok(json) = system_schedule_to_json(schedule) else {
+        return;
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    // Unique per-store temp name: process id alone is not enough — two
+    // threads in one process storing the same key would share the temp path
+    // and interleave write/rename, publishing a torn entry.
+    let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!("ttw-{key}.{}-{seq}.tmp", std::process::id()));
+    publish_entry(&tmp, &entry_path(dir, key), &json);
+}
+
+/// Write-then-rename publication with cleanup on either failure: a failed
+/// write removes the partial temp file it may have created, and a failed
+/// rename removes the complete-but-unpublishable one. Either way the cache
+/// directory never accumulates `.tmp` litter from this process.
+fn publish_entry(tmp: &Path, path: &Path, json: &str) {
+    match std::fs::write(tmp, json) {
+        Ok(()) => {
+            if std::fs::rename(tmp, path).is_err() {
+                let _ = std::fs::remove_file(tmp);
+            }
+        }
+        Err(_) => {
+            let _ = std::fs::remove_file(tmp);
         }
     }
 }
@@ -260,14 +557,16 @@ pub fn synthesize_system_cached(
     cache: &ScheduleCache,
 ) -> Result<(SystemSchedule, CacheOutcome), Box<SystemSynthesisError>> {
     let key = synthesis_key(system, graph, config, backend.name());
-    if let Some(schedule) = cache.lookup(&key) {
-        cache.hits.fetch_add(1, Ordering::Relaxed);
-        return Ok((schedule, CacheOutcome::Hit));
-    }
+    let outcome = match cache.probe(&key) {
+        CacheProbe::Memory(schedule) | CacheProbe::Disk(schedule) => {
+            return Ok(((*schedule).clone(), CacheOutcome::Hit));
+        }
+        CacheProbe::Corrupt => CacheOutcome::Corrupt,
+        CacheProbe::Absent => CacheOutcome::Miss,
+    };
     let schedule = synthesize_system(system, graph, config, backend)?;
     cache.store(&key, &schedule);
-    cache.misses.fetch_add(1, Ordering::Relaxed);
-    Ok((schedule, CacheOutcome::Miss))
+    Ok((schedule, outcome))
 }
 
 #[cfg(test)]
@@ -278,13 +577,29 @@ mod tests {
     use crate::time::millis;
 
     fn temp_cache(tag: &str) -> ScheduleCache {
+        ScheduleCache::new(temp_dir(tag))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("ttw-cache-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        ScheduleCache::new(dir)
+        dir
     }
 
     fn config() -> SchedulerConfig {
         SchedulerConfig::new(millis(10), 5)
+    }
+
+    /// Every `.tmp` file currently present in `dir`.
+    fn tmp_files(dir: &Path) -> Vec<PathBuf> {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "tmp"))
+            .collect()
     }
 
     #[test]
@@ -300,12 +615,62 @@ mod tests {
         assert_eq!(outcome, CacheOutcome::Hit);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.mem_hits(), 1, "second call is served from memory");
         // The cached round trip is byte-identical to the fresh result.
         assert_eq!(
             system_schedule_to_json(&first).expect("serialize"),
             system_schedule_to_json(&second).expect("serialize"),
         );
-        let _ = std::fs::remove_dir_all(cache.dir());
+        let dir = cache.dir().expect("disk-backed").to_path_buf();
+        drop(cache);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn disk_tier_survives_the_instance_and_promotes_to_memory() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let dir = temp_dir("disk-tier");
+        let backend = IlpSynthesizer::default();
+        let key = synthesis_key(&sys, &graph, &config(), backend.name());
+        {
+            let cache = ScheduleCache::new(&dir);
+            let (_, outcome) = synthesize_system_cached(&sys, &graph, &config(), &backend, &cache)
+                .expect("feasible");
+            assert_eq!(outcome, CacheOutcome::Miss);
+            // Dropping the cache drains the write-behind queue.
+        }
+        let cache = ScheduleCache::new(&dir);
+        assert!(
+            matches!(cache.probe(&key), CacheProbe::Disk(_)),
+            "fresh instance hits the persisted entry"
+        );
+        assert_eq!(cache.disk_hits(), 1);
+        assert!(
+            matches!(cache.probe(&key), CacheProbe::Memory(_)),
+            "disk hit was promoted into the memory tier"
+        );
+        assert_eq!(cache.mem_hits(), 1);
+        assert_eq!(cache.hits(), 2);
+        drop(cache);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn in_memory_cache_never_touches_disk() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let cache = ScheduleCache::in_memory();
+        assert!(cache.dir().is_none());
+        let backend = IlpSynthesizer::default();
+        let key = synthesis_key(&sys, &graph, &config(), backend.name());
+        assert!(cache.path_for(&key).is_none());
+        let (_, outcome) =
+            synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let (_, outcome) =
+            synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(cache.mem_hits(), 1);
+        assert_eq!(cache.disk_hits(), 0);
     }
 
     #[test]
@@ -330,6 +695,13 @@ mod tests {
             synthesis_key(&sys, &graph, &presolve_off, "ilp-incremental"),
             "solver params must be part of the key"
         );
+        let mut tighter_budget = config();
+        tighter_budget.solver.max_nodes = 10;
+        assert_ne!(
+            base,
+            synthesis_key(&sys, &graph, &tighter_budget, "ilp-incremental"),
+            "per-request solver budgets must be part of the key"
+        );
         let (diamond_sys, diamond_graph, _) = fixtures::four_mode_diamond();
         assert_ne!(
             base,
@@ -339,21 +711,35 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entries_degrade_to_misses() {
+    fn corrupt_entries_are_counted_and_overwritten() {
         let (sys, graph, _, _) = fixtures::two_mode_graph();
         let cache = temp_cache("corrupt");
         let backend = IlpSynthesizer::default();
         let key = synthesis_key(&sys, &graph, &config(), backend.name());
-        std::fs::create_dir_all(cache.dir()).expect("mkdir");
-        std::fs::write(cache.path_for(&key), "{not json").expect("write");
+        let dir = cache.dir().expect("disk-backed").to_path_buf();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(cache.path_for(&key).expect("path"), "{not json").expect("write");
         let (_, outcome) =
             synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
-        assert_eq!(outcome, CacheOutcome::Miss, "corrupt entry is not served");
+        assert_eq!(
+            outcome,
+            CacheOutcome::Corrupt,
+            "corrupt entry is not served and is reported as corrupt, not a miss"
+        );
+        assert_eq!(cache.corrupt(), 1);
+        assert_eq!(
+            cache.misses(),
+            0,
+            "corrupt probes are not folded into misses"
+        );
         // The corrupt entry was overwritten by the fresh result.
         let (_, outcome) =
             synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
         assert_eq!(outcome, CacheOutcome::Hit);
-        let _ = std::fs::remove_dir_all(cache.dir());
+        // Exact accounting: 2 probes = 1 hit + 0 misses + 1 corrupt.
+        assert_eq!(cache.hits() + cache.misses() + cache.corrupt(), 2);
+        drop(cache);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
@@ -368,8 +754,10 @@ mod tests {
         cache.evict(&key);
         let (_, second) =
             synthesize_system_cached(&sys, &graph, &config(), &backend, &cache).expect("feasible");
-        assert_eq!(second, CacheOutcome::Miss);
-        let _ = std::fs::remove_dir_all(cache.dir());
+        assert_eq!(second, CacheOutcome::Miss, "evict clears both tiers");
+        let dir = cache.dir().expect("disk-backed").to_path_buf();
+        drop(cache);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
@@ -384,5 +772,135 @@ mod tests {
             system_fingerprint(&sys, &graph),
             system_fingerprint(&other_sys, &other_graph)
         );
+    }
+
+    /// Regression test for the two `store` concurrency bugs: same-process
+    /// writers of one key used to share a single `pid`-named temp file (so
+    /// one thread's write could interleave with the other's rename and
+    /// publish a torn entry), and a stray `.tmp` from a crashed writer
+    /// stayed around forever. Hammer the same key from many threads — via
+    /// two cache instances sharing the directory, the worst case — while
+    /// readers continuously parse the published entry, then assert nothing
+    /// was ever torn and no temp files survive.
+    #[test]
+    fn concurrent_stores_of_one_key_never_tear_or_leak() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let dir = temp_dir("hammer");
+        let backend = IlpSynthesizer::default();
+        let key = synthesis_key(&sys, &graph, &config(), backend.name());
+        let schedule = synthesize_system(&sys, &graph, &config(), &backend).expect("feasible");
+
+        // A stray temp file from a "crashed" writer of an earlier process:
+        // it must neither be served nor corrupt anything.
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let stray = dir.join(format!("ttw-{key}.999999-0.tmp"));
+        std::fs::write(&stray, "{torn garbage").expect("write stray");
+
+        let writer_a = ScheduleCache::new(&dir);
+        let writer_b = ScheduleCache::new(&dir);
+        const WRITES_PER_THREAD: usize = 25;
+        std::thread::scope(|scope| {
+            for cache in [&writer_a, &writer_b] {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        for _ in 0..WRITES_PER_THREAD {
+                            cache.store(&key, &schedule);
+                        }
+                    });
+                }
+            }
+            // Readers race the writers through a disk-only instance (a fresh
+            // cache per probe defeats the memory tier, forcing disk parses).
+            scope.spawn(|| {
+                for _ in 0..50 {
+                    let reader = ScheduleCache::new(&dir);
+                    match reader.probe(&key) {
+                        CacheProbe::Corrupt => panic!("reader observed a torn entry"),
+                        CacheProbe::Memory(_) | CacheProbe::Disk(_) | CacheProbe::Absent => {}
+                    }
+                }
+            });
+        });
+        writer_a.flush();
+        writer_b.flush();
+
+        // The published entry is complete and correct.
+        let reader = ScheduleCache::new(&dir);
+        let served = reader.lookup(&key).expect("entry published");
+        assert_eq!(
+            system_schedule_to_json(&served).expect("serialize"),
+            system_schedule_to_json(&schedule).expect("serialize"),
+        );
+        // No writer leaked a temp file; only the injected stray remains.
+        assert_eq!(tmp_files(&dir), vec![stray.clone()]);
+        drop((writer_a, writer_b, reader));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Regression test for the `&&` short-circuit bug: a failed temp write
+    /// used to skip the cleanup arm entirely, leaking the partial file. Both
+    /// failure paths of `publish_entry` must leave no temp file behind.
+    #[test]
+    fn failed_publishes_clean_up_their_temp_files() {
+        let dir = temp_dir("publish-fail");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Failed write (temp path's parent does not exist): nothing leaks.
+        let tmp = dir.join("missing-subdir").join("entry.tmp");
+        publish_entry(&tmp, &dir.join("entry.json"), "{}");
+        assert!(!tmp.exists());
+
+        // Failed rename (target is a directory): the fully written temp
+        // file is removed instead of leaking.
+        let target = dir.join("ttw-blocked.json");
+        std::fs::create_dir_all(&target).expect("mkdir target");
+        let tmp = dir.join("ttw-blocked.1-2.tmp");
+        publish_entry(&tmp, &target, "{\"torn\": true}");
+        assert!(!tmp.exists(), "failed rename must remove the temp file");
+        assert!(tmp_files(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Counter accounting under concurrency: hits + misses + corrupt equals
+    /// the number of probes issued, and the tier split adds up.
+    #[test]
+    fn hammer_counters_reconcile_exactly() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let cache = temp_cache("counters");
+        let backend = IlpSynthesizer::default();
+        let schedule = synthesize_system(&sys, &graph, &config(), &backend).expect("feasible");
+        let keys: Vec<String> = (0..8).map(|i| format!("{i:016x}")).collect();
+        const PROBES_PER_THREAD: usize = 40;
+        const THREADS: usize = 4;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = &cache;
+                let keys = &keys;
+                let schedule = &schedule;
+                scope.spawn(move || {
+                    for i in 0..PROBES_PER_THREAD {
+                        let key = &keys[(t + i) % keys.len()];
+                        if let CacheProbe::Absent = cache.probe(key) {
+                            // Store only half the keys so misses keep
+                            // happening throughout the run.
+                            if (t + i) % keys.len() < keys.len() / 2 {
+                                cache.store(key, schedule);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let probes = THREADS * PROBES_PER_THREAD;
+        assert_eq!(
+            cache.hits() + cache.misses() + cache.corrupt(),
+            probes,
+            "every probe is classified exactly once"
+        );
+        assert_eq!(cache.mem_hits() + cache.disk_hits(), cache.hits());
+        assert_eq!(cache.corrupt(), 0);
+        let dir = cache.dir().expect("disk-backed").to_path_buf();
+        drop(cache);
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

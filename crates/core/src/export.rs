@@ -7,6 +7,7 @@
 //! what the optimizer produced. The JSON codec is hand-rolled on
 //! [`crate::json`] because the build environment has no crates.io access.
 
+use crate::config::SchedulerConfig;
 use crate::ids::{AppId, MessageId, ModeId, TaskId};
 use crate::json::{JsonError, Value};
 use crate::modegraph::ModeGraph;
@@ -15,6 +16,7 @@ use crate::spec::{ApplicationSpec, MessageSpec, TaskSpec};
 use crate::system::System;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use ttw_milp::SolveParams;
 
 /// Serializes a schedule to pretty-printed JSON.
 ///
@@ -64,6 +66,12 @@ pub fn system_schedule_from_json(json: &str) -> Result<SystemSchedule, JsonError
 ///
 /// Infallible in practice; see [`schedule_to_json`].
 pub fn mode_graph_to_json(graph: &ModeGraph) -> Result<String, JsonError> {
+    Ok(mode_graph_to_value(graph).to_json_pretty())
+}
+
+/// The [`Value`]-level form of [`mode_graph_to_json`], for embedding a mode
+/// graph inside a larger document (the `ttw-service` wire protocol).
+pub fn mode_graph_to_value(graph: &ModeGraph) -> Value {
     let mut map = BTreeMap::new();
     map.insert("num_modes".into(), Value::Number(graph.num_modes() as f64));
     map.insert("root".into(), Value::Number(graph.root().index() as f64));
@@ -81,7 +89,7 @@ pub fn mode_graph_to_json(graph: &ModeGraph) -> Result<String, JsonError> {
                 .collect(),
         ),
     );
-    Ok(Value::Object(map).to_json_pretty())
+    Value::Object(map)
 }
 
 /// Parses a [`ModeGraph`] back from its JSON form.
@@ -91,8 +99,16 @@ pub fn mode_graph_to_json(graph: &ModeGraph) -> Result<String, JsonError> {
 /// Returns a [`JsonError`] if the document is not a valid mode graph (bad
 /// shape, or edges/root outside the mode range).
 pub fn mode_graph_from_json(json: &str) -> Result<ModeGraph, JsonError> {
-    let value = Value::parse(json)?;
-    let map = require_object(&value, "mode graph")?;
+    mode_graph_from_value(&Value::parse(json)?)
+}
+
+/// The [`Value`]-level form of [`mode_graph_from_json`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if the value is not a valid mode graph.
+pub fn mode_graph_from_value(value: &Value) -> Result<ModeGraph, JsonError> {
+    let map = require_object(value, "mode graph")?;
     let num_modes = require_usize(map, "num_modes")?;
     let root = ModeId::from_index(require_usize(map, "root")?);
     let edges = require_field(map, "edges")?
@@ -132,6 +148,322 @@ pub fn app_spec_to_json(spec: &ApplicationSpec) -> Result<String, JsonError> {
 /// Returns a [`JsonError`] if the document is not a valid specification.
 pub fn app_spec_from_json(json: &str) -> Result<ApplicationSpec, JsonError> {
     app_spec_from_value(&Value::parse(json)?)
+}
+
+/// Serializes a complete [`System`] — nodes, applications (as
+/// [`ApplicationSpec`] documents) and modes — to pretty-printed JSON.
+///
+/// The representation is the *construction order*: nodes, applications and
+/// modes appear in id order, so [`system_from_json`] rebuilds a system whose
+/// entity ids (and therefore [`crate::cache::system_fingerprint`]) are
+/// identical to the original's. This is the request payload of the
+/// `ttw-service` wire protocol.
+///
+/// # Errors
+///
+/// Infallible in practice; see [`schedule_to_json`].
+pub fn system_to_json(system: &System) -> Result<String, JsonError> {
+    Ok(system_to_value(system).to_json_pretty())
+}
+
+/// The [`Value`]-level form of [`system_to_json`].
+pub fn system_to_value(system: &System) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert(
+        "nodes".into(),
+        Value::Array(
+            system
+                .nodes()
+                .map(|(_, node)| Value::String(node.name.clone()))
+                .collect(),
+        ),
+    );
+    map.insert(
+        "applications".into(),
+        Value::Array(
+            system
+                .applications()
+                .map(|(id, _)| app_spec_to_value(&application_spec_of(system, id)))
+                .collect(),
+        ),
+    );
+    map.insert(
+        "modes".into(),
+        Value::Array(
+            system
+                .modes()
+                .map(|(_, mode)| {
+                    let mut m = BTreeMap::new();
+                    m.insert("name".into(), Value::String(mode.name.clone()));
+                    m.insert(
+                        "applications".into(),
+                        Value::Array(
+                            mode.applications
+                                .iter()
+                                .map(|app| Value::Number(app.index() as f64))
+                                .collect(),
+                        ),
+                    );
+                    Value::Object(m)
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(map)
+}
+
+/// Reconstructs the [`ApplicationSpec`] an application was built from: task
+/// and message entries in id order with all name references resolved.
+fn application_spec_of(system: &System, app: AppId) -> ApplicationSpec {
+    let application = system.application(app);
+    ApplicationSpec {
+        name: application.name.clone(),
+        period: application.period,
+        deadline: application.deadline,
+        tasks: application
+            .tasks
+            .iter()
+            .map(|&task| {
+                let t = system.task(task);
+                TaskSpec {
+                    name: t.name.clone(),
+                    node: system.node(t.node).name.clone(),
+                    wcet: t.wcet,
+                }
+            })
+            .collect(),
+        messages: application
+            .messages
+            .iter()
+            .map(|&message| {
+                let m = system.message(message);
+                MessageSpec {
+                    name: m.name.clone(),
+                    sources: m
+                        .preceding_tasks
+                        .iter()
+                        .map(|&t| system.task(t).name.clone())
+                        .collect(),
+                    destinations: m
+                        .successor_tasks
+                        .iter()
+                        .map(|&t| system.task(t).name.clone())
+                        .collect(),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Parses a [`System`] back from its JSON form, replaying the construction
+/// sequence (`add_node` / `add_application` / `add_mode`) so entity ids
+/// match the serialized system exactly.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if the document is malformed *or* if the
+/// described system violates the model rules of Sec. III (the
+/// [`crate::ModelError`] is folded into the message).
+pub fn system_from_json(json: &str) -> Result<System, JsonError> {
+    system_from_value(&Value::parse(json)?)
+}
+
+/// The [`Value`]-level form of [`system_from_json`].
+///
+/// # Errors
+///
+/// As [`system_from_json`].
+pub fn system_from_value(value: &Value) -> Result<System, JsonError> {
+    let map = require_object(value, "system")?;
+    let mut system = System::new();
+    for node in require_field(map, "nodes")?
+        .as_array()
+        .ok_or_else(|| JsonError::custom("`nodes` must be an array"))?
+    {
+        let name = node
+            .as_str()
+            .ok_or_else(|| JsonError::custom("`nodes` entries must be strings"))?;
+        system
+            .add_node(name)
+            .map_err(|e| JsonError::custom(format!("invalid node `{name}`: {e}")))?;
+    }
+    for app in require_field(map, "applications")?
+        .as_array()
+        .ok_or_else(|| JsonError::custom("`applications` must be an array"))?
+    {
+        let spec = app_spec_from_value(app)?;
+        system
+            .add_application(&spec)
+            .map_err(|e| JsonError::custom(format!("invalid application `{}`: {e}", spec.name)))?;
+    }
+    for mode in require_field(map, "modes")?
+        .as_array()
+        .ok_or_else(|| JsonError::custom("`modes` must be an array"))?
+    {
+        let m = require_object(mode, "mode")?;
+        let name = require_string(m, "name")?;
+        let num_apps = system.applications().count();
+        let applications = require_field(m, "applications")?
+            .as_array()
+            .ok_or_else(|| JsonError::custom("mode `applications` must be an array"))?
+            .iter()
+            .map(|app| {
+                app.as_u64()
+                    .filter(|&i| (i as usize) < num_apps)
+                    .map(|i| AppId::from_index(i as usize))
+                    .ok_or_else(|| {
+                        JsonError::custom("mode `applications` entries must be application indices")
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        system
+            .add_mode(&name, &applications)
+            .map_err(|e| JsonError::custom(format!("invalid mode `{name}`: {e}")))?;
+    }
+    Ok(system)
+}
+
+/// Serializes a [`SchedulerConfig`] — including every [`SolveParams`] budget
+/// and tolerance — to pretty-printed JSON.
+///
+/// The round trip is exact (numbers print in shortest-round-trip form), so a
+/// config that crossed the wire produces the same cache key as the
+/// original: `format!("{config:?}")` of the two is byte-identical.
+///
+/// # Errors
+///
+/// Infallible in practice; see [`schedule_to_json`].
+pub fn scheduler_config_to_json(config: &SchedulerConfig) -> Result<String, JsonError> {
+    Ok(scheduler_config_to_value(config).to_json_pretty())
+}
+
+/// The [`Value`]-level form of [`scheduler_config_to_json`].
+pub fn scheduler_config_to_value(config: &SchedulerConfig) -> Value {
+    let optional = |v: Option<u64>| match v {
+        Some(n) => Value::Number(n as f64),
+        None => Value::Null,
+    };
+    let mut solver = BTreeMap::new();
+    solver.insert(
+        "max_nodes".into(),
+        Value::Number(config.solver.max_nodes as f64),
+    );
+    solver.insert(
+        "max_simplex_iterations".into(),
+        Value::Number(config.solver.max_simplex_iterations as f64),
+    );
+    solver.insert(
+        "integrality_tolerance".into(),
+        Value::Number(config.solver.integrality_tolerance),
+    );
+    solver.insert(
+        "feasibility_tolerance".into(),
+        Value::Number(config.solver.feasibility_tolerance),
+    );
+    solver.insert(
+        "relative_gap".into(),
+        Value::Number(config.solver.relative_gap),
+    );
+    solver.insert("presolve".into(), Value::Bool(config.solver.presolve));
+    solver.insert("cuts".into(), Value::Bool(config.solver.cuts));
+    solver.insert(
+        "max_cut_rounds".into(),
+        Value::Number(config.solver.max_cut_rounds as f64),
+    );
+    solver.insert("pump".into(), Value::Bool(config.solver.pump));
+    solver.insert("pseudocost".into(), Value::Bool(config.solver.pseudocost));
+    solver.insert(
+        "strong_branch_limit".into(),
+        Value::Number(config.solver.strong_branch_limit as f64),
+    );
+    solver.insert(
+        "reliability".into(),
+        Value::Number(config.solver.reliability as f64),
+    );
+
+    let mut map = BTreeMap::new();
+    map.insert(
+        "round_duration".into(),
+        Value::Number(config.round_duration as f64),
+    );
+    map.insert(
+        "slots_per_round".into(),
+        Value::Number(config.slots_per_round as f64),
+    );
+    map.insert(
+        "max_inter_round_gap".into(),
+        optional(config.max_inter_round_gap),
+    );
+    map.insert("epsilon".into(), Value::Number(config.epsilon));
+    map.insert("big_m_factor".into(), Value::Number(config.big_m_factor));
+    map.insert(
+        "max_rounds".into(),
+        optional(config.max_rounds.map(|n| n as u64)),
+    );
+    map.insert("analyze_first".into(), Value::Bool(config.analyze_first));
+    map.insert("solver".into(), Value::Object(solver));
+    Value::Object(map)
+}
+
+/// Parses a [`SchedulerConfig`] back from its JSON form.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if the document is not a valid configuration.
+pub fn scheduler_config_from_json(json: &str) -> Result<SchedulerConfig, JsonError> {
+    scheduler_config_from_value(&Value::parse(json)?)
+}
+
+/// The [`Value`]-level form of [`scheduler_config_from_json`].
+///
+/// # Errors
+///
+/// As [`scheduler_config_from_json`].
+pub fn scheduler_config_from_value(value: &Value) -> Result<SchedulerConfig, JsonError> {
+    let map = require_object(value, "scheduler config")?;
+    let solver_map = require_object(require_field(map, "solver")?, "`solver`")?;
+    let solver = SolveParams {
+        max_nodes: require_usize(solver_map, "max_nodes")?,
+        max_simplex_iterations: require_usize(solver_map, "max_simplex_iterations")?,
+        integrality_tolerance: require_f64(solver_map, "integrality_tolerance")?,
+        feasibility_tolerance: require_f64(solver_map, "feasibility_tolerance")?,
+        relative_gap: require_f64(solver_map, "relative_gap")?,
+        presolve: require_bool(solver_map, "presolve")?,
+        cuts: require_bool(solver_map, "cuts")?,
+        max_cut_rounds: require_usize(solver_map, "max_cut_rounds")?,
+        pump: require_bool(solver_map, "pump")?,
+        pseudocost: require_bool(solver_map, "pseudocost")?,
+        strong_branch_limit: require_usize(solver_map, "strong_branch_limit")?,
+        reliability: require_usize(solver_map, "reliability")?,
+    };
+    let mut config = SchedulerConfig::new(
+        require_u64(map, "round_duration")?,
+        require_usize(map, "slots_per_round")?,
+    );
+    config.max_inter_round_gap = optional_u64(map, "max_inter_round_gap")?;
+    config.epsilon = require_f64(map, "epsilon")?;
+    config.big_m_factor = require_f64(map, "big_m_factor")?;
+    config.max_rounds = optional_u64(map, "max_rounds")?.map(|n| n as usize);
+    config.analyze_first = require_bool(map, "analyze_first")?;
+    config.solver = solver;
+    Ok(config)
+}
+
+/// Reads an optional non-negative integer field (`null` or absent = `None`).
+fn optional_u64(map: &BTreeMap<String, Value>, field: &str) -> Result<Option<u64>, JsonError> {
+    match map.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(value) => value
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| JsonError::custom(format!("`{field}` must be null or an integer"))),
+    }
+}
+
+fn require_bool(map: &BTreeMap<String, Value>, field: &str) -> Result<bool, JsonError> {
+    require_field(map, field)?
+        .as_bool()
+        .ok_or_else(|| JsonError::custom(format!("`{field}` must be a boolean")))
 }
 
 fn schedule_to_value(schedule: &ModeSchedule) -> Value {
@@ -350,7 +682,10 @@ fn schedule_from_value(value: &Value) -> Result<ModeSchedule, JsonError> {
     })
 }
 
-fn system_schedule_to_value(schedule: &SystemSchedule) -> Value {
+/// The [`Value`]-level form of [`system_schedule_to_json`], for embedding a
+/// system schedule inside a larger document (the `ttw-service` wire
+/// protocol).
+pub fn system_schedule_to_value(schedule: &SystemSchedule) -> Value {
     let mut map = BTreeMap::new();
     map.insert(
         "schedules".into(),
@@ -400,7 +735,12 @@ fn system_schedule_to_value(schedule: &SystemSchedule) -> Value {
     Value::Object(map)
 }
 
-fn system_schedule_from_value(value: &Value) -> Result<SystemSchedule, JsonError> {
+/// The [`Value`]-level form of [`system_schedule_from_json`].
+///
+/// # Errors
+///
+/// As [`system_schedule_from_json`].
+pub fn system_schedule_from_value(value: &Value) -> Result<SystemSchedule, JsonError> {
     let map = require_object(value, "system schedule")?;
     let parse_index = |field: &str, key: &str| -> Result<usize, JsonError> {
         key.parse()
@@ -803,6 +1143,82 @@ mod tests {
         assert!(mode_graph_from_json(bad).is_err());
         let bad_root = r#"{"num_modes": 2, "root": 9, "edges": []}"#;
         assert!(mode_graph_from_json(bad_root).is_err());
+    }
+
+    #[test]
+    fn system_round_trips_with_identical_fingerprint() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let json = system_to_json(&sys).expect("serializes");
+        let back = system_from_json(&json).expect("parses");
+        // Fingerprints cover every entity in id order, so equality means the
+        // ids were reproduced exactly, not just the names.
+        assert_eq!(
+            crate::cache::system_fingerprint(&sys, &graph),
+            crate::cache::system_fingerprint(&back, &graph)
+        );
+        // Round-tripping the JSON again is byte-stable.
+        assert_eq!(json, system_to_json(&back).expect("serializes"));
+    }
+
+    #[test]
+    fn fig3_system_round_trips() {
+        let (sys, _) = fixtures::fig3_system();
+        let graph = ModeGraph::new(&sys);
+        let back = system_from_json(&system_to_json(&sys).expect("serializes")).expect("parses");
+        assert_eq!(
+            crate::cache::system_fingerprint(&sys, &graph),
+            crate::cache::system_fingerprint(&back, &graph)
+        );
+    }
+
+    #[test]
+    fn invalid_system_json_is_an_error() {
+        assert!(system_from_json("{oops").is_err());
+        assert!(system_from_json("{}").is_err());
+        // Unknown application index in a mode.
+        let bad = r#"{"nodes": ["n0"], "applications": [], "modes":
+            [{"name": "m", "applications": [3]}]}"#;
+        assert!(system_from_json(bad).is_err());
+        // Model-rule violation (duplicate node name) surfaces as JsonError.
+        let dup = r#"{"nodes": ["n0", "n0"], "applications": [], "modes": []}"#;
+        assert!(system_from_json(dup).is_err());
+    }
+
+    #[test]
+    fn scheduler_config_round_trips_to_the_same_cache_key_text() {
+        let mut config = SchedulerConfig::new(millis(10), 5);
+        config.max_inter_round_gap = Some(millis(7));
+        config.epsilon = 0.125;
+        config.max_rounds = Some(12);
+        config.analyze_first = true;
+        config.solver.max_nodes = 999;
+        config.solver.relative_gap = 1e-7;
+        config.solver.pump = false;
+        let json = scheduler_config_to_json(&config).expect("serializes");
+        let back = scheduler_config_from_json(&json).expect("parses");
+        // The cache key hashes the Debug form, so the round trip must be
+        // byte-identical — including f64 formatting.
+        assert_eq!(format!("{config:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn scheduler_config_defaults_round_trip() {
+        let config = SchedulerConfig::new(millis(10), 5);
+        let back = scheduler_config_from_json(&scheduler_config_to_json(&config).expect("json"))
+            .expect("parses");
+        assert_eq!(format!("{config:?}"), format!("{back:?}"));
+        assert!(back.max_inter_round_gap.is_none());
+        assert!(back.max_rounds.is_none());
+    }
+
+    #[test]
+    fn invalid_scheduler_config_json_is_an_error() {
+        assert!(scheduler_config_from_json("{oops").is_err());
+        assert!(scheduler_config_from_json("{}").is_err());
+        let bad_gap = r#"{"round_duration": 1, "slots_per_round": 1,
+            "max_inter_round_gap": "soon", "epsilon": 0.5, "big_m_factor": 2.0,
+            "max_rounds": null, "analyze_first": false, "solver": {}}"#;
+        assert!(scheduler_config_from_json(bad_gap).is_err());
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Admission control for solver work.
+//!
+//! Synthesis is CPU-bound and can take seconds; letting every connection
+//! thread solve at once would thrash the machine and starve cache hits
+//! behind solver work. The [`AdmissionQueue`] is a bounded counting
+//! semaphore with a bounded wait line: at most `max_active` solves run
+//! concurrently, at most `max_waiting` requests queue for a slot, and
+//! anything beyond that is rejected immediately with [`Overloaded`] so the
+//! client can back off instead of piling up threads.
+//!
+//! Cache hits and coalesced followers never pass through the queue — only
+//! flight leaders that actually need a solver do.
+
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// The service is saturated: the solve slots and the wait line are full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Solves running when the request was bounced.
+    pub active: usize,
+    /// Requests already waiting for a slot.
+    pub waiting: usize,
+}
+
+impl fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "service overloaded: {} solves active, {} waiting",
+            self.active, self.waiting
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+#[derive(Debug)]
+struct Counts {
+    active: usize,
+    waiting: usize,
+}
+
+/// A bounded semaphore with a bounded wait line.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    counts: Mutex<Counts>,
+    freed: Condvar,
+    max_active: usize,
+    max_waiting: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue running at most `max_active` solves with at most
+    /// `max_waiting` requests queued behind them. Both bounds are clamped
+    /// to at least 1 active slot (a zero-solver service would deadlock).
+    pub fn new(max_active: usize, max_waiting: usize) -> Self {
+        AdmissionQueue {
+            counts: Mutex::new(Counts {
+                active: 0,
+                waiting: 0,
+            }),
+            freed: Condvar::new(),
+            max_active: max_active.max(1),
+            max_waiting,
+        }
+    }
+
+    /// Acquires a solve slot, blocking in the wait line if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Overloaded`] without blocking when the wait line is full.
+    pub fn admit(&self) -> Result<Permit<'_>, Overloaded> {
+        let mut counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
+        if counts.active < self.max_active {
+            counts.active += 1;
+            return Ok(Permit { queue: self });
+        }
+        if counts.waiting >= self.max_waiting {
+            return Err(Overloaded {
+                active: counts.active,
+                waiting: counts.waiting,
+            });
+        }
+        counts.waiting += 1;
+        while counts.active >= self.max_active {
+            counts = self.freed.wait(counts).unwrap_or_else(|e| e.into_inner());
+        }
+        counts.waiting -= 1;
+        counts.active += 1;
+        Ok(Permit { queue: self })
+    }
+
+    /// Solves currently running.
+    pub fn active(&self) -> usize {
+        self.counts.lock().unwrap_or_else(|e| e.into_inner()).active
+    }
+
+    /// Requests currently in the wait line.
+    pub fn waiting(&self) -> usize {
+        self.counts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .waiting
+    }
+
+    fn release(&self) {
+        let mut counts = self.counts.lock().unwrap_or_else(|e| e.into_inner());
+        counts.active = counts.active.saturating_sub(1);
+        self.freed.notify_one();
+    }
+}
+
+/// An acquired solve slot; released on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    queue: &'a AdmissionQueue,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.queue.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn active_slots_are_bounded_and_released() {
+        let queue = AdmissionQueue::new(2, 10);
+        let a = queue.admit().expect("slot 1");
+        let _b = queue.admit().expect("slot 2");
+        assert_eq!(queue.active(), 2);
+        drop(a);
+        assert_eq!(queue.active(), 1);
+        let _c = queue.admit().expect("freed slot");
+        assert_eq!(queue.active(), 2);
+    }
+
+    #[test]
+    fn full_wait_line_rejects_immediately() {
+        let queue = AdmissionQueue::new(1, 0);
+        let _held = queue.admit().expect("only slot");
+        let err = queue.admit().expect_err("no wait line");
+        assert_eq!(err.active, 1);
+        assert_eq!(err.waiting, 0);
+    }
+
+    #[test]
+    fn waiters_are_admitted_when_slots_free_up() {
+        let queue = Arc::new(AdmissionQueue::new(1, 8));
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let first = queue.admit().expect("only slot");
+        let mut workers = Vec::new();
+        for _ in 0..4 {
+            let queue = Arc::clone(&queue);
+            let admitted = Arc::clone(&admitted);
+            workers.push(std::thread::spawn(move || {
+                let permit = queue.admit().expect("wait line has room");
+                admitted.fetch_add(1, Ordering::SeqCst);
+                drop(permit);
+            }));
+        }
+        // Workers must be parked, not admitted, while the slot is held.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(admitted.load(Ordering::SeqCst), 0);
+        drop(first);
+        for worker in workers {
+            worker.join().expect("worker");
+        }
+        assert_eq!(admitted.load(Ordering::SeqCst), 4);
+        assert_eq!(queue.active(), 0);
+        assert_eq!(queue.waiting(), 0);
+    }
+
+    #[test]
+    fn zero_active_is_clamped_to_one() {
+        let queue = AdmissionQueue::new(0, 0);
+        let _permit = queue.admit().expect("clamped to one slot");
+    }
+}

@@ -1,0 +1,505 @@
+//! Wire protocol: JSON request/response documents carried in frames.
+//!
+//! Each frame of [`crate::frame`] holds one JSON document with a `"type"`
+//! discriminator. Entity payloads reuse the `Value`-level codecs of
+//! [`ttw_core::export`] verbatim, so anything that round-trips through the
+//! deployment JSON also round-trips through the service — including the
+//! f64 formatting that the cache key depends on.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"type": "synthesize", "system": {...}, "mode_graph": {...},
+//!  "config": {...}, "backend": "ilp", "budget": {"max_nodes": 1000}}
+//! {"type": "stats"}
+//! {"type": "shutdown"}
+//! ```
+//!
+//! Responses:
+//!
+//! ```json
+//! {"type": "schedule", "served": "cache-memory", "request_milp_nodes": 0,
+//!  "service_micros": 42, "schedule": {...}}
+//! {"type": "stats", ...counters...}
+//! {"type": "error", "message": "..."}
+//! {"type": "shutdown-ack"}
+//! ```
+
+use crate::stats::StatsSnapshot;
+use std::collections::BTreeMap;
+use ttw_core::config::SchedulerConfig;
+use ttw_core::export::{
+    mode_graph_from_value, mode_graph_to_value, scheduler_config_from_value,
+    scheduler_config_to_value, system_from_value, system_schedule_from_value,
+    system_schedule_to_value, system_to_value,
+};
+use ttw_core::json::{JsonError, Value};
+use ttw_core::modegraph::ModeGraph;
+use ttw_core::schedule::SystemSchedule;
+use ttw_core::system::System;
+
+/// The synthesis backend a request is routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The exact ILP backend (`ilp-incremental`).
+    Ilp,
+    /// The greedy heuristic backend (`greedy-heuristic`).
+    Heuristic,
+}
+
+impl BackendKind {
+    /// The `"backend"` string on the wire.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            BackendKind::Ilp => "ilp",
+            BackendKind::Heuristic => "heuristic",
+        }
+    }
+
+    /// Parses the `"backend"` string of a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the unknown backend.
+    pub fn from_wire(name: &str) -> Result<Self, JsonError> {
+        match name {
+            "ilp" => Ok(BackendKind::Ilp),
+            "heuristic" => Ok(BackendKind::Heuristic),
+            other => Err(JsonError::custom(format!("unknown backend `{other}`"))),
+        }
+    }
+}
+
+/// Per-request solver budget caps, applied *on top of* the request's own
+/// [`SchedulerConfig`] and the service-wide caps: the effective budget is
+/// the minimum of all three. `None` leaves the corresponding config value
+/// untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetCaps {
+    /// Cap on branch-and-bound nodes for this request.
+    pub max_nodes: Option<usize>,
+    /// Cap on total simplex iterations for this request.
+    pub max_simplex_iterations: Option<usize>,
+}
+
+/// A synthesis request: the full problem statement plus routing and budget.
+#[derive(Debug, Clone)]
+pub struct SynthesizeRequest {
+    /// The system to schedule.
+    pub system: System,
+    /// Its mode graph.
+    pub graph: ModeGraph,
+    /// Scheduler configuration (round length, slots, solver parameters).
+    pub config: SchedulerConfig,
+    /// Which backend solves it.
+    pub backend: BackendKind,
+    /// Optional per-request budget caps.
+    pub budget: BudgetCaps,
+}
+
+/// A request frame.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Synthesize a schedule (or serve it from cache).
+    Synthesize(Box<SynthesizeRequest>),
+    /// Report the service counters.
+    Stats,
+    /// Stop accepting connections and shut the server down.
+    Shutdown,
+}
+
+/// Where a served schedule came from, for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// A solver ran for this request.
+    Solved,
+    /// The request piggybacked on an identical in-flight solve.
+    Coalesced,
+    /// Served by the in-process memory tier.
+    Memory,
+    /// Served by the on-disk tier (and promoted to memory).
+    Disk,
+}
+
+impl ServedFrom {
+    /// The `"served"` string on the wire.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ServedFrom::Solved => "solved",
+            ServedFrom::Coalesced => "coalesced",
+            ServedFrom::Memory => "cache-memory",
+            ServedFrom::Disk => "cache-disk",
+        }
+    }
+
+    /// Parses the `"served"` string of a response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the unknown value.
+    pub fn from_wire(name: &str) -> Result<Self, JsonError> {
+        match name {
+            "solved" => Ok(ServedFrom::Solved),
+            "coalesced" => Ok(ServedFrom::Coalesced),
+            "cache-memory" => Ok(ServedFrom::Memory),
+            "cache-disk" => Ok(ServedFrom::Disk),
+            other => Err(JsonError::custom(format!("unknown served kind `{other}`"))),
+        }
+    }
+
+    /// `true` when no solver ran for this request (warm service).
+    pub fn is_warm(self) -> bool {
+        !matches!(self, ServedFrom::Solved)
+    }
+}
+
+/// A successfully served schedule plus per-request service metadata.
+#[derive(Debug, Clone)]
+pub struct ScheduleReply {
+    /// The synthesized (or cached) system schedule.
+    pub schedule: SystemSchedule,
+    /// Where it came from.
+    pub served: ServedFrom,
+    /// Branch-and-bound nodes spent *by this request* — zero whenever
+    /// `served` is warm (the acceptance bar for the cache tier).
+    pub request_milp_nodes: usize,
+    /// Wall-clock service time of this request in microseconds.
+    pub service_micros: u64,
+}
+
+/// A response frame.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A schedule, served or solved.
+    Schedule(Box<ScheduleReply>),
+    /// The service counters.
+    Stats(StatsSnapshot),
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Acknowledges a [`Request::Shutdown`].
+    ShutdownAck,
+}
+
+fn obj(value: &Value, what: &str) -> Result<BTreeMap<String, Value>, JsonError> {
+    match value {
+        Value::Object(map) => Ok(map.clone()),
+        _ => Err(JsonError::custom(format!("{what} must be a JSON object"))),
+    }
+}
+
+fn field<'a>(map: &'a BTreeMap<String, Value>, name: &str) -> Result<&'a Value, JsonError> {
+    map.get(name)
+        .ok_or_else(|| JsonError::custom(format!("missing field `{name}`")))
+}
+
+fn field_str(map: &BTreeMap<String, Value>, name: &str) -> Result<String, JsonError> {
+    field(map, name)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| JsonError::custom(format!("`{name}` must be a string")))
+}
+
+fn field_usize(map: &BTreeMap<String, Value>, name: &str) -> Result<usize, JsonError> {
+    field(map, name)?
+        .as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| JsonError::custom(format!("`{name}` must be a non-negative integer")))
+}
+
+fn optional_usize(map: &BTreeMap<String, Value>, name: &str) -> Result<Option<usize>, JsonError> {
+    match map.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(value) => value
+            .as_u64()
+            .map(|n| Some(n as usize))
+            .ok_or_else(|| JsonError::custom(format!("`{name}` must be null or an integer"))),
+    }
+}
+
+impl Request {
+    /// Serializes the request to a compact JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// The [`Value`]-level form of [`Request::to_json`].
+    pub fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        match self {
+            Request::Synthesize(req) => {
+                map.insert("type".into(), Value::String("synthesize".into()));
+                map.insert("system".into(), system_to_value(&req.system));
+                map.insert("mode_graph".into(), mode_graph_to_value(&req.graph));
+                map.insert("config".into(), scheduler_config_to_value(&req.config));
+                map.insert(
+                    "backend".into(),
+                    Value::String(req.backend.wire_name().into()),
+                );
+                let mut budget = BTreeMap::new();
+                let optional = |v: Option<usize>| match v {
+                    Some(n) => Value::Number(n as f64),
+                    None => Value::Null,
+                };
+                budget.insert("max_nodes".into(), optional(req.budget.max_nodes));
+                budget.insert(
+                    "max_simplex_iterations".into(),
+                    optional(req.budget.max_simplex_iterations),
+                );
+                map.insert("budget".into(), Value::Object(budget));
+            }
+            Request::Stats => {
+                map.insert("type".into(), Value::String("stats".into()));
+            }
+            Request::Shutdown => {
+                map.insert("type".into(), Value::String("shutdown".into()));
+            }
+        }
+        Value::Object(map)
+    }
+
+    /// Parses a request frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for malformed JSON, unknown request types and
+    /// invalid entity payloads (including model-rule violations in the
+    /// system document).
+    pub fn from_json(payload: &[u8]) -> Result<Self, JsonError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| JsonError::custom("request frame is not UTF-8"))?;
+        Self::from_value(&Value::parse(text)?)
+    }
+
+    /// The [`Value`]-level form of [`Request::from_json`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::from_json`].
+    pub fn from_value(value: &Value) -> Result<Self, JsonError> {
+        let map = obj(value, "request")?;
+        match field_str(&map, "type")?.as_str() {
+            "synthesize" => {
+                let budget = match map.get("budget") {
+                    None | Some(Value::Null) => BudgetCaps::default(),
+                    Some(value) => {
+                        let budget = obj(value, "`budget`")?;
+                        BudgetCaps {
+                            max_nodes: optional_usize(&budget, "max_nodes")?,
+                            max_simplex_iterations: optional_usize(
+                                &budget,
+                                "max_simplex_iterations",
+                            )?,
+                        }
+                    }
+                };
+                Ok(Request::Synthesize(Box::new(SynthesizeRequest {
+                    system: system_from_value(field(&map, "system")?)?,
+                    graph: mode_graph_from_value(field(&map, "mode_graph")?)?,
+                    config: scheduler_config_from_value(field(&map, "config")?)?,
+                    backend: BackendKind::from_wire(&field_str(&map, "backend")?)?,
+                    budget,
+                })))
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(JsonError::custom(format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+impl Response {
+    /// Serializes the response to a compact JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    /// The [`Value`]-level form of [`Response::to_json`].
+    pub fn to_value(&self) -> Value {
+        let mut map = BTreeMap::new();
+        match self {
+            Response::Schedule(reply) => {
+                map.insert("type".into(), Value::String("schedule".into()));
+                map.insert(
+                    "served".into(),
+                    Value::String(reply.served.wire_name().into()),
+                );
+                map.insert(
+                    "request_milp_nodes".into(),
+                    Value::Number(reply.request_milp_nodes as f64),
+                );
+                map.insert(
+                    "service_micros".into(),
+                    Value::Number(reply.service_micros as f64),
+                );
+                map.insert("schedule".into(), system_schedule_to_value(&reply.schedule));
+            }
+            Response::Stats(snapshot) => {
+                map.insert("type".into(), Value::String("stats".into()));
+                for (name, value) in snapshot.fields() {
+                    map.insert(name.into(), Value::Number(value as f64));
+                }
+            }
+            Response::Error { message } => {
+                map.insert("type".into(), Value::String("error".into()));
+                map.insert("message".into(), Value::String(message.clone()));
+            }
+            Response::ShutdownAck => {
+                map.insert("type".into(), Value::String("shutdown-ack".into()));
+            }
+        }
+        Value::Object(map)
+    }
+
+    /// Parses a response frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for malformed JSON, unknown response types
+    /// and invalid schedule payloads.
+    pub fn from_json(payload: &[u8]) -> Result<Self, JsonError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| JsonError::custom("response frame is not UTF-8"))?;
+        Self::from_value(&Value::parse(text)?)
+    }
+
+    /// The [`Value`]-level form of [`Response::from_json`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Response::from_json`].
+    pub fn from_value(value: &Value) -> Result<Self, JsonError> {
+        let map = obj(value, "response")?;
+        match field_str(&map, "type")?.as_str() {
+            "schedule" => Ok(Response::Schedule(Box::new(ScheduleReply {
+                schedule: system_schedule_from_value(field(&map, "schedule")?)?,
+                served: ServedFrom::from_wire(&field_str(&map, "served")?)?,
+                request_milp_nodes: field_usize(&map, "request_milp_nodes")?,
+                service_micros: field_usize(&map, "service_micros")? as u64,
+            }))),
+            "stats" => Ok(Response::Stats(StatsSnapshot::from_fields(|name| {
+                field_usize(&map, name)
+            })?)),
+            "error" => Ok(Response::Error {
+                message: field_str(&map, "message")?,
+            }),
+            "shutdown-ack" => Ok(Response::ShutdownAck),
+            other => Err(JsonError::custom(format!(
+                "unknown response type `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttw_core::fixtures;
+    use ttw_core::time::millis;
+
+    fn sample_request() -> Request {
+        let (system, graph, _, _) = fixtures::two_mode_graph();
+        Request::Synthesize(Box::new(SynthesizeRequest {
+            system,
+            graph,
+            config: SchedulerConfig::new(millis(10), 5),
+            backend: BackendKind::Ilp,
+            budget: BudgetCaps {
+                max_nodes: Some(500),
+                max_simplex_iterations: None,
+            },
+        }))
+    }
+
+    #[test]
+    fn synthesize_request_round_trips() {
+        let request = sample_request();
+        let back = Request::from_json(request.to_json().as_bytes()).expect("parses");
+        let Request::Synthesize(original) = &request else {
+            unreachable!()
+        };
+        let Request::Synthesize(parsed) = &back else {
+            panic!("wrong variant: {back:?}")
+        };
+        assert_eq!(parsed.backend, BackendKind::Ilp);
+        assert_eq!(parsed.budget, original.budget);
+        // The config must round-trip to the same cache-key text.
+        assert_eq!(
+            format!("{:?}", original.config),
+            format!("{:?}", parsed.config)
+        );
+        assert_eq!(
+            ttw_core::cache::system_fingerprint(&original.system, &original.graph),
+            ttw_core::cache::system_fingerprint(&parsed.system, &parsed.graph),
+        );
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        for request in [Request::Stats, Request::Shutdown] {
+            let back = Request::from_json(request.to_json().as_bytes()).expect("parses");
+            assert_eq!(
+                std::mem::discriminant(&request),
+                std::mem::discriminant(&back)
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_response_round_trips() {
+        let (system, graph, _, _) = fixtures::two_mode_graph();
+        let config = SchedulerConfig::new(millis(10), 5);
+        let schedule = ttw_core::synthesis::synthesize_system(
+            &system,
+            &graph,
+            &config,
+            &ttw_core::synthesis::IlpSynthesizer::default(),
+        )
+        .expect("feasible");
+        let reply = Response::Schedule(Box::new(ScheduleReply {
+            request_milp_nodes: schedule.total_milp_nodes(),
+            schedule,
+            served: ServedFrom::Solved,
+            service_micros: 1234,
+        }));
+        let back = Response::from_json(reply.to_json().as_bytes()).expect("parses");
+        let Response::Schedule(parsed) = back else {
+            panic!("wrong variant")
+        };
+        let Response::Schedule(original) = reply else {
+            unreachable!()
+        };
+        assert_eq!(parsed.schedule, original.schedule);
+        assert_eq!(parsed.served, ServedFrom::Solved);
+        assert_eq!(parsed.service_micros, 1234);
+    }
+
+    #[test]
+    fn error_and_ack_round_trip() {
+        let error = Response::Error {
+            message: "overloaded".into(),
+        };
+        let Response::Error { message } =
+            Response::from_json(error.to_json().as_bytes()).expect("parses")
+        else {
+            panic!("wrong variant")
+        };
+        assert_eq!(message, "overloaded");
+        assert!(matches!(
+            Response::from_json(Response::ShutdownAck.to_json().as_bytes()),
+            Ok(Response::ShutdownAck)
+        ));
+    }
+
+    #[test]
+    fn unknown_types_and_backends_are_errors() {
+        assert!(Request::from_json(b"{\"type\": \"frobnicate\"}").is_err());
+        assert!(Request::from_json(b"not json").is_err());
+        assert!(Request::from_json(&[0xff, 0xfe]).is_err());
+        assert!(Response::from_json(b"{\"type\": \"nope\"}").is_err());
+        assert!(BackendKind::from_wire("quantum").is_err());
+        assert!(ServedFrom::from_wire("microwave").is_err());
+    }
+}

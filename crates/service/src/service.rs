@@ -1,0 +1,440 @@
+//! The scheduler service: cache tiers, coalescing, admission and routing.
+//!
+//! [`SchedulerService`] is the transport-independent core — the TCP server
+//! of [`crate::server`] is a thin framing loop around
+//! [`SchedulerService::handle_synthesize`], and the load bench drives the
+//! same entry point. A request flows:
+//!
+//! 1. **Budget caps** — the request's own [`BudgetCaps`](crate::protocol::BudgetCaps) and the
+//!    service-wide caps are folded into the request config (minimum wins),
+//!    *before* the cache key is computed, so differently-budgeted requests
+//!    never alias one cache entry.
+//! 2. **Cache probe** — memory tier, then disk tier (promoting). A hit is
+//!    served with zero solver nodes.
+//! 3. **Coalescing** — a miss joins the in-flight table. Followers block on
+//!    the leader's flight. A fresh leader *re-probes* the cache: the prior
+//!    leader for this key may have stored and retired between our probe and
+//!    our join, and this re-probe is what makes "identical concurrent
+//!    requests solve exactly once" a hard invariant rather than a race.
+//! 4. **Admission** — leaders that still need a solver acquire a slot from
+//!    the bounded [`AdmissionQueue`] (or bounce with `overloaded`).
+//! 5. **Solve, store, publish** — the backend runs, the result lands in the
+//!    cache *before* the flight retires, and followers wake.
+
+use crate::admission::AdmissionQueue;
+use crate::coalesce::{InflightTable, Role};
+use crate::protocol::{BackendKind, ScheduleReply, ServedFrom, SynthesizeRequest};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use ttw_core::cache::{synthesis_key, CacheProbe, ScheduleCache};
+use ttw_core::config::SchedulerConfig;
+use ttw_core::synthesis::{synthesize_system, HeuristicSynthesizer, IlpSynthesizer, Synthesizer};
+
+/// Tuning knobs of a [`SchedulerService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Disk tier directory; `None` runs the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// Maximum concurrent solver runs.
+    pub max_active_solves: usize,
+    /// Maximum requests queued for a solver slot before rejection.
+    pub max_waiting: usize,
+    /// Service-wide hard cap on branch-and-bound nodes per request.
+    pub max_nodes_cap: Option<usize>,
+    /// Service-wide hard cap on simplex iterations per request.
+    pub max_simplex_cap: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_dir: None,
+            max_active_solves: 2,
+            max_waiting: 64,
+            max_nodes_cap: None,
+            max_simplex_cap: None,
+        }
+    }
+}
+
+/// Why a request was not served with a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Bounced by the admission queue; retry later.
+    Overloaded(String),
+    /// The solve itself failed (infeasible, budget exhausted, …).
+    Synthesis(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded(message) => write!(f, "overloaded: {message}"),
+            ServiceError::Synthesis(message) => write!(f, "synthesis failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The transport-independent scheduler service.
+#[derive(Debug)]
+pub struct SchedulerService {
+    config: ServiceConfig,
+    cache: ScheduleCache,
+    inflight: InflightTable,
+    admission: AdmissionQueue,
+    stats: ServiceStats,
+    ilp: IlpSynthesizer,
+    heuristic: HeuristicSynthesizer,
+}
+
+impl SchedulerService {
+    /// Builds a service from its config.
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache = match &config.cache_dir {
+            Some(dir) => ScheduleCache::new(dir.clone()),
+            None => ScheduleCache::in_memory(),
+        };
+        let admission = AdmissionQueue::new(config.max_active_solves, config.max_waiting);
+        SchedulerService {
+            config,
+            cache,
+            inflight: InflightTable::new(),
+            admission,
+            stats: ServiceStats::default(),
+            ilp: IlpSynthesizer::default(),
+            heuristic: HeuristicSynthesizer,
+        }
+    }
+
+    /// A memory-only service with default tuning — the test/bench default.
+    pub fn in_memory() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+
+    /// The shared schedule cache (both tiers).
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// A point-in-time copy of every service and cache counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot(&self.cache)
+    }
+
+    /// Requests currently waiting for or holding solver slots.
+    pub fn solver_load(&self) -> (usize, usize) {
+        (self.admission.active(), self.admission.waiting())
+    }
+
+    fn backend(&self, kind: BackendKind) -> &dyn Synthesizer {
+        match kind {
+            BackendKind::Ilp => &self.ilp,
+            BackendKind::Heuristic => &self.heuristic,
+        }
+    }
+
+    /// Folds per-request and service-wide budget caps into the config.
+    /// Must run before the cache key is computed: the key hashes the
+    /// config, so capped and uncapped requests are distinct entries.
+    fn effective_config(&self, request: &SynthesizeRequest) -> SchedulerConfig {
+        let mut config = request.config.clone();
+        let node_caps = [request.budget.max_nodes, self.config.max_nodes_cap];
+        for cap in node_caps.into_iter().flatten() {
+            config.solver.max_nodes = config.solver.max_nodes.min(cap);
+        }
+        let simplex_caps = [
+            request.budget.max_simplex_iterations,
+            self.config.max_simplex_cap,
+        ];
+        for cap in simplex_caps.into_iter().flatten() {
+            config.solver.max_simplex_iterations = config.solver.max_simplex_iterations.min(cap);
+        }
+        config
+    }
+
+    /// Serves one synthesis request through the cache → coalesce →
+    /// admission → solve pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overloaded`] when the admission queue bounces the
+    /// request, [`ServiceError::Synthesis`] when the solve (own or
+    /// coalesced) fails.
+    pub fn handle_synthesize(
+        &self,
+        request: &SynthesizeRequest,
+    ) -> Result<ScheduleReply, ServiceError> {
+        ServiceStats::bump(&self.stats.requests);
+        let start = Instant::now();
+        let config = self.effective_config(request);
+        let backend = self.backend(request.backend);
+        let key = synthesis_key(&request.system, &request.graph, &config, backend.name());
+
+        // 1. Cold probe: both cache tiers, before any coordination.
+        match self.cache.probe(&key) {
+            CacheProbe::Memory(schedule) => {
+                return Ok(self.warm_reply(&schedule, ServedFrom::Memory, start))
+            }
+            CacheProbe::Disk(schedule) => {
+                return Ok(self.warm_reply(&schedule, ServedFrom::Disk, start))
+            }
+            CacheProbe::Corrupt | CacheProbe::Absent => {}
+        }
+
+        // 2. Coalesce: one flight per key.
+        match self.inflight.join(&key) {
+            Role::Follower(token) => match token.wait() {
+                Ok(schedule) => {
+                    ServiceStats::bump(&self.stats.coalesced);
+                    Ok(self.warm_reply(&schedule, ServedFrom::Coalesced, start))
+                }
+                Err(message) => {
+                    ServiceStats::bump(&self.stats.solve_errors);
+                    Err(ServiceError::Synthesis(message))
+                }
+            },
+            Role::Leader(token) => {
+                // 3. Leadership re-probe: the previous leader may have
+                // stored + retired between our probe and our join. Without
+                // this, that interleaving would solve the same key twice.
+                let raced_in = match self.cache.probe(&key) {
+                    CacheProbe::Memory(schedule) => Some((schedule, ServedFrom::Memory)),
+                    CacheProbe::Disk(schedule) => Some((schedule, ServedFrom::Disk)),
+                    CacheProbe::Corrupt | CacheProbe::Absent => None,
+                };
+                if let Some((schedule, served)) = raced_in {
+                    let reply = self.warm_reply(&schedule, served, start);
+                    self.inflight.complete(token, Ok(schedule));
+                    return Ok(reply);
+                }
+
+                // 4. Admission: bounded solver concurrency.
+                let permit = match self.admission.admit() {
+                    Ok(permit) => permit,
+                    Err(overloaded) => {
+                        ServiceStats::bump(&self.stats.rejected);
+                        let message = overloaded.to_string();
+                        self.inflight.complete(token, Err(message.clone()));
+                        return Err(ServiceError::Overloaded(message));
+                    }
+                };
+
+                // 5. Solve, store, publish — in that order, so by the time
+                // followers wake (and the key frees up) the cache is warm.
+                let result = synthesize_system(&request.system, &request.graph, &config, backend);
+                drop(permit);
+                match result {
+                    Ok(schedule) => {
+                        self.cache.store(&key, &schedule);
+                        let schedule = Arc::new(schedule);
+                        ServiceStats::bump(&self.stats.solved);
+                        let reply = ScheduleReply {
+                            request_milp_nodes: schedule.total_milp_nodes(),
+                            schedule: (*schedule).clone(),
+                            served: ServedFrom::Solved,
+                            service_micros: start.elapsed().as_micros() as u64,
+                        };
+                        self.inflight.complete(token, Ok(schedule));
+                        Ok(reply)
+                    }
+                    Err(error) => {
+                        ServiceStats::bump(&self.stats.solve_errors);
+                        let message = error.to_string();
+                        self.inflight.complete(token, Err(message.clone()));
+                        Err(ServiceError::Synthesis(message))
+                    }
+                }
+            }
+        }
+    }
+
+    fn warm_reply(
+        &self,
+        schedule: &Arc<ttw_core::schedule::SystemSchedule>,
+        served: ServedFrom,
+        start: Instant,
+    ) -> ScheduleReply {
+        ScheduleReply {
+            schedule: (**schedule).clone(),
+            served,
+            request_milp_nodes: 0,
+            service_micros: start.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::BudgetCaps;
+    use ttw_core::fixtures;
+    use ttw_core::time::millis;
+
+    fn request(backend: BackendKind) -> SynthesizeRequest {
+        let (system, graph, _, _) = fixtures::two_mode_graph();
+        SynthesizeRequest {
+            system,
+            graph,
+            config: SchedulerConfig::new(millis(10), 5),
+            backend,
+            budget: BudgetCaps::default(),
+        }
+    }
+
+    #[test]
+    fn cold_then_warm_serves_from_memory_with_zero_nodes() {
+        let service = SchedulerService::in_memory();
+        let req = request(BackendKind::Ilp);
+        let cold = service.handle_synthesize(&req).expect("feasible");
+        assert_eq!(cold.served, ServedFrom::Solved);
+        assert!(cold.request_milp_nodes > 0);
+        let warm = service.handle_synthesize(&req).expect("cached");
+        assert_eq!(warm.served, ServedFrom::Memory);
+        assert_eq!(warm.request_milp_nodes, 0);
+        assert_eq!(warm.schedule, cold.schedule);
+        let stats = service.snapshot();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.solved, 1);
+        assert_eq!(stats.cache_mem_hits, 1);
+        assert!(stats.reconciles(), "{stats:?}");
+    }
+
+    #[test]
+    fn backends_do_not_alias_each_others_entries() {
+        let service = SchedulerService::in_memory();
+        let ilp = service
+            .handle_synthesize(&request(BackendKind::Ilp))
+            .expect("ilp feasible");
+        let heuristic = service
+            .handle_synthesize(&request(BackendKind::Heuristic))
+            .expect("heuristic feasible");
+        assert_eq!(ilp.served, ServedFrom::Solved);
+        assert_eq!(heuristic.served, ServedFrom::Solved);
+        assert_eq!(service.snapshot().solved, 2);
+    }
+
+    #[test]
+    fn budget_caps_change_the_cache_key_and_can_fail_the_solve() {
+        let service = SchedulerService::in_memory();
+        let mut req = request(BackendKind::Ilp);
+        service.handle_synthesize(&req).expect("uncapped feasible");
+        // A starved budget must not alias the uncapped entry: it has to
+        // run (and fail) rather than hit the cache.
+        req.budget = BudgetCaps {
+            max_nodes: Some(0),
+            max_simplex_iterations: Some(1),
+        };
+        let starved = service.handle_synthesize(&req);
+        assert!(matches!(starved, Err(ServiceError::Synthesis(_))));
+        let stats = service.snapshot();
+        assert_eq!(stats.solve_errors, 1);
+        assert!(stats.reconciles(), "{stats:?}");
+    }
+
+    #[test]
+    fn service_wide_caps_apply_without_a_request_budget() {
+        let config = ServiceConfig {
+            max_nodes_cap: Some(0),
+            max_simplex_cap: Some(1),
+            ..ServiceConfig::default()
+        };
+        let service = SchedulerService::new(config);
+        let starved = service.handle_synthesize(&request(BackendKind::Ilp));
+        assert!(matches!(starved, Err(ServiceError::Synthesis(_))));
+    }
+
+    #[test]
+    fn concurrent_identical_requests_solve_exactly_once() {
+        let service = Arc::new(SchedulerService::in_memory());
+        let req = request(BackendKind::Ilp);
+        const CLIENTS: usize = 6;
+        let replies: Vec<ScheduleReply> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    let service = Arc::clone(&service);
+                    let req = req.clone();
+                    scope.spawn(move || service.handle_synthesize(&req).expect("feasible"))
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("worker"))
+                .collect()
+        });
+        let stats = service.snapshot();
+        assert_eq!(stats.requests, CLIENTS);
+        // The hard invariant: one solve total, however the rest of the
+        // requests split between coalescing and cache hits.
+        assert_eq!(stats.solved, 1, "{stats:?}");
+        assert_eq!(stats.coalesced + stats.cache_hits, CLIENTS - 1, "{stats:?}");
+        assert!(stats.reconciles(), "{stats:?}");
+        let solved: Vec<_> = replies
+            .iter()
+            .filter(|r| r.served == ServedFrom::Solved)
+            .collect();
+        assert_eq!(solved.len(), 1);
+        for reply in &replies {
+            assert_eq!(reply.schedule, solved[0].schedule);
+            if reply.served.is_warm() {
+                assert_eq!(reply.request_milp_nodes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_wait_line_bounces_the_overflow() {
+        let config = ServiceConfig {
+            max_active_solves: 1,
+            max_waiting: 0,
+            ..ServiceConfig::default()
+        };
+        let service = Arc::new(SchedulerService::new(config));
+        // Distinct systems so the requests cannot coalesce.
+        let (system_a, graph_a, _, _) = fixtures::two_mode_graph();
+        let (system_b, graph_b, _) = fixtures::four_mode_diamond();
+        let reqs = [
+            SynthesizeRequest {
+                system: system_a,
+                graph: graph_a,
+                config: SchedulerConfig::new(millis(10), 5),
+                backend: BackendKind::Ilp,
+                budget: BudgetCaps::default(),
+            },
+            SynthesizeRequest {
+                system: system_b,
+                graph: graph_b,
+                config: SchedulerConfig::new(millis(10), 5),
+                backend: BackendKind::Ilp,
+                budget: BudgetCaps::default(),
+            },
+        ];
+        let outcomes: Vec<_> = std::thread::scope(|scope| {
+            let workers: Vec<_> = reqs
+                .iter()
+                .map(|req| {
+                    let service = Arc::clone(&service);
+                    scope.spawn(move || service.handle_synthesize(req).map(|r| r.served))
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("worker"))
+                .collect()
+        });
+        let stats = service.snapshot();
+        assert!(stats.reconciles(), "{stats:?}");
+        // Either both squeezed through sequentially or one was bounced;
+        // what must never happen is a lost request.
+        let rejected = outcomes
+            .iter()
+            .filter(|o| matches!(o, Err(ServiceError::Overloaded(_))))
+            .count();
+        assert_eq!(stats.rejected, rejected);
+        assert_eq!(stats.requests, 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Service-level counters and their wire snapshot.
+//!
+//! The live [`ServiceStats`] block is a set of relaxed atomics bumped on the
+//! request path; [`StatsSnapshot`] is the plain-data copy that crosses the
+//! wire in a `stats` response and lands in `BENCH_service.json`. The cache
+//! counters are folded in at snapshot time from
+//! [`ttw_core::cache::ScheduleCache`], so one snapshot reconciles the whole
+//! pipeline: `requests == solved + coalesced + cache_hits + rejected +
+//! solve_errors`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use ttw_core::cache::ScheduleCache;
+use ttw_core::json::JsonError;
+
+/// Live request-path counters. All loads/stores are relaxed: the counters
+/// are monotonic telemetry, never control flow.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Synthesis requests accepted off the wire.
+    pub requests: AtomicUsize,
+    /// Requests that ran a solver to completion.
+    pub solved: AtomicUsize,
+    /// Requests that piggybacked on an identical in-flight solve.
+    pub coalesced: AtomicUsize,
+    /// Requests bounced by the admission queue.
+    pub rejected: AtomicUsize,
+    /// Requests whose solve (own or coalesced) failed.
+    pub solve_errors: AtomicUsize,
+}
+
+impl ServiceStats {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicUsize) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the live counters, folding in the cache-tier counters.
+    pub fn snapshot(&self, cache: &ScheduleCache) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            solved: self.solved.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            solve_errors: self.solve_errors.load(Ordering::Relaxed),
+            cache_hits: cache.hits(),
+            cache_mem_hits: cache.mem_hits(),
+            cache_disk_hits: cache.disk_hits(),
+            cache_misses: cache.misses(),
+            cache_corrupt: cache.corrupt(),
+        }
+    }
+}
+
+/// A point-in-time copy of every service and cache counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Synthesis requests accepted off the wire.
+    pub requests: usize,
+    /// Requests that ran a solver to completion.
+    pub solved: usize,
+    /// Requests that piggybacked on an identical in-flight solve.
+    pub coalesced: usize,
+    /// Requests bounced by the admission queue.
+    pub rejected: usize,
+    /// Requests whose solve (own or coalesced) failed.
+    pub solve_errors: usize,
+    /// Cache probes served from either tier.
+    pub cache_hits: usize,
+    /// Cache hits served by the in-process memory tier.
+    pub cache_mem_hits: usize,
+    /// Cache hits served by the disk tier.
+    pub cache_disk_hits: usize,
+    /// Cache probes that found nothing.
+    pub cache_misses: usize,
+    /// Cache probes that found an unparsable disk entry.
+    pub cache_corrupt: usize,
+}
+
+impl StatsSnapshot {
+    /// Field names and values in a stable order, for serialization.
+    pub fn fields(&self) -> [(&'static str, usize); 10] {
+        [
+            ("requests", self.requests),
+            ("solved", self.solved),
+            ("coalesced", self.coalesced),
+            ("rejected", self.rejected),
+            ("solve_errors", self.solve_errors),
+            ("cache_hits", self.cache_hits),
+            ("cache_mem_hits", self.cache_mem_hits),
+            ("cache_disk_hits", self.cache_disk_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_corrupt", self.cache_corrupt),
+        ]
+    }
+
+    /// Rebuilds a snapshot by pulling each field through `get` — the
+    /// deserialization dual of [`StatsSnapshot::fields`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error `get` returns (a missing or mistyped
+    /// field in the wire document).
+    pub fn from_fields(
+        mut get: impl FnMut(&'static str) -> Result<usize, JsonError>,
+    ) -> Result<Self, JsonError> {
+        Ok(StatsSnapshot {
+            requests: get("requests")?,
+            solved: get("solved")?,
+            coalesced: get("coalesced")?,
+            rejected: get("rejected")?,
+            solve_errors: get("solve_errors")?,
+            cache_hits: get("cache_hits")?,
+            cache_mem_hits: get("cache_mem_hits")?,
+            cache_disk_hits: get("cache_disk_hits")?,
+            cache_misses: get("cache_misses")?,
+            cache_corrupt: get("cache_corrupt")?,
+        })
+    }
+
+    /// Checks the pipeline-wide accounting identity: every accepted request
+    /// is explained by exactly one outcome.
+    pub fn reconciles(&self) -> bool {
+        self.requests
+            == self.solved + self.coalesced + self.cache_hits + self.rejected + self.solve_errors
+            && self.cache_hits == self.cache_mem_hits + self.cache_disk_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_fields() {
+        let snapshot = StatsSnapshot {
+            requests: 10,
+            solved: 2,
+            coalesced: 3,
+            rejected: 1,
+            solve_errors: 0,
+            cache_hits: 4,
+            cache_mem_hits: 3,
+            cache_disk_hits: 1,
+            cache_misses: 5,
+            cache_corrupt: 1,
+        };
+        let fields: std::collections::BTreeMap<_, _> = snapshot.fields().into_iter().collect();
+        let back = StatsSnapshot::from_fields(|name| {
+            fields
+                .get(name)
+                .copied()
+                .ok_or_else(|| JsonError::custom(format!("missing {name}")))
+        })
+        .expect("all fields present");
+        assert_eq!(snapshot, back);
+        assert!(snapshot.reconciles());
+    }
+
+    #[test]
+    fn reconciliation_catches_lost_requests() {
+        let snapshot = StatsSnapshot {
+            requests: 5,
+            solved: 1,
+            ..StatsSnapshot::default()
+        };
+        assert!(!snapshot.reconciles());
+    }
+}

@@ -35,6 +35,15 @@ Its latency/ratio leaves (``avg_rejoin_latency_rounds``, the
 gated. Unlike counters, a zero-key violation fails even with no baseline:
 the invariant is absolute, not relative.
 
+The scheduler-service load bench (``BENCH_service.json``) contributes to
+both families: its ``milp_nodes`` total rides the ratio gate like any other
+solver counter, while ``duplicate_solves`` (solves beyond one per unique
+request fingerprint — the coalescing invariant) and ``warm_milp_nodes``
+(solver nodes spent on cache-warm requests — the cache invariant) are
+zero keys. Its throughput/latency leaves (``throughput_rps``, the
+``p50/p95/p99_micros`` family) and the ``service_counters`` block
+(``solved``/``coalesced``/``cache_hits``/…) are informational.
+
 Usage: check_bench_regression.py <baseline.json> <current.json> [max-regression]
 
 ``max-regression`` is a fraction, default 0.20 (= fail above +20%).
@@ -47,8 +56,14 @@ import sys
 COUNTER_KEYS = ("simplex_iterations", "milp_nodes")
 
 #: Leaf keys that must be exactly zero in the current run (safety counters
-#: of the fault-matrix bench; a non-zero value is a correctness failure).
-ZERO_KEYS = ("safety_violations_skip", "safety_violations_resync")
+#: of the fault-matrix bench and the service bench's coalescing/cache
+#: invariants; a non-zero value is a correctness failure).
+ZERO_KEYS = (
+    "safety_violations_skip",
+    "safety_violations_resync",
+    "duplicate_solves",
+    "warm_milp_nodes",
+)
 
 
 def collect_keys(data, keys, prefix=""):

@@ -261,6 +261,76 @@ class ZeroKeyTest(unittest.TestCase):
         self.assertEqual(cbr.collect_counters(data), {})
         self.assertEqual(cbr.collect_keys(data, cbr.ZERO_KEYS), {})
 
+    def test_service_invariant_keys_are_zero_gated(self):
+        # The service bench's coalescing and warm-cache invariants are zero
+        # keys: one duplicate solve or one solver node on a warm request is a
+        # correctness failure, not a 20%-allowance question.
+        data = {
+            "duplicate_solves": 0,
+            "warm_milp_nodes": 0,
+            "phases": [{"name": "warm", "warm_milp_nodes": 0}],
+        }
+        zeros = cbr.collect_keys(data, cbr.ZERO_KEYS)
+        self.assertEqual(
+            zeros,
+            {
+                "duplicate_solves": 0.0,
+                "warm_milp_nodes": 0.0,
+                "phases[0].warm_milp_nodes": 0.0,
+            },
+        )
+        self.assertEqual(cbr.check_zero(zeros), [])
+        failures = cbr.check_zero({"duplicate_solves": 1.0, "warm_milp_nodes": 117.0})
+        self.assertEqual(len(failures), 2)
+        self.assertIn("duplicate_solves", failures[0])
+        self.assertIn("warm_milp_nodes", failures[1])
+
+    def test_service_throughput_and_latency_leaves_are_informational(self):
+        # BENCH_service.json's throughput, percentile, and service-counter
+        # leaves ride along ungated; only `milp_nodes` is a ratio-gated
+        # counter and only the invariant keys are zero-gated.
+        data = {
+            "phases": [
+                {
+                    "name": "warm",
+                    "throughput_rps": 2271.3,
+                    "p50_micros": 1487,
+                    "p95_micros": 2100,
+                    "p99_micros": 2400,
+                    "requests": 16,
+                }
+            ],
+            "service_counters": {
+                "requests": 36,
+                "solved": 5,
+                "coalesced": 15,
+                "cache_hits": 16,
+                "cache_hits_memory": 16,
+                "cache_misses": 25,
+            },
+            "milp_nodes": 740,
+        }
+        self.assertEqual(cbr.collect_counters(data), {"milp_nodes": 740.0})
+        self.assertEqual(cbr.collect_keys(data, cbr.ZERO_KEYS), {})
+
+    def test_service_json_end_to_end_through_main(self):
+        # A service bench run with a clean invariant passes; a duplicate
+        # solve fails even though the baseline never carried the key.
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = write_json(tmp, "baseline.json", {"milp_nodes": 740})
+            ok = write_json(
+                tmp,
+                "ok.json",
+                {"milp_nodes": 750, "duplicate_solves": 0, "warm_milp_nodes": 0},
+            )
+            bad = write_json(
+                tmp,
+                "bad.json",
+                {"milp_nodes": 750, "duplicate_solves": 1, "warm_milp_nodes": 0},
+            )
+            self.assertEqual(cbr.main(["prog", baseline, ok]), 0)
+            self.assertEqual(cbr.main(["prog", baseline, bad]), 1)
+
     def test_fault_json_without_counter_keys_is_accepted_by_main(self):
         # BENCH_faults.json carries only zero keys — main must not trip the
         # "no counters found" guard on it.

@@ -14,6 +14,7 @@
 //! | [`netsim`] | `ttw-netsim` | multi-hop topology + Glossy flood simulator |
 //! | [`runtime`] | `ttw-runtime` | host/node state machines, beacons, mode changes |
 //! | [`baselines`] | `ttw-baselines` | no-rounds and loosely-coupled comparison designs |
+//! | [`service`] | `ttw-service` | synthesis-as-a-service: TCP scheduler server with cache tiers, request coalescing and admission control |
 //! | [`testkit`] | `ttw-testkit` | seeded scenario generator for differential tests and scaling benches |
 //!
 //! The quickest way to see everything working end to end:
@@ -46,6 +47,7 @@ pub use ttw_core as core;
 pub use ttw_milp as milp;
 pub use ttw_netsim as netsim;
 pub use ttw_runtime as runtime;
+pub use ttw_service as service;
 pub use ttw_testkit as testkit;
 pub use ttw_timing as timing;
 
@@ -63,6 +65,9 @@ pub mod prelude {
         SystemSchedule,
     };
     pub use ttw_runtime::{BeaconLossPolicy, Simulation, SimulationConfig};
+    pub use ttw_service::{
+        BackendKind, Client, SchedulerService, ServerHandle, ServiceConfig, SynthesizeRequest,
+    };
     pub use ttw_testkit::{generate, GeneratorConfig, GraphShape};
     pub use ttw_timing::{GlossyConstants, NetworkParams};
 }
