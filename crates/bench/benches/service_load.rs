@@ -12,8 +12,9 @@
 //!    onto the flight (or hits the just-filled cache).
 //!
 //! `BENCH_service.json` records throughput and p50/p95/p99 latency per
-//! phase (informational — wall time flaps on shared runners) next to the
-//! deterministic counters the CI gate consumes:
+//! phase (informational — wall time flaps on shared runners) plus each
+//! phase's reply bytes-on-wire (deterministic: framed JSON replies), next
+//! to the deterministic counters the CI gate consumes:
 //!
 //! * `milp_nodes` — total solver nodes across the run, gated at +20% by
 //!   `scripts/check_bench_regression.py`.
@@ -70,13 +71,16 @@ fn request_for(scenario: &Scenario) -> SynthesizeRequest {
     }
 }
 
-/// Latency percentiles over one phase's request latencies, in microseconds.
+/// Latency percentiles over one phase's request latencies, in microseconds,
+/// plus the reply bytes the server shipped during the phase (deterministic —
+/// framed JSON replies — unlike the wall-clock leaves).
 struct PhaseStats {
     requests: usize,
     elapsed_s: f64,
     p50: f64,
     p95: f64,
     p99: f64,
+    reply_bytes: usize,
 }
 
 impl PhaseStats {
@@ -95,6 +99,7 @@ impl PhaseStats {
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
+            reply_bytes: 0,
         }
     }
 
@@ -112,6 +117,7 @@ impl PhaseStats {
         map.insert("p50_micros".into(), Value::Number(self.p50));
         map.insert("p95_micros".into(), Value::Number(self.p95));
         map.insert("p99_micros".into(), Value::Number(self.p99));
+        map.insert("reply_bytes".into(), Value::Number(self.reply_bytes as f64));
         Value::Object(map)
     }
 }
@@ -176,11 +182,16 @@ fn run_load() -> LoadReport {
     let scenarios = scenarios();
     let clients = num_clients();
 
+    // Per-phase bytes-on-wire: the server counts every framed reply it
+    // ships; the difference across a phase is that phase's reply traffic.
+    let reply_bytes_so_far = || service.snapshot().reply_bytes;
+
     // Phase 1: cold fill. Clients stripe over the scenario list so every
     // scenario is requested by every client; the first request per
     // fingerprint solves, the rest coalesce or hit.
     let scenario_refs = &scenarios;
-    let (cold, cold_nodes) = run_phase(addr, clients, |client, latencies, nodes| {
+    let bytes_before_cold = reply_bytes_so_far();
+    let (mut cold, cold_nodes) = run_phase(addr, clients, |client, latencies, nodes| {
         for scenario in scenario_refs {
             let (reply, micros) = timed(|| {
                 client
@@ -191,9 +202,11 @@ fn run_load() -> LoadReport {
             *nodes += reply.request_milp_nodes;
         }
     });
+    cold.reply_bytes = reply_bytes_so_far() - bytes_before_cold;
 
     // Phase 2: warm sweep — every request must be served without solving.
-    let (warm, warm_milp_nodes) = run_phase(addr, clients, |client, latencies, nodes| {
+    let bytes_before_warm = reply_bytes_so_far();
+    let (mut warm, warm_milp_nodes) = run_phase(addr, clients, |client, latencies, nodes| {
         for scenario in scenario_refs {
             let (reply, micros) = timed(|| {
                 client
@@ -208,12 +221,14 @@ fn run_load() -> LoadReport {
             *nodes += reply.request_milp_nodes;
         }
     });
+    warm.reply_bytes = reply_bytes_so_far() - bytes_before_warm;
 
     // Phase 3: coalescing burst on one brand-new fingerprint. Seed 8 is
     // outside SEEDS, so the key is cold; all clients race it at once.
     let burst = generate(&GeneratorConfig::small(3, GraphShape::Chain), 8);
     let burst_ref = &burst;
-    let (coalesce, burst_nodes) = run_phase(addr, clients, |client, latencies, nodes| {
+    let bytes_before_burst = reply_bytes_so_far();
+    let (mut coalesce, burst_nodes) = run_phase(addr, clients, |client, latencies, nodes| {
         let (reply, micros) = timed(|| {
             client
                 .synthesize(request_for(burst_ref))
@@ -224,6 +239,7 @@ fn run_load() -> LoadReport {
         }
         latencies.push(micros);
     });
+    coalesce.reply_bytes = reply_bytes_so_far() - bytes_before_burst;
 
     let snapshot = service.snapshot();
     assert!(snapshot.reconciles(), "counters drifted: {snapshot:?}");
@@ -298,12 +314,13 @@ fn bench_service_load(c: &mut Criterion) {
         ("coalesce", &report.coalesce),
     ] {
         eprintln!(
-            "{name:<9} {:>4} requests {:>10.0} req/s  p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us",
+            "{name:<9} {:>4} requests {:>10.0} req/s  p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  {:>9} reply B",
             phase.requests,
             phase.throughput_rps(),
             phase.p50,
             phase.p95,
             phase.p99,
+            phase.reply_bytes,
         );
     }
     eprintln!(

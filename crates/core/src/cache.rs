@@ -28,18 +28,27 @@
 //!
 //! # Tiers
 //!
-//! The cache has two tiers:
+//! The cache has two schedule tiers plus a warm-start sidecar:
 //!
-//! 1. **Memory** — a sharded `RwLock` map of `Arc<SystemSchedule>` entries.
-//!    This is the hot path of the scheduler service: many worker threads
-//!    probe concurrently, and a hit is a shard read-lock plus an `Arc`
-//!    clone — no parsing, no I/O.
+//! 1. **Memory** — a sharded `RwLock` map of entries. This is the hot path
+//!    of the scheduler service: many worker threads probe concurrently, and
+//!    a hit is a shard read-lock plus an `Arc` clone — no parsing, no I/O.
+//!    The tier is optionally bounded ([`ScheduleCache::with_memory_cap`]):
+//!    beyond the cap the oldest-inserted entries are evicted (memory copy
+//!    only — the disk tier is the archive), and the
+//!    `insertions - evictions == resident` identity reconciles exactly.
 //! 2. **Disk** — one pretty-printed JSON file per key (the
 //!    [`crate::export::system_schedule_to_json`] codec), demoted to a
 //!    *write-behind* persistence layer: [`ScheduleCache::store`] inserts
 //!    into the memory tier synchronously and hands the serialization and
 //!    file write to a background persister thread. A disk hit (fresh
 //!    process, warm `target/`) is promoted into the memory tier.
+//! 3. **Warm artifacts** — entries stored through
+//!    [`ScheduleCache::store_with_artifacts`] additionally carry
+//!    [`SynthesisArtifacts`]: the inputs the schedule was synthesized from
+//!    plus each mode's MILP root basis, persisted to a `.warm.json` sidecar.
+//!    This is the material [`crate::resynth::resynthesize_system`] uses to
+//!    warm-start an edited system's re-solve from its cached predecessor.
 //!
 //! Disk files are published via write-to-temp-then-rename so a concurrent
 //! reader never observes a torn entry. Temp names carry the process id
@@ -64,16 +73,25 @@
 //! represent).
 
 use crate::config::SchedulerConfig;
-use crate::export::{system_schedule_from_json, system_schedule_to_json};
+use crate::export::{
+    mode_graph_from_value, mode_graph_to_value, scheduler_config_from_value,
+    scheduler_config_to_value, system_from_value, system_schedule_from_json,
+    system_schedule_to_json, system_to_value,
+};
+use crate::ids::ModeId;
+use crate::json::{JsonError, Value};
 use crate::modegraph::ModeGraph;
 use crate::schedule::SystemSchedule;
-use crate::synthesis::{synthesize_system, Synthesizer, SystemSynthesisError};
+use crate::synthesis::{
+    synthesize_system_with_artifacts, ModeWarmStart, Synthesizer, SystemSynthesisError,
+};
 use crate::system::System;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
+use ttw_milp::Basis;
 
 /// Bumped whenever the cached representation (or anything influencing the
 /// synthesized bytes that the key text does not already capture — e.g. a
@@ -218,12 +236,135 @@ impl CacheProbe {
     }
 }
 
+/// MILP warm-start material cached alongside a schedule: the inputs the
+/// predecessor was synthesized from plus the per-mode root bases captured
+/// from its solve.
+///
+/// This is everything [`crate::resynth::resynthesize_system`] needs to diff
+/// a successor system against its cached predecessor mode-by-mode, keep the
+/// untouched modes' schedules verbatim, and warm-start the re-solved modes'
+/// ILPs instead of starting them cold.
+#[derive(Debug, Clone)]
+pub struct SynthesisArtifacts {
+    /// The system the cached schedule was synthesized from.
+    pub system: System,
+    /// Its mode graph.
+    pub graph: ModeGraph,
+    /// The scheduler configuration used.
+    pub config: SchedulerConfig,
+    /// Backend name (the artifacts are only reusable by the same backend).
+    pub backend: String,
+    /// Root basis (and its round count) of each mode's winning ILP attempt.
+    /// Empty for backends with no LP underneath.
+    pub warm: BTreeMap<ModeId, ModeWarmStart>,
+}
+
+/// Serializes cached warm-start artifacts to pretty-printed JSON.
+pub fn artifacts_to_json(artifacts: &SynthesisArtifacts) -> String {
+    let mut warm = BTreeMap::new();
+    for (mode, start) in &artifacts.warm {
+        let mut entry = BTreeMap::new();
+        entry.insert("rounds".into(), Value::Number(start.rounds as f64));
+        entry.insert("basis".into(), Value::String(start.basis.encode()));
+        warm.insert(mode.index().to_string(), Value::Object(entry));
+    }
+    let mut map = BTreeMap::new();
+    map.insert("system".into(), system_to_value(&artifacts.system));
+    map.insert("graph".into(), mode_graph_to_value(&artifacts.graph));
+    map.insert(
+        "config".into(),
+        scheduler_config_to_value(&artifacts.config),
+    );
+    map.insert("backend".into(), Value::String(artifacts.backend.clone()));
+    map.insert("warm".into(), Value::Object(warm));
+    Value::Object(map).to_json_pretty()
+}
+
+/// Parses warm-start artifacts back from their JSON form.
+///
+/// A per-mode basis that no longer decodes (written by a different solver
+/// build, tampered with) is dropped silently — that mode simply solves cold
+/// — while a malformed document as a whole is an error.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when the document is not a valid artifacts entry.
+pub fn artifacts_from_json(text: &str) -> Result<SynthesisArtifacts, JsonError> {
+    let value = Value::parse(text)?;
+    let map = value
+        .as_object()
+        .ok_or_else(|| JsonError::custom("artifacts entry must be an object"))?;
+    let field = |name: &str| {
+        map.get(name)
+            .ok_or_else(|| JsonError::custom(format!("artifacts entry lacks `{name}`")))
+    };
+    let system = system_from_value(field("system")?)?;
+    let graph = mode_graph_from_value(field("graph")?)?;
+    let config = scheduler_config_from_value(field("config")?)?;
+    let backend = field("backend")?
+        .as_str()
+        .ok_or_else(|| JsonError::custom("`backend` must be a string"))?
+        .to_string();
+    let mut warm = BTreeMap::new();
+    let warm_map = field("warm")?
+        .as_object()
+        .ok_or_else(|| JsonError::custom("`warm` must be an object"))?;
+    for (mode_text, entry) in warm_map {
+        let mode = mode_text
+            .parse::<usize>()
+            .map(ModeId::from_index)
+            .map_err(|_| JsonError::custom("warm keys must be mode indices"))?;
+        let entry = entry
+            .as_object()
+            .ok_or_else(|| JsonError::custom("each warm entry must be an object"))?;
+        let rounds = entry
+            .get("rounds")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| JsonError::custom("warm entry lacks `rounds`"))?
+            as usize;
+        let Some(basis) = entry
+            .get("basis")
+            .and_then(Value::as_str)
+            .and_then(Basis::decode)
+        else {
+            // Stale or unreadable basis: degrade this mode to a cold start.
+            continue;
+        };
+        warm.insert(mode, ModeWarmStart { rounds, basis });
+    }
+    Ok(SynthesisArtifacts {
+        system,
+        graph,
+        config,
+        backend,
+        warm,
+    })
+}
+
+/// One memory-tier entry: the schedule plus (when the entry came through
+/// [`ScheduleCache::store_with_artifacts`]) its warm-start material. The two
+/// live and die together under the eviction policy.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    schedule: Arc<SystemSchedule>,
+    artifacts: Option<Arc<SynthesisArtifacts>>,
+}
+
+/// One memory-tier shard: the entry map plus the insertion-order queue the
+/// entry cap evicts from (oldest first).
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<String, CacheEntry>,
+    order: VecDeque<String>,
+}
+
 /// A job for the write-behind persister thread.
 enum PersistJob {
     /// Serialize and publish one entry.
     Write {
         key: String,
         schedule: Arc<SystemSchedule>,
+        artifacts: Option<Arc<SynthesisArtifacts>>,
     },
     /// Acknowledge once every previously enqueued write has been published.
     Flush(mpsc::SyncSender<()>),
@@ -248,13 +389,19 @@ struct Persister {
 pub struct ScheduleCache {
     /// Disk-tier root; `None` for a memory-only cache.
     dir: Option<PathBuf>,
-    shards: Vec<RwLock<HashMap<String, Arc<SystemSchedule>>>>,
+    shards: Vec<RwLock<Shard>>,
+    /// Per-shard entry cap; `None` means unbounded.
+    shard_cap: Option<usize>,
+    /// The configured total memory-tier cap (before the per-shard split).
+    memory_cap: Option<usize>,
     persister: Mutex<Option<Persister>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     corrupt: AtomicUsize,
     mem_hits: AtomicUsize,
     disk_hits: AtomicUsize,
+    insertions: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl ScheduleCache {
@@ -275,15 +422,39 @@ impl ScheduleCache {
         ScheduleCache {
             dir,
             shards: (0..MEMORY_SHARDS)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| RwLock::new(Shard::default()))
                 .collect(),
+            shard_cap: None,
+            memory_cap: None,
             persister: Mutex::new(None),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             corrupt: AtomicUsize::new(0),
             mem_hits: AtomicUsize::new(0),
             disk_hits: AtomicUsize::new(0),
+            insertions: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
+    }
+
+    /// Bounds the memory tier to roughly `cap` entries (insertion-order
+    /// eviction; a cap of 0 is treated as 1).
+    ///
+    /// The cap is split evenly across the internal shards, so the effective
+    /// bound is `cap` rounded up to a multiple of the shard count. Evicted
+    /// entries lose only their memory copy — a disk-backed cache still
+    /// serves them from disk (and re-promotes them) afterwards, which is the
+    /// intended shape for a long service run: memory stays bounded, disk is
+    /// the archive.
+    pub fn with_memory_cap(mut self, cap: usize) -> Self {
+        self.memory_cap = Some(cap);
+        self.shard_cap = Some(cap.div_ceil(MEMORY_SHARDS).max(1));
+        self
+    }
+
+    /// The configured memory-tier entry cap; `None` when unbounded.
+    pub fn memory_cap(&self) -> Option<usize> {
+        self.memory_cap
     }
 
     /// The conventional cache location: `$TTW_SCHEDULE_CACHE_DIR` when set,
@@ -329,9 +500,36 @@ impl ScheduleCache {
         self.disk_hits.load(Ordering::Relaxed)
     }
 
+    /// New keys inserted into the memory tier (overwrites of a resident key
+    /// are not insertions).
+    pub fn insertions(&self) -> usize {
+        self.insertions.load(Ordering::Relaxed)
+    }
+
+    /// Memory-tier entries removed, whether by the entry cap or an explicit
+    /// [`ScheduleCache::evict`]. Together with [`ScheduleCache::insertions`]
+    /// this reconciles exactly: `insertions - evictions == resident`.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently resident in the memory tier.
+    pub fn resident(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+
     /// File path of a key's disk entry; `None` for a memory-only cache.
     pub fn path_for(&self, key: &str) -> Option<PathBuf> {
         self.dir.as_ref().map(|dir| entry_path(dir, key))
+    }
+
+    /// File path of a key's warm-artifacts sidecar; `None` for a memory-only
+    /// cache.
+    pub fn warm_path_for(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|dir| warm_path(dir, key))
     }
 
     /// Removes a key's entry from both tiers, if present (used by benches to
@@ -339,11 +537,17 @@ impl ScheduleCache {
     /// in-flight store of the key cannot resurrect the disk entry.
     pub fn evict(&self, key: &str) {
         self.flush();
-        self.shard(key)
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(key);
+        {
+            let mut shard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
+            if shard.map.remove(key).is_some() {
+                shard.order.retain(|k| k != key);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         if let Some(path) = self.path_for(key) {
+            let _ = std::fs::remove_file(path);
+        }
+        if let Some(path) = self.warm_path_for(key) {
             let _ = std::fs::remove_file(path);
         }
     }
@@ -375,11 +579,12 @@ impl ScheduleCache {
             .shard(key)
             .read()
             .unwrap_or_else(|e| e.into_inner())
+            .map
             .get(key)
         {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return CacheProbe::Memory(Arc::clone(entry));
+            return CacheProbe::Memory(Arc::clone(&entry.schedule));
         }
         let Some(path) = self.path_for(key) else {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -392,7 +597,13 @@ impl ScheduleCache {
         match system_schedule_from_json(&text) {
             Ok(schedule) => {
                 let entry = Arc::new(schedule);
-                self.insert_memory(key, Arc::clone(&entry));
+                self.insert_memory(
+                    key,
+                    CacheEntry {
+                        schedule: Arc::clone(&entry),
+                        artifacts: None,
+                    },
+                );
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 CacheProbe::Disk(entry)
@@ -404,10 +615,67 @@ impl ScheduleCache {
         }
     }
 
+    /// Fetches a key's warm-start artifacts, memory tier first, then the
+    /// disk sidecar. Unlike [`ScheduleCache::probe`] this does not touch the
+    /// hit/miss accounting — artifacts are an optimization input, not a
+    /// served schedule — and an unreadable sidecar is simply `None`.
+    pub fn artifacts(&self, key: &str) -> Option<Arc<SynthesisArtifacts>> {
+        if let Some(entry) = self
+            .shard(key)
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .get(key)
+        {
+            if let Some(artifacts) = &entry.artifacts {
+                return Some(Arc::clone(artifacts));
+            }
+        }
+        let text = std::fs::read_to_string(self.warm_path_for(key)?).ok()?;
+        let artifacts = Arc::new(artifacts_from_json(&text).ok()?);
+        // Re-attach to the resident entry (if any) so the next fetch skips
+        // the sidecar parse.
+        {
+            let mut shard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = shard.map.get_mut(key) {
+                entry
+                    .artifacts
+                    .get_or_insert_with(|| Arc::clone(&artifacts));
+            }
+        }
+        Some(artifacts)
+    }
+
     /// Looks a key up in either tier; a missing or corrupt entry is `None`
     /// (a corrupt entry simply behaves as a miss — `store` overwrites it).
     pub fn lookup(&self, key: &str) -> Option<SystemSchedule> {
         self.probe(key).schedule().map(|s| (**s).clone())
+    }
+
+    /// [`ScheduleCache::probe`] without the accounting: checks both tiers
+    /// (promoting a disk hit) but bumps no counter. Used for *auxiliary*
+    /// lookups — fetching a resynthesis request's predecessor — that must
+    /// not show up as hits or misses of the request stream.
+    pub fn peek(&self, key: &str) -> Option<Arc<SystemSchedule>> {
+        if let Some(entry) = self
+            .shard(key)
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .get(key)
+        {
+            return Some(Arc::clone(&entry.schedule));
+        }
+        let text = std::fs::read_to_string(self.path_for(key)?).ok()?;
+        let entry = Arc::new(system_schedule_from_json(&text).ok()?);
+        self.insert_memory(
+            key,
+            CacheEntry {
+                schedule: Arc::clone(&entry),
+                artifacts: None,
+            },
+        );
+        Some(entry)
     }
 
     /// Stores a schedule under a key: the memory tier is updated
@@ -415,36 +683,73 @@ impl ScheduleCache {
     /// the persister thread (best effort — an unwritable cache directory
     /// degrades to "memory only", never to an error).
     pub fn store(&self, key: &str, schedule: &SystemSchedule) {
-        let entry = Arc::new(schedule.clone());
-        self.insert_memory(key, Arc::clone(&entry));
+        self.store_with_artifacts(key, schedule, None);
+    }
+
+    /// [`ScheduleCache::store`], additionally attaching the warm-start
+    /// artifacts captured from the synthesis (persisted to a `.warm.json`
+    /// sidecar next to the schedule entry on disk-backed caches).
+    pub fn store_with_artifacts(
+        &self,
+        key: &str,
+        schedule: &SystemSchedule,
+        artifacts: Option<&SynthesisArtifacts>,
+    ) {
+        let schedule = Arc::new(schedule.clone());
+        let artifacts = artifacts.map(|a| Arc::new(a.clone()));
+        self.insert_memory(
+            key,
+            CacheEntry {
+                schedule: Arc::clone(&schedule),
+                artifacts: artifacts.clone(),
+            },
+        );
         let Some(dir) = self.dir.clone() else {
             return;
         };
         let job = PersistJob::Write {
             key: key.to_string(),
-            schedule: entry,
+            schedule,
+            artifacts,
         };
         let mut guard = self.persister.lock().unwrap_or_else(|e| e.into_inner());
         let persister = guard.get_or_insert_with(|| spawn_persister(dir.clone()));
-        if let Err(mpsc::SendError(PersistJob::Write { key, schedule })) =
-            persister.sender.send(job)
+        if let Err(mpsc::SendError(PersistJob::Write {
+            key,
+            schedule,
+            artifacts,
+        })) = persister.sender.send(job)
         {
             // The persister thread died (it never panics by construction,
             // but stay safe): publish inline instead of losing the entry.
-            persist_entry(&dir, &key, &schedule);
+            persist_entry(&dir, &key, &schedule, artifacts.as_deref());
         }
     }
 
-    fn shard(&self, key: &str) -> &RwLock<HashMap<String, Arc<SystemSchedule>>> {
+    fn shard(&self, key: &str) -> &RwLock<Shard> {
         let index = (fnv1a64(key) as usize) % self.shards.len();
         &self.shards[index]
     }
 
-    fn insert_memory(&self, key: &str, entry: Arc<SystemSchedule>) {
-        self.shard(key)
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key.to_string(), entry);
+    fn insert_memory(&self, key: &str, entry: CacheEntry) {
+        let mut shard = self.shard(key).write().unwrap_or_else(|e| e.into_inner());
+        if shard.map.insert(key.to_string(), entry).is_some() {
+            // Overwrite of a resident key: neither an insertion nor an
+            // eviction, and its position in the order queue is unchanged.
+            return;
+        }
+        shard.order.push_back(key.to_string());
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some(cap) = self.shard_cap {
+            while shard.map.len() > cap {
+                let Some(oldest) = shard.order.pop_front() else {
+                    break;
+                };
+                if shard.map.remove(&oldest).is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 }
 
@@ -472,6 +777,11 @@ fn entry_path(dir: &Path, key: &str) -> PathBuf {
     dir.join(format!("ttw-{key}.json"))
 }
 
+/// File path of a key's warm-artifacts sidecar under `dir`.
+fn warm_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("ttw-{key}.warm.json"))
+}
+
 /// Spawns the write-behind persister thread for `dir`.
 fn spawn_persister(dir: PathBuf) -> Persister {
     let (sender, receiver) = mpsc::channel::<PersistJob>();
@@ -480,7 +790,11 @@ fn spawn_persister(dir: PathBuf) -> Persister {
         .spawn(move || {
             while let Ok(job) = receiver.recv() {
                 match job {
-                    PersistJob::Write { key, schedule } => persist_entry(&dir, &key, &schedule),
+                    PersistJob::Write {
+                        key,
+                        schedule,
+                        artifacts,
+                    } => persist_entry(&dir, &key, &schedule, artifacts.as_deref()),
                     PersistJob::Flush(ack) => {
                         let _ = ack.send(());
                     }
@@ -504,8 +818,14 @@ fn spawn_persister(dir: PathBuf) -> Persister {
     }
 }
 
-/// Serializes and publishes one disk entry (best effort).
-fn persist_entry(dir: &Path, key: &str, schedule: &SystemSchedule) {
+/// Serializes and publishes one disk entry (best effort), plus the
+/// warm-artifacts sidecar when the store carried one.
+fn persist_entry(
+    dir: &Path,
+    key: &str,
+    schedule: &SystemSchedule,
+    artifacts: Option<&SynthesisArtifacts>,
+) {
     let Ok(json) = system_schedule_to_json(schedule) else {
         return;
     };
@@ -518,6 +838,11 @@ fn persist_entry(dir: &Path, key: &str, schedule: &SystemSchedule) {
     let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
     let tmp = dir.join(format!("ttw-{key}.{}-{seq}.tmp", std::process::id()));
     publish_entry(&tmp, &entry_path(dir, key), &json);
+    if let Some(artifacts) = artifacts {
+        let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!("ttw-{key}.warm.{}-{seq}.tmp", std::process::id()));
+        publish_entry(&tmp, &warm_path(dir, key), &artifacts_to_json(artifacts));
+    }
 }
 
 /// Write-then-rename publication with cleanup on either failure: a failed
@@ -547,8 +872,8 @@ fn publish_entry(tmp: &Path, path: &Path, json: &str) {
 ///
 /// # Errors
 ///
-/// Exactly as [`synthesize_system`]; failures are returned as-is and never
-/// cached.
+/// Exactly as [`crate::synthesis::synthesize_system`]; failures are
+/// returned as-is and never cached.
 pub fn synthesize_system_cached(
     system: &System,
     graph: &ModeGraph,
@@ -564,8 +889,15 @@ pub fn synthesize_system_cached(
         CacheProbe::Corrupt => CacheOutcome::Corrupt,
         CacheProbe::Absent => CacheOutcome::Miss,
     };
-    let schedule = synthesize_system(system, graph, config, backend)?;
-    cache.store(&key, &schedule);
+    let (schedule, warm) = synthesize_system_with_artifacts(system, graph, config, backend)?;
+    let artifacts = SynthesisArtifacts {
+        system: system.clone(),
+        graph: graph.clone(),
+        config: config.clone(),
+        backend: backend.name().to_string(),
+        warm,
+    };
+    cache.store_with_artifacts(&key, &schedule, Some(&artifacts));
     Ok((schedule, outcome))
 }
 
@@ -573,7 +905,7 @@ pub fn synthesize_system_cached(
 mod tests {
     use super::*;
     use crate::fixtures;
-    use crate::synthesis::IlpSynthesizer;
+    use crate::synthesis::{synthesize_system, IlpSynthesizer};
     use crate::time::millis;
 
     fn temp_cache(tag: &str) -> ScheduleCache {
@@ -858,6 +1190,102 @@ mod tests {
         publish_entry(&tmp, &target, "{\"torn\": true}");
         assert!(!tmp.exists(), "failed rename must remove the temp file");
         assert!(tmp_files(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn memory_cap_evicts_oldest_and_accounts_exactly() {
+        let cache = ScheduleCache::in_memory().with_memory_cap(4);
+        assert_eq!(cache.memory_cap(), Some(4));
+        let schedule = SystemSchedule::new();
+        const KEYS: usize = 40;
+        for i in 0..KEYS {
+            cache.store(&format!("{i:016x}"), &schedule);
+        }
+        assert_eq!(cache.insertions(), KEYS);
+        // Sharding rounds the cap up (one entry per shard minimum), but the
+        // tier stays bounded well below the insertion count.
+        assert!(cache.resident() <= MEMORY_SHARDS, "{}", cache.resident());
+        assert!(cache.evictions() >= KEYS - MEMORY_SHARDS);
+        assert_eq!(
+            cache.insertions(),
+            cache.resident() + cache.evictions(),
+            "every insertion is resident or evicted"
+        );
+        // Overwriting a resident key is not an insertion and evicts nothing.
+        let resident_key = (0..KEYS)
+            .map(|i| format!("{i:016x}"))
+            .find(|k| cache.peek(k).is_some())
+            .expect("some key is resident");
+        let (insertions, evictions) = (cache.insertions(), cache.evictions());
+        cache.store(&resident_key, &schedule);
+        assert_eq!(cache.insertions(), insertions);
+        assert_eq!(cache.evictions(), evictions);
+        // An evicted key is a genuine miss (memory-only cache: no disk tier
+        // to fall back to).
+        let evicted_key = (0..KEYS)
+            .map(|i| format!("{i:016x}"))
+            .find(|k| cache.peek(k).is_none())
+            .expect("some key was evicted");
+        assert!(matches!(cache.probe(&evicted_key), CacheProbe::Absent));
+    }
+
+    #[test]
+    fn warm_artifacts_round_trip_through_json_and_sidecar() {
+        let (sys, graph, _, _) = fixtures::two_mode_graph();
+        let backend = IlpSynthesizer::default();
+        let (schedule, warm) =
+            crate::synthesis::synthesize_system_with_artifacts(&sys, &graph, &config(), &backend)
+                .expect("feasible");
+        assert!(!warm.is_empty(), "ILP synthesis yields root bases");
+        let artifacts = SynthesisArtifacts {
+            system: sys.clone(),
+            graph: graph.clone(),
+            config: config(),
+            backend: backend.name().to_string(),
+            warm,
+        };
+
+        // Codec round trip preserves everything the incremental path reads.
+        let parsed = artifacts_from_json(&artifacts_to_json(&artifacts)).expect("parses");
+        assert_eq!(parsed.backend, artifacts.backend);
+        assert_eq!(
+            format!("{:?}", parsed.config),
+            format!("{:?}", artifacts.config)
+        );
+        assert_eq!(
+            system_fingerprint(&parsed.system, &parsed.graph),
+            system_fingerprint(&artifacts.system, &artifacts.graph)
+        );
+        assert_eq!(
+            parsed.warm.keys().collect::<Vec<_>>(),
+            artifacts.warm.keys().collect::<Vec<_>>()
+        );
+        for (mode, warm) in &artifacts.warm {
+            let back = &parsed.warm[mode];
+            assert_eq!(back.rounds, warm.rounds);
+            assert_eq!(back.basis.encode(), warm.basis.encode());
+        }
+
+        // Sidecar trip: a fresh cache instance on the same directory serves
+        // the artifacts back from disk.
+        let cache = temp_cache("warm-sidecar");
+        let key = synthesis_key(&sys, &graph, &config(), backend.name());
+        cache.store_with_artifacts(&key, &schedule, Some(&artifacts));
+        cache.flush();
+        let dir = cache.dir().expect("disk-backed").to_path_buf();
+        drop(cache);
+        let reopened = ScheduleCache::new(dir.clone());
+        let from_disk = reopened.artifacts(&key).expect("sidecar present");
+        assert_eq!(from_disk.backend, artifacts.backend);
+        assert_eq!(
+            from_disk.warm.keys().collect::<Vec<_>>(),
+            artifacts.warm.keys().collect::<Vec<_>>()
+        );
+        // Artifact reads bypass hit/miss accounting: the incremental path's
+        // predecessor fetches must not pollute the probe identity.
+        assert_eq!(reopened.hits() + reopened.misses() + reopened.corrupt(), 0);
+        drop(reopened);
         let _ = std::fs::remove_dir_all(dir);
     }
 

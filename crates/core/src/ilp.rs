@@ -115,6 +115,30 @@ impl IlpInstance {
         Ok(solution)
     }
 
+    /// Seeds the next solve's warm start from an externally cached basis
+    /// (e.g. the root basis the schedule cache persisted for this mode),
+    /// replacing whatever basis chained from a previous attempt.
+    ///
+    /// The seed is only taken when its snapshot dimensions fit the current
+    /// model; returns whether it was installed. An oversized snapshot would
+    /// be rejected by the solver's warm install anyway, so refusing it here
+    /// merely preserves the (applicable) chained basis instead.
+    pub fn seed_warm_basis(&mut self, basis: Basis) -> bool {
+        let (nstruct, nrows) = basis.dims();
+        if nstruct <= self.model.num_vars() && nrows <= self.model.num_constraints() {
+            self.warm_basis = Some(basis);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The root basis left behind by the last [`IlpInstance::solve`] call
+    /// (or seeded via [`IlpInstance::seed_warm_basis`]), if any.
+    pub fn root_basis(&self) -> Option<&Basis> {
+        self.warm_basis.as_ref()
+    }
+
     /// Appends one more communication round to the instance in place.
     ///
     /// Adds the round-start variable, its ordering/gap rows against the

@@ -49,6 +49,7 @@ pub mod cache;
 pub mod calculus;
 pub mod chains;
 pub mod config;
+pub mod delta;
 pub mod error;
 pub mod export;
 pub mod feasibility;
@@ -58,6 +59,7 @@ pub mod ids;
 pub mod ilp;
 pub mod json;
 pub mod modegraph;
+pub mod resynth;
 pub mod schedule;
 pub mod spec;
 pub mod synthesis;
@@ -65,16 +67,19 @@ pub mod system;
 pub mod time;
 pub mod validate;
 
-pub use cache::{synthesize_system_cached, CacheOutcome, ScheduleCache};
+pub use cache::{synthesize_system_cached, CacheOutcome, ScheduleCache, SynthesisArtifacts};
 pub use chains::{Chain, ChainElement};
 pub use config::SchedulerConfig;
+pub use delta::{NodeDeployment, NodeModeTable, NodePatchOp, ScheduleDelta};
 pub use error::{ModelError, ScheduleError, ScheduleViolation};
 pub use feasibility::InfeasibilityCertificate;
 pub use ids::{AppId, MessageId, ModeId, NodeId, TaskId};
 pub use modegraph::{InheritedOffsets, ModeGraph, VirtualLegacyMode};
+pub use resynth::{resynthesize_system, ResynthesisReport};
 pub use schedule::{ModeSchedule, ScheduledRound, SynthesisStats, SystemSchedule};
 pub use spec::{ApplicationSpec, MessageSpec, TaskSpec};
 pub use synthesis::{
-    HeuristicSynthesizer, IlpSynthesizer, SynthesisFailure, Synthesizer, SystemSynthesisError,
+    HeuristicSynthesizer, IlpSynthesizer, ModeWarmStart, SynthesisFailure, Synthesizer,
+    SystemSynthesisError,
 };
 pub use system::{Application, Message, Mode, Node, PrecedenceEdge, System, Task};

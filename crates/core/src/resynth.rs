@@ -1,0 +1,301 @@
+//! Incremental re-synthesis: solve an edited system from its cached
+//! predecessor instead of from scratch.
+//!
+//! The TTW architecture makes runtime admission — add, remove or edit one
+//! application and redeploy — a first-class operation, but a full
+//! [`crate::synthesis::synthesize_system`] run re-pays the MILP cost of
+//! *every* mode even when the edit touches one. [`resynthesize_system`]
+//! closes that gap with two reuse levels, both anchored on the
+//! [`crate::cache::SynthesisArtifacts`] the schedule cache stores alongside
+//! each entry:
+//!
+//! 1. **Schedule reuse** — the predecessor and successor systems are diffed
+//!    mode-by-mode ([`mode_fingerprint`]); a mode whose content, inheritance
+//!    sources and pinned offsets are all unchanged has the *identical* ILP,
+//!    and the deterministic pipeline would reproduce the identical schedule
+//!    — so the cached [`crate::schedule::ModeSchedule`] (stats included) is
+//!    kept verbatim, zero solver work.
+//! 2. **Basis warm starts** — a mode that *did* change is re-solved, but its
+//!    ILP is seeded with the predecessor's cached root basis at the matching
+//!    round count. The solver repairs feasibility from a near-optimal basis
+//!    instead of running two full phases; a stale or shape-mismatched basis
+//!    degrades to a cold start inside the solver, never an error.
+//!
+//! Either way the *result* is byte-identical (modulo solver work counters —
+//! see [`crate::schedule::SystemSchedule::content_only`]) to a from-scratch
+//! run: warm starts change how fast the solver reaches the optimum, not
+//! which optimum the tie-broken ILP selects. The differential harness pins
+//! exactly that invariant.
+
+use crate::cache::{synthesis_key, ScheduleCache, SynthesisArtifacts};
+use crate::config::SchedulerConfig;
+use crate::ids::{AppId, ModeId};
+use crate::modegraph::{InheritedOffsets, ModeGraph};
+use crate::schedule::SystemSchedule;
+use crate::synthesis::{
+    analyze_gate, synthesize_system_with_artifacts, ModeWarmStart, Synthesizer,
+    SystemSynthesisError,
+};
+use crate::system::System;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// How one incremental re-synthesis went: what was reused, what was
+/// re-solved, and how much solver work the re-solved modes cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResynthesisReport {
+    /// Whether the predecessor entry (schedule *and* artifacts, same config
+    /// and backend) was found in the cache. `false` means the call degraded
+    /// to a plain full synthesis.
+    pub predecessor_found: bool,
+    /// Modes whose cached schedule was kept verbatim.
+    pub modes_reused: usize,
+    /// Modes that were re-solved.
+    pub modes_resolved: usize,
+    /// Re-solved modes that were seeded with a cached root basis.
+    pub warm_started_modes: usize,
+    /// Branch-and-bound nodes spent on the re-solved modes.
+    pub solved_milp_nodes: usize,
+    /// Simplex pivots spent on the re-solved modes.
+    pub solved_simplex_iterations: usize,
+}
+
+/// A deterministic textual digest of everything one mode's ILP depends on:
+/// the mode (id and name), its hyperperiod, and — in id order — each of its
+/// applications with their full task/message structure, WCETs, node
+/// mappings and precedence.
+///
+/// Ids are included alongside names on purpose: a cached
+/// [`crate::schedule::ModeSchedule`] keys its offsets by id, so an id drift
+/// between predecessor and successor (an application inserted earlier in
+/// the build order) must read as "changed" even when the renamed content is
+/// identical — correctness over reuse.
+pub fn mode_fingerprint(system: &System, mode: ModeId) -> String {
+    let mut out = String::new();
+    let m = system.mode(mode);
+    let _ = writeln!(
+        out,
+        "mode {mode} {} hyperperiod={}",
+        m.name,
+        system.hyperperiod(mode)
+    );
+    for &app_id in &m.applications {
+        let app = system.application(app_id);
+        let _ = writeln!(
+            out,
+            "app {app_id} {} period={} deadline={}",
+            app.name, app.period, app.deadline
+        );
+        for &task_id in &app.tasks {
+            let task = system.task(task_id);
+            let _ = writeln!(
+                out,
+                "task {task_id} {} node={}:{} wcet={} prec={:?}",
+                task.name,
+                task.node,
+                system.node(task.node).name,
+                task.wcet,
+                task.preceding_messages
+            );
+        }
+        for &msg_id in &app.messages {
+            let msg = system.message(msg_id);
+            let _ = writeln!(
+                out,
+                "message {msg_id} {} source={}:{} prec={:?} succ={:?}",
+                msg.name,
+                msg.source_node,
+                system.node(msg.source_node).name,
+                msg.preceding_tasks,
+                msg.successor_tasks
+            );
+        }
+    }
+    out
+}
+
+/// Synthesizes `system` incrementally from the cached predecessor entry
+/// under `predecessor_key`, storing the result (and fresh warm-start
+/// artifacts) under the successor's own cache key.
+///
+/// Modes whose fingerprint, inheritance sources and pinned offsets are
+/// unchanged keep their cached schedules verbatim; every other mode is
+/// re-solved with the predecessor's root basis as a warm start when one is
+/// cached for it. When the predecessor entry is missing, or was produced by
+/// a different backend or configuration, the call degrades to a plain full
+/// synthesis (`predecessor_found: false` in the report) — never an error.
+///
+/// # Errors
+///
+/// Exactly as [`crate::synthesis::synthesize_system`]: a boxed
+/// [`SystemSynthesisError`] carrying the partial result if any re-solved
+/// mode cannot be scheduled.
+pub fn resynthesize_system(
+    system: &System,
+    graph: &ModeGraph,
+    config: &SchedulerConfig,
+    backend: &dyn Synthesizer,
+    cache: &ScheduleCache,
+    predecessor_key: &str,
+) -> Result<(SystemSchedule, ResynthesisReport), Box<SystemSynthesisError>> {
+    let (predecessor, artifacts) = match (
+        cache.peek(predecessor_key),
+        cache.artifacts(predecessor_key),
+    ) {
+        (Some(predecessor), Some(artifacts))
+            if artifacts.backend == backend.name()
+                && format!("{:?}", artifacts.config) == format!("{config:?}") =>
+        {
+            (predecessor, artifacts)
+        }
+        _ => return full_fallback(system, graph, config, backend, cache),
+    };
+
+    let plan = graph.inheritance_plan(system);
+    let mut result = SystemSchedule::new();
+    let mut new_warm: BTreeMap<ModeId, ModeWarmStart> = BTreeMap::new();
+    let mut report = ResynthesisReport {
+        predecessor_found: true,
+        ..ResynthesisReport::default()
+    };
+
+    for wave in graph.waves_of_plan(&plan) {
+        for mode in wave {
+            let sources = plan.get(&mode).cloned().unwrap_or_default();
+            let mut inherited = InheritedOffsets::none();
+            for (&app, &source) in &sources {
+                if let Some(donor) = result.get(source) {
+                    inherited.import_application(system, app, donor);
+                }
+            }
+
+            if let Some(reused) =
+                reusable_schedule(system, mode, &sources, &inherited, &artifacts, &predecessor)
+            {
+                report.modes_reused += 1;
+                result.stats.insert(mode, reused.stats.clone());
+                result.inheritance.insert(mode, sources);
+                result.schedules.insert(mode, reused);
+                if let Some(warm) = artifacts.warm.get(&mode) {
+                    new_warm.insert(mode, warm.clone());
+                }
+                continue;
+            }
+
+            let warm = artifacts.warm.get(&mode);
+            let outcome = match analyze_gate(system, mode, config) {
+                Some(failure) => Err(failure),
+                None => backend.synthesize_with_artifacts(system, mode, config, &inherited, warm),
+            };
+            match outcome {
+                Ok((schedule, artifact)) => {
+                    report.modes_resolved += 1;
+                    report.warm_started_modes += usize::from(warm.is_some());
+                    report.solved_milp_nodes += schedule.stats.milp_nodes;
+                    report.solved_simplex_iterations += schedule.stats.simplex_iterations;
+                    result.stats.insert(mode, schedule.stats.clone());
+                    result.inheritance.insert(mode, sources);
+                    result.schedules.insert(mode, schedule);
+                    if let Some(artifact) = artifact {
+                        new_warm.insert(mode, artifact);
+                    }
+                }
+                Err(failure) => {
+                    result.stats.insert(mode, failure.stats);
+                    return Err(Box::new(SystemSynthesisError {
+                        mode,
+                        error: failure.error,
+                        partial: result,
+                    }));
+                }
+            }
+        }
+    }
+
+    store_result(system, graph, config, backend, cache, &result, new_warm);
+    Ok((result, report))
+}
+
+/// The cached predecessor schedule of `mode`, when it is provably reusable:
+/// identical mode content, identical inheritance sources, and every pin the
+/// successor would impose already satisfied *exactly* by the cached
+/// schedule. Under those conditions the successor's ILP for the mode is the
+/// predecessor's ILP, and the deterministic pipeline would reproduce the
+/// cached schedule bit for bit — so it is returned for verbatim reuse.
+fn reusable_schedule(
+    system: &System,
+    mode: ModeId,
+    sources: &BTreeMap<AppId, ModeId>,
+    inherited: &InheritedOffsets,
+    artifacts: &SynthesisArtifacts,
+    predecessor: &SystemSchedule,
+) -> Option<crate::schedule::ModeSchedule> {
+    let old = predecessor.get(mode)?;
+    if mode.index() >= artifacts.system.modes().count() {
+        return None;
+    }
+    if mode_fingerprint(system, mode) != mode_fingerprint(&artifacts.system, mode) {
+        return None;
+    }
+    if predecessor.inheritance.get(&mode) != Some(sources) {
+        return None;
+    }
+    // Exact pin agreement: reused donors hand down bit-identical offsets, so
+    // any difference here means a donor moved and this mode's model changed.
+    let agrees = inherited
+        .task_offsets
+        .iter()
+        .all(|(t, &o)| old.task_offsets.get(t) == Some(&o))
+        && inherited
+            .message_offsets
+            .iter()
+            .all(|(m, &o)| old.message_offsets.get(m) == Some(&o))
+        && inherited
+            .message_deadlines
+            .iter()
+            .all(|(m, &d)| old.message_deadlines.get(m) == Some(&d));
+    agrees.then(|| old.clone())
+}
+
+/// Plain full synthesis (predecessor unusable), stored with artifacts under
+/// the successor key so the *next* edit does get the incremental path.
+fn full_fallback(
+    system: &System,
+    graph: &ModeGraph,
+    config: &SchedulerConfig,
+    backend: &dyn Synthesizer,
+    cache: &ScheduleCache,
+) -> Result<(SystemSchedule, ResynthesisReport), Box<SystemSynthesisError>> {
+    let (schedule, warm) = synthesize_system_with_artifacts(system, graph, config, backend)?;
+    let report = ResynthesisReport {
+        predecessor_found: false,
+        modes_resolved: schedule.num_modes(),
+        solved_milp_nodes: schedule.total_milp_nodes(),
+        solved_simplex_iterations: schedule.total_simplex_iterations(),
+        ..ResynthesisReport::default()
+    };
+    store_result(system, graph, config, backend, cache, &schedule, warm);
+    Ok((schedule, report))
+}
+
+/// Stores a (re)synthesized schedule plus its warm material under the
+/// successor's own cache key.
+fn store_result(
+    system: &System,
+    graph: &ModeGraph,
+    config: &SchedulerConfig,
+    backend: &dyn Synthesizer,
+    cache: &ScheduleCache,
+    schedule: &SystemSchedule,
+    warm: BTreeMap<ModeId, ModeWarmStart>,
+) {
+    let key = synthesis_key(system, graph, config, backend.name());
+    let artifacts = SynthesisArtifacts {
+        system: system.clone(),
+        graph: graph.clone(),
+        config: config.clone(),
+        backend: backend.name().to_string(),
+        warm,
+    };
+    cache.store_with_artifacts(&key, schedule, Some(&artifacts));
+}

@@ -211,6 +211,25 @@ impl SystemSchedule {
         self.inheritance.get(&mode)?.get(&app).copied()
     }
 
+    /// A copy with every [`SynthesisStats`] block zeroed, leaving only the
+    /// deployable content: offsets, deadlines, rounds and inheritance.
+    ///
+    /// Two synthesis runs that reach the same schedules along different
+    /// solver paths (cold vs warm-started) differ only in their work
+    /// counters; comparing `content_only` serializations is how the
+    /// differential harness states "the *schedules* are byte-identical"
+    /// without tying the invariant to solver effort.
+    pub fn content_only(&self) -> SystemSchedule {
+        let mut copy = self.clone();
+        for schedule in copy.schedules.values_mut() {
+            schedule.stats = SynthesisStats::default();
+        }
+        for stats in copy.stats.values_mut() {
+            *stats = SynthesisStats::default();
+        }
+        copy
+    }
+
     /// Total branch-and-bound nodes over every attempted mode.
     pub fn total_milp_nodes(&self) -> usize {
         self.stats.values().map(|s| s.milp_nodes).sum()

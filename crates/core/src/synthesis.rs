@@ -65,6 +65,22 @@ impl From<ScheduleError> for SynthesisFailure {
     }
 }
 
+/// MILP warm-start material captured from one mode's successful synthesis.
+///
+/// The root basis of the winning `R_M` attempt, together with the round
+/// count it was taken at, is everything a later re-synthesis of a *similar*
+/// mode needs to skip most of the simplex work: the basis is seeded into the
+/// attempt at the same round count and the solver repairs feasibility from
+/// there. A stale or shape-mismatched basis is degraded to a cold start by
+/// the solver, never an error, so callers may cache these aggressively.
+#[derive(Debug, Clone)]
+pub struct ModeWarmStart {
+    /// Round count (`R_M`) of the attempt the basis was captured at.
+    pub rounds: usize,
+    /// Root basis of that attempt's MILP solve.
+    pub basis: ttw_milp::Basis,
+}
+
 /// A per-mode schedule synthesis backend.
 ///
 /// Implementations receive the offsets inherited from already-synthesized
@@ -96,6 +112,38 @@ pub trait Synthesizer: Sync {
         config: &SchedulerConfig,
         inherited: &InheritedOffsets,
     ) -> Result<ModeSchedule, SynthesisFailure>;
+
+    /// Like [`Synthesizer::synthesize`], but additionally consumes and
+    /// produces MILP warm-start material.
+    ///
+    /// `warm` seeds the attempt at the matching round count from a cached
+    /// basis (a stale basis degrades to a cold start, never an error); the
+    /// returned [`ModeWarmStart`] is the root basis of the winning attempt,
+    /// ready to be cached. The schedule returned is **identical** to what
+    /// [`Synthesizer::synthesize`] produces — a warm start changes how fast
+    /// the solver gets to the optimum, not which optimum the deterministic
+    /// tie-breaking selects.
+    ///
+    /// The default implementation ignores `warm`, delegates to `synthesize`
+    /// and reports no artifacts — the right behaviour for backends with no
+    /// LP underneath (the greedy heuristic).
+    ///
+    /// # Errors
+    ///
+    /// As [`Synthesizer::synthesize`].
+    #[allow(clippy::result_large_err)]
+    fn synthesize_with_artifacts(
+        &self,
+        system: &System,
+        mode: ModeId,
+        config: &SchedulerConfig,
+        inherited: &InheritedOffsets,
+        warm: Option<&ModeWarmStart>,
+    ) -> Result<(ModeSchedule, Option<ModeWarmStart>), SynthesisFailure> {
+        let _ = warm;
+        self.synthesize(system, mode, config, inherited)
+            .map(|schedule| (schedule, None))
+    }
 }
 
 /// The exact backend: Algorithm 1 over the ILP of Sec. IV.
@@ -122,22 +170,18 @@ impl IlpSynthesizer {
     }
 }
 
-impl Synthesizer for IlpSynthesizer {
-    fn name(&self) -> &'static str {
-        if self.incremental {
-            "ilp-incremental"
-        } else {
-            "ilp-from-scratch"
-        }
-    }
-
-    fn synthesize(
+impl IlpSynthesizer {
+    /// The `R_M` sweep shared by both trait entry points, optionally seeding
+    /// the attempt at `warm.rounds` rounds from a cached basis.
+    #[allow(clippy::result_large_err)]
+    fn sweep(
         &self,
         system: &System,
         mode: ModeId,
         config: &SchedulerConfig,
         inherited: &InheritedOffsets,
-    ) -> Result<ModeSchedule, SynthesisFailure> {
+        warm: Option<&ModeWarmStart>,
+    ) -> Result<(ModeSchedule, Option<ModeWarmStart>), SynthesisFailure> {
         config.validate()?;
 
         let hyperperiod = system.hyperperiod(mode);
@@ -193,6 +237,15 @@ impl Synthesizer for IlpSynthesizer {
                     instance.as_mut().expect("just built")
                 }
             };
+            // Seed the cached predecessor basis into the attempt at its own
+            // round count. The seed replaces the basis chained from smaller
+            // attempts — it came from the optimum of a nearly identical model
+            // of exactly this shape, which is the better starting point.
+            if let Some(warm) = warm {
+                if warm.rounds == num_rounds {
+                    current.seed_warm_basis(warm.basis.clone());
+                }
+            }
             stats.rounds_attempted.push(num_rounds);
             stats.variables = current.model.num_vars();
             stats.constraints = current.model.num_constraints();
@@ -218,9 +271,13 @@ impl Synthesizer for IlpSynthesizer {
             stats.presolve_cols_removed = solution.presolve_cols_removed;
             stats.candidate_list_size = solution.candidate_list_size;
             if solution.is_optimal() {
-                return Ok(ilp::extract_schedule(
-                    system, mode, config, current, &solution, stats,
-                ));
+                let artifact = current.root_basis().cloned().map(|basis| ModeWarmStart {
+                    rounds: num_rounds,
+                    basis,
+                });
+                let schedule =
+                    ilp::extract_schedule(system, mode, config, current, &solution, stats);
+                return Ok((schedule, artifact));
             }
             if !self.incremental {
                 instance = None;
@@ -228,6 +285,38 @@ impl Synthesizer for IlpSynthesizer {
         }
 
         Err(infeasible(stats))
+    }
+}
+
+impl Synthesizer for IlpSynthesizer {
+    fn name(&self) -> &'static str {
+        if self.incremental {
+            "ilp-incremental"
+        } else {
+            "ilp-from-scratch"
+        }
+    }
+
+    fn synthesize(
+        &self,
+        system: &System,
+        mode: ModeId,
+        config: &SchedulerConfig,
+        inherited: &InheritedOffsets,
+    ) -> Result<ModeSchedule, SynthesisFailure> {
+        self.sweep(system, mode, config, inherited, None)
+            .map(|(schedule, _)| schedule)
+    }
+
+    fn synthesize_with_artifacts(
+        &self,
+        system: &System,
+        mode: ModeId,
+        config: &SchedulerConfig,
+        inherited: &InheritedOffsets,
+        warm: Option<&ModeWarmStart>,
+    ) -> Result<(ModeSchedule, Option<ModeWarmStart>), SynthesisFailure> {
+        self.sweep(system, mode, config, inherited, warm)
     }
 }
 
@@ -367,6 +456,26 @@ pub fn synthesize_system(
     config: &SchedulerConfig,
     backend: &dyn Synthesizer,
 ) -> Result<SystemSchedule, Box<SystemSynthesisError>> {
+    synthesize_waves(system, graph, config, backend, true).map(|(schedule, _)| schedule)
+}
+
+/// Like [`synthesize_system`], but also returns the per-mode MILP warm-start
+/// material ([`ModeWarmStart`]) captured from each successful mode solve.
+///
+/// The artifact map is what the schedule cache persists alongside the
+/// schedule so a later [`crate::resynth::resynthesize_system`] can warm
+/// start the modes it has to re-solve. Backends without an LP underneath
+/// (the greedy heuristic) report an empty map.
+///
+/// # Errors
+///
+/// Exactly as [`synthesize_system`].
+pub fn synthesize_system_with_artifacts(
+    system: &System,
+    graph: &ModeGraph,
+    config: &SchedulerConfig,
+    backend: &dyn Synthesizer,
+) -> Result<(SystemSchedule, BTreeMap<ModeId, ModeWarmStart>), Box<SystemSynthesisError>> {
     synthesize_waves(system, graph, config, backend, true)
 }
 
@@ -388,7 +497,7 @@ pub fn synthesize_system_sequential(
     config: &SchedulerConfig,
     backend: &dyn Synthesizer,
 ) -> Result<SystemSchedule, Box<SystemSynthesisError>> {
-    synthesize_waves(system, graph, config, backend, false)
+    synthesize_waves(system, graph, config, backend, false).map(|(schedule, _)| schedule)
 }
 
 /// The `AnalyzeFirst` gate: when enabled, converts a mode with a static
@@ -398,7 +507,7 @@ pub fn synthesize_system_sequential(
 /// Every certificate of [`crate::feasibility`] is a *sound* necessary
 /// condition and is independent of any inherited pins, so the gate can never
 /// reject a mode any backend would have scheduled.
-fn analyze_gate(
+pub(crate) fn analyze_gate(
     system: &System,
     mode: ModeId,
     config: &SchedulerConfig,
@@ -426,9 +535,10 @@ fn synthesize_waves(
     config: &SchedulerConfig,
     backend: &dyn Synthesizer,
     parallel: bool,
-) -> Result<SystemSchedule, Box<SystemSynthesisError>> {
+) -> Result<(SystemSchedule, BTreeMap<ModeId, ModeWarmStart>), Box<SystemSynthesisError>> {
     let plan = graph.inheritance_plan(system);
     let mut result = SystemSchedule::new();
+    let mut artifacts = BTreeMap::new();
 
     for wave in graph.waves_of_plan(&plan) {
         // Pin the inherited offsets for the whole wave up front (every donor
@@ -447,14 +557,15 @@ fn synthesize_waves(
             })
             .collect();
 
-        type Outcome = Result<ModeSchedule, SynthesisFailure>;
+        type Outcome = Result<(ModeSchedule, Option<ModeWarmStart>), SynthesisFailure>;
         let outcomes: Vec<(ModeId, BTreeMap<AppId, ModeId>, Outcome)> =
             if !parallel || jobs.len() == 1 {
                 jobs.into_iter()
                     .map(|(mode, sources, inherited)| {
                         let outcome = match analyze_gate(system, mode, config) {
                             Some(failure) => Err(failure),
-                            None => backend.synthesize(system, mode, config, &inherited),
+                            None => backend
+                                .synthesize_with_artifacts(system, mode, config, &inherited, None),
                         };
                         (mode, sources, outcome)
                     })
@@ -470,7 +581,9 @@ fn synthesize_waves(
                             let worker =
                                 scope.spawn(move || match analyze_gate(system, mode, config) {
                                     Some(failure) => Err(failure),
-                                    None => backend.synthesize(system, mode, config, &inherited),
+                                    None => backend.synthesize_with_artifacts(
+                                        system, mode, config, &inherited, None,
+                                    ),
                                 });
                             (mode, sources, worker)
                         })
@@ -489,10 +602,13 @@ fn synthesize_waves(
         // later-in-order wave results, exactly like the sequential driver.
         for (mode, sources, outcome) in outcomes {
             match outcome {
-                Ok(schedule) => {
+                Ok((schedule, artifact)) => {
                     result.stats.insert(mode, schedule.stats.clone());
                     result.inheritance.insert(mode, sources);
                     result.schedules.insert(mode, schedule);
+                    if let Some(artifact) = artifact {
+                        artifacts.insert(mode, artifact);
+                    }
                 }
                 Err(failure) => {
                     result.stats.insert(mode, failure.stats);
@@ -505,7 +621,7 @@ fn synthesize_waves(
             }
         }
     }
-    Ok(result)
+    Ok((result, artifacts))
 }
 
 /// Synthesizes the schedules of every mode of the system with the same

@@ -248,6 +248,23 @@ impl System {
         Ok(id)
     }
 
+    /// Changes the WCET of an existing task in place — the canonical
+    /// "online admission" edit: ids, names and precedence all stay put, so
+    /// a predecessor schedule remains diffable against the edited system.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::ZeroDuration`] for a zero WCET.
+    pub fn set_task_wcet(&mut self, task: TaskId, wcet: Micros) -> Result<(), ModelError> {
+        if wcet == 0 {
+            return Err(ModelError::ZeroDuration {
+                what: format!("WCET of task `{}`", self.tasks[task.index()].name),
+            });
+        }
+        self.tasks[task.index()].wcet = wcet;
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------

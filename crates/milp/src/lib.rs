@@ -133,6 +133,7 @@ pub mod lp_format;
 pub mod model;
 mod presolve;
 pub mod simplex;
+pub mod snapshot;
 pub mod solution;
 mod sparse;
 

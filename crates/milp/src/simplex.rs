@@ -165,8 +165,12 @@ impl Basis {
         }
     }
 
-    /// Snapshot dimensions `(structural columns, rows)`.
-    pub(crate) fn dims(&self) -> (usize, usize) {
+    /// Snapshot dimensions `(structural columns, rows)` at capture time.
+    ///
+    /// Callers that cache snapshots across model edits use this to check
+    /// whether a saved basis can still apply (the warm-start contract only
+    /// covers models at least this large).
+    pub fn dims(&self) -> (usize, usize) {
         (self.nstruct, self.nrows)
     }
 

@@ -1,0 +1,286 @@
+//! Serializable [`Basis`] snapshots for cross-process warm starts.
+//!
+//! The in-memory warm-start path hands a [`Basis`] straight back to
+//! [`crate::Model::solve_with_basis`]; the schedule cache additionally wants
+//! to *persist* the root basis of each mode's ILP so a later process can warm
+//! start an incremental re-synthesis. This module gives [`Basis`] a
+//! self-describing text codec designed for that trip through disk:
+//!
+//! * the header carries a snapshot-format version **and** the crate version,
+//!   so a basis written by a different solver build is rejected at decode
+//!   time rather than trusted;
+//! * every structural invariant is re-checked on decode (status/basic/devex
+//!   lengths against the recorded dimensions, basic indices in range and
+//!   mutually distinct, exactly one basic status per row, finite positive
+//!   Devex weights) — a tampered or truncated snapshot yields `None`;
+//! * Devex weights are encoded as IEEE-754 bit patterns in hex, so the
+//!   round trip is exact.
+//!
+//! Decoding is deliberately the *weak* half of the safety story: a snapshot
+//! that decodes fine can still be stale relative to the model it is applied
+//! to (the system changed shape). That case is handled downstream — the
+//! simplex engine's warm install degrades any basis it cannot apply to a
+//! cold start, never a panic.
+
+use crate::simplex::{Basis, VarStatus};
+
+/// Version of the snapshot text layout. Bump on any format change.
+const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Magic tag leading every snapshot.
+const MAGIC: &str = "ttw-basis";
+
+/// Field separator between the header and the three payload sections.
+const SEP: char = ';';
+
+fn status_char(status: VarStatus) -> char {
+    match status {
+        VarStatus::Basic => 'B',
+        VarStatus::AtLower => 'L',
+        VarStatus::AtUpper => 'U',
+        VarStatus::Free => 'F',
+    }
+}
+
+fn status_of(c: char) -> Option<VarStatus> {
+    match c {
+        'B' => Some(VarStatus::Basic),
+        'L' => Some(VarStatus::AtLower),
+        'U' => Some(VarStatus::AtUpper),
+        'F' => Some(VarStatus::Free),
+        _ => None,
+    }
+}
+
+/// Splits a comma-separated list, treating the empty string as the empty
+/// list (a zero-row basis has no basic entries).
+fn split_list(field: &str) -> Vec<&str> {
+    if field.is_empty() {
+        Vec::new()
+    } else {
+        field.split(',').collect()
+    }
+}
+
+impl Basis {
+    /// Serializes the snapshot into a single-line, self-describing string.
+    ///
+    /// The result is plain ASCII with no quotes or backslashes, so it embeds
+    /// into a JSON string without escaping.
+    pub fn encode(&self) -> String {
+        let (nstruct, nrows) = self.dims();
+        let (status, basic, devex) = self.parts();
+        let status_text: String = status.iter().map(|&s| status_char(s)).collect();
+        let basic_text = basic
+            .iter()
+            .map(|j| j.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let devex_text = devex
+            .iter()
+            .map(|w| format!("{:x}", w.to_bits()))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{MAGIC}{SEP}{SNAPSHOT_FORMAT_VERSION}{SEP}{}{SEP}{nstruct}{SEP}{nrows}{SEP}{status_text}{SEP}{basic_text}{SEP}{devex_text}",
+            env!("CARGO_PKG_VERSION"),
+        )
+    }
+
+    /// Parses a snapshot produced by [`Basis::encode`].
+    ///
+    /// Returns `None` — never panics — when the text was written by a
+    /// different format or crate version, is truncated or tampered with, or
+    /// violates any structural invariant of a basis. Callers treat `None` as
+    /// "no warm start available" and solve cold.
+    pub fn decode(text: &str) -> Option<Basis> {
+        let fields: Vec<&str> = text.split(SEP).collect();
+        let [magic, format, crate_version, nstruct, nrows, status_text, basic_text, devex_text] =
+            fields.as_slice()
+        else {
+            return None;
+        };
+        if *magic != MAGIC
+            || format.parse::<u32>().ok()? != SNAPSHOT_FORMAT_VERSION
+            || *crate_version != env!("CARGO_PKG_VERSION")
+        {
+            return None;
+        }
+        let nstruct: usize = nstruct.parse().ok()?;
+        let nrows: usize = nrows.parse().ok()?;
+        let ncols = nstruct.checked_add(nrows)?;
+
+        let status: Vec<VarStatus> = status_text.chars().map(status_of).collect::<Option<_>>()?;
+        if status.len() != ncols {
+            return None;
+        }
+
+        let basic: Vec<usize> = split_list(basic_text)
+            .iter()
+            .map(|s| s.parse().ok())
+            .collect::<Option<_>>()?;
+        if basic.len() != nrows {
+            return None;
+        }
+        // Each basic entry must point at a distinct in-range column marked
+        // Basic, and no Basic-marked column may be left out of the list.
+        let mut seen = vec![false; ncols];
+        for &j in &basic {
+            if j >= ncols || seen[j] || status[j] != VarStatus::Basic {
+                return None;
+            }
+            seen[j] = true;
+        }
+        if status.iter().filter(|&&s| s == VarStatus::Basic).count() != nrows {
+            return None;
+        }
+
+        let devex: Vec<f64> = split_list(devex_text)
+            .iter()
+            .map(|s| {
+                let bits = u64::from_str_radix(s, 16).ok()?;
+                let w = f64::from_bits(bits);
+                (w.is_finite() && w > 0.0).then_some(w)
+            })
+            .collect::<Option<_>>()?;
+        if devex.len() != ncols {
+            return None;
+        }
+
+        Some(Basis::from_parts(nstruct, nrows, status, basic, devex))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+    use crate::solution::Status;
+
+    /// A small LP whose optimal basis has structural columns in it.
+    fn sample_model() -> Model {
+        let mut m = Model::new("snapshot-sample");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.set_objective(Sense::Maximize, &[(x, 3.0), (y, 2.0)]);
+        m.add_le(&[(x, 1.0), (y, 1.0)], 12.0);
+        m.add_le(&[(x, 2.0), (y, 1.0)], 18.0);
+        m
+    }
+
+    fn optimal_basis(model: &Model) -> Basis {
+        let (solution, basis) = model.solve_with_basis(None).expect("solvable");
+        assert_eq!(solution.status, Status::Optimal);
+        basis.expect("optimal solve returns a basis")
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let model = sample_model();
+        let basis = optimal_basis(&model);
+        let text = basis.encode();
+        let back = Basis::decode(&text).expect("own encoding decodes");
+        assert_eq!(back.dims(), basis.dims());
+        let (s0, b0, d0) = basis.parts();
+        let (s1, b1, d1) = back.parts();
+        assert_eq!(s0, s1);
+        assert_eq!(b0, b1);
+        // Bit-exact weights: compare the raw bit patterns.
+        let bits = |d: &[f64]| d.iter().map(|w| w.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(d0), bits(d1));
+        // The encoding is canonical: re-encoding reproduces the same text.
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_snapshots() {
+        let text = optimal_basis(&sample_model()).encode();
+        // Wholesale garbage and truncations.
+        assert!(Basis::decode("").is_none());
+        assert!(Basis::decode("not a basis").is_none());
+        assert!(Basis::decode(&text[..text.len() / 2]).is_none());
+        // Wrong magic, format version or crate version.
+        assert!(Basis::decode(&text.replacen("ttw-basis", "ttw-magic", 1)).is_none());
+        assert!(Basis::decode(&text.replacen(";1;", ";999;", 1)).is_none());
+        let with_bad_crate = {
+            let mut fields: Vec<&str> = text.split(';').collect();
+            fields[2] = "0.0.0-other";
+            fields.join(";")
+        };
+        assert!(Basis::decode(&with_bad_crate).is_none());
+        // Structural corruption: statuses shorter than the recorded dims,
+        // out-of-range basic index, non-finite devex weight.
+        let mut fields: Vec<String> = text.split(';').map(str::to_owned).collect();
+        let good = fields.clone();
+        fields[5].pop();
+        assert!(Basis::decode(&fields.join(";")).is_none());
+        fields = good.clone();
+        fields[6] = "9999".into();
+        assert!(Basis::decode(&fields.join(";")).is_none());
+        fields = good.clone();
+        let mut devex: Vec<String> = fields[7].split(',').map(str::to_owned).collect();
+        devex[0] = format!("{:x}", f64::NAN.to_bits());
+        fields[7] = devex.join(",");
+        assert!(Basis::decode(&fields.join(";")).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_basic_sets() {
+        let text = optimal_basis(&sample_model()).encode();
+        let fields: Vec<String> = text.split(';').map(str::to_owned).collect();
+        // Duplicate basic entry (still in range, still marked Basic).
+        let mut dup = fields.clone();
+        let basic: Vec<&str> = dup[6].split(',').collect();
+        dup[6] = vec![basic[0]; basic.len()].join(",");
+        assert!(Basis::decode(&dup.join(";")).is_none());
+        // Basic entry pointing at a nonbasic column.
+        let mut crossed = fields.clone();
+        let nonbasic = crossed[5]
+            .chars()
+            .position(|c| c != 'B')
+            .expect("some column is nonbasic");
+        let mut basic: Vec<String> = crossed[6].split(',').map(str::to_owned).collect();
+        basic[0] = nonbasic.to_string();
+        crossed[6] = basic.join(",");
+        assert!(Basis::decode(&crossed.join(";")).is_none());
+    }
+
+    #[test]
+    fn decoded_snapshot_warm_starts_to_the_same_optimum() {
+        let model = sample_model();
+        let (cold, basis) = model.solve_with_basis(None).expect("cold solve");
+        let decoded = Basis::decode(&basis.expect("basis").encode()).expect("decodes");
+        let (warm, _) = model.solve_with_basis(Some(&decoded)).expect("warm solve");
+        assert_eq!(warm.status, cold.status);
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.values(), cold.values());
+    }
+
+    #[test]
+    fn shape_mismatched_snapshot_degrades_to_cold_start() {
+        // Snapshot a *larger* model's basis and apply it to a smaller model:
+        // the warm install must reject it and the solve must match cold.
+        let mut big = Model::new("snapshot-big");
+        let vars: Vec<_> = (0..6)
+            .map(|i| big.add_continuous(format!("v{i}"), 0.0, 5.0))
+            .collect();
+        let profits: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + i as f64))
+            .collect();
+        big.set_objective(Sense::Maximize, &profits);
+        let ones: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        big.add_le(&ones, 14.0);
+        let stale = Basis::decode(&optimal_basis(&big).encode()).expect("decodes");
+
+        let small = sample_model();
+        let (cold, _) = small.solve_with_basis(None).expect("cold solve");
+        let (warm, _) = small
+            .solve_with_basis(Some(&stale))
+            .expect("stale warm solve");
+        assert_eq!(warm.status, cold.status);
+        assert_eq!(warm.objective, cold.objective);
+        assert_eq!(warm.values(), cold.values());
+    }
+}

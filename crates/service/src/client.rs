@@ -6,7 +6,7 @@
 //! per-connection threads.
 
 use crate::frame::{read_frame, write_frame};
-use crate::protocol::{Request, Response, ScheduleReply, SynthesizeRequest};
+use crate::protocol::{Request, Response, ResynthesizeRequest, ScheduleReply, SynthesizeRequest};
 use crate::stats::StatsSnapshot;
 use std::fmt;
 use std::io;
@@ -91,6 +91,23 @@ impl Client {
     /// [`Client::roundtrip`].
     pub fn synthesize(&mut self, request: SynthesizeRequest) -> Result<ScheduleReply, ClientError> {
         match self.roundtrip(&Request::Synthesize(Box::new(request)))? {
+            Response::Schedule(reply) => Ok(*reply),
+            Response::Error { message } => Err(ClientError::Remote(message)),
+            Response::Stats(_) => Err(ClientError::Unexpected("stats")),
+            Response::ShutdownAck => Err(ClientError::Unexpected("shutdown-ack")),
+        }
+    }
+
+    /// Requests an incremental re-synthesis from a cached predecessor.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::synthesize`].
+    pub fn resynthesize(
+        &mut self,
+        request: ResynthesizeRequest,
+    ) -> Result<ScheduleReply, ClientError> {
+        match self.roundtrip(&Request::Resynthesize(Box::new(request)))? {
             Response::Schedule(reply) => Ok(*reply),
             Response::Error { message } => Err(ClientError::Remote(message)),
             Response::Stats(_) => Err(ClientError::Unexpected("stats")),

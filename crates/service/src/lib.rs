@@ -17,8 +17,9 @@
 //!   like deployment JSON (including the f64 formatting the cache key
 //!   hashes).
 //! * [`stats`] — relaxed-atomic service counters and their wire snapshot;
-//!   `requests == solved + coalesced + cache_hits + rejected +
-//!   solve_errors` reconciles across the whole pipeline.
+//!   `requests == solved + incremental + coalesced + cache_hits + rejected +
+//!   solve_errors` reconciles across the whole pipeline, and the bounded
+//!   memory tier's `insertions == resident + evictions`.
 //! * [`coalesce`] — the in-flight table: identical synthesis keys share one
 //!   solve (leader/follower on a condvar), with panic-safe leader tokens.
 //! * [`admission`] — a bounded semaphore with a bounded wait line in front
@@ -45,7 +46,8 @@ pub mod stats;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    BackendKind, BudgetCaps, Request, Response, ScheduleReply, ServedFrom, SynthesizeRequest,
+    BackendKind, BudgetCaps, Request, Response, ResynthesizeRequest, ScheduleReply, ServedFrom,
+    SynthesizeRequest,
 };
 pub use server::ServerHandle;
 pub use service::{SchedulerService, ServiceConfig, ServiceError};

@@ -97,11 +97,25 @@ pub struct SynthesizeRequest {
     pub budget: BudgetCaps,
 }
 
+/// An incremental re-synthesis request: the successor problem statement
+/// plus the cache key of the predecessor entry to re-synthesize from.
+#[derive(Debug, Clone)]
+pub struct ResynthesizeRequest {
+    /// The successor problem, exactly as a fresh synthesis request.
+    pub base: SynthesizeRequest,
+    /// Cache key (fingerprint) of the predecessor entry. A missing or
+    /// mismatched predecessor degrades to a full solve server-side, never
+    /// an error.
+    pub predecessor: String,
+}
+
 /// A request frame.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Synthesize a schedule (or serve it from cache).
     Synthesize(Box<SynthesizeRequest>),
+    /// Re-synthesize incrementally from a cached predecessor.
+    Resynthesize(Box<ResynthesizeRequest>),
     /// Report the service counters.
     Stats,
     /// Stop accepting connections and shut the server down.
@@ -115,6 +129,9 @@ pub enum ServedFrom {
     Solved,
     /// The request piggybacked on an identical in-flight solve.
     Coalesced,
+    /// Served by the incremental re-synthesis path: unchanged modes reused
+    /// from the cached predecessor, dirty modes re-solved (warm-started).
+    Incremental,
     /// Served by the in-process memory tier.
     Memory,
     /// Served by the on-disk tier (and promoted to memory).
@@ -127,6 +144,7 @@ impl ServedFrom {
         match self {
             ServedFrom::Solved => "solved",
             ServedFrom::Coalesced => "coalesced",
+            ServedFrom::Incremental => "incremental",
             ServedFrom::Memory => "cache-memory",
             ServedFrom::Disk => "cache-disk",
         }
@@ -141,15 +159,17 @@ impl ServedFrom {
         match name {
             "solved" => Ok(ServedFrom::Solved),
             "coalesced" => Ok(ServedFrom::Coalesced),
+            "incremental" => Ok(ServedFrom::Incremental),
             "cache-memory" => Ok(ServedFrom::Memory),
             "cache-disk" => Ok(ServedFrom::Disk),
             other => Err(JsonError::custom(format!("unknown served kind `{other}`"))),
         }
     }
 
-    /// `true` when no solver ran for this request (warm service).
+    /// `true` when no solver ran for this request (warm service). The
+    /// incremental path may re-solve dirty modes, so it is not warm.
     pub fn is_warm(self) -> bool {
-        !matches!(self, ServedFrom::Solved)
+        !matches!(self, ServedFrom::Solved | ServedFrom::Incremental)
     }
 }
 
@@ -219,6 +239,47 @@ fn optional_usize(map: &BTreeMap<String, Value>, name: &str) -> Result<Option<us
     }
 }
 
+fn synthesize_body_to_map(req: &SynthesizeRequest, map: &mut BTreeMap<String, Value>) {
+    map.insert("system".into(), system_to_value(&req.system));
+    map.insert("mode_graph".into(), mode_graph_to_value(&req.graph));
+    map.insert("config".into(), scheduler_config_to_value(&req.config));
+    map.insert(
+        "backend".into(),
+        Value::String(req.backend.wire_name().into()),
+    );
+    let mut budget = BTreeMap::new();
+    let optional = |v: Option<usize>| match v {
+        Some(n) => Value::Number(n as f64),
+        None => Value::Null,
+    };
+    budget.insert("max_nodes".into(), optional(req.budget.max_nodes));
+    budget.insert(
+        "max_simplex_iterations".into(),
+        optional(req.budget.max_simplex_iterations),
+    );
+    map.insert("budget".into(), Value::Object(budget));
+}
+
+fn synthesize_body_from_map(map: &BTreeMap<String, Value>) -> Result<SynthesizeRequest, JsonError> {
+    let budget = match map.get("budget") {
+        None | Some(Value::Null) => BudgetCaps::default(),
+        Some(value) => {
+            let budget = obj(value, "`budget`")?;
+            BudgetCaps {
+                max_nodes: optional_usize(&budget, "max_nodes")?,
+                max_simplex_iterations: optional_usize(&budget, "max_simplex_iterations")?,
+            }
+        }
+    };
+    Ok(SynthesizeRequest {
+        system: system_from_value(field(map, "system")?)?,
+        graph: mode_graph_from_value(field(map, "mode_graph")?)?,
+        config: scheduler_config_from_value(field(map, "config")?)?,
+        backend: BackendKind::from_wire(&field_str(map, "backend")?)?,
+        budget,
+    })
+}
+
 impl Request {
     /// Serializes the request to a compact JSON document.
     pub fn to_json(&self) -> String {
@@ -231,24 +292,12 @@ impl Request {
         match self {
             Request::Synthesize(req) => {
                 map.insert("type".into(), Value::String("synthesize".into()));
-                map.insert("system".into(), system_to_value(&req.system));
-                map.insert("mode_graph".into(), mode_graph_to_value(&req.graph));
-                map.insert("config".into(), scheduler_config_to_value(&req.config));
-                map.insert(
-                    "backend".into(),
-                    Value::String(req.backend.wire_name().into()),
-                );
-                let mut budget = BTreeMap::new();
-                let optional = |v: Option<usize>| match v {
-                    Some(n) => Value::Number(n as f64),
-                    None => Value::Null,
-                };
-                budget.insert("max_nodes".into(), optional(req.budget.max_nodes));
-                budget.insert(
-                    "max_simplex_iterations".into(),
-                    optional(req.budget.max_simplex_iterations),
-                );
-                map.insert("budget".into(), Value::Object(budget));
+                synthesize_body_to_map(req, &mut map);
+            }
+            Request::Resynthesize(req) => {
+                map.insert("type".into(), Value::String("resynthesize".into()));
+                synthesize_body_to_map(&req.base, &mut map);
+                map.insert("predecessor".into(), Value::String(req.predecessor.clone()));
             }
             Request::Stats => {
                 map.insert("type".into(), Value::String("stats".into()));
@@ -281,28 +330,13 @@ impl Request {
     pub fn from_value(value: &Value) -> Result<Self, JsonError> {
         let map = obj(value, "request")?;
         match field_str(&map, "type")?.as_str() {
-            "synthesize" => {
-                let budget = match map.get("budget") {
-                    None | Some(Value::Null) => BudgetCaps::default(),
-                    Some(value) => {
-                        let budget = obj(value, "`budget`")?;
-                        BudgetCaps {
-                            max_nodes: optional_usize(&budget, "max_nodes")?,
-                            max_simplex_iterations: optional_usize(
-                                &budget,
-                                "max_simplex_iterations",
-                            )?,
-                        }
-                    }
-                };
-                Ok(Request::Synthesize(Box::new(SynthesizeRequest {
-                    system: system_from_value(field(&map, "system")?)?,
-                    graph: mode_graph_from_value(field(&map, "mode_graph")?)?,
-                    config: scheduler_config_from_value(field(&map, "config")?)?,
-                    backend: BackendKind::from_wire(&field_str(&map, "backend")?)?,
-                    budget,
-                })))
-            }
+            "synthesize" => Ok(Request::Synthesize(Box::new(synthesize_body_from_map(
+                &map,
+            )?))),
+            "resynthesize" => Ok(Request::Resynthesize(Box::new(ResynthesizeRequest {
+                base: synthesize_body_from_map(&map)?,
+                predecessor: field_str(&map, "predecessor")?,
+            }))),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(JsonError::custom(format!("unknown request type `{other}`"))),
@@ -434,6 +468,35 @@ mod tests {
             ttw_core::cache::system_fingerprint(&original.system, &original.graph),
             ttw_core::cache::system_fingerprint(&parsed.system, &parsed.graph),
         );
+    }
+
+    #[test]
+    fn resynthesize_request_round_trips() {
+        let Request::Synthesize(base) = sample_request() else {
+            unreachable!()
+        };
+        let request = Request::Resynthesize(Box::new(ResynthesizeRequest {
+            base: *base,
+            predecessor: "deadbeef-cafe".into(),
+        }));
+        let back = Request::from_json(request.to_json().as_bytes()).expect("parses");
+        let Request::Resynthesize(parsed) = &back else {
+            panic!("wrong variant: {back:?}")
+        };
+        assert_eq!(parsed.predecessor, "deadbeef-cafe");
+        assert_eq!(parsed.base.backend, BackendKind::Ilp);
+        assert_eq!(parsed.base.budget.max_nodes, Some(500));
+    }
+
+    #[test]
+    fn incremental_provenance_round_trips_and_is_not_warm() {
+        assert_eq!(ServedFrom::Incremental.wire_name(), "incremental");
+        assert_eq!(
+            ServedFrom::from_wire("incremental").expect("parses"),
+            ServedFrom::Incremental
+        );
+        assert!(!ServedFrom::Incremental.is_warm());
+        assert!(ServedFrom::Memory.is_warm());
     }
 
     #[test]

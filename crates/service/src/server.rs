@@ -114,7 +114,9 @@ fn serve_connection(
 ) -> io::Result<()> {
     while let Some(payload) = read_frame(&mut stream)? {
         let (response, shutdown) = dispatch(&payload, service);
-        write_frame(&mut stream, response.to_json().as_bytes())?;
+        let reply = response.to_json();
+        write_frame(&mut stream, reply.as_bytes())?;
+        service.note_reply_bytes(reply.len());
         if shutdown {
             if !stop.swap(true, Ordering::SeqCst) {
                 // First to request shutdown: poke the accept loop awake.
@@ -133,6 +135,15 @@ fn serve_connection(
 fn dispatch(payload: &[u8], service: &SchedulerService) -> (Response, bool) {
     match Request::from_json(payload) {
         Ok(Request::Synthesize(request)) => match service.handle_synthesize(&request) {
+            Ok(reply) => (Response::Schedule(Box::new(reply)), false),
+            Err(error @ (ServiceError::Overloaded(_) | ServiceError::Synthesis(_))) => (
+                Response::Error {
+                    message: error.to_string(),
+                },
+                false,
+            ),
+        },
+        Ok(Request::Resynthesize(request)) => match service.handle_resynthesize(&request) {
             Ok(reply) => (Response::Schedule(Box::new(reply)), false),
             Err(error @ (ServiceError::Overloaded(_) | ServiceError::Synthesis(_))) => (
                 Response::Error {

@@ -23,7 +23,9 @@
 
 use crate::admission::AdmissionQueue;
 use crate::coalesce::{InflightTable, Role};
-use crate::protocol::{BackendKind, ScheduleReply, ServedFrom, SynthesizeRequest};
+use crate::protocol::{
+    BackendKind, ResynthesizeRequest, ScheduleReply, ServedFrom, SynthesizeRequest,
+};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use std::fmt;
 use std::path::PathBuf;
@@ -31,6 +33,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use ttw_core::cache::{synthesis_key, CacheProbe, ScheduleCache};
 use ttw_core::config::SchedulerConfig;
+use ttw_core::resynth::resynthesize_system;
 use ttw_core::synthesis::{synthesize_system, HeuristicSynthesizer, IlpSynthesizer, Synthesizer};
 
 /// Tuning knobs of a [`SchedulerService`].
@@ -46,6 +49,10 @@ pub struct ServiceConfig {
     pub max_nodes_cap: Option<usize>,
     /// Service-wide hard cap on simplex iterations per request.
     pub max_simplex_cap: Option<usize>,
+    /// Cap on schedules resident in the cache's memory tier; `None` is
+    /// unbounded. Eviction is per-shard insertion order, accounted by the
+    /// `insertions == resident + evictions` identity.
+    pub memory_cap: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -56,6 +63,7 @@ impl Default for ServiceConfig {
             max_waiting: 64,
             max_nodes_cap: None,
             max_simplex_cap: None,
+            memory_cap: None,
         }
     }
 }
@@ -95,10 +103,13 @@ pub struct SchedulerService {
 impl SchedulerService {
     /// Builds a service from its config.
     pub fn new(config: ServiceConfig) -> Self {
-        let cache = match &config.cache_dir {
+        let mut cache = match &config.cache_dir {
             Some(dir) => ScheduleCache::new(dir.clone()),
             None => ScheduleCache::in_memory(),
         };
+        if let Some(cap) = config.memory_cap {
+            cache = cache.with_memory_cap(cap);
+        }
         let admission = AdmissionQueue::new(config.max_active_solves, config.max_waiting);
         SchedulerService {
             config,
@@ -237,6 +248,130 @@ impl SchedulerService {
                             request_milp_nodes: schedule.total_milp_nodes(),
                             schedule: (*schedule).clone(),
                             served: ServedFrom::Solved,
+                            service_micros: start.elapsed().as_micros() as u64,
+                        };
+                        self.inflight.complete(token, Ok(schedule));
+                        Ok(reply)
+                    }
+                    Err(error) => {
+                        ServiceStats::bump(&self.stats.solve_errors);
+                        let message = error.to_string();
+                        self.inflight.complete(token, Err(message.clone()));
+                        Err(ServiceError::Synthesis(message))
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cache key this request resolves to after budget-cap folding —
+    /// what a client should pass as `predecessor` in a follow-up
+    /// [`ResynthesizeRequest`] for an edited system.
+    pub fn request_key(&self, request: &SynthesizeRequest) -> String {
+        let config = self.effective_config(request);
+        let backend = self.backend(request.backend);
+        synthesis_key(&request.system, &request.graph, &config, backend.name())
+    }
+
+    /// Counts response-payload bytes written to the wire; called by the
+    /// framing layer per response.
+    pub fn note_reply_bytes(&self, bytes: usize) {
+        ServiceStats::add(&self.stats.reply_bytes, bytes);
+    }
+
+    /// Serves one incremental re-synthesis request through the same cache →
+    /// coalesce → admission pipeline as [`SchedulerService::handle_synthesize`],
+    /// with the leader running [`ttw_core::resynth::resynthesize_system`]
+    /// against the request's predecessor entry instead of a from-scratch
+    /// solve. A missing or mismatched predecessor degrades to a full solve
+    /// inside the incremental path — still reported as
+    /// [`ServedFrom::Incremental`], with full solver cost visible in
+    /// `request_milp_nodes`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SchedulerService::handle_synthesize`].
+    pub fn handle_resynthesize(
+        &self,
+        request: &ResynthesizeRequest,
+    ) -> Result<ScheduleReply, ServiceError> {
+        ServiceStats::bump(&self.stats.requests);
+        let start = Instant::now();
+        let config = self.effective_config(&request.base);
+        let backend = self.backend(request.base.backend);
+        let key = synthesis_key(
+            &request.base.system,
+            &request.base.graph,
+            &config,
+            backend.name(),
+        );
+
+        // Same single-solve discipline as the synthesize path: the successor
+        // key may already be cached (the same edit submitted twice) or in
+        // flight (concurrent identical edits coalesce onto one leader).
+        match self.cache.probe(&key) {
+            CacheProbe::Memory(schedule) => {
+                return Ok(self.warm_reply(&schedule, ServedFrom::Memory, start))
+            }
+            CacheProbe::Disk(schedule) => {
+                return Ok(self.warm_reply(&schedule, ServedFrom::Disk, start))
+            }
+            CacheProbe::Corrupt | CacheProbe::Absent => {}
+        }
+
+        match self.inflight.join(&key) {
+            Role::Follower(token) => match token.wait() {
+                Ok(schedule) => {
+                    ServiceStats::bump(&self.stats.coalesced);
+                    Ok(self.warm_reply(&schedule, ServedFrom::Coalesced, start))
+                }
+                Err(message) => {
+                    ServiceStats::bump(&self.stats.solve_errors);
+                    Err(ServiceError::Synthesis(message))
+                }
+            },
+            Role::Leader(token) => {
+                let raced_in = match self.cache.probe(&key) {
+                    CacheProbe::Memory(schedule) => Some((schedule, ServedFrom::Memory)),
+                    CacheProbe::Disk(schedule) => Some((schedule, ServedFrom::Disk)),
+                    CacheProbe::Corrupt | CacheProbe::Absent => None,
+                };
+                if let Some((schedule, served)) = raced_in {
+                    let reply = self.warm_reply(&schedule, served, start);
+                    self.inflight.complete(token, Ok(schedule));
+                    return Ok(reply);
+                }
+
+                let permit = match self.admission.admit() {
+                    Ok(permit) => permit,
+                    Err(overloaded) => {
+                        ServiceStats::bump(&self.stats.rejected);
+                        let message = overloaded.to_string();
+                        self.inflight.complete(token, Err(message.clone()));
+                        return Err(ServiceError::Overloaded(message));
+                    }
+                };
+
+                // resynthesize_system stores the result (and fresh warm
+                // artifacts) under the successor key itself, so followers
+                // and later probes find it exactly as after a full solve.
+                let result = resynthesize_system(
+                    &request.base.system,
+                    &request.base.graph,
+                    &config,
+                    backend,
+                    &self.cache,
+                    &request.predecessor,
+                );
+                drop(permit);
+                match result {
+                    Ok((schedule, report)) => {
+                        let schedule = Arc::new(schedule);
+                        ServiceStats::bump(&self.stats.incremental);
+                        let reply = ScheduleReply {
+                            request_milp_nodes: report.solved_milp_nodes,
+                            schedule: (*schedule).clone(),
+                            served: ServedFrom::Incremental,
                             service_micros: start.elapsed().as_micros() as u64,
                         };
                         self.inflight.complete(token, Ok(schedule));

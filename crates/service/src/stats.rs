@@ -5,8 +5,9 @@
 //! wire in a `stats` response and lands in `BENCH_service.json`. The cache
 //! counters are folded in at snapshot time from
 //! [`ttw_core::cache::ScheduleCache`], so one snapshot reconciles the whole
-//! pipeline: `requests == solved + coalesced + cache_hits + rejected +
-//! solve_errors`.
+//! pipeline: `requests == solved + incremental + coalesced + cache_hits +
+//! rejected + solve_errors`, and the bounded memory tier's
+//! `insertions == resident + evictions`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use ttw_core::cache::ScheduleCache;
@@ -20,12 +21,17 @@ pub struct ServiceStats {
     pub requests: AtomicUsize,
     /// Requests that ran a solver to completion.
     pub solved: AtomicUsize,
+    /// Resynthesis requests served by the incremental path (schedule reuse
+    /// plus warm-started re-solves of the dirty modes).
+    pub incremental: AtomicUsize,
     /// Requests that piggybacked on an identical in-flight solve.
     pub coalesced: AtomicUsize,
     /// Requests bounced by the admission queue.
     pub rejected: AtomicUsize,
     /// Requests whose solve (own or coalesced) failed.
     pub solve_errors: AtomicUsize,
+    /// Response-payload bytes written to the wire (all response types).
+    pub reply_bytes: AtomicUsize,
 }
 
 impl ServiceStats {
@@ -34,19 +40,29 @@ impl ServiceStats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicUsize, n: usize) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Copies the live counters, folding in the cache-tier counters.
     pub fn snapshot(&self, cache: &ScheduleCache) -> StatsSnapshot {
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             solved: self.solved.load(Ordering::Relaxed),
+            incremental: self.incremental.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             solve_errors: self.solve_errors.load(Ordering::Relaxed),
+            reply_bytes: self.reply_bytes.load(Ordering::Relaxed),
             cache_hits: cache.hits(),
             cache_mem_hits: cache.mem_hits(),
             cache_disk_hits: cache.disk_hits(),
             cache_misses: cache.misses(),
             cache_corrupt: cache.corrupt(),
+            cache_insertions: cache.insertions(),
+            cache_evictions: cache.evictions(),
+            cache_resident: cache.resident(),
         }
     }
 }
@@ -58,12 +74,16 @@ pub struct StatsSnapshot {
     pub requests: usize,
     /// Requests that ran a solver to completion.
     pub solved: usize,
+    /// Resynthesis requests served by the incremental path.
+    pub incremental: usize,
     /// Requests that piggybacked on an identical in-flight solve.
     pub coalesced: usize,
     /// Requests bounced by the admission queue.
     pub rejected: usize,
     /// Requests whose solve (own or coalesced) failed.
     pub solve_errors: usize,
+    /// Response-payload bytes written to the wire.
+    pub reply_bytes: usize,
     /// Cache probes served from either tier.
     pub cache_hits: usize,
     /// Cache hits served by the in-process memory tier.
@@ -74,22 +94,33 @@ pub struct StatsSnapshot {
     pub cache_misses: usize,
     /// Cache probes that found an unparsable disk entry.
     pub cache_corrupt: usize,
+    /// Distinct keys ever inserted into the memory tier.
+    pub cache_insertions: usize,
+    /// Memory-tier entries evicted (capacity or explicit).
+    pub cache_evictions: usize,
+    /// Entries resident in the memory tier right now.
+    pub cache_resident: usize,
 }
 
 impl StatsSnapshot {
     /// Field names and values in a stable order, for serialization.
-    pub fn fields(&self) -> [(&'static str, usize); 10] {
+    pub fn fields(&self) -> [(&'static str, usize); 15] {
         [
             ("requests", self.requests),
             ("solved", self.solved),
+            ("incremental", self.incremental),
             ("coalesced", self.coalesced),
             ("rejected", self.rejected),
             ("solve_errors", self.solve_errors),
+            ("reply_bytes", self.reply_bytes),
             ("cache_hits", self.cache_hits),
             ("cache_mem_hits", self.cache_mem_hits),
             ("cache_disk_hits", self.cache_disk_hits),
             ("cache_misses", self.cache_misses),
             ("cache_corrupt", self.cache_corrupt),
+            ("cache_insertions", self.cache_insertions),
+            ("cache_evictions", self.cache_evictions),
+            ("cache_resident", self.cache_resident),
         ]
     }
 
@@ -106,23 +137,36 @@ impl StatsSnapshot {
         Ok(StatsSnapshot {
             requests: get("requests")?,
             solved: get("solved")?,
+            incremental: get("incremental")?,
             coalesced: get("coalesced")?,
             rejected: get("rejected")?,
             solve_errors: get("solve_errors")?,
+            reply_bytes: get("reply_bytes")?,
             cache_hits: get("cache_hits")?,
             cache_mem_hits: get("cache_mem_hits")?,
             cache_disk_hits: get("cache_disk_hits")?,
             cache_misses: get("cache_misses")?,
             cache_corrupt: get("cache_corrupt")?,
+            cache_insertions: get("cache_insertions")?,
+            cache_evictions: get("cache_evictions")?,
+            cache_resident: get("cache_resident")?,
         })
     }
 
-    /// Checks the pipeline-wide accounting identity: every accepted request
-    /// is explained by exactly one outcome.
+    /// Checks the pipeline-wide accounting identities: every accepted
+    /// request is explained by exactly one outcome, every cache hit by
+    /// exactly one tier, and every memory-tier insertion is either still
+    /// resident or was evicted.
     pub fn reconciles(&self) -> bool {
         self.requests
-            == self.solved + self.coalesced + self.cache_hits + self.rejected + self.solve_errors
+            == self.solved
+                + self.incremental
+                + self.coalesced
+                + self.cache_hits
+                + self.rejected
+                + self.solve_errors
             && self.cache_hits == self.cache_mem_hits + self.cache_disk_hits
+            && self.cache_insertions == self.cache_resident + self.cache_evictions
     }
 }
 
@@ -133,16 +177,21 @@ mod tests {
     #[test]
     fn snapshot_round_trips_through_fields() {
         let snapshot = StatsSnapshot {
-            requests: 10,
+            requests: 11,
             solved: 2,
+            incremental: 1,
             coalesced: 3,
             rejected: 1,
             solve_errors: 0,
+            reply_bytes: 4096,
             cache_hits: 4,
             cache_mem_hits: 3,
             cache_disk_hits: 1,
             cache_misses: 5,
             cache_corrupt: 1,
+            cache_insertions: 6,
+            cache_evictions: 2,
+            cache_resident: 4,
         };
         let fields: std::collections::BTreeMap<_, _> = snapshot.fields().into_iter().collect();
         let back = StatsSnapshot::from_fields(|name| {
@@ -161,6 +210,17 @@ mod tests {
         let snapshot = StatsSnapshot {
             requests: 5,
             solved: 1,
+            ..StatsSnapshot::default()
+        };
+        assert!(!snapshot.reconciles());
+    }
+
+    #[test]
+    fn reconciliation_catches_leaked_memory_entries() {
+        let snapshot = StatsSnapshot {
+            cache_insertions: 5,
+            cache_evictions: 1,
+            cache_resident: 3, // one entry unaccounted for
             ..StatsSnapshot::default()
         };
         assert!(!snapshot.reconciles());

@@ -227,3 +227,94 @@ fn shutdown_request_stops_the_accept_loop() {
     }
     assert!(refused, "server kept accepting connections after shutdown");
 }
+
+#[test]
+fn resynthesize_over_tcp_reports_incremental_provenance() {
+    let service = Arc::new(SchedulerService::new(ServiceConfig {
+        memory_cap: Some(64),
+        ..ServiceConfig::default()
+    }));
+    let server = ServerHandle::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Predecessor: a 4-mode chain solved cold (artifacts land in the cache).
+    let scenario = generate(&GeneratorConfig::small(4, GraphShape::Chain), 3);
+    let base = SynthesizeRequest {
+        system: scenario.system.clone(),
+        graph: scenario.graph.clone(),
+        config: scenario.scheduler_config(),
+        backend: BackendKind::Ilp,
+        budget: BudgetCaps::default(),
+    };
+    let cold = client.synthesize(base.clone()).expect("predecessor solves");
+    assert_eq!(cold.served, ServedFrom::Solved);
+    let predecessor = service.request_key(&base);
+
+    // The edit: bump one WCET in the last mode's private application.
+    let mut edited = scenario.system.clone();
+    let last_mode = edited.modes().map(|(id, _)| id).last().expect("modes");
+    let app = edited
+        .mode(last_mode)
+        .applications
+        .iter()
+        .copied()
+        .find(|&a| edited.modes_of_application(a).len() == 1)
+        .expect("the generator gives every mode a private application");
+    let task = edited.application(app).tasks[0];
+    let wcet = edited.task(task).wcet;
+    edited.set_task_wcet(task, wcet + 1).expect("non-zero");
+
+    let reply = client
+        .resynthesize(ttw_service::ResynthesizeRequest {
+            base: SynthesizeRequest {
+                system: edited.clone(),
+                ..base.clone()
+            },
+            predecessor,
+        })
+        .expect("incremental admission succeeds");
+    assert_eq!(reply.served, ServedFrom::Incremental);
+    assert!(!reply.served.is_warm(), "incremental may run solvers");
+    assert!(
+        reply.request_milp_nodes < cold.request_milp_nodes,
+        "one-mode edit must cost less than the full cold solve \
+         ({} vs {})",
+        reply.request_milp_nodes,
+        cold.request_milp_nodes
+    );
+
+    // The incremental result is what a from-scratch solve of the edited
+    // system produces (content compared; warm starts change work counters).
+    let scratch = ttw_core::synthesis::synthesize_system(
+        &edited,
+        &scenario.graph,
+        &scenario.scheduler_config(),
+        &ttw_core::synthesis::IlpSynthesizer::default(),
+    )
+    .expect("scratch solve");
+    assert_eq!(
+        ttw_core::export::system_schedule_to_json(&scratch.content_only()).expect("json"),
+        ttw_core::export::system_schedule_to_json(&reply.schedule.content_only()).expect("json"),
+    );
+
+    // Re-sending the identical edit hits the successor's cache entry.
+    let repeat = client
+        .resynthesize(ttw_service::ResynthesizeRequest {
+            base: SynthesizeRequest {
+                system: edited,
+                ..base
+            },
+            predecessor: "does-not-matter-anymore".into(),
+        })
+        .expect("repeat served warm");
+    assert_eq!(repeat.served, ServedFrom::Memory);
+    assert_eq!(repeat.request_milp_nodes, 0);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.solved, 1);
+    assert_eq!(stats.incremental, 1);
+    assert_eq!(stats.cache_mem_hits, 1);
+    assert!(stats.reply_bytes > 0, "server counts bytes on the wire");
+    assert!(stats.reconciles(), "{stats:?}");
+}

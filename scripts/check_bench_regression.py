@@ -44,6 +44,16 @@ zero keys. Its throughput/latency leaves (``throughput_rps``, the
 ``p50/p95/p99_micros`` family) and the ``service_counters`` block
 (``solved``/``coalesced``/``cache_hits``/…) are informational.
 
+The incremental-admission bench (``BENCH_incremental.json``) gates its
+acceptance bars as derived zero keys: ``warm_node_budget_excess`` is
+``max(0, 2*incremental_milp_nodes - scratch_milp_nodes)`` (the one-app edit
+must cost at most half the from-scratch node count) and
+``delta_byte_excess`` is ``max(0, 2*delta_bytes - full_bytes)`` (the
+per-node delta must ship less than half the full redeployment). Encoding
+the ratio bars as exact-zero counters keeps the gate deterministic and
+baseline-free, like the other invariants. Its raw ``milp_nodes`` /
+``simplex_iterations`` leaves ride the ordinary ratio gate.
+
 Usage: check_bench_regression.py <baseline.json> <current.json> [max-regression]
 
 ``max-regression`` is a fraction, default 0.20 (= fail above +20%).
@@ -56,13 +66,16 @@ import sys
 COUNTER_KEYS = ("simplex_iterations", "milp_nodes")
 
 #: Leaf keys that must be exactly zero in the current run (safety counters
-#: of the fault-matrix bench and the service bench's coalescing/cache
-#: invariants; a non-zero value is a correctness failure).
+#: of the fault-matrix bench, the service bench's coalescing/cache
+#: invariants, and the incremental-admission bench's derived budget
+#: excesses; a non-zero value is a correctness failure).
 ZERO_KEYS = (
     "safety_violations_skip",
     "safety_violations_resync",
     "duplicate_solves",
     "warm_milp_nodes",
+    "warm_node_budget_excess",
+    "delta_byte_excess",
 )
 
 

@@ -331,6 +331,98 @@ class ZeroKeyTest(unittest.TestCase):
             self.assertEqual(cbr.main(["prog", baseline, ok]), 0)
             self.assertEqual(cbr.main(["prog", baseline, bad]), 1)
 
+    def test_incremental_budget_excess_keys_are_zero_gated(self):
+        # The incremental-admission bench encodes its acceptance bars as
+        # derived zero keys: `warm_node_budget_excess` (one-app edit must
+        # cost at most half the from-scratch node count) and
+        # `delta_byte_excess` (the per-node delta must ship under half the
+        # full redeployment bytes). Zero passes; any excess fails.
+        data = {
+            "cases": {
+                "modes4": {
+                    "warm_node_budget_excess": 0,
+                    "delta_byte_excess": 0,
+                    "incremental_milp_nodes": 9,
+                    "delta_bytes": 171,
+                    "full_bytes": 3812,
+                    "content_match": True,
+                }
+            }
+        }
+        zeros = cbr.collect_keys(data, cbr.ZERO_KEYS)
+        self.assertEqual(
+            zeros,
+            {
+                "cases.modes4.warm_node_budget_excess": 0.0,
+                "cases.modes4.delta_byte_excess": 0.0,
+            },
+        )
+        self.assertEqual(cbr.check_zero(zeros), [])
+        failures = cbr.check_zero(
+            {
+                "cases.modes4.delta_byte_excess": 40.0,
+                "cases.modes4.warm_node_budget_excess": 3.0,
+            }
+        )
+        self.assertEqual(len(failures), 2)
+        self.assertIn("delta_byte_excess", failures[0])
+        self.assertIn("warm_node_budget_excess", failures[1])
+
+    def test_incremental_informational_leaves_are_not_gated(self):
+        # The incremental counterparts and byte counts ride along for
+        # visibility; only the scratch `milp_nodes`/`simplex_iterations`
+        # leaves are ratio-gated and only the excess keys are zero-gated.
+        data = {
+            "incremental_milp_nodes": 9,
+            "incremental_simplex_iterations": 91,
+            "modes_reused": 3,
+            "modes_resolved": 1,
+            "warm_started_modes": 1,
+            "delta_bytes": 171,
+            "full_bytes": 3812,
+            "delta_ops": 2,
+            "content_match": True,
+        }
+        self.assertEqual(cbr.collect_counters(data), {})
+        self.assertEqual(cbr.collect_keys(data, cbr.ZERO_KEYS), {})
+
+    def test_incremental_json_end_to_end_through_main(self):
+        # A fresh BENCH_incremental.json passes with no baseline (the ratio
+        # gate prints "no baseline — pass"; the zero keys hold on their own),
+        # and a delta-budget blow-out fails even against that empty baseline.
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = write_json(tmp, "baseline.json", {})
+            ok = write_json(
+                tmp,
+                "ok.json",
+                {
+                    "cases": {
+                        "modes4": {
+                            "milp_nodes": 530,
+                            "simplex_iterations": 5732,
+                            "warm_node_budget_excess": 0,
+                            "delta_byte_excess": 0,
+                        }
+                    }
+                },
+            )
+            bad = write_json(
+                tmp,
+                "bad.json",
+                {
+                    "cases": {
+                        "modes4": {
+                            "milp_nodes": 530,
+                            "simplex_iterations": 5732,
+                            "warm_node_budget_excess": 12,
+                            "delta_byte_excess": 0,
+                        }
+                    }
+                },
+            )
+            self.assertEqual(cbr.main(["prog", baseline, ok]), 0)
+            self.assertEqual(cbr.main(["prog", baseline, bad]), 1)
+
     def test_fault_json_without_counter_keys_is_accepted_by_main(self):
         # BENCH_faults.json carries only zero keys — main must not trip the
         # "no counters found" guard on it.

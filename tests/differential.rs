@@ -980,3 +980,201 @@ fn numerically_hard_cut_root_degrades_instead_of_failing() {
     let violations = validate_system_schedule(sys, &config, &with_cuts);
     assert!(violations.is_empty(), "invalid schedule: {violations:?}");
 }
+
+/// The incremental admission invariant: `resynthesize_system` from a cached
+/// predecessor produces the *same schedule* as a from-scratch solve of the
+/// edited system — same verdict, and byte-identical content (solver work
+/// counters stripped: warm starts change how fast the solver gets to the
+/// optimum, never which optimum the tie-broken ILP selects).
+#[test]
+fn incremental_resynthesis_matches_from_scratch() {
+    use ttw::core::cache::synthesis_key;
+    use ttw::core::resynth::resynthesize_system;
+
+    let start = seed_start();
+    let mut exercised = 0usize;
+    for seed in start..start + seed_count(8) as u64 {
+        let scenario = scenario_for_seed(seed, false);
+        let config = scenario.scheduler_config();
+        let backend = IlpSynthesizer::default();
+        let cache = ScheduleCache::in_memory();
+        if synthesize_system_cached(&scenario.system, &scenario.graph, &config, &backend, &cache)
+            .is_err()
+        {
+            continue; // infeasible predecessor: nothing to resynthesize from
+        }
+        let predecessor_key =
+            synthesis_key(&scenario.system, &scenario.graph, &config, backend.name());
+
+        // The admission edit: bump one WCET in the last mode, preferring an
+        // application private to that mode (the smallest possible edit).
+        let mut edited = scenario.system.clone();
+        let last_mode = *scenario.modes().last().expect("modes exist");
+        let apps = &edited.mode(last_mode).applications;
+        let app = apps
+            .iter()
+            .copied()
+            .find(|&a| edited.modes_of_application(a).len() == 1)
+            .unwrap_or(apps[0]);
+        let task = edited.application(app).tasks[0];
+        let wcet = edited.task(task).wcet;
+        edited
+            .set_task_wcet(task, wcet + 1)
+            .expect("bumped WCET is non-zero");
+
+        let scratch = synthesize_system(&edited, &scenario.graph, &config, &backend);
+        let incremental = resynthesize_system(
+            &edited,
+            &scenario.graph,
+            &config,
+            &backend,
+            &cache,
+            &predecessor_key,
+        );
+        match (scratch, incremental) {
+            (Ok(scratch), Ok((incremental, report))) => {
+                assert!(report.predecessor_found, "{}", scenario.repro());
+                assert_eq!(
+                    report.modes_reused + report.modes_resolved,
+                    scratch.num_modes(),
+                    "{}",
+                    scenario.repro()
+                );
+                assert!(report.modes_resolved >= 1, "{}", scenario.repro());
+                assert_eq!(
+                    system_schedule_to_json(&scratch.content_only()).expect("serialize"),
+                    system_schedule_to_json(&incremental.content_only()).expect("serialize"),
+                    "incremental result diverged from scratch: {}",
+                    scenario.repro()
+                );
+                exercised += 1;
+            }
+            (Err(_), Err(_)) => {}
+            (scratch, incremental) => panic!(
+                "verdict mismatch: scratch {:?} vs incremental {:?} ({})",
+                scratch.map(|_| "ok"),
+                incremental.map(|_| "ok"),
+                scenario.repro()
+            ),
+        }
+    }
+    if !knobs_overridden() {
+        assert!(exercised >= 3, "sweep was vacuous: {exercised} scenarios");
+    }
+}
+
+/// Stale warm material must be harmless: re-synthesizing system B from
+/// system A's cached entry (same config, different structure) finds zero
+/// reusable modes and possibly shape-mismatched bases — and still lands on
+/// exactly the schedule a cold from-scratch solve of B produces.
+#[test]
+fn mismatched_predecessor_degrades_to_cold_with_identical_schedule() {
+    use ttw::core::cache::synthesis_key;
+    use ttw::core::resynth::resynthesize_system;
+
+    let family = GeneratorConfig::small(3, GraphShape::Chain);
+    let a = generate(&family, 11);
+    let b = generate(&family, 12);
+    let config = a.scheduler_config();
+    let backend = IlpSynthesizer::default();
+    let cache = ScheduleCache::in_memory();
+    synthesize_system_cached(&a.system, &a.graph, &config, &backend, &cache)
+        .expect("predecessor feasible");
+    let key_a = synthesis_key(&a.system, &a.graph, &config, backend.name());
+
+    let scratch =
+        synthesize_system(&b.system, &b.graph, &config, &backend).expect("successor feasible");
+    let (incremental, report) =
+        resynthesize_system(&b.system, &b.graph, &config, &backend, &cache, &key_a)
+            .expect("successor feasible incrementally");
+    assert!(report.predecessor_found, "same config and backend");
+    assert_eq!(report.modes_reused, 0, "nothing of A is reusable for B");
+    assert_eq!(report.modes_resolved, scratch.num_modes());
+    assert_eq!(
+        system_schedule_to_json(&scratch.content_only()).expect("serialize"),
+        system_schedule_to_json(&incremental.content_only()).expect("serialize"),
+        "stale predecessor changed the solution"
+    );
+
+    // A predecessor key that simply does not exist degrades to a plain full
+    // synthesis: exact byte identity, solver counters included.
+    let cold_cache = ScheduleCache::in_memory();
+    let (from_nowhere, report) = resynthesize_system(
+        &b.system,
+        &b.graph,
+        &config,
+        &backend,
+        &cold_cache,
+        "0000000000000000",
+    )
+    .expect("successor feasible");
+    assert!(!report.predecessor_found);
+    assert_eq!(report.warm_started_modes, 0);
+    assert_eq!(
+        system_schedule_to_json(&scratch).expect("serialize"),
+        system_schedule_to_json(&from_nowhere).expect("serialize"),
+        "fallback must be byte-identical to from-scratch synthesis"
+    );
+}
+
+/// The per-node delta layer reproduces a full redeployment byte-for-byte on
+/// generated scenarios: `apply(diff(old, new), old) == new`, through the
+/// JSON wire codec, for the predecessor/successor schedule pairs the
+/// incremental admission path ships.
+#[test]
+fn schedule_deltas_reproduce_full_redeployments() {
+    use ttw::core::delta::{diff, node_deployments, verified_delta};
+
+    let start = seed_start();
+    let mut exercised = 0usize;
+    for seed in start..start + seed_count(6) as u64 {
+        let scenario = scenario_for_seed(seed, false);
+        let config = scenario.scheduler_config();
+        let backend = IlpSynthesizer::default();
+        let Ok(old) = synthesize_system(&scenario.system, &scenario.graph, &config, &backend)
+        else {
+            continue;
+        };
+
+        // Identity: a schedule against itself is the empty delta.
+        let deployments = node_deployments(&scenario.system, &old);
+        assert!(
+            diff(&deployments, &deployments).is_empty(),
+            "{}",
+            scenario.repro()
+        );
+
+        // Edit one WCET and diff predecessor against successor. The edit
+        // keeps node/task ids stable, so the deployments are diffable.
+        let mut edited = scenario.system.clone();
+        let last_mode = *scenario.modes().last().expect("modes exist");
+        let app = edited.mode(last_mode).applications[0];
+        let task = edited.application(app).tasks[0];
+        let wcet = edited.task(task).wcet;
+        edited.set_task_wcet(task, wcet + 1).expect("non-zero");
+        let Ok(new) = synthesize_system(&edited, &scenario.graph, &config, &backend) else {
+            continue;
+        };
+
+        // verified_delta panics internally if apply(diff) mismatches or the
+        // codec does not round-trip; the byte counts sanity-check on top.
+        let (delta, delta_bytes, full_bytes) = verified_delta(&edited, &old, &new);
+        assert!(full_bytes > 0, "{}", scenario.repro());
+        if delta.is_empty() {
+            assert_eq!(delta_bytes, delta_to_json_len_floor());
+        } else {
+            assert!(delta_bytes > 0);
+        }
+        exercised += 1;
+    }
+    if !knobs_overridden() {
+        assert!(exercised >= 3, "sweep was vacuous: {exercised} scenarios");
+    }
+}
+
+/// Length of the empty delta document — the wire floor for an edit that
+/// changed nothing.
+fn delta_to_json_len_floor() -> usize {
+    use ttw::core::delta::{delta_to_json, ScheduleDelta};
+    delta_to_json(&ScheduleDelta::default()).len()
+}
